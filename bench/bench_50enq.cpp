@@ -1,0 +1,10 @@
+// Figure 2, 50%-enqueues series (right column of the figure): each thread
+// flips a fair coin per iteration and enqueues or dequeues accordingly.
+#include "bench_common.hpp"
+
+int main() {
+  wfq::bench::run_figure("Figure 2: 50%-enqueues",
+                         wfq::bench::WorkloadKind::kPercentEnq,
+                         /*percent_enqueue=*/50);
+  return 0;
+}

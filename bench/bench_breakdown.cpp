@@ -1,0 +1,70 @@
+// Table 2 reproduction: "Breakdown of different execution passes of WF-0"
+// — the percentage of enqueues completed on the slow path, dequeues
+// completed on the slow path, and dequeues returning EMPTY, under the
+// 50%-enqueues benchmark, at thread counts up to 4x oversubscription
+// (the paper ran 36/72/144/288 on a 72-hardware-thread Haswell).
+#include <cinttypes>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfq;
+  using namespace wfq::bench;
+  uint64_t ops = ops_from_env(400'000);
+  bool use_delay = delay_enabled_from_env();
+  unsigned hw = wfq::hardware_threads();
+  // WFQ_PATIENCE overrides the paper's WF-0 configuration (e.g. 10 shows
+  // how far the slow-path share drops with the practical setting).
+  unsigned patience = 0;
+  if (const char* s = std::getenv("WFQ_PATIENCE")) {
+    patience = unsigned(std::strtoul(s, nullptr, 10));
+  }
+
+  // The paper's points: 0.5x, 1x, 2x, 4x the hardware thread count
+  // (36/72/144/288 on their 72-thread machine), floored at 1.
+  std::vector<unsigned> threads;
+  if (const char* s = std::getenv("WFQ_THREADS")) {
+    threads = thread_counts_from_env();
+    (void)s;
+  } else {
+    for (unsigned m : {1u, 2u, 4u, 8u}) {
+      unsigned t = std::max(m, hw * m / 2);  // paper: 0.5x..4x hw threads
+      if (threads.empty() || threads.back() != t) threads.push_back(t);
+    }
+  }
+
+  std::cout << "== Table 2: breakdown of execution paths, WF-" << patience
+            << ", 50%-enqueues ==\n";
+  std::cout << "ops=" << ops << " delay=" << (use_delay ? "on" : "off")
+            << " (paper, 72-hw-thread Haswell @36/72/144/288: slow enq "
+               "0.002-0.028%, slow deq 1.5-4.0%, empty <= 0.003%)\n\n";
+
+  Table table({"threads", "% slow-path enq", "% slow-path deq",
+               "% empty deq", "enqueues", "dequeues"});
+  for (unsigned t : threads) {
+    wfq::WfConfig wf;
+    wf.patience = patience;  // default 0 = the paper's WF-0
+    wfq::WFQueue<uint64_t> q(wf);
+    RunConfig cfg;
+    cfg.kind = WorkloadKind::kPercentEnq;
+    cfg.threads = t;
+    cfg.total_ops = ops;
+    cfg.percent_enqueue = 50;
+    cfg.use_delay = use_delay;
+    (void)run_workload(q, cfg);
+    auto s = q.stats();
+    table.add_row({std::to_string(t) + (t > hw ? "^" : ""),
+                   Table::fmt(s.pct_slow_enq(), 3),
+                   Table::fmt(s.pct_slow_deq(), 3),
+                   Table::fmt(s.pct_empty_deq(), 3),
+                   std::to_string(s.enqueues()),
+                   std::to_string(s.dequeues())});
+    std::cerr << "  [table2] threads=" << t
+              << " slow_enq%=" << Table::fmt(s.pct_slow_enq(), 3)
+              << " slow_deq%=" << Table::fmt(s.pct_slow_deq(), 3)
+              << " empty%=" << Table::fmt(s.pct_empty_deq(), 3) << "\n";
+  }
+  table.print();
+  return 0;
+}

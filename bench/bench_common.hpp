@@ -1,0 +1,199 @@
+// Shared infrastructure for the Figure/Table reproduction binaries: the
+// queue registry (every contender of the paper's Figure 2), environment
+// configuration, and the thread-count sweep driver that applies the §5.1
+// methodology to each (queue, thread-count) pair and prints one table.
+//
+// Environment knobs (all optional):
+//   WFQ_THREADS="1,2,4,8"   thread counts to sweep
+//   WFQ_OPS=200000          operations (or pairs) per iteration
+//   WFQ_ITERATIONS / WFQ_WINDOW / WFQ_COV / WFQ_INVOCATIONS  (methodology)
+//   WFQ_NO_DELAY=1          disable the 50-100 ns random work
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/ccqueue.hpp"
+#include "baselines/faaq.hpp"
+#include "baselines/kp_queue.hpp"
+#include "baselines/lcrq.hpp"
+#include "baselines/ms_queue.hpp"
+#include "baselines/mutex_queue.hpp"
+#include "baselines/sim_queue.hpp"
+#include "common/cpu.hpp"
+#include "core/wf_queue.hpp"
+#include "harness/chart.hpp"
+#include "harness/methodology.hpp"
+#include "harness/platform.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+namespace wfq::bench {
+
+inline std::vector<unsigned> thread_counts_from_env() {
+  if (const char* s = std::getenv("WFQ_THREADS")) {
+    std::vector<unsigned> out;
+    std::stringstream in(s);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+      unsigned v = unsigned(std::strtoul(tok.c_str(), nullptr, 10));
+      if (v > 0) out.push_back(v);
+    }
+    if (!out.empty()) return out;
+  }
+  // Default sweep: powers of two through 4x oversubscription (the paper
+  // sweeps to the machine's full thread count; Table 2 oversubscribes 4x).
+  unsigned hw = hardware_threads();
+  std::vector<unsigned> out;
+  for (unsigned t = 1; t <= 4 * hw || t <= 8; t *= 2) out.push_back(t);
+  return out;
+}
+
+inline uint64_t ops_from_env(uint64_t def = 200'000) {
+  if (const char* s = std::getenv("WFQ_OPS")) {
+    uint64_t v = std::strtoull(s, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+inline bool delay_enabled_from_env() {
+  const char* s = std::getenv("WFQ_NO_DELAY");
+  return s == nullptr || s[0] == '0';
+}
+
+/// One benchmark contender: a name and a factory for fresh instances whose
+/// workload entry point is type-erased (so heterogeneous queue types share
+/// one table).
+struct Contender {
+  std::string name;
+  /// Runs one iteration of the configured workload on a fresh-per-invocation
+  /// queue; returns raw Mops/s (think time included — identical for every
+  /// queue, so relative ordering matches the paper's convention; see
+  /// EXPERIMENTS.md on why the subtraction variant is unstable here).
+  std::function<std::function<double()>(const RunConfig&)> make_invocation;
+};
+
+template <class Queue>
+Contender make_contender(std::string name) {
+  return Contender{
+      std::move(name), [](const RunConfig& cfg) {
+        auto q = std::make_shared<Queue>();
+        return std::function<double()>([q, cfg] {
+          return run_workload(*q, cfg).mops_raw();
+        });
+      }};
+}
+
+/// WF queue contenders need a WfConfig.
+template <class Traits>
+Contender make_wf_contender(std::string name, WfConfig wf) {
+  return Contender{
+      std::move(name), [wf](const RunConfig& cfg) {
+        auto q = std::make_shared<WFQueue<uint64_t, Traits>>(wf);
+        return std::function<double()>([q, cfg] {
+          return run_workload(*q, cfg).mops_raw();
+        });
+      }};
+}
+
+/// The paper's Figure 2 line-up (plus the mutex sanity baseline).
+inline std::vector<Contender> figure2_contenders() {
+  WfConfig wf10;
+  wf10.patience = 10;
+  WfConfig wf0;
+  wf0.patience = 0;
+  std::vector<Contender> cs;
+  cs.push_back(make_wf_contender<DefaultWfTraits>("WF-10", wf10));
+  cs.push_back(make_wf_contender<DefaultWfTraits>("WF-0", wf0));
+  cs.push_back(make_contender<baselines::FAAQueue<uint64_t>>("F&A"));
+  cs.push_back(make_contender<baselines::CCQueue<uint64_t>>("CCQUEUE"));
+  cs.push_back(make_contender<baselines::MSQueue<uint64_t>>("MSQUEUE"));
+  cs.push_back(make_contender<baselines::LCRQ<uint64_t>>("LCRQ"));
+  cs.push_back(make_contender<baselines::MutexQueue<uint64_t>>("MUTEX"));
+  // Not in the paper's Figure 2, but §2 claims the first practical
+  // wait-free queue performs like MS-Queue; this column checks that. The
+  // helping registry is sized to the actual thread count (its state array
+  // is scanned on every operation, so an oversized registry would be an
+  // unfair handicap).
+  cs.push_back(Contender{
+      "KPQUEUE", [](const RunConfig& cfg) {
+        auto q = std::make_shared<baselines::KPQueue<uint64_t>>(
+            cfg.threads + 2);
+        return std::function<double()>(
+            [q, cfg] { return run_workload(*q, cfg).mops_raw(); });
+      }});
+  // Ditto for the P-Sim universal-construction queue (§2: it beat all
+  // prior wait-free queues and MS-Queue before LCRQ/CC-Queue appeared).
+  cs.push_back(Contender{
+      "SIMQUEUE", [](const RunConfig& cfg) {
+        auto q = std::make_shared<baselines::SimQueue<uint64_t>>(
+            cfg.threads + 2);
+        return std::function<double()>(
+            [q, cfg] { return run_workload(*q, cfg).mops_raw(); });
+      }});
+  return cs;
+}
+
+/// Sweeps thread counts x contenders for one workload and prints the
+/// figure's data table (Mops/s with 95% CIs). Returns the table for reuse.
+inline void run_figure(const std::string& title, WorkloadKind kind,
+                       unsigned percent_enqueue = 50) {
+  auto threads = thread_counts_from_env();
+  auto contenders = figure2_contenders();
+  auto mcfg = MethodologyConfig::from_env();
+  uint64_t ops = ops_from_env();
+  bool use_delay = delay_enabled_from_env();
+  unsigned hw = hardware_threads();
+
+  std::cout << "== " << title << " ==\n";
+  std::cout << format_platform_table(detect_platform());
+  std::cout << "ops/iteration=" << ops << "  invocations=" << mcfg.invocations
+            << "  max_iterations=" << mcfg.max_iterations
+            << "  delay=" << (use_delay ? "50-100ns (included in Mops/s)" : "off")
+            << "\n"
+            << "(^ marks thread counts above the " << hw
+            << " hardware thread(s) of this host)\n\n";
+
+  std::vector<std::string> headers{"threads"};
+  for (auto& c : contenders) headers.push_back(c.name + " (Mops/s)");
+  Table table(headers);
+  std::vector<ChartSeries> series;
+  for (auto& c : contenders) series.push_back({c.name, {}});
+  std::vector<std::string> x_labels;
+
+  for (unsigned t : threads) {
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.threads = t;
+    cfg.total_ops = ops;
+    cfg.percent_enqueue = percent_enqueue;
+    cfg.use_delay = use_delay;
+    std::vector<std::string> row{std::to_string(t) + (t > hw ? "^" : "")};
+    x_labels.push_back(row[0]);
+    for (std::size_t ci_idx = 0; ci_idx < contenders.size(); ++ci_idx) {
+      auto& c = contenders[ci_idx];
+      auto ci = measure(mcfg, [&] { return c.make_invocation(cfg); });
+      row.push_back(Table::fmt_ci(ci.mean, ci.half_width));
+      series[ci_idx].values.push_back(ci.mean);
+      std::cerr << "  [" << title << "] threads=" << t << " " << c.name
+                << ": " << Table::fmt_ci(ci.mean, ci.half_width)
+                << " Mops/s\n";
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "\n";
+  table.print();
+  std::cout << "\n"
+            << render_ascii_chart(x_labels, series, 14,
+                                  "Mops/s, think time included")
+            << std::endl;
+}
+
+}  // namespace wfq::bench

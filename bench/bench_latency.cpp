@@ -1,0 +1,53 @@
+// Tail-latency comparison across queues (the "predictable performance"
+// motivation of the paper's abstract/§1). Blocking designs (mutex,
+// combining) develop heavy tails once threads outnumber cores — an op can
+// stall behind a descheduled lock holder/combiner for a full timeslice —
+// while the wait-free queue's tail stays within helping distance.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/latency.hpp"
+
+namespace wfq::bench {
+namespace {
+
+template <class Queue, class... Args>
+void row(Table& table, const std::string& name, unsigned threads,
+         uint64_t pairs, Args&&... args) {
+  Queue q(std::forward<Args>(args)...);
+  LatencyResult r = measure_op_latency(q, threads, pairs);
+  table.add_row({name, std::to_string(r.p50), std::to_string(r.p90),
+                 std::to_string(r.p99), std::to_string(r.p999),
+                 std::to_string(r.max), std::to_string(r.count)});
+  std::cerr << "  [latency] " << name << " p99=" << r.p99
+            << "ns max=" << r.max << "ns\n";
+}
+
+}  // namespace
+}  // namespace wfq::bench
+
+int main() {
+  using namespace wfq;
+  using namespace wfq::bench;
+  unsigned hw = wfq::hardware_threads();
+  unsigned threads = std::max(4u, 2 * hw);  // oversubscribed: tails appear
+  if (std::getenv("WFQ_THREADS")) threads = thread_counts_from_env().back();
+  uint64_t pairs = ops_from_env(50'000) / threads;
+
+  std::cout << "== Per-operation latency (ns), pairs workload, threads="
+            << threads << " (oversubscribed on this host) ==\n\n";
+  Table table({"queue", "p50", "p90", "p99", "p99.9", "max", "samples"});
+  WfConfig wf10;
+  wf10.patience = 10;
+  WfConfig wf0;
+  wf0.patience = 0;
+  row<WFQueue<uint64_t>>(table, "WF-10", threads, pairs, wf10);
+  row<WFQueue<uint64_t>>(table, "WF-0", threads, pairs, wf0);
+  row<baselines::LCRQ<uint64_t>>(table, "LCRQ", threads, pairs);
+  row<baselines::MSQueue<uint64_t>>(table, "MSQUEUE", threads, pairs);
+  row<baselines::CCQueue<uint64_t>>(table, "CCQUEUE", threads, pairs);
+  row<baselines::MutexQueue<uint64_t>>(table, "MUTEX", threads, pairs);
+  row<baselines::FAAQueue<uint64_t>>(table, "F&A", threads, pairs);
+  table.print();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 2, IBM Power7 series reproduction: the Power7 lacks native FAA, so
+// the paper emulates it with an LL/SC retry loop, sacrificing wait-freedom
+// (§3.1, §5). This bench runs the same queue with native FAA and with the
+// CAS-retry-emulated FAA side by side, quantifying the cost of the paper's
+// Power7 configuration on FAA-capable hardware.
+#include "bench_common.hpp"
+
+namespace wfq::bench {
+namespace {
+
+struct LlscTraits : DefaultWfTraits {
+  using Faa = EmulatedFaa;
+};
+
+void run_llsc_figure(WorkloadKind kind, const std::string& title) {
+  auto threads = thread_counts_from_env();
+  auto mcfg = MethodologyConfig::from_env();
+  uint64_t ops = ops_from_env();
+  bool use_delay = delay_enabled_from_env();
+  unsigned hw = hardware_threads();
+
+  WfConfig wf10;
+  wf10.patience = 10;
+  WfConfig wf0;
+  wf0.patience = 0;
+  std::vector<Contender> contenders;
+  contenders.push_back(make_wf_contender<DefaultWfTraits>("WF-10/native", wf10));
+  contenders.push_back(make_wf_contender<LlscTraits>("WF-10/llsc", wf10));
+  contenders.push_back(make_wf_contender<LlscTraits>("WF-0/llsc", wf0));
+  contenders.push_back(
+      make_contender<baselines::FAAQueue<uint64_t, NativeFaa>>("F&A/native"));
+  contenders.push_back(
+      make_contender<baselines::FAAQueue<uint64_t, EmulatedFaa>>("F&A/llsc"));
+  contenders.push_back(make_contender<baselines::MSQueue<uint64_t>>("MSQUEUE"));
+  contenders.push_back(make_contender<baselines::CCQueue<uint64_t>>("CCQUEUE"));
+
+  std::cout << "== " << title << " ==\n";
+  std::cout << "(llsc = FAA emulated by a CAS retry loop, the paper's "
+               "Power7 configuration; not wait-free)\n\n";
+  std::vector<std::string> headers{"threads"};
+  for (auto& c : contenders) headers.push_back(c.name);
+  Table table(headers);
+  for (unsigned t : threads) {
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.threads = t;
+    cfg.total_ops = ops;
+    cfg.use_delay = use_delay;
+    std::vector<std::string> row{std::to_string(t) + (t > hw ? "^" : "")};
+    for (auto& c : contenders) {
+      auto ci = measure(mcfg, [&] { return c.make_invocation(cfg); });
+      row.push_back(Table::fmt_ci(ci.mean, ci.half_width));
+      std::cerr << "  [llsc] threads=" << t << " " << c.name << ": "
+                << Table::fmt_ci(ci.mean, ci.half_width) << " Mops/s\n";
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::cout << std::endl;
+}
+
+}  // namespace
+}  // namespace wfq::bench
+
+int main() {
+  wfq::bench::run_llsc_figure(wfq::bench::WorkloadKind::kPairs,
+                              "Figure 2 Power7 analogue: enqueue-dequeue "
+                              "pairs, LL/SC-emulated FAA");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation B: memory-order policy. The paper's reclamation scheme is
+// advertised as fence-free on the x86 fast path (§3.6 "Overhead"); the
+// tuned configuration realizes that claim while the conservative one makes
+// every atomic seq_cst and fences hazard publication explicitly (what a
+// straightforward portable implementation would do). The gap between the
+// two is the price of the paper's x86 optimization.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace wfq::bench {
+namespace {
+
+struct ConservativeTraits : DefaultWfTraits {
+  static constexpr bool kConservativeOrdering = true;
+};
+
+}  // namespace
+}  // namespace wfq::bench
+
+int main() {
+  using namespace wfq;
+  using namespace wfq::bench;
+  auto threads = thread_counts_from_env();
+  auto mcfg = MethodologyConfig::from_env();
+  uint64_t ops = ops_from_env();
+  bool use_delay = delay_enabled_from_env();
+  unsigned hw = wfq::hardware_threads();
+
+  WfConfig wf10;
+  wf10.patience = 10;
+  std::vector<Contender> contenders;
+  contenders.push_back(
+      make_wf_contender<DefaultWfTraits>("tuned (paper x86)", wf10));
+  contenders.push_back(
+      make_wf_contender<ConservativeTraits>("conservative (all seq_cst)",
+                                            wf10));
+
+  std::cout << "== Ablation B: memory-order policy (pairs workload) ==\n\n";
+  std::vector<std::string> headers{"threads"};
+  for (auto& c : contenders) headers.push_back(c.name + " Mops/s");
+  Table table(headers);
+  for (unsigned t : threads) {
+    RunConfig cfg;
+    cfg.kind = WorkloadKind::kPairs;
+    cfg.threads = t;
+    cfg.total_ops = ops;
+    cfg.use_delay = use_delay;
+    std::vector<std::string> row{std::to_string(t) + (t > hw ? "^" : "")};
+    for (auto& c : contenders) {
+      auto ci = measure(mcfg, [&] { return c.make_invocation(cfg); });
+      row.push_back(Table::fmt_ci(ci.mean, ci.half_width));
+      std::cerr << "  [memorder] threads=" << t << " " << c.name << ": "
+                << Table::fmt_ci(ci.mean, ci.half_width) << "\n";
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 2, enqueue-dequeue pairs series (left column of the figure, all
+// four platforms): throughput of WF-10, WF-0, F&A, CCQueue, MSQueue, LCRQ
+// as a function of thread count, with 50-100 ns random work between
+// operations and the Georges-et-al. methodology (§5.1).
+#include "bench_common.hpp"
+
+int main() {
+  wfq::bench::run_figure("Figure 2: enqueue-dequeue pairs",
+                         wfq::bench::WorkloadKind::kPairs);
+  return 0;
+}

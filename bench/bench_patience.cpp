@@ -1,0 +1,55 @@
+// Ablation A: PATIENCE sweep. The paper evaluates only the endpoints WF-10
+// and WF-0 (§5); this bench sweeps the fast-path attempt budget to show the
+// whole trade-off curve between fast-path retry cost and helping overhead,
+// and reports how often the slow path actually fires at each setting.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfq;
+  using namespace wfq::bench;
+  auto mcfg = MethodologyConfig::from_env();
+  uint64_t ops = ops_from_env();
+  bool use_delay = delay_enabled_from_env();
+  unsigned hw = wfq::hardware_threads();
+  unsigned threads = std::max(2u, 2 * hw);  // contended point
+  if (const char* s = std::getenv("WFQ_THREADS")) {
+    auto ts = thread_counts_from_env();
+    threads = ts.back();
+    (void)s;
+  }
+
+  std::cout << "== Ablation A: PATIENCE sweep (pairs workload, threads="
+            << threads << ") ==\n\n";
+  Table table({"patience", "Mops/s (95% CI)", "% slow enq", "% slow deq"});
+  for (unsigned patience : {0u, 1u, 2u, 5u, 10u, 32u, 100u}) {
+    wfq::WfConfig wf;
+    wf.patience = patience;
+    RunConfig cfg;
+    cfg.kind = WorkloadKind::kPairs;
+    cfg.threads = threads;
+    cfg.total_ops = ops;
+    cfg.use_delay = use_delay;
+
+    // Throughput via the full methodology.
+    auto ci = measure(mcfg, [&] {
+      auto q = std::make_shared<wfq::WFQueue<uint64_t>>(wf);
+      return std::function<double()>(
+          [q, cfg] { return run_workload(*q, cfg).mops_raw(); });
+    });
+    // Path mix from one dedicated instrumented run.
+    wfq::WFQueue<uint64_t> q(wf);
+    (void)run_workload(q, cfg);
+    auto s = q.stats();
+
+    table.add_row({std::to_string(patience),
+                   Table::fmt_ci(ci.mean, ci.half_width),
+                   Table::fmt(s.pct_slow_enq(), 3),
+                   Table::fmt(s.pct_slow_deq(), 3)});
+    std::cerr << "  [patience] p=" << patience << " "
+              << Table::fmt_ci(ci.mean, ci.half_width) << " Mops/s\n";
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Table 1 reproduction: "Summary of experimental platforms" — one row, the
+// host this reproduction runs on, plus the paper's four platforms for
+// side-by-side context.
+#include <iostream>
+
+#include "harness/platform.hpp"
+#include "harness/table.hpp"
+
+int main() {
+  using namespace wfq::bench;
+  auto p = detect_platform();
+  std::cout << format_platform_table(p) << "\n";
+
+  Table t({"Platform", "Clock", "Processors", "Cores", "Threads",
+           "Native FAA"});
+  t.add_row({"THIS HOST: " + p.model, Table::fmt(p.clock_ghz, 2) + " GHz",
+             std::to_string(p.sockets), std::to_string(p.cores),
+             std::to_string(p.threads), p.native_faa ? "yes" : "no"});
+  // The paper's Table 1, for reference alongside the host row.
+  t.add_row({"paper: Intel Xeon E5-2699v3 (Haswell)", "2.30 GHz", "2", "36",
+             "72", "yes"});
+  t.add_row({"paper: Intel Xeon Phi 3120", "1.10 GHz", "1", "57", "228",
+             "yes"});
+  t.add_row({"paper: AMD Opteron 6168 (Magny-Cours)", "0.80 GHz", "4", "48",
+             "48", "yes"});
+  t.add_row({"paper: IBM Power7 8233-E8B", "3.55 GHz", "4", "32", "128",
+             "no"});
+  t.print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation D: reclamation pressure (MAX_GARBAGE). §3.6 amortizes cleanup
+// by letting up to MAX_GARBAGE retired segments accumulate before a
+// dequeuer reclaims. This sweeps the threshold from eager (1) to disabled
+// (effectively infinite) and reports throughput plus the peak live-segment
+// footprint — the memory/time trade-off behind the paper's design choice.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace wfq::bench {
+namespace {
+
+struct Seg256 : DefaultWfTraits {
+  static constexpr std::size_t kSegmentSize = 256;  // amplify churn
+};
+
+}  // namespace
+}  // namespace wfq::bench
+
+int main() {
+  using namespace wfq;
+  using namespace wfq::bench;
+  auto mcfg = MethodologyConfig::from_env();
+  uint64_t ops = ops_from_env();
+  bool use_delay = delay_enabled_from_env();
+  unsigned hw = wfq::hardware_threads();
+  unsigned threads = std::max(2u, 2 * hw);
+
+  std::cout << "== Ablation D: MAX_GARBAGE sweep (pairs workload, N=256, "
+               "threads="
+            << threads << ") ==\n\n";
+  Table table({"max_garbage", "Mops/s (95% CI)", "cleanup passes",
+               "segments freed", "live segments after"});
+  const int64_t kOff = int64_t{1} << 60;
+  for (int64_t mg : {int64_t{1}, int64_t{8}, int64_t{64}, int64_t{512}, kOff}) {
+    WfConfig wf;
+    wf.patience = 10;
+    wf.max_garbage = mg;
+    RunConfig cfg;
+    cfg.kind = WorkloadKind::kPairs;
+    cfg.threads = threads;
+    cfg.total_ops = ops;
+    cfg.use_delay = use_delay;
+    auto ci = measure(mcfg, [&] {
+      auto q = std::make_shared<WFQueue<uint64_t, Seg256>>(wf);
+      return std::function<double()>(
+          [q, cfg] { return run_workload(*q, cfg).mops_raw(); });
+    });
+    WFQueue<uint64_t, Seg256> q(wf);
+    (void)run_workload(q, cfg);
+    auto s = q.stats();
+    table.add_row({mg == kOff ? "off" : std::to_string(mg),
+                   Table::fmt_ci(ci.mean, ci.half_width),
+                   std::to_string(s.cleanups.load()),
+                   std::to_string(s.segments_freed.load()),
+                   std::to_string(q.live_segments())});
+    std::cerr << "  [reclaim] mg=" << (mg == kOff ? -1 : mg) << " "
+              << Table::fmt_ci(ci.mean, ci.half_width) << " Mops/s\n";
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation C: segment size N. The paper uses N = 2^10 for its queue and
+// notes LCRQ performs best with rings of 2^12 (§5.1). This bench sweeps N
+// to expose the trade-off: small segments amortize allocation poorly and
+// stress find_cell/reclamation; huge segments waste memory and lose cache
+// locality on the head/tail frontier.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace wfq::bench {
+namespace {
+
+template <std::size_t N>
+struct SegTraits : DefaultWfTraits {
+  static constexpr std::size_t kSegmentSize = N;
+};
+
+template <std::size_t N>
+void row(Table& table, unsigned threads, uint64_t ops, bool use_delay,
+         const MethodologyConfig& mcfg) {
+  WfConfig wf;
+  wf.patience = 10;
+  RunConfig cfg;
+  cfg.kind = WorkloadKind::kPairs;
+  cfg.threads = threads;
+  cfg.total_ops = ops;
+  cfg.use_delay = use_delay;
+  auto ci = measure(mcfg, [&] {
+    auto q = std::make_shared<WFQueue<uint64_t, SegTraits<N>>>(wf);
+    return std::function<double()>(
+        [q, cfg] { return run_workload(*q, cfg).mops_raw(); });
+  });
+  // Segment churn from one instrumented run.
+  WFQueue<uint64_t, SegTraits<N>> q(wf);
+  (void)run_workload(q, cfg);
+  auto s = q.stats();
+  table.add_row({"2^" + std::to_string(__builtin_ctzll(N)),
+                 Table::fmt_ci(ci.mean, ci.half_width),
+                 std::to_string(s.segments_freed.load()),
+                 std::to_string(q.live_segments())});
+  std::cerr << "  [segment] N=" << N << " "
+            << Table::fmt_ci(ci.mean, ci.half_width) << " Mops/s\n";
+}
+
+}  // namespace
+}  // namespace wfq::bench
+
+int main() {
+  using namespace wfq;
+  using namespace wfq::bench;
+  auto mcfg = MethodologyConfig::from_env();
+  uint64_t ops = ops_from_env();
+  bool use_delay = delay_enabled_from_env();
+  unsigned hw = wfq::hardware_threads();
+  unsigned threads = std::max(2u, 2 * hw);
+
+  std::cout << "== Ablation C: segment size sweep (pairs workload, threads="
+            << threads << "; paper default N = 2^10) ==\n\n";
+  Table table({"N", "Mops/s (95% CI)", "segments freed", "live segments"});
+  row<64>(table, threads, ops, use_delay, mcfg);
+  row<256>(table, threads, ops, use_delay, mcfg);
+  row<1024>(table, threads, ops, use_delay, mcfg);
+  row<4096>(table, threads, ops, use_delay, mcfg);
+  table.print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Empirical wait-freedom check (the measurable shadow of §4's Lemmas 4.3
+// and 4.4): the worst-case number of cells any single operation probes must
+// be bounded by a function of the thread count — never by the run length.
+// Doubling the operation count must leave the maxima flat; the lemmas'
+// analytic bounds ((n-1)^2 slow-path enqueue failures, (n-1)^4 dequeue cell
+// visits) are astronomically loose upper bounds, real maxima are tiny.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfq;
+  using namespace wfq::bench;
+  bool use_delay = delay_enabled_from_env();
+  unsigned hw = wfq::hardware_threads();
+
+  std::cout << "== Wait-freedom bound: worst-case cell probes per operation "
+               "(WF-0, pairs) ==\n"
+               "If ops double but the max column stays flat, per-operation "
+               "work is bounded\nindependently of run length — the empirical "
+               "signature of wait-freedom.\n\n";
+  Table table({"threads", "ops", "avg enq probes", "max enq probes",
+               "avg deq probes", "max deq probes"});
+  std::vector<unsigned> thread_list{2u, std::max(2u, 2 * hw),
+                                    std::max(4u, 4 * hw)};
+  thread_list.erase(std::unique(thread_list.begin(), thread_list.end()),
+                    thread_list.end());
+  for (unsigned threads : thread_list) {
+    for (uint64_t ops : {ops_from_env(100'000), 2 * ops_from_env(100'000)}) {
+      WfConfig wf;
+      wf.patience = 0;  // maximize slow-path traffic
+      WFQueue<uint64_t> q(wf);
+      RunConfig cfg;
+      cfg.kind = WorkloadKind::kPairs;
+      cfg.threads = threads;
+      cfg.total_ops = ops;
+      cfg.use_delay = use_delay;
+      (void)run_workload(q, cfg);
+      auto s = q.stats();
+      table.add_row({std::to_string(threads) + (threads > hw ? "^" : ""),
+                     std::to_string(ops), Table::fmt(s.avg_enq_probes(), 2),
+                     std::to_string(s.max_enq_probes.load()),
+                     Table::fmt(s.avg_deq_probes(), 2),
+                     std::to_string(s.max_deq_probes.load())});
+      std::cerr << "  [waitfree] t=" << threads << " ops=" << ops
+                << " max_enq=" << s.max_enq_probes.load()
+                << " max_deq=" << s.max_deq_probes.load() << "\n";
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,185 @@
+// CC-Queue: Fatourou & Kallimanis' blocking combining queue (PPoPP'12),
+// the representative of combining-based designs in the paper's Figure 2.
+//
+// Two CC-Synch combining instances serialize enqueues and dequeues over a
+// common two-lock-style linked list: threads publish a request by swapping a
+// node into the combining queue's tail; the thread at the head becomes the
+// combiner and applies up to kCombineLimit requests for everyone, so the
+// shared state is touched by one thread at a time (low synchronization
+// cost, but no parallelism and no non-blocking progress guarantee —
+// exactly the trade-off §2 describes).
+//
+// Memory: a dequeued list node becomes garbage only after the combiner
+// unlinks it, and only the (single) dequeue combiner touches head-side
+// nodes, so immediate free is safe (§5.1: CC-Queue needs no lock-free
+// reclamation scheme).
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+
+namespace wfq::baselines {
+
+template <class T>
+class CCQueue {
+  /// Node of the underlying sequential linked-list queue (dummy-headed).
+  /// `next` is atomic because the enqueue and dequeue combiners race on the
+  /// dummy's link when the queue is empty (same as the two-lock queue).
+  struct QNode {
+    std::atomic<QNode*> next{nullptr};
+    T value{};
+  };
+
+  /// CC-Synch combining-queue node: one pending request.
+  struct alignas(kCacheLineSize) CNode {
+    std::atomic<CNode*> next{nullptr};
+    std::atomic<bool> wait{false};
+    bool completed = false;
+    bool is_enqueue = false;
+    T arg{};              // enqueue payload
+    std::optional<T> result;  // dequeue result
+  };
+
+  /// One CC-Synch instance (shared combining tail).
+  struct CCSynch {
+    CacheAligned<std::atomic<CNode*>> tail;
+  };
+
+  static constexpr int kCombineLimit = 64;  // paper's h parameter
+
+ public:
+  using value_type = T;
+
+  class Handle {
+   public:
+    Handle(Handle&& o) noexcept
+        : enq_spare_(o.enq_spare_), deq_spare_(o.deq_spare_) {
+      o.enq_spare_ = nullptr;
+      o.deq_spare_ = nullptr;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() {
+      delete enq_spare_;
+      delete deq_spare_;
+    }
+
+   private:
+    friend class CCQueue;
+    Handle() : enq_spare_(new CNode()), deq_spare_(new CNode()) {}
+    CNode* enq_spare_;
+    CNode* deq_spare_;
+  };
+
+  CCQueue() {
+    QNode* dummy = new QNode();
+    qhead_ = dummy;
+    qtail_ = dummy;
+    enq_sync_.tail->store(new CNode(), std::memory_order_relaxed);
+    deq_sync_.tail->store(new CNode(), std::memory_order_relaxed);
+  }
+
+  CCQueue(const CCQueue&) = delete;
+  CCQueue& operator=(const CCQueue&) = delete;
+
+  ~CCQueue() {
+    QNode* n = qhead_;
+    while (n != nullptr) {
+      QNode* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+    delete enq_sync_.tail->load(std::memory_order_relaxed);
+    delete deq_sync_.tail->load(std::memory_order_relaxed);
+  }
+
+  Handle get_handle() { return Handle(); }
+
+  void enqueue(Handle& h, T v) {
+    combine(enq_sync_, h.enq_spare_, /*is_enqueue=*/true, std::move(v));
+  }
+
+  std::optional<T> dequeue(Handle& h) {
+    return combine(deq_sync_, h.deq_spare_, /*is_enqueue=*/false, T{});
+  }
+
+ private:
+  /// The CC-Synch protocol: publish the request, wait; the head thread
+  /// combines. Returns the request's result (meaningful for dequeues).
+  std::optional<T> combine(CCSynch& sync, CNode*& spare, bool is_enqueue,
+                           T arg) {
+    CNode* next_node = spare;
+    next_node->next.store(nullptr, std::memory_order_relaxed);
+    next_node->wait.store(true, std::memory_order_relaxed);
+    next_node->completed = false;
+
+    // Swap ourselves in; the node we receive records our request.
+    CNode* cur = sync.tail->exchange(next_node, std::memory_order_acq_rel);
+    cur->is_enqueue = is_enqueue;
+    cur->arg = std::move(arg);
+    cur->result.reset();
+    cur->next.store(next_node, std::memory_order_release);
+    spare = cur;
+
+    // Wait until a combiner either serves us or hands us the combiner role.
+    // (The original spins indefinitely; yielding after a bounded spin keeps
+    // this blocking design live on oversubscribed hosts, where the combiner
+    // may need our CPU to make progress.)
+    for (unsigned spins = 0; cur->wait.load(std::memory_order_acquire);) {
+      if (++spins < 512) {
+        cpu_pause();
+      } else {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    if (cur->completed) return std::move(cur->result);
+
+    // We are the combiner: apply requests starting at our own.
+    CNode* tmp = cur;
+    for (int count = 0; count < kCombineLimit; ++count) {
+      CNode* next = tmp->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;
+      apply(tmp);
+      tmp->completed = true;
+      tmp->wait.store(false, std::memory_order_release);
+      tmp = next;
+    }
+    // Hand the combiner role to the next waiting thread (or leave the
+    // sentinel parked for the next arrival).
+    tmp->wait.store(false, std::memory_order_release);
+    return std::move(cur->result);
+  }
+
+  /// Apply one request to the sequential queue (combiner-only, no races).
+  void apply(CNode* req) {
+    if (req->is_enqueue) {
+      QNode* node = new QNode();
+      node->value = std::move(req->arg);
+      qtail_->next.store(node, std::memory_order_release);
+      qtail_ = node;
+    } else {
+      QNode* first = qhead_->next.load(std::memory_order_acquire);
+      if (first == nullptr) {
+        req->result.reset();
+      } else {
+        req->result = std::move(first->value);
+        QNode* old = qhead_;
+        qhead_ = first;  // first becomes the new dummy
+        delete old;      // immediate free is safe (single dequeue combiner)
+      }
+    }
+  }
+
+  CCSynch enq_sync_;
+  CCSynch deq_sync_;
+  alignas(kCacheLineSize) QNode* qhead_;  // touched only by deq combiner
+  alignas(kCacheLineSize) QNode* qtail_;  // touched only by enq combiner
+};
+
+}  // namespace wfq::baselines

@@ -1,0 +1,59 @@
+// The FAA microbenchmark of §5: "simulates enqueue and dequeue operations
+// with FAA primitives on two shared variables: one for enqueues and the
+// other for dequeues. This simple microbenchmark provides a practical upper
+// bound for the throughput of all queue implementations based on FAA."
+//
+// It is NOT a queue — no values are transferred — but it models the same
+// contended-counter traffic pattern, so it conforms to the ConcurrentQueue
+// concept (dequeue fabricates a value iff an enqueue ticket is available)
+// purely so the harness can drive it uniformly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+
+namespace wfq::baselines {
+
+template <class T, class Faa = NativeFaa>
+class FAAQueue {
+ public:
+  using value_type = T;
+
+  struct Handle {};  // no per-thread state
+
+  FAAQueue() = default;
+  FAAQueue(const FAAQueue&) = delete;
+  FAAQueue& operator=(const FAAQueue&) = delete;
+
+  Handle get_handle() { return Handle{}; }
+
+  /// One FAA on the enqueue hot spot; the value is dropped.
+  void enqueue(Handle&, T) {
+    Faa::fetch_add(*enq_ticket_, uint64_t{1}, std::memory_order_seq_cst);
+  }
+
+  /// One FAA on the dequeue hot spot; fabricates T{} while tickets remain.
+  std::optional<T> dequeue(Handle&) {
+    uint64_t d =
+        Faa::fetch_add(*deq_ticket_, uint64_t{1}, std::memory_order_seq_cst);
+    if (d < enq_ticket_->load(std::memory_order_relaxed)) return T{};
+    return std::nullopt;
+  }
+
+  uint64_t enqueues() const {
+    return enq_ticket_->load(std::memory_order_relaxed);
+  }
+  uint64_t dequeues() const {
+    return deq_ticket_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  CacheAligned<std::atomic<uint64_t>> enq_ticket_{0};
+  CacheAligned<std::atomic<uint64_t>> deq_ticket_{0};
+};
+
+}  // namespace wfq::baselines

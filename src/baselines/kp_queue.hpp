@@ -1,0 +1,404 @@
+// Kogan & Petrank's wait-free queue (PPoPP'11, "Wait-Free Queues With
+// Multiple Enqueuers and Dequeuers") — the first practical wait-free queue,
+// discussed in §2 of the Yang & Mellor-Crummey paper: it layers a
+// phase-based helping scheme over MS-Queue, and its throughput tracks
+// MS-Queue's. Reproducing it lets the library demonstrate the paper's
+// related-work claim: wait-freedom per se is not what made earlier
+// wait-free queues slow — the CAS-based fast path is.
+//
+// Algorithm: every operation takes a phase number one larger than any
+// published phase and installs an OpDesc in its slot of a per-thread state
+// array; it then helps every pending operation with phase <= its own (so
+// the oldest pending operation is helped by everyone — wait-freedom), after
+// which its own operation is complete. Enqueues tag their node with the
+// enqueuer's thread id so helpers can finish the two-step MS-Queue insert;
+// dequeues announce the observed sentinel in their descriptor and stamp the
+// sentinel with the dequeuer's id before the head is swung.
+//
+// Memory management: the original is a Java algorithm and leans on GC.
+// Here nodes and descriptors go through hazard-pointer domains. Two
+// deviations from the Java original follow from that: (1) the dequeue
+// *result value* is copied into the closing descriptor by the helper that
+// completes the operation (under node hazards), because the Java code's
+// `desc.node.next.value` read in dequeue() is only safe with GC; (2) a
+// dequeue retires its sentinel node itself once its descriptor is closed.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/align.hpp"
+#include "memory/hazard_pointers.hpp"
+
+namespace wfq::baselines {
+
+template <class T>
+class KPQueue {
+  static constexpr int kNoThread = -1;
+
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+    int enq_tid;                          ///< enqueuer id (helping tag)
+    std::atomic<int> deq_tid{kNoThread};  ///< dequeuer id stamped on sentinel
+
+    Node() : enq_tid(kNoThread) {}
+    Node(T v, int tid) : value(std::move(v)), enq_tid(tid) {}
+  };
+
+  /// Immutable operation descriptor, replaced wholesale on every state
+  /// transition so helpers always see a consistent snapshot.
+  struct OpDesc {
+    uint64_t phase;
+    bool pending;
+    bool enqueue;
+    Node* node;  ///< enqueue: node being inserted; dequeue: the sentinel
+    T result{};  ///< dequeue: value, copied in by the closing helper
+
+    OpDesc(uint64_t ph, bool pe, bool en, Node* n)
+        : phase(ph), pending(pe), enqueue(en), node(n) {}
+    OpDesc(uint64_t ph, bool pe, bool en, Node* n, T res)
+        : phase(ph), pending(pe), enqueue(en), node(n),
+          result(std::move(res)) {}
+  };
+
+  using NodeDomain = HazardPointerDomain<3>;   // head/first, next, scratch
+  using DescDomain = HazardPointerDomain<2>;   // work slot + probe slot
+
+ public:
+  using value_type = T;
+
+  /// `max_threads` bounds the state array (per-thread helping slots).
+  explicit KPQueue(unsigned max_threads = 64)
+      : nthreads_(max_threads), state_(max_threads) {
+    Node* sentinel = new Node();
+    head_->store(sentinel, std::memory_order_relaxed);
+    tail_->store(sentinel, std::memory_order_relaxed);
+    for (auto& s : state_) {
+      s.desc.store(new OpDesc(0, false, true, nullptr),
+                   std::memory_order_relaxed);
+      s.taken.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  KPQueue(const KPQueue&) = delete;
+  KPQueue& operator=(const KPQueue&) = delete;
+
+  ~KPQueue() {
+    Node* n = head_->load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+    for (auto& s : state_) delete s.desc.load(std::memory_order_relaxed);
+  }
+
+  class Handle {
+   public:
+    Handle(Handle&& o) noexcept
+        : q_(o.q_), tid_(o.tid_), nrec_(o.nrec_), drec_(o.drec_) {
+      o.q_ = nullptr;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() {
+      if (q_ != nullptr) {
+        q_->node_hp_.release(nrec_);
+        q_->desc_hp_.release(drec_);
+        q_->state_[tid_].taken.store(false, std::memory_order_release);
+      }
+    }
+
+   private:
+    friend class KPQueue;
+    explicit Handle(KPQueue& q)
+        : q_(&q),
+          tid_(q.claim_tid()),
+          nrec_(q.node_hp_.acquire()),
+          drec_(q.desc_hp_.acquire()) {}
+    KPQueue* q_;
+    int tid_;
+    typename NodeDomain::ThreadRec* nrec_;
+    typename DescDomain::ThreadRec* drec_;
+  };
+
+  Handle get_handle() { return Handle(*this); }
+
+  /// Wait-free enqueue.
+  void enqueue(Handle& h, T v) {
+    uint64_t phase = max_phase(h) + 1;
+    publish(h, new OpDesc(phase, true, true, new Node(std::move(v), h.tid_)));
+    help(h, phase);
+    help_finish_enq(h);
+  }
+
+  /// Wait-free dequeue; nullopt <=> queue observed empty.
+  std::optional<T> dequeue(Handle& h) {
+    uint64_t phase = max_phase(h) + 1;
+    publish(h, new OpDesc(phase, true, false, nullptr));
+    help(h, phase);
+    help_finish_deq(h);
+    OpDesc* d = state_[h.tid_].desc.load(std::memory_order_acquire);
+    // Our own descriptor: nobody replaces it until we publish again.
+    assert(!d->pending);
+    if (d->node == nullptr) return std::nullopt;
+    T out = d->result;  // copied in by the closing helper, GC-free safe
+    // We own the sentinel's reclamation. Helpers of *later* operations may
+    // still be reading it, which is exactly what hazard-pointer retirement
+    // is for.
+    node_hp_.retire(h.nrec_, d->node);
+    return out;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) ThreadState {
+    std::atomic<OpDesc*> desc{nullptr};
+    std::atomic<bool> taken{false};
+  };
+
+  int claim_tid() {
+    for (unsigned i = 0; i < nthreads_; ++i) {
+      bool expected = false;
+      if (!state_[i].taken.load(std::memory_order_relaxed) &&
+          state_[i].taken.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        return int(i);
+      }
+    }
+    assert(false && "KPQueue thread registry exhausted");
+    std::abort();
+  }
+
+  uint64_t max_phase(Handle& h) {
+    uint64_t mp = 0;
+    for (unsigned i = 0; i < nthreads_; ++i) {
+      OpDesc* d = desc_hp_.protect(h.drec_, 1, state_[i].desc);
+      if (d != nullptr && d->phase > mp) mp = d->phase;
+    }
+    desc_hp_.clear(h.drec_, 1);
+    return mp;
+  }
+
+  /// Install a fresh descriptor; the previous (completed) one is retired.
+  void publish(Handle& h, OpDesc* d) {
+    OpDesc* old = state_[h.tid_].desc.load(std::memory_order_relaxed);
+    state_[h.tid_].desc.store(d, std::memory_order_seq_cst);
+    if (old != nullptr) desc_hp_.retire(h.drec_, old);
+  }
+
+  /// Help every pending operation with phase <= `phase` (ours included).
+  void help(Handle& h, uint64_t phase) {
+    for (unsigned i = 0; i < nthreads_; ++i) {
+      OpDesc* d = desc_hp_.protect(h.drec_, 1, state_[i].desc);
+      if (d == nullptr || !d->pending || d->phase > phase) continue;
+      bool is_enq = d->enqueue;
+      uint64_t helpee_phase = d->phase;
+      desc_hp_.clear(h.drec_, 1);
+      if (is_enq) {
+        help_enq(h, int(i), helpee_phase);
+      } else {
+        help_deq(h, int(i), helpee_phase);
+      }
+    }
+    desc_hp_.clear(h.drec_, 1);
+  }
+
+  /// Is tid's current operation the one with phase <= `phase`, unfinished?
+  bool still_pending(Handle& h, int tid, uint64_t phase) {
+    OpDesc* d = desc_hp_.protect(h.drec_, 1, state_[tid].desc);
+    bool p = d != nullptr && d->pending && d->phase <= phase;
+    desc_hp_.clear(h.drec_, 1);
+    return p;
+  }
+
+  void help_enq(Handle& h, int tid, uint64_t phase) {
+    while (still_pending(h, tid, phase)) {
+      Node* last = node_hp_.protect(h.nrec_, 0, *tail_);
+      Node* next = last->next.load(std::memory_order_seq_cst);
+      if (last != tail_->load(std::memory_order_seq_cst)) continue;
+      if (next == nullptr) {
+        if (!still_pending(h, tid, phase)) break;
+        OpDesc* d = desc_hp_.protect(h.drec_, 0, state_[tid].desc);
+        bool usable = d != nullptr && d->pending && d->enqueue &&
+                      d->phase <= phase;
+        Node* node = usable ? d->node : nullptr;
+        desc_hp_.clear(h.drec_, 0);
+        if (!usable) break;
+        Node* expected = nullptr;
+        if (last->next.compare_exchange_strong(expected, node,
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_relaxed)) {
+          help_finish_enq(h);
+          break;
+        }
+      } else {
+        help_finish_enq(h);  // settle the lagging tail first
+      }
+    }
+    node_hp_.clear(h.nrec_, 0);
+  }
+
+  /// Finish a half-done enqueue: close the owner's descriptor (identified
+  /// by the enq_tid tag on the linked node), then swing the tail.
+  void help_finish_enq(Handle& h) {
+    Node* last = node_hp_.protect(h.nrec_, 0, *tail_);
+    Node* next = last->next.load(std::memory_order_seq_cst);
+    if (next == nullptr) {
+      node_hp_.clear(h.nrec_, 0);
+      return;
+    }
+    node_hp_.set_hazard(h.nrec_, 1, next);
+    if (last != tail_->load(std::memory_order_seq_cst)) {
+      node_hp_.clear(h.nrec_, 0);
+      node_hp_.clear(h.nrec_, 1);
+      return;
+    }
+    // `next` is hazard-protected and reachable from the validated tail;
+    // safe to read its tag.
+    int tid = next->enq_tid;
+    if (tid >= 0) {
+      OpDesc* cur = desc_hp_.protect(h.drec_, 0, state_[tid].desc);
+      if (tail_->load(std::memory_order_seq_cst) == last && cur != nullptr &&
+          cur->enqueue && cur->pending && cur->node == next) {
+        auto* done = new OpDesc(cur->phase, false, true, next);
+        OpDesc* expected = cur;
+        if (state_[tid].desc.compare_exchange_strong(
+                expected, done, std::memory_order_seq_cst,
+                std::memory_order_relaxed)) {
+          desc_hp_.retire(h.drec_, cur);
+        } else {
+          delete done;
+        }
+      }
+      desc_hp_.clear(h.drec_, 0);
+    }
+    tail_->compare_exchange_strong(last, next, std::memory_order_seq_cst,
+                                   std::memory_order_relaxed);
+    node_hp_.clear(h.nrec_, 0);
+    node_hp_.clear(h.nrec_, 1);
+  }
+
+  void help_deq(Handle& h, int tid, uint64_t phase) {
+    while (still_pending(h, tid, phase)) {
+      Node* first = node_hp_.protect(h.nrec_, 0, *head_);
+      Node* last = tail_->load(std::memory_order_seq_cst);
+      Node* next = first->next.load(std::memory_order_seq_cst);
+      node_hp_.set_hazard(h.nrec_, 1, next);
+      if (first != head_->load(std::memory_order_seq_cst)) continue;
+      if (first == last) {
+        if (next == nullptr) {
+          // Queue observed empty: close with a null result node.
+          OpDesc* cur = desc_hp_.protect(h.drec_, 0, state_[tid].desc);
+          if (last != tail_->load(std::memory_order_seq_cst)) {
+            desc_hp_.clear(h.drec_, 0);
+            continue;
+          }
+          if (cur != nullptr && !cur->enqueue && cur->pending &&
+              cur->phase <= phase) {
+            auto* done = new OpDesc(cur->phase, false, false, nullptr);
+            OpDesc* expected = cur;
+            if (state_[tid].desc.compare_exchange_strong(
+                    expected, done, std::memory_order_seq_cst,
+                    std::memory_order_relaxed)) {
+              desc_hp_.retire(h.drec_, cur);
+            } else {
+              delete done;
+            }
+          }
+          desc_hp_.clear(h.drec_, 0);
+          // loop re-checks still_pending (an enqueue may have landed)
+        } else {
+          help_finish_enq(h);  // tail lagging behind an in-flight enqueue
+        }
+      } else {
+        OpDesc* cur = desc_hp_.protect(h.drec_, 0, state_[tid].desc);
+        bool usable = cur != nullptr && !cur->enqueue && cur->pending &&
+                      cur->phase <= phase;
+        if (!usable) {
+          desc_hp_.clear(h.drec_, 0);
+          break;
+        }
+        // Announce (or re-announce after losing a race for an older
+        // sentinel) the current head as the node being dequeued.
+        if (first == head_->load(std::memory_order_seq_cst) &&
+            cur->node != first) {
+          auto* ann = new OpDesc(cur->phase, true, false, first);
+          OpDesc* expected = cur;
+          if (!state_[tid].desc.compare_exchange_strong(
+                  expected, ann, std::memory_order_seq_cst,
+                  std::memory_order_relaxed)) {
+            delete ann;
+            desc_hp_.clear(h.drec_, 0);
+            continue;  // descriptor changed under us; re-read everything
+          }
+          desc_hp_.retire(h.drec_, cur);
+        }
+        desc_hp_.clear(h.drec_, 0);
+        // Stamp the sentinel with the dequeuer's id; first stamp wins.
+        int expected_tid = kNoThread;
+        first->deq_tid.compare_exchange_strong(expected_tid, tid,
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_relaxed);
+        help_finish_deq(h);
+      }
+    }
+    node_hp_.clear(h.nrec_, 0);
+    node_hp_.clear(h.nrec_, 1);
+  }
+
+  /// Finish the stamped dequeue at the current head: copy the value into a
+  /// closing descriptor, install it, then swing the head.
+  void help_finish_deq(Handle& h) {
+    Node* first = node_hp_.protect(h.nrec_, 2, *head_);
+    Node* next = first->next.load(std::memory_order_seq_cst);
+    // Hazard `next` BEFORE re-validating head: if the validation passes,
+    // `next` was not yet dequeued at that instant, so its retirement (which
+    // only follows a later head swing) cannot have preceded our hazard.
+    node_hp_.set_hazard(h.nrec_, 1, next);
+    if (first != head_->load(std::memory_order_seq_cst)) {
+      node_hp_.clear(h.nrec_, 1);
+      node_hp_.clear(h.nrec_, 2);
+      return;
+    }
+    int tid = first->deq_tid.load(std::memory_order_seq_cst);
+    if (tid < 0 || next == nullptr) {
+      node_hp_.clear(h.nrec_, 1);
+      node_hp_.clear(h.nrec_, 2);
+      return;
+    }
+    OpDesc* cur = desc_hp_.protect(h.drec_, 0, state_[tid].desc);
+    if (cur != nullptr && !cur->enqueue && cur->pending &&
+        cur->node == first) {
+      // Copy the result value under the `next` hazard (GC substitute).
+      auto* done = new OpDesc(cur->phase, false, false, first, next->value);
+      OpDesc* expected = cur;
+      if (state_[tid].desc.compare_exchange_strong(
+              expected, done, std::memory_order_seq_cst,
+              std::memory_order_relaxed)) {
+        desc_hp_.retire(h.drec_, cur);
+      } else {
+        delete done;
+      }
+    }
+    desc_hp_.clear(h.drec_, 0);
+    head_->compare_exchange_strong(first, next, std::memory_order_seq_cst,
+                                   std::memory_order_relaxed);
+    node_hp_.clear(h.nrec_, 1);
+    node_hp_.clear(h.nrec_, 2);
+  }
+
+  const unsigned nthreads_;
+  CacheAligned<std::atomic<Node*>> head_;
+  CacheAligned<std::atomic<Node*>> tail_;
+  std::vector<ThreadState> state_;
+  NodeDomain node_hp_;
+  DescDomain desc_hp_;
+};
+
+}  // namespace wfq::baselines

@@ -1,0 +1,144 @@
+// Michael & Scott's lock-free queue (PODC'96) — the classic non-blocking
+// baseline of the paper's Figure 2.
+//
+// Under contention its head/tail CASes fail and retry (the "CAS retry
+// problem" of Morrison & Afek that motivates the FAA-based designs); a
+// bounded exponential backoff softens, but cannot remove, that cliff.
+//
+// The memory-reclamation scheme is a policy parameter (hazard pointers by
+// default, matching the paper's evaluation, or epoch-based reclamation) so
+// the per-operation reclamation overhead can be measured head to head —
+// the comparison behind the §3.6 overhead claim.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+#include "memory/reclaimer.hpp"
+
+namespace wfq::baselines {
+
+template <class T, template <int> class ReclaimPolicy = HpReclaimer>
+class MSQueue {
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+  };
+
+  using Reclaim = ReclaimPolicy<2>;
+
+ public:
+  using value_type = T;
+  static constexpr const char* kReclaimName = Reclaim::kName;
+
+  /// Per-thread access token (holds this thread's reclamation record).
+  class Handle {
+   public:
+    Handle(Handle&& o) noexcept : q_(o.q_), rec_(o.rec_) { o.rec_ = nullptr; }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() {
+      if (rec_ != nullptr) q_->reclaim_.release(rec_);
+    }
+
+   private:
+    friend class MSQueue;
+    explicit Handle(MSQueue& q) : q_(&q), rec_(q.reclaim_.acquire()) {}
+    MSQueue* q_;
+    typename Reclaim::Rec* rec_;
+  };
+
+  MSQueue() {
+    Node* dummy = new Node();
+    head_->store(dummy, std::memory_order_relaxed);
+    tail_->store(dummy, std::memory_order_relaxed);
+  }
+
+  MSQueue(const MSQueue&) = delete;
+  MSQueue& operator=(const MSQueue&) = delete;
+
+  ~MSQueue() {
+    Node* n = head_->load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  Handle get_handle() { return Handle(*this); }
+
+  /// Lock-free enqueue: link at tail with CAS, then swing the tail.
+  void enqueue(Handle& h, T v) {
+    Node* node = new Node(std::move(v));
+    typename Reclaim::OpGuard guard(reclaim_, h.rec_);
+    Backoff backoff;
+    for (;;) {
+      Node* tail = guard.template protect<Node>(0, *tail_);
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_->load(std::memory_order_acquire)) continue;
+      if (next != nullptr) {
+        // Tail lagging: help swing it, then retry.
+        tail_->compare_exchange_strong(tail, next, std::memory_order_release,
+                                       std::memory_order_relaxed);
+        continue;
+      }
+      Node* expected = nullptr;
+      if (tail->next.compare_exchange_strong(expected, node,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+        // Linearized; swing tail (failure is fine — someone helped).
+        tail_->compare_exchange_strong(tail, node, std::memory_order_release,
+                                       std::memory_order_relaxed);
+        return;
+      }
+      backoff.pause();  // CAS retry problem in action
+    }
+  }
+
+  /// Lock-free dequeue; nullopt <=> observed empty.
+  std::optional<T> dequeue(Handle& h) {
+    typename Reclaim::OpGuard guard(reclaim_, h.rec_);
+    Backoff backoff;
+    for (;;) {
+      Node* head = guard.template protect<Node>(0, *head_);
+      Node* tail = tail_->load(std::memory_order_acquire);
+      Node* next = guard.template protect<Node>(1, head->next);
+      if (head != head_->load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        return std::nullopt;  // head == tail and no successor: empty
+      }
+      if (head == tail) {
+        // Tail lagging behind an in-flight enqueue: help and retry.
+        tail_->compare_exchange_strong(tail, next, std::memory_order_release,
+                                       std::memory_order_relaxed);
+        continue;
+      }
+      // Read the value before the CAS: after it, another dequeuer may
+      // retire-and-free `next` once our protection drops.
+      T value = next->value;
+      if (head_->compare_exchange_strong(head, next, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+        reclaim_.retire(h.rec_, head);
+        return value;
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Diagnostics for tests: nodes awaiting reclamation.
+  std::size_t retired_nodes() const { return reclaim_.pending(); }
+
+ private:
+  CacheAligned<std::atomic<Node*>> head_;
+  CacheAligned<std::atomic<Node*>> tail_;
+  Reclaim reclaim_;
+};
+
+}  // namespace wfq::baselines

@@ -1,0 +1,50 @@
+// Trivial mutex-guarded std::deque queue. Not part of the paper's Figure 2;
+// included as a sanity baseline (every non-blocking design should beat it
+// under contention, and it anchors correctness tests with an obviously
+// correct implementation).
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace wfq::baselines {
+
+template <class T>
+class MutexQueue {
+ public:
+  using value_type = T;
+
+  struct Handle {};  // no per-thread state
+
+  MutexQueue() = default;
+  MutexQueue(const MutexQueue&) = delete;
+  MutexQueue& operator=(const MutexQueue&) = delete;
+
+  Handle get_handle() { return Handle{}; }
+
+  void enqueue(Handle&, T v) {
+    std::lock_guard<std::mutex> g(mu_);
+    items_.push_back(std::move(v));
+  }
+
+  std::optional<T> dequeue(Handle&) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace wfq::baselines

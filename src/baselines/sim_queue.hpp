@@ -1,0 +1,234 @@
+// P-Sim: Fatourou & Kallimanis' practical wait-free universal construction
+// (SPAA'11, "A Highly-Efficient Wait-free Universal Construction"), §2 of
+// the host paper: "P-Sim uses FAA in addition to CAS to achieve
+// wait-freedom. The wait-free queue constructed using P-Sim outperformed
+// all prior designs for wait-free queues and MS-Queue."
+//
+// The construction: a thread publishes its request, then flips its bit in a
+// shared Toggles word with a single FAA — the no-carry trick: the thread is
+// the only writer of its bit, so it alternately adds +2^i and -2^i and the
+// bit flips without carries (this is P-Sim's FAA usage). A combiner then
+// (1) reads the current state record, (2) computes which announced requests
+// are not yet absorbed (Toggles XOR record.applied), (3) applies them ALL
+// to a private copy, recording per-thread responses, and (4) installs the
+// copy with one CAS. Two combiner rounds suffice for wait-freedom: any
+// record installed on top of one created after my toggle absorbs me.
+//
+// Memory: state records and announcement records are immutable once
+// published and reclaimed with hazard pointers (the original recycles them
+// through per-thread pools; HP keeps the memory story uniform with the rest
+// of this library). Announcements are pointer-swapped rather than written
+// in place so a lagging combiner can never observe a torn request — its
+// doomed CAS will fail anyway, but it must not crash reading the slot.
+//
+// The sequential state is an std::deque-backed queue; the O(state) copy per
+// install is the universal construction's price and exactly why §2 calls
+// universal constructions "hardly practical in general". T must be
+// copyable (responses are copied out of shared immutable records).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/align.hpp"
+#include "memory/hazard_pointers.hpp"
+
+namespace wfq::baselines {
+
+template <class T>
+class SimQueue {
+  static constexpr unsigned kMaxThreads = 64;  // Toggles is one 64-bit word
+
+  struct Request {
+    bool enqueue = false;
+    T arg{};
+    uint64_t serial = 0;  ///< per-thread, distinguishes consecutive requests
+  };
+
+  struct Response {
+    bool has_value = false;
+    T value{};
+  };
+
+  /// One immutable state snapshot.
+  struct StateRec {
+    std::deque<T> items;
+    uint64_t applied = 0;  ///< toggle vector this record has absorbed
+    std::vector<Response> responses;       ///< response per thread slot
+    std::vector<uint64_t> applied_serial;  ///< last absorbed serial per slot
+
+    explicit StateRec(unsigned nthreads)
+        : responses(nthreads), applied_serial(nthreads, 0) {}
+  };
+
+  using Domain = HazardPointerDomain<2>;  // slot 0: state, slot 1: announce
+
+ public:
+  using value_type = T;
+
+  explicit SimQueue(unsigned max_threads = 16)
+      : nthreads_(max_threads < kMaxThreads ? max_threads : kMaxThreads),
+        announce_(nthreads_),
+        taken_(nthreads_) {
+    state_->store(new StateRec(nthreads_), std::memory_order_relaxed);
+    for (auto& a : announce_) a->store(nullptr, std::memory_order_relaxed);
+    for (auto& t : taken_) t->store(false, std::memory_order_relaxed);
+  }
+
+  SimQueue(const SimQueue&) = delete;
+  SimQueue& operator=(const SimQueue&) = delete;
+
+  ~SimQueue() {
+    delete state_->load(std::memory_order_relaxed);
+    for (auto& a : announce_) delete a->load(std::memory_order_relaxed);
+  }
+
+  class Handle {
+   public:
+    Handle(Handle&& o) noexcept
+        : q_(o.q_), tid_(o.tid_), rec_(o.rec_), toggle_(o.toggle_),
+          serial_(o.serial_) {
+      o.q_ = nullptr;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() {
+      if (q_ != nullptr) {
+        q_->hp_.release(rec_);
+        // The slot keeps its last toggle parity; hand it to the next owner.
+        q_->toggle_parity_[tid_] = toggle_;
+        q_->serial_base_[tid_] = serial_;
+        q_->taken_[tid_]->store(false, std::memory_order_release);
+      }
+    }
+
+   private:
+    friend class SimQueue;
+    explicit Handle(SimQueue& q)
+        : q_(&q), tid_(q.claim_tid()), rec_(q.hp_.acquire()) {
+      toggle_ = q.toggle_parity_[tid_];
+      serial_ = q.serial_base_[tid_];
+    }
+    SimQueue* q_;
+    unsigned tid_;
+    typename Domain::ThreadRec* rec_;
+    /// My bit's current value in Toggles (only this thread flips it): the
+    /// next flip adds +bit or -bit, never carrying.
+    bool toggle_ = false;
+    uint64_t serial_ = 0;
+  };
+
+  Handle get_handle() { return Handle(*this); }
+
+  /// Wait-free enqueue (at most two combiner rounds).
+  void enqueue(Handle& h, T v) {
+    auto* r = new Request;
+    r->enqueue = true;
+    r->arg = std::move(v);
+    (void)apply(h, r);
+  }
+
+  /// Wait-free dequeue; nullopt <=> observed empty.
+  std::optional<T> dequeue(Handle& h) {
+    auto* r = new Request;
+    r->enqueue = false;
+    Response resp = apply(h, r);
+    if (!resp.has_value) return std::nullopt;
+    return std::move(resp.value);
+  }
+
+  /// Diagnostics: current backlog (quiescent use).
+  std::size_t size() const {
+    return state_->load(std::memory_order_acquire)->items.size();
+  }
+
+ private:
+  unsigned claim_tid() {
+    for (unsigned i = 0; i < nthreads_; ++i) {
+      bool expected = false;
+      if (!taken_[i]->load(std::memory_order_relaxed) &&
+          taken_[i]->compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+        return i;
+      }
+    }
+    assert(false && "SimQueue thread registry exhausted");
+    std::abort();
+  }
+
+  /// Announce `r` (ownership transferred), toggle, combine, read response.
+  Response apply(Handle& h, Request* r) {
+    const unsigned tid = h.tid_;
+    const uint64_t bit = uint64_t{1} << tid;
+    r->serial = ++h.serial_;
+    // 1. Publish the announcement; retire the previous (completed) one.
+    Request* old = announce_[tid]->exchange(r, std::memory_order_seq_cst);
+    if (old != nullptr) hp_.retire(h.rec_, old);
+    // 2. Flip my toggle bit: the P-Sim FAA (no carry — I own the bit).
+    toggles_->fetch_add(h.toggle_ ? -int64_t(bit) : int64_t(bit),
+                        std::memory_order_seq_cst);
+    h.toggle_ = !h.toggle_;
+
+    // 3. Combine: at most two rounds.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      StateRec* cur = hp_.protect(h.rec_, 0, *state_);
+      if (cur->applied_serial[tid] == h.serial_) break;  // already absorbed
+      uint64_t toggles = uint64_t(toggles_->load(std::memory_order_seq_cst));
+      uint64_t todo = toggles ^ cur->applied;
+      auto* next = new StateRec(*cur);  // the O(state) copy
+      next->applied = toggles;
+      for (unsigned j = 0; j < nthreads_; ++j) {
+        if ((todo & (uint64_t{1} << j)) == 0) continue;
+        Request* req = hp_.protect(h.rec_, 1, *announce_[j]);
+        if (req == nullptr || next->applied_serial[j] >= req->serial) {
+          continue;  // stale/absent view; our CAS is doomed anyway
+        }
+        next->applied_serial[j] = req->serial;
+        if (req->enqueue) {
+          next->items.push_back(req->arg);
+          next->responses[j] = Response{};
+        } else if (next->items.empty()) {
+          next->responses[j] = Response{};  // EMPTY
+        } else {
+          next->responses[j] = Response{true, std::move(next->items.front())};
+          next->items.pop_front();
+        }
+      }
+      hp_.clear(h.rec_, 1);
+      StateRec* expected = cur;
+      if (state_->compare_exchange_strong(expected, next,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+        hp_.clear(h.rec_, 0);
+        hp_.retire(h.rec_, cur);
+      } else {
+        delete next;  // lost; the winner's lineage absorbs me
+      }
+    }
+
+    // 4. My request is absorbed in the current record; read my response.
+    StateRec* cur = hp_.protect(h.rec_, 0, *state_);
+    assert(cur->applied_serial[tid] == h.serial_ &&
+           "two combiner rounds must absorb the request");
+    Response resp = cur->responses[tid];
+    hp_.clear(h.rec_, 0);
+    return resp;
+  }
+
+  const unsigned nthreads_;
+  CacheAligned<std::atomic<int64_t>> toggles_{0};
+  CacheAligned<std::atomic<StateRec*>> state_{nullptr};
+  std::vector<CacheAligned<std::atomic<Request*>>> announce_;
+  std::vector<CacheAligned<std::atomic<bool>>> taken_;
+  std::vector<bool> toggle_parity_ = std::vector<bool>(kMaxThreads, false);
+  std::vector<uint64_t> serial_base_ = std::vector<uint64_t>(kMaxThreads, 0);
+  Domain hp_;
+};
+
+}  // namespace wfq::baselines

@@ -1,0 +1,81 @@
+// Implementation of the C bindings (see wfq_c.h).
+#include "capi/wfq_c.h"
+
+#include <new>
+
+#include "core/wf_queue_core.hpp"
+
+namespace {
+using Core = wfq::WFQueueCore<wfq::DefaultWfTraits>;
+}  // namespace
+
+// The opaque C structs are the C++ objects themselves.
+struct wfq_queue {
+  Core core;
+  explicit wfq_queue(wfq::WfConfig cfg) : core(cfg) {}
+};
+
+struct wfq_handle {
+  wfq_queue* owner;
+  Core::Handle* h;
+};
+
+extern "C" {
+
+wfq_queue_t* wfq_create(unsigned patience, int64_t max_garbage) {
+  wfq::WfConfig cfg;
+  cfg.patience = patience;
+  cfg.max_garbage = max_garbage > 0 ? max_garbage : 1;
+  return new (std::nothrow) wfq_queue(cfg);
+}
+
+wfq_queue_t* wfq_create_default(void) {
+  return wfq_create(10, 64);
+}
+
+void wfq_destroy(wfq_queue_t* q) {
+  delete q;
+}
+
+wfq_handle_t* wfq_handle_acquire(wfq_queue_t* q) {
+  auto* h = new (std::nothrow) wfq_handle;
+  if (h == nullptr) return nullptr;
+  h->owner = q;
+  h->h = q->core.register_handle();
+  return h;
+}
+
+void wfq_handle_release(wfq_handle_t* h) {
+  if (h == nullptr) return;
+  h->owner->core.release_handle(h->h);
+  delete h;
+}
+
+int wfq_enqueue(wfq_handle_t* h, uint64_t value) {
+  if (!Core::is_enqueueable(value)) return -1;
+  h->owner->core.enqueue(h->h, value);
+  return 0;
+}
+
+int wfq_dequeue(wfq_handle_t* h, uint64_t* out) {
+  uint64_t v = h->owner->core.dequeue(h->h);
+  if (v == Core::kEmpty) return 0;
+  *out = v;
+  return 1;
+}
+
+uint64_t wfq_approx_size(const wfq_queue_t* q) {
+  return q->core.approx_size();
+}
+
+void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out) {
+  wfq::OpStats s = q->core.collect_stats();
+  out->enqueues = s.enqueues();
+  out->dequeues = s.dequeues();
+  out->slow_enqueues = s.enq_slow.load(std::memory_order_relaxed);
+  out->slow_dequeues = s.deq_slow.load(std::memory_order_relaxed);
+  out->empty_dequeues = s.deq_empty.load(std::memory_order_relaxed);
+  out->segments_freed = s.segments_freed.load(std::memory_order_relaxed);
+}
+
+}  // extern "C"

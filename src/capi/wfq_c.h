@@ -1,0 +1,67 @@
+/* C89-compatible API for the wait-free queue.
+ *
+ * Thin bindings over wfq::WFQueue<uint64_t>: payloads are 64-bit values
+ * (pointers cast to uintptr_t are the common case). Three values are
+ * reserved by the queue's cell encoding and rejected by wfq_enqueue:
+ * 0, UINT64_MAX and UINT64_MAX-1.
+ *
+ * Threading contract: one wfq_handle_t per thread (acquire/release are
+ * cheap and internally recycled). enqueue/dequeue through a handle are
+ * wait-free. A handle must be released before its queue is destroyed.
+ */
+#ifndef WFQ_C_H_
+#define WFQ_C_H_
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct wfq_queue wfq_queue_t;
+typedef struct wfq_handle wfq_handle_t;
+
+/* Create a queue. `patience` is the paper's PATIENCE knob (10 = WF-10,
+ * 0 = WF-0); `max_garbage` the reclamation threshold (segments).
+ * Returns NULL on allocation failure. */
+wfq_queue_t* wfq_create(unsigned patience, int64_t max_garbage);
+
+/* Create with the defaults (PATIENCE = 10, MAX_GARBAGE = 64). */
+wfq_queue_t* wfq_create_default(void);
+
+/* Destroy the queue. All handles must have been released. */
+void wfq_destroy(wfq_queue_t* q);
+
+/* Per-thread registration. */
+wfq_handle_t* wfq_handle_acquire(wfq_queue_t* q);
+void wfq_handle_release(wfq_handle_t* h);
+
+/* Enqueue `value`. Returns 0 on success, -1 if `value` is one of the three
+ * reserved payloads. Wait-free. */
+int wfq_enqueue(wfq_handle_t* h, uint64_t value);
+
+/* Dequeue into *out. Returns 1 on success, 0 if the queue was observed
+ * empty (linearizable EMPTY). Wait-free. */
+int wfq_dequeue(wfq_handle_t* h, uint64_t* out);
+
+/* Heuristic occupancy (tail - head indices, clamped at 0); monitoring
+ * only, not linearizable. */
+uint64_t wfq_approx_size(const wfq_queue_t* q);
+
+/* Operation-path statistics (the paper's Table 2 counters). */
+typedef struct wfq_stats {
+  uint64_t enqueues;
+  uint64_t dequeues;
+  uint64_t slow_enqueues;
+  uint64_t slow_dequeues;
+  uint64_t empty_dequeues;
+  uint64_t segments_freed;
+} wfq_stats_t;
+
+void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* WFQ_C_H_ */

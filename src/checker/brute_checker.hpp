@@ -1,0 +1,96 @@
+// Brute-force linearizability checker for FIFO queues (Wing & Gong style
+// search). Exponential — usable only for small histories — but derived
+// directly from the definition of linearizability, with no queue-specific
+// theory. Its purpose is to cross-validate the polynomial bad-pattern
+// checker (queue_checker.hpp): on every history small enough for both, the
+// two must agree. The property tests in tests/checker exercise exactly
+// that, on random valid and invalid histories.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "checker/history.hpp"
+
+namespace wfq::lin {
+
+namespace detail {
+
+/// Encodes (applied-mask, queue contents) for memoization.
+inline std::string brute_key(uint64_t mask, const std::deque<uint64_t>& q) {
+  std::string key;
+  key.reserve(8 + q.size() * 8);
+  for (int i = 0; i < 8; ++i) key.push_back(char(mask >> (8 * i)));
+  for (uint64_t v : q) {
+    for (int i = 0; i < 8; ++i) key.push_back(char(v >> (8 * i)));
+  }
+  return key;
+}
+
+}  // namespace detail
+
+/// True iff `ops` (a complete history, <= 64 operations) has a
+/// linearization that is a legal sequential FIFO history. The search
+/// respects real-time order: an operation may be linearized only when every
+/// operation that strictly precedes it (response before invocation) has
+/// been linearized already.
+inline bool brute_force_linearizable(const std::vector<Op>& ops) {
+  const std::size_t n = ops.size();
+  if (n == 0) return true;
+  if (n > 64) return false;  // out of scope for the brute checker
+
+  // precede_mask[i] = bitmask of ops that must linearize before op i.
+  std::vector<uint64_t> precede_mask(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && precedes(ops[j], ops[i])) precede_mask[i] |= 1ull << j;
+    }
+  }
+
+  std::unordered_set<std::string> visited;
+  const uint64_t full = n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+
+  std::function<bool(uint64_t, std::deque<uint64_t>&)> dfs =
+      [&](uint64_t done, std::deque<uint64_t>& queue) -> bool {
+    if (done == full) return true;
+    std::string key = detail::brute_key(done, queue);
+    if (!visited.insert(std::move(key)).second) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      uint64_t bit = uint64_t{1} << i;
+      if (done & bit) continue;
+      if ((precede_mask[i] & ~done) != 0) continue;  // predecessor pending
+      const Op& op = ops[i];
+      switch (op.kind) {
+        case OpKind::kEnqueue: {
+          queue.push_back(op.value);
+          if (dfs(done | bit, queue)) return true;
+          queue.pop_back();
+          break;
+        }
+        case OpKind::kDequeue: {
+          if (queue.empty() || queue.front() != op.value) break;
+          uint64_t v = queue.front();
+          queue.pop_front();
+          if (dfs(done | bit, queue)) return true;
+          queue.push_front(v);
+          break;
+        }
+        case OpKind::kDequeueEmpty: {
+          if (!queue.empty()) break;
+          if (dfs(done | bit, queue)) return true;
+          break;
+        }
+      }
+    }
+    return false;
+  };
+
+  std::deque<uint64_t> queue;
+  return dfs(0, queue);
+}
+
+}  // namespace wfq::lin

@@ -1,0 +1,113 @@
+// Concurrent-history recording for linearizability checking.
+//
+// Threads record (invoke, respond) event pairs around each queue operation.
+// Timestamps come from one global atomic counter, so ts(a) < ts(b) implies
+// a really happened before b in real time — exactly the precedence relation
+// <H that linearizability constrains. The recorder is lock-free on the hot
+// path (one FAA per event, thread-local buffers) so it perturbs the
+// schedule as little as possible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/align.hpp"
+
+namespace wfq::lin {
+
+enum class OpKind : uint8_t {
+  kEnqueue,
+  kDequeue,       ///< returned a value
+  kDequeueEmpty,  ///< returned EMPTY
+};
+
+/// One completed operation.
+struct Op {
+  OpKind kind;
+  unsigned thread;
+  uint64_t value;      ///< enqueued or dequeued value (unused for EMPTY)
+  uint64_t invoke_ts;  ///< global timestamp before the call
+  uint64_t respond_ts; ///< global timestamp after the return
+};
+
+/// Does a's response precede b's invocation? (the real-time order <H)
+inline bool precedes(const Op& a, const Op& b) {
+  return a.respond_ts < b.invoke_ts;
+}
+
+class HistoryRecorder {
+ public:
+  /// Per-thread recording surface. Obtain one per worker thread.
+  class ThreadLog {
+   public:
+    /// Marks an invocation; returns the timestamp to pass to complete().
+    uint64_t invoke() { return owner_->clock_->fetch_add(1, std::memory_order_acq_rel); }
+
+    void complete(OpKind kind, uint64_t value, uint64_t invoke_ts) {
+      uint64_t respond_ts =
+          owner_->clock_->fetch_add(1, std::memory_order_acq_rel);
+      ops_.push_back(Op{kind, thread_, value, invoke_ts, respond_ts});
+    }
+
+   private:
+    friend class HistoryRecorder;
+    ThreadLog(HistoryRecorder* owner, unsigned thread)
+        : owner_(owner), thread_(thread) {
+      ops_.reserve(1024);
+    }
+    HistoryRecorder* owner_;
+    unsigned thread_;
+    std::vector<Op> ops_;
+  };
+
+  /// Creates the log for one worker thread (call before the threads race;
+  /// pointers remain stable).
+  ThreadLog* make_log(unsigned thread) {
+    std::lock_guard<std::mutex> g(mu_);
+    logs_.push_back(std::unique_ptr<ThreadLog>(new ThreadLog(this, thread)));
+    return logs_.back().get();
+  }
+
+  /// Collects every thread's operations (call after joining workers).
+  std::vector<Op> collect() const {
+    std::lock_guard<std::mutex> g(mu_);
+    std::vector<Op> all;
+    for (const auto& l : logs_) {
+      all.insert(all.end(), l->ops_.begin(), l->ops_.end());
+    }
+    return all;
+  }
+
+ private:
+  CacheAligned<std::atomic<uint64_t>> clock_{0};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+/// Convenience wrapper: run `op()` (returning optional-like dequeue result
+/// or enqueue) with recording. Provided as free functions so queue drivers
+/// stay one-liners.
+template <class Queue, class Handle>
+void recorded_enqueue(Queue& q, Handle& h, HistoryRecorder::ThreadLog* log,
+                      uint64_t v) {
+  uint64_t ts = log->invoke();
+  q.enqueue(h, v);
+  log->complete(OpKind::kEnqueue, v, ts);
+}
+
+template <class Queue, class Handle>
+bool recorded_dequeue(Queue& q, Handle& h, HistoryRecorder::ThreadLog* log) {
+  uint64_t ts = log->invoke();
+  auto v = q.dequeue(h);
+  if (v.has_value()) {
+    log->complete(OpKind::kDequeue, *v, ts);
+    return true;
+  }
+  log->complete(OpKind::kDequeueEmpty, 0, ts);
+  return false;
+}
+
+}  // namespace wfq::lin

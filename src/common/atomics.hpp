@@ -1,0 +1,178 @@
+// Atomic-primitive substrate: the FAA / CAS / CAS2 vocabulary of the paper
+// (§3.1 "Atomic primitives") expressed over std::atomic, plus the
+// LL/SC-emulated FAA used to reproduce the paper's Power7 results and a
+// spin-wait hint / bounded exponential backoff.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace wfq {
+
+/// CPU pause/yield hint for spin loops. Reduces pipeline flush cost on x86
+/// and power draw on SMT siblings; a compiler barrier elsewhere.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Bounded exponential backoff for retry loops in the *baseline* queues.
+/// (The wait-free queue itself never needs unbounded retries, which is the
+/// point of the paper; backoff appears only on baselines' CAS-retry paths.)
+class Backoff {
+ public:
+  explicit Backoff(unsigned max_spins = 1024) noexcept : max_(max_spins) {}
+
+  void pause() noexcept {
+    for (unsigned i = 0; i < cur_; ++i) cpu_pause();
+    if (cur_ < max_) cur_ *= 2;
+  }
+
+  void reset() noexcept { cur_ = 1; }
+
+ private:
+  unsigned cur_ = 1;
+  unsigned max_;
+};
+
+/// Native fetch-and-add: one hardware `lock xadd` (x86) / LDADD (ARMv8.1).
+/// This is the primitive whose throughput the paper's FAA microbenchmark
+/// upper-bounds.
+struct NativeFaa {
+  /// Unconditional hardware FAA; never fails, so wait-free.
+  static constexpr bool kWaitFree = true;
+  static constexpr const char* kName = "native-faa";
+
+  static int64_t fetch_add(std::atomic<int64_t>& a, int64_t v,
+                           std::memory_order mo) noexcept {
+    return a.fetch_add(v, mo);
+  }
+  static uint64_t fetch_add(std::atomic<uint64_t>& a, uint64_t v,
+                            std::memory_order mo) noexcept {
+    return a.fetch_add(v, mo);
+  }
+};
+
+/// FAA emulated by a CAS retry loop, mirroring the paper's Power7 setup
+/// where FAA is synthesized from load-linked/store-conditional. Using this
+/// policy sacrifices the queue's wait-freedom (the retry loop is unbounded),
+/// exactly as §3.1 and §5 describe; it exists to reproduce the Power7 series
+/// of Figure 2 on hardware that *does* have native FAA.
+struct EmulatedFaa {
+  static constexpr bool kWaitFree = false;
+  static constexpr const char* kName = "llsc-emulated-faa";
+
+  template <class I>
+  static I fetch_add_impl(std::atomic<I>& a, I v, std::memory_order mo) noexcept {
+    I cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, mo,
+                                    std::memory_order_relaxed)) {
+      cpu_pause();
+    }
+    return cur;
+  }
+
+  static int64_t fetch_add(std::atomic<int64_t>& a, int64_t v,
+                           std::memory_order mo) noexcept {
+    return fetch_add_impl(a, v, mo);
+  }
+  static uint64_t fetch_add(std::atomic<uint64_t>& a, uint64_t v,
+                            std::memory_order mo) noexcept {
+    return fetch_add_impl(a, v, mo);
+  }
+};
+
+/// Strong CAS that returns whether the swap happened, discarding the
+/// witness: matches the paper's `CAS(a, t, v)` notation.
+template <class T>
+inline bool cas(std::atomic<T>& a, T expected, T desired,
+                std::memory_order success = std::memory_order_seq_cst,
+                std::memory_order failure = std::memory_order_seq_cst) noexcept {
+  return a.compare_exchange_strong(expected, desired, success, failure);
+}
+
+/// Strong CAS that exposes the witness value through `expected`, for
+/// call sites that need the observed value on failure.
+template <class T>
+inline bool cas_witness(std::atomic<T>& a, T& expected, T desired,
+                        std::memory_order success = std::memory_order_seq_cst,
+                        std::memory_order failure = std::memory_order_seq_cst) noexcept {
+  return a.compare_exchange_strong(expected, desired, success, failure);
+}
+
+// ---------------------------------------------------------------------------
+// Double-width CAS (CAS2) — required by LCRQ (§2: "LCRQ uses FAA to acquire
+// an index on a CRQ and then uses a double-width compare-and-swap").
+// ---------------------------------------------------------------------------
+
+/// A 16-byte, 16-byte-aligned pair of 64-bit words manipulated atomically.
+struct alignas(16) U128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const U128& a, const U128& b) noexcept {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+#if defined(WFQ_HAVE_CX16)
+inline constexpr bool kHaveNativeCas2 = true;
+
+/// Hardware cmpxchg16b. Full-fence semantics (x86 RMW).
+inline bool cas2(U128* addr, U128 expected, U128 desired) noexcept {
+  auto pack = [](U128 v) {
+    return static_cast<__uint128_t>(v.hi) << 64 | v.lo;
+  };
+  return __sync_bool_compare_and_swap(reinterpret_cast<__uint128_t*>(addr),
+                                      pack(expected), pack(desired));
+}
+
+/// Atomic 16-byte load. On x86-64 a plain 16B load is not guaranteed atomic;
+/// a CAS2 with equal expected/desired performs an atomic read-don't-modify.
+inline U128 load2(U128* addr) noexcept {
+  auto* p = reinterpret_cast<__uint128_t*>(addr);
+  __uint128_t v = __sync_val_compare_and_swap(p, __uint128_t{0}, __uint128_t{0});
+  return U128{static_cast<uint64_t>(v), static_cast<uint64_t>(v >> 64)};
+}
+#else
+inline constexpr bool kHaveNativeCas2 = false;
+
+namespace detail {
+// Lock-table emulation for platforms without cmpxchg16b, analogous to how
+// the paper notes CAS2 "is not universally available". Keeps LCRQ runnable
+// (and testable) everywhere, at the cost of lock-freedom of the baseline.
+inline std::atomic_flag& cas2_lock(const void* addr) noexcept {
+  static std::atomic_flag locks[64];
+  auto h = reinterpret_cast<uintptr_t>(addr);
+  return locks[(h >> 4) & 63];
+}
+}  // namespace detail
+
+inline bool cas2(U128* addr, U128 expected, U128 desired) noexcept {
+  auto& l = detail::cas2_lock(addr);
+  while (l.test_and_set(std::memory_order_acquire)) cpu_pause();
+  bool ok = (*addr == expected);
+  if (ok) *addr = desired;
+  l.clear(std::memory_order_release);
+  return ok;
+}
+
+inline U128 load2(U128* addr) noexcept {
+  auto& l = detail::cas2_lock(addr);
+  while (l.test_and_set(std::memory_order_acquire)) cpu_pause();
+  U128 v = *addr;
+  l.clear(std::memory_order_release);
+  return v;
+}
+#endif
+
+}  // namespace wfq

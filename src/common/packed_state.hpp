@@ -1,0 +1,54 @@
+// Packed request-state words for the wait-free queue.
+//
+// §3.3 of the paper: an enqueue request's state is the pair
+// (pending : 1 bit, id : 63 bits) and a dequeue request's state is
+// (pending : 1 bit, idx : 63 bits). Each pair must be read and CASed as a
+// single 64-bit atom — the two-word request consistency argument in §3.4
+// ("Write the proper value in a cell") depends on it. This header is the one
+// place that knows the bit layout.
+#pragma once
+
+#include <cstdint>
+
+namespace wfq {
+
+/// A (pending, index) pair packed into one 64-bit word.
+/// Bit 63 holds `pending`; bits 62..0 hold the cell index / request id.
+class PackedState {
+ public:
+  static constexpr uint64_t kPendingBit = uint64_t{1} << 63;
+  static constexpr uint64_t kIndexMask = kPendingBit - 1;
+  /// Largest representable index; queue indices are monotonically increasing
+  /// 63-bit integers, so exhausting this takes centuries at any real rate.
+  static constexpr uint64_t kMaxIndex = kIndexMask;
+
+  constexpr PackedState() noexcept : word_(0) {}
+  constexpr PackedState(bool pending, uint64_t index) noexcept
+      : word_((pending ? kPendingBit : 0) | (index & kIndexMask)) {}
+
+  static constexpr PackedState from_word(uint64_t w) noexcept {
+    PackedState s;
+    s.word_ = w;
+    return s;
+  }
+
+  constexpr uint64_t word() const noexcept { return word_; }
+  constexpr bool pending() const noexcept { return (word_ & kPendingBit) != 0; }
+  constexpr uint64_t index() const noexcept { return word_ & kIndexMask; }
+
+  friend constexpr bool operator==(PackedState a, PackedState b) noexcept {
+    return a.word_ == b.word_;
+  }
+
+ private:
+  uint64_t word_;
+};
+
+static_assert(sizeof(PackedState) == 8);
+static_assert(PackedState(true, 5).pending());
+static_assert(PackedState(true, 5).index() == 5);
+static_assert(!PackedState(false, PackedState::kMaxIndex).pending());
+static_assert(PackedState(false, PackedState::kMaxIndex).index() ==
+              PackedState::kMaxIndex);
+
+}  // namespace wfq

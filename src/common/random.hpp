@@ -1,0 +1,73 @@
+// Small, fast PRNGs for workload generation.
+//
+// The benchmark harness needs per-thread random streams that are cheap
+// enough not to perturb the measurement (a queue operation under test is
+// tens of nanoseconds): xorshift128+ generates a 64-bit value in a handful
+// of cycles with no shared state. Not for cryptography.
+#pragma once
+
+#include <cstdint>
+
+namespace wfq {
+
+/// xorshift128+ (Vigna, 2014). Passes BigCrush except MatrixRank; more than
+/// adequate for coin flips and work-delay jitter in benchmarks.
+class Xorshift128Plus {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds via splitmix64 so that consecutive integer seeds (e.g. thread
+  /// ids) yield well-separated streams.
+  explicit Xorshift128Plus(uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    s_[0] = splitmix64(seed);
+    s_[1] = splitmix64(s_[0]);
+    if (s_[0] == 0 && s_[1] == 0) s_[1] = 1;  // all-zero state is absorbing
+  }
+
+  uint64_t next() noexcept {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  uint64_t operator()() noexcept { return next(); }
+
+  /// Uniform value in [0, bound) via Lemire's multiply-shift reduction
+  /// (biased by < 2^-64; irrelevant for workload generation).
+  uint64_t next_below(uint64_t bound) noexcept {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  uint64_t next_in(uint64_t lo, uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with probability `percent`/100.
+  bool percent_chance(unsigned percent) noexcept {
+    return next_below(100) < percent;
+  }
+
+  static constexpr uint64_t min() noexcept { return 0; }
+  static constexpr uint64_t max() noexcept { return ~uint64_t{0}; }
+
+ private:
+  static uint64_t splitmix64(uint64_t& x) noexcept {
+    uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  static uint64_t splitmix64(uint64_t&& x) noexcept {
+    uint64_t v = x;
+    return splitmix64(v);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace wfq

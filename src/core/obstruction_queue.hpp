@@ -1,0 +1,117 @@
+// The paper's Listing 1: the obstruction-free FAA queue over an "infinite"
+// array, realized here over a fixed-capacity array. This is the base
+// algorithm the wait-free queue hardens; it is pedagogically useful, serves
+// as a differential-testing oracle at small scales, and demonstrates the
+// livelock the paper describes (an enqueuer and dequeuer can starve each
+// other, which the wait-free construction eliminates).
+//
+// Capacity is consumed by *indices*, not live values: every enqueue and
+// every dequeue burns at least one cell, so a bounded array can only absorb
+// a bounded number of operations. enqueue() throws std::length_error once
+// the index space is exhausted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+#include "core/slot_codec.hpp"
+
+namespace wfq {
+
+template <class T>
+class ObstructionQueue {
+  using Codec = SlotCodec<T>;
+  static constexpr uint64_t kBot = 0;
+  static constexpr uint64_t kTop = ~uint64_t{0};
+
+ public:
+  using value_type = T;
+
+  struct Handle {};  // Listing 1 has no per-thread state
+
+  explicit ObstructionQueue(std::size_t capacity = 1 << 16)
+      : capacity_(capacity),
+        cells_(std::make_unique<std::atomic<uint64_t>[]>(capacity)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].store(kBot, std::memory_order_relaxed);
+    }
+  }
+
+  ObstructionQueue(const ObstructionQueue&) = delete;
+  ObstructionQueue& operator=(const ObstructionQueue&) = delete;
+
+  ~ObstructionQueue() {
+    if constexpr (Codec::kBoxed) {
+      uint64_t h = head_->load(std::memory_order_relaxed);
+      uint64_t t = tail_->load(std::memory_order_relaxed);
+      for (uint64_t i = h; i < t && i < capacity_; ++i) {
+        uint64_t v = cells_[i].load(std::memory_order_relaxed);
+        if (v != kBot && v != kTop) Codec::destroy_slot(v);
+      }
+    }
+  }
+
+  Handle get_handle() { return Handle{}; }
+
+  /// Listing 1 enqueue: FAA an index, CAS the value in; retry on a cell a
+  /// dequeuer already marked unusable. Obstruction-free, not wait-free.
+  void enqueue(Handle&, T v) {
+    uint64_t slot = Codec::encode(std::move(v));
+    for (;;) {
+      uint64_t t = tail_->fetch_add(1, std::memory_order_seq_cst);
+      if (t >= capacity_) {
+        Codec::destroy_slot(slot);
+        throw std::length_error("ObstructionQueue index space exhausted");
+      }
+      uint64_t expected = kBot;
+      if (cells_[t].compare_exchange_strong(expected, slot,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  /// Listing 1 dequeue: FAA an index; mark the cell unusable; a failure to
+  /// mark means a value is present. EMPTY when the head catches the tail.
+  std::optional<T> dequeue(Handle&) {
+    for (;;) {
+      uint64_t h = head_->fetch_add(1, std::memory_order_seq_cst);
+      if (h >= capacity_) {
+        throw std::length_error("ObstructionQueue index space exhausted");
+      }
+      uint64_t expected = kBot;
+      if (!cells_[h].compare_exchange_strong(expected, kTop,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_relaxed)) {
+        // Cell already holds a value (CAS failed on non-⊥): take it.
+        return Codec::decode(expected);
+      }
+      if (tail_->load(std::memory_order_seq_cst) <= h) {
+        return std::nullopt;  // no enqueue has claimed index h: empty
+      }
+      // Otherwise an enqueue is in flight at or past h; try the next cell.
+    }
+  }
+
+  uint64_t head_index() const {
+    return head_->load(std::memory_order_acquire);
+  }
+  uint64_t tail_index() const {
+    return tail_->load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  CacheAligned<std::atomic<uint64_t>> tail_{0};  // T
+  CacheAligned<std::atomic<uint64_t>> head_{0};  // H
+  std::size_t capacity_;
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;
+};
+
+}  // namespace wfq

@@ -1,0 +1,114 @@
+// Operation-path counters for the wait-free queue.
+//
+// Table 2 of the paper reports, for WF-0 on Haswell, the percentage of
+// enqueues/dequeues completed on the slow path and of dequeues returning
+// EMPTY. These counters instrument exactly those paths. They are per-handle
+// (thread-local, uncontended) relaxed atomics so that collection is safe
+// while threads run; the increment cost is one uncontended cached add and
+// does not perturb the measured operation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace wfq {
+
+/// Per-handle path counters. All increments are relaxed; aggregation reads
+/// are relaxed too (counts are only interpreted after a benchmark phase
+/// joins its threads, or as an approximate running breakdown).
+struct OpStats {
+  std::atomic<uint64_t> enq_fast{0};   ///< enqueues completed on the fast path
+  std::atomic<uint64_t> enq_slow{0};   ///< enqueues that fell back to enq_slow
+  std::atomic<uint64_t> deq_fast{0};   ///< dequeues completed on the fast path
+  std::atomic<uint64_t> deq_slow{0};   ///< dequeues that fell back to deq_slow
+  std::atomic<uint64_t> deq_empty{0};  ///< dequeues that returned EMPTY
+  std::atomic<uint64_t> cleanups{0};   ///< cleanup() passes that reclaimed
+  std::atomic<uint64_t> segments_freed{0};  ///< segments returned to the OS
+
+  // Empirical wait-freedom bound (§4): cells probed (find_cell calls) per
+  // operation. Wait-freedom means max probes stays bounded by a function of
+  // the thread count, never by the run length.
+  std::atomic<uint64_t> enq_probes{0};      ///< total probes across enqueues
+  std::atomic<uint64_t> deq_probes{0};      ///< total probes across dequeues
+  std::atomic<uint64_t> max_enq_probes{0};  ///< worst single enqueue
+  std::atomic<uint64_t> max_deq_probes{0};  ///< worst single dequeue
+
+  OpStats() = default;
+  // Copyable as a relaxed snapshot (atomics delete the default copy).
+  OpStats(const OpStats& o) noexcept { *this = o; }
+  OpStats& operator=(const OpStats& o) noexcept {
+    reset();
+    add(o);
+    return *this;
+  }
+
+  void add(const OpStats& o) noexcept {
+    auto ld = [](const std::atomic<uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    auto bump = [](std::atomic<uint64_t>& a, uint64_t v) {
+      a.fetch_add(v, std::memory_order_relaxed);
+    };
+    auto raise = [&](std::atomic<uint64_t>& a, uint64_t v) {
+      if (v > ld(a)) a.store(v, std::memory_order_relaxed);
+    };
+    bump(enq_fast, ld(o.enq_fast));
+    bump(enq_slow, ld(o.enq_slow));
+    bump(deq_fast, ld(o.deq_fast));
+    bump(deq_slow, ld(o.deq_slow));
+    bump(deq_empty, ld(o.deq_empty));
+    bump(cleanups, ld(o.cleanups));
+    bump(segments_freed, ld(o.segments_freed));
+    bump(enq_probes, ld(o.enq_probes));
+    bump(deq_probes, ld(o.deq_probes));
+    raise(max_enq_probes, ld(o.max_enq_probes));
+    raise(max_deq_probes, ld(o.max_deq_probes));
+  }
+
+  void reset() noexcept {
+    for (auto* c : {&enq_fast, &enq_slow, &deq_fast, &deq_slow, &deq_empty,
+                    &cleanups, &segments_freed, &enq_probes, &deq_probes,
+                    &max_enq_probes, &max_deq_probes}) {
+      c->store(0, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t enqueues() const noexcept {
+    return enq_fast.load(std::memory_order_relaxed) +
+           enq_slow.load(std::memory_order_relaxed);
+  }
+  uint64_t dequeues() const noexcept {
+    return deq_fast.load(std::memory_order_relaxed) +
+           deq_slow.load(std::memory_order_relaxed);
+  }
+
+  double avg_enq_probes() const noexcept {
+    uint64_t n = enqueues();
+    return n ? double(enq_probes.load(std::memory_order_relaxed)) / double(n)
+             : 0.0;
+  }
+  double avg_deq_probes() const noexcept {
+    uint64_t n = dequeues();
+    return n ? double(deq_probes.load(std::memory_order_relaxed)) / double(n)
+             : 0.0;
+  }
+
+  /// Percentage helpers used by the Table 2 reproduction.
+  double pct_slow_enq() const noexcept {
+    uint64_t n = enqueues();
+    return n ? 100.0 * double(enq_slow.load(std::memory_order_relaxed)) / double(n)
+             : 0.0;
+  }
+  double pct_slow_deq() const noexcept {
+    uint64_t n = dequeues();
+    return n ? 100.0 * double(deq_slow.load(std::memory_order_relaxed)) / double(n)
+             : 0.0;
+  }
+  double pct_empty_deq() const noexcept {
+    uint64_t n = dequeues();
+    return n ? 100.0 * double(deq_empty.load(std::memory_order_relaxed)) / double(n)
+             : 0.0;
+  }
+};
+
+}  // namespace wfq

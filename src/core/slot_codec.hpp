@@ -1,0 +1,164 @@
+// Encoding of user values into the queue core's 64-bit slots.
+//
+// The core reserves three slot values (⊥ = 0, ⊤ = ~0, EMPTY = ~0-1); user
+// payloads must never collide with them. This header maps common value
+// types into the safe range:
+//
+//  * integrals/enums/floats that fit in 62 bits after zero-extension are
+//    stored shifted by +1 (always collision-free);
+//  * full-width 64-bit integrals are stored as-is with a debug assertion
+//    that they avoid the reserved values (documented API restriction);
+//  * pointers are stored as their address (non-null, not all-ones — true
+//    for any real object pointer);
+//  * any other type is boxed on the heap and the box pointer is stored;
+//    the queue owns boxes in flight and frees leftovers on destruction.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace wfq {
+
+namespace detail {
+
+template <class T>
+inline constexpr bool is_small_scalar_v =
+    (std::is_integral_v<T> || std::is_enum_v<T>)&&sizeof(T) < 8;
+
+template <class T>
+inline constexpr bool is_wide_scalar_v =
+    (std::is_integral_v<T> || std::is_enum_v<T>)&&sizeof(T) == 8;
+
+}  // namespace detail
+
+/// Encodes T into/out of a 64-bit slot. The primary template boxes.
+/// `encode` transfers ownership of the value into the slot; `decode`
+/// transfers it back out; `destroy_slot` releases a still-encoded slot
+/// (used when draining a destroyed queue).
+template <class T, class Enable = void>
+struct SlotCodec {
+  static constexpr bool kBoxed = true;
+
+  static uint64_t encode(T&& v) {
+    return reinterpret_cast<uint64_t>(new T(std::move(v)));
+  }
+  static uint64_t encode(const T& v) {
+    return reinterpret_cast<uint64_t>(new T(v));
+  }
+  static T decode(uint64_t slot) {
+    T* box = reinterpret_cast<T*>(slot);
+    T v = std::move(*box);
+    delete box;
+    return v;
+  }
+  static void destroy_slot(uint64_t slot) {
+    delete reinterpret_cast<T*>(slot);
+  }
+};
+
+/// Small integrals/enums: shift by +1; the result is in [1, 2^{33}) and can
+/// never hit a reserved value.
+template <class T>
+struct SlotCodec<T, std::enable_if_t<detail::is_small_scalar_v<T>>> {
+  static constexpr bool kBoxed = false;
+
+  static uint64_t encode(T v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return (v ? 1u : 0u) + 1;  // make_unsigned<bool> is ill-formed
+    } else if constexpr (std::is_enum_v<T>) {
+      using U = std::make_unsigned_t<std::underlying_type_t<T>>;
+      return static_cast<uint64_t>(
+                 static_cast<U>(static_cast<std::underlying_type_t<T>>(v))) +
+             1;
+    } else {
+      using U = std::make_unsigned_t<T>;
+      return static_cast<uint64_t>(static_cast<U>(v)) + 1;
+    }
+  }
+  static T decode(uint64_t slot) { return static_cast<T>(slot - 1); }
+  static void destroy_slot(uint64_t) {}
+};
+
+/// Full-width 64-bit integrals: stored shifted by +1 modulo 2^64 would wrap
+/// the top value into ⊥, so they are stored as-is; the two top values and 0
+/// map onto reserved slots and are rejected. Asserted in debug builds and
+/// documented on WFQueue.
+template <class T>
+struct SlotCodec<T, std::enable_if_t<detail::is_wide_scalar_v<T>>> {
+  static constexpr bool kBoxed = false;
+
+  static constexpr bool representable(T v) {
+    auto u = static_cast<uint64_t>(v);
+    return u != 0 && u != ~uint64_t{0} && u != ~uint64_t{0} - 1;
+  }
+  static uint64_t encode(T v) {
+    assert(representable(v) &&
+           "64-bit payloads 0, ~0 and ~0-1 are reserved; box them instead");
+    return static_cast<uint64_t>(v);
+  }
+  static T decode(uint64_t slot) { return static_cast<T>(slot); }
+  static void destroy_slot(uint64_t) {}
+};
+
+/// Object pointers: stored as the address. Null is rejected (it is ⊥).
+template <class T>
+struct SlotCodec<T*, void> {
+  static constexpr bool kBoxed = false;
+
+  static uint64_t encode(T* v) {
+    assert(v != nullptr && "cannot enqueue a null pointer");
+    return reinterpret_cast<uint64_t>(v);
+  }
+  static T* decode(uint64_t slot) { return reinterpret_cast<T*>(slot); }
+  static void destroy_slot(uint64_t) {}
+};
+
+/// float/double: bit pattern zero-extended into the small-scalar scheme
+/// (float) or boxed-free full-width mapping with the NaN payloads that
+/// collide with reserved values remapped — simpler: route through the
+/// 62-bit shift for float; double uses bit_cast + shift with wrap detection
+/// impossible because only 0xFFFF...FF and 0xFFFF...FE collide, which are
+/// specific NaN payloads; those are canonicalized to the standard quiet NaN.
+template <>
+struct SlotCodec<float, void> {
+  static constexpr bool kBoxed = false;
+  static uint64_t encode(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return static_cast<uint64_t>(bits) + 1;
+  }
+  static float decode(uint64_t slot) {
+    uint32_t bits = static_cast<uint32_t>(slot - 1);
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  static void destroy_slot(uint64_t) {}
+};
+
+template <>
+struct SlotCodec<double, void> {
+  static constexpr bool kBoxed = false;
+  static uint64_t encode(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    // Store bits + 1, which needs bits <= ~0-3 to stay clear of the
+    // reserved slots {0, ~0, ~0-1}. The three excluded bit patterns
+    // (~0, ~0-1, ~0-2) are all non-canonical negative NaNs; canonicalize
+    // them to the standard quiet NaN first.
+    if (bits >= ~uint64_t{0} - 2) bits = 0x7FF8000000000000ull;
+    return bits + 1;
+  }
+  static double decode(uint64_t slot) {
+    uint64_t bits = slot - 1;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  static void destroy_slot(uint64_t) {}
+};
+
+}  // namespace wfq

@@ -1,0 +1,98 @@
+// Public typed interface to the wait-free queue.
+//
+// `wfq::WFQueue<T>` is a linearizable, wait-free, multi-producer
+// multi-consumer FIFO queue of `T`. Every participating thread operates
+// through a `Handle` obtained from `get_handle()`; the handle carries the
+// thread's segment pointers, helping state and hazard pointer (§3.3 of the
+// paper). Handles are cheap to acquire (recycled through a freelist) and
+// RAII-managed.
+//
+// Usage:
+//
+//   wfq::WFQueue<int> q;
+//   auto h = q.get_handle();         // per thread
+//   q.enqueue(h, 42);
+//   std::optional<int> v = q.dequeue(h);   // nullopt <=> observed empty
+//
+// Progress: enqueue and dequeue are wait-free — every call completes in a
+// bounded number of steps regardless of what other threads do (Theorem 4.6)
+// — provided `Traits::Faa` is the native fetch-and-add. With `EmulatedFaa`
+// (the paper's Power7 configuration) operations are lock-free only.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "core/slot_codec.hpp"
+#include "core/wf_queue_core.hpp"
+
+namespace wfq {
+
+template <class T, class Traits = DefaultWfTraits>
+class WFQueue {
+  using Core = WFQueueCore<Traits>;
+  using Codec = SlotCodec<T>;
+
+ public:
+  using value_type = T;
+
+  /// Per-thread access token. Movable, not copyable; releases its slot in
+  /// the helper ring back to the queue's freelist on destruction.
+  using Handle = typename Core::HandleGuard;
+
+  /// `patience` = extra fast-path attempts before helping kicks in
+  /// (paper's PATIENCE; 10 = WF-10, 0 = WF-0). `max_garbage` = retired
+  /// segments accumulated before a dequeue triggers reclamation.
+  explicit WFQueue(WfConfig cfg = {}) : core_(cfg) {}
+
+  ~WFQueue() {
+    if constexpr (Codec::kBoxed) {
+      // Drain still-boxed payloads so they don't leak. The queue is being
+      // destroyed, so no concurrent access is possible.
+      auto h = get_handle();
+      for (;;) {
+        uint64_t slot = core_.dequeue(h.get());
+        if (slot == Core::kEmpty) break;
+        Codec::destroy_slot(slot);
+      }
+    }
+  }
+
+  /// Registers the calling scope as a queue participant.
+  Handle get_handle() { return Handle(core_); }
+
+  /// Appends `v` to the queue. Wait-free.
+  void enqueue(Handle& h, T v) {
+    core_.enqueue(h.get(), Codec::encode(std::move(v)));
+  }
+
+  /// Removes the oldest value; `nullopt` means the queue was observed empty
+  /// at the operation's linearization point. Wait-free.
+  std::optional<T> dequeue(Handle& h) {
+    uint64_t slot = core_.dequeue(h.get());
+    if (slot == Core::kEmpty) return std::nullopt;
+    return Codec::decode(slot);
+  }
+
+  /// Operation-path statistics (Table 2 instrumentation).
+  OpStats stats() const { return core_.collect_stats(); }
+  void reset_stats() { core_.reset_stats(); }
+
+  /// Segment-list introspection for tests and reclamation benchmarks.
+  std::size_t live_segments() const { return core_.live_segments(); }
+  int64_t segments_outstanding() const { return core_.segments_outstanding(); }
+  uint64_t tail_index() const { return core_.tail_index(); }
+  uint64_t head_index() const { return core_.head_index(); }
+
+  /// Heuristic occupancy (see WFQueueCore::approx_size caveats).
+  uint64_t approx_size() const { return core_.approx_size(); }
+  const WfConfig& config() const noexcept { return core_.config(); }
+
+  /// Escape hatch for white-box tests and the harness.
+  Core& core() noexcept { return core_; }
+
+ private:
+  Core core_;
+};
+
+}  // namespace wfq

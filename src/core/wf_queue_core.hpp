@@ -1,0 +1,971 @@
+// The wait-free FAA-based FIFO queue of Yang & Mellor-Crummey (PPoPP'16),
+// "A Wait-free Queue as Fast as Fetch-and-Add".
+//
+// This file is a faithful C++20 transcription of the paper's Listings 2-5:
+// the infinite array emulated by a linked list of fixed-size segments, the
+// FAA fast path, the request-publishing slow paths with ring-of-handles
+// helping (Kogan-Petrank fast-path-slow-path), Dijkstra's protocol between
+// enqueuers and dequeue helpers, and the custom hazard-pointer/epoch hybrid
+// segment reclamation of §3.6. Function and field names follow the paper
+// (find_cell, enq_fast, enq_slow, help_enq, deq_fast, deq_slow, help_deq,
+// cleanup, update, verify, advance_end_for_linearizability) so the code can
+// be read side by side with the listings. Known pseudo-code errata fixed
+// here (both confirmed against the authors' reference C implementation):
+//
+//  * Listing 4 line 174 passes a segment pointer where help_enq needs the
+//    helper's handle; we pass the handle.
+//  * Listing 5 line 236 forgets to restore q->I from -1 when nothing was
+//    reclaimable, which would wedge cleanup forever; we restore it.
+//  * Listing 5's scan starts at h->next and never considers the cleaner's
+//    own tail pointer, which may lag its head; like the reference
+//    implementation we start the scan at the cleaner itself.
+//
+// The core operates on raw 64-bit slots with reserved values; see
+// wf_queue.hpp for the typed, value-owning public wrapper.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+#include "common/packed_state.hpp"
+#include "core/op_stats.hpp"
+
+namespace wfq {
+
+/// Compile-time configuration of the queue core.
+///
+/// `kSegmentSize` is the paper's N (it used 2^10). `kConservativeOrdering`
+/// upgrades every atomic access to seq_cst and adds explicit fences around
+/// hazard-pointer publication — the portable correctness anchor. The default
+/// (tuned) mode reproduces the paper's x86 claim: the hazard-pointer store on
+/// the fast path is a plain release store ordered by the FAA that immediately
+/// follows it, so the common path carries no extra fence. `Faa` selects the
+/// fetch-and-add implementation: NativeFaa, or EmulatedFaa to reproduce the
+/// paper's Power7 (LL/SC) configuration.
+struct DefaultWfTraits {
+  static constexpr std::size_t kSegmentSize = 1024;
+  static constexpr bool kConservativeOrdering = false;
+  static constexpr bool kCollectStats = true;
+  using Faa = NativeFaa;
+
+  /// Retired segments up to this count are recycled through a lock-free
+  /// per-queue pool instead of round-tripping the allocator — the role
+  /// jemalloc played in the paper's setup (§5.1: "jemalloc ... to avoid
+  /// requesting memory pages from the OS on every allocation"). 0 disables
+  /// pooling (every retired segment is freed immediately).
+  static constexpr std::size_t kSegmentPoolCap = 32;
+
+  /// Test seam: invoked at interleaving-sensitive points (after index FAAs,
+  /// between a cell reservation and its validation, inside helping loops).
+  /// A no-op in production; stress tests override it with randomized yields
+  /// to widen the explored schedule space — essential on hosts with few
+  /// hardware threads, where natural preemption rarely lands mid-operation.
+  static void interleave_hint() {}
+};
+
+/// Runtime tunables (the paper's PATIENCE and MAX_GARBAGE).
+struct WfConfig {
+  /// Extra fast-path attempts before an operation switches to the slow
+  /// path. PATIENCE = 10 is the paper's practical setting (WF-10);
+  /// PATIENCE = 0 stresses the slow path (WF-0). An operation makes
+  /// `patience + 1` fast-path attempts in total, as in Listing 3/4.
+  unsigned patience = 10;
+  /// Number of retired segments allowed to accumulate before a dequeuer
+  /// attempts reclamation (amortizes cleanup cost, §3.6).
+  int64_t max_garbage = 64;
+};
+
+template <class Traits = DefaultWfTraits>
+class WFQueueCore {
+ public:
+  using Traits_ = Traits;
+  static constexpr std::size_t kSegmentSize = Traits::kSegmentSize;
+  static_assert(kSegmentSize >= 2 && (kSegmentSize & (kSegmentSize - 1)) == 0,
+                "segment size must be a power of two");
+
+  // Reserved slot values (§3.1: two special values ⊥ and ⊤ that may not be
+  // enqueued; EMPTY is an API-level result, never stored in a cell).
+  static constexpr uint64_t kBot = 0;                  ///< ⊥: cell untouched
+  static constexpr uint64_t kTop = ~uint64_t{0};       ///< ⊤: cell unusable
+  static constexpr uint64_t kEmpty = ~uint64_t{0} - 1; ///< dequeue saw empty
+
+  /// True iff a slot value is legal to enqueue.
+  static constexpr bool is_enqueueable(uint64_t v) noexcept {
+    return v != kBot && v != kTop && v != kEmpty;
+  }
+
+  struct Handle;  // fwd
+
+  explicit WFQueueCore(WfConfig cfg = {}) : cfg_(cfg) {
+    Segment* s0 = new_segment(0);
+    first_segment_.store(s0, std::memory_order_relaxed);
+    tail_index_->store(0, std::memory_order_relaxed);
+    head_index_->store(0, std::memory_order_relaxed);
+    oldest_id_->store(0, std::memory_order_relaxed);
+  }
+
+  WFQueueCore(const WFQueueCore&) = delete;
+  WFQueueCore& operator=(const WFQueueCore&) = delete;
+
+  ~WFQueueCore() {
+    Segment* s = first_segment_.load(std::memory_order_relaxed);
+    while (s != nullptr) {
+      Segment* n = s->next.load(std::memory_order_relaxed);
+      delete_segment(s);
+      s = n;
+    }
+    for (auto& h : all_handles_) {
+      if (h->spare != nullptr) {
+        segments_freed_.fetch_add(1, std::memory_order_relaxed);
+        aligned_delete(h->spare);
+        h->spare = nullptr;
+      }
+    }
+    pool_drain();
+  }
+
+  // -------------------------------------------------------------------
+  // Thread registration: every thread operates through a Handle that is
+  // linked into the helper ring (§3.3 "Thread-local state"). Handles are
+  // recycled: releasing returns one to a freelist but never unlinks it from
+  // the ring, which keeps the helping invariants (a peer pointer never
+  // dangles) and lets cleaners keep advancing idle handles' segment
+  // pointers. Registration is off the operation path and may block briefly
+  // on the cleaner lock; enqueue/dequeue themselves stay wait-free.
+  // -------------------------------------------------------------------
+
+  Handle* register_handle() {
+    std::lock_guard<std::mutex> g(handle_mutex_);
+    if (free_handles_ != nullptr) {
+      Handle* h = free_handles_;
+      free_handles_ = h->next_free;
+      h->next_free = nullptr;
+      return h;
+    }
+    auto owned = std::make_unique<Handle>();
+    Handle* h = owned.get();
+    // Exclude concurrent cleaners while we capture the current first
+    // segment; otherwise the captured pointer could be freed between the
+    // read and the ring link becoming visible.
+    int64_t oid;
+    for (;;) {
+      oid = oldest_id_->load(std::memory_order_acquire);
+      if (oid != kCleaning &&
+          oldest_id_->compare_exchange_weak(oid, kCleaning,
+                                            std::memory_order_acq_rel)) {
+        break;
+      }
+      cpu_pause();
+    }
+    Segment* front = first_segment_.load(std::memory_order_relaxed);
+    h->tail.store(front, std::memory_order_relaxed);
+    h->head.store(front, std::memory_order_relaxed);
+    Handle* anchor = ring_.load(std::memory_order_relaxed);
+    if (anchor == nullptr) {
+      h->next.store(h, std::memory_order_relaxed);
+      h->enq.peer = h;
+      h->deq.peer = h;
+      ring_.store(h, std::memory_order_release);
+    } else {
+      Handle* after = anchor->next.load(std::memory_order_relaxed);
+      h->next.store(after, std::memory_order_relaxed);
+      h->enq.peer = after;
+      h->deq.peer = after;
+      anchor->next.store(h, std::memory_order_release);
+    }
+    oldest_id_->store(oid, std::memory_order_release);
+    all_handles_.push_back(std::move(owned));
+    return h;
+  }
+
+  void release_handle(Handle* h) {
+    std::lock_guard<std::mutex> g(handle_mutex_);
+    h->next_free = free_handles_;
+    free_handles_ = h;
+  }
+
+  /// RAII registration for one thread.
+  class HandleGuard {
+   public:
+    explicit HandleGuard(WFQueueCore& q) : q_(&q), h_(q.register_handle()) {}
+    ~HandleGuard() {
+      if (h_ != nullptr) q_->release_handle(h_);
+    }
+    HandleGuard(HandleGuard&& o) noexcept : q_(o.q_), h_(o.h_) {
+      o.h_ = nullptr;
+    }
+    HandleGuard(const HandleGuard&) = delete;
+    HandleGuard& operator=(const HandleGuard&) = delete;
+    Handle* get() const noexcept { return h_; }
+    Handle* operator->() const noexcept { return h_; }
+
+   private:
+    WFQueueCore* q_;
+    Handle* h_;
+  };
+
+  // -------------------------------------------------------------------
+  // Public operations (Listings 3 and 4).
+  // -------------------------------------------------------------------
+
+  /// Appends slot value `v` (must satisfy is_enqueueable). Wait-free:
+  /// `patience + 1` fast-path attempts, then the helping slow path, which
+  /// completes once every contending dequeuer has become a helper
+  /// (Lemma 4.3: at most (n-1)^2 slow-path failures).
+  void enqueue(Handle* h, uint64_t v) {
+    assert(is_enqueueable(v));
+    // §3.6: publish the hazard pointer. On the tuned/x86 configuration the
+    // FAA inside enq_fast orders this store before any segment access (the
+    // paper's "no extra memory fence on the typical path"); conservative
+    // mode inserts the fence explicitly for weaker machines.
+    h->hzdp.store(h->tail.load(std::memory_order_relaxed),
+                  std::memory_order_release);
+    if constexpr (Traits::kConservativeOrdering) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+    Traits::interleave_hint();  // hazard published, operation not begun
+    if constexpr (Traits::kCollectStats) h->op_probes = 0;
+    uint64_t cell_id = 0;
+    bool done = false;
+    for (unsigned p = 0; p <= cfg_.patience && !done; ++p) {
+      done = enq_fast(h, v, cell_id);
+    }
+    if (done) {
+      count(h->stats.enq_fast);
+    } else {
+      enq_slow(h, v, cell_id);
+      count(h->stats.enq_slow);
+    }
+    if constexpr (Traits::kCollectStats) {
+      h->stats.enq_probes.fetch_add(h->op_probes, std::memory_order_relaxed);
+      if (h->op_probes >
+          h->stats.max_enq_probes.load(std::memory_order_relaxed)) {
+        h->stats.max_enq_probes.store(h->op_probes,
+                                      std::memory_order_relaxed);
+      }
+    }
+    h->hzdp.store(nullptr, std::memory_order_release);
+  }
+
+  /// Removes and returns the oldest value, or kEmpty if the queue was
+  /// observed empty at the linearization point. Wait-free (Lemma 4.4).
+  uint64_t dequeue(Handle* h) {
+    h->hzdp.store(h->head.load(std::memory_order_relaxed),
+                  std::memory_order_release);
+    if constexpr (Traits::kConservativeOrdering) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+    if constexpr (Traits::kCollectStats) h->op_probes = 0;
+    uint64_t v = kTop;
+    uint64_t cell_id = 0;
+    for (unsigned p = 0; p <= cfg_.patience; ++p) {
+      v = deq_fast(h, cell_id);
+      if (v != kTop) break;
+    }
+    if (v == kTop) {
+      v = deq_slow(h, cell_id);
+      count(h->stats.deq_slow);
+    } else {
+      count(h->stats.deq_fast);
+    }
+    if (v != kEmpty) {
+      // Listing 4 line 135: a successful dequeuer helps its dequeue peer,
+      // then moves to the next peer in the ring (Invariant 13).
+      help_deq(h, h->deq.peer);
+      h->deq.peer = h->deq.peer->next.load(std::memory_order_relaxed);
+    } else {
+      count(h->stats.deq_empty);
+    }
+    if constexpr (Traits::kCollectStats) {
+      // Probe accounting includes the peer help above: helping is part of
+      // the dequeue's bounded work (Lemma 4.4).
+      h->stats.deq_probes.fetch_add(h->op_probes, std::memory_order_relaxed);
+      if (h->op_probes >
+          h->stats.max_deq_probes.load(std::memory_order_relaxed)) {
+        h->stats.max_deq_probes.store(h->op_probes,
+                                      std::memory_order_relaxed);
+      }
+    }
+    h->hzdp.store(nullptr, std::memory_order_release);
+    cleanup(h);
+    return v;
+  }
+
+  // -------------------------------------------------------------------
+  // Introspection (tests, benchmarks, Table 2).
+  // -------------------------------------------------------------------
+
+  /// Snapshot of all per-handle counters (call while quiesced for exact
+  /// numbers; any time for an approximation).
+  OpStats collect_stats() const {
+    OpStats total;
+    std::lock_guard<std::mutex> g(handle_mutex_);
+    for (const auto& h : all_handles_) total.add(h->stats);
+    return total;
+  }
+
+  void reset_stats() {
+    std::lock_guard<std::mutex> g(handle_mutex_);
+    for (const auto& h : all_handles_) h->stats.reset();
+  }
+
+  /// Number of segments currently in the list (O(segments); test helper).
+  std::size_t live_segments() const {
+    std::size_t n = 0;
+    for (Segment* s = first_segment_.load(std::memory_order_acquire);
+         s != nullptr; s = s->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+  uint64_t tail_index() const {
+    return tail_index_->load(std::memory_order_acquire);
+  }
+  uint64_t head_index() const {
+    return head_index_->load(std::memory_order_acquire);
+  }
+
+  /// Heuristic occupancy indicator: tail minus head index, clamped at 0.
+  /// NOT linearizable and NOT exact — indices also count cells wasted by
+  /// contention and by EMPTY dequeues, and both move concurrently. Useful
+  /// for monitoring/backpressure, never for emptiness decisions (use
+  /// dequeue(), whose EMPTY result is linearizable).
+  uint64_t approx_size() const {
+    uint64_t t = tail_index_->load(std::memory_order_relaxed);
+    uint64_t h = head_index_->load(std::memory_order_relaxed);
+    return t > h ? t - h : 0;
+  }
+  const WfConfig& config() const noexcept { return cfg_; }
+
+  /// Total segments ever allocated minus freed (test helper for leak
+  /// checks; exact only while quiesced).
+  int64_t segments_outstanding() const {
+    return segments_allocated_.load(std::memory_order_relaxed) -
+           segments_freed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // ---- memory-order shorthands -------------------------------------
+  static constexpr std::memory_order acq() {
+    return Traits::kConservativeOrdering ? std::memory_order_seq_cst
+                                         : std::memory_order_acquire;
+  }
+  static constexpr std::memory_order rel() {
+    return Traits::kConservativeOrdering ? std::memory_order_seq_cst
+                                         : std::memory_order_release;
+  }
+  static constexpr std::memory_order rlx() {
+    return Traits::kConservativeOrdering ? std::memory_order_seq_cst
+                                         : std::memory_order_relaxed;
+  }
+  static constexpr std::memory_order sc() { return std::memory_order_seq_cst; }
+
+  static void count(std::atomic<uint64_t>& c) {
+    if constexpr (Traits::kCollectStats) {
+      c.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+ public:
+  // ---- data structures (Listing 2) ----------------------------------
+
+  /// An enqueue request: logically (val, pending, id). `state` packs
+  /// (pending, id) into one word so helpers can claim it with a single CAS.
+  struct EnqReq {
+    std::atomic<uint64_t> val{kBot};
+    std::atomic<uint64_t> state{PackedState(false, 0).word()};
+  };
+
+  /// A dequeue request: logically (id, pending, idx); `state` packs
+  /// (pending, idx).
+  struct DeqReq {
+    std::atomic<uint64_t> id{0};
+    std::atomic<uint64_t> state{PackedState(false, 0).word()};
+  };
+
+  // Sentinels for the cell's request-pointer fields (⊥e/⊤e, ⊥d/⊤d).
+  static EnqReq* enq_bot() noexcept { return nullptr; }
+  static EnqReq* enq_top() noexcept {
+    return reinterpret_cast<EnqReq*>(uintptr_t{1});
+  }
+  static DeqReq* deq_bot() noexcept { return nullptr; }
+  static DeqReq* deq_top() noexcept {
+    return reinterpret_cast<DeqReq*>(uintptr_t{1});
+  }
+
+  /// One queue cell: (val, enq, deq), initially (⊥, ⊥e, ⊥d).
+  struct Cell {
+    std::atomic<uint64_t> val{kBot};
+    std::atomic<EnqReq*> enq{nullptr};
+    std::atomic<DeqReq*> deq{nullptr};
+  };
+
+  /// A fixed-size array segment of the emulated infinite array. Cell i of
+  /// the queue lives in segment[i / N].cells[i % N].
+  struct Segment {
+    alignas(kCacheLineSize) std::atomic<Segment*> next{nullptr};
+    int64_t id = 0;
+    alignas(kCacheLineSize) Cell cells[kSegmentSize];
+  };
+
+  /// Per-thread state (Listing 2 `Handle`, augmented with the §3.6 hazard
+  /// pointer and instrumentation).
+  struct Handle {
+    // Segment pointers for enqueues/dequeues. Atomic because a cleaning
+    // thread advances them on the owner's behalf (§3.6 "Update head and
+    // tail pointers").
+    std::atomic<Segment*> tail{nullptr};  ///< paper: Handle.tail / C: Ep
+    std::atomic<Segment*> head{nullptr};  ///< paper: Handle.head / C: Dp
+    std::atomic<Segment*> hzdp{nullptr};  ///< hazard pointer (§3.6)
+    std::atomic<Handle*> next{nullptr};   ///< ring of all handles
+
+    struct {
+      EnqReq req;
+      Handle* peer = nullptr;  ///< enqueue peer to help (owner-local)
+      uint64_t help_id = 0;    ///< paper: enq.id — pending peer request id
+    } enq;
+
+    struct {
+      DeqReq req;
+      Handle* peer = nullptr;  ///< dequeue peer to help (owner-local)
+    } deq;
+
+    Segment* spare = nullptr;  ///< one cached segment to recycle failed
+                               ///< list-extension allocations (reference
+                               ///< implementation optimization)
+    uint64_t op_probes = 0;    ///< cells probed by the in-flight operation
+                               ///< (owner-only; wait-freedom accounting)
+    OpStats stats;
+    Handle* next_free = nullptr;  ///< freelist link (guarded by mutex)
+  };
+
+ private:
+  // ---- segment management --------------------------------------------
+
+  Segment* new_segment(int64_t id) {
+    if constexpr (Traits::kSegmentPoolCap > 0) {
+      if (Segment* s = pool_pop()) {
+        // Reset to the pristine (⊥, ⊥e, ⊥d) state before reuse. No thread
+        // can reference a pooled segment (the reclamation frontier proved
+        // that before it was retired), so plain stores suffice; the
+        // CAS-append in find_cell publishes it.
+        s->id = id;
+        s->next.store(nullptr, std::memory_order_relaxed);
+        for (auto& c : s->cells) {
+          c.val.store(kBot, std::memory_order_relaxed);
+          c.enq.store(enq_bot(), std::memory_order_relaxed);
+          c.deq.store(deq_bot(), std::memory_order_relaxed);
+        }
+        return s;
+      }
+    }
+    auto* s = aligned_new<Segment>();
+    s->id = id;
+    segments_allocated_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+
+  void delete_segment(Segment* s) {
+    if constexpr (Traits::kSegmentPoolCap > 0) {
+      if (pool_push(s)) return;
+    }
+    segments_freed_.fetch_add(1, std::memory_order_relaxed);
+    aligned_delete(s);
+  }
+
+  // ---- segment pool: fixed array of slots -------------------------------
+  //
+  // Deliberately NOT a Treiber stack: a stack pop must dereference the
+  // popped node to read its `next`, and a lagging popper could then read a
+  // segment that was popped, reused, retired and genuinely freed by
+  // another thread. The slot array never dereferences foreign segments —
+  // pop is an exchange of a pointer slot, push a CAS from null — so the
+  // only thread that ever touches a segment's memory is its current owner.
+  // O(cap) scans are irrelevant next to the O(N) cell reinitialization.
+
+  static constexpr std::size_t kPoolSlots =
+      Traits::kSegmentPoolCap > 0 ? Traits::kSegmentPoolCap : 1;
+
+  Segment* pool_pop() {
+    for (auto& slot : pool_) {
+      if (slot.load(std::memory_order_relaxed) != nullptr) {
+        if (Segment* s = slot.exchange(nullptr, std::memory_order_acquire)) {
+          return s;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  bool pool_push(Segment* s) {
+    for (auto& slot : pool_) {
+      Segment* expected = nullptr;
+      if (slot.load(std::memory_order_relaxed) == nullptr &&
+          slot.compare_exchange_strong(expected, s,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;  // pool full: caller frees for real
+  }
+
+  void pool_drain() {  // destructor-only
+    for (auto& slot : pool_) {
+      if (Segment* s = slot.exchange(nullptr, std::memory_order_relaxed)) {
+        segments_freed_.fetch_add(1, std::memory_order_relaxed);
+        aligned_delete(s);
+      }
+    }
+  }
+
+  /// Listing 2 find_cell: walks the segment list from `*sp` to the segment
+  /// containing `cell_id`, appending fresh segments when the list ends, and
+  /// advances `*sp` to the target segment. Precondition: (*sp)->id <=
+  /// cell_id / N and *sp not reclaimed (guaranteed by the hazard pointer).
+  Cell* find_cell(Handle* h, Segment*& sp, uint64_t cell_id,
+                  [[maybe_unused]] const char* who = "?") {
+    if constexpr (Traits::kCollectStats) ++h->op_probes;
+    Segment* s = sp;
+    const int64_t target = static_cast<int64_t>(cell_id / kSegmentSize);
+#ifndef NDEBUG
+    if (s->id > target) {
+      std::fprintf(stderr,
+                   "find_cell overshoot at %s: seg id %lld > target %lld "
+                   "(cell %llu)\n",
+                   who, (long long)s->id, (long long)target,
+                   (unsigned long long)cell_id);
+    }
+#endif
+    assert(s->id <= target && "segment pointer overshot the target cell");
+    for (int64_t i = s->id; i < target; ++i) {
+      Segment* next = s->next.load(acq());
+      if (next == nullptr) {
+        // Extend the list. Reuse the handle's spare segment if it has one
+        // (recycles segments that lost a previous extension race).
+        Segment* tmp = h->spare != nullptr ? h->spare : new_segment(0);
+        h->spare = nullptr;
+        tmp->id = i + 1;
+        Segment* expected = nullptr;
+        if (!s->next.compare_exchange_strong(expected, tmp, rel(), acq())) {
+          h->spare = tmp;  // another thread extended the list first
+        }
+        next = s->next.load(acq());
+        assert(next != nullptr);
+      }
+      s = next;
+    }
+    sp = s;
+    return &s->cells[cell_id & (kSegmentSize - 1)];
+  }
+
+  /// Listing 2 advance_end_for_linearizability: raise the head or tail
+  /// index to at least `cid` (Invariants 4 and 8).
+  static void advance_end_for_linearizability(std::atomic<uint64_t>& e,
+                                              uint64_t cid) {
+    uint64_t cur = e.load(std::memory_order_relaxed);
+    while (cur < cid &&
+           !e.compare_exchange_weak(cur, cid, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Listing 3 try_to_claim_req: claim request state (1, id) -> (0, cell).
+  static bool try_to_claim_req(std::atomic<uint64_t>& state, uint64_t id,
+                               uint64_t cell_id) {
+    uint64_t expected = PackedState(true, id).word();
+    return state.compare_exchange_strong(
+        expected, PackedState(false, cell_id).word(), std::memory_order_seq_cst,
+        std::memory_order_relaxed);
+  }
+
+  /// Listing 3 enq_commit: make the enqueue of `v` at cell `cid` visible —
+  /// first push T past cid (Invariant 4), then deposit the value.
+  void enq_commit(Cell* c, uint64_t v, uint64_t cid) {
+    advance_end_for_linearizability(*tail_index_, cid + 1);
+    c->val.store(v, rel());
+  }
+
+  // ---- enqueue (Listing 3) -------------------------------------------
+
+  /// One fast-path attempt: FAA a cell index, try to deposit with one CAS.
+  /// On failure reports the obtained index through `cid` (it seeds the
+  /// slow-path request id).
+  bool enq_fast(Handle* h, uint64_t v, uint64_t& cid) {
+    uint64_t i = Traits::Faa::fetch_add(*tail_index_, uint64_t{1}, sc());
+    Traits::interleave_hint();  // stall point: index claimed, cell untouched
+    Segment* s = h->tail.load(acq());
+    Cell* c = find_cell(h, s, i, "enq_fast");
+    h->tail.store(s, rel());
+    uint64_t expected = kBot;
+    if (c->val.compare_exchange_strong(expected, v, sc(),
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+    cid = i;
+    return false;
+  }
+
+  /// Slow path: publish an enqueue request, keep claiming cells; complete
+  /// when the enqueuer or any helper claims the request for a cell.
+  void enq_slow(Handle* h, uint64_t v, uint64_t cell_id) {
+    EnqReq* r = &h->enq.req;
+    // Publish (val first, then state with the pending bit: helpers read in
+    // the reverse order, which is the two-word consistency argument of
+    // §3.4 "Write the proper value in a cell").
+    r->val.store(v, rel());
+    r->state.store(PackedState(true, cell_id).word(), sc());
+
+    // Traverse with a local tail pointer: line 87 may need to revisit an
+    // earlier cell than the last one probed.
+    Segment* tmp_tail = h->tail.load(acq());
+    do {
+      uint64_t i = Traits::Faa::fetch_add(*tail_index_, uint64_t{1}, sc());
+      Traits::interleave_hint();
+      Cell* c = find_cell(h, tmp_tail, i, "enq_slow_loop");
+      // Dijkstra's protocol with help_enq: reserve the cell for the
+      // request, then check the cell was not already made unusable.
+      EnqReq* expected = enq_bot();
+      if (c->enq.compare_exchange_strong(expected, r, sc(),
+                                         std::memory_order_relaxed) &&
+          c->val.load(sc()) == kBot) {
+        try_to_claim_req(r->state, cell_id, i);
+        // Request now claimed for some cell (by us or a helper).
+        break;
+      }
+    } while (PackedState::from_word(r->state.load(acq())).pending());
+
+    // The request was claimed for cell `id`; find it and commit there.
+    uint64_t id = PackedState::from_word(r->state.load(acq())).index();
+    Segment* s = h->tail.load(acq());
+    Cell* c = find_cell(h, s, id, "enq_slow_commit");
+    h->tail.store(s, rel());
+    enq_commit(c, v, id);
+  }
+
+  /// Listing 3 help_enq, called by dequeuers on every cell they visit.
+  /// Returns: a deposited value; kTop if the cell is unusable and the
+  /// dequeue must move on; kEmpty if the dequeue may linearize as EMPTY at
+  /// this cell (Invariant 6: no pending enqueue can fill the cell and
+  /// T <= i was observed).
+  uint64_t help_enq(Handle* h, Cell* c, uint64_t i) {
+    // Mark the cell unusable unless a value is already there (Dijkstra
+    // protocol, dequeuer side: RMW on val then read enq).
+    uint64_t cv = kBot;
+    if (!c->val.compare_exchange_strong(cv, kTop, sc(), sc()) && cv != kTop) {
+      return cv;  // an enqueue already deposited a value here
+    }
+    Traits::interleave_hint();  // Dijkstra window: cell marked, enq unread
+    // c->val is now ⊤; try to help a slow-path enqueue use this cell.
+    if (c->enq.load(sc()) == enq_bot()) {
+      // Select a peer whose pending request we may help (Invariants 2, 3).
+      Handle* p;
+      EnqReq* r;
+      PackedState s;
+      for (;;) {  // at most two iterations
+        p = h->enq.peer;
+        r = &p->enq.req;
+        s = PackedState::from_word(r->state.load(acq()));
+        if (h->enq.help_id == 0 || h->enq.help_id == s.index()) break;
+        // The request we owed help to has completed; move to next peer.
+        h->enq.help_id = 0;
+        h->enq.peer = p->next.load(rlx());
+      }
+      EnqReq* expected = enq_bot();
+      if (s.pending() && s.index() <= i &&
+          !c->enq.compare_exchange_strong(expected, r, sc(),
+                                          std::memory_order_relaxed)) {
+        // Failed to reserve this cell for the peer's request: remember the
+        // request id so we keep helping this peer (Invariant 2).
+        h->enq.help_id = s.index();
+      } else {
+        // Peer doesn't need help, can't use this cell, or we just reserved
+        // the cell for it: next time help the next peer.
+        h->enq.peer = p->next.load(rlx());
+      }
+      // If no request reserved the cell, seal it so later helpers don't.
+      if (c->enq.load(acq()) == enq_bot()) {
+        EnqReq* eb = enq_bot();
+        c->enq.compare_exchange_strong(eb, enq_top(), sc(),
+                                       std::memory_order_relaxed);
+      }
+    }
+    EnqReq* e = c->enq.load(sc());
+    if (e == enq_top()) {
+      // No enqueue will ever fill this cell. EMPTY only if not enough
+      // enqueues linearized before i (Invariant 6).
+      return tail_index_->load(sc()) <= i ? kEmpty : kTop;
+    }
+    // The cell holds a real enqueue request. Read state before val (reverse
+    // of the publication order) so `v` belongs to request s.id or later.
+    PackedState s = PackedState::from_word(e->state.load(acq()));
+    uint64_t v = e->val.load(acq());
+    if (s.index() > i) {
+      // Request too new for this cell: it can never deposit here.
+      if (c->val.load(acq()) == kTop && tail_index_->load(sc()) <= i) {
+        return kEmpty;
+      }
+    } else if (try_to_claim_req(e->state, s.index(), i) ||
+               (s == PackedState(false, i) && c->val.load(acq()) == kTop)) {
+      // We claimed the request for this cell, or someone did and the value
+      // has not been committed yet: commit it ourselves.
+      enq_commit(c, v, i);
+    }
+    return c->val.load(acq());
+  }
+
+  // ---- dequeue (Listing 4) -------------------------------------------
+
+  /// One fast-path attempt. Returns a value, kEmpty, or kTop on failure
+  /// (reporting the probed index through `cid`).
+  uint64_t deq_fast(Handle* h, uint64_t& cid) {
+    uint64_t i = Traits::Faa::fetch_add(*head_index_, uint64_t{1}, sc());
+    Traits::interleave_hint();  // stall point: index claimed, cell unseen
+    Segment* s = h->head.load(acq());
+    Cell* c = find_cell(h, s, i, "deq_fast");
+    h->head.store(s, rel());
+    uint64_t v = help_enq(h, c, i);
+    if (v == kEmpty) return kEmpty;
+    if (v != kTop) {
+      DeqReq* expected = deq_bot();
+      if (c->deq.compare_exchange_strong(expected, deq_top(), sc(),
+                                         std::memory_order_relaxed)) {
+        return v;  // claimed the value
+      }
+    }
+    cid = i;
+    return kTop;
+  }
+
+  /// Slow path: publish a dequeue request and work on it together with any
+  /// helpers until it is complete, then read out the result.
+  uint64_t deq_slow(Handle* h, uint64_t cid) {
+    DeqReq* r = &h->deq.req;
+    r->id.store(cid, rel());
+    r->state.store(PackedState(true, cid).word(), sc());
+    Traits::interleave_hint();  // request visible, no self-help yet
+
+    help_deq(h, h);
+
+    // The request is complete; its destination cell index is state.idx.
+    uint64_t i = PackedState::from_word(r->state.load(acq())).index();
+    Segment* s = h->head.load(acq());
+    Cell* c = find_cell(h, s, i, "deq_slow_epilogue");
+    h->head.store(s, rel());
+    uint64_t v = c->val.load(acq());
+    advance_end_for_linearizability(*head_index_, i + 1);  // Invariant 8
+    return v == kTop ? kEmpty : v;
+  }
+
+  /// Listing 4 help_deq: advance `helpee`'s pending dequeue request to
+  /// completion — find candidate cells, announce them, and claim the
+  /// announced cell for the request.
+  void help_deq(Handle* h, Handle* helpee) {
+    DeqReq* r = &helpee->deq.req;
+    PackedState s = PackedState::from_word(r->state.load(acq()));
+    uint64_t id = r->id.load(acq());
+    if (!s.pending() || s.index() < id) return;  // request needs no help
+
+    // Local segment pointer for announced cells; never advances the
+    // helpee's own head pointer (§3.5 "Don't advance segment pointers too
+    // early").
+    Segment* ha = helpee->head.load(acq());
+    // §3.6: publish the hazard pointer before re-reading the request state.
+    // This fence is required even on x86 (the one non-fast-path fence of
+    // the reclamation scheme). If the segment at `ha` was reclaimed before
+    // our store became visible, the request must have completed and the
+    // s.idx == prior check below fails before we dereference `ha`.
+    h->hzdp.store(ha, rel());
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    s = PackedState::from_word(r->state.load(sc()));
+
+    uint64_t prior = id;
+    uint64_t i = id;
+    uint64_t cand = 0;  // 0 = none (real candidates are >= id + 1 >= 1)
+    for (;;) {
+      // Find a candidate cell, unless another helper announces one first.
+      // `hc` is a second local segment pointer for the candidate scan.
+      for (Segment* hc = ha; cand == 0 && s.index() == prior;) {
+        Traits::interleave_hint();
+        Cell* c = find_cell(h, hc, ++i, "help_deq_scan");
+        uint64_t v = help_enq(h, c, i);
+        // Candidate: help_enq said EMPTY, or produced a value no dequeue
+        // has claimed yet.
+        if (v == kEmpty || (v != kTop && c->deq.load(acq()) == deq_bot())) {
+          cand = i;
+        } else {
+          s = PackedState::from_word(r->state.load(acq()));
+        }
+      }
+      if (cand != 0) {
+        // Try to announce our candidate (Invariant 7: announced index only
+        // increases).
+        uint64_t expected = PackedState(true, prior).word();
+        r->state.compare_exchange_strong(expected,
+                                         PackedState(true, cand).word(), sc(),
+                                         std::memory_order_relaxed);
+        s = PackedState::from_word(r->state.load(acq()));
+      }
+      // Someone completed the request, or the helpee moved to a new one.
+      if (!s.pending() || r->id.load(acq()) != id) return;
+
+      // Work on the announced candidate.
+      Cell* c = find_cell(h, ha, s.index(), "help_deq_announced");
+      DeqReq* expected = deq_bot();
+      if (c->val.load(sc()) == kTop ||
+          c->deq.compare_exchange_strong(expected, r, sc(),
+                                         std::memory_order_relaxed) ||
+          c->deq.load(acq()) == r) {
+        // The candidate satisfies the request (permits EMPTY, or we/someone
+        // claimed its value for r): close the request (Invariant 11).
+        uint64_t sw = s.word();
+        r->state.compare_exchange_strong(sw, PackedState(false, s.index()).word(),
+                                         sc(), std::memory_order_relaxed);
+        return;
+      }
+      // The announced cell was claimed by another dequeue; keep searching.
+      prior = s.index();
+      if (s.index() >= i) {
+        cand = 0;
+        i = s.index();
+      }
+    }
+  }
+
+  // ---- memory reclamation (Listing 5) ----------------------------------
+
+  static constexpr int64_t kCleaning = -1;
+
+  /// Lower the reclamation frontier `seg` to a hazard segment if needed
+  /// (Listing 5 verify).
+  static void verify(Segment*& seg, Segment* hzdp) {
+    if (hzdp != nullptr && hzdp->id < seg->id) seg = hzdp;
+  }
+
+  /// Advance another thread's head/tail pointer `from` up to `to`, backing
+  /// `to` off if the pointer or the thread's hazard pointer protects an
+  /// older segment (Listing 5 update; Dijkstra's protocol with the owner).
+  static void update_segment_ptr(std::atomic<Segment*>& from, Segment*& to,
+                                 Handle* owner) {
+    Segment* n = from.load(std::memory_order_acquire);
+    if (n->id < to->id) {
+      if (!from.compare_exchange_strong(n, to, std::memory_order_seq_cst,
+                                        std::memory_order_acquire)) {
+        // CAS failed: n holds the current value; the owner advanced it
+        // itself. It may still be older than `to`.
+        if (n->id < to->id) to = n;
+      }
+      verify(to, owner->hzdp.load(std::memory_order_seq_cst));
+    }
+  }
+
+  /// Listing 5 cleanup: invoked after every dequeue; elects at most one
+  /// cleaner via CAS(I, i, -1), scans every handle to find the oldest
+  /// segment still in use (advancing idle handles' pointers along the way),
+  /// re-scans in reverse order to catch hazard-pointer backward jumps, and
+  /// frees every segment before the frontier.
+  void cleanup(Handle* h) {
+    int64_t oid = oldest_id_->load(std::memory_order_acquire);
+    Segment* frontier = h->head.load(std::memory_order_acquire);
+    if (oid == kCleaning) return;  // another thread is cleaning
+    // Frontier cap (erratum, see DESIGN.md): the candidate frontier comes
+    // from the cleaner's *head* pointer, but when dequeues outrun enqueues
+    // (H >> T) head-side segments lie beyond segment(T / N). Enqueuers'
+    // future FAAs on T will still probe cells from T upward, so no segment
+    // at or after segment(T / N) may be freed and no thread's tail pointer
+    // may be advanced past it (update() below advances tail pointers to the
+    // frontier). Listing 5 omits this bound; without it the queue plants
+    // values at wrong indices and FIFO order breaks.
+    const int64_t tail_cap =
+        int64_t(tail_index_->load(std::memory_order_seq_cst) / kSegmentSize);
+    if (std::min(frontier->id, tail_cap) - oid < cfg_.max_garbage) {
+      return;  // not enough reclaimable garbage
+    }
+    if (!oldest_id_->compare_exchange_strong(oid, kCleaning,
+                                             std::memory_order_acq_rel)) {
+      return;
+    }
+    Traits::interleave_hint();  // cleaner elected, scan not started
+
+    Segment* start = first_segment_.load(std::memory_order_acquire);
+    if (frontier->id > tail_cap) {
+      // Walk forward from the oldest segment to the capped frontier (the
+      // list is singly linked; [start, frontier] is alive while we hold the
+      // cleaner lock). tail_cap >= oid because segments at or beyond
+      // segment(T / N) are never freed.
+      Segment* s = start;
+      while (s->id < tail_cap) {
+        s = s->next.load(std::memory_order_acquire);
+      }
+      frontier = s;
+    }
+    std::vector<Handle*> visited;
+    visited.reserve(16);
+    // Forward scan over the whole ring, starting at the cleaner itself so
+    // its own (possibly lagging) tail pointer is considered too.
+    Handle* p = h;
+    do {
+      verify(frontier, p->hzdp.load(std::memory_order_seq_cst));
+      update_segment_ptr(p->tail, frontier, p);
+      update_segment_ptr(p->head, frontier, p);
+      visited.push_back(p);
+      p = p->next.load(std::memory_order_acquire);
+    } while (frontier->id > oid && p != h);
+    // Reverse scan: catches hazard pointers that jumped backward (a helper
+    // adopting a helpee's older head) during the forward scan.
+    for (auto it = visited.rbegin();
+         frontier->id > oid && it != visited.rend(); ++it) {
+      verify(frontier, (*it)->hzdp.load(std::memory_order_seq_cst));
+    }
+
+    if (frontier->id <= oid) {
+      // Nothing reclaimable after all: release the cleaner lock. (Paper
+      // erratum: Listing 5 line 236 omits restoring I.)
+      oldest_id_->store(oid, std::memory_order_release);
+      return;
+    }
+    first_segment_.store(frontier, std::memory_order_release);
+    oldest_id_->store(frontier->id, std::memory_order_release);
+    count(h->stats.cleanups);
+    // Free [start, frontier).
+    while (start != frontier) {
+      Segment* next = start->next.load(std::memory_order_relaxed);
+      delete_segment(start);
+      count(h->stats.segments_freed);
+      start = next;
+    }
+  }
+
+  // ---- members ---------------------------------------------------------
+
+  friend struct WfTestPeek;  // white-box access for deterministic
+                             // helping-path tests (tests/ only)
+
+  WfConfig cfg_;
+  CacheAligned<std::atomic<uint64_t>> tail_index_{0};  ///< paper: T
+  CacheAligned<std::atomic<uint64_t>> head_index_{0};  ///< paper: H
+  CacheAligned<std::atomic<int64_t>> oldest_id_{0};    ///< paper: I (§3.6)
+  alignas(kCacheLineSize) std::atomic<Segment*> first_segment_{nullptr};  ///< paper: Q
+  std::atomic<Handle*> ring_{nullptr};  ///< any handle in the ring
+
+  mutable std::mutex handle_mutex_;
+  Handle* free_handles_ = nullptr;
+  std::vector<std::unique_ptr<Handle>> all_handles_;
+
+  std::atomic<int64_t> segments_allocated_{0};
+  std::atomic<int64_t> segments_freed_{0};
+  alignas(kCacheLineSize) std::array<std::atomic<Segment*>, kPoolSlots>
+      pool_{};
+};
+
+}  // namespace wfq

@@ -1,0 +1,54 @@
+// Sense-reversing centralized spin barrier for benchmark phases.
+//
+// std::barrier parks threads in the kernel; for throughput measurements we
+// want every thread to leave the barrier within nanoseconds of the last
+// arrival, so the benchmark interval contains queue operations only.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+
+namespace wfq::bench {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) : parties_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks (spinning) until `parties` threads have arrived.
+  void arrive_and_wait() noexcept {
+    bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_->fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_->store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);  // release the rest
+    } else {
+      // Spin tightly for a release measured in nanoseconds when every
+      // party has a CPU; fall back to yielding when oversubscribed so the
+      // laggards can be scheduled at all.
+      for (unsigned spins = 0;
+           sense_.load(std::memory_order_acquire) != my_sense;) {
+        if (++spins < 4096) {
+          cpu_pause();
+        } else {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  CacheAligned<std::atomic<std::size_t>> count_{0};
+  alignas(kCacheLineSize) std::atomic<bool> sense_{false};
+};
+
+}  // namespace wfq::bench

@@ -1,0 +1,71 @@
+// Minimal ASCII line/column chart for the Figure-2 reproductions: renders
+// throughput series (one glyph per queue) against the thread-count axis so
+// a bench binary's output shows the *shape* the paper's figure shows, not
+// just a table.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wfq::bench {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<double> values;  ///< one per x position
+};
+
+/// Renders series as a column chart: y scaled to [0, max], one character
+/// column group per x label, one glyph per series.
+inline std::string render_ascii_chart(const std::vector<std::string>& x_labels,
+                                      const std::vector<ChartSeries>& series,
+                                      unsigned height = 16,
+                                      const std::string& y_unit = "") {
+  static const char kGlyphs[] = "*o+x#@%&$~";
+  const std::size_t nx = x_labels.size();
+  double maxv = 0;
+  for (const auto& s : series) {
+    for (double v : s.values) maxv = std::max(maxv, v);
+  }
+  if (maxv <= 0) maxv = 1;
+  if (height < 4) height = 4;
+
+  // Column layout: per x position, one column per series + 2 spaces gap.
+  const std::size_t group = series.size() + 2;
+  const std::size_t width = nx * group;
+  std::vector<std::string> rows(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    char g = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    for (std::size_t xi = 0; xi < nx && xi < series[si].values.size(); ++xi) {
+      double v = series[si].values[xi];
+      if (v < 0) v = 0;
+      auto level = unsigned(std::min<double>(height - 1.0,
+                                             v / maxv * (height - 1)));
+      rows[height - 1 - level][xi * group + si] = g;
+    }
+  }
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  for (unsigned r = 0; r < height; ++r) {
+    double ylabel = maxv * double(height - 1 - r) / double(height - 1);
+    os << std::setw(8) << ylabel << " |" << rows[r] << "\n";
+  }
+  os << std::string(8, ' ') << " +" << std::string(width, '-') << "\n";
+  os << std::string(8, ' ') << "  ";
+  for (std::size_t xi = 0; xi < nx; ++xi) {
+    std::string lab = x_labels[xi].substr(0, group - 1);
+    os << lab << std::string(group - lab.size(), ' ');
+  }
+  os << "\n  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << " " << kGlyphs[si % (sizeof(kGlyphs) - 1)] << "=" << series[si].name;
+  }
+  if (!y_unit.empty()) os << "   (y: " << y_unit << ")";
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace wfq::bench

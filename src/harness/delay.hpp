@@ -1,0 +1,89 @@
+// The random "work" between queue operations (§5.1): each thread performs
+// 50–100 ns of local computation between operations to break "long run"
+// scenarios, where one thread holds the queue's hot cache lines and
+// completes many operations without interruption, over-optimistically
+// biasing throughput.
+//
+// The delay is a calibrated arithmetic spin; its duration is excluded from
+// reported throughput (the runner subtracts the calibrated estimate).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/random.hpp"
+
+namespace wfq::bench {
+
+/// A calibrated spin-delay generator. Calibration measures the cost of one
+/// spin iteration once per process; per-thread instances then burn a
+/// uniformly random duration in [min_ns, max_ns].
+class WorkDelay {
+ public:
+  WorkDelay(uint64_t min_ns, uint64_t max_ns, uint64_t seed)
+      : min_iters_(ns_to_iters(min_ns)),
+        max_iters_(ns_to_iters(max_ns)),
+        rng_(seed) {}
+
+  /// The paper's configuration: uniform 50–100 ns.
+  static WorkDelay paper_default(uint64_t seed) {
+    return WorkDelay(50, 100, seed);
+  }
+
+  /// Burn one random delay; returns the number of iterations spun (the
+  /// caller accumulates them to subtract the delay from the measurement).
+  uint64_t spin() noexcept {
+    uint64_t iters = rng_.next_in(min_iters_, max_iters_);
+    burn(iters);
+    return iters;
+  }
+
+  /// Convert an accumulated iteration count back to seconds.
+  static double iters_to_seconds(uint64_t iters) {
+    return double(iters) * ns_per_iter() * 1e-9;
+  }
+
+  /// Nanoseconds per spin iteration, measured once (process-wide).
+  static double ns_per_iter() {
+    static const double v = calibrate();
+    return v;
+  }
+
+ private:
+  static void burn(uint64_t iters) noexcept {
+    // Data-dependent integer chain the optimizer cannot collapse.
+    volatile uint64_t sink = 0;
+    uint64_t x = sink + 0x9E3779B97F4A7C15ull;
+    for (uint64_t i = 0; i < iters; ++i) {
+      x ^= x >> 13;
+      x *= 0xFF51AFD7ED558CCDull;
+    }
+    sink = x;
+  }
+
+  static double calibrate() {
+    using Clock = std::chrono::steady_clock;
+    constexpr uint64_t kIters = 1 << 22;
+    // Warm up, then measure.
+    burn(kIters / 4);
+    auto t0 = Clock::now();
+    burn(kIters);
+    auto t1 = Clock::now();
+    double ns =
+        double(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count());
+    double per = ns / double(kIters);
+    return per > 0 ? per : 0.5;  // defend against broken clocks
+  }
+
+  static uint64_t ns_to_iters(uint64_t ns) {
+    double it = double(ns) / ns_per_iter();
+    return it < 1 ? 1 : uint64_t(it);
+  }
+
+  uint64_t min_iters_;
+  uint64_t max_iters_;
+  Xorshift128Plus rng_;
+};
+
+}  // namespace wfq::bench

@@ -1,0 +1,90 @@
+// Per-operation latency measurement — the quantitative face of the paper's
+// "fast and predictable performance" motivation (abstract, §1): wait-free
+// progress shows up not in mean throughput but in the latency tail, where
+// blocking designs stall behind a descheduled lock holder or combiner.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/cpu.hpp"
+#include "harness/barrier.hpp"
+
+namespace wfq::bench {
+
+/// Order statistics of a latency sample set, in nanoseconds.
+struct LatencyResult {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+  uint64_t max = 0;
+};
+
+/// Nearest-rank percentile of a sorted sample vector; p in [0, 1].
+inline uint64_t percentile_sorted(const std::vector<uint64_t>& sorted,
+                                  double p) {
+  if (sorted.empty()) return 0;
+  double idx = p * double(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(idx)];
+}
+
+inline LatencyResult summarize_latencies(std::vector<uint64_t> samples) {
+  LatencyResult r;
+  r.count = samples.size();
+  if (samples.empty()) return r;
+  std::sort(samples.begin(), samples.end());
+  r.p50 = percentile_sorted(samples, 0.50);
+  r.p90 = percentile_sorted(samples, 0.90);
+  r.p99 = percentile_sorted(samples, 0.99);
+  r.p999 = percentile_sorted(samples, 0.999);
+  r.max = samples.back();
+  return r;
+}
+
+/// Runs the enqueue-dequeue pairs workload with every individual operation
+/// timed; returns the pooled distribution. The clock read adds ~20-40 ns
+/// per operation on common hosts — identical for every queue, so relative
+/// tails remain comparable.
+template <class Queue>
+LatencyResult measure_op_latency(Queue& q, unsigned threads,
+                                 uint64_t pairs_per_thread) {
+  using Clock = std::chrono::steady_clock;
+  SpinBarrier start(threads);
+  std::vector<std::vector<uint64_t>> samples(threads);
+
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)pin_to_cpu(t);
+      auto h = q.get_handle();
+      auto& mine = samples[t];
+      mine.reserve(2 * pairs_per_thread);
+      start.arrive_and_wait();
+      for (uint64_t i = 0; i < pairs_per_thread; ++i) {
+        auto t0 = Clock::now();
+        q.enqueue(h, (uint64_t(t) << 40) | (i + 1));
+        auto t1 = Clock::now();
+        (void)q.dequeue(h);
+        auto t2 = Clock::now();
+        mine.push_back(uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        mine.push_back(uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+                .count()));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<uint64_t> all;
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  return summarize_latencies(std::move(all));
+}
+
+}  // namespace wfq::bench

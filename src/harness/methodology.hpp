@@ -1,0 +1,93 @@
+// The statistically rigorous measurement procedure of §5.1 (following
+// Georges et al., OOPSLA'07):
+//
+//  * per invocation: up to `max_iterations` benchmark iterations; steady
+//    state is reached at the first window of `window` (5) consecutive
+//    iterations whose coefficient of variation drops below `cov_threshold`
+//    (0.02); if never, the lowest-COV window is used. The invocation's
+//    score is the mean of that window.
+//  * `invocations` (10) independent invocations (fresh queue instance each,
+//    standing in for the paper's separate process invocations — documented
+//    substitution) yield a 95% Student-t confidence interval.
+//
+// Scaled-down defaults keep the full Figure-2 sweep tractable on a laptop;
+// every knob is overridable via WFQ_* environment variables.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/stats.hpp"
+
+namespace wfq::bench {
+
+struct MethodologyConfig {
+  unsigned max_iterations = 8;   // paper: 20
+  unsigned window = 5;           // paper: 5
+  double cov_threshold = 0.02;   // paper: 0.02
+  unsigned invocations = 3;      // paper: 10
+
+  /// Reads WFQ_ITERATIONS / WFQ_WINDOW / WFQ_COV / WFQ_INVOCATIONS.
+  static MethodologyConfig from_env() {
+    MethodologyConfig c;
+    if (const char* s = std::getenv("WFQ_ITERATIONS")) {
+      c.max_iterations = unsigned(std::strtoul(s, nullptr, 10));
+    }
+    if (const char* s = std::getenv("WFQ_WINDOW")) {
+      c.window = unsigned(std::strtoul(s, nullptr, 10));
+    }
+    if (const char* s = std::getenv("WFQ_COV")) {
+      c.cov_threshold = std::strtod(s, nullptr);
+    }
+    if (const char* s = std::getenv("WFQ_INVOCATIONS")) {
+      c.invocations = unsigned(std::strtoul(s, nullptr, 10));
+    }
+    if (c.window < 1) c.window = 1;
+    if (c.max_iterations < c.window) c.max_iterations = c.window;
+    if (c.invocations < 1) c.invocations = 1;
+    return c;
+  }
+};
+
+/// One invocation: runs `iteration` up to max_iterations times and returns
+/// the steady-state mean of its scores (higher = better, e.g. Mops/s).
+inline double measure_invocation(const MethodologyConfig& cfg,
+                                 const std::function<double()>& iteration) {
+  std::vector<double> scores;
+  scores.reserve(cfg.max_iterations);
+  for (unsigned i = 0; i < cfg.max_iterations; ++i) {
+    scores.push_back(iteration());
+    // Early exit once a steady window exists (saves laptop time; the
+    // paper's fixed 20 iterations are equivalent when the COV test fires).
+    if (scores.size() >= cfg.window) {
+      std::vector<double> w(scores.end() - cfg.window, scores.end());
+      if (cov(w) < cfg.cov_threshold) {
+        return mean(w);
+      }
+    }
+  }
+  std::size_t start =
+      steady_state_window_start(scores, cfg.window, cfg.cov_threshold);
+  std::vector<double> w(scores.begin() + start,
+                        scores.begin() + start + cfg.window);
+  return mean(w);
+}
+
+/// Full procedure: `make_invocation` must return a fresh iteration functor
+/// (with fresh state, e.g. a new queue) for each invocation.
+inline ConfidenceInterval measure(
+    const MethodologyConfig& cfg,
+    const std::function<std::function<double()>()>& make_invocation) {
+  std::vector<double> invocation_means;
+  invocation_means.reserve(cfg.invocations);
+  for (unsigned i = 0; i < cfg.invocations; ++i) {
+    auto iteration = make_invocation();
+    invocation_means.push_back(measure_invocation(cfg, iteration));
+  }
+  return confidence_interval_95(invocation_means);
+}
+
+}  // namespace wfq::bench

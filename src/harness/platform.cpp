@@ -1,0 +1,98 @@
+#include "harness/platform.hpp"
+
+#include <sys/utsname.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/atomics.hpp"
+#include "common/cpu.hpp"
+
+namespace wfq::bench {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const char* ws = " \t\r\n";
+  auto b = s.find_first_not_of(ws);
+  if (b == std::string::npos) return "";
+  auto e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+PlatformInfo detect_platform() {
+  PlatformInfo p;
+  p.threads = hardware_threads();
+
+  utsname un{};
+  if (uname(&un) == 0) p.arch = un.machine;
+
+#if defined(__x86_64__) || defined(__i386__) || \
+    (defined(__aarch64__) && defined(__ARM_FEATURE_ATOMICS))
+  p.native_faa = true;  // lock xadd / LSE LDADD
+#else
+  p.native_faa = false;  // LL/SC emulation, like the paper's Power7
+#endif
+  p.native_cas2 = kHaveNativeCas2;
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::set<std::string> packages;
+  std::set<std::pair<std::string, std::string>> cores;
+  std::string line, cur_pkg = "0", cur_core = "0";
+  unsigned logical = 0;
+  while (std::getline(cpuinfo, line)) {
+    auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = trim(line.substr(0, colon));
+    std::string val = trim(line.substr(colon + 1));
+    if (key == "processor") {
+      ++logical;
+    } else if (key == "model name" && p.model.empty()) {
+      p.model = val;
+      // Nominal clock often appears as "... @ 2.10GHz".
+      auto at = val.rfind('@');
+      if (at != std::string::npos) {
+        std::istringstream in(val.substr(at + 1));
+        in >> p.clock_ghz;
+      }
+    } else if (key == "physical id") {
+      cur_pkg = val;
+      packages.insert(val);
+    } else if (key == "core id") {
+      cur_core = val;
+      cores.insert({cur_pkg, cur_core});
+    } else if (key == "cpu MHz" && p.clock_ghz == 0.0) {
+      std::istringstream in(val);
+      double mhz = 0;
+      in >> mhz;
+      p.clock_ghz = mhz / 1000.0;
+    }
+  }
+  if (logical > 0) p.threads = logical;
+  p.sockets = packages.empty() ? 1 : static_cast<unsigned>(packages.size());
+  p.cores = cores.empty() ? p.threads : static_cast<unsigned>(cores.size());
+  if (p.model.empty()) p.model = "unknown (" + p.arch + ")";
+  return p;
+}
+
+std::string format_platform_table(const PlatformInfo& p) {
+  std::ostringstream out;
+  out << "Table 1 analogue: experimental platform\n";
+  out << "  Processor Model : " << p.model << "\n";
+  out << "  Clock Speed     : " << p.clock_ghz << " GHz\n";
+  out << "  # of Processors : " << p.sockets << "\n";
+  out << "  # of Cores      : " << p.cores << "\n";
+  out << "  # of Threads    : " << p.threads << "\n";
+  out << "  Architecture    : " << p.arch << "\n";
+  out << "  Native FAA      : " << (p.native_faa ? "yes" : "no (LL/SC)") << "\n";
+  out << "  Native CAS2     : " << (p.native_cas2 ? "yes" : "no (emulated)")
+      << "\n";
+  return out.str();
+}
+
+}  // namespace wfq::bench

@@ -1,0 +1,29 @@
+// Host platform introspection — the data behind the Table 1 reproduction
+// ("Summary of experimental platforms").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wfq::bench {
+
+/// One row of Table 1, discovered from the running host.
+struct PlatformInfo {
+  std::string model;        ///< CPU model string ("Intel Xeon E5-2699v3 ...")
+  double clock_ghz = 0.0;   ///< nominal clock
+  unsigned sockets = 1;     ///< physical packages
+  unsigned cores = 1;       ///< physical cores across sockets
+  unsigned threads = 1;     ///< hardware threads
+  std::string arch;         ///< "x86_64", ...
+  bool native_faa = false;  ///< hardware fetch-and-add (lock xadd / LDADD)
+  bool native_cas2 = false; ///< double-width CAS (cmpxchg16b)
+};
+
+/// Reads /proc/cpuinfo and sysfs; degrades gracefully (counts fall back to
+/// hardware_concurrency) so it works inside minimal containers.
+PlatformInfo detect_platform();
+
+/// Renders the Table 1 analogue for this host.
+std::string format_platform_table(const PlatformInfo& p);
+
+}  // namespace wfq::bench

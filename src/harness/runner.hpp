@@ -1,0 +1,163 @@
+// Queue-generic benchmark runner implementing the paper's two workloads
+// (§5.1 "Benchmark"):
+//
+//   * enqueue-dequeue pairs: each iteration is an enqueue followed by a
+//     dequeue; N pairs split evenly among the threads;
+//   * p%-enqueues: each iteration flips a coin and enqueues with
+//     probability p (the paper uses 50%), N operations split evenly.
+//
+// Threads are pinned compactly, start/stop on spin barriers, and perform
+// calibrated 50–100 ns random work between operations whose time is
+// excluded from the reported throughput, all as in §5.1.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/cpu.hpp"
+#include "common/random.hpp"
+#include "harness/barrier.hpp"
+#include "harness/delay.hpp"
+
+namespace wfq::bench {
+
+enum class WorkloadKind {
+  kPairs,       ///< enqueue-dequeue pairs
+  kPercentEnq,  ///< coin-flip mix (percent_enqueue : 100-percent_enqueue)
+};
+
+struct RunConfig {
+  WorkloadKind kind = WorkloadKind::kPairs;
+  unsigned threads = 1;
+  /// Total operations across all threads. For kPairs this counts *pairs*
+  /// (the paper executes 10^7 pairs); for kPercentEnq, single operations.
+  uint64_t total_ops = 1'000'000;
+  unsigned percent_enqueue = 50;
+  bool use_delay = true;  ///< the paper's 50–100 ns random work
+  bool pin = true;
+  uint64_t seed = 0x5eed;
+};
+
+struct RunResult {
+  double elapsed_seconds = 0.0;   ///< wall time of the measured phase
+  double delay_seconds = 0.0;     ///< estimated per-thread delay time (max)
+  uint64_t operations = 0;        ///< queue operations performed
+  uint64_t dequeue_hits = 0;      ///< dequeues that returned a value
+  uint64_t dequeue_empties = 0;   ///< dequeues that returned EMPTY
+
+  /// Delay-excluded throughput (the paper's reporting convention, §5.1).
+  /// Only meaningful when queue operations account for a sizable share of
+  /// the elapsed time, i.e. under real hardware contention; when the
+  /// calibrated delay estimate swallows nearly all of the interval the
+  /// subtraction is numerically unstable, so it is floored at 10% of the
+  /// elapsed time. Figure benches on small hosts report mops_raw instead
+  /// and say so (see EXPERIMENTS.md).
+  double mops_adjusted() const {
+    double t = elapsed_seconds - delay_seconds;
+    if (t <= elapsed_seconds * 0.10) t = elapsed_seconds * 0.10;
+    return double(operations) / t / 1e6;
+  }
+  /// Raw wall-clock throughput (delay included).
+  double mops_raw() const {
+    return elapsed_seconds > 0 ? double(operations) / elapsed_seconds / 1e6
+                               : 0.0;
+  }
+};
+
+/// Runs one benchmark iteration on a fresh-or-reused queue instance.
+/// `Queue` must model the library's ConcurrentQueue concept with a
+/// uint64_t-compatible value type.
+template <class Queue>
+RunResult run_workload(Queue& q, const RunConfig& cfg) {
+  using Clock = std::chrono::steady_clock;
+  const unsigned n = cfg.threads;
+  const uint64_t per_thread =
+      (cfg.total_ops + n - 1) / n;  // paper: partitioned evenly
+  SpinBarrier start(n), stop(n);
+  std::vector<uint64_t> delay_iters(n, 0);
+  std::vector<uint64_t> hits(n, 0), empties(n, 0), ops(n, 0);
+  // Each worker timestamps its own start and end: a coordinator-side timer
+  // is wrong on oversubscribed hosts, where the coordinator can be
+  // descheduled across the whole measured phase.
+  std::vector<Clock::time_point> t_begin(n), t_end(n);
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (unsigned t = 0; t < n; ++t) {
+    workers.emplace_back([&, t] {
+      if (cfg.pin) (void)pin_to_cpu(t);
+      auto h = q.get_handle();
+      WorkDelay delay = WorkDelay::paper_default(cfg.seed * 1315423911u + t);
+      Xorshift128Plus coin(cfg.seed + 7919 * t);
+      uint64_t my_delay = 0, my_hits = 0, my_empty = 0, my_ops = 0;
+
+      start.arrive_and_wait();
+      t_begin[t] = Clock::now();
+      if (cfg.kind == WorkloadKind::kPairs) {
+        for (uint64_t i = 0; i < per_thread; ++i) {
+          q.enqueue(h, (uint64_t(t) << 40) | (i + 1));
+          if (cfg.use_delay) my_delay += delay.spin();
+          auto v = q.dequeue(h);
+          if (v.has_value()) {
+            ++my_hits;
+          } else {
+            ++my_empty;
+          }
+          if (cfg.use_delay) my_delay += delay.spin();
+          my_ops += 2;
+        }
+      } else {
+        for (uint64_t i = 0; i < per_thread; ++i) {
+          if (coin.percent_chance(cfg.percent_enqueue)) {
+            q.enqueue(h, (uint64_t(t) << 40) | (i + 1));
+          } else {
+            auto v = q.dequeue(h);
+            if (v.has_value()) {
+              ++my_hits;
+            } else {
+              ++my_empty;
+            }
+          }
+          if (cfg.use_delay) my_delay += delay.spin();
+          ++my_ops;
+        }
+      }
+      t_end[t] = Clock::now();
+      stop.arrive_and_wait();
+      delay_iters[t] = my_delay;
+      hits[t] = my_hits;
+      empties[t] = my_empty;
+      ops[t] = my_ops;
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  Clock::time_point first = t_begin[0], last = t_end[0];
+  for (unsigned t = 1; t < n; ++t) {
+    if (t_begin[t] < first) first = t_begin[t];
+    if (t_end[t] > last) last = t_end[t];
+  }
+  RunResult r;
+  r.elapsed_seconds = std::chrono::duration<double>(last - first).count();
+  uint64_t max_delay = 0;
+  for (unsigned t = 0; t < n; ++t) {
+    r.operations += ops[t];
+    r.dequeue_hits += hits[t];
+    r.dequeue_empties += empties[t];
+    if (delay_iters[t] > max_delay) max_delay = delay_iters[t];
+  }
+  // Threads run concurrently, so the wall-clock contribution of the delay
+  // is governed by the slowest thread's accumulated spin — except on
+  // oversubscribed hosts, where delay work competes for the same CPUs and
+  // the aggregate burn is spread over hardware threads.
+  double serial_factor =
+      double(n) / double(std::min<unsigned>(n, hardware_threads()));
+  r.delay_seconds = WorkDelay::iters_to_seconds(max_delay) * serial_factor;
+  if (r.delay_seconds > r.elapsed_seconds) r.delay_seconds = r.elapsed_seconds;
+  return r;
+}
+
+}  // namespace wfq::bench

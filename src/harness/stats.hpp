@@ -1,0 +1,100 @@
+// Statistics for the benchmark methodology of §5.1 (Georges et al.,
+// OOPSLA'07 "Statistically Rigorous Java Performance Evaluation"):
+// coefficient of variation for steady-state detection, and Student-t
+// confidence intervals over invocation means.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace wfq::bench {
+
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / double(xs.size());
+}
+
+/// Sample standard deviation (n-1 denominator).
+inline double sample_stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / double(xs.size() - 1));
+}
+
+/// Coefficient of variation; 0 for degenerate inputs.
+inline double cov(const std::vector<double>& xs) {
+  double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return sample_stddev(xs) / m;
+}
+
+/// Two-sided 97.5% quantile of Student's t distribution (for a 95%
+/// confidence interval) by degrees of freedom. Exact table values for
+/// df <= 30; the normal-approximation constant beyond.
+inline double t_critical_95(std::size_t df) {
+  static constexpr double kTable[] = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  return 1.96;
+}
+
+/// A 95% confidence interval over a set of invocation means.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  std::size_t n = 0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+  /// True if `other`'s CI does not overlap this one (a statistically
+  /// meaningful difference under the Georges et al. methodology).
+  bool distinct_from(const ConfidenceInterval& other) const {
+    return lo() > other.hi() || hi() < other.lo();
+  }
+};
+
+/// CI half-width: t_{0.975, n-1} * s / sqrt(n) — §5.1's formula.
+inline ConfidenceInterval confidence_interval_95(
+    const std::vector<double>& invocation_means) {
+  ConfidenceInterval ci;
+  ci.n = invocation_means.size();
+  ci.mean = mean(invocation_means);
+  if (ci.n < 2) return ci;
+  double s = sample_stddev(invocation_means);
+  ci.half_width = t_critical_95(ci.n - 1) * s / std::sqrt(double(ci.n));
+  return ci;
+}
+
+/// Steady-state window: the first index i >= window-1 such that the COV of
+/// xs[i-window+1 .. i] is below `threshold`; if none, the window with the
+/// lowest COV (the paper's fallback). Returns the window's start index.
+inline std::size_t steady_state_window_start(const std::vector<double>& xs,
+                                             std::size_t window,
+                                             double threshold) {
+  assert(xs.size() >= window && window >= 1);
+  std::size_t best_start = 0;
+  double best_cov = std::numeric_limits<double>::infinity();
+  for (std::size_t end = window; end <= xs.size(); ++end) {
+    std::vector<double> w(xs.begin() + (end - window), xs.begin() + end);
+    double c = cov(w);
+    if (c < threshold) return end - window;
+    if (c < best_cov) {
+      best_cov = c;
+      best_start = end - window;
+    }
+  }
+  return best_start;
+}
+
+}  // namespace wfq::bench

@@ -1,0 +1,64 @@
+// Minimal fixed-width table printer for benchmark output, so every bench
+// binary renders its Figure/Table reproduction the same way.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wfq::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; cells are already-formatted strings.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  static std::string fmt(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  /// "12.34 ±0.56" — mean with confidence half-width.
+  static std::string fmt_ci(double mean, double half, int precision = 2) {
+    return fmt(mean, precision) + " ±" + fmt(half, precision);
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        os << "| " << std::setw(int(width[c]))
+           << (c < cells.size() ? cells[c] : "") << " ";
+      }
+      os << "|\n";
+    };
+    line(headers_);
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << "|" << std::string(width[c] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wfq::bench

@@ -1,0 +1,182 @@
+// Hazard-pointer memory reclamation (Michael, 2004).
+//
+// The paper's evaluation treats reclamation as an integral responsibility of
+// each queue (§5.1 "Implementation"): it added hazard pointers to LCRQ and
+// MS-Queue, which previously leaked. This is that substrate: a type-erased
+// domain managing per-thread hazard slots and retirement lists.
+//
+// Protocol: a reader publishes the pointer it is about to dereference in one
+// of its hazard slots and re-validates the source; a reclaimer moves nodes
+// to a retirement list and only frees those matched by no published hazard.
+// Readers pay one seq_cst store per protected load (the fence the paper's
+// custom scheme for the wait-free queue avoids on x86).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+
+namespace wfq {
+
+/// One reclamation domain. `kSlots` is the number of hazard pointers each
+/// thread may hold simultaneously (MS-Queue needs 2, LCRQ needs 1).
+template <int kSlots>
+class HazardPointerDomain {
+ public:
+  /// A retired node awaiting reclamation, with its type-erased deleter.
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  /// Per-thread record: hazard slots + retirement list. Records are linked
+  /// into a grow-only list and recycled via an `active` flag, so acquire is
+  /// lock-free and scan can always traverse every record.
+  struct alignas(kCacheLineSize) ThreadRec {
+    std::atomic<void*> hazards[kSlots] = {};
+    std::atomic<bool> active{true};
+    ThreadRec* next = nullptr;  // immutable after publication
+    std::vector<Retired> retired;
+  };
+
+  /// `scan_threshold_floor`: minimum retired-list length before a scan; the
+  /// effective threshold is max(floor, 2 * live hazard slots), the classic
+  /// amortization that keeps per-retire cost O(1).
+  explicit HazardPointerDomain(std::size_t scan_threshold_floor = 64)
+      : scan_floor_(scan_threshold_floor) {}
+
+  HazardPointerDomain(const HazardPointerDomain&) = delete;
+  HazardPointerDomain& operator=(const HazardPointerDomain&) = delete;
+
+  ~HazardPointerDomain() {
+    // No concurrent users by contract; free everything still retired, then
+    // the records themselves.
+    ThreadRec* r = head_.load(std::memory_order_acquire);
+    while (r != nullptr) {
+      for (auto& rt : r->retired) rt.deleter(rt.ptr);
+      ThreadRec* next = r->next;
+      delete r;
+      r = next;
+    }
+  }
+
+  /// Obtain a thread record (reusing an inactive one if possible).
+  ThreadRec* acquire() {
+    for (ThreadRec* r = head_.load(std::memory_order_acquire); r != nullptr;
+         r = r->next) {
+      bool expected = false;
+      if (!r->active.load(std::memory_order_relaxed) &&
+          r->active.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        return r;
+      }
+    }
+    auto* r = new ThreadRec();
+    nrecs_.fetch_add(1, std::memory_order_relaxed);
+    ThreadRec* old = head_.load(std::memory_order_relaxed);
+    do {
+      r->next = old;
+    } while (!head_.compare_exchange_weak(old, r, std::memory_order_release,
+                                          std::memory_order_relaxed));
+    return r;
+  }
+
+  /// Release a record. Its hazard slots are cleared; its retired nodes stay
+  /// queued and are reclaimed by a later scan (or the destructor).
+  void release(ThreadRec* r) {
+    for (auto& h : r->hazards) h.store(nullptr, std::memory_order_release);
+    r->active.store(false, std::memory_order_release);
+  }
+
+  /// Protect: repeatedly publish the current value of `src` in hazard slot
+  /// `slot` until the publication provably precedes any reclamation check
+  /// (the read re-validates). Returns the protected pointer.
+  template <class T>
+  T* protect(ThreadRec* r, int slot, const std::atomic<T*>& src) {
+    assert(slot >= 0 && slot < kSlots);
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      r->hazards[slot].store(p, std::memory_order_seq_cst);
+      T* q = src.load(std::memory_order_seq_cst);
+      if (q == p) return p;
+      p = q;
+    }
+  }
+
+  /// Publish an already-loaded pointer (caller must re-validate itself).
+  void set_hazard(ThreadRec* r, int slot, void* p) {
+    r->hazards[slot].store(p, std::memory_order_seq_cst);
+  }
+
+  void clear(ThreadRec* r, int slot) {
+    r->hazards[slot].store(nullptr, std::memory_order_release);
+  }
+
+  /// Retire a node; it is freed by a later scan once no hazard covers it.
+  template <class T>
+  void retire(ThreadRec* r, T* p) {
+    retire(r, p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  void retire(ThreadRec* r, void* p, void (*deleter)(void*)) {
+    r->retired.push_back(Retired{p, deleter});
+    std::size_t threshold =
+        std::max(scan_floor_, 2 * kSlots *
+                                  nrecs_.load(std::memory_order_relaxed));
+    if (r->retired.size() >= threshold) scan(r);
+  }
+
+  /// Reclaim every retired node not covered by a published hazard.
+  void scan(ThreadRec* r) {
+    std::vector<void*> hazards;
+    hazards.reserve(kSlots * nrecs_.load(std::memory_order_relaxed));
+    for (ThreadRec* t = head_.load(std::memory_order_acquire); t != nullptr;
+         t = t->next) {
+      for (const auto& h : t->hazards) {
+        void* p = h.load(std::memory_order_seq_cst);
+        if (p != nullptr) hazards.push_back(p);
+      }
+    }
+    std::sort(hazards.begin(), hazards.end());
+    auto covered = [&](void* p) {
+      return std::binary_search(hazards.begin(), hazards.end(), p);
+    };
+    std::vector<Retired> keep;
+    keep.reserve(r->retired.size());
+    for (const auto& rt : r->retired) {
+      if (covered(rt.ptr)) {
+        keep.push_back(rt);
+      } else {
+        rt.deleter(rt.ptr);
+      }
+    }
+    r->retired.swap(keep);
+  }
+
+  /// Sum of retirement-list lengths (test/diagnostic; racy but monotone in
+  /// quiescence).
+  std::size_t retired_count() const {
+    std::size_t n = 0;
+    for (ThreadRec* t = head_.load(std::memory_order_acquire); t != nullptr;
+         t = t->next) {
+      n += t->retired.size();
+    }
+    return n;
+  }
+
+  std::size_t thread_records() const {
+    return nrecs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<ThreadRec*> head_{nullptr};
+  std::atomic<std::size_t> nrecs_{0};
+  std::size_t scan_floor_;
+};
+
+}  // namespace wfq

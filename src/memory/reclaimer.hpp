@@ -1,0 +1,112 @@
+// Reclamation-policy adapters: a single OpGuard-based interface over the
+// hazard-pointer domain and the epoch domain, so node-based structures
+// (MS-Queue here) can be instantiated under either scheme and the per-
+// operation overhead of each measured head to head (§3.6 "Overhead"
+// discussion: HP pays a seq_cst store per protected pointer, EBR one
+// critical-section entry per operation, the wait-free queue's custom scheme
+// nothing on its x86 fast path).
+//
+// Contract:
+//   using Rec = Policy::Rec;                 // per-thread record
+//   Rec* r = policy.acquire(); policy.release(r);
+//   { typename Policy::OpGuard g(policy, r); // one per operation attempt
+//     T* p = g.template protect<T>(slot, src);  // safe to dereference
+//     ...
+//   }                                        // protection ends
+//   policy.retire(r, node);                  // free when safe
+#pragma once
+
+#include <atomic>
+
+#include "memory/epoch.hpp"
+#include "memory/hazard_pointers.hpp"
+
+namespace wfq {
+
+/// Hazard-pointer policy: `protect` publishes + revalidates (one seq_cst
+/// store each); protection is per-pointer and survives until overwritten or
+/// the guard dies.
+template <int kSlots>
+class HpReclaimer {
+  using Domain = HazardPointerDomain<kSlots>;
+
+ public:
+  static constexpr const char* kName = "hazard-pointers";
+  using Rec = typename Domain::ThreadRec;
+
+  Rec* acquire() { return domain_.acquire(); }
+  void release(Rec* r) { domain_.release(r); }
+
+  class OpGuard {
+   public:
+    OpGuard(HpReclaimer& owner, Rec* rec) : owner_(&owner), rec_(rec) {}
+    OpGuard(const OpGuard&) = delete;
+    OpGuard& operator=(const OpGuard&) = delete;
+    ~OpGuard() {
+      for (int s = 0; s < kSlots; ++s) owner_->domain_.clear(rec_, s);
+    }
+
+    template <class T>
+    T* protect(int slot, const std::atomic<T*>& src) {
+      return owner_->domain_.protect(rec_, slot, src);
+    }
+
+   private:
+    HpReclaimer* owner_;
+    Rec* rec_;
+  };
+
+  template <class T>
+  void retire(Rec* r, T* p) {
+    domain_.retire(r, p);
+  }
+
+  std::size_t pending() const { return domain_.retired_count(); }
+
+ private:
+  Domain domain_;
+};
+
+/// Epoch policy: `protect` is a plain acquire load — the guard's epoch pin
+/// already protects everything reachable; the per-operation cost is the
+/// pin itself.
+template <int kSlots>
+class EbrReclaimer {
+ public:
+  static constexpr const char* kName = "epochs";
+  using Rec = EpochDomain::ThreadRec;
+
+  Rec* acquire() { return domain_.acquire(); }
+  void release(Rec* r) { domain_.release(r); }
+
+  class OpGuard {
+   public:
+    OpGuard(EbrReclaimer& owner, Rec* rec) : owner_(&owner), rec_(rec) {
+      owner_->domain_.enter(rec_);
+    }
+    OpGuard(const OpGuard&) = delete;
+    OpGuard& operator=(const OpGuard&) = delete;
+    ~OpGuard() { owner_->domain_.exit(rec_); }
+
+    template <class T>
+    T* protect(int /*slot*/, const std::atomic<T*>& src) {
+      return src.load(std::memory_order_acquire);
+    }
+
+   private:
+    EbrReclaimer* owner_;
+    Rec* rec_;
+  };
+
+  template <class T>
+  void retire(Rec* r, T* p) {
+    domain_.retire(r, p);
+  }
+
+  std::size_t pending() const { return domain_.limbo_count(); }
+
+ private:
+  EpochDomain domain_;
+};
+
+}  // namespace wfq

@@ -1,0 +1,32 @@
+// Library version and feature-detection macros.
+#pragma once
+
+#define WFQ_VERSION_MAJOR 1
+#define WFQ_VERSION_MINOR 0
+#define WFQ_VERSION_PATCH 0
+#define WFQ_VERSION_STRING "1.0.0"
+
+namespace wfq {
+
+struct Version {
+  int major;
+  int minor;
+  int patch;
+};
+
+/// Runtime-queryable library version.
+constexpr Version version() noexcept {
+  return Version{WFQ_VERSION_MAJOR, WFQ_VERSION_MINOR, WFQ_VERSION_PATCH};
+}
+
+/// True when the build has hardware double-width CAS (LCRQ is lock-free
+/// rather than lock-emulated).
+constexpr bool has_native_cas2() noexcept {
+#if defined(WFQ_HAVE_CX16)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace wfq

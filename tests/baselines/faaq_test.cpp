@@ -1,0 +1,66 @@
+// Tests for the FAA microbenchmark pseudo-queue.
+#include "baselines/faaq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace wfq::baselines {
+namespace {
+
+TEST(FaaQueue, TicketsCountOperations) {
+  FAAQueue<uint64_t> q;
+  auto h = q.get_handle();
+  for (int i = 0; i < 10; ++i) q.enqueue(h, 1);
+  EXPECT_EQ(q.enqueues(), 10u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.dequeue(h).has_value());
+  EXPECT_EQ(q.dequeues(), 4u);
+}
+
+TEST(FaaQueue, DequeueBeyondEnqueuesReportsEmpty) {
+  FAAQueue<uint64_t> q;
+  auto h = q.get_handle();
+  q.enqueue(h, 1);
+  EXPECT_TRUE(q.dequeue(h).has_value());
+  EXPECT_FALSE(q.dequeue(h).has_value());
+}
+
+TEST(FaaQueue, ConcurrentOpsAllTicketed) {
+  FAAQueue<uint64_t> q;
+  constexpr unsigned kThreads = 8;
+  constexpr uint64_t kOps = 10000;
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      auto h = q.get_handle();
+      for (uint64_t i = 0; i < kOps; ++i) {
+        q.enqueue(h, 1);
+        (void)q.dequeue(h);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(q.enqueues(), kThreads * kOps);
+  EXPECT_EQ(q.dequeues(), kThreads * kOps);
+}
+
+TEST(FaaQueue, EmulatedFaaVariantTicketsCorrectly) {
+  FAAQueue<uint64_t, EmulatedFaa> q;
+  constexpr unsigned kThreads = 4;
+  constexpr uint64_t kOps = 10000;
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      auto h = q.get_handle();
+      for (uint64_t i = 0; i < kOps; ++i) q.enqueue(h, 1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(q.enqueues(), kThreads * kOps);
+}
+
+}  // namespace
+}  // namespace wfq::baselines

@@ -1,0 +1,122 @@
+// Correctness tests for the LCRQ baseline: ring transitions, CRQ closing
+// and linking, unsafe-cell handling, and MPMC properties.
+#include "baselines/lcrq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "support/queue_test_util.hpp"
+
+namespace wfq::baselines {
+namespace {
+
+TEST(Lcrq, StartsEmpty) {
+  LCRQ<uint64_t> q;
+  auto h = q.get_handle();
+  EXPECT_FALSE(q.dequeue(h).has_value());
+  EXPECT_EQ(q.live_crqs(), 1u);
+}
+
+TEST(Lcrq, SequentialFifo) {
+  LCRQ<uint64_t> q;
+  test::run_sequential_fifo(q, 5000);
+}
+
+TEST(Lcrq, WrapsAroundTheRing) {
+  // A small ring forces many laps through the same cells, exercising the
+  // idx + R lap arithmetic.
+  LCRQ<uint64_t, 8> q;
+  auto h = q.get_handle();
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    q.enqueue(h, i);
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+}
+
+TEST(Lcrq, FullRingClosesAndLinksNewCrq) {
+  LCRQ<uint64_t, 8> q;
+  auto h = q.get_handle();
+  // 20 live values cannot fit an 8-cell ring: the CRQ must close and grow
+  // the list, preserving FIFO across segments.
+  for (uint64_t i = 1; i <= 20; ++i) q.enqueue(h, i);
+  EXPECT_GE(q.live_crqs(), 2u);
+  for (uint64_t i = 1; i <= 20; ++i) {
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.dequeue(h).has_value());
+}
+
+TEST(Lcrq, DrainedCrqsAreRetired) {
+  LCRQ<uint64_t, 8> q;
+  auto h = q.get_handle();
+  for (int round = 0; round < 200; ++round) {
+    for (uint64_t i = 1; i <= 20; ++i) q.enqueue(h, i);
+    for (uint64_t i = 1; i <= 20; ++i) ASSERT_TRUE(q.dequeue(h).has_value());
+    ASSERT_FALSE(q.dequeue(h).has_value());
+  }
+  // ~600 CRQs churned; the live list must stay tiny.
+  EXPECT_LT(q.live_crqs(), 8u);
+}
+
+TEST(Lcrq, EmptyDequeuesDoNotWedgeTheRing) {
+  // Dequeues overrunning the tail bump head far ahead; fix_state must pull
+  // tail up so later enqueues land on live indices.
+  LCRQ<uint64_t, 8> q;
+  auto h = q.get_handle();
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(q.dequeue(h).has_value());
+  for (uint64_t i = 1; i <= 10; ++i) q.enqueue(h, i);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+}
+
+TEST(Lcrq, BoxedPayloads) {
+  LCRQ<std::string> q;
+  auto h = q.get_handle();
+  q.enqueue(h, "alpha");
+  q.enqueue(h, "beta");
+  EXPECT_EQ(q.dequeue(h), "alpha");
+  EXPECT_EQ(q.dequeue(h), "beta");
+}
+
+TEST(Lcrq, DestructionWithBacklogDoesNotLeakBoxes) {
+  auto* q = new LCRQ<std::string, 16>();
+  {
+    auto h = q->get_handle();
+    for (int i = 0; i < 100; ++i) q->enqueue(h, "payload " + std::to_string(i));
+  }
+  delete q;  // ASan would flag leaked boxes
+}
+
+TEST(Lcrq, MpmcPropertyDefaultRing) {
+  LCRQ<uint64_t> q;
+  test::run_mpmc_property(q, 4, 4, 4000);
+}
+
+TEST(Lcrq, MpmcPropertyTinyRing) {
+  // Tiny ring under contention: closing, unsafe marking, and CRQ hopping
+  // all fire constantly.
+  LCRQ<uint64_t, 4> q;
+  test::run_mpmc_property(q, 4, 4, 2000);
+}
+
+TEST(Lcrq, MpmcPropertyConsumerHeavyTinyRing) {
+  LCRQ<uint64_t, 4> q;
+  test::run_mpmc_property(q, 2, 6, 2000);
+}
+
+TEST(Lcrq, PairsConservation) {
+  LCRQ<uint64_t> q;
+  test::run_pairs_conservation(q, 8, 3000);
+}
+
+}  // namespace
+}  // namespace wfq::baselines

@@ -1,0 +1,127 @@
+// Correctness tests for the MS-Queue baseline (+ its hazard-pointer
+// reclamation).
+#include "baselines/ms_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "support/queue_test_util.hpp"
+
+namespace wfq::baselines {
+namespace {
+
+TEST(MSQueue, StartsEmpty) {
+  MSQueue<uint64_t> q;
+  auto h = q.get_handle();
+  EXPECT_FALSE(q.dequeue(h).has_value());
+}
+
+TEST(MSQueue, SequentialFifo) {
+  MSQueue<uint64_t> q;
+  test::run_sequential_fifo(q, 5000);
+}
+
+TEST(MSQueue, ReusableAfterEmpty) {
+  MSQueue<uint64_t> q;
+  auto h = q.get_handle();
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_FALSE(q.dequeue(h).has_value());
+    q.enqueue(h, round + 1);
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, uint64_t(round + 1));
+  }
+}
+
+TEST(MSQueue, BoxedPayloads) {
+  MSQueue<std::string> q;
+  auto h = q.get_handle();
+  q.enqueue(h, "alpha");
+  q.enqueue(h, "beta");
+  EXPECT_EQ(q.dequeue(h), "alpha");
+  EXPECT_EQ(q.dequeue(h), "beta");
+  EXPECT_FALSE(q.dequeue(h).has_value());
+}
+
+TEST(MSQueue, MpmcPropertyDefault) {
+  MSQueue<uint64_t> q;
+  test::run_mpmc_property(q, 4, 4, 4000);
+}
+
+TEST(MSQueue, MpmcPropertyProducerHeavy) {
+  MSQueue<uint64_t> q;
+  test::run_mpmc_property(q, 6, 2, 3000);
+}
+
+TEST(MSQueue, MpmcPropertyConsumerHeavy) {
+  MSQueue<uint64_t> q;
+  test::run_mpmc_property(q, 2, 6, 3000);
+}
+
+TEST(MSQueue, PairsConservation) {
+  MSQueue<uint64_t> q;
+  test::run_pairs_conservation(q, 8, 3000);
+}
+
+TEST(MSQueue, HazardReclamationKeepsRetiredBounded) {
+  MSQueue<uint64_t> q;
+  auto h = q.get_handle();
+  // Churn far more nodes than any reasonable retirement bound.
+  for (int i = 0; i < 50000; ++i) {
+    q.enqueue(h, i + 1);
+    ASSERT_TRUE(q.dequeue(h).has_value());
+  }
+  // The retirement list is bounded by the scan threshold (O(threads)).
+  EXPECT_LT(q.retired_nodes(), 5000u);
+}
+
+// ---- epoch-based reclamation variant ------------------------------------
+
+using MSQueueEbr = MSQueue<uint64_t, EbrReclaimer>;
+
+TEST(MSQueueEbrVariant, SequentialFifo) {
+  MSQueueEbr q;
+  test::run_sequential_fifo(q, 5000);
+}
+
+TEST(MSQueueEbrVariant, MpmcProperty) {
+  MSQueueEbr q;
+  test::run_mpmc_property(q, 4, 4, 4000);
+}
+
+TEST(MSQueueEbrVariant, PairsConservation) {
+  MSQueueEbr q;
+  test::run_pairs_conservation(q, 8, 3000);
+}
+
+TEST(MSQueueEbrVariant, ReclamationKeepsLimboBounded) {
+  MSQueueEbr q;
+  auto h = q.get_handle();
+  for (int i = 0; i < 50000; ++i) {
+    q.enqueue(h, i + 1);
+    ASSERT_TRUE(q.dequeue(h).has_value());
+  }
+  EXPECT_LT(q.retired_nodes(), 5000u);
+}
+
+TEST(MSQueueEbrVariant, ReportsPolicyName) {
+  EXPECT_STREQ(MSQueueEbr::kReclaimName, "epochs");
+  EXPECT_STREQ((MSQueue<uint64_t>::kReclaimName), "hazard-pointers");
+}
+
+TEST(MSQueue, DestructionWithBacklogDoesNotLeak) {
+  // ASan-checked: destructor must free the spine including pending values.
+  auto* q = new MSQueue<std::string>();
+  auto h = q->get_handle();
+  for (int i = 0; i < 1000; ++i) q->enqueue(h, "payload " + std::to_string(i));
+  // h must die before the queue.
+  {
+    auto h2 = std::move(h);
+  }
+  delete q;
+}
+
+}  // namespace
+}  // namespace wfq::baselines

@@ -1,0 +1,53 @@
+// Tests for the mutex-guarded sanity baseline.
+#include "baselines/mutex_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "support/queue_test_util.hpp"
+
+namespace wfq::baselines {
+namespace {
+
+TEST(MutexQueue, StartsEmpty) {
+  MutexQueue<uint64_t> q;
+  auto h = q.get_handle();
+  EXPECT_FALSE(q.dequeue(h).has_value());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MutexQueue, SequentialFifo) {
+  MutexQueue<uint64_t> q;
+  test::run_sequential_fifo(q, 5000);
+}
+
+TEST(MutexQueue, SizeTracksContents) {
+  MutexQueue<uint64_t> q;
+  auto h = q.get_handle();
+  for (int i = 0; i < 10; ++i) q.enqueue(h, i + 1);
+  EXPECT_EQ(q.size(), 10u);
+  (void)q.dequeue(h);
+  EXPECT_EQ(q.size(), 9u);
+}
+
+TEST(MutexQueue, BoxedPayloads) {
+  MutexQueue<std::string> q;
+  auto h = q.get_handle();
+  q.enqueue(h, "alpha");
+  EXPECT_EQ(q.dequeue(h), "alpha");
+}
+
+TEST(MutexQueue, MpmcProperty) {
+  MutexQueue<uint64_t> q;
+  test::run_mpmc_property(q, 4, 4, 4000);
+}
+
+TEST(MutexQueue, PairsConservation) {
+  MutexQueue<uint64_t> q;
+  test::run_pairs_conservation(q, 8, 3000);
+}
+
+}  // namespace
+}  // namespace wfq::baselines

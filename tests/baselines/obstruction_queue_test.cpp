@@ -1,0 +1,75 @@
+// Tests for the Listing 1 obstruction-free queue realization.
+#include "core/obstruction_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "support/queue_test_util.hpp"
+
+namespace wfq {
+namespace {
+
+TEST(ObstructionQueue, StartsEmpty) {
+  ObstructionQueue<uint64_t> q;
+  auto h = q.get_handle();
+  EXPECT_FALSE(q.dequeue(h).has_value());
+}
+
+TEST(ObstructionQueue, SequentialFifo) {
+  ObstructionQueue<uint64_t> q(1 << 15);
+  test::run_sequential_fifo(q, 5000);
+}
+
+TEST(ObstructionQueue, EmptyDequeuesBurnIndexSpace) {
+  ObstructionQueue<uint64_t> q(128);
+  auto h = q.get_handle();
+  EXPECT_FALSE(q.dequeue(h).has_value());
+  EXPECT_GE(q.head_index(), 1u);
+}
+
+TEST(ObstructionQueue, ThrowsWhenIndexSpaceExhausted) {
+  ObstructionQueue<uint64_t> q(16);
+  auto h = q.get_handle();
+  for (int i = 0; i < 16; ++i) q.enqueue(h, i + 1);
+  EXPECT_THROW(q.enqueue(h, 99), std::length_error);
+}
+
+TEST(ObstructionQueue, InterleavedMarkedCellsAreSkipped) {
+  ObstructionQueue<uint64_t> q(1 << 12);
+  auto h = q.get_handle();
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_FALSE(q.dequeue(h).has_value());  // marks a cell unusable
+    q.enqueue(h, round + 1);                 // must skip the dead cell
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, uint64_t(round + 1));
+  }
+}
+
+TEST(ObstructionQueue, BoxedPayloadsAndDrainOnDestroy) {
+  auto* q = new ObstructionQueue<std::string>(1024);
+  auto h = q->get_handle();
+  q->enqueue(h, "alpha");
+  q->enqueue(h, "beta");
+  EXPECT_EQ(q->dequeue(h), "alpha");
+  delete q;  // "beta" still enqueued; destructor must free its box
+}
+
+TEST(ObstructionQueue, MpmcProperty) {
+  // Non-blocking (obstruction-free) but correct when it completes; under
+  // real schedulers this terminates. Budget the index space generously:
+  // every dequeue retry burns a cell.
+  ObstructionQueue<uint64_t> q(1 << 20);
+  test::run_mpmc_property(q, 4, 4, 2000);
+}
+
+TEST(ObstructionQueue, PairsConservation) {
+  ObstructionQueue<uint64_t> q(1 << 20);
+  test::run_pairs_conservation(q, 4, 2000);
+}
+
+}  // namespace
+}  // namespace wfq

@@ -1,0 +1,107 @@
+// Tests for the C bindings (semantics; the pure-C compile/link story is
+// covered by examples/capi_demo.c, which is built as C).
+#include "capi/wfq_c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+TEST(CApi, CreateDestroy) {
+  wfq_queue_t* q = wfq_create_default();
+  ASSERT_NE(q, nullptr);
+  wfq_destroy(q);
+}
+
+TEST(CApi, BasicRoundTrip) {
+  wfq_queue_t* q = wfq_create(10, 64);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  EXPECT_EQ(wfq_enqueue(h, 42), 0);
+  uint64_t out = 0;
+  EXPECT_EQ(wfq_dequeue(h, &out), 1);
+  EXPECT_EQ(out, 42u);
+  EXPECT_EQ(wfq_dequeue(h, &out), 0);  // empty
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApi, RejectsReservedValues) {
+  wfq_queue_t* q = wfq_create_default();
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  EXPECT_EQ(wfq_enqueue(h, 0), -1);
+  EXPECT_EQ(wfq_enqueue(h, ~uint64_t{0}), -1);
+  EXPECT_EQ(wfq_enqueue(h, ~uint64_t{0} - 1), -1);
+  EXPECT_EQ(wfq_enqueue(h, 1), 0);
+  uint64_t out;
+  EXPECT_EQ(wfq_dequeue(h, &out), 1);
+  EXPECT_EQ(out, 1u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApi, FifoOrder) {
+  wfq_queue_t* q = wfq_create(0, 8);  // WF-0 config through the C surface
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  for (uint64_t i = 1; i <= 1000; ++i) EXPECT_EQ(wfq_enqueue(h, i), 0);
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    uint64_t out = 0;
+    ASSERT_EQ(wfq_dequeue(h, &out), 1);
+    ASSERT_EQ(out, i);
+  }
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApi, ApproxSizeAndStats) {
+  wfq_queue_t* q = wfq_create_default();
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  for (uint64_t i = 1; i <= 10; ++i) wfq_enqueue(h, i);
+  EXPECT_EQ(wfq_approx_size(q), 10u);
+  uint64_t out;
+  wfq_dequeue(h, &out);
+  wfq_dequeue(h, &out);
+  wfq_dequeue(h, &out);  // 3 dequeues
+  wfq_stats_t s;
+  wfq_get_stats(q, &s);
+  EXPECT_EQ(s.enqueues, 10u);
+  EXPECT_EQ(s.dequeues, 3u);
+  EXPECT_EQ(s.empty_dequeues, 0u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApi, ConcurrentConservation) {
+  wfq_queue_t* q = wfq_create_default();
+  constexpr unsigned kThreads = 6;
+  constexpr uint64_t kOps = 5000;
+  std::vector<uint64_t> sums(kThreads, 0);
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      wfq_handle_t* h = wfq_handle_acquire(q);
+      uint64_t in = 0, out_sum = 0, out;
+      for (uint64_t i = 1; i <= kOps; ++i) {
+        uint64_t v = (uint64_t(t) << 40) | i;
+        wfq_enqueue(h, v);
+        in += v;
+        if (wfq_dequeue(h, &out) == 1) out_sum += out;
+      }
+      sums[t] = in - out_sum;  // residue this thread left in the queue
+      wfq_handle_release(h);
+    });
+  }
+  for (auto& t : ts) t.join();
+  uint64_t residue = 0;
+  for (uint64_t s : sums) residue += s;
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  uint64_t drained = 0, out;
+  while (wfq_dequeue(h, &out) == 1) drained += out;
+  wfq_handle_release(h);
+  EXPECT_EQ(residue, drained);
+  wfq_destroy(q);
+}
+
+}  // namespace

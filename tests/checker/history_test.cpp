@@ -1,0 +1,96 @@
+// Tests for the concurrent-history recorder.
+#include "checker/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "baselines/mutex_queue.hpp"
+
+namespace wfq::lin {
+namespace {
+
+TEST(History, TimestampsAreOrderedWithinAnOperation) {
+  HistoryRecorder rec;
+  auto* log = rec.make_log(0);
+  uint64_t ts = log->invoke();
+  log->complete(OpKind::kEnqueue, 42, ts);
+  auto ops = rec.collect();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_LT(ops[0].invoke_ts, ops[0].respond_ts);
+  EXPECT_EQ(ops[0].kind, OpKind::kEnqueue);
+  EXPECT_EQ(ops[0].value, 42u);
+  EXPECT_EQ(ops[0].thread, 0u);
+}
+
+TEST(History, SequentialOpsAreTotallyOrdered) {
+  HistoryRecorder rec;
+  auto* log = rec.make_log(0);
+  for (int i = 0; i < 10; ++i) {
+    uint64_t ts = log->invoke();
+    log->complete(OpKind::kEnqueue, i + 1, ts);
+  }
+  auto ops = rec.collect();
+  ASSERT_EQ(ops.size(), 10u);
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_TRUE(precedes(ops[i - 1], ops[i]));
+  }
+}
+
+TEST(History, PrecedesIsRealTimeOrder) {
+  Op a{OpKind::kEnqueue, 0, 1, 0, 5};
+  Op b{OpKind::kEnqueue, 1, 2, 6, 9};
+  Op c{OpKind::kEnqueue, 1, 3, 3, 8};  // overlaps a
+  EXPECT_TRUE(precedes(a, b));
+  EXPECT_FALSE(precedes(b, a));
+  EXPECT_FALSE(precedes(a, c));
+  EXPECT_FALSE(precedes(c, a));
+}
+
+TEST(History, ConcurrentRecordingCollectsEverything) {
+  HistoryRecorder rec;
+  constexpr unsigned kThreads = 6;
+  constexpr int kOps = 2000;
+  std::vector<HistoryRecorder::ThreadLog*> logs;
+  for (unsigned t = 0; t < kThreads; ++t) logs.push_back(rec.make_log(t));
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        uint64_t s = logs[t]->invoke();
+        logs[t]->complete(OpKind::kEnqueue, uint64_t(t) * kOps + i, s);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  auto ops = rec.collect();
+  EXPECT_EQ(ops.size(), std::size_t{kThreads} * kOps);
+  // Timestamps must be unique (FAA-issued).
+  std::vector<uint64_t> all;
+  for (auto& op : ops) {
+    all.push_back(op.invoke_ts);
+    all.push_back(op.respond_ts);
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(History, RecordedHelpersTagKindsCorrectly) {
+  HistoryRecorder rec;
+  auto* log = rec.make_log(0);
+  baselines::MutexQueue<uint64_t> q;
+  auto h = q.get_handle();
+  recorded_enqueue(q, h, log, 9);
+  EXPECT_TRUE(recorded_dequeue(q, h, log));
+  EXPECT_FALSE(recorded_dequeue(q, h, log));
+  auto ops = rec.collect();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, OpKind::kEnqueue);
+  EXPECT_EQ(ops[1].kind, OpKind::kDequeue);
+  EXPECT_EQ(ops[1].value, 9u);
+  EXPECT_EQ(ops[2].kind, OpKind::kDequeueEmpty);
+}
+
+}  // namespace
+}  // namespace wfq::lin

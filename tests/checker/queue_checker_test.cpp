@@ -1,0 +1,187 @@
+// Tests for the FIFO-queue linearizability checker: it must accept legal
+// histories (including subtle concurrent ones) and reject each bad pattern
+// of Henzinger-Sezgin-Vafeiadis with a pointed diagnostic.
+#include "checker/queue_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wfq::lin {
+namespace {
+
+// Shorthand builders. Timestamps are explicit to model precise overlap.
+Op enq(uint64_t v, uint64_t t0, uint64_t t1, unsigned thread = 0) {
+  return Op{OpKind::kEnqueue, thread, v, t0, t1};
+}
+Op deq(uint64_t v, uint64_t t0, uint64_t t1, unsigned thread = 0) {
+  return Op{OpKind::kDequeue, thread, v, t0, t1};
+}
+Op deq_empty(uint64_t t0, uint64_t t1, unsigned thread = 0) {
+  return Op{OpKind::kDequeueEmpty, thread, 0, t0, t1};
+}
+
+TEST(QueueChecker, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(check_queue_history({}));
+}
+
+TEST(QueueChecker, SequentialFifoAccepted) {
+  std::vector<Op> h{
+      enq(1, 0, 1), enq(2, 2, 3), deq(1, 4, 5), deq(2, 6, 7),
+      deq_empty(8, 9),
+  };
+  auto r = check_queue_history(h);
+  EXPECT_TRUE(r) << r.violation;
+}
+
+TEST(QueueChecker, OverlappingEnqueuesMayDequeueEitherOrder) {
+  // enq(1) and enq(2) overlap: dequeuing 2 before 1 is legal.
+  std::vector<Op> h{
+      enq(1, 0, 10), enq(2, 1, 9), deq(2, 20, 21), deq(1, 22, 23),
+  };
+  auto r = check_queue_history(h);
+  EXPECT_TRUE(r) << r.violation;
+}
+
+TEST(QueueChecker, OverlappingDequeuesMayCommuteWithFifo) {
+  // enq(1) < enq(2) strictly, but the two dequeues overlap, so either may
+  // linearize first.
+  std::vector<Op> h{
+      enq(1, 0, 1), enq(2, 2, 3), deq(2, 10, 20), deq(1, 11, 19),
+  };
+  auto r = check_queue_history(h);
+  EXPECT_TRUE(r) << r.violation;
+}
+
+TEST(QueueChecker, EmptyLegalWhenQueueCouldBeEmpty) {
+  // The EMPTY overlaps the dequeue of the only value: legal (order the
+  // dequeue first).
+  std::vector<Op> h{
+      enq(1, 0, 1), deq(1, 2, 10), deq_empty(3, 9),
+  };
+  auto r = check_queue_history(h);
+  EXPECT_TRUE(r) << r.violation;
+}
+
+TEST(QueueChecker, EmptyLegalWhenEnqueueOverlaps) {
+  // enq(1) overlaps the EMPTY: the EMPTY may linearize first.
+  std::vector<Op> h{
+      enq(1, 0, 10), deq_empty(1, 9), deq(1, 20, 21),
+  };
+  auto r = check_queue_history(h);
+  EXPECT_TRUE(r) << r.violation;
+}
+
+TEST(QueueChecker, ValueLeftInQueueIsFine) {
+  std::vector<Op> h{enq(1, 0, 1), enq(2, 2, 3), deq(1, 4, 5)};
+  auto r = check_queue_history(h);
+  EXPECT_TRUE(r) << r.violation;
+}
+
+// ---- bad patterns -------------------------------------------------------
+
+TEST(QueueChecker, RejectsP1ValueFromNowhere) {
+  std::vector<Op> h{deq(99, 0, 1)};
+  auto r = check_queue_history(h);
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.violation.find("P1"), std::string::npos) << r.violation;
+}
+
+TEST(QueueChecker, RejectsP2DoubleDequeue) {
+  std::vector<Op> h{enq(1, 0, 1), deq(1, 2, 3), deq(1, 4, 5)};
+  auto r = check_queue_history(h);
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.violation.find("P2"), std::string::npos) << r.violation;
+}
+
+TEST(QueueChecker, RejectsP0DequeueBeforeEnqueueStarts) {
+  std::vector<Op> h{deq(1, 0, 1), enq(1, 2, 3)};
+  auto r = check_queue_history(h);
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.violation.find("P0"), std::string::npos) << r.violation;
+}
+
+TEST(QueueChecker, RejectsP3FifoOrderViolation) {
+  // enq(1) strictly before enq(2); dequeues strictly reversed.
+  std::vector<Op> h{
+      enq(1, 0, 1), enq(2, 2, 3), deq(2, 4, 5), deq(1, 6, 7),
+  };
+  auto r = check_queue_history(h);
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.violation.find("P3"), std::string::npos) << r.violation;
+}
+
+TEST(QueueChecker, RejectsP3LaterValueDequeuedEarlierNeverRemoved) {
+  // 2 dequeued although 1, enqueued strictly first, never was.
+  std::vector<Op> h{enq(1, 0, 1), enq(2, 2, 3), deq(2, 4, 5)};
+  auto r = check_queue_history(h);
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.violation.find("P3"), std::string::npos) << r.violation;
+}
+
+TEST(QueueChecker, RejectsP4ForcedThroughConstraintChain) {
+  // Regression for the incompleteness our cross-validation fuzzer found in
+  // the naive pairwise EMPTY check: no single value pairwise-blocks the
+  // EMPTY, but enq(3) <H deq(1) and enq(1) <H d force 3 into the queue
+  // before d could ever see it empty (3 is never dequeued).
+  std::vector<Op> h{
+      enq(1, 3, 7),  enq(2, 7, 14), enq(3, 2, 9),
+      deq_empty(9, 14), deq(1, 10, 12), deq(2, 11, 13),
+  };
+  auto r = check_queue_history(h);
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.violation.find("P4"), std::string::npos) << r.violation;
+}
+
+TEST(QueueChecker, AcceptsEmptyWithGapInCertainPresence) {
+  // Value 1's certain presence ends (deq(1) may linearize early) before
+  // value 2's begins: the EMPTY can slide into the gap.
+  std::vector<Op> h{
+      enq(1, 0, 1),  deq(1, 2, 20), enq(2, 10, 18),
+      deq_empty(4, 16), deq(2, 21, 22),
+  };
+  auto r = check_queue_history(h);
+  EXPECT_TRUE(r) << r.violation;
+}
+
+TEST(QueueChecker, RejectsP4EmptyWhileProvablyNonEmpty) {
+  // Value 1 sits in the queue across the whole EMPTY interval.
+  std::vector<Op> h{
+      enq(1, 0, 1), deq_empty(2, 3), deq(1, 4, 5),
+  };
+  auto r = check_queue_history(h);
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.violation.find("P4"), std::string::npos) << r.violation;
+}
+
+TEST(QueueChecker, RejectsP4EmptyWithValueNeverRemoved) {
+  std::vector<Op> h{enq(1, 0, 1), deq_empty(2, 3)};
+  auto r = check_queue_history(h);
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.violation.find("P4"), std::string::npos) << r.violation;
+}
+
+TEST(QueueChecker, RejectsDuplicateEnqueueAsPrecondition) {
+  std::vector<Op> h{enq(1, 0, 1), enq(1, 2, 3)};
+  auto r = check_queue_history(h);
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.violation.find("precondition"), std::string::npos);
+}
+
+TEST(QueueChecker, LargeLegalHistoryFast) {
+  // A pipelined SPSC-like history: enqueue i at [2i, 2i+1], dequeue i at
+  // [2i+1000000, ...]. O(n^2) checker must still be quick at n = 2000.
+  std::vector<Op> h;
+  constexpr uint64_t kN = 1000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    h.push_back(enq(i + 1, 2 * i, 2 * i + 1));
+  }
+  for (uint64_t i = 0; i < kN; ++i) {
+    h.push_back(deq(i + 1, 1000000 + 2 * i, 1000000 + 2 * i + 1));
+  }
+  auto r = check_queue_history(h);
+  EXPECT_TRUE(r) << r.violation;
+}
+
+}  // namespace
+}  // namespace wfq::lin

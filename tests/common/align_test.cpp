@@ -1,0 +1,65 @@
+// Unit tests for cache-line alignment utilities.
+#include "common/align.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace wfq {
+namespace {
+
+TEST(Align, CacheAlignedOccupiesWholeLines) {
+  static_assert(sizeof(CacheAligned<std::atomic<uint64_t>>) == kCacheLineSize);
+  static_assert(sizeof(CacheAligned<char[100]>) == 2 * kCacheLineSize);
+}
+
+TEST(Align, AdjacentMembersLandOnDistinctLines) {
+  struct Pair {
+    CacheAligned<std::atomic<uint64_t>> a;
+    CacheAligned<std::atomic<uint64_t>> b;
+  } p;
+  auto line = [](const void* ptr) {
+    return reinterpret_cast<uintptr_t>(ptr) / kCacheLineSize;
+  };
+  EXPECT_NE(line(&p.a), line(&p.b));
+}
+
+TEST(Align, AccessorsWork) {
+  CacheAligned<int> x(41);
+  EXPECT_EQ(*x, 41);
+  *x += 1;
+  EXPECT_EQ(x.value, 42);
+  CacheAligned<std::atomic<int>> a(5);
+  EXPECT_EQ(a->load(), 5);
+}
+
+TEST(Align, AlignedNewRespectsAlignment) {
+  struct Big {
+    char data[200];
+  };
+  for (int i = 0; i < 64; ++i) {
+    Big* p = aligned_new<Big>();
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kCacheLineSize, 0u);
+    aligned_delete(p);
+  }
+}
+
+TEST(Align, AlignedNewForwardsConstructorArgs) {
+  struct Val {
+    int v;
+    explicit Val(int x) : v(x) {}
+  };
+  Val* p = aligned_new<Val>(17);
+  EXPECT_EQ(p->v, 17);
+  aligned_delete(p);
+}
+
+TEST(Align, AlignedDeleteNullIsNoop) {
+  int* p = nullptr;
+  aligned_delete(p);  // must not crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wfq

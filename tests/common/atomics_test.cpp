@@ -1,0 +1,158 @@
+// Unit tests for the atomic-primitive substrate (§3.1 of the paper):
+// native/emulated FAA equivalence, CAS helpers, and double-width CAS.
+#include "common/atomics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace wfq {
+namespace {
+
+template <class Faa>
+class FaaPolicyTest : public ::testing::Test {};
+
+using FaaPolicies = ::testing::Types<NativeFaa, EmulatedFaa>;
+TYPED_TEST_SUITE(FaaPolicyTest, FaaPolicies);
+
+TYPED_TEST(FaaPolicyTest, ReturnsPreviousValue) {
+  std::atomic<uint64_t> a{10};
+  EXPECT_EQ(TypeParam::fetch_add(a, uint64_t{5}, std::memory_order_seq_cst),
+            10u);
+  EXPECT_EQ(a.load(), 15u);
+}
+
+TYPED_TEST(FaaPolicyTest, SignedNegativeIncrement) {
+  std::atomic<int64_t> a{0};
+  EXPECT_EQ(TypeParam::fetch_add(a, int64_t{-3}, std::memory_order_seq_cst),
+            0);
+  EXPECT_EQ(a.load(), -3);
+}
+
+TYPED_TEST(FaaPolicyTest, ConcurrentIncrementsAllDistinct) {
+  // FAA must hand out every index exactly once — the property the whole
+  // queue design rests on.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::atomic<uint64_t> counter{0};
+  std::vector<std::vector<uint64_t>> got(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      got[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        got[t].push_back(TypeParam::fetch_add(counter, uint64_t{1},
+                                              std::memory_order_seq_cst));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  for (auto& v : got) {
+    for (uint64_t x : v) {
+      ASSERT_LT(x, seen.size());
+      ASSERT_FALSE(seen[x]) << "index " << x << " issued twice";
+      seen[x] = true;
+    }
+  }
+  EXPECT_EQ(counter.load(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(FaaPolicy, WaitFreedomFlagsMatchTheHardwareStory) {
+  // Native FAA is wait-free; the LL/SC emulation is not (§3.1, §5 Power7).
+  EXPECT_TRUE(NativeFaa::kWaitFree);
+  EXPECT_FALSE(EmulatedFaa::kWaitFree);
+}
+
+TEST(Cas, SucceedsOnceOnExpectedValue) {
+  std::atomic<int> a{1};
+  EXPECT_TRUE(cas(a, 1, 2));
+  EXPECT_EQ(a.load(), 2);
+  EXPECT_FALSE(cas(a, 1, 3));
+  EXPECT_EQ(a.load(), 2);
+}
+
+TEST(Cas, WitnessReportsObservedValue) {
+  std::atomic<int> a{7};
+  int expected = 1;
+  EXPECT_FALSE(cas_witness(a, expected, 9));
+  EXPECT_EQ(expected, 7);
+  EXPECT_TRUE(cas_witness(a, expected, 9));
+  EXPECT_EQ(a.load(), 9);
+}
+
+TEST(Backoff, GrowsAndResets) {
+  Backoff b(16);
+  // No crash, bounded growth; behavioural smoke test.
+  for (int i = 0; i < 10; ++i) b.pause();
+  b.reset();
+  b.pause();
+  SUCCEED();
+}
+
+TEST(Cas2, BasicSwap) {
+  U128 w{1, 2};
+  EXPECT_TRUE(cas2(&w, U128{1, 2}, U128{3, 4}));
+  EXPECT_EQ(w.lo, 3u);
+  EXPECT_EQ(w.hi, 4u);
+  EXPECT_FALSE(cas2(&w, U128{1, 2}, U128{5, 6}));
+  EXPECT_EQ(w.lo, 3u);
+  EXPECT_EQ(w.hi, 4u);
+}
+
+TEST(Cas2, FailsOnHalfMatch) {
+  // Both halves must match — that is the point of CAS2 in LCRQ.
+  U128 w{10, 20};
+  EXPECT_FALSE(cas2(&w, U128{10, 99}, U128{0, 0}));
+  EXPECT_FALSE(cas2(&w, U128{99, 20}, U128{0, 0}));
+  EXPECT_TRUE(cas2(&w, U128{10, 20}, U128{0, 0}));
+}
+
+TEST(Cas2, Load2SeesWholePairs) {
+  // Writers only ever install (x, x+1) pairs; a torn read would surface as
+  // hi != lo+1.
+  U128 w{0, 1};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t x = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      U128 cur = load2(&w);
+      ++x;
+      cas2(&w, cur, U128{x, x + 1});
+    }
+  });
+  for (int i = 0; i < 200000; ++i) {
+    U128 v = load2(&w);
+    ASSERT_EQ(v.hi, v.lo + 1) << "torn 16-byte read";
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(Cas2, ConcurrentCountingNoLostUpdates) {
+  U128 w{0, 0};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        for (;;) {
+          U128 cur = load2(&w);
+          if (cas2(&w, cur, U128{cur.lo + 1, cur.hi + 2})) break;
+          cpu_pause();
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  U128 v = load2(&w);
+  EXPECT_EQ(v.lo, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(v.hi, uint64_t{kThreads} * kPerThread * 2);
+}
+
+}  // namespace
+}  // namespace wfq

@@ -1,0 +1,99 @@
+// Unit tests for the packed (pending, index) request-state word, the atom
+// the paper's two-word-request consistency argument (§3.4) rests on.
+#include "common/packed_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace wfq {
+namespace {
+
+TEST(PackedState, DefaultIsNotPendingIndexZero) {
+  PackedState s;
+  EXPECT_FALSE(s.pending());
+  EXPECT_EQ(s.index(), 0u);
+  EXPECT_EQ(s.word(), 0u);
+}
+
+TEST(PackedState, RoundTripsPendingAndIndex) {
+  for (bool pending : {false, true}) {
+    for (uint64_t idx : {uint64_t{0}, uint64_t{1}, uint64_t{12345},
+                         PackedState::kMaxIndex}) {
+      PackedState s(pending, idx);
+      EXPECT_EQ(s.pending(), pending) << idx;
+      EXPECT_EQ(s.index(), idx) << pending;
+    }
+  }
+}
+
+TEST(PackedState, WordRoundTrip) {
+  PackedState s(true, 0x1234567890ABCDEFull & PackedState::kIndexMask);
+  PackedState t = PackedState::from_word(s.word());
+  EXPECT_EQ(s, t);
+  EXPECT_EQ(t.pending(), true);
+  EXPECT_EQ(t.index(), 0x1234567890ABCDEFull & PackedState::kIndexMask);
+}
+
+TEST(PackedState, IndexMaskedTo63Bits) {
+  // An index with bit 63 set must not leak into the pending bit.
+  PackedState s(false, ~uint64_t{0});
+  EXPECT_FALSE(s.pending());
+  EXPECT_EQ(s.index(), PackedState::kMaxIndex);
+}
+
+TEST(PackedState, EqualityComparesWholeWord) {
+  EXPECT_EQ(PackedState(true, 7), PackedState(true, 7));
+  EXPECT_FALSE(PackedState(true, 7) == PackedState(false, 7));
+  EXPECT_FALSE(PackedState(true, 7) == PackedState(true, 8));
+}
+
+TEST(PackedState, PendingBitIsTopBit) {
+  EXPECT_EQ(PackedState::kPendingBit, uint64_t{1} << 63);
+  EXPECT_EQ(PackedState::kIndexMask, (uint64_t{1} << 63) - 1);
+  EXPECT_EQ(PackedState(true, 0).word(), PackedState::kPendingBit);
+}
+
+TEST(PackedState, SingleCasClaimsRequest) {
+  // The claim transition of Listing 3: (1, id) -> (0, cell) must be a
+  // single CAS on the packed word.
+  std::atomic<uint64_t> state{PackedState(true, 42).word()};
+  uint64_t expected = PackedState(true, 42).word();
+  EXPECT_TRUE(state.compare_exchange_strong(expected,
+                                            PackedState(false, 99).word()));
+  PackedState s = PackedState::from_word(state.load());
+  EXPECT_FALSE(s.pending());
+  EXPECT_EQ(s.index(), 99u);
+  // A second claim attempt with the stale expected value must fail.
+  expected = PackedState(true, 42).word();
+  EXPECT_FALSE(state.compare_exchange_strong(expected,
+                                             PackedState(false, 7).word()));
+}
+
+TEST(PackedState, ExactlyOneConcurrentClaimWins) {
+  // Property: however many helpers race to claim a pending request, exactly
+  // one CAS succeeds (Invariant 1 analogue at the request level).
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<uint64_t> state{PackedState(true, 5).word()};
+    std::atomic<int> wins{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 4; ++t) {
+      ts.emplace_back([&, t] {
+        uint64_t expected = PackedState(true, 5).word();
+        if (state.compare_exchange_strong(
+                expected, PackedState(false, 100 + t).word())) {
+          wins.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(wins.load(), 1);
+    EXPECT_FALSE(PackedState::from_word(state.load()).pending());
+  }
+}
+
+}  // namespace
+}  // namespace wfq

@@ -1,0 +1,28 @@
+// Version / feature macros sanity.
+#include "wfq_version.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfq {
+namespace {
+
+TEST(Version, MacrosAndFunctionAgree) {
+  constexpr Version v = version();
+  EXPECT_EQ(v.major, WFQ_VERSION_MAJOR);
+  EXPECT_EQ(v.minor, WFQ_VERSION_MINOR);
+  EXPECT_EQ(v.patch, WFQ_VERSION_PATCH);
+  std::string s = WFQ_VERSION_STRING;
+  EXPECT_EQ(s, std::to_string(v.major) + "." + std::to_string(v.minor) + "." +
+                   std::to_string(v.patch));
+}
+
+TEST(Version, Cas2DetectionMatchesAtomics) {
+#if defined(WFQ_HAVE_CX16)
+  EXPECT_TRUE(has_native_cas2());
+#else
+  EXPECT_FALSE(has_native_cas2());
+#endif
+}
+
+}  // namespace
+}  // namespace wfq

@@ -1,0 +1,209 @@
+// Unit tests for the slot codec: every supported payload category must
+// round-trip and stay clear of the queue's reserved slot values.
+#include "core/slot_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/wf_queue.hpp"
+
+namespace wfq {
+namespace {
+
+using Core = WFQueueCore<DefaultWfTraits>;
+
+template <class T>
+void expect_slot_legal(uint64_t slot) {
+  EXPECT_TRUE(Core::is_enqueueable(slot))
+      << "codec produced reserved slot " << slot;
+}
+
+TEST(SlotCodec, SmallIntegralsRoundTrip) {
+  for (int v : {0, 1, -1, 42, -42, std::numeric_limits<int>::max(),
+                std::numeric_limits<int>::min()}) {
+    uint64_t slot = SlotCodec<int>::encode(v);
+    expect_slot_legal<int>(slot);
+    EXPECT_EQ(SlotCodec<int>::decode(slot), v);
+  }
+}
+
+TEST(SlotCodec, UnsignedAndNarrowTypes) {
+  for (uint32_t v : {0u, 1u, ~0u}) {
+    uint64_t slot = SlotCodec<uint32_t>::encode(v);
+    expect_slot_legal<uint32_t>(slot);
+    EXPECT_EQ(SlotCodec<uint32_t>::decode(slot), v);
+  }
+  for (uint8_t v : {uint8_t{0}, uint8_t{255}}) {
+    uint64_t slot = SlotCodec<uint8_t>::encode(v);
+    expect_slot_legal<uint8_t>(slot);
+    EXPECT_EQ(SlotCodec<uint8_t>::decode(slot), v);
+  }
+  for (char v : {'a', '\0', '\xff'}) {
+    uint64_t slot = SlotCodec<char>::encode(v);
+    expect_slot_legal<char>(slot);
+    EXPECT_EQ(SlotCodec<char>::decode(slot), v);
+  }
+}
+
+TEST(SlotCodec, EnumsRoundTrip) {
+  enum class Color : uint16_t { kRed = 0, kGreen = 1, kBlue = 65535 };
+  for (Color v : {Color::kRed, Color::kGreen, Color::kBlue}) {
+    uint64_t slot = SlotCodec<Color>::encode(v);
+    expect_slot_legal<Color>(slot);
+    EXPECT_EQ(SlotCodec<Color>::decode(slot), v);
+  }
+}
+
+TEST(SlotCodec, SignedEnumsWithNegativeValues) {
+  enum class Level : int16_t { kLow = -32768, kMid = -1, kHigh = 32767 };
+  for (Level v : {Level::kLow, Level::kMid, Level::kHigh}) {
+    uint64_t slot = SlotCodec<Level>::encode(v);
+    expect_slot_legal<Level>(slot);
+    EXPECT_EQ(SlotCodec<Level>::decode(slot), v);
+  }
+}
+
+TEST(SlotCodec, BoolRoundTrips) {
+  for (bool v : {false, true}) {
+    uint64_t slot = SlotCodec<bool>::encode(v);
+    expect_slot_legal<bool>(slot);
+    EXPECT_EQ(SlotCodec<bool>::decode(slot), v);
+  }
+}
+
+TEST(SlotCodec, WideIntegralsRoundTripInRepresentableRange) {
+  for (uint64_t v : {uint64_t{1}, uint64_t{42}, ~uint64_t{0} - 2}) {
+    ASSERT_TRUE(SlotCodec<uint64_t>::representable(v));
+    uint64_t slot = SlotCodec<uint64_t>::encode(v);
+    expect_slot_legal<uint64_t>(slot);
+    EXPECT_EQ(SlotCodec<uint64_t>::decode(slot), v);
+  }
+  for (int64_t v : {int64_t{1}, int64_t{-5}, std::numeric_limits<int64_t>::min()}) {
+    if (!SlotCodec<int64_t>::representable(v)) continue;
+    uint64_t slot = SlotCodec<int64_t>::encode(v);
+    expect_slot_legal<int64_t>(slot);
+    EXPECT_EQ(SlotCodec<int64_t>::decode(slot), v);
+  }
+}
+
+TEST(SlotCodec, WideIntegralReservedValuesAreDocumented) {
+  EXPECT_FALSE(SlotCodec<uint64_t>::representable(0));
+  EXPECT_FALSE(SlotCodec<uint64_t>::representable(~uint64_t{0}));
+  EXPECT_FALSE(SlotCodec<uint64_t>::representable(~uint64_t{0} - 1));
+  EXPECT_TRUE(SlotCodec<uint64_t>::representable(1));
+}
+
+TEST(SlotCodec, PointersRoundTrip) {
+  int x = 5;
+  uint64_t slot = SlotCodec<int*>::encode(&x);
+  expect_slot_legal<int*>(slot);
+  EXPECT_EQ(SlotCodec<int*>::decode(slot), &x);
+}
+
+TEST(SlotCodec, FloatRoundTripIncludingSpecials) {
+  for (float v : {0.0f, -0.0f, 1.5f, -3.25f,
+                  std::numeric_limits<float>::infinity(),
+                  -std::numeric_limits<float>::infinity(),
+                  std::numeric_limits<float>::denorm_min()}) {
+    uint64_t slot = SlotCodec<float>::encode(v);
+    expect_slot_legal<float>(slot);
+    float back = SlotCodec<float>::decode(slot);
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0);
+  }
+  float nan = std::nanf("");
+  float back = SlotCodec<float>::decode(SlotCodec<float>::encode(nan));
+  EXPECT_TRUE(std::isnan(back));
+}
+
+TEST(SlotCodec, DoubleRoundTripIncludingSpecials) {
+  for (double v : {0.0, -0.0, 1.5, -3.25,
+                   std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::denorm_min(),
+                   std::numeric_limits<double>::max()}) {
+    uint64_t slot = SlotCodec<double>::encode(v);
+    expect_slot_legal<double>(slot);
+    double back = SlotCodec<double>::decode(slot);
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0);
+  }
+}
+
+TEST(SlotCodec, DoubleNonCanonicalNanCanonicalized) {
+  // The three bit patterns that would collide with reserved slots are
+  // negative NaNs; they must decode to *a* NaN.
+  for (uint64_t bits : {~uint64_t{0}, ~uint64_t{0} - 1, ~uint64_t{0} - 2}) {
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    ASSERT_TRUE(std::isnan(v));
+    uint64_t slot = SlotCodec<double>::encode(v);
+    expect_slot_legal<double>(slot);
+    EXPECT_TRUE(std::isnan(SlotCodec<double>::decode(slot)));
+  }
+}
+
+TEST(SlotCodec, BoxedTypesRoundTripAndFree) {
+  uint64_t slot = SlotCodec<std::string>::encode(std::string("hello world"));
+  expect_slot_legal<std::string>(slot);
+  EXPECT_EQ(SlotCodec<std::string>::decode(slot), "hello world");
+
+  uint64_t slot2 =
+      SlotCodec<std::vector<int>>::encode(std::vector<int>{1, 2, 3});
+  auto v = SlotCodec<std::vector<int>>::decode(slot2);
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SlotCodec, BoxedMoveOnlyTypes) {
+  auto p = std::make_unique<int>(99);
+  int* raw = p.get();
+  uint64_t slot = SlotCodec<std::unique_ptr<int>>::encode(std::move(p));
+  auto back = SlotCodec<std::unique_ptr<int>>::decode(slot);
+  EXPECT_EQ(back.get(), raw);
+  EXPECT_EQ(*back, 99);
+}
+
+TEST(SlotCodec, DestroySlotReleasesBox) {
+  static int live = 0;
+  struct Counted {
+    Counted() { ++live; }
+    Counted(Counted&&) noexcept { ++live; }
+    ~Counted() { --live; }
+  };
+  uint64_t slot = SlotCodec<Counted>::encode(Counted{});
+  EXPECT_EQ(live, 1);
+  SlotCodec<Counted>::destroy_slot(slot);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(SlotCodec, QueueOfDoublesEndToEnd) {
+  WFQueue<double> q;
+  auto h = q.get_handle();
+  q.enqueue(h, 3.14);
+  q.enqueue(h, -0.0);
+  q.enqueue(h, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(q.dequeue(h), 3.14);
+  auto z = q.dequeue(h);
+  ASSERT_TRUE(z.has_value());
+  EXPECT_TRUE(*z == 0.0 && std::signbit(*z));
+  EXPECT_EQ(q.dequeue(h), std::numeric_limits<double>::infinity());
+}
+
+TEST(SlotCodec, QueueOfPointersEndToEnd) {
+  WFQueue<int*> q;
+  auto h = q.get_handle();
+  int xs[3] = {1, 2, 3};
+  for (auto& x : xs) q.enqueue(h, &x);
+  for (auto& x : xs) {
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, &x);
+  }
+}
+
+}  // namespace
+}  // namespace wfq

@@ -1,0 +1,133 @@
+// White-box tests of the §3 invariants at the primitive level, via
+// WfTestPeek: the linearizability advancer, request claiming, and the
+// terminality of enqueue result states (Invariant 1).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/packed_state.hpp"
+#include "core/wf_queue_core.hpp"
+#include "support/wf_test_peek.hpp"
+
+namespace wfq {
+namespace {
+
+using Core = WFQueueCore<DefaultWfTraits>;
+
+TEST(WfInvariants, AdvanceEndNeverMovesBackward) {
+  // Invariant 4's enabler: the tail index only rises, one step per
+  // fast-path enqueue, jumps allowed when helpers commit slow-path values.
+  Core q;
+  auto* h = q.register_handle();
+  uint64_t t_before = q.tail_index();
+  for (int i = 0; i < 1000; ++i) {
+    q.enqueue(h, uint64_t(i) + 1);
+    uint64_t t_now = q.tail_index();
+    ASSERT_GE(t_now, t_before + 1);
+    t_before = t_now;
+  }
+}
+
+TEST(WfInvariants, TailIndexMonotoneUnderConcurrency) {
+  Core q;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  std::thread watcher([&] {
+    uint64_t last_t = 0, last_h = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t t = q.tail_index();
+      uint64_t hh = q.head_index();
+      if (t < last_t || hh < last_h) violated.store(true);
+      last_t = t;
+      last_h = hh;
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&, w] {
+      auto* h = q.register_handle();
+      for (uint64_t i = 0; i < 30000; ++i) {
+        q.enqueue(h, (uint64_t(w + 1) << 40) | (i + 1));
+        (void)q.dequeue(h);
+      }
+      q.release_handle(h);
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true);
+  watcher.join();
+  EXPECT_FALSE(violated.load()) << "head/tail index moved backward";
+}
+
+TEST(WfInvariants, DequeueNeverReturnsReservedSlots) {
+  Core q;
+  auto* h = q.register_handle();
+  for (int round = 0; round < 2000; ++round) {
+    if (round % 3 != 0) q.enqueue(h, uint64_t(round) + 1);
+    uint64_t v = q.dequeue(h);
+    ASSERT_NE(v, Core::kBot);
+    ASSERT_NE(v, Core::kTop);
+    // kEmpty is the legal "empty" sentinel; anything else is a payload.
+    if (v != Core::kEmpty) {
+      ASSERT_TRUE(Core::is_enqueueable(v));
+    }
+  }
+}
+
+TEST(WfInvariants, StalledEnqueueRequestClaimedExactlyOnce) {
+  // Invariant analogue of "one and only one unique enqueue result state":
+  // many dequeuers race to help one stalled enqueue; its value must
+  // surface exactly once across everything dequeued.
+  for (int round = 0; round < 50; ++round) {
+    Core q;
+    auto* stalled = q.register_handle();
+    (void)WfTestPeek::publish_enq_request(q, stalled, 777);
+
+    constexpr unsigned kHelpers = 4;
+    std::atomic<int> seen_777{0};
+    std::vector<std::thread> ts;
+    for (unsigned i = 0; i < kHelpers; ++i) {
+      ts.emplace_back([&] {
+        auto* h = q.register_handle();
+        for (int k = 0; k < 8; ++k) {
+          uint64_t v = q.dequeue(h);
+          if (v == 777u) seen_777.fetch_add(1);
+        }
+        q.release_handle(h);
+      });
+    }
+    for (auto& t : ts) t.join();
+    ASSERT_EQ(seen_777.load(), 1)
+        << "stalled request's value surfaced " << seen_777.load() << " times";
+    ASSERT_FALSE(WfTestPeek::enq_request_pending<Core>(stalled));
+  }
+}
+
+TEST(WfInvariants, PackedClaimTransitionMatchesPaper) {
+  // try_to_claim_req's (1, id) -> (0, cell) transition, raced.
+  for (int round = 0; round < 500; ++round) {
+    std::atomic<uint64_t> state{PackedState(true, 7).word()};
+    std::atomic<int> winners{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 3; ++t) {
+      ts.emplace_back([&, t] {
+        uint64_t expected = PackedState(true, 7).word();
+        if (state.compare_exchange_strong(
+                expected, PackedState(false, 100 + t).word())) {
+          winners.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    ASSERT_EQ(winners.load(), 1);
+    auto s = PackedState::from_word(state.load());
+    ASSERT_FALSE(s.pending());
+    ASSERT_GE(s.index(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace wfq

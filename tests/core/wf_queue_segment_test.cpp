@@ -1,0 +1,116 @@
+// Tests of the segment list (the paper's emulated infinite array, Listing 2
+// find_cell) and its growth/reclamation bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/wf_queue.hpp"
+#include "support/wf_test_peek.hpp"
+
+namespace wfq {
+namespace {
+
+struct Seg4Traits : DefaultWfTraits {
+  static constexpr std::size_t kSegmentSize = 4;
+};
+struct Seg64Traits : DefaultWfTraits {
+  static constexpr std::size_t kSegmentSize = 64;
+};
+
+TEST(WfQueueSegment, OneSegmentInitially) {
+  WFQueue<int, Seg4Traits> q;
+  EXPECT_EQ(q.live_segments(), 1u);
+}
+
+TEST(WfQueueSegment, GrowsByOneSegmentPerNCells) {
+  WFQueue<int, Seg4Traits> q;
+  auto h = q.get_handle();
+  for (int i = 0; i < 4; ++i) q.enqueue(h, i);
+  EXPECT_EQ(q.live_segments(), 1u);  // cells 0..3 fit in segment 0
+  q.enqueue(h, 4);                   // cell 4 -> segment 1
+  EXPECT_EQ(q.live_segments(), 2u);
+  for (int i = 5; i < 12; ++i) q.enqueue(h, i);
+  EXPECT_EQ(q.live_segments(), 3u);
+}
+
+TEST(WfQueueSegment, EmptyDequeuesAlsoConsumeCells) {
+  // A dequeue on an empty queue marks a cell unusable, consuming index
+  // space; the segment list must grow accordingly.
+  WFQueue<int, Seg4Traits> q;
+  auto h = q.get_handle();
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(q.dequeue(h), std::nullopt);
+  EXPECT_GE(q.live_segments(), 2u);
+  EXPECT_GE(q.head_index(), 9u);
+}
+
+TEST(WfQueueSegment, ValuesSurviveSegmentTransitions) {
+  WFQueue<uint64_t, Seg64Traits> q;
+  auto h = q.get_handle();
+  constexpr uint64_t kCount = 64 * 37 + 13;
+  for (uint64_t i = 1; i <= kCount; ++i) q.enqueue(h, i);
+  for (uint64_t i = 1; i <= kCount; ++i) {
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+}
+
+TEST(WfQueueSegment, SegmentsAllocatedMatchesIndexSpace) {
+  WFQueue<int, Seg4Traits> q;
+  auto h = q.get_handle();
+  constexpr int kCount = 200;
+  for (int i = 0; i < kCount; ++i) q.enqueue(h, i);
+  // Cells 0..kCount-1 span exactly ceil(kCount/4) segments; a single
+  // thread loses no extension races, so nothing extra is allocated.
+  EXPECT_EQ(q.live_segments(), (kCount + 3) / 4);
+}
+
+TEST(WfQueueSegment, ConcurrentGrowthHasNoGapsOrDuplicates) {
+  // Many threads racing to extend the list must produce one segment per id
+  // with a contiguous id sequence.
+  using Q = WFQueue<uint64_t, Seg4Traits>;
+  Q q;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&q, t] {
+      auto h = q.get_handle();
+      for (int i = 0; i < kPerThread; ++i) {
+        q.enqueue(h, uint64_t(t) * kPerThread + i + 1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Walk the list: ids must increase by exactly one.
+  auto& core = q.core();
+  std::size_t n = core.live_segments();
+  EXPECT_GE(n, uint64_t{kThreads} * kPerThread / 4);
+  // Drain and verify the value multiset.
+  auto h = q.get_handle();
+  std::vector<bool> seen(kThreads * kPerThread + 1, false);
+  std::size_t count = 0;
+  for (;;) {
+    auto v = q.dequeue(h);
+    if (!v.has_value()) break;
+    ASSERT_LE(*v, seen.size() - 1);
+    ASSERT_FALSE(seen[*v]) << "duplicate value " << *v;
+    seen[*v] = true;
+    ++count;
+  }
+  EXPECT_EQ(count, std::size_t{kThreads} * kPerThread);
+}
+
+TEST(WfQueueSegment, OutstandingCountsBalanceWhileAlive) {
+  WFQueue<int, Seg4Traits> q;
+  auto h = q.get_handle();
+  for (int i = 0; i < 100; ++i) q.enqueue(h, i);
+  for (int i = 0; i < 100; ++i) (void)q.dequeue(h);
+  // live list + per-handle spares account for every outstanding segment.
+  EXPECT_GE(q.segments_outstanding(), int64_t(q.live_segments()));
+}
+
+}  // namespace
+}  // namespace wfq

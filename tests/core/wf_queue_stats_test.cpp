@@ -1,0 +1,142 @@
+// Tests of the operation-path and wait-freedom instrumentation (OpStats)
+// and the approx_size heuristic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/wf_queue.hpp"
+#include "support/wf_test_peek.hpp"
+
+namespace wfq {
+namespace {
+
+using Core = WFQueueCore<DefaultWfTraits>;
+
+TEST(WfStats, SequentialOpsProbeExactlyOneCell) {
+  WFQueue<uint64_t> q;
+  auto h = q.get_handle();
+  for (int i = 0; i < 100; ++i) q.enqueue(h, i + 1);
+  for (int i = 0; i < 100; ++i) (void)q.dequeue(h);
+  OpStats s = q.stats();
+  EXPECT_EQ(s.max_enq_probes.load(), 1u);
+  EXPECT_EQ(s.max_deq_probes.load(), 1u);
+  EXPECT_DOUBLE_EQ(s.avg_enq_probes(), 1.0);
+  EXPECT_DOUBLE_EQ(s.avg_deq_probes(), 1.0);
+  EXPECT_EQ(s.enq_probes.load(), 100u);
+  EXPECT_EQ(s.deq_probes.load(), 100u);
+}
+
+TEST(WfStats, SlowPathEnqueueProbesMoreThanOneCell) {
+  WfConfig cfg;
+  cfg.patience = 0;
+  Core q(cfg);
+  auto* h = q.register_handle();
+  EXPECT_EQ(q.dequeue(h), Core::kEmpty);  // seal cell 0
+  q.enqueue(h, 55);                       // fast fail -> slow path
+  OpStats s = q.collect_stats();
+  EXPECT_GE(s.max_enq_probes.load(), 2u)
+      << "slow-path enqueue must have probed the failed and the retry cell";
+}
+
+TEST(WfStats, ProbesBoundedIndependentOfRunLength) {
+  // Empirical wait-freedom: double the ops, the max probes stay put.
+  auto run = [](uint64_t ops) {
+    WfConfig cfg;
+    cfg.patience = 0;
+    WFQueue<uint64_t> q(cfg);
+    constexpr unsigned kThreads = 4;
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&, t] {
+        auto h = q.get_handle();
+        for (uint64_t i = 0; i < ops; ++i) {
+          q.enqueue(h, (uint64_t(t) << 40) | (i + 1));
+          (void)q.dequeue(h);
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    OpStats s = q.stats();
+    return std::max(s.max_enq_probes.load(), s.max_deq_probes.load());
+  };
+  uint64_t short_run = run(2000);
+  uint64_t long_run = run(20000);
+  // Both bounded by thread-count-dependent constants, not run length. The
+  // slack factor absorbs scheduling noise.
+  EXPECT_LE(long_run, std::max<uint64_t>(10 * short_run, 64));
+}
+
+TEST(WfStats, CountersSurviveSnapshotAndReset) {
+  WFQueue<uint64_t> q;
+  auto h = q.get_handle();
+  q.enqueue(h, 1);
+  OpStats a = q.stats();   // copy snapshot
+  OpStats b = a;           // copyable
+  EXPECT_EQ(b.enqueues(), a.enqueues());
+  q.reset_stats();
+  EXPECT_EQ(q.stats().enqueues(), 0u);
+  EXPECT_EQ(b.enqueues(), 1u) << "snapshot must be independent";
+}
+
+TEST(WfStats, AddMergesMaximaAndTotals) {
+  OpStats a, b;
+  a.enq_probes.store(10);
+  a.max_enq_probes.store(4);
+  a.enq_fast.store(3);
+  b.enq_probes.store(5);
+  b.max_enq_probes.store(9);
+  b.enq_fast.store(2);
+  a.add(b);
+  EXPECT_EQ(a.enq_probes.load(), 15u);
+  EXPECT_EQ(a.max_enq_probes.load(), 9u);
+  EXPECT_EQ(a.enq_fast.load(), 5u);
+}
+
+TEST(WfApproxSize, TracksBacklogRoughly) {
+  WFQueue<uint64_t> q;
+  auto h = q.get_handle();
+  EXPECT_EQ(q.approx_size(), 0u);
+  for (int i = 0; i < 50; ++i) q.enqueue(h, i + 1);
+  EXPECT_EQ(q.approx_size(), 50u);
+  for (int i = 0; i < 20; ++i) (void)q.dequeue(h);
+  EXPECT_EQ(q.approx_size(), 30u);
+  for (int i = 0; i < 30; ++i) (void)q.dequeue(h);
+  EXPECT_EQ(q.approx_size(), 0u);
+}
+
+TEST(WfApproxSize, ClampsWhenDequeuersOverrun) {
+  WFQueue<uint64_t> q;
+  auto h = q.get_handle();
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(q.dequeue(h).has_value());
+  EXPECT_EQ(q.approx_size(), 0u) << "H > T must clamp to zero";
+  q.enqueue(h, 1);
+  // Index space wasted by the empty dequeues makes this heuristic, not
+  // exact; it must merely never underflow.
+  EXPECT_LE(q.approx_size(), 1u);
+}
+
+TEST(WfApproxSize, NeverNegativeUnderConcurrency) {
+  WFQueue<uint64_t> q;
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    auto h = q.get_handle();
+    uint64_t v = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      q.enqueue(h, v++);
+      (void)q.dequeue(h);
+      (void)q.dequeue(h);  // overrun regularly
+    }
+  });
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t s = q.approx_size();
+    ASSERT_LT(s, uint64_t{1} << 62) << "underflow leaked through clamp";
+  }
+  stop.store(true);
+  churn.join();
+}
+
+}  // namespace
+}  // namespace wfq

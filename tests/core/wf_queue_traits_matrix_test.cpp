@@ -1,0 +1,69 @@
+// Traits-combination matrix: every pairing of memory-ordering policy, FAA
+// implementation and schedule perturbation must preserve MPMC correctness.
+// Catches configuration-dependent assumptions (e.g. an ordering that only
+// holds under seq_cst, or a path only exercised with native FAA).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "common/random.hpp"
+#include "core/wf_queue.hpp"
+#include "support/queue_test_util.hpp"
+
+namespace wfq {
+namespace {
+
+void maybe_yield() {
+  thread_local Xorshift128Plus rng(
+      0x5151 ^ std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  if (rng.next_below(10) == 0) std::this_thread::yield();
+}
+
+template <bool kConservative, class FaaPolicy, bool kPerturb>
+struct MatrixTraits : DefaultWfTraits {
+  static constexpr std::size_t kSegmentSize = 32;
+  static constexpr bool kConservativeOrdering = kConservative;
+  using Faa = FaaPolicy;
+  static void interleave_hint() {
+    if constexpr (kPerturb) maybe_yield();
+  }
+};
+
+template <class Traits>
+class WfTraitsMatrix : public ::testing::Test {};
+
+using AllCombos = ::testing::Types<
+    MatrixTraits<false, NativeFaa, false>,
+    MatrixTraits<false, NativeFaa, true>,
+    MatrixTraits<false, EmulatedFaa, false>,
+    MatrixTraits<false, EmulatedFaa, true>,
+    MatrixTraits<true, NativeFaa, false>,
+    MatrixTraits<true, NativeFaa, true>,
+    MatrixTraits<true, EmulatedFaa, false>,
+    MatrixTraits<true, EmulatedFaa, true>>;
+TYPED_TEST_SUITE(WfTraitsMatrix, AllCombos);
+
+TYPED_TEST(WfTraitsMatrix, MpmcPropertyHolds) {
+  WfConfig cfg;
+  cfg.patience = 1;
+  cfg.max_garbage = 4;
+  WFQueue<uint64_t, TypeParam> q(cfg);
+  test::run_mpmc_property(q, 4, 4, 1000);
+}
+
+TYPED_TEST(WfTraitsMatrix, PairsConservationWf0) {
+  WfConfig cfg;
+  cfg.patience = 0;
+  cfg.max_garbage = 2;
+  WFQueue<uint64_t, TypeParam> q(cfg);
+  test::run_pairs_conservation(q, 4, 1000);
+}
+
+TYPED_TEST(WfTraitsMatrix, SequentialSemanticsExact) {
+  WFQueue<uint64_t, TypeParam> q;
+  test::run_sequential_fifo(q, 500);
+}
+
+}  // namespace
+}  // namespace wfq

@@ -1,0 +1,69 @@
+// Tests for the sense-reversing spin barrier.
+#include "harness/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace wfq::bench {
+namespace {
+
+TEST(SpinBarrier, SinglePartyNeverBlocks) {
+  SpinBarrier b(1);
+  for (int i = 0; i < 100; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, NoThreadPassesEarly) {
+  constexpr unsigned kThreads = 8;
+  constexpr int kRounds = 200;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        arrived.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Everyone must have arrived for this round by now.
+        if (arrived.load() < (round + 1) * int(kThreads)) {
+          failed.store(true);
+        }
+        barrier.arrive_and_wait();  // second barrier keeps rounds separated
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(arrived.load(), kRounds * int(kThreads));
+}
+
+TEST(SpinBarrier, ReusableAcrossPhases) {
+  SpinBarrier b(2);
+  std::atomic<int> phase{0};
+  std::thread other([&] {
+    for (int i = 0; i < 1000; ++i) {
+      b.arrive_and_wait();
+      phase.fetch_add(1);
+      b.arrive_and_wait();
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    b.arrive_and_wait();
+    b.arrive_and_wait();
+    EXPECT_GE(phase.load(), i + 1);
+  }
+  other.join();
+}
+
+TEST(SpinBarrier, ReportsParties) {
+  SpinBarrier b(5);
+  EXPECT_EQ(b.parties(), 5u);
+}
+
+}  // namespace
+}  // namespace wfq::bench

@@ -1,0 +1,47 @@
+// Tests for the ASCII chart renderer.
+#include "harness/chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfq::bench {
+namespace {
+
+TEST(Chart, RendersGlyphsAndLegend) {
+  std::vector<ChartSeries> s{{"alpha", {1, 2, 3}}, {"beta", {3, 2, 1}}};
+  std::string out = render_ascii_chart({"1", "2", "4"}, s, 8, "Mops/s");
+  EXPECT_NE(out.find("*=alpha"), std::string::npos);
+  EXPECT_NE(out.find("o=beta"), std::string::npos);
+  EXPECT_NE(out.find("Mops/s"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(Chart, MaxValueSitsOnTopRow) {
+  std::vector<ChartSeries> s{{"a", {0.0, 10.0}}};
+  std::string out = render_ascii_chart({"x0", "x1"}, s, 6);
+  // First rendered row contains the glyph for the max point.
+  auto first_line = out.substr(0, out.find('\n'));
+  EXPECT_NE(first_line.find('*'), std::string::npos);
+}
+
+TEST(Chart, HandlesEmptyAndZeroSeries) {
+  std::string out = render_ascii_chart({"1"}, {{"z", {0.0}}}, 4);
+  EXPECT_FALSE(out.empty());
+  std::string out2 = render_ascii_chart({}, {}, 4);
+  EXPECT_FALSE(out2.empty());
+}
+
+TEST(Chart, AllRowsHaveYAxis) {
+  std::vector<ChartSeries> s{{"a", {5, 7}}};
+  std::string out = render_ascii_chart({"1", "2"}, s, 5);
+  std::istringstream in(out);
+  std::string line;
+  int axis_rows = 0;
+  while (std::getline(in, line)) {
+    if (line.find('|') != std::string::npos) ++axis_rows;
+  }
+  EXPECT_EQ(axis_rows, 5);
+}
+
+}  // namespace
+}  // namespace wfq::bench

@@ -1,0 +1,57 @@
+// Tests for the latency-measurement harness.
+#include "harness/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/mutex_queue.hpp"
+#include "core/wf_queue.hpp"
+
+namespace wfq::bench {
+namespace {
+
+TEST(Latency, PercentileSortedNearestRank) {
+  std::vector<uint64_t> xs{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_EQ(percentile_sorted(xs, 0.0), 10u);
+  EXPECT_EQ(percentile_sorted(xs, 0.5), 50u);  // idx 4.5 -> 4 -> 50
+  EXPECT_EQ(percentile_sorted(xs, 1.0), 100u);
+  EXPECT_EQ(percentile_sorted({}, 0.5), 0u);
+  EXPECT_EQ(percentile_sorted({7}, 0.99), 7u);
+}
+
+TEST(Latency, SummarizeOrdersStatistics) {
+  std::vector<uint64_t> xs;
+  for (uint64_t i = 1; i <= 1000; ++i) xs.push_back(1001 - i);  // reversed
+  auto r = summarize_latencies(std::move(xs));
+  EXPECT_EQ(r.count, 1000u);
+  EXPECT_LE(r.p50, r.p90);
+  EXPECT_LE(r.p90, r.p99);
+  EXPECT_LE(r.p99, r.p999);
+  EXPECT_LE(r.p999, r.max);
+  EXPECT_EQ(r.max, 1000u);
+  EXPECT_NEAR(double(r.p50), 500.0, 2.0);
+  EXPECT_NEAR(double(r.p99), 990.0, 2.0);
+}
+
+TEST(Latency, SummarizeEmpty) {
+  auto r = summarize_latencies({});
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.max, 0u);
+}
+
+TEST(Latency, MeasuresMutexQueue) {
+  baselines::MutexQueue<uint64_t> q;
+  auto r = measure_op_latency(q, 2, 2000);
+  EXPECT_EQ(r.count, 2u * 2 * 2000);  // enqueue + dequeue samples
+  EXPECT_GT(r.max, 0u);
+  EXPECT_LE(r.p50, r.max);
+}
+
+TEST(Latency, MeasuresWfQueue) {
+  WFQueue<uint64_t> q;
+  auto r = measure_op_latency(q, 2, 2000);
+  EXPECT_EQ(r.count, 2u * 2 * 2000);
+  EXPECT_EQ(q.stats().enqueues(), 2u * 2000);
+}
+
+}  // namespace
+}  // namespace wfq::bench

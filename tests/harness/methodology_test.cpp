@@ -1,0 +1,95 @@
+// Unit tests for the Georges-et-al. measurement procedure.
+#include "harness/methodology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace wfq::bench {
+namespace {
+
+TEST(Methodology, StableIterationsExitEarlyAtWindowMean) {
+  MethodologyConfig cfg;
+  cfg.max_iterations = 20;
+  cfg.window = 5;
+  cfg.cov_threshold = 0.02;
+  int calls = 0;
+  double score = measure_invocation(cfg, [&] {
+    ++calls;
+    return 100.0;  // perfectly stable
+  });
+  EXPECT_DOUBLE_EQ(score, 100.0);
+  EXPECT_EQ(calls, 5) << "must stop at the first steady window";
+}
+
+TEST(Methodology, NoisyWarmupIsDiscarded) {
+  MethodologyConfig cfg;
+  cfg.max_iterations = 20;
+  cfg.window = 5;
+  cfg.cov_threshold = 0.02;
+  int calls = 0;
+  // 6 wild warmup iterations, then stable 200s.
+  double wild[] = {10, 300, 50, 250, 20, 280};
+  double score = measure_invocation(cfg, [&]() -> double {
+    double v = calls < 6 ? wild[calls] : 200.0;
+    ++calls;
+    return v;
+  });
+  EXPECT_DOUBLE_EQ(score, 200.0);
+}
+
+TEST(Methodology, NeverSteadyFallsBackToCalmestWindow) {
+  MethodologyConfig cfg;
+  cfg.max_iterations = 8;
+  cfg.window = 3;
+  cfg.cov_threshold = 1e-12;  // unreachable
+  int calls = 0;
+  double vals[] = {10, 90, 10, 90, 50, 51, 52, 90};
+  double score = measure_invocation(cfg, [&] { return vals[calls++]; });
+  EXPECT_EQ(calls, 8);
+  EXPECT_NEAR(score, 51.0, 1e-9);  // {50,51,52} is the calmest window
+}
+
+TEST(Methodology, MeasureProducesCiOverInvocations) {
+  MethodologyConfig cfg;
+  cfg.max_iterations = 5;
+  cfg.window = 2;
+  cfg.cov_threshold = 0.5;
+  cfg.invocations = 4;
+  int invocation = 0;
+  auto ci = measure(cfg, [&] {
+    double base = 100.0 + invocation++;
+    return std::function<double()>([base] { return base; });
+  });
+  EXPECT_EQ(ci.n, 4u);
+  EXPECT_NEAR(ci.mean, 101.5, 1e-9);  // mean of 100..103
+  EXPECT_GT(ci.half_width, 0.0);
+}
+
+TEST(Methodology, FromEnvParsesOverrides) {
+  setenv("WFQ_ITERATIONS", "12", 1);
+  setenv("WFQ_WINDOW", "4", 1);
+  setenv("WFQ_COV", "0.05", 1);
+  setenv("WFQ_INVOCATIONS", "7", 1);
+  auto cfg = MethodologyConfig::from_env();
+  EXPECT_EQ(cfg.max_iterations, 12u);
+  EXPECT_EQ(cfg.window, 4u);
+  EXPECT_DOUBLE_EQ(cfg.cov_threshold, 0.05);
+  EXPECT_EQ(cfg.invocations, 7u);
+  unsetenv("WFQ_ITERATIONS");
+  unsetenv("WFQ_WINDOW");
+  unsetenv("WFQ_COV");
+  unsetenv("WFQ_INVOCATIONS");
+}
+
+TEST(Methodology, FromEnvClampsDegenerateValues) {
+  setenv("WFQ_ITERATIONS", "1", 1);
+  setenv("WFQ_WINDOW", "5", 1);
+  auto cfg = MethodologyConfig::from_env();
+  EXPECT_GE(cfg.max_iterations, cfg.window);
+  unsetenv("WFQ_ITERATIONS");
+  unsetenv("WFQ_WINDOW");
+}
+
+}  // namespace
+}  // namespace wfq::bench

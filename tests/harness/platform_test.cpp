@@ -1,0 +1,46 @@
+// Tests for host platform introspection (Table 1 reproduction input).
+#include "harness/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/cpu.hpp"
+
+namespace wfq::bench {
+namespace {
+
+TEST(Platform, DetectionYieldsSaneCounts) {
+  auto p = detect_platform();
+  EXPECT_GE(p.threads, 1u);
+  EXPECT_GE(p.cores, 1u);
+  EXPECT_GE(p.sockets, 1u);
+  EXPECT_LE(p.sockets, p.cores);
+  EXPECT_LE(p.cores, p.threads);
+  EXPECT_FALSE(p.model.empty());
+  EXPECT_FALSE(p.arch.empty());
+}
+
+TEST(Platform, ThreadsConsistentWithStdHardwareConcurrency) {
+  auto p = detect_platform();
+  EXPECT_EQ(p.threads, hardware_threads());
+}
+
+TEST(Platform, X86ReportsNativeFaa) {
+#if defined(__x86_64__)
+  EXPECT_TRUE(detect_platform().native_faa);
+#else
+  GTEST_SKIP() << "not x86-64";
+#endif
+}
+
+TEST(Platform, TableRendersAllFields) {
+  auto p = detect_platform();
+  std::string t = format_platform_table(p);
+  EXPECT_NE(t.find("Processor Model"), std::string::npos);
+  EXPECT_NE(t.find("Clock Speed"), std::string::npos);
+  EXPECT_NE(t.find("# of Threads"), std::string::npos);
+  EXPECT_NE(t.find("Native FAA"), std::string::npos);
+  EXPECT_NE(t.find(p.model), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfq::bench

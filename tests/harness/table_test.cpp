@@ -1,0 +1,51 @@
+// Tests for the fixed-width table printer used by every bench binary.
+#include "harness/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wfq::bench {
+namespace {
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::fmt(0.0), "0.00");
+  EXPECT_EQ(Table::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Table, FormatsConfidenceIntervals) {
+  EXPECT_EQ(Table::fmt_ci(10.0, 0.5), "10.00 ±0.50");
+}
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table t({"a", "long-header"});
+  t.add_row({"xxxxxxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  // Three lines: header, separator, one row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  // All lines equal length (alignment).
+  std::istringstream in(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(in, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+  }
+  EXPECT_NE(out.find("xxxxxxxx"), std::string::npos);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+}
+
+TEST(Table, ToleratesShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});  // missing cells render empty
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfq::bench

@@ -1,0 +1,114 @@
+// Tests of the workload runner and the calibrated delay (§5.1 benchmark
+// machinery), driven against the obviously-correct mutex queue.
+#include "harness/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "baselines/faaq.hpp"
+#include "baselines/mutex_queue.hpp"
+#include "core/wf_queue.hpp"
+#include "harness/delay.hpp"
+
+namespace wfq::bench {
+namespace {
+
+TEST(WorkDelay, CalibrationIsSane) {
+  double per = WorkDelay::ns_per_iter();
+  EXPECT_GT(per, 0.0);
+  EXPECT_LT(per, 1000.0);  // one iteration can't cost a microsecond
+}
+
+TEST(WorkDelay, SpinReturnsCalibratedIterations) {
+  WorkDelay d(50, 100, 7);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t iters = d.spin();
+    double ns = WorkDelay::iters_to_seconds(iters) * 1e9;
+    EXPECT_GE(ns, 25.0);   // calibration jitter tolerance
+    EXPECT_LE(ns, 300.0);
+  }
+}
+
+TEST(Runner, PairsWorkloadCountsBalance) {
+  baselines::MutexQueue<uint64_t> q;
+  RunConfig cfg;
+  cfg.kind = WorkloadKind::kPairs;
+  cfg.threads = 4;
+  cfg.total_ops = 20000;  // pairs
+  cfg.use_delay = false;
+  auto r = run_workload(q, cfg);
+  EXPECT_EQ(r.operations, 2 * 20000u);
+  EXPECT_EQ(r.dequeue_hits + r.dequeue_empties, 20000u);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+  EXPECT_GT(r.mops_raw(), 0.0);
+  // Queue drained or small backlog only if empties occurred.
+  EXPECT_EQ(q.size(), r.dequeue_empties);
+}
+
+TEST(Runner, PercentEnqueueWorkloadMixesRoughly) {
+  baselines::MutexQueue<uint64_t> q;
+  RunConfig cfg;
+  cfg.kind = WorkloadKind::kPercentEnq;
+  cfg.threads = 4;
+  cfg.total_ops = 40000;
+  cfg.percent_enqueue = 50;
+  cfg.use_delay = false;
+  auto r = run_workload(q, cfg);
+  EXPECT_EQ(r.operations, 40000u);
+  uint64_t deqs = r.dequeue_hits + r.dequeue_empties;
+  // ~50% dequeues; 4-sigma band.
+  EXPECT_NEAR(double(deqs), 20000.0, 4 * std::sqrt(40000.0 * 0.25));
+}
+
+TEST(Runner, DelayAccountingLowersAdjustedTimeNotBelowFloor) {
+  baselines::MutexQueue<uint64_t> q;
+  RunConfig cfg;
+  cfg.threads = 2;
+  cfg.total_ops = 5000;
+  cfg.use_delay = true;
+  auto r = run_workload(q, cfg);
+  EXPECT_GT(r.delay_seconds, 0.0);
+  EXPECT_LE(r.delay_seconds, r.elapsed_seconds);
+  EXPECT_GE(r.mops_adjusted(), r.mops_raw());
+}
+
+TEST(Runner, WorksAgainstWfQueue) {
+  WFQueue<uint64_t> q;
+  RunConfig cfg;
+  cfg.threads = 4;
+  cfg.total_ops = 10000;
+  cfg.use_delay = false;
+  auto r = run_workload(q, cfg);
+  EXPECT_EQ(r.operations, 20000u);
+  OpStats s = q.stats();
+  EXPECT_EQ(s.enqueues(), 10000u);
+  EXPECT_EQ(s.dequeues(), 10000u);
+}
+
+TEST(Runner, WorksAgainstFaaMicrobenchmark) {
+  baselines::FAAQueue<uint64_t> q;
+  RunConfig cfg;
+  cfg.threads = 4;
+  cfg.total_ops = 10000;
+  cfg.use_delay = false;
+  auto r = run_workload(q, cfg);
+  EXPECT_EQ(r.operations, 20000u);
+  EXPECT_EQ(q.enqueues(), 10000u);
+  EXPECT_EQ(q.dequeues(), 10000u);
+}
+
+TEST(Runner, OversubscribedThreadsComplete) {
+  baselines::MutexQueue<uint64_t> q;
+  RunConfig cfg;
+  cfg.threads = 4 * hardware_threads();
+  cfg.total_ops = 8000;
+  cfg.use_delay = false;
+  auto r = run_workload(q, cfg);
+  EXPECT_EQ(r.operations, 2 * ((8000 + cfg.threads - 1) / cfg.threads) *
+                              cfg.threads);
+}
+
+}  // namespace
+}  // namespace wfq::bench

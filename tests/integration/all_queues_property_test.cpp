@@ -1,0 +1,154 @@
+// Cross-queue property tests: every real queue in the library (the wait-free
+// queue in its main configurations plus all baselines) must satisfy the same
+// MPMC no-loss/no-dup/FIFO properties under one uniform driver.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/ccqueue.hpp"
+#include "baselines/kp_queue.hpp"
+#include "baselines/lcrq.hpp"
+#include "baselines/ms_queue.hpp"
+#include "baselines/mutex_queue.hpp"
+#include "baselines/sim_queue.hpp"
+#include "core/obstruction_queue.hpp"
+#include "core/wf_queue.hpp"
+#include "support/queue_test_util.hpp"
+
+namespace wfq {
+namespace {
+
+// Factories give every queue type a uniform construction story.
+struct WfDefaultFactory {
+  static constexpr const char* kName = "WF-10";
+  using Queue = WFQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() {
+    WfConfig cfg;
+    cfg.patience = 10;
+    return std::make_unique<Queue>(cfg);
+  }
+};
+
+struct WfZeroPatienceFactory {
+  static constexpr const char* kName = "WF-0";
+  using Queue = WFQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() {
+    WfConfig cfg;
+    cfg.patience = 0;
+    return std::make_unique<Queue>(cfg);
+  }
+};
+
+struct WfLlscFactory {
+  static constexpr const char* kName = "WF-llsc";
+  struct Traits : DefaultWfTraits {
+    using Faa = EmulatedFaa;
+  };
+  using Queue = WFQueue<uint64_t, Traits>;
+  static std::unique_ptr<Queue> make() { return std::make_unique<Queue>(); }
+};
+
+struct MsQueueFactory {
+  static constexpr const char* kName = "MSQueue";
+  using Queue = baselines::MSQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() { return std::make_unique<Queue>(); }
+};
+
+struct LcrqFactory {
+  static constexpr const char* kName = "LCRQ";
+  using Queue = baselines::LCRQ<uint64_t, 64>;
+  static std::unique_ptr<Queue> make() { return std::make_unique<Queue>(); }
+};
+
+struct CcQueueFactory {
+  static constexpr const char* kName = "CCQueue";
+  using Queue = baselines::CCQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() { return std::make_unique<Queue>(); }
+};
+
+struct MutexQueueFactory {
+  static constexpr const char* kName = "MutexQueue";
+  using Queue = baselines::MutexQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() { return std::make_unique<Queue>(); }
+};
+
+struct ObstructionFactory {
+  static constexpr const char* kName = "Obstruction";
+  using Queue = ObstructionQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() {
+    return std::make_unique<Queue>(std::size_t{1} << 21);
+  }
+};
+
+struct KpQueueFactory {
+  static constexpr const char* kName = "KPQueue";
+  using Queue = baselines::KPQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() {
+    return std::make_unique<Queue>(/*max_threads=*/16);
+  }
+};
+
+struct SimQueueFactory {
+  static constexpr const char* kName = "SimQueue";
+  using Queue = baselines::SimQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() {
+    return std::make_unique<Queue>(/*max_threads=*/16);
+  }
+};
+
+template <class Factory>
+class AllQueues : public ::testing::Test {};
+
+using QueueFactories =
+    ::testing::Types<WfDefaultFactory, WfZeroPatienceFactory, WfLlscFactory,
+                     MsQueueFactory, LcrqFactory, CcQueueFactory,
+                     MutexQueueFactory, ObstructionFactory, KpQueueFactory,
+                     SimQueueFactory>;
+TYPED_TEST_SUITE(AllQueues, QueueFactories);
+
+TYPED_TEST(AllQueues, SequentialFifo) {
+  auto q = TypeParam::make();
+  test::run_sequential_fifo(*q, 2000);
+}
+
+TYPED_TEST(AllQueues, MpmcBalanced) {
+  auto q = TypeParam::make();
+  test::run_mpmc_property(*q, 4, 4, 2500);
+}
+
+TYPED_TEST(AllQueues, MpmcProducerHeavy) {
+  auto q = TypeParam::make();
+  test::run_mpmc_property(*q, 6, 2, 2000);
+}
+
+TYPED_TEST(AllQueues, MpmcConsumerHeavy) {
+  auto q = TypeParam::make();
+  test::run_mpmc_property(*q, 2, 6, 2000);
+}
+
+TYPED_TEST(AllQueues, PairsConservation) {
+  auto q = TypeParam::make();
+  test::run_pairs_conservation(*q, 6, 2000);
+}
+
+TYPED_TEST(AllQueues, EmptyPollingBetweenBursts) {
+  auto q = TypeParam::make();
+  auto h = q->get_handle();
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FALSE(q->dequeue(h).has_value());
+    }
+    for (int i = 0; i < 5; ++i) {
+      q->enqueue(h, uint64_t(round) * 100 + i + 1);
+    }
+    for (int i = 0; i < 5; ++i) {
+      auto v = q->dequeue(h);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, uint64_t(round) * 100 + i + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfq

@@ -1,0 +1,88 @@
+// Every queue must be drivable by the benchmark harness (the
+// ConcurrentQueue concept the whole bench/ directory assumes): run both
+// workload kinds briefly against each type and audit the counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/ccqueue.hpp"
+#include "baselines/faaq.hpp"
+#include "baselines/kp_queue.hpp"
+#include "baselines/lcrq.hpp"
+#include "baselines/ms_queue.hpp"
+#include "baselines/mutex_queue.hpp"
+#include "baselines/sim_queue.hpp"
+#include "core/wf_queue.hpp"
+#include "harness/runner.hpp"
+#include "memory/reclaimer.hpp"
+
+namespace wfq::bench {
+namespace {
+
+template <class Queue>
+void drive(Queue& q) {
+  RunConfig pairs;
+  pairs.kind = WorkloadKind::kPairs;
+  pairs.threads = 3;
+  pairs.total_ops = 1200;
+  pairs.use_delay = false;
+  auto r1 = run_workload(q, pairs);
+  EXPECT_EQ(r1.operations, 2 * 1200u);
+  EXPECT_EQ(r1.dequeue_hits + r1.dequeue_empties, 1200u);
+  EXPECT_GT(r1.elapsed_seconds, 0.0);
+
+  RunConfig mix;
+  mix.kind = WorkloadKind::kPercentEnq;
+  mix.threads = 3;
+  mix.total_ops = 1200;
+  mix.percent_enqueue = 50;
+  mix.use_delay = false;
+  auto r2 = run_workload(q, mix);
+  EXPECT_EQ(r2.operations, 1200u);
+}
+
+TEST(HarnessCompat, WfQueue) {
+  WFQueue<uint64_t> q;
+  drive(q);
+}
+TEST(HarnessCompat, WfQueueWf0) {
+  WfConfig cfg;
+  cfg.patience = 0;
+  WFQueue<uint64_t> q(cfg);
+  drive(q);
+}
+TEST(HarnessCompat, MsQueueHp) {
+  baselines::MSQueue<uint64_t, HpReclaimer> q;
+  drive(q);
+}
+TEST(HarnessCompat, MsQueueEbr) {
+  baselines::MSQueue<uint64_t, EbrReclaimer> q;
+  drive(q);
+}
+TEST(HarnessCompat, Lcrq) {
+  baselines::LCRQ<uint64_t> q;
+  drive(q);
+}
+TEST(HarnessCompat, CcQueue) {
+  baselines::CCQueue<uint64_t> q;
+  drive(q);
+}
+TEST(HarnessCompat, MutexQueue) {
+  baselines::MutexQueue<uint64_t> q;
+  drive(q);
+}
+TEST(HarnessCompat, FaaQueue) {
+  baselines::FAAQueue<uint64_t> q;
+  drive(q);
+}
+TEST(HarnessCompat, KpQueue) {
+  baselines::KPQueue<uint64_t> q(8);
+  drive(q);
+}
+TEST(HarnessCompat, SimQueue) {
+  baselines::SimQueue<uint64_t> q(8);
+  drive(q);
+}
+
+}  // namespace
+}  // namespace wfq::bench

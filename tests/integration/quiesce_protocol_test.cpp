@@ -1,0 +1,85 @@
+// The shutdown/quiesce protocol for consumers of a linearizable queue:
+// read the "producers finished" flag BEFORE dequeuing; an EMPTY result
+// from a dequeue that began after the flag was set proves the queue is
+// drained. (Checking the flag after the EMPTY is a TOCTOU — the EMPTY may
+// predate the final enqueues — a real bug this repository's pipeline
+// example shipped with until this test's scenario caught it.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "baselines/lcrq.hpp"
+#include "baselines/ms_queue.hpp"
+#include "core/wf_queue.hpp"
+
+namespace wfq {
+namespace {
+
+/// Producers enqueue; consumers drain with the flag-before-dequeue
+/// protocol and NO count-based fallback: conservation must come from the
+/// protocol alone.
+template <class Queue>
+void run_quiesce_rounds(int rounds, uint64_t per_producer) {
+  for (int round = 0; round < rounds; ++round) {
+    Queue q;
+    constexpr unsigned kProducers = 2, kConsumers = 2;
+    std::atomic<bool> producers_done{false};
+    std::atomic<uint64_t> consumed{0};
+    std::vector<std::thread> ts;
+    for (unsigned p = 0; p < kProducers; ++p) {
+      ts.emplace_back([&, p] {
+        auto h = q.get_handle();
+        for (uint64_t i = 0; i < per_producer; ++i) {
+          q.enqueue(h, (uint64_t(p + 1) << 40) | (i + 1));
+        }
+      });
+    }
+    std::vector<std::thread> cs;
+    for (unsigned c = 0; c < kConsumers; ++c) {
+      cs.emplace_back([&] {
+        auto h = q.get_handle();
+        for (;;) {
+          const bool was_done =
+              producers_done.load(std::memory_order_acquire);
+          auto v = q.dequeue(h);
+          if (v.has_value()) {
+            consumed.fetch_add(1, std::memory_order_relaxed);
+          } else if (was_done) {
+            break;  // EMPTY after quiesce: provably drained
+          }
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    producers_done.store(true, std::memory_order_release);
+    for (auto& t : cs) t.join();
+    ASSERT_EQ(consumed.load(), kProducers * per_producer)
+        << "round " << round
+        << ": flag-before-dequeue protocol lost values";
+  }
+}
+
+TEST(QuiesceProtocol, WfQueueConservesWithoutCountFallback) {
+  run_quiesce_rounds<WFQueue<uint64_t>>(40, 15000);
+}
+
+TEST(QuiesceProtocol, WfQueueWf0Conserves) {
+  struct Q : WFQueue<uint64_t> {
+    Q() : WFQueue<uint64_t>(WfConfig{.patience = 0, .max_garbage = 8}) {}
+  };
+  run_quiesce_rounds<Q>(20, 10000);
+}
+
+TEST(QuiesceProtocol, LcrqConserves) {
+  run_quiesce_rounds<baselines::LCRQ<uint64_t, 256>>(20, 10000);
+}
+
+TEST(QuiesceProtocol, MsQueueConserves) {
+  run_quiesce_rounds<baselines::MSQueue<uint64_t>>(20, 10000);
+}
+
+}  // namespace
+}  // namespace wfq

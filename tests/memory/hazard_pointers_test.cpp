@@ -1,0 +1,175 @@
+// Unit and stress tests for the hazard-pointer reclamation domain.
+#include "memory/hazard_pointers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace wfq {
+namespace {
+
+struct CountedNode {
+  static inline std::atomic<int> live{0};
+  int payload = 0;
+  CountedNode() { live.fetch_add(1); }
+  explicit CountedNode(int p) : payload(p) { live.fetch_add(1); }
+  ~CountedNode() { live.fetch_sub(1); }
+};
+
+TEST(HazardPointers, AcquireReusesReleasedRecords) {
+  HazardPointerDomain<1> dom;
+  auto* a = dom.acquire();
+  dom.release(a);
+  auto* b = dom.acquire();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dom.thread_records(), 1u);
+  auto* c = dom.acquire();
+  EXPECT_NE(b, c);
+  EXPECT_EQ(dom.thread_records(), 2u);
+  dom.release(b);
+  dom.release(c);
+}
+
+TEST(HazardPointers, RetiredNodeFreedByScanWhenUnprotected) {
+  CountedNode::live.store(0);
+  {
+    HazardPointerDomain<1> dom(/*scan_threshold_floor=*/1);
+    auto* rec = dom.acquire();
+    dom.retire(rec, new CountedNode());
+    dom.scan(rec);  // no hazards published: must free it
+    EXPECT_EQ(CountedNode::live.load(), 0);
+    dom.release(rec);
+  }
+}
+
+TEST(HazardPointers, RetireAutoScansPastThreshold) {
+  CountedNode::live.store(0);
+  {
+    HazardPointerDomain<1> dom(/*scan_threshold_floor=*/4);
+    auto* rec = dom.acquire();
+    for (int i = 0; i < 16; ++i) dom.retire(rec, new CountedNode());
+    // Threshold is max(4, 2 * slots * records) = 4; auto-scans fired.
+    EXPECT_LT(CountedNode::live.load(), 16);
+    dom.release(rec);
+  }
+  EXPECT_EQ(CountedNode::live.load(), 0);
+}
+
+TEST(HazardPointers, ProtectedNodeSurvivesScan) {
+  CountedNode::live.store(0);
+  {
+    HazardPointerDomain<1> dom(1);
+    auto* owner = dom.acquire();
+    auto* reader = dom.acquire();
+    std::atomic<CountedNode*> src{new CountedNode(7)};
+    CountedNode* p = dom.protect(reader, 0, src);
+    EXPECT_EQ(p->payload, 7);
+    dom.retire(owner, p);
+    dom.scan(owner);
+    EXPECT_EQ(CountedNode::live.load(), 1) << "freed under a hazard pointer";
+    EXPECT_EQ(p->payload, 7);  // still dereferenceable
+    dom.clear(reader, 0);
+    dom.scan(owner);
+    EXPECT_EQ(CountedNode::live.load(), 0);
+    dom.release(owner);
+    dom.release(reader);
+  }
+}
+
+TEST(HazardPointers, ProtectFollowsConcurrentSwings) {
+  // protect() must re-validate: the returned pointer always equals a value
+  // the source held at or after the publication of the hazard.
+  HazardPointerDomain<1> dom;
+  auto* rec = dom.acquire();
+  CountedNode a(1), b(2);
+  std::atomic<CountedNode*> src{&a};
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      src.store(&a, std::memory_order_release);
+      src.store(&b, std::memory_order_release);
+    }
+  });
+  for (int i = 0; i < 100000; ++i) {
+    CountedNode* p = dom.protect(rec, 0, src);
+    ASSERT_TRUE(p == &a || p == &b);
+    ASSERT_TRUE(p->payload == 1 || p->payload == 2);
+    dom.clear(rec, 0);
+  }
+  stop.store(true);
+  flipper.join();
+  dom.release(rec);
+}
+
+TEST(HazardPointers, DestructorFreesPendingRetirees) {
+  CountedNode::live.store(0);
+  {
+    HazardPointerDomain<2> dom(/*scan_threshold_floor=*/1000000);
+    auto* rec = dom.acquire();
+    for (int i = 0; i < 100; ++i) dom.retire(rec, new CountedNode());
+    EXPECT_EQ(CountedNode::live.load(), 100);  // giant floor: nothing freed
+    dom.release(rec);
+  }
+  EXPECT_EQ(CountedNode::live.load(), 0);
+}
+
+TEST(HazardPointers, TypeErasedDeleterIsUsed) {
+  static int custom_deletes = 0;
+  custom_deletes = 0;
+  {
+    HazardPointerDomain<1> dom(1);
+    auto* rec = dom.acquire();
+    auto* p = new int(5);
+    dom.retire(rec, p, [](void* q) {
+      ++custom_deletes;
+      delete static_cast<int*>(q);
+    });
+    dom.release(rec);
+  }
+  EXPECT_EQ(custom_deletes, 1);
+}
+
+TEST(HazardPointers, StressNoUseAfterFree) {
+  // Readers chase a swinging pointer under protection while a writer
+  // retires the old target each swing. ASan (or a poisoned payload check)
+  // catches violations.
+  constexpr int kReaders = 4;
+  constexpr int kSwings = 20000;
+  HazardPointerDomain<1> dom;
+  std::atomic<CountedNode*> src{new CountedNode(42)};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      auto* rec = dom.acquire();
+      while (!stop.load(std::memory_order_relaxed)) {
+        CountedNode* p = dom.protect(rec, 0, src);
+        ASSERT_EQ(p->payload, 42) << "read from a freed node";
+        dom.clear(rec, 0);
+      }
+      dom.release(rec);
+    });
+  }
+  {
+    auto* rec = dom.acquire();
+    for (int i = 0; i < kSwings; ++i) {
+      auto* fresh = new CountedNode(42);
+      CountedNode* old = src.exchange(fresh, std::memory_order_acq_rel);
+      old->payload = 42;  // keep invariant; freed memory would be poisoned
+      dom.retire(rec, old);
+    }
+    stop.store(true);
+    dom.release(rec);
+  }
+  for (auto& t : readers) t.join();
+  delete src.load();
+  // Domain destructor flushes the rest; live count then only the one we
+  // just deleted plus retirees — validated implicitly by ASan runs.
+}
+
+}  // namespace
+}  // namespace wfq

@@ -1,0 +1,168 @@
+// Bounded-exhaustive schedule exploration for the wait-free queue (a
+// miniature CHESS): real threads run a small scenario, but a cooperative
+// token serializes them, and every `Traits::interleave_hint()` call becomes
+// a SCHEDULING DECISION — which thread runs the next block. A driver
+// enumerates decision sequences depth-first (replaying recorded prefixes),
+// so a tiny scenario (2-3 threads, a few ops) is exercised under EVERY
+// hint-granular interleaving instead of whatever the OS happens to produce.
+//
+// Scope and honesty: the explored atomicity unit is the code between two
+// interleave_hint points, not individual instructions, so this complements
+// (not replaces) the randomized perturbation and real-parallel suites. The
+// hints sit at the algorithm's known-sensitive points (post-FAA stalls,
+// the Dijkstra window, helper loops, cleaner election), which is where the
+// interesting interleavings live.
+//
+// Only usable with structures that never block waiting for another thread
+// (true for the wait-free queue; a combining queue would deadlock under a
+// serializing scheduler).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wfq::test {
+
+class CoopScheduler {
+ public:
+  /// Active scheduler for the current exploration (single exploration at a
+  /// time; the hint hook is a static traits function with no context).
+  static CoopScheduler*& current() {
+    static CoopScheduler* s = nullptr;
+    return s;
+  }
+
+  /// Called from Traits::interleave_hint via CoopTraits below.
+  static void hint() {
+    CoopScheduler* s = current();
+    if (s != nullptr) s->yield_point();
+  }
+
+  /// Runs `bodies` (one per virtual thread) under the schedule encoded by
+  /// `decisions`: at the k-th yield point, decisions[k] selects which
+  /// runnable thread continues (modulo the runnable count). Appends the
+  /// number of runnable threads at each consumed decision to
+  /// `branch_widths` so the driver can enumerate alternatives. Decisions
+  /// beyond the provided vector default to 0 ("stay on current thread if
+  /// runnable, else first runnable").
+  void run(std::vector<std::function<void()>> bodies,
+           const std::vector<uint8_t>& decisions,
+           std::vector<uint8_t>* branch_widths) {
+    decisions_ = &decisions;
+    widths_ = branch_widths;
+    decision_idx_ = 0;
+    n_ = unsigned(bodies.size());
+    done_.assign(n_, false);
+    in_yield_.assign(n_, false);
+    running_ = 0;
+
+    current() = this;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < n_; ++t) {
+      threads.emplace_back([this, t, body = std::move(bodies[t])] {
+        wait_for_turn(t);
+        body();
+        finish(t);
+      });
+    }
+    for (auto& th : threads) th.join();
+    current() = nullptr;
+  }
+
+ private:
+  void wait_for_turn(unsigned t) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return running_ == t; });
+  }
+
+  /// The scheduling decision point.
+  void yield_point() {
+    std::unique_lock<std::mutex> lk(mu_);
+    unsigned self = running_;
+    // Enumerate runnable threads (not done).
+    std::vector<unsigned> runnable;
+    for (unsigned t = 0; t < n_; ++t) {
+      if (!done_[t]) runnable.push_back(t);
+    }
+    if (runnable.size() <= 1) return;  // no choice to make
+    uint8_t choice = 0;
+    if (decision_idx_ < decisions_->size()) {
+      choice = (*decisions_)[decision_idx_];
+    }
+    ++decision_idx_;
+    if (widths_ != nullptr) {
+      widths_->push_back(uint8_t(runnable.size()));
+    }
+    unsigned next = runnable[choice % runnable.size()];
+    if (next != self) {
+      running_ = next;
+      cv_.notify_all();
+      cv_.wait(lk, [&] { return running_ == self; });
+    }
+  }
+
+  void finish(unsigned t) {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_[t] = true;
+    // Hand the token to the lowest-numbered unfinished thread.
+    for (unsigned u = 0; u < n_; ++u) {
+      if (!done_[u]) {
+        running_ = u;
+        cv_.notify_all();
+        return;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned n_ = 0;
+  unsigned running_ = 0;
+  std::vector<bool> done_;
+  std::vector<bool> in_yield_;
+  const std::vector<uint8_t>* decisions_ = nullptr;
+  std::vector<uint8_t>* widths_ = nullptr;
+  std::size_t decision_idx_ = 0;
+};
+
+/// Depth-first enumeration of schedules: runs `scenario(decisions)`
+/// repeatedly, each run returning the branch widths it consumed; explores
+/// every alternative at every decision point, up to `max_schedules` runs
+/// and `max_depth` decisions per run. Returns the number of schedules
+/// executed.
+inline std::size_t explore_schedules(
+    const std::function<void(const std::vector<uint8_t>&,
+                             std::vector<uint8_t>*)>& scenario,
+    std::size_t max_schedules = 20000, std::size_t max_depth = 256) {
+  std::vector<std::vector<uint8_t>> stack;  // decision prefixes to try
+  stack.push_back({});
+  std::size_t runs = 0;
+  while (!stack.empty() && runs < max_schedules) {
+    std::vector<uint8_t> decisions = std::move(stack.back());
+    stack.pop_back();
+    std::vector<uint8_t> widths;
+    scenario(decisions, &widths);
+    ++runs;
+    // Every decision point beyond our explicit prefix took the default
+    // choice 0 in this run; enqueue each alternative exactly once
+    // (prefix-of-zeros + [alt]). Points within the prefix were already
+    // branched by ancestors.
+    std::size_t limit = widths.size() < max_depth ? widths.size() : max_depth;
+    for (std::size_t i = decisions.size(); i < limit; ++i) {
+      for (uint8_t alt = 1; alt < widths[i]; ++alt) {
+        std::vector<uint8_t> next = decisions;
+        next.resize(i, 0);
+        next.push_back(alt);
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return runs;
+}
+
+}  // namespace wfq::test

@@ -1,0 +1,132 @@
+// Queue-generic correctness drivers shared by baseline and integration
+// tests. Every queue in the library models the same concept (get_handle /
+// enqueue / optional dequeue), so the no-loss/no-dup/FIFO property check is
+// written once.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace wfq::test {
+
+/// Payload encoding: (producer id << 40) | (sequence + 1).
+constexpr uint64_t make_val(unsigned producer, uint64_t seq) {
+  return (uint64_t(producer) << 40) | (seq + 1);
+}
+constexpr unsigned val_producer(uint64_t v) { return unsigned(v >> 40); }
+constexpr uint64_t val_seq(uint64_t v) {
+  return (v & ((uint64_t{1} << 40) - 1)) - 1;
+}
+
+/// Drives `producers` enqueuer threads and `consumers` dequeuer threads,
+/// then checks: every value dequeued exactly once, and each consumer saw
+/// each producer's values in increasing sequence order (a sound necessary
+/// condition for FIFO linearizability).
+template <class Queue>
+void run_mpmc_property(Queue& q, unsigned producers, unsigned consumers,
+                       uint64_t per_producer) {
+  const uint64_t total = per_producer * producers;
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<bool> producers_done{false};
+  std::vector<std::vector<uint64_t>> consumed_by(consumers);
+
+  std::vector<std::thread> threads;
+  for (unsigned pi = 0; pi < producers; ++pi) {
+    threads.emplace_back([&, pi] {
+      auto h = q.get_handle();
+      for (uint64_t s = 0; s < per_producer; ++s) {
+        q.enqueue(h, make_val(pi, s));
+      }
+    });
+  }
+  for (unsigned ci = 0; ci < consumers; ++ci) {
+    threads.emplace_back([&, ci] {
+      auto h = q.get_handle();
+      auto& mine = consumed_by[ci];
+      mine.reserve(total / consumers + 16);
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        auto v = q.dequeue(h);
+        if (v.has_value()) {
+          mine.push_back(*v);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load(std::memory_order_acquire) &&
+                   consumed.load(std::memory_order_relaxed) >= total) {
+          break;
+        }
+      }
+    });
+  }
+  for (unsigned i = 0; i < producers; ++i) threads[i].join();
+  producers_done.store(true, std::memory_order_release);
+  for (unsigned i = producers; i < threads.size(); ++i) threads[i].join();
+
+  ASSERT_EQ(consumed.load(), total);
+
+  std::vector<std::vector<bool>> seen(producers,
+                                      std::vector<bool>(per_producer, false));
+  for (auto& vec : consumed_by) {
+    for (uint64_t v : vec) {
+      unsigned prod = val_producer(v);
+      uint64_t seq = val_seq(v);
+      ASSERT_LT(prod, producers);
+      ASSERT_LT(seq, per_producer);
+      ASSERT_FALSE(seen[prod][seq])
+          << "value (" << prod << ", " << seq << ") dequeued twice";
+      seen[prod][seq] = true;
+    }
+  }
+  for (unsigned ci = 0; ci < consumers; ++ci) {
+    std::vector<int64_t> last(producers, -1);
+    for (uint64_t v : consumed_by[ci]) {
+      unsigned prod = val_producer(v);
+      auto seq = int64_t(val_seq(v));
+      ASSERT_GT(seq, last[prod])
+          << "consumer " << ci << " saw producer " << prod
+          << " out of FIFO order";
+      last[prod] = seq;
+    }
+  }
+}
+
+/// Sequential FIFO smoke applicable to any queue type.
+template <class Queue>
+void run_sequential_fifo(Queue& q, uint64_t count) {
+  auto h = q.get_handle();
+  for (uint64_t i = 0; i < count; ++i) q.enqueue(h, i + 1);
+  for (uint64_t i = 0; i < count; ++i) {
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value()) << i;
+    ASSERT_EQ(*v, i + 1);
+  }
+  ASSERT_FALSE(q.dequeue(h).has_value());
+}
+
+/// Alternating enqueue/dequeue pairs from every thread; verifies global
+/// conservation of values.
+template <class Queue>
+void run_pairs_conservation(Queue& q, unsigned threads, uint64_t pairs) {
+  std::atomic<uint64_t> got{0};
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      auto h = q.get_handle();
+      uint64_t local = 0;
+      for (uint64_t i = 0; i < pairs; ++i) {
+        q.enqueue(h, make_val(t, i));
+        if (q.dequeue(h).has_value()) ++local;
+      }
+      got.fetch_add(local);
+    });
+  }
+  for (auto& t : ts) t.join();
+  auto h = q.get_handle();
+  uint64_t rest = 0;
+  while (q.dequeue(h).has_value()) ++rest;
+  ASSERT_EQ(got.load() + rest, uint64_t{threads} * pairs);
+}
+
+}  // namespace wfq::test

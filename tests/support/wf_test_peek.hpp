@@ -1,0 +1,108 @@
+// White-box access into WFQueueCore for deterministic tests of the helping
+// machinery (simulating a stalled slow-path thread without needing a
+// scheduler hook). Test-only; lives outside src/ on purpose.
+#pragma once
+
+#include <cstdint>
+
+#include "common/packed_state.hpp"
+#include "core/wf_queue_core.hpp"
+
+namespace wfq {
+
+struct WfTestPeek {
+  /// FAA the queue's tail index, as the paper's enqueue fast path would.
+  template <class Core>
+  static uint64_t faa_tail(Core& q) {
+    return Core::Traits_::Faa::fetch_add(*q.tail_index_, uint64_t{1},
+                                         std::memory_order_seq_cst);
+  }
+
+  /// FAA the queue's head index, as the paper's dequeue fast path would.
+  template <class Core>
+  static uint64_t faa_head(Core& q) {
+    return Core::Traits_::Faa::fetch_add(*q.head_index_, uint64_t{1},
+                                         std::memory_order_seq_cst);
+  }
+
+  /// Publish an enqueue request on `h` exactly as enq_slow's prologue does,
+  /// then return without looping — i.e. the thread "stalls" right after
+  /// soliciting help (Listing 3 line 72).
+  template <class Core>
+  static uint64_t publish_enq_request(Core& q, typename Core::Handle* h,
+                                      uint64_t v) {
+    uint64_t cell_id = faa_tail(q);  // the failed fast-path index
+    h->enq.req.val.store(v, std::memory_order_release);
+    h->enq.req.state.store(PackedState(true, cell_id).word(),
+                           std::memory_order_seq_cst);
+    return cell_id;
+  }
+
+  /// One real fast-path dequeue attempt (Listing 4 deq_fast). Returns the
+  /// value, Core::kEmpty, or Core::kTop on failure with `cid` set to the
+  /// probed index.
+  template <class Core>
+  static uint64_t deq_fast_once(Core& q, typename Core::Handle* h,
+                                uint64_t& cid) {
+    return q.deq_fast(h, cid);
+  }
+
+  /// Publish a dequeue request on `h` exactly as deq_slow's prologue does
+  /// (Listing 4 line 151), then "stall". `cid` must come from a genuinely
+  /// failed deq_fast_once, as in the real algorithm.
+  template <class Core>
+  static void publish_deq_request(Core& q, typename Core::Handle* h,
+                                  uint64_t cid) {
+    (void)q;
+    h->deq.req.id.store(cid, std::memory_order_release);
+    h->deq.req.state.store(PackedState(true, cid).word(),
+                           std::memory_order_seq_cst);
+  }
+
+  /// Resume a "stalled" slow-path dequeue: run deq_slow's epilogue (the
+  /// part after help_deq) and return the result slot.
+  template <class Core>
+  static uint64_t finish_deq_request(Core& q, typename Core::Handle* h) {
+    q.help_deq(h, h);
+    uint64_t i =
+        PackedState::from_word(h->deq.req.state.load(std::memory_order_acquire))
+            .index();
+    auto* s = h->head.load(std::memory_order_acquire);
+    auto* c = q.find_cell(h, s, i);
+    h->head.store(s, std::memory_order_release);
+    uint64_t v = c->val.load(std::memory_order_acquire);
+    Core::advance_end_for_linearizability(*q.head_index_, i + 1);
+    return v == Core::kTop ? Core::kEmpty : v;
+  }
+
+  template <class Core>
+  static bool enq_request_pending(typename Core::Handle* h) {
+    return PackedState::from_word(
+               h->enq.req.state.load(std::memory_order_acquire))
+        .pending();
+  }
+
+  template <class Core>
+  static bool deq_request_pending(typename Core::Handle* h) {
+    return PackedState::from_word(
+               h->deq.req.state.load(std::memory_order_acquire))
+        .pending();
+  }
+
+  template <class Core>
+  static uint64_t tail_of(Core& q) {
+    return q.tail_index_->load(std::memory_order_acquire);
+  }
+
+  template <class Core>
+  static uint64_t head_of(Core& q) {
+    return q.head_index_->load(std::memory_order_acquire);
+  }
+
+  template <class Core>
+  static int64_t oldest_id(Core& q) {
+    return q.oldest_id_->load(std::memory_order_acquire);
+  }
+};
+
+}  // namespace wfq

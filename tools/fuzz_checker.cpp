@@ -1,0 +1,124 @@
+// Long-running cross-validation fuzzer for the linearizability checkers:
+// random small FIFO histories (valid and broken) are judged by both the
+// polynomial bad-pattern checker and the brute-force definitional search;
+// any disagreement is printed with a replayable seed and fails the run.
+// The ctest fuzz (tests/checker/cross_validation_test.cpp) runs a bounded
+// slice of this; the tool runs for as long as you give it.
+//
+//   $ ./fuzz_checker [seconds] [max_ops]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "checker/brute_checker.hpp"
+#include "checker/queue_checker.hpp"
+#include "common/random.hpp"
+
+namespace {
+
+using namespace wfq;
+using namespace wfq::lin;
+
+Op enq(uint64_t v, uint64_t t0, uint64_t t1) {
+  return Op{OpKind::kEnqueue, 0, v, t0, t1};
+}
+Op deq(uint64_t v, uint64_t t0, uint64_t t1) {
+  return Op{OpKind::kDequeue, 0, v, t0, t1};
+}
+Op deq_empty(uint64_t t0, uint64_t t1) {
+  return Op{OpKind::kDequeueEmpty, 0, 0, t0, t1};
+}
+
+/// Same generator as the ctest fuzz: distinct event timestamps (matching
+/// the recorder's guarantee), enqueue values distinct, dequeues drawn from
+/// the pool with occasional duplicates, some EMPTYs.
+std::vector<Op> random_history(Xorshift128Plus& rng, unsigned max_ops) {
+  unsigned n_enq = 1 + unsigned(rng.next_below(max_ops / 2));
+  unsigned n_deq = unsigned(rng.next_below(max_ops / 2 + 1));
+  unsigned n = n_enq + n_deq;
+  std::vector<uint64_t> ts(2 * n);
+  for (unsigned i = 0; i < 2 * n; ++i) ts[i] = i;
+  for (unsigned i = 2 * n - 1; i > 0; --i) {
+    std::swap(ts[i], ts[rng.next_below(i + 1)]);
+  }
+  unsigned next_ts = 0;
+  auto interval = [&](uint64_t& t0, uint64_t& t1) {
+    t0 = ts[next_ts++];
+    t1 = ts[next_ts++];
+    if (t0 > t1) std::swap(t0, t1);
+  };
+  std::vector<Op> h;
+  std::vector<uint64_t> values;
+  for (unsigned i = 0; i < n_enq; ++i) {
+    uint64_t t0, t1;
+    interval(t0, t1);
+    h.push_back(enq(i + 1, t0, t1));
+    values.push_back(i + 1);
+  }
+  for (unsigned i = 0; i < n_deq; ++i) {
+    uint64_t t0, t1;
+    interval(t0, t1);
+    if (rng.next_below(4) == 0) {
+      h.push_back(deq_empty(t0, t1));
+    } else {
+      h.push_back(deq(values[rng.next_below(values.size())], t0, t1));
+    }
+  }
+  return h;
+}
+
+void dump(const std::vector<Op>& h) {
+  for (const auto& op : h) {
+    const char* k = op.kind == OpKind::kEnqueue    ? "ENQ"
+                    : op.kind == OpKind::kDequeue ? "DEQ"
+                                                  : "DEQ_EMPTY";
+    std::printf("  %s v=%llu [%llu,%llu]\n", k,
+                (unsigned long long)op.value,
+                (unsigned long long)op.invoke_ts,
+                (unsigned long long)op.respond_ts);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = argc > 1 ? std::strtod(argv[1], nullptr) : 30.0;
+  unsigned max_ops =
+      argc > 2 ? unsigned(std::strtoul(argv[2], nullptr, 10)) : 11;
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(seconds);
+  uint64_t seed = 1;
+  uint64_t histories = 0, accepted = 0, rejected = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    Xorshift128Plus rng(seed);
+    for (int trial = 0; trial < 500; ++trial) {
+      auto h = random_history(rng, max_ops);
+      auto pattern = wfq::lin::check_queue_history(h);
+      if (!pattern.linearizable &&
+          pattern.violation.find("precondition") != std::string::npos) {
+        continue;
+      }
+      bool brute = wfq::lin::brute_force_linearizable(h);
+      ++histories;
+      (pattern.linearizable ? accepted : rejected)++;
+      if (pattern.linearizable != brute) {
+        std::printf("DISAGREEMENT at seed=%llu trial=%d: pattern says %s, "
+                    "brute force says %s\n",
+                    (unsigned long long)seed, trial,
+                    pattern.linearizable ? "linearizable"
+                                         : pattern.violation.c_str(),
+                    brute ? "linearizable" : "NOT linearizable");
+        dump(h);
+        return 1;
+      }
+    }
+    ++seed;
+  }
+  std::printf("fuzz_checker: %llu histories (%llu linearizable, %llu "
+              "rejected) across %llu seeds — checkers agree\n",
+              (unsigned long long)histories, (unsigned long long)accepted,
+              (unsigned long long)rejected, (unsigned long long)(seed - 1));
+  return 0;
+}

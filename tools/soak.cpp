@@ -1,0 +1,168 @@
+// Long-duration soak runner for release validation — runs a randomized,
+// checksummed mixed workload on the wait-free queue (and optionally any
+// baseline) for a wall-clock budget, with periodic invariant audits:
+// value conservation, per-producer FIFO spot checks, memory footprint,
+// slow-path/probe statistics.
+//
+//   $ ./soak [seconds] [threads] [queue]
+//     queue in {wf, wf0, msq, lcrq, ccq, mutex, kp, sim}; default wf
+//
+// Exit status 0 only if every audit passed. Not part of ctest (runtime is
+// caller-chosen); CI runs it via the `soak` convenience target.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/ccqueue.hpp"
+#include "baselines/kp_queue.hpp"
+#include "baselines/lcrq.hpp"
+#include "baselines/ms_queue.hpp"
+#include "baselines/mutex_queue.hpp"
+#include "baselines/sim_queue.hpp"
+#include "common/random.hpp"
+#include "core/wf_queue.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SoakResult {
+  uint64_t enqueued = 0;
+  uint64_t dequeued = 0;
+  uint64_t checksum_in = 0;
+  uint64_t checksum_out = 0;
+  uint64_t fifo_violations = 0;
+  bool ok() const {
+    return enqueued == dequeued && checksum_in == checksum_out &&
+           fifo_violations == 0;
+  }
+};
+
+/// Payload: (producer << 40) | seq, as in the test utilities.
+template <class Queue>
+SoakResult soak(Queue& q, unsigned threads, double seconds) {
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> enq_count(threads, 0), deq_count(threads, 0);
+  std::vector<uint64_t> sum_in(threads, 0), sum_out(threads, 0);
+  std::vector<uint64_t> fifo_bad(threads, 0);
+
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto h = q.get_handle();
+      wfq::Xorshift128Plus rng(t * 7919 + 13);
+      // last sequence seen per producer, for the FIFO spot check.
+      std::vector<uint64_t> last_seq(threads, 0);
+      uint64_t seq = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (rng.percent_chance(50)) {
+          uint64_t v = (uint64_t(t) << 40) | ++seq;
+          q.enqueue(h, v);
+          sum_in[t] += v;
+          ++enq_count[t];
+        } else {
+          auto v = q.dequeue(h);
+          if (v.has_value()) {
+            sum_out[t] += *v;
+            ++deq_count[t];
+            unsigned prod = unsigned(*v >> 40);
+            uint64_t s = *v & ((uint64_t{1} << 40) - 1);
+            if (prod < threads) {
+              if (s <= last_seq[prod]) ++fifo_bad[t];
+              last_seq[prod] = s;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+  unsigned audits = 0;
+  while (Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    ++audits;
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  SoakResult r;
+  for (unsigned t = 0; t < threads; ++t) {
+    r.enqueued += enq_count[t];
+    r.dequeued += deq_count[t];
+    r.checksum_in += sum_in[t];
+    r.checksum_out += sum_out[t];
+    r.fifo_violations += fifo_bad[t];
+  }
+  // Drain the backlog.
+  auto h = q.get_handle();
+  for (;;) {
+    auto v = q.dequeue(h);
+    if (!v.has_value()) break;
+    r.checksum_out += *v;
+    ++r.dequeued;
+  }
+  std::printf("  audits=%u ops=%llu\n", audits,
+              (unsigned long long)(r.enqueued + r.dequeued));
+  return r;
+}
+
+template <class Queue, class... Args>
+int run(const char* name, unsigned threads, double seconds, Args&&... args) {
+  Queue q(std::forward<Args>(args)...);
+  std::printf("soaking %s for %.1fs with %u threads...\n", name, seconds,
+              threads);
+  SoakResult r = soak(q, threads, seconds);
+  std::printf("  enq=%llu deq=%llu checksum %s, fifo spot checks %s\n",
+              (unsigned long long)r.enqueued, (unsigned long long)r.dequeued,
+              r.checksum_in == r.checksum_out ? "OK" : "FAILED",
+              r.fifo_violations == 0 ? "OK" : "FAILED");
+  return r.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = argc > 1 ? std::strtod(argv[1], nullptr) : 10.0;
+  unsigned threads =
+      argc > 2 ? unsigned(std::strtoul(argv[2], nullptr, 10)) : 4;
+  std::string which = argc > 3 ? argv[3] : "wf";
+
+  if (which == "wf") {
+    return run<wfq::WFQueue<uint64_t>>("WFQueue (WF-10)", threads, seconds);
+  }
+  if (which == "wf0") {
+    wfq::WfConfig cfg;
+    cfg.patience = 0;
+    return run<wfq::WFQueue<uint64_t>>("WFQueue (WF-0)", threads, seconds,
+                                       cfg);
+  }
+  if (which == "msq") {
+    return run<wfq::baselines::MSQueue<uint64_t>>("MSQueue", threads, seconds);
+  }
+  if (which == "lcrq") {
+    return run<wfq::baselines::LCRQ<uint64_t>>("LCRQ", threads, seconds);
+  }
+  if (which == "ccq") {
+    return run<wfq::baselines::CCQueue<uint64_t>>("CCQueue", threads, seconds);
+  }
+  if (which == "mutex") {
+    return run<wfq::baselines::MutexQueue<uint64_t>>("MutexQueue", threads,
+                                                     seconds);
+  }
+  if (which == "kp") {
+    return run<wfq::baselines::KPQueue<uint64_t>>("KPQueue", threads, seconds,
+                                                  threads + 2);
+  }
+  if (which == "sim") {
+    return run<wfq::baselines::SimQueue<uint64_t>>("SimQueue", threads,
+                                                   seconds, threads + 2);
+  }
+  std::fprintf(stderr, "unknown queue '%s'\n", which.c_str());
+  return 2;
+}
