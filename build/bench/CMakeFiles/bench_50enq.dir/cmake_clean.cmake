@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_50enq.dir/bench_50enq.cpp.o"
+  "CMakeFiles/bench_50enq.dir/bench_50enq.cpp.o.d"
+  "bench_50enq"
+  "bench_50enq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_50enq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

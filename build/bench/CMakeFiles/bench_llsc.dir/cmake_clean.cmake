@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_llsc.dir/bench_llsc.cpp.o"
+  "CMakeFiles/bench_llsc.dir/bench_llsc.cpp.o.d"
+  "bench_llsc"
+  "bench_llsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_llsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

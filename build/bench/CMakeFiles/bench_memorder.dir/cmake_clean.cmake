@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memorder.dir/bench_memorder.cpp.o"
+  "CMakeFiles/bench_memorder.dir/bench_memorder.cpp.o.d"
+  "bench_memorder"
+  "bench_memorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

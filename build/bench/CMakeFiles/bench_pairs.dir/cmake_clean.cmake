@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pairs.dir/bench_pairs.cpp.o"
+  "CMakeFiles/bench_pairs.dir/bench_pairs.cpp.o.d"
+  "bench_pairs"
+  "bench_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

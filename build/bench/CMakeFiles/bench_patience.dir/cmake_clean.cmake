@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_patience.dir/bench_patience.cpp.o"
+  "CMakeFiles/bench_patience.dir/bench_patience.cpp.o.d"
+  "bench_patience"
+  "bench_patience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_patience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

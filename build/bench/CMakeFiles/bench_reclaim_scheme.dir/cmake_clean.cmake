@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reclaim_scheme.dir/bench_reclaim_scheme.cpp.o"
+  "CMakeFiles/bench_reclaim_scheme.dir/bench_reclaim_scheme.cpp.o.d"
+  "bench_reclaim_scheme"
+  "bench_reclaim_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reclaim_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

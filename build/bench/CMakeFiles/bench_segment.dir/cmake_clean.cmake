@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segment.dir/bench_segment.cpp.o"
+  "CMakeFiles/bench_segment.dir/bench_segment.cpp.o.d"
+  "bench_segment"
+  "bench_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_waitfreedom.dir/bench_waitfreedom.cpp.o"
+  "CMakeFiles/bench_waitfreedom.dir/bench_waitfreedom.cpp.o.d"
+  "bench_waitfreedom"
+  "bench_waitfreedom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_waitfreedom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

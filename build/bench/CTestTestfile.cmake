@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_platform "/root/repo/build/bench/bench_platform")
+set_tests_properties(smoke_bench_platform PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_pairs "/root/repo/build/bench/bench_pairs")
+set_tests_properties(smoke_bench_pairs PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_50enq "/root/repo/build/bench/bench_50enq")
+set_tests_properties(smoke_bench_50enq PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_llsc "/root/repo/build/bench/bench_llsc")
+set_tests_properties(smoke_bench_llsc PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_breakdown "/root/repo/build/bench/bench_breakdown")
+set_tests_properties(smoke_bench_breakdown PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_patience "/root/repo/build/bench/bench_patience")
+set_tests_properties(smoke_bench_patience PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_memorder "/root/repo/build/bench/bench_memorder")
+set_tests_properties(smoke_bench_memorder PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_segment "/root/repo/build/bench/bench_segment")
+set_tests_properties(smoke_bench_segment PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_reclaim "/root/repo/build/bench/bench_reclaim")
+set_tests_properties(smoke_bench_reclaim PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_waitfreedom "/root/repo/build/bench/bench_waitfreedom")
+set_tests_properties(smoke_bench_waitfreedom PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_reclaim_scheme "/root/repo/build/bench/bench_reclaim_scheme")
+set_tests_properties(smoke_bench_reclaim_scheme PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_latency "/root/repo/build/bench/bench_latency")
+set_tests_properties(smoke_bench_latency PROPERTIES  ENVIRONMENT "WFQ_THREADS=1,2;WFQ_OPS=2000;WFQ_INVOCATIONS=1;WFQ_ITERATIONS=2;WFQ_WINDOW=2;WFQ_NO_DELAY=1" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ops "/root/repo/build/bench/bench_ops" "--benchmark_min_time=0.01" "--benchmark_filter=BM_FaaPrimitive|BM_PairSingleThread.*WfQ")
+set_tests_properties(smoke_bench_ops PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")

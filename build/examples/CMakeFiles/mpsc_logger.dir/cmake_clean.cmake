@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsc_logger.dir/mpsc_logger.cpp.o"
+  "CMakeFiles/mpsc_logger.dir/mpsc_logger.cpp.o.d"
+  "mpsc_logger"
+  "mpsc_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsc_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stall_tolerance.dir/stall_tolerance.cpp.o"
+  "CMakeFiles/stall_tolerance.dir/stall_tolerance.cpp.o.d"
+  "stall_tolerance"
+  "stall_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stall_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

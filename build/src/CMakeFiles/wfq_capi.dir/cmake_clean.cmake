@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfq_capi.dir/capi/wfq_c.cpp.o"
+  "CMakeFiles/wfq_capi.dir/capi/wfq_c.cpp.o.d"
+  "libwfq_capi.a"
+  "libwfq_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfq_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

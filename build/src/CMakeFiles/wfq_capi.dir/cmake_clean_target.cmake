@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwfq_capi.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfq_platform.dir/harness/platform.cpp.o"
+  "CMakeFiles/wfq_platform.dir/harness/platform.cpp.o.d"
+  "libwfq_platform.a"
+  "libwfq_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfq_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/ccqueue_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/ccqueue_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/ccqueue_test.cpp.o.d"
+  "/root/repo/tests/baselines/faaq_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/faaq_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/faaq_test.cpp.o.d"
+  "/root/repo/tests/baselines/kp_queue_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/kp_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/kp_queue_test.cpp.o.d"
+  "/root/repo/tests/baselines/lcrq_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/lcrq_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/lcrq_test.cpp.o.d"
+  "/root/repo/tests/baselines/ms_queue_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/ms_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/ms_queue_test.cpp.o.d"
+  "/root/repo/tests/baselines/mutex_queue_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/mutex_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/mutex_queue_test.cpp.o.d"
+  "/root/repo/tests/baselines/obstruction_queue_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/obstruction_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/obstruction_queue_test.cpp.o.d"
+  "/root/repo/tests/baselines/sim_queue_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/sim_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/sim_queue_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfq_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

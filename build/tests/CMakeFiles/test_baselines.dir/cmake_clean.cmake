@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/ccqueue_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/ccqueue_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/faaq_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/faaq_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/kp_queue_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/kp_queue_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/lcrq_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/lcrq_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/ms_queue_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/ms_queue_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/mutex_queue_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/mutex_queue_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/obstruction_queue_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/obstruction_queue_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/sim_queue_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/sim_queue_test.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/align_test.cpp" "tests/CMakeFiles/test_common.dir/common/align_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/align_test.cpp.o.d"
+  "/root/repo/tests/common/atomics_test.cpp" "tests/CMakeFiles/test_common.dir/common/atomics_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/atomics_test.cpp.o.d"
+  "/root/repo/tests/common/cpu_test.cpp" "tests/CMakeFiles/test_common.dir/common/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/cpu_test.cpp.o.d"
+  "/root/repo/tests/common/packed_state_test.cpp" "tests/CMakeFiles/test_common.dir/common/packed_state_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/packed_state_test.cpp.o.d"
+  "/root/repo/tests/common/random_test.cpp" "tests/CMakeFiles/test_common.dir/common/random_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/random_test.cpp.o.d"
+  "/root/repo/tests/common/version_test.cpp" "tests/CMakeFiles/test_common.dir/common/version_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/version_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfq_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

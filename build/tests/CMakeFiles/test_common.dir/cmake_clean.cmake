@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/align_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/align_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/atomics_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/atomics_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/cpu_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/cpu_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/packed_state_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/packed_state_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/random_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/random_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/version_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/version_test.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness/barrier_test.cpp" "tests/CMakeFiles/test_harness.dir/harness/barrier_test.cpp.o" "gcc" "tests/CMakeFiles/test_harness.dir/harness/barrier_test.cpp.o.d"
+  "/root/repo/tests/harness/chart_test.cpp" "tests/CMakeFiles/test_harness.dir/harness/chart_test.cpp.o" "gcc" "tests/CMakeFiles/test_harness.dir/harness/chart_test.cpp.o.d"
+  "/root/repo/tests/harness/latency_test.cpp" "tests/CMakeFiles/test_harness.dir/harness/latency_test.cpp.o" "gcc" "tests/CMakeFiles/test_harness.dir/harness/latency_test.cpp.o.d"
+  "/root/repo/tests/harness/methodology_test.cpp" "tests/CMakeFiles/test_harness.dir/harness/methodology_test.cpp.o" "gcc" "tests/CMakeFiles/test_harness.dir/harness/methodology_test.cpp.o.d"
+  "/root/repo/tests/harness/platform_test.cpp" "tests/CMakeFiles/test_harness.dir/harness/platform_test.cpp.o" "gcc" "tests/CMakeFiles/test_harness.dir/harness/platform_test.cpp.o.d"
+  "/root/repo/tests/harness/stats_test.cpp" "tests/CMakeFiles/test_harness.dir/harness/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_harness.dir/harness/stats_test.cpp.o.d"
+  "/root/repo/tests/harness/table_test.cpp" "tests/CMakeFiles/test_harness.dir/harness/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_harness.dir/harness/table_test.cpp.o.d"
+  "/root/repo/tests/harness/workload_test.cpp" "tests/CMakeFiles/test_harness.dir/harness/workload_test.cpp.o" "gcc" "tests/CMakeFiles/test_harness.dir/harness/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfq_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

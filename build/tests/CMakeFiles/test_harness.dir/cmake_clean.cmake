@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/harness/barrier_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/barrier_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/chart_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/chart_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/latency_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/latency_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/methodology_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/methodology_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/platform_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/platform_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/stats_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/stats_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/table_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/table_test.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/workload_test.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/workload_test.cpp.o.d"
+  "test_harness"
+  "test_harness.pdb"
+  "test_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

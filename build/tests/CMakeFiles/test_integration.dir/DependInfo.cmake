@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/all_queues_property_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/all_queues_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/all_queues_property_test.cpp.o.d"
+  "/root/repo/tests/integration/harness_compat_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/harness_compat_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/harness_compat_test.cpp.o.d"
+  "/root/repo/tests/integration/linearizability_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/linearizability_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/linearizability_test.cpp.o.d"
+  "/root/repo/tests/integration/quiesce_protocol_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/quiesce_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/quiesce_protocol_test.cpp.o.d"
+  "/root/repo/tests/integration/stress_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfq_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

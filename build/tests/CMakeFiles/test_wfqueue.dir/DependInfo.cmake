@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/wf_queue_basic_test.cpp" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_basic_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_basic_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_codec_test.cpp" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_codec_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_codec_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_fuzz_test.cpp" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_handle_test.cpp" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_handle_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_handle_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_segment_test.cpp" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_segment_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_segment_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_stats_test.cpp" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_stats_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_traits_matrix_test.cpp" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_traits_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue.dir/core/wf_queue_traits_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfq_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

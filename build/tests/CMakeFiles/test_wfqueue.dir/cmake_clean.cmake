@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_basic_test.cpp.o"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_basic_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_codec_test.cpp.o"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_codec_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_fuzz_test.cpp.o"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_handle_test.cpp.o"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_handle_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_segment_test.cpp.o"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_segment_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_stats_test.cpp.o"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_stats_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_traits_matrix_test.cpp.o"
+  "CMakeFiles/test_wfqueue.dir/core/wf_queue_traits_matrix_test.cpp.o.d"
+  "test_wfqueue"
+  "test_wfqueue.pdb"
+  "test_wfqueue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/wf_queue_exhaustive_test.cpp" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_exhaustive_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_interleave_test.cpp" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_interleave_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_interleave_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_invariants_test.cpp" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_invariants_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_mpmc_test.cpp" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_mpmc_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_mpmc_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_reclamation_test.cpp" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_reclamation_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_reclamation_test.cpp.o.d"
+  "/root/repo/tests/core/wf_queue_slowpath_test.cpp" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_slowpath_test.cpp.o" "gcc" "tests/CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_slowpath_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wfq_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

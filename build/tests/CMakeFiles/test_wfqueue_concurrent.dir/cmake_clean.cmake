@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_exhaustive_test.cpp.o"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_exhaustive_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_interleave_test.cpp.o"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_interleave_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_invariants_test.cpp.o"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_invariants_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_mpmc_test.cpp.o"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_mpmc_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_reclamation_test.cpp.o"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_reclamation_test.cpp.o.d"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_slowpath_test.cpp.o"
+  "CMakeFiles/test_wfqueue_concurrent.dir/core/wf_queue_slowpath_test.cpp.o.d"
+  "test_wfqueue_concurrent"
+  "test_wfqueue_concurrent.pdb"
+  "test_wfqueue_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfqueue_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

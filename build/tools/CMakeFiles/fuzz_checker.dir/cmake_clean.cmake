@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_checker.dir/fuzz_checker.cpp.o"
+  "CMakeFiles/fuzz_checker.dir/fuzz_checker.cpp.o.d"
+  "fuzz_checker"
+  "fuzz_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
