@@ -7,6 +7,13 @@
 // contended-counter traffic pattern, so it conforms to the ConcurrentQueue
 // concept (dequeue fabricates a value iff an enqueue ticket is available)
 // purely so the harness can drive it uniformly.
+//
+// Since the segment-layer split, each ticket also touches its cell in a
+// shared SegmentList: the microbenchmark now bounds segment-backed
+// FAA queues specifically (FAA + infinite-array cell access + reclamation,
+// minus all correctness protocol), making its memory footprint directly
+// comparable to the real queues in bench_reclaim_scheme instead of
+// trivially zero. The contended FAAs remain the dominant cost.
 #pragma once
 
 #include <atomic>
@@ -15,32 +22,58 @@
 
 #include "common/align.hpp"
 #include "common/atomics.hpp"
+#include "core/segment_queue_base.hpp"
+#include "core/wf_queue_core.hpp"
 
 namespace wfq::baselines {
 
-template <class T, class Faa = NativeFaa>
-class FAAQueue {
+/// One microbenchmark cell: a stamp word the ticket holder writes. The
+/// write is what forces the realistic cache-line traffic; the value is
+/// never read back. `reset()` is the SegmentList pool-recycling hook.
+struct FaaCell {
+  std::atomic<uint64_t> stamp{0};
+
+  void reset() { stamp.store(0, std::memory_order_relaxed); }
+};
+
+template <class T, class Faa = NativeFaa, class Traits = DefaultWfTraits>
+class FAAQueue : private SegmentQueueBase<FaaCell, Traits> {
+  using Base = SegmentQueueBase<FaaCell, Traits>;
+
  public:
   using value_type = T;
+  using Handle = typename Base::HandleGuard;
 
-  struct Handle {};  // no per-thread state
+  /// `max_garbage` is the reclamation threshold, as in WfConfig.
+  explicit FAAQueue(int64_t max_garbage = 64) : Base(max_garbage) {}
 
-  FAAQueue() = default;
-  FAAQueue(const FAAQueue&) = delete;
-  FAAQueue& operator=(const FAAQueue&) = delete;
+  Handle get_handle() { return Handle(*this); }
 
-  Handle get_handle() { return Handle{}; }
-
-  /// One FAA on the enqueue hot spot; the value is dropped.
-  void enqueue(Handle&, T) {
-    Faa::fetch_add(*enq_ticket_, uint64_t{1}, std::memory_order_seq_cst);
+  /// One FAA on the enqueue hot spot, one stamp of the ticket's cell; the
+  /// value is dropped.
+  void enqueue(Handle& h, T) {
+    auto* hp = h.get();
+    this->rcl_.begin_op(hp, hp->tail);
+    uint64_t t = Faa::fetch_add(*enq_ticket_, uint64_t{1},
+                                std::memory_order_seq_cst);
+    FaaCell* c = this->cell_at(hp, hp->tail, t, "faa_enq");
+    c->stamp.store(t + 1, std::memory_order_release);
+    this->rcl_.end_op(hp);
   }
 
-  /// One FAA on the dequeue hot spot; fabricates T{} while tickets remain.
-  std::optional<T> dequeue(Handle&) {
-    uint64_t d =
-        Faa::fetch_add(*deq_ticket_, uint64_t{1}, std::memory_order_seq_cst);
-    if (d < enq_ticket_->load(std::memory_order_relaxed)) return T{};
+  /// One FAA on the dequeue hot spot, one stamp of the ticket's cell;
+  /// fabricates T{} while tickets remain.
+  std::optional<T> dequeue(Handle& h) {
+    auto* hp = h.get();
+    this->rcl_.begin_op(hp, hp->head);
+    uint64_t d = Faa::fetch_add(*deq_ticket_, uint64_t{1},
+                                std::memory_order_seq_cst);
+    FaaCell* c = this->cell_at(hp, hp->head, d, "faa_deq");
+    c->stamp.store(d + 1, std::memory_order_release);
+    bool ticketed = d < enq_ticket_->load(std::memory_order_relaxed);
+    this->rcl_.end_op(hp);
+    this->poll_reclaim(hp, *deq_ticket_, *enq_ticket_);
+    if (ticketed) return T{};
     return std::nullopt;
   }
 
@@ -50,6 +83,11 @@ class FAAQueue {
   uint64_t dequeues() const {
     return deq_ticket_->load(std::memory_order_relaxed);
   }
+
+  using Base::live_segments;
+  using Base::peak_live_segments;
+  using Base::reclaimer;
+  using Base::segments_outstanding;
 
  private:
   CacheAligned<std::atomic<uint64_t>> enq_ticket_{0};

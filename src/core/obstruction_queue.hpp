@@ -1,77 +1,101 @@
 // The paper's Listing 1: the obstruction-free FAA queue over an "infinite"
-// array, realized here over a fixed-capacity array. This is the base
-// algorithm the wait-free queue hardens; it is pedagogically useful, serves
-// as a differential-testing oracle at small scales, and demonstrates the
+// array — realized, like the wait-free queue that hardens it, over the
+// shared segment layer (core/segment_list.hpp) with pluggable reclamation
+// (memory/segment_reclaim.hpp). It is pedagogically useful, serves as a
+// differential-testing oracle at small scales, and demonstrates the
 // livelock the paper describes (an enqueuer and dequeuer can starve each
 // other, which the wait-free construction eliminates).
 //
-// Capacity is consumed by *indices*, not live values: every enqueue and
-// every dequeue burns at least one cell, so a bounded array can only absorb
-// a bounded number of operations. enqueue() throws std::length_error once
-// the index space is exhausted.
+// Listing 1 itself has no per-thread state; the Handle here exists for the
+// segment layer (thread-local segment pointers, reclamation-policy state),
+// not for the algorithm. Consumed segments are reclaimed by the configured
+// policy instead of leaking, so the queue sustains unbounded operation
+// counts in bounded memory — unless an index capacity is set, in which
+// case enqueue/dequeue throw std::length_error once the index space is
+// exhausted (capacity is consumed by *indices*, not live values: every
+// enqueue and every dequeue burns at least one cell).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "common/align.hpp"
 #include "common/atomics.hpp"
+#include "core/segment_queue_base.hpp"
 #include "core/slot_codec.hpp"
+#include "core/wf_queue_core.hpp"
 
 namespace wfq {
 
-template <class T>
-class ObstructionQueue {
+/// One Listing-1 cell: just a value slot (no request pointers — Listing 1
+/// has no helping). `reset()` is the SegmentList pool-recycling hook.
+struct ObsCell {
+  std::atomic<uint64_t> val{kSlotBot};
+
+  void reset() { val.store(kSlotBot, std::memory_order_relaxed); }
+};
+
+template <class T, class Traits = DefaultWfTraits>
+class ObstructionQueue : private SegmentQueueBase<ObsCell, Traits> {
+  using Base = SegmentQueueBase<ObsCell, Traits>;
   using Codec = SlotCodec<T>;
-  static constexpr uint64_t kBot = 0;
-  static constexpr uint64_t kTop = ~uint64_t{0};
+  using typename Base::Segment;
+  static constexpr uint64_t kBot = kSlotBot;
+  static constexpr uint64_t kTop = kSlotTop;
 
  public:
   using value_type = T;
+  using Handle = typename Base::HandleGuard;
 
-  struct Handle {};  // Listing 1 has no per-thread state
-
-  explicit ObstructionQueue(std::size_t capacity = 1 << 16)
-      : capacity_(capacity),
-        cells_(std::make_unique<std::atomic<uint64_t>[]>(capacity)) {
-    for (std::size_t i = 0; i < capacity_; ++i) {
-      cells_[i].store(kBot, std::memory_order_relaxed);
-    }
-  }
-
-  ObstructionQueue(const ObstructionQueue&) = delete;
-  ObstructionQueue& operator=(const ObstructionQueue&) = delete;
+  /// `capacity` bounds the *index space* (0 = unbounded, the default: the
+  /// reclamation policy keeps memory bounded instead). `max_garbage` is
+  /// the reclamation threshold, as in WfConfig.
+  explicit ObstructionQueue(std::size_t capacity = 0, int64_t max_garbage = 64)
+      : Base(max_garbage), capacity_(capacity) {}
 
   ~ObstructionQueue() {
     if constexpr (Codec::kBoxed) {
-      uint64_t h = head_->load(std::memory_order_relaxed);
-      uint64_t t = tail_->load(std::memory_order_relaxed);
-      for (uint64_t i = h; i < t && i < capacity_; ++i) {
-        uint64_t v = cells_[i].load(std::memory_order_relaxed);
-        if (v != kBot && v != kTop) Codec::destroy_slot(v);
+      // Free still-boxed payloads: exactly the cells in [H, T) holding a
+      // value. Cells below H were consumed (their slot words are stale) and
+      // cells at or above T are untouched. Reclaimed segments hold only
+      // consumed indices, so walking the live list covers [H, T).
+      const uint64_t h = head_->load(std::memory_order_relaxed);
+      const uint64_t t = tail_->load(std::memory_order_relaxed);
+      for (Segment* s = this->segs_.first(std::memory_order_relaxed);
+           s != nullptr; s = s->next.load(std::memory_order_relaxed)) {
+        for (std::size_t j = 0; j < Base::kSegmentSize; ++j) {
+          const uint64_t idx = uint64_t(s->id) * Base::kSegmentSize + j;
+          if (idx < h || idx >= t) continue;
+          uint64_t v = s->cells[j].val.load(std::memory_order_relaxed);
+          if (v != kBot && v != kTop) Codec::destroy_slot(v);
+        }
       }
     }
   }
 
-  Handle get_handle() { return Handle{}; }
+  Handle get_handle() { return Handle(*this); }
 
   /// Listing 1 enqueue: FAA an index, CAS the value in; retry on a cell a
   /// dequeuer already marked unusable. Obstruction-free, not wait-free.
-  void enqueue(Handle&, T v) {
+  void enqueue(Handle& h, T v) {
     uint64_t slot = Codec::encode(std::move(v));
+    auto* hp = h.get();
+    this->rcl_.begin_op(hp, hp->tail);
     for (;;) {
       uint64_t t = tail_->fetch_add(1, std::memory_order_seq_cst);
-      if (t >= capacity_) {
+      if (capacity_ != 0 && t >= capacity_) {
+        this->rcl_.end_op(hp);
         Codec::destroy_slot(slot);
         throw std::length_error("ObstructionQueue index space exhausted");
       }
+      ObsCell* c = this->cell_at(hp, hp->tail, t, "obs_enq");
       uint64_t expected = kBot;
-      if (cells_[t].compare_exchange_strong(expected, slot,
-                                            std::memory_order_seq_cst,
-                                            std::memory_order_relaxed)) {
+      if (c->val.compare_exchange_strong(expected, slot,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_relaxed)) {
+        this->rcl_.end_op(hp);
         return;
       }
     }
@@ -79,23 +103,31 @@ class ObstructionQueue {
 
   /// Listing 1 dequeue: FAA an index; mark the cell unusable; a failure to
   /// mark means a value is present. EMPTY when the head catches the tail.
-  std::optional<T> dequeue(Handle&) {
+  std::optional<T> dequeue(Handle& h) {
+    auto* hp = h.get();
+    this->rcl_.begin_op(hp, hp->head);
     for (;;) {
-      uint64_t h = head_->fetch_add(1, std::memory_order_seq_cst);
-      if (h >= capacity_) {
+      uint64_t i = head_->fetch_add(1, std::memory_order_seq_cst);
+      if (capacity_ != 0 && i >= capacity_) {
+        this->rcl_.end_op(hp);
         throw std::length_error("ObstructionQueue index space exhausted");
       }
+      ObsCell* c = this->cell_at(hp, hp->head, i, "obs_deq");
       uint64_t expected = kBot;
-      if (!cells_[h].compare_exchange_strong(expected, kTop,
-                                             std::memory_order_seq_cst,
-                                             std::memory_order_relaxed)) {
+      if (!c->val.compare_exchange_strong(expected, kTop,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
         // Cell already holds a value (CAS failed on non-⊥): take it.
+        this->rcl_.end_op(hp);
+        this->poll_reclaim(hp, *head_, *tail_);
         return Codec::decode(expected);
       }
-      if (tail_->load(std::memory_order_seq_cst) <= h) {
-        return std::nullopt;  // no enqueue has claimed index h: empty
+      if (tail_->load(std::memory_order_seq_cst) <= i) {
+        this->rcl_.end_op(hp);
+        this->poll_reclaim(hp, *head_, *tail_);
+        return std::nullopt;  // no enqueue has claimed index i: empty
       }
-      // Otherwise an enqueue is in flight at or past h; try the next cell.
+      // Otherwise an enqueue is in flight at or past i; try the next cell.
     }
   }
 
@@ -107,11 +139,15 @@ class ObstructionQueue {
   }
   std::size_t capacity() const { return capacity_; }
 
+  using Base::live_segments;
+  using Base::peak_live_segments;
+  using Base::reclaimer;
+  using Base::segments_outstanding;
+
  private:
   CacheAligned<std::atomic<uint64_t>> tail_{0};  // T
   CacheAligned<std::atomic<uint64_t>> head_{0};  // H
   std::size_t capacity_;
-  std::unique_ptr<std::atomic<uint64_t>[]> cells_;
 };
 
 }  // namespace wfq

@@ -1,0 +1,277 @@
+// The shared segment layer of the FAA-family queues: an "infinite array"
+// emulated by a singly-linked list of fixed-size segments (§3.2 of the
+// paper), factored out of WFQueueCore so that the wait-free queue, the
+// Listing-1 obstruction-free queue and the FAA microbenchmark all run over
+// one implementation of allocation, list extension, traversal and segment
+// recycling — and so that *reclamation* (which segments may be freed, and
+// when) becomes a swappable policy layered on top (memory/segment_reclaim.hpp)
+// instead of logic welded into one queue.
+//
+// Responsibilities:
+//   * Segment layout: cache-aligned `next` link + id + N cells of the
+//     caller's `Cell` type (Cell must be default-constructible to the
+//     pristine state and provide `reset()` for pool reuse).
+//   * find_cell (Listing 2): walk from a caller-held segment pointer to the
+//     segment containing a cell index, CAS-appending fresh segments at the
+//     end; append-race losers are cached in the caller's `spare` slot.
+//   * A lock-free fixed-slot recycling pool (the role jemalloc played in
+//     the paper's setup, §5.1) plus allocated/freed accounting.
+//   * Footprint introspection: live/peak segment counts for the
+//     wCQ-style memory-bound axis of bench_reclaim_scheme.
+//
+// NOT a responsibility: deciding when a segment is safe to free. That is
+// the ReclaimPolicy's job; the policy calls `set_first` + `delete_segment`
+// (immediate free/recycle) or `note_deferred_free` (handing the segment to
+// an HP/epoch domain).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/align.hpp"
+
+namespace wfq {
+
+template <class Cell, class Traits>
+class SegmentList {
+ public:
+  using Traits_ = Traits;
+  static constexpr std::size_t kSegmentSize = Traits::kSegmentSize;
+  static_assert(kSegmentSize >= 2 && (kSegmentSize & (kSegmentSize - 1)) == 0,
+                "segment size must be a power of two");
+
+  /// A fixed-size array segment of the emulated infinite array. Cell i of
+  /// the queue lives in segment[i / N].cells[i % N].
+  struct Segment {
+    alignas(kCacheLineSize) std::atomic<Segment*> next{nullptr};
+    int64_t id = 0;
+    alignas(kCacheLineSize) Cell cells[kSegmentSize];
+  };
+
+  SegmentList() {
+    Segment* s0 = new_segment(0);
+    first_.store(s0, std::memory_order_relaxed);
+  }
+
+  SegmentList(const SegmentList&) = delete;
+  SegmentList& operator=(const SegmentList&) = delete;
+
+  /// Single-threaded by contract (owning queue's destructor): frees the
+  /// remaining chain and drains the recycling pool.
+  ~SegmentList() {
+    Segment* s = first_.load(std::memory_order_relaxed);
+    while (s != nullptr) {
+      Segment* n = s->next.load(std::memory_order_relaxed);
+      free_raw(s);
+      s = n;
+    }
+    for (auto& slot : pool_) {
+      if (Segment* p = slot.exchange(nullptr, std::memory_order_relaxed)) {
+        free_raw(p);
+      }
+    }
+  }
+
+  // ---- list head ------------------------------------------------------
+
+  Segment* first(std::memory_order mo = std::memory_order_acquire) const {
+    return first_.load(mo);
+  }
+
+  /// Advance the list head to `s` (reclamation frontier). Caller (the
+  /// elected cleaner) owns the detached prefix [old first, s).
+  void set_first(Segment* s) {
+    first_.store(s, std::memory_order_release);
+    first_id_.store(s->id, std::memory_order_relaxed);
+  }
+
+  // ---- allocation / recycling ----------------------------------------
+
+  /// Fresh or pool-recycled segment with the given id, all cells pristine.
+  Segment* new_segment(int64_t id) {
+    if constexpr (Traits::kSegmentPoolCap > 0) {
+      if (Segment* s = pool_pop()) {
+        // Reset to the pristine state before reuse. No thread can reference
+        // a pooled segment (the reclamation policy proved that before it
+        // was retired), so plain stores suffice; the CAS-append in
+        // find_cell publishes it.
+        s->id = id;
+        s->next.store(nullptr, std::memory_order_relaxed);
+        for (auto& c : s->cells) c.reset();
+        return s;
+      }
+    }
+    auto* s = aligned_new<Segment>();
+    s->id = id;
+    allocated_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Retire a segment whose memory is provably quiescent (no thread can
+  /// still dereference it): recycle through the pool, else free for real.
+  void delete_segment(Segment* s) {
+    if constexpr (Traits::kSegmentPoolCap > 0) {
+      if (pool_push(s)) return;
+    }
+    free_raw(s);
+  }
+
+  /// Free bypassing the pool (destructor paths, handle spares).
+  void free_raw(Segment* s) {
+    if (s == nullptr) return;
+    freed_.fetch_add(1, std::memory_order_relaxed);
+    aligned_delete(s);
+  }
+
+  /// Accounting hook for deferred-reclamation policies (HP/epoch domains)
+  /// that take ownership of a detached segment and free it later through a
+  /// type-erased deleter: the segment is counted as freed at hand-off time
+  /// (`segments_outstanding` is documented as exact only while quiesced and
+  /// with immediate-free policies).
+  void note_deferred_free() {
+    freed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- traversal (Listing 2 find_cell) --------------------------------
+
+  /// Walks the segment list from `*sp` to the segment containing `cell_id`,
+  /// appending fresh segments when the list ends, and advances `sp` to the
+  /// target segment. `spare` caches a segment that lost an append race for
+  /// the caller's next extension (reference-implementation optimization).
+  /// Precondition: sp->id <= cell_id / N and *sp not reclaimed (guaranteed
+  /// by the caller's reclamation policy).
+  Cell* find_cell(Segment*& sp, uint64_t cell_id, Segment*& spare,
+                  [[maybe_unused]] const char* who = "?") {
+    Segment* s = sp;
+    const int64_t target = static_cast<int64_t>(cell_id / kSegmentSize);
+#ifndef NDEBUG
+    if (s->id > target) {
+      std::fprintf(stderr,
+                   "find_cell overshoot at %s: seg id %lld > target %lld "
+                   "(cell %llu)\n",
+                   who, (long long)s->id, (long long)target,
+                   (unsigned long long)cell_id);
+    }
+#endif
+    assert(s->id <= target && "segment pointer overshot the target cell");
+    for (int64_t i = s->id; i < target; ++i) {
+      Segment* next = s->next.load(acq());
+      if (next == nullptr) {
+        // Extend the list, recycling the caller's spare if it has one.
+        Segment* tmp = spare != nullptr ? spare : new_segment(0);
+        spare = nullptr;
+        tmp->id = i + 1;
+        Segment* expected = nullptr;
+        if (!s->next.compare_exchange_strong(expected, tmp, rel(), acq())) {
+          spare = tmp;  // another thread extended the list first
+        } else {
+          note_appended(i + 1);
+        }
+        next = s->next.load(acq());
+        assert(next != nullptr);
+      }
+      s = next;
+    }
+    sp = s;
+    return &s->cells[cell_id & (kSegmentSize - 1)];
+  }
+
+  // ---- introspection --------------------------------------------------
+
+  /// Number of segments currently in the list (O(segments); test helper).
+  std::size_t live_segments() const {
+    std::size_t n = 0;
+    for (Segment* s = first_.load(std::memory_order_acquire); s != nullptr;
+         s = s->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+  /// Total segments ever allocated minus freed (leak checks; exact only
+  /// while quiesced, and `note_deferred_free` counts domain hand-offs).
+  int64_t outstanding() const {
+    return allocated_.load(std::memory_order_relaxed) -
+           freed_.load(std::memory_order_relaxed);
+  }
+
+  int64_t allocated() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of (newest appended id − list-head id + 1): the peak
+  /// number of simultaneously live segments, maintained O(1) at append
+  /// time. This is the memory-bound axis wCQ optimizes; reported by
+  /// bench_reclaim_scheme for each reclamation policy.
+  std::size_t peak_live_segments() const {
+    return std::size_t(peak_live_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static constexpr std::memory_order acq() {
+    return Traits::kConservativeOrdering ? std::memory_order_seq_cst
+                                         : std::memory_order_acquire;
+  }
+  static constexpr std::memory_order rel() {
+    return Traits::kConservativeOrdering ? std::memory_order_seq_cst
+                                         : std::memory_order_release;
+  }
+
+  void note_appended(int64_t id) {
+    int64_t live = id - first_id_.load(std::memory_order_relaxed) + 1;
+    int64_t peak = peak_live_.load(std::memory_order_relaxed);
+    while (live > peak && !peak_live_.compare_exchange_weak(
+                              peak, live, std::memory_order_relaxed)) {
+    }
+  }
+
+  // ---- segment pool: fixed array of slots -----------------------------
+  //
+  // Deliberately NOT a Treiber stack: a stack pop must dereference the
+  // popped node to read its `next`, and a lagging popper could then read a
+  // segment that was popped, reused, retired and genuinely freed by
+  // another thread. The slot array never dereferences foreign segments —
+  // pop is an exchange of a pointer slot, push a CAS from null — so the
+  // only thread that ever touches a segment's memory is its current owner.
+  // O(cap) scans are irrelevant next to the O(N) cell reinitialization.
+
+  static constexpr std::size_t kPoolSlots =
+      Traits::kSegmentPoolCap > 0 ? Traits::kSegmentPoolCap : 1;
+
+  Segment* pool_pop() {
+    for (auto& slot : pool_) {
+      if (slot.load(std::memory_order_relaxed) != nullptr) {
+        if (Segment* s = slot.exchange(nullptr, std::memory_order_acquire)) {
+          return s;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  bool pool_push(Segment* s) {
+    for (auto& slot : pool_) {
+      Segment* expected = nullptr;
+      if (slot.load(std::memory_order_relaxed) == nullptr &&
+          slot.compare_exchange_strong(expected, s, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    free_raw(s);  // pool full: free for real
+    return true;
+  }
+
+  alignas(kCacheLineSize) std::atomic<Segment*> first_{nullptr};
+  std::atomic<int64_t> allocated_{0};
+  std::atomic<int64_t> freed_{0};
+  std::atomic<int64_t> first_id_{0};
+  std::atomic<int64_t> peak_live_{1};
+  alignas(kCacheLineSize) std::array<std::atomic<Segment*>, kPoolSlots>
+      pool_{};
+};
+
+}  // namespace wfq

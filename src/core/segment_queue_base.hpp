@@ -1,0 +1,163 @@
+// Common scaffolding for segment-backed queues that are NOT the wait-free
+// queue: a SegmentList plus the reclamation-policy plumbing every policy
+// requires of its host — registered per-thread handles linked into a ring
+// (so cleaners can advance idle threads' segment pointers), per-handle
+// policy state, and the post-dequeue reclamation poll.
+//
+// WFQueueCore carries its own copy of this scaffolding because its handles
+// additionally hold helping state (peers, requests) that must be
+// initialized inside the registration critical section; the simple
+// baselines (ObstructionQueue, FAAQueue) share this one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/segment_list.hpp"
+#include "memory/segment_reclaim.hpp"
+
+namespace wfq {
+
+template <class Cell, class Traits>
+class SegmentQueueBase {
+ public:
+  using SegList = SegmentList<Cell, Traits>;
+  using Segment = typename SegList::Segment;
+  using Reclaim = typename Traits::template Reclaim<SegList>;
+  static constexpr std::size_t kSegmentSize = SegList::kSegmentSize;
+
+  /// Per-thread state: the segment pointers + ring link + policy block the
+  /// ReclaimPolicy concept requires (memory/segment_reclaim.hpp).
+  struct Handle {
+    std::atomic<Segment*> tail{nullptr};
+    std::atomic<Segment*> head{nullptr};
+    std::atomic<Handle*> next{nullptr};  ///< ring of all handles
+    typename Reclaim::PerHandle rcl;
+    Segment* spare = nullptr;  ///< recycles failed list-extension allocations
+    Handle* next_free = nullptr;
+  };
+
+  explicit SegmentQueueBase(int64_t max_garbage = 64)
+      : max_garbage_(max_garbage) {}
+
+  SegmentQueueBase(const SegmentQueueBase&) = delete;
+  SegmentQueueBase& operator=(const SegmentQueueBase&) = delete;
+
+  ~SegmentQueueBase() {
+    for (auto& h : all_handles_) {
+      if (h->spare != nullptr) {
+        segs_.free_raw(h->spare);
+        h->spare = nullptr;
+      }
+    }
+  }
+
+  Handle* register_handle() {
+    std::lock_guard<std::mutex> g(handle_mutex_);
+    if (free_handles_ != nullptr) {
+      Handle* h = free_handles_;
+      free_handles_ = h->next_free;
+      h->next_free = nullptr;
+      return h;
+    }
+    auto owned = std::make_unique<Handle>();
+    Handle* h = owned.get();
+    rcl_.attach(h);
+    // Exclude cleaners while capturing the current first segment, exactly
+    // as WFQueueCore::register_handle does.
+    int64_t oid = rcl_.lock_frontier();
+    Segment* front = segs_.first(std::memory_order_relaxed);
+    h->tail.store(front, std::memory_order_relaxed);
+    h->head.store(front, std::memory_order_relaxed);
+    Handle* anchor = ring_.load(std::memory_order_relaxed);
+    if (anchor == nullptr) {
+      h->next.store(h, std::memory_order_relaxed);
+      ring_.store(h, std::memory_order_release);
+    } else {
+      h->next.store(anchor->next.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      anchor->next.store(h, std::memory_order_release);
+    }
+    rcl_.unlock_frontier(oid);
+    all_handles_.push_back(std::move(owned));
+    return h;
+  }
+
+  void release_handle(Handle* h) {
+    std::lock_guard<std::mutex> g(handle_mutex_);
+    h->next_free = free_handles_;
+    free_handles_ = h;
+  }
+
+  /// RAII registration for one thread. Must not outlive the queue: the
+  /// destructor returns the handle to the queue's freelist.
+  class HandleGuard {
+   public:
+    explicit HandleGuard(SegmentQueueBase& q)
+        : q_(&q), h_(q.register_handle()) {}
+    ~HandleGuard() {
+      if (h_ != nullptr) q_->release_handle(h_);
+    }
+    HandleGuard(HandleGuard&& o) noexcept : q_(o.q_), h_(o.h_) {
+      o.h_ = nullptr;
+    }
+    HandleGuard(const HandleGuard&) = delete;
+    HandleGuard& operator=(const HandleGuard&) = delete;
+    Handle* get() const noexcept { return h_; }
+    Handle* operator->() const noexcept { return h_; }
+
+   private:
+    SegmentQueueBase* q_;
+    Handle* h_;
+  };
+
+  // ---- introspection (shared with WFQueueCore's accessors) -------------
+
+  std::size_t live_segments() const { return segs_.live_segments(); }
+  int64_t segments_outstanding() const { return segs_.outstanding(); }
+  std::size_t peak_live_segments() const {
+    return segs_.peak_live_segments();
+  }
+  Reclaim& reclaimer() noexcept { return rcl_; }
+  const Reclaim& reclaimer() const noexcept { return rcl_; }
+
+ protected:
+  /// Resolve cell `idx` through the segment pointer `sp` (the handle's own
+  /// head or tail), advancing it to the reached segment.
+  Cell* cell_at(Handle* h, std::atomic<Segment*>& sp, uint64_t idx,
+                const char* who) {
+    Segment* s = sp.load(std::memory_order_acquire);
+    Cell* c = segs_.find_cell(s, idx, h->spare, who);
+    sp.store(s, std::memory_order_release);
+    return c;
+  }
+
+  /// Post-dequeue reclamation poll. `head_index`/`tail_index` are the
+  /// queue's dequeue/enqueue indices H and T: the frontier must stay at or
+  /// below segment(T / N) (tail-cap erratum; see
+  /// WFQueueCore::poll_reclaim), and segment(H / N) feeds the policy's
+  /// integer garbage-trigger estimate.
+  void poll_reclaim(Handle* h, const std::atomic<uint64_t>& head_index,
+                    const std::atomic<uint64_t>& tail_index) {
+    const int64_t head_cap =
+        int64_t(head_index.load(std::memory_order_seq_cst) / kSegmentSize);
+    const int64_t tail_cap =
+        int64_t(tail_index.load(std::memory_order_seq_cst) / kSegmentSize);
+    (void)rcl_.poll(segs_, h, head_cap, tail_cap, max_garbage_);
+  }
+
+  SegList segs_;
+  Reclaim rcl_;
+  int64_t max_garbage_;
+
+ private:
+  std::atomic<Handle*> ring_{nullptr};
+  mutable std::mutex handle_mutex_;
+  Handle* free_handles_ = nullptr;
+  std::vector<std::unique_ptr<Handle>> all_handles_;
+};
+
+}  // namespace wfq

@@ -81,6 +81,9 @@ class WFQueue {
   /// Segment-list introspection for tests and reclamation benchmarks.
   std::size_t live_segments() const { return core_.live_segments(); }
   int64_t segments_outstanding() const { return core_.segments_outstanding(); }
+  std::size_t peak_live_segments() const {
+    return core_.peak_live_segments();
+  }
   uint64_t tail_index() const { return core_.tail_index(); }
   uint64_t head_index() const { return core_.head_index(); }
 

@@ -1,16 +1,14 @@
 // The wait-free FAA-based FIFO queue of Yang & Mellor-Crummey (PPoPP'16),
 // "A Wait-free Queue as Fast as Fetch-and-Add".
 //
-// This file is a faithful C++20 transcription of the paper's Listings 2-5:
-// the infinite array emulated by a linked list of fixed-size segments, the
-// FAA fast path, the request-publishing slow paths with ring-of-handles
-// helping (Kogan-Petrank fast-path-slow-path), Dijkstra's protocol between
-// enqueuers and dequeue helpers, and the custom hazard-pointer/epoch hybrid
-// segment reclamation of §3.6. Function and field names follow the paper
-// (find_cell, enq_fast, enq_slow, help_enq, deq_fast, deq_slow, help_deq,
-// cleanup, update, verify, advance_end_for_linearizability) so the code can
-// be read side by side with the listings. Known pseudo-code errata fixed
-// here (both confirmed against the authors' reference C implementation):
+// This file is a faithful C++20 transcription of the paper's Listings 2-4:
+// the FAA fast path, the request-publishing slow paths with ring-of-handles
+// helping (Kogan-Petrank fast-path-slow-path), and Dijkstra's protocol
+// between enqueuers and dequeue helpers. Function and field names follow
+// the paper (find_cell, enq_fast, enq_slow, help_enq, deq_fast, deq_slow,
+// help_deq, advance_end_for_linearizability) so the code can be read side
+// by side with the listings. Known pseudo-code errata fixed here (both
+// confirmed against the authors' reference C implementation):
 //
 //  * Listing 4 line 174 passes a segment pointer where help_enq needs the
 //    helper's handle; we pass the handle.
@@ -20,16 +18,22 @@
 //    own tail pointer, which may lag its head; like the reference
 //    implementation we start the scan at the cleaner itself.
 //
+// The two infrastructure layers the algorithm rides on live elsewhere:
+//
+//  * core/segment_list.hpp — the emulated infinite array (§3.2): segment
+//    allocation, list extension, find_cell traversal, recycling pool.
+//  * memory/segment_reclaim.hpp — the reclamation policy (§3.6 and its
+//    Listing 5, plus hazard-pointer and epoch alternatives). Selected by
+//    `Traits::Reclaim`; PaperReclaim is the default and reproduces the
+//    paper's scheme exactly, including the erratum fixes above.
+//
 // The core operates on raw 64-bit slots with reserved values; see
 // wf_queue.hpp for the typed, value-owning public wrapper.
 #pragma once
 
-#include <algorithm>
-#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -38,8 +42,47 @@
 #include "common/atomics.hpp"
 #include "common/packed_state.hpp"
 #include "core/op_stats.hpp"
+#include "core/segment_list.hpp"
+#include "memory/segment_reclaim.hpp"
 
 namespace wfq {
+
+// Reserved slot values (§3.1: two special values ⊥ and ⊤ that may not be
+// enqueued; EMPTY is an API-level result, never stored in a cell). These
+// are namespace-scope so the cell layout below is independent of the queue
+// traits; WFQueueCore re-exports them as kBot/kTop/kEmpty.
+inline constexpr uint64_t kSlotBot = 0;                   ///< ⊥
+inline constexpr uint64_t kSlotTop = ~uint64_t{0};        ///< ⊤
+inline constexpr uint64_t kSlotEmpty = ~uint64_t{0} - 1;  ///< EMPTY
+
+/// An enqueue request: logically (val, pending, id). `state` packs
+/// (pending, id) into one word so helpers can claim it with a single CAS.
+struct WfEnqReq {
+  std::atomic<uint64_t> val{kSlotBot};
+  std::atomic<uint64_t> state{PackedState(false, 0).word()};
+};
+
+/// A dequeue request: logically (id, pending, idx); `state` packs
+/// (pending, idx).
+struct WfDeqReq {
+  std::atomic<uint64_t> id{0};
+  std::atomic<uint64_t> state{PackedState(false, 0).word()};
+};
+
+/// One queue cell: (val, enq, deq), initially (⊥, ⊥e, ⊥d). `reset()`
+/// restores the pristine state when the segment pool recycles a segment
+/// (SegmentList requirement).
+struct WfCell {
+  std::atomic<uint64_t> val{kSlotBot};
+  std::atomic<WfEnqReq*> enq{nullptr};
+  std::atomic<WfDeqReq*> deq{nullptr};
+
+  void reset() {
+    val.store(kSlotBot, std::memory_order_relaxed);
+    enq.store(nullptr, std::memory_order_relaxed);
+    deq.store(nullptr, std::memory_order_relaxed);
+  }
+};
 
 /// Compile-time configuration of the queue core.
 ///
@@ -56,6 +99,14 @@ struct DefaultWfTraits {
   static constexpr bool kConservativeOrdering = false;
   static constexpr bool kCollectStats = true;
   using Faa = NativeFaa;
+
+  /// Segment-reclamation policy (memory/segment_reclaim.hpp): decides when
+  /// retired segments may be freed and what each operation publishes to
+  /// make that safe. PaperReclaim is the §3.6 scheme — zero fast-path
+  /// fences on x86; HpReclaim / EpochReclaim are the textbook alternatives
+  /// for comparison (see docs/ALGORITHM.md "Reclamation policies").
+  template <class SL>
+  using Reclaim = PaperReclaim<SL>;
 
   /// Retired segments up to this count are recycled through a lock-free
   /// per-queue pool instead of round-tripping the allocator — the role
@@ -89,48 +140,83 @@ class WFQueueCore {
  public:
   using Traits_ = Traits;
   static constexpr std::size_t kSegmentSize = Traits::kSegmentSize;
-  static_assert(kSegmentSize >= 2 && (kSegmentSize & (kSegmentSize - 1)) == 0,
-                "segment size must be a power of two");
 
-  // Reserved slot values (§3.1: two special values ⊥ and ⊤ that may not be
-  // enqueued; EMPTY is an API-level result, never stored in a cell).
-  static constexpr uint64_t kBot = 0;                  ///< ⊥: cell untouched
-  static constexpr uint64_t kTop = ~uint64_t{0};       ///< ⊤: cell unusable
-  static constexpr uint64_t kEmpty = ~uint64_t{0} - 1; ///< dequeue saw empty
+  using SegList = SegmentList<WfCell, Traits>;
+  using Segment = typename SegList::Segment;
+  using Reclaim = typename Traits::template Reclaim<SegList>;
+
+  // Algorithm-layer aliases kept for tests and wrappers that predate the
+  // segment-layer split.
+  using Cell = WfCell;
+  using EnqReq = WfEnqReq;
+  using DeqReq = WfDeqReq;
+  static constexpr uint64_t kBot = kSlotBot;      ///< ⊥: cell untouched
+  static constexpr uint64_t kTop = kSlotTop;      ///< ⊤: cell unusable
+  static constexpr uint64_t kEmpty = kSlotEmpty;  ///< dequeue saw empty
 
   /// True iff a slot value is legal to enqueue.
   static constexpr bool is_enqueueable(uint64_t v) noexcept {
     return v != kBot && v != kTop && v != kEmpty;
   }
 
-  struct Handle;  // fwd
+  // Sentinels for the cell's request-pointer fields (⊥e/⊤e, ⊥d/⊤d).
+  static EnqReq* enq_bot() noexcept { return nullptr; }
+  static EnqReq* enq_top() noexcept {
+    return reinterpret_cast<EnqReq*>(uintptr_t{1});
+  }
+  static DeqReq* deq_bot() noexcept { return nullptr; }
+  static DeqReq* deq_top() noexcept {
+    return reinterpret_cast<DeqReq*>(uintptr_t{1});
+  }
+
+  /// Per-thread state (Listing 2 `Handle`, augmented with the reclamation
+  /// policy's per-handle block and instrumentation).
+  struct Handle {
+    // Segment pointers for enqueues/dequeues. Atomic because a cleaning
+    // thread advances them on the owner's behalf (§3.6 "Update head and
+    // tail pointers").
+    std::atomic<Segment*> tail{nullptr};  ///< paper: Handle.tail / C: Ep
+    std::atomic<Segment*> head{nullptr};  ///< paper: Handle.head / C: Dp
+    std::atomic<Handle*> next{nullptr};   ///< ring of all handles
+    typename Reclaim::PerHandle rcl;      ///< policy state (§3.6: hzdp)
+
+    struct {
+      EnqReq req;
+      Handle* peer = nullptr;  ///< enqueue peer to help (owner-local)
+      uint64_t help_id = 0;    ///< paper: enq.id — pending peer request id
+    } enq;
+
+    struct {
+      DeqReq req;
+      Handle* peer = nullptr;  ///< dequeue peer to help (owner-local)
+    } deq;
+
+    Segment* spare = nullptr;  ///< one cached segment to recycle failed
+                               ///< list-extension allocations (reference
+                               ///< implementation optimization)
+    uint64_t op_probes = 0;    ///< cells probed by the in-flight operation
+                               ///< (owner-only; wait-freedom accounting)
+    OpStats stats;
+    Handle* next_free = nullptr;  ///< freelist link (guarded by mutex)
+  };
 
   explicit WFQueueCore(WfConfig cfg = {}) : cfg_(cfg) {
-    Segment* s0 = new_segment(0);
-    first_segment_.store(s0, std::memory_order_relaxed);
     tail_index_->store(0, std::memory_order_relaxed);
     head_index_->store(0, std::memory_order_relaxed);
-    oldest_id_->store(0, std::memory_order_relaxed);
   }
 
   WFQueueCore(const WFQueueCore&) = delete;
   WFQueueCore& operator=(const WFQueueCore&) = delete;
 
   ~WFQueueCore() {
-    Segment* s = first_segment_.load(std::memory_order_relaxed);
-    while (s != nullptr) {
-      Segment* n = s->next.load(std::memory_order_relaxed);
-      delete_segment(s);
-      s = n;
-    }
+    // Handle spares bypass the pool: the SegmentList destructor (which runs
+    // after this body) frees the remaining chain and drains the pool.
     for (auto& h : all_handles_) {
       if (h->spare != nullptr) {
-        segments_freed_.fetch_add(1, std::memory_order_relaxed);
-        aligned_delete(h->spare);
+        segs_.free_raw(h->spare);
         h->spare = nullptr;
       }
     }
-    pool_drain();
   }
 
   // -------------------------------------------------------------------
@@ -153,20 +239,12 @@ class WFQueueCore {
     }
     auto owned = std::make_unique<Handle>();
     Handle* h = owned.get();
+    rcl_.attach(h);
     // Exclude concurrent cleaners while we capture the current first
     // segment; otherwise the captured pointer could be freed between the
     // read and the ring link becoming visible.
-    int64_t oid;
-    for (;;) {
-      oid = oldest_id_->load(std::memory_order_acquire);
-      if (oid != kCleaning &&
-          oldest_id_->compare_exchange_weak(oid, kCleaning,
-                                            std::memory_order_acq_rel)) {
-        break;
-      }
-      cpu_pause();
-    }
-    Segment* front = first_segment_.load(std::memory_order_relaxed);
+    int64_t oid = rcl_.lock_frontier();
+    Segment* front = segs_.first(std::memory_order_relaxed);
     h->tail.store(front, std::memory_order_relaxed);
     h->head.store(front, std::memory_order_relaxed);
     Handle* anchor = ring_.load(std::memory_order_relaxed);
@@ -182,7 +260,7 @@ class WFQueueCore {
       h->deq.peer = after;
       anchor->next.store(h, std::memory_order_release);
     }
-    oldest_id_->store(oid, std::memory_order_release);
+    rcl_.unlock_frontier(oid);
     all_handles_.push_back(std::move(owned));
     return h;
   }
@@ -223,16 +301,11 @@ class WFQueueCore {
   /// (Lemma 4.3: at most (n-1)^2 slow-path failures).
   void enqueue(Handle* h, uint64_t v) {
     assert(is_enqueueable(v));
-    // §3.6: publish the hazard pointer. On the tuned/x86 configuration the
-    // FAA inside enq_fast orders this store before any segment access (the
-    // paper's "no extra memory fence on the typical path"); conservative
-    // mode inserts the fence explicitly for weaker machines.
-    h->hzdp.store(h->tail.load(std::memory_order_relaxed),
-                  std::memory_order_release);
-    if constexpr (Traits::kConservativeOrdering) {
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-    }
-    Traits::interleave_hint();  // hazard published, operation not begun
+    // Protect the operation's root segment (with PaperReclaim this is the
+    // §3.6 hazard-pointer publish whose fast-path ordering the FAA below
+    // provides for free on x86).
+    rcl_.begin_op(h, h->tail);
+    Traits::interleave_hint();  // protection published, operation not begun
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
     uint64_t cell_id = 0;
     bool done = false;
@@ -253,17 +326,13 @@ class WFQueueCore {
                                       std::memory_order_relaxed);
       }
     }
-    h->hzdp.store(nullptr, std::memory_order_release);
+    rcl_.end_op(h);
   }
 
   /// Removes and returns the oldest value, or kEmpty if the queue was
   /// observed empty at the linearization point. Wait-free (Lemma 4.4).
   uint64_t dequeue(Handle* h) {
-    h->hzdp.store(h->head.load(std::memory_order_relaxed),
-                  std::memory_order_release);
-    if constexpr (Traits::kConservativeOrdering) {
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-    }
+    rcl_.begin_op(h, h->head);
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
     uint64_t v = kTop;
     uint64_t cell_id = 0;
@@ -295,8 +364,8 @@ class WFQueueCore {
                                       std::memory_order_relaxed);
       }
     }
-    h->hzdp.store(nullptr, std::memory_order_release);
-    cleanup(h);
+    rcl_.end_op(h);
+    poll_reclaim(h);
     return v;
   }
 
@@ -319,14 +388,7 @@ class WFQueueCore {
   }
 
   /// Number of segments currently in the list (O(segments); test helper).
-  std::size_t live_segments() const {
-    std::size_t n = 0;
-    for (Segment* s = first_segment_.load(std::memory_order_acquire);
-         s != nullptr; s = s->next.load(std::memory_order_acquire)) {
-      ++n;
-    }
-    return n;
-  }
+  std::size_t live_segments() const { return segs_.live_segments(); }
 
   uint64_t tail_index() const {
     return tail_index_->load(std::memory_order_acquire);
@@ -348,11 +410,20 @@ class WFQueueCore {
   const WfConfig& config() const noexcept { return cfg_; }
 
   /// Total segments ever allocated minus freed (test helper for leak
-  /// checks; exact only while quiesced).
-  int64_t segments_outstanding() const {
-    return segments_allocated_.load(std::memory_order_relaxed) -
-           segments_freed_.load(std::memory_order_relaxed);
+  /// checks; exact only while quiesced — with a deferring policy, segments
+  /// handed to an HP/epoch domain count as freed at hand-off).
+  int64_t segments_outstanding() const { return segs_.outstanding(); }
+
+  /// High-water mark of simultaneously live segments (the memory-bound
+  /// axis of bench_reclaim_scheme; see SegmentList::peak_live_segments).
+  std::size_t peak_live_segments() const {
+    return segs_.peak_live_segments();
   }
+
+  /// The active reclamation policy instance (benchmark diagnostics such as
+  /// EpochReclaim::limbo_count).
+  Reclaim& reclaimer() noexcept { return rcl_; }
+  const Reclaim& reclaimer() const noexcept { return rcl_; }
 
  private:
   // ---- memory-order shorthands -------------------------------------
@@ -376,197 +447,12 @@ class WFQueueCore {
     }
   }
 
- public:
-  // ---- data structures (Listing 2) ----------------------------------
-
-  /// An enqueue request: logically (val, pending, id). `state` packs
-  /// (pending, id) into one word so helpers can claim it with a single CAS.
-  struct EnqReq {
-    std::atomic<uint64_t> val{kBot};
-    std::atomic<uint64_t> state{PackedState(false, 0).word()};
-  };
-
-  /// A dequeue request: logically (id, pending, idx); `state` packs
-  /// (pending, idx).
-  struct DeqReq {
-    std::atomic<uint64_t> id{0};
-    std::atomic<uint64_t> state{PackedState(false, 0).word()};
-  };
-
-  // Sentinels for the cell's request-pointer fields (⊥e/⊤e, ⊥d/⊤d).
-  static EnqReq* enq_bot() noexcept { return nullptr; }
-  static EnqReq* enq_top() noexcept {
-    return reinterpret_cast<EnqReq*>(uintptr_t{1});
-  }
-  static DeqReq* deq_bot() noexcept { return nullptr; }
-  static DeqReq* deq_top() noexcept {
-    return reinterpret_cast<DeqReq*>(uintptr_t{1});
-  }
-
-  /// One queue cell: (val, enq, deq), initially (⊥, ⊥e, ⊥d).
-  struct Cell {
-    std::atomic<uint64_t> val{kBot};
-    std::atomic<EnqReq*> enq{nullptr};
-    std::atomic<DeqReq*> deq{nullptr};
-  };
-
-  /// A fixed-size array segment of the emulated infinite array. Cell i of
-  /// the queue lives in segment[i / N].cells[i % N].
-  struct Segment {
-    alignas(kCacheLineSize) std::atomic<Segment*> next{nullptr};
-    int64_t id = 0;
-    alignas(kCacheLineSize) Cell cells[kSegmentSize];
-  };
-
-  /// Per-thread state (Listing 2 `Handle`, augmented with the §3.6 hazard
-  /// pointer and instrumentation).
-  struct Handle {
-    // Segment pointers for enqueues/dequeues. Atomic because a cleaning
-    // thread advances them on the owner's behalf (§3.6 "Update head and
-    // tail pointers").
-    std::atomic<Segment*> tail{nullptr};  ///< paper: Handle.tail / C: Ep
-    std::atomic<Segment*> head{nullptr};  ///< paper: Handle.head / C: Dp
-    std::atomic<Segment*> hzdp{nullptr};  ///< hazard pointer (§3.6)
-    std::atomic<Handle*> next{nullptr};   ///< ring of all handles
-
-    struct {
-      EnqReq req;
-      Handle* peer = nullptr;  ///< enqueue peer to help (owner-local)
-      uint64_t help_id = 0;    ///< paper: enq.id — pending peer request id
-    } enq;
-
-    struct {
-      DeqReq req;
-      Handle* peer = nullptr;  ///< dequeue peer to help (owner-local)
-    } deq;
-
-    Segment* spare = nullptr;  ///< one cached segment to recycle failed
-                               ///< list-extension allocations (reference
-                               ///< implementation optimization)
-    uint64_t op_probes = 0;    ///< cells probed by the in-flight operation
-                               ///< (owner-only; wait-freedom accounting)
-    OpStats stats;
-    Handle* next_free = nullptr;  ///< freelist link (guarded by mutex)
-  };
-
- private:
-  // ---- segment management --------------------------------------------
-
-  Segment* new_segment(int64_t id) {
-    if constexpr (Traits::kSegmentPoolCap > 0) {
-      if (Segment* s = pool_pop()) {
-        // Reset to the pristine (⊥, ⊥e, ⊥d) state before reuse. No thread
-        // can reference a pooled segment (the reclamation frontier proved
-        // that before it was retired), so plain stores suffice; the
-        // CAS-append in find_cell publishes it.
-        s->id = id;
-        s->next.store(nullptr, std::memory_order_relaxed);
-        for (auto& c : s->cells) {
-          c.val.store(kBot, std::memory_order_relaxed);
-          c.enq.store(enq_bot(), std::memory_order_relaxed);
-          c.deq.store(deq_bot(), std::memory_order_relaxed);
-        }
-        return s;
-      }
-    }
-    auto* s = aligned_new<Segment>();
-    s->id = id;
-    segments_allocated_.fetch_add(1, std::memory_order_relaxed);
-    return s;
-  }
-
-  void delete_segment(Segment* s) {
-    if constexpr (Traits::kSegmentPoolCap > 0) {
-      if (pool_push(s)) return;
-    }
-    segments_freed_.fetch_add(1, std::memory_order_relaxed);
-    aligned_delete(s);
-  }
-
-  // ---- segment pool: fixed array of slots -------------------------------
-  //
-  // Deliberately NOT a Treiber stack: a stack pop must dereference the
-  // popped node to read its `next`, and a lagging popper could then read a
-  // segment that was popped, reused, retired and genuinely freed by
-  // another thread. The slot array never dereferences foreign segments —
-  // pop is an exchange of a pointer slot, push a CAS from null — so the
-  // only thread that ever touches a segment's memory is its current owner.
-  // O(cap) scans are irrelevant next to the O(N) cell reinitialization.
-
-  static constexpr std::size_t kPoolSlots =
-      Traits::kSegmentPoolCap > 0 ? Traits::kSegmentPoolCap : 1;
-
-  Segment* pool_pop() {
-    for (auto& slot : pool_) {
-      if (slot.load(std::memory_order_relaxed) != nullptr) {
-        if (Segment* s = slot.exchange(nullptr, std::memory_order_acquire)) {
-          return s;
-        }
-      }
-    }
-    return nullptr;
-  }
-
-  bool pool_push(Segment* s) {
-    for (auto& slot : pool_) {
-      Segment* expected = nullptr;
-      if (slot.load(std::memory_order_relaxed) == nullptr &&
-          slot.compare_exchange_strong(expected, s,
-                                       std::memory_order_release,
-                                       std::memory_order_relaxed)) {
-        return true;
-      }
-    }
-    return false;  // pool full: caller frees for real
-  }
-
-  void pool_drain() {  // destructor-only
-    for (auto& slot : pool_) {
-      if (Segment* s = slot.exchange(nullptr, std::memory_order_relaxed)) {
-        segments_freed_.fetch_add(1, std::memory_order_relaxed);
-        aligned_delete(s);
-      }
-    }
-  }
-
-  /// Listing 2 find_cell: walks the segment list from `*sp` to the segment
-  /// containing `cell_id`, appending fresh segments when the list ends, and
-  /// advances `*sp` to the target segment. Precondition: (*sp)->id <=
-  /// cell_id / N and *sp not reclaimed (guaranteed by the hazard pointer).
+  /// Listing 2 find_cell, with probe accounting and the handle's spare
+  /// segment wired into the segment layer's traversal.
   Cell* find_cell(Handle* h, Segment*& sp, uint64_t cell_id,
-                  [[maybe_unused]] const char* who = "?") {
+                  const char* who = "?") {
     if constexpr (Traits::kCollectStats) ++h->op_probes;
-    Segment* s = sp;
-    const int64_t target = static_cast<int64_t>(cell_id / kSegmentSize);
-#ifndef NDEBUG
-    if (s->id > target) {
-      std::fprintf(stderr,
-                   "find_cell overshoot at %s: seg id %lld > target %lld "
-                   "(cell %llu)\n",
-                   who, (long long)s->id, (long long)target,
-                   (unsigned long long)cell_id);
-    }
-#endif
-    assert(s->id <= target && "segment pointer overshot the target cell");
-    for (int64_t i = s->id; i < target; ++i) {
-      Segment* next = s->next.load(acq());
-      if (next == nullptr) {
-        // Extend the list. Reuse the handle's spare segment if it has one
-        // (recycles segments that lost a previous extension race).
-        Segment* tmp = h->spare != nullptr ? h->spare : new_segment(0);
-        h->spare = nullptr;
-        tmp->id = i + 1;
-        Segment* expected = nullptr;
-        if (!s->next.compare_exchange_strong(expected, tmp, rel(), acq())) {
-          h->spare = tmp;  // another thread extended the list first
-        }
-        next = s->next.load(acq());
-        assert(next != nullptr);
-      }
-      s = next;
-    }
-    sp = s;
-    return &s->cells[cell_id & (kSegmentSize - 1)];
+    return segs_.find_cell(sp, cell_id, h->spare, who);
   }
 
   /// Listing 2 advance_end_for_linearizability: raise the head or tail
@@ -780,13 +666,13 @@ class WFQueueCore {
     // helpee's own head pointer (§3.5 "Don't advance segment pointers too
     // early").
     Segment* ha = helpee->head.load(acq());
-    // §3.6: publish the hazard pointer before re-reading the request state.
-    // This fence is required even on x86 (the one non-fast-path fence of
-    // the reclamation scheme). If the segment at `ha` was reclaimed before
-    // our store became visible, the request must have completed and the
-    // s.idx == prior check below fails before we dereference `ha`.
-    h->hzdp.store(ha, rel());
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // §3.6: protect the foreign segment before re-reading the request
+    // state. The policy's fence is required even on x86 (the one
+    // non-fast-path fence of the paper's scheme). If the segment at `ha`
+    // was reclaimed before our protection became visible, the request must
+    // have completed and the s.idx == prior check below fails before we
+    // dereference `ha`.
+    rcl_.protect_foreign(h, ha);
     s = PackedState::from_word(r->state.load(sc()));
 
     uint64_t prior = id;
@@ -842,107 +728,30 @@ class WFQueueCore {
     }
   }
 
-  // ---- memory reclamation (Listing 5) ----------------------------------
+  // ---- memory reclamation (Listing 5, delegated to the policy) ----------
 
-  static constexpr int64_t kCleaning = -1;
-
-  /// Lower the reclamation frontier `seg` to a hazard segment if needed
-  /// (Listing 5 verify).
-  static void verify(Segment*& seg, Segment* hzdp) {
-    if (hzdp != nullptr && hzdp->id < seg->id) seg = hzdp;
-  }
-
-  /// Advance another thread's head/tail pointer `from` up to `to`, backing
-  /// `to` off if the pointer or the thread's hazard pointer protects an
-  /// older segment (Listing 5 update; Dijkstra's protocol with the owner).
-  static void update_segment_ptr(std::atomic<Segment*>& from, Segment*& to,
-                                 Handle* owner) {
-    Segment* n = from.load(std::memory_order_acquire);
-    if (n->id < to->id) {
-      if (!from.compare_exchange_strong(n, to, std::memory_order_seq_cst,
-                                        std::memory_order_acquire)) {
-        // CAS failed: n holds the current value; the owner advanced it
-        // itself. It may still be older than `to`.
-        if (n->id < to->id) to = n;
-      }
-      verify(to, owner->hzdp.load(std::memory_order_seq_cst));
-    }
-  }
-
-  /// Listing 5 cleanup: invoked after every dequeue; elects at most one
-  /// cleaner via CAS(I, i, -1), scans every handle to find the oldest
-  /// segment still in use (advancing idle handles' pointers along the way),
-  /// re-scans in reverse order to catch hazard-pointer backward jumps, and
-  /// frees every segment before the frontier.
-  void cleanup(Handle* h) {
-    int64_t oid = oldest_id_->load(std::memory_order_acquire);
-    Segment* frontier = h->head.load(std::memory_order_acquire);
-    if (oid == kCleaning) return;  // another thread is cleaning
-    // Frontier cap (erratum, see DESIGN.md): the candidate frontier comes
-    // from the cleaner's *head* pointer, but when dequeues outrun enqueues
-    // (H >> T) head-side segments lie beyond segment(T / N). Enqueuers'
-    // future FAAs on T will still probe cells from T upward, so no segment
-    // at or after segment(T / N) may be freed and no thread's tail pointer
-    // may be advanced past it (update() below advances tail pointers to the
-    // frontier). Listing 5 omits this bound; without it the queue plants
-    // values at wrong indices and FIFO order breaks.
+  /// Called after every dequeue. The frontier cap (erratum, see DESIGN.md):
+  /// the candidate frontier comes from the cleaner's *head* pointer, but
+  /// when dequeues outrun enqueues (H >> T) head-side segments lie beyond
+  /// segment(T / N). Enqueuers' future FAAs on T will still probe cells
+  /// from T upward, so no segment at or after segment(T / N) may be freed
+  /// and no thread's tail pointer may be advanced past it. Listing 5 omits
+  /// this bound; without it the queue plants values at wrong indices and
+  /// FIFO order breaks. The cap is read (seq_cst) before the policy's
+  /// cleaner election, as the original cleanup did.
+  void poll_reclaim(Handle* h) {
+    const int64_t head_cap =
+        int64_t(head_index_->load(std::memory_order_seq_cst) / kSegmentSize);
     const int64_t tail_cap =
         int64_t(tail_index_->load(std::memory_order_seq_cst) / kSegmentSize);
-    if (std::min(frontier->id, tail_cap) - oid < cfg_.max_garbage) {
-      return;  // not enough reclaimable garbage
-    }
-    if (!oldest_id_->compare_exchange_strong(oid, kCleaning,
-                                             std::memory_order_acq_rel)) {
-      return;
-    }
-    Traits::interleave_hint();  // cleaner elected, scan not started
-
-    Segment* start = first_segment_.load(std::memory_order_acquire);
-    if (frontier->id > tail_cap) {
-      // Walk forward from the oldest segment to the capped frontier (the
-      // list is singly linked; [start, frontier] is alive while we hold the
-      // cleaner lock). tail_cap >= oid because segments at or beyond
-      // segment(T / N) are never freed.
-      Segment* s = start;
-      while (s->id < tail_cap) {
-        s = s->next.load(std::memory_order_acquire);
+    ReclaimResult res =
+        rcl_.poll(segs_, h, head_cap, tail_cap, cfg_.max_garbage);
+    if (res.cleaned) {
+      count(h->stats.cleanups);
+      if constexpr (Traits::kCollectStats) {
+        h->stats.segments_freed.fetch_add(res.freed,
+                                          std::memory_order_relaxed);
       }
-      frontier = s;
-    }
-    std::vector<Handle*> visited;
-    visited.reserve(16);
-    // Forward scan over the whole ring, starting at the cleaner itself so
-    // its own (possibly lagging) tail pointer is considered too.
-    Handle* p = h;
-    do {
-      verify(frontier, p->hzdp.load(std::memory_order_seq_cst));
-      update_segment_ptr(p->tail, frontier, p);
-      update_segment_ptr(p->head, frontier, p);
-      visited.push_back(p);
-      p = p->next.load(std::memory_order_acquire);
-    } while (frontier->id > oid && p != h);
-    // Reverse scan: catches hazard pointers that jumped backward (a helper
-    // adopting a helpee's older head) during the forward scan.
-    for (auto it = visited.rbegin();
-         frontier->id > oid && it != visited.rend(); ++it) {
-      verify(frontier, (*it)->hzdp.load(std::memory_order_seq_cst));
-    }
-
-    if (frontier->id <= oid) {
-      // Nothing reclaimable after all: release the cleaner lock. (Paper
-      // erratum: Listing 5 line 236 omits restoring I.)
-      oldest_id_->store(oid, std::memory_order_release);
-      return;
-    }
-    first_segment_.store(frontier, std::memory_order_release);
-    oldest_id_->store(frontier->id, std::memory_order_release);
-    count(h->stats.cleanups);
-    // Free [start, frontier).
-    while (start != frontier) {
-      Segment* next = start->next.load(std::memory_order_relaxed);
-      delete_segment(start);
-      count(h->stats.segments_freed);
-      start = next;
     }
   }
 
@@ -954,18 +763,13 @@ class WFQueueCore {
   WfConfig cfg_;
   CacheAligned<std::atomic<uint64_t>> tail_index_{0};  ///< paper: T
   CacheAligned<std::atomic<uint64_t>> head_index_{0};  ///< paper: H
-  CacheAligned<std::atomic<int64_t>> oldest_id_{0};    ///< paper: I (§3.6)
-  alignas(kCacheLineSize) std::atomic<Segment*> first_segment_{nullptr};  ///< paper: Q
+  SegList segs_;    ///< the emulated infinite array (paper: Q)
+  Reclaim rcl_;     ///< reclamation policy (owns the paper's I)
   std::atomic<Handle*> ring_{nullptr};  ///< any handle in the ring
 
   mutable std::mutex handle_mutex_;
   Handle* free_handles_ = nullptr;
   std::vector<std::unique_ptr<Handle>> all_handles_;
-
-  std::atomic<int64_t> segments_allocated_{0};
-  std::atomic<int64_t> segments_freed_{0};
-  alignas(kCacheLineSize) std::array<std::atomic<Segment*>, kPoolSlots>
-      pool_{};
 };
 
 }  // namespace wfq

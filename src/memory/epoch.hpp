@@ -28,10 +28,13 @@
 namespace wfq {
 
 class EpochDomain {
-  static constexpr uint64_t kIdle = ~uint64_t{0};
   static constexpr int kLimboGenerations = 3;
 
  public:
+  /// local_epoch value of a thread outside any critical section. Public:
+  /// callers inspect `rec->local_epoch` to tell pinned threads apart.
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
   struct Retired {
     void* ptr;
     void (*deleter)(void*);

@@ -158,6 +158,21 @@ class HazardPointerDomain {
     r->retired.swap(keep);
   }
 
+  /// Iterate every currently-published hazard value (seq_cst loads).
+  /// Reclaimer-side helper for callers that layer their own frontier logic
+  /// over the domain's hazard registry (memory/segment_reclaim.hpp) instead
+  /// of using the per-node retire/scan machinery.
+  template <class F>
+  void for_each_hazard(F&& f) const {
+    for (ThreadRec* t = head_.load(std::memory_order_acquire); t != nullptr;
+         t = t->next) {
+      for (const auto& h : t->hazards) {
+        void* p = h.load(std::memory_order_seq_cst);
+        if (p != nullptr) f(p);
+      }
+    }
+  }
+
   /// Sum of retirement-list lengths (test/diagnostic; racy but monotone in
   /// quiescence).
   std::size_t retired_count() const {

@@ -1,0 +1,561 @@
+// Segment-reclamation policies for the shared segment layer
+// (core/segment_list.hpp): WHEN may a prefix of the segment list be
+// detached and freed, and WHAT must each operation publish to make that
+// safe. The paper's custom §3.6 scheme becomes one policy among three, so
+// its headline claim — "on x86, our memory reclamation scheme adds no
+// memory fence along common execution paths" — is measurable head to head
+// on the *same queue* against the textbook alternatives instead of only
+// against a different structure (bench_reclaim_scheme.cpp).
+//
+// ## The ReclaimPolicy concept
+//
+//   using Policy = Traits::Reclaim<SegList>;     // selected by queue traits
+//   Policy::kName                                 // human-readable label
+//   struct Policy::PerHandle;                     // embedded in queue Handle
+//   policy.attach(h)                              // at handle registration
+//   policy.begin_op(h, src)   // protect the op's root segment pointer; src
+//                             // is the handle's own head/tail atomic, which
+//                             // only ever moves forward
+//   policy.end_op(h)          // protection ends
+//   policy.protect_foreign(h, seg)  // mid-op jump to a segment read from
+//                             // ANOTHER handle (help_deq); publishes + full
+//                             // fence; the caller MUST re-validate through
+//                             // algorithm state (request still pending and
+//                             // unchanged) before dereferencing seg
+//   policy.poll(list, h, head_cap, tail_cap, max_garbage)
+//                             // after a dequeue: maybe elect a cleaner,
+//                             // advance every handle's segment pointers,
+//                             // detach [first, frontier) and free/retire
+//                             // it; returns ReclaimResult. head_cap and
+//                             // tail_cap are segment(H/N) / segment(T/N),
+//                             // read seq_cst by the caller BEFORE the call
+//   policy.lock_frontier() / unlock_frontier(t)  // exclude cleaners while a
+//                             // registering thread captures list.first()
+//   policy.frontier_id()      // paper's I: id below which all is reclaimed
+//
+// The queue Handle must expose `head`, `tail` (std::atomic<Segment*>, both
+// monotonically forward-moving), `next` (std::atomic<Handle*> closing a
+// ring over ALL handles ever registered) and `rcl` (Policy::PerHandle).
+//
+// ## Why a single "root" protection per operation suffices
+//
+// Reclamation is prefix-only: a cleaner detaches [first, frontier) and
+// every policy guarantees frontier->id never exceeds the id of any
+// protected segment. A traversal (find_cell) only walks *forward* from its
+// protected root, so every segment it can touch has an id >= the root's
+// and is therefore outside every detachable prefix while the protection
+// is visible.
+//
+// ## Per-operation cost (the §3.6 "Overhead" axis)
+//
+//   PaperReclaim  fast path: one RELEASE store (ordered for free by the
+//                 FAA that immediately follows it on x86/TSO); one real
+//                 fence only on the help_deq path.
+//   HpReclaim     one seq_cst publish + seq_cst revalidation load per
+//                 operation (the classic Michael-HP protocol cost).
+//   EpochReclaim  one seq_cst epoch pin + refresh load per operation
+//                 (classic EBR); reclamation is deferred through the
+//                 epoch domain's limbo lists, so a single stalled thread
+//                 *inside* an operation blocks all reclamation — the
+//                 bounded-memory weakness the paper's scheme avoids by
+//                 letting cleaners advance stalled threads' pointers.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+#include "memory/epoch.hpp"
+#include "memory/hazard_pointers.hpp"
+
+namespace wfq {
+
+/// What a poll() accomplished (fed into the queue's OpStats).
+struct ReclaimResult {
+  bool cleaned = false;    ///< a cleaner pass detached a prefix
+  uint64_t freed = 0;      ///< segments freed or handed to a domain
+};
+
+namespace reclaim_detail {
+
+/// Shared cleaner-election word: the paper's I (oldest_id). -1 is the
+/// "cleaning in progress" sentinel; otherwise it holds the id below which
+/// every segment has been reclaimed.
+class FrontierElection {
+ public:
+  static constexpr int64_t kCleaning = -1;
+
+  int64_t frontier_id() const {
+    return oldest_id_->load(std::memory_order_acquire);
+  }
+
+  /// Spin until the election word is captured (registration-side lock;
+  /// off the operation path).
+  int64_t lock_frontier() {
+    for (;;) {
+      int64_t oid = oldest_id_->load(std::memory_order_acquire);
+      if (oid != kCleaning &&
+          oldest_id_->compare_exchange_weak(oid, kCleaning,
+                                            std::memory_order_acq_rel)) {
+        return oid;
+      }
+      cpu_pause();
+    }
+  }
+
+  void unlock_frontier(int64_t oid) {
+    oldest_id_->store(oid, std::memory_order_release);
+  }
+
+ protected:
+  /// One-shot cleaner election: CAS(I, oid, -1).
+  bool try_elect(int64_t& oid) {
+    return oldest_id_->compare_exchange_strong(oid, kCleaning,
+                                               std::memory_order_acq_rel);
+  }
+
+  CacheAligned<std::atomic<int64_t>> oldest_id_{0};
+};
+
+/// Advance another thread's head/tail pointer `from` up to `to`, backing
+/// `to` off if the owner advanced the pointer itself to something still
+/// older than `to` (Listing 5 update, minus the hazard verification that
+/// only PaperReclaim layers on top).
+template <class Segment>
+void update_segment_ptr(std::atomic<Segment*>& from, Segment*& to) {
+  Segment* n = from.load(std::memory_order_acquire);
+  if (n->id < to->id) {
+    if (!from.compare_exchange_strong(n, to, std::memory_order_seq_cst,
+                                      std::memory_order_acquire)) {
+      // CAS failed: n holds the current value; the owner advanced it
+      // itself. It may still be older than `to`.
+      if (n->id < to->id) to = n;
+    }
+  }
+}
+
+/// Keep the frontier at or below segment(tail_cap): enqueuers' future FAAs
+/// on T will still probe cells from T upward, so no segment at or after
+/// segment(T / N) may be freed and no thread's tail pointer may be
+/// advanced past it (erratum fix carried over from the original cleanup;
+/// see DESIGN.md). The walk is safe: [first, frontier] is alive while the
+/// caller holds the cleaner election.
+template <class SegList>
+typename SegList::Segment* cap_frontier(SegList& list,
+                                        typename SegList::Segment* frontier,
+                                        int64_t tail_cap) {
+  if (frontier->id <= tail_cap) return frontier;
+  auto* s = list.first();
+  while (s->id < tail_cap) s = s->next.load(std::memory_order_acquire);
+  return s;
+}
+
+}  // namespace reclaim_detail
+
+// ===========================================================================
+// PaperReclaim — the queue's own §3.6 scheme (Listing 5), extracted
+// verbatim: per-handle hazard pointer published by a plain release store
+// (the FAA that follows orders it on x86 — no fast-path fence), cleaner
+// election on I, a forward scan that advances every handle's segment
+// pointers while verifying against hazards, and a reverse re-scan that
+// catches hazard pointers jumping backward (a helper adopting a helpee's
+// older head) during the forward pass. Default policy; behavior and cost
+// identical to the pre-extraction WFQueueCore.
+// ===========================================================================
+
+template <class SegList>
+class PaperReclaim : public reclaim_detail::FrontierElection {
+  using Traits = typename SegList::Traits_;
+
+ public:
+  using Segment = typename SegList::Segment;
+  static constexpr const char* kName = "paper-hzdp";
+
+  struct PerHandle {
+    std::atomic<Segment*> hzdp{nullptr};  ///< hazard pointer (§3.6)
+  };
+
+  template <class Handle>
+  void attach(Handle*) {}
+
+  /// §3.6: publish the hazard pointer. On the tuned/x86 configuration the
+  /// FAA inside the fast path orders this store before any segment access
+  /// (the paper's "no extra memory fence on the typical path");
+  /// conservative mode inserts the fence explicitly for weaker machines.
+  template <class Handle>
+  void begin_op(Handle* h, const std::atomic<Segment*>& src) {
+    h->rcl.hzdp.store(src.load(std::memory_order_relaxed),
+                      std::memory_order_release);
+    if constexpr (Traits::kConservativeOrdering) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+  }
+
+  template <class Handle>
+  void end_op(Handle* h) {
+    h->rcl.hzdp.store(nullptr, std::memory_order_release);
+  }
+
+  /// The one non-fast-path fence of the scheme (help_deq's jump to the
+  /// helpee's head segment). Required even on x86: if the segment was
+  /// reclaimed before our store became visible, the caller's re-validation
+  /// of the request state fails before it dereferences the segment.
+  template <class Handle>
+  void protect_foreign(Handle* h, Segment* seg) {
+    h->rcl.hzdp.store(seg, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Listing 5 cleanup: invoked after every dequeue; elects at most one
+  /// cleaner via CAS(I, i, -1), scans every handle to find the oldest
+  /// segment still in use (advancing idle handles' pointers along the
+  /// way), re-scans in reverse order to catch hazard-pointer backward
+  /// jumps, and frees every segment before the frontier.
+  ///
+  /// `head_cap`/`tail_cap` are segment(H/N)/segment(T/N), read from the
+  /// queue's indices by the caller. The pre-election garbage estimate uses
+  /// them instead of the reference implementation's `h->head->id`: before
+  /// election a concurrent cleaner may advance `h->head` and free the
+  /// segment it pointed to, so dereferencing it here is a use-after-free
+  /// read (benign in practice, caught by TSan). Segment pointers are only
+  /// dereferenced once the election is won — cleaners are the only threads
+  /// that free segments, and there is at most one.
+  template <class Handle>
+  ReclaimResult poll(SegList& list, Handle* h, int64_t head_cap,
+                     int64_t tail_cap, int64_t max_garbage) {
+    int64_t oid = this->oldest_id_->load(std::memory_order_acquire);
+    if (oid == kCleaning) return {};  // another thread is cleaning
+    if (std::min(head_cap, tail_cap) - oid < max_garbage) {
+      return {};  // not enough reclaimable garbage
+    }
+    if (!this->try_elect(oid)) return {};
+    Traits::interleave_hint();  // cleaner elected, scan not started
+
+    Segment* start = list.first();
+    Segment* frontier = reclaim_detail::cap_frontier(
+        list, h->head.load(std::memory_order_acquire), tail_cap);
+    std::vector<Handle*> visited;
+    visited.reserve(16);
+    // Forward scan over the whole ring, starting at the cleaner itself so
+    // its own (possibly lagging) tail pointer is considered too.
+    Handle* p = h;
+    do {
+      verify(frontier, p->rcl.hzdp.load(std::memory_order_seq_cst));
+      update_segment_ptr(p->tail, frontier, p);
+      update_segment_ptr(p->head, frontier, p);
+      visited.push_back(p);
+      p = p->next.load(std::memory_order_acquire);
+    } while (frontier->id > oid && p != h);
+    // Reverse scan: catches hazard pointers that jumped backward (a helper
+    // adopting a helpee's older head) during the forward scan.
+    for (auto it = visited.rbegin();
+         frontier->id > oid && it != visited.rend(); ++it) {
+      verify(frontier, (*it)->rcl.hzdp.load(std::memory_order_seq_cst));
+    }
+
+    if (frontier->id <= oid) {
+      // Nothing reclaimable after all: release the cleaner lock. (Paper
+      // erratum: Listing 5 line 236 omits restoring I.)
+      this->oldest_id_->store(oid, std::memory_order_release);
+      return {};
+    }
+    list.set_first(frontier);
+    this->oldest_id_->store(frontier->id, std::memory_order_release);
+    // Free [start, frontier).
+    ReclaimResult res{true, 0};
+    while (start != frontier) {
+      Segment* next = start->next.load(std::memory_order_relaxed);
+      list.delete_segment(start);
+      ++res.freed;
+      start = next;
+    }
+    return res;
+  }
+
+ private:
+  /// Lower the reclamation frontier `seg` to a hazard segment if needed
+  /// (Listing 5 verify).
+  static void verify(Segment*& seg, Segment* hzdp) {
+    if (hzdp != nullptr && hzdp->id < seg->id) seg = hzdp;
+  }
+
+  /// Advance another thread's head/tail pointer `from` up to `to`, backing
+  /// `to` off if the pointer or the thread's hazard pointer protects an
+  /// older segment (Listing 5 update; Dijkstra's protocol with the owner).
+  template <class Handle>
+  static void update_segment_ptr(std::atomic<Segment*>& from, Segment*& to,
+                                 Handle* owner) {
+    Segment* n = from.load(std::memory_order_acquire);
+    if (n->id < to->id) {
+      if (!from.compare_exchange_strong(n, to, std::memory_order_seq_cst,
+                                        std::memory_order_acquire)) {
+        // CAS failed: n holds the current value; the owner advanced it
+        // itself. It may still be older than `to`.
+        if (n->id < to->id) to = n;
+      }
+      verify(to, owner->rcl.hzdp.load(std::memory_order_seq_cst));
+    }
+  }
+};
+
+// ===========================================================================
+// HpReclaim — classic Michael hazard pointers, adapted over the existing
+// HazardPointerDomain registry. Each operation protects its root segment
+// with the textbook publish-then-revalidate protocol (slot 0) and the
+// help_deq foreign jump uses slot 1; both publications are seq_cst stores,
+// which IS the fast-path cost the paper's scheme avoids. The cleaner
+// computes the frontier from the handles' segment pointers and then backs
+// it off below every published hazard — prefix-only reclamation makes one
+// root hazard per traversal sufficient (see file header).
+//
+// The cleaner scans each handle with the paper's ordering — cap the
+// frontier below the owner's published hazards, THEN advance its pointers
+// — so a thread already inside an operation never has its segment
+// pointers moved past its op-begin segment (hazards make freeing safe;
+// they do not stop the pointer CAS, and an over-advanced head would make
+// the owner's later find_cell calls resolve the wrong segment). A final
+// global hazard sweep after the scan catches hazards published mid-scan:
+// such a late publisher revalidates (seq_cst) against post-advance
+// pointers, so its operation's indices lie at or above the frontier, but
+// its hazard still caps the frontier before anything is freed. The
+// foreign-jump path additionally re-validates through the request state,
+// which the paper's §3.6 argument shows fails before any dereference once
+// the request's owner finished its operation. Prefix-only reclamation
+// makes one root hazard per traversal sufficient (see file header).
+// ===========================================================================
+
+template <class SegList>
+class HpReclaim : public reclaim_detail::FrontierElection {
+  using Traits = typename SegList::Traits_;
+  using Domain = HazardPointerDomain<2>;
+
+ public:
+  using Segment = typename SegList::Segment;
+  static constexpr const char* kName = "hazard-pointers";
+
+  struct PerHandle {
+    typename Domain::ThreadRec* rec = nullptr;
+  };
+
+  template <class Handle>
+  void attach(Handle* h) {
+    h->rcl.rec = domain_.acquire();
+  }
+
+  /// Textbook protect: publish (seq_cst), revalidate against the source.
+  /// The source is the handle's own pointer, which only the owner and
+  /// cleaners (forward, to the frontier) ever move, so the loop converges
+  /// in at most a few iterations.
+  template <class Handle>
+  void begin_op(Handle* h, const std::atomic<Segment*>& src) {
+    Segment* s = src.load(std::memory_order_acquire);
+    for (;;) {
+      domain_.set_hazard(h->rcl.rec, 0, s);
+      Segment* s2 = src.load(std::memory_order_seq_cst);
+      if (s2 == s) break;
+      s = s2;
+    }
+  }
+
+  template <class Handle>
+  void end_op(Handle* h) {
+    domain_.clear(h->rcl.rec, 0);
+    domain_.clear(h->rcl.rec, 1);
+  }
+
+  template <class Handle>
+  void protect_foreign(Handle* h, Segment* seg) {
+    domain_.set_hazard(h->rcl.rec, 1, seg);  // seq_cst store
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Integer pre-election trigger; segment pointers are dereferenced only
+  /// after the election is won (see PaperReclaim::poll).
+  template <class Handle>
+  ReclaimResult poll(SegList& list, Handle* h, int64_t head_cap,
+                     int64_t tail_cap, int64_t max_garbage) {
+    int64_t oid = this->oldest_id_->load(std::memory_order_acquire);
+    if (oid == kCleaning) return {};
+    if (std::min(head_cap, tail_cap) - oid < max_garbage) return {};
+    if (!this->try_elect(oid)) return {};
+    Traits::interleave_hint();
+
+    Segment* start = list.first();
+    Segment* frontier = reclaim_detail::cap_frontier(
+        list, h->head.load(std::memory_order_acquire), tail_cap);
+    // Scan the ring with the same per-owner ordering PaperReclaim uses:
+    // back the frontier off below the owner's published hazards BEFORE
+    // touching its pointers. Hazards only make freeing safe — they do not
+    // stop the pointer CAS — so advancing an in-flight thread's head past
+    // its op-begin segment would make its later find_cell calls (e.g. the
+    // deq_slow epilogue) resolve cells in the wrong segment and lose
+    // values, even though no memory is touched after free.
+    Handle* p = h;
+    do {
+      for (std::size_t slot = 0; slot < 2; ++slot) {
+        auto* hz = static_cast<Segment*>(
+            p->rcl.rec->hazards[slot].load(std::memory_order_seq_cst));
+        if (hz != nullptr && hz->id < frontier->id) frontier = hz;
+      }
+      reclaim_detail::update_segment_ptr(p->tail, frontier);
+      reclaim_detail::update_segment_ptr(p->head, frontier);
+      p = p->next.load(std::memory_order_acquire);
+    } while (frontier->id > oid && p != h);
+    // Then a global sweep for hazards published mid-scan: a late publisher
+    // revalidates (seq_cst) against post-advance pointers, so its op's
+    // indices lie at or above the frontier, but its hazard must still cap
+    // the frontier before anything is freed. Any non-null slot holds a
+    // segment that was alive when published, so dereferencing ->id is safe
+    // while we hold the election.
+    if (frontier->id > oid) {
+      domain_.for_each_hazard([&frontier](void* hp) {
+        auto* seg = static_cast<Segment*>(hp);
+        if (seg->id < frontier->id) frontier = seg;
+      });
+    }
+
+    if (frontier->id <= oid) {
+      this->oldest_id_->store(oid, std::memory_order_release);
+      return {};
+    }
+    list.set_first(frontier);
+    this->oldest_id_->store(frontier->id, std::memory_order_release);
+    ReclaimResult res{true, 0};
+    while (start != frontier) {
+      Segment* next = start->next.load(std::memory_order_relaxed);
+      list.delete_segment(start);
+      ++res.freed;
+      start = next;
+    }
+    return res;
+  }
+
+  /// Diagnostic: number of live hazard records in the domain.
+  std::size_t thread_records() const { return domain_.thread_records(); }
+
+ private:
+  Domain domain_;
+};
+
+// ===========================================================================
+// EpochReclaim — classic epoch-based reclamation over the existing
+// EpochDomain. Every operation is one epoch critical section (the seq_cst
+// pin on entry is the per-operation cost); detached segments are retired
+// into the domain's limbo lists and freed two epoch advances later, when
+// no pinned reader can still hold a reference. The detach frontier comes
+// from the handles' segment pointers alone: once every handle pointer and
+// the list head are past the frontier, no thread *entering* an operation
+// can reach the detached prefix, and threads already inside pin the epoch.
+// ===========================================================================
+
+template <class SegList>
+class EpochReclaim : public reclaim_detail::FrontierElection {
+  using Traits = typename SegList::Traits_;
+
+ public:
+  using Segment = typename SegList::Segment;
+  static constexpr const char* kName = "epochs";
+
+  struct PerHandle {
+    EpochDomain::ThreadRec* rec = nullptr;
+  };
+
+  template <class Handle>
+  void attach(Handle* h) {
+    h->rcl.rec = domain_.acquire();
+  }
+
+  /// Pin the epoch; everything reachable during the operation stays alive
+  /// until the pin is released, so the segment pointer itself needs no
+  /// per-pointer publication.
+  template <class Handle>
+  void begin_op(Handle* h, const std::atomic<Segment*>& /*src*/) {
+    domain_.enter(h->rcl.rec);
+  }
+
+  template <class Handle>
+  void end_op(Handle* h) {
+    domain_.exit(h->rcl.rec);
+  }
+
+  template <class Handle>
+  void protect_foreign(Handle*, Segment*) {
+    // The epoch pin already covers any segment reachable mid-operation;
+    // keep the fence so the caller's request-state revalidation ordering
+    // matches the other policies.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Integer pre-election trigger; segment pointers are dereferenced only
+  /// after the election is won (see PaperReclaim::poll).
+  template <class Handle>
+  ReclaimResult poll(SegList& list, Handle* h, int64_t head_cap,
+                     int64_t tail_cap, int64_t max_garbage) {
+    int64_t oid = this->oldest_id_->load(std::memory_order_acquire);
+    if (oid == kCleaning) return {};
+    if (std::min(head_cap, tail_cap) - oid < max_garbage) return {};
+    if (!this->try_elect(oid)) return {};
+    Traits::interleave_hint();
+
+    Segment* start = list.first();
+    Segment* frontier = reclaim_detail::cap_frontier(
+        list, h->head.load(std::memory_order_acquire), tail_cap);
+    Handle* p = h;
+    do {
+      if (p->rcl.rec->local_epoch.load(std::memory_order_seq_cst) !=
+          EpochDomain::kIdle) {
+        // Mid-operation. The epoch pin keeps detached segments alive, but
+        // the owner may still resolve pending cell indices through its
+        // current pointers — advancing them would make its find_cell land
+        // in the wrong segment and lose the value. Leave the pointers
+        // alone and keep its segments attached instead. (A thread that
+        // pins after this check enters its operation with indices at or
+        // above the frontier — seq_cst ordering against the caller's
+        // head_cap/tail_cap reads — so advancing its pointers is safe.)
+        Segment* held = p->head.load(std::memory_order_acquire);
+        if (held != nullptr && held->id < frontier->id) frontier = held;
+        held = p->tail.load(std::memory_order_acquire);
+        if (held != nullptr && held->id < frontier->id) frontier = held;
+      } else {
+        reclaim_detail::update_segment_ptr(p->tail, frontier);
+        reclaim_detail::update_segment_ptr(p->head, frontier);
+      }
+      p = p->next.load(std::memory_order_acquire);
+    } while (frontier->id > oid && p != h);
+
+    if (frontier->id <= oid) {
+      this->oldest_id_->store(oid, std::memory_order_release);
+      return {};
+    }
+    list.set_first(frontier);
+    this->oldest_id_->store(frontier->id, std::memory_order_release);
+    // Retire the detached prefix into the epoch domain; memory returns two
+    // epoch advances later (or at domain destruction). Retirement bypasses
+    // the recycling pool — deferred frees defeat its purpose — and counts
+    // as freed at hand-off (see SegmentList::note_deferred_free).
+    ReclaimResult res{true, 0};
+    while (start != frontier) {
+      Segment* next = start->next.load(std::memory_order_relaxed);
+      list.note_deferred_free();
+      domain_.retire(h->rcl.rec, static_cast<void*>(start),
+                     [](void* q) { aligned_delete(static_cast<Segment*>(q)); });
+      ++res.freed;
+      start = next;
+    }
+    return res;
+  }
+
+  /// Diagnostic: segments parked in limbo awaiting two epoch advances.
+  std::size_t limbo_count() const { return domain_.limbo_count(); }
+
+ private:
+  // Lower advance threshold than the domain default: segments are large
+  // (N cells each), so letting 64 of them pile up per limbo generation
+  // would dwarf the max_garbage bound the queue is trying to honor.
+  EpochDomain domain_{16};
+};
+
+}  // namespace wfq

@@ -51,10 +51,12 @@ TEST(ObstructionQueue, InterleavedMarkedCellsAreSkipped) {
 
 TEST(ObstructionQueue, BoxedPayloadsAndDrainOnDestroy) {
   auto* q = new ObstructionQueue<std::string>(1024);
-  auto h = q->get_handle();
-  q->enqueue(h, "alpha");
-  q->enqueue(h, "beta");
-  EXPECT_EQ(q->dequeue(h), "alpha");
+  {
+    auto h = q->get_handle();
+    q->enqueue(h, "alpha");
+    q->enqueue(h, "beta");
+    EXPECT_EQ(q->dequeue(h), "alpha");
+  }  // handles are registered with the queue and must not outlive it
   delete q;  // "beta" still enqueued; destructor must free its box
 }
 

@@ -93,7 +93,7 @@ TEST(WfReclamation, HazardPointerProtectsHeldSegment) {
   // Park: publish the hazard pointer at the current head segment, exactly
   // as a stalled dequeue would between its first lines and its FAA.
   auto* held = parked->head.load();
-  parked->hzdp.store(held);
+  parked->rcl.hzdp.store(held);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   const int64_t held_id = held->id;
 
@@ -107,7 +107,7 @@ TEST(WfReclamation, HazardPointerProtectsHeldSegment) {
   EXPECT_EQ(held->id, held_id);
 
   // Unpark and let the worker trigger cleanup again: now it reclaims.
-  parked->hzdp.store(nullptr);
+  parked->rcl.hzdp.store(nullptr);
   for (uint64_t i = 0; i < 8 * 50; ++i) {
     q.enqueue(worker, i + 1);
     (void)q.dequeue(worker);

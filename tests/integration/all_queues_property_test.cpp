@@ -77,7 +77,10 @@ struct ObstructionFactory {
   static constexpr const char* kName = "Obstruction";
   using Queue = ObstructionQueue<uint64_t>;
   static std::unique_ptr<Queue> make() {
-    return std::make_unique<Queue>(std::size_t{1} << 21);
+    // Unbounded index space: consumer-heavy runs burn a head index per
+    // empty dequeue, so any fixed capacity can be exhausted by spinning
+    // consumers (reclamation keeps memory bounded regardless).
+    return std::make_unique<Queue>();
   }
 };
 

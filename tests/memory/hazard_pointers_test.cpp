@@ -13,7 +13,9 @@ namespace {
 
 struct CountedNode {
   static inline std::atomic<int> live{0};
-  int payload = 0;
+  // Atomic: the stress test touches a retired (but protected) node while
+  // readers still dereference it.
+  std::atomic<int> payload{0};
   CountedNode() { live.fetch_add(1); }
   explicit CountedNode(int p) : payload(p) { live.fetch_add(1); }
   ~CountedNode() { live.fetch_sub(1); }
@@ -159,7 +161,9 @@ TEST(HazardPointers, StressNoUseAfterFree) {
     for (int i = 0; i < kSwings; ++i) {
       auto* fresh = new CountedNode(42);
       CountedNode* old = src.exchange(fresh, std::memory_order_acq_rel);
-      old->payload = 42;  // keep invariant; freed memory would be poisoned
+      // Touch the retired node (legal: still protected or not yet freed);
+      // a use-after-free here would trip ASan or the readers' assert.
+      old->payload.store(42, std::memory_order_relaxed);
       dom.retire(rec, old);
     }
     stop.store(true);

@@ -99,9 +99,10 @@ struct WfTestPeek {
     return q.head_index_->load(std::memory_order_acquire);
   }
 
+  /// The reclamation frontier (paper's I), now owned by the policy.
   template <class Core>
   static int64_t oldest_id(Core& q) {
-    return q.oldest_id_->load(std::memory_order_acquire);
+    return q.rcl_.frontier_id();
   }
 };
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# CI driver: build + test the repo in three configurations.
+#
+#   1. default      — RelWithDebInfo, full ctest suite
+#   2. asan         — AddressSanitizer (leak detection on), full ctest suite;
+#                     this is what proves the segment-backed queues do not
+#                     leak segments
+#   3. tsan         — ThreadSanitizer, core subset only (`ctest -L tsan`:
+#                     common/core/memory tests); the full suite under TSan's
+#                     ~10x slowdown exceeds practical CI budgets
+#
+# Usage: tools/ci.sh [default|asan|tsan]...   (no args = all three)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+CONFIGS=("$@")
+[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan)
+
+run_config() {
+  local name=$1
+  shift
+  local dir="build-ci-${name}"
+  echo "== [${name}] configure =="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "== [${name}] build =="
+  cmake --build "${dir}" -j "${JOBS}" >/dev/null
+  echo "== [${name}] test =="
+  case "${name}" in
+    tsan)
+      # TSAN_OPTIONS halt_on_error keeps a race from scrolling past.
+      (cd "${dir}" && TSAN_OPTIONS=halt_on_error=1 \
+        ctest -L tsan --output-on-failure -j "${JOBS}")
+      ;;
+    asan)
+      (cd "${dir}" && ASAN_OPTIONS=detect_leaks=1 \
+        ctest --output-on-failure -j "${JOBS}")
+      ;;
+    *)
+      (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+      ;;
+  esac
+  echo "== [${name}] OK =="
+}
+
+for cfg in "${CONFIGS[@]}"; do
+  case "${cfg}" in
+    default) run_config default ;;
+    asan) run_config asan -DWFQ_SANITIZE=address ;;
+    tsan) run_config tsan -DWFQ_SANITIZE=thread ;;
+    *)
+      echo "unknown config '${cfg}' (want default|asan|tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "All configs passed."
