@@ -2,7 +2,8 @@
 // flips a fair coin per iteration and enqueues or dequeues accordingly.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   wfq::bench::run_figure("Figure 2: 50%-enqueues",
                          wfq::bench::WorkloadKind::kPercentEnq,
                          /*percent_enqueue=*/50);

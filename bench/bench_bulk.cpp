@@ -1,0 +1,247 @@
+// Batched enqueue/dequeue throughput: how far one contended FAA stretches
+// when it is amortized over k cells (enqueue_bulk / dequeue_bulk).
+//
+// Workload: "bulk pairs" — each thread repeatedly performs enqueue_bulk(k)
+// followed by dequeue_bulk(k); k = 1 exercises the ordinary single-op path
+// (the bulk entry points delegate) and is the baseline column. Batch size
+// sweeps k in {1,2,4,8,16,32} x thread count, for the wait-free queue, the
+// F&A microbenchmark bound, and the Listing-1 obstruction-free queue.
+//
+// Reported Mops/s counts *elements* (2 * k per bulk pair), so columns are
+// directly comparable across k. Unlike the Figure-2 binaries this bench
+// defaults to no think time between operations (WFQ_NO_DELAY=1 semantics):
+// the paper's 50-100 ns delay would swamp the per-op FAA saving under
+// measurement; set WFQ_NO_DELAY=0 to force the delay back on.
+//
+// A per-element latency pass (p50/p99 of bulk-call time / k) accompanies
+// every point; `--json <file>` emits {bench, config, threads, mops, p50_ns,
+// p99_ns} records (see docs/BENCHMARKING.md).
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/obstruction_queue.hpp"
+#include "harness/barrier.hpp"
+#include "harness/latency.hpp"
+
+namespace wfq::bench {
+namespace {
+
+constexpr std::size_t kBatchSizes[] = {1, 2, 4, 8, 16, 32};
+
+/// One iteration of the bulk-pairs workload: every thread moves
+/// `elems_per_thread` values through the queue in k-sized batches.
+/// Returns raw element throughput in Mops/s.
+template <class Queue>
+double run_bulk_pairs(Queue& q, unsigned threads, uint64_t elems_per_thread,
+                      std::size_t k, bool use_delay, uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  SpinBarrier start(threads), stop(threads);
+  std::vector<Clock::time_point> t_begin(threads), t_end(threads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)pin_to_cpu(t);
+      auto h = q.get_handle();
+      WorkDelay delay = WorkDelay::paper_default(seed * 1315423911u + t);
+      std::vector<uint64_t> vals(k), out(k);
+      const uint64_t batches = (elems_per_thread + k - 1) / k;
+      uint64_t seq = 0;
+      start.arrive_and_wait();
+      t_begin[t] = Clock::now();
+      for (uint64_t b = 0; b < batches; ++b) {
+        for (std::size_t j = 0; j < k; ++j) {
+          vals[j] = (uint64_t(t) << 40) | ++seq;
+        }
+        q.enqueue_bulk(h, vals.data(), k);
+        if (use_delay) delay.spin();
+        (void)q.dequeue_bulk(h, out.data(), k);
+        if (use_delay) delay.spin();
+      }
+      t_end[t] = Clock::now();
+      stop.arrive_and_wait();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  Clock::time_point first = t_begin[0], last = t_end[0];
+  for (unsigned t = 1; t < threads; ++t) {
+    if (t_begin[t] < first) first = t_begin[t];
+    if (t_end[t] > last) last = t_end[t];
+  }
+  const double secs = std::chrono::duration<double>(last - first).count();
+  const uint64_t elems = uint64_t(threads) * ((elems_per_thread + k - 1) / k) * k;
+  return secs > 0 ? double(2 * elems) / secs / 1e6 : 0.0;
+}
+
+/// Per-element latency of bulk calls: each bulk op is timed and its
+/// duration divided by k, pooling enqueue and dequeue samples.
+template <class Queue>
+LatencyResult bulk_latency(Queue& q, unsigned threads,
+                           uint64_t elems_per_thread, std::size_t k) {
+  using Clock = std::chrono::steady_clock;
+  SpinBarrier start(threads);
+  std::vector<std::vector<uint64_t>> samples(threads);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)pin_to_cpu(t);
+      auto h = q.get_handle();
+      std::vector<uint64_t> vals(k), out(k);
+      const uint64_t batches = (elems_per_thread + k - 1) / k;
+      auto& mine = samples[t];
+      mine.reserve(2 * batches);
+      uint64_t seq = 0;
+      start.arrive_and_wait();
+      for (uint64_t b = 0; b < batches; ++b) {
+        for (std::size_t j = 0; j < k; ++j) {
+          vals[j] = (uint64_t(t) << 40) | ++seq;
+        }
+        auto t0 = Clock::now();
+        q.enqueue_bulk(h, vals.data(), k);
+        auto t1 = Clock::now();
+        (void)q.dequeue_bulk(h, out.data(), k);
+        auto t2 = Clock::now();
+        mine.push_back(
+            uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         t1 - t0)
+                         .count()) /
+            k);
+        mine.push_back(
+            uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         t2 - t1)
+                         .count()) /
+            k);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<uint64_t> all;
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  return summarize_latencies(std::move(all));
+}
+
+struct SweepPoint {
+  unsigned threads;
+  std::size_t k;
+  double mops;
+  LatencyResult lat;
+};
+
+/// Sweep one queue family across threads x batch sizes; prints the table,
+/// emits JSON records, and returns the points for the speedup summary.
+template <class MakeQueue>
+std::vector<SweepPoint> sweep_family(const std::string& family,
+                                     MakeQueue make_queue,
+                                     const std::vector<unsigned>& threads,
+                                     uint64_t total_elems, bool use_delay,
+                                     const MethodologyConfig& mcfg,
+                                     unsigned hw) {
+  std::vector<std::string> headers{"threads"};
+  for (std::size_t k : kBatchSizes) {
+    headers.push_back((k == 1 ? std::string("single") :
+                                "k=" + std::to_string(k)) + " (Mops/s)");
+  }
+  Table table(headers);
+  std::vector<SweepPoint> points;
+
+  for (unsigned t : threads) {
+    const uint64_t per_thread = std::max<uint64_t>(1, total_elems / t);
+    std::vector<std::string> row{std::to_string(t) + (t > hw ? "^" : "")};
+    for (std::size_t k : kBatchSizes) {
+      auto ci = measure(mcfg, [&] {
+        auto q = make_queue(t);
+        return std::function<double()>([q, t, per_thread, k, use_delay] {
+          return run_bulk_pairs(*q, t, per_thread, k, use_delay,
+                                0x5eed + k);
+        });
+      });
+      auto lq = make_queue(t);
+      LatencyResult lat = bulk_latency(
+          *lq, t, std::max<uint64_t>(std::size_t(64) * k, per_thread / 4), k);
+      row.push_back(Table::fmt_ci(ci.mean, ci.half_width));
+      const std::string config =
+          family + (k == 1 ? " single" : " bulk k=" + std::to_string(k));
+      json_sink().record("bulk_pairs", config, t, ci.mean, double(lat.p50),
+                         double(lat.p99));
+      std::cerr << "  [bulk_pairs] " << config << " threads=" << t << ": "
+                << Table::fmt_ci(ci.mean, ci.half_width) << " Mops/s  p50="
+                << lat.p50 << "ns p99=" << lat.p99 << "ns\n";
+      points.push_back({t, k, ci.mean, lat});
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "-- " << family << " --\n";
+  table.print();
+  std::cout << "\n";
+  return points;
+}
+
+}  // namespace
+}  // namespace wfq::bench
+
+int main(int argc, char** argv) {
+  using namespace wfq::bench;
+  bench_main_init(argc, argv);
+  // Batching microbenchmark: think time off unless explicitly requested
+  // (see header comment).
+  ::setenv("WFQ_NO_DELAY", "1", /*overwrite=*/0);
+
+  auto threads = thread_counts_from_env();
+  auto mcfg = MethodologyConfig::from_env();
+  const uint64_t elems = ops_from_env();
+  const bool use_delay = delay_enabled_from_env();
+  const unsigned hw = wfq::hardware_threads();
+
+  std::cout << "== Batched operations: one FAA amortized over k cells ==\n";
+  std::cout << format_platform_table(detect_platform());
+  std::cout << "elements/iteration=" << elems
+            << "  invocations=" << mcfg.invocations
+            << "  delay=" << (use_delay ? "50-100ns" : "off")
+            << "  (Mops/s counts elements; k=1 = single-op API)\n"
+            << "(^ marks thread counts above the " << hw
+            << " hardware thread(s) of this host)\n\n";
+
+  wfq::WfConfig wf10;
+  wf10.patience = 10;
+  auto wf_points = sweep_family(
+      "WF-10",
+      [wf10](unsigned) {
+        return std::make_shared<wfq::WFQueue<uint64_t>>(wf10);
+      },
+      threads, elems, use_delay, mcfg, hw);
+  sweep_family(
+      "F&A-bound",
+      [](unsigned) {
+        return std::make_shared<wfq::baselines::FAAQueue<uint64_t>>();
+      },
+      threads, elems, use_delay, mcfg, hw);
+  sweep_family(
+      "OBSTRUCTION",
+      [](unsigned) {
+        return std::make_shared<wfq::ObstructionQueue<uint64_t>>();
+      },
+      threads, elems, use_delay, mcfg, hw);
+
+  // The headline number: k=8 bulk vs single-op WF throughput at the
+  // highest measured thread count.
+  const unsigned t_max = threads.back();
+  double single = 0, k8 = 0;
+  for (const auto& p : wf_points) {
+    if (p.threads != t_max) continue;
+    if (p.k == 1) single = p.mops;
+    if (p.k == 8) k8 = p.mops;
+  }
+  if (single > 0) {
+    std::cout << "WF-10 @ " << t_max << " threads: bulk k=8 = " << k8
+              << " Mops/s vs single = " << single << " Mops/s  ("
+              << Table::fmt(k8 / single, 2) << "x)\n";
+  }
+  return 0;
+}

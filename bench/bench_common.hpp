@@ -8,9 +8,14 @@
 //   WFQ_OPS=200000          operations (or pairs) per iteration
 //   WFQ_ITERATIONS / WFQ_WINDOW / WFQ_COV / WFQ_INVOCATIONS  (methodology)
 //   WFQ_NO_DELAY=1          disable the 50-100 ns random work
+//
+// Command-line flags (parsed by bench_main_init, shared by every binary):
+//   --json <file>   append machine-readable result records (JSON array)
+//   --smoke         ~1 s sanity run (tiny env defaults; CI bitrot guard)
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -66,6 +71,103 @@ inline uint64_t ops_from_env(uint64_t def = 200'000) {
 inline bool delay_enabled_from_env() {
   const char* s = std::getenv("WFQ_NO_DELAY");
   return s == nullptr || s[0] == '0';
+}
+
+// ---- machine-readable output (--json) --------------------------------
+//
+// One record per measured (bench, config, threads) point:
+//   {"bench":"...","config":"...","threads":N,"mops":M,
+//    "p50_ns":null|X,"p99_ns":null|X}
+// The file is a JSON array, opened by `--json <file>` and closed at
+// process exit. Latency percentiles are null for throughput-only sweeps.
+class JsonSink {
+ public:
+  bool open(const std::string& path) {
+    f_ = std::fopen(path.c_str(), "w");
+    if (f_ == nullptr) return false;
+    std::fputs("[", f_);
+    return true;
+  }
+
+  bool active() const { return f_ != nullptr; }
+
+  void record(const std::string& bench, const std::string& config,
+              unsigned threads, double mops, double p50_ns = -1.0,
+              double p99_ns = -1.0) {
+    if (f_ == nullptr) return;
+    std::fprintf(f_, "%s\n  {\"bench\":\"%s\",\"config\":\"%s\",\"threads\":%u,"
+                     "\"mops\":%.6g",
+                 first_ ? "" : ",", escaped(bench).c_str(),
+                 escaped(config).c_str(), threads, mops);
+    if (p50_ns >= 0) {
+      std::fprintf(f_, ",\"p50_ns\":%.6g", p50_ns);
+    } else {
+      std::fputs(",\"p50_ns\":null", f_);
+    }
+    if (p99_ns >= 0) {
+      std::fprintf(f_, ",\"p99_ns\":%.6g", p99_ns);
+    } else {
+      std::fputs(",\"p99_ns\":null", f_);
+    }
+    std::fputs("}", f_);
+    first_ = false;
+    std::fflush(f_);  // partial files stay parseable-ish if a run is killed
+  }
+
+  ~JsonSink() {
+    if (f_ != nullptr) {
+      std::fputs("\n]\n", f_);
+      std::fclose(f_);
+    }
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::FILE* f_ = nullptr;
+  bool first_ = true;
+};
+
+/// The process-wide sink. Inactive (records are dropped) unless
+/// bench_main_init saw `--json <file>`.
+inline JsonSink& json_sink() {
+  static JsonSink s;
+  return s;
+}
+
+/// Parse the flags every bench binary shares. Call first thing in main().
+///   --json <file>  open the machine-readable sink
+///   --smoke        seed tiny WFQ_* defaults (explicit env still wins) so
+///                  the binary finishes in ~1 s — the CI bitrot guard
+inline void bench_main_init(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      if (!json_sink().open(argv[++i])) {
+        std::fprintf(stderr, "cannot open --json file %s\n", argv[i]);
+        std::exit(1);
+      }
+    } else if (a == "--smoke") {
+      smoke = true;
+    }
+  }
+  if (smoke) {
+    ::setenv("WFQ_THREADS", "1,2", /*overwrite=*/0);
+    ::setenv("WFQ_OPS", "4000", 0);
+    ::setenv("WFQ_INVOCATIONS", "1", 0);
+    ::setenv("WFQ_ITERATIONS", "2", 0);
+    ::setenv("WFQ_WINDOW", "2", 0);
+    ::setenv("WFQ_NO_DELAY", "1", 0);
+  }
 }
 
 /// One benchmark contender: a name and a factory for fresh instances whose
@@ -182,6 +284,7 @@ inline void run_figure(const std::string& title, WorkloadKind kind,
       auto ci = measure(mcfg, [&] { return c.make_invocation(cfg); });
       row.push_back(Table::fmt_ci(ci.mean, ci.half_width));
       series[ci_idx].values.push_back(ci.mean);
+      json_sink().record(title, c.name, t, ci.mean);
       std::cerr << "  [" << title << "] threads=" << t << " " << c.name
                 << ": " << Table::fmt_ci(ci.mean, ci.half_width)
                 << " Mops/s\n";

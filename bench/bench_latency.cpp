@@ -26,7 +26,8 @@ void row(Table& table, const std::string& name, unsigned threads,
 }  // namespace
 }  // namespace wfq::bench
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   using namespace wfq;
   using namespace wfq::bench;
   unsigned hw = wfq::hardware_threads();

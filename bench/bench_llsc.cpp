@@ -62,7 +62,8 @@ void run_llsc_figure(WorkloadKind kind, const std::string& title) {
 }  // namespace
 }  // namespace wfq::bench
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   wfq::bench::run_llsc_figure(wfq::bench::WorkloadKind::kPairs,
                               "Figure 2 Power7 analogue: enqueue-dequeue "
                               "pairs, LL/SC-emulated FAA");

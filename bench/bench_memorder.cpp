@@ -18,7 +18,8 @@ struct ConservativeTraits : DefaultWfTraits {
 }  // namespace
 }  // namespace wfq::bench
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   using namespace wfq;
   using namespace wfq::bench;
   auto threads = thread_counts_from_env();

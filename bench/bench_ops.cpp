@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "baselines/ccqueue.hpp"
 #include "baselines/faaq.hpp"
@@ -128,6 +130,57 @@ void BM_WfHandleRegistration(benchmark::State& state) {
 }
 BENCHMARK(BM_WfHandleRegistration);
 
+/// Batched pair cost at one thread: the amortization floor with zero
+/// contention. The FAA is uncontended here, so this isolates the *other*
+/// bulk savings — one segment walk per chunk and one handle-pointer
+/// store per batch instead of per op. Items/s is per element.
+template <class Queue>
+void BM_BulkPairSingleThread(benchmark::State& state) {
+  const std::size_t k = std::size_t(state.range(0));
+  Queue q;
+  auto h = q.get_handle();
+  std::vector<uint64_t> vals(k), out(k);
+  for (std::size_t j = 0; j < k; ++j) vals[j] = j + 1;
+  for (auto _ : state) {
+    q.enqueue_bulk(h, vals.data(), k);
+    benchmark::DoNotOptimize(q.dequeue_bulk(h, out.data(), k));
+  }
+  state.SetItemsProcessed(2 * int64_t(k) * state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_BulkPairSingleThread, WfQ)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK_TEMPLATE(BM_BulkPairSingleThread, FaaQ)->Arg(8);
+BENCHMARK_TEMPLATE(BM_BulkPairSingleThread, wfq::ObstructionQueue<uint64_t>)
+    ->Arg(8);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a translation of the repo-wide bench flags
+// (bench_common.hpp contract) into google-benchmark's own:
+//   --smoke         -> --benchmark_min_time=0.01
+//   --json <file>   -> --benchmark_out=<file> --benchmark_out_format=json
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(std::size_t(argc) + 1);
+  storage.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      storage.push_back("--benchmark_min_time=0.01");
+    } else if (a == "--json" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(a);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (auto& s : storage) args.push_back(s.data());
+  int n = int(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

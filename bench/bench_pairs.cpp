@@ -4,7 +4,8 @@
 // operations and the Georges-et-al. methodology (§5.1).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   wfq::bench::run_figure("Figure 2: enqueue-dequeue pairs",
                          wfq::bench::WorkloadKind::kPairs);
   return 0;

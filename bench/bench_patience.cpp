@@ -6,7 +6,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   using namespace wfq;
   using namespace wfq::bench;
   auto mcfg = MethodologyConfig::from_env();

@@ -17,7 +17,8 @@ struct Seg256 : DefaultWfTraits {
 }  // namespace
 }  // namespace wfq::bench
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   using namespace wfq;
   using namespace wfq::bench;
   auto mcfg = MethodologyConfig::from_env();

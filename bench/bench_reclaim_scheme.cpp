@@ -89,7 +89,8 @@ std::vector<ReclaimContender> make_contenders() {
 }  // namespace
 }  // namespace wfq::bench
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   using namespace wfq;
   using namespace wfq::bench;
   auto threads = thread_counts_from_env();

@@ -45,7 +45,8 @@ void row(Table& table, unsigned threads, uint64_t ops, bool use_delay,
 }  // namespace
 }  // namespace wfq::bench
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   using namespace wfq;
   using namespace wfq::bench;
   auto mcfg = MethodologyConfig::from_env();

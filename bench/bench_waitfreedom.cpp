@@ -8,7 +8,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
   using namespace wfq;
   using namespace wfq::bench;
   bool use_delay = delay_enabled_from_env();

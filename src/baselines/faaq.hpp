@@ -16,7 +16,9 @@
 // trivially zero. The contended FAAs remain the dominant cost.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -77,6 +79,38 @@ class FAAQueue : private SegmentQueueBase<FaaCell, Traits> {
     return std::nullopt;
   }
 
+  /// Bulk variant: one FAA reserves `count` tickets, each cell is stamped.
+  /// The upper bound the real bulk queues chase — one contended FAA plus
+  /// `count` uncontended cell writes, no correctness protocol.
+  void enqueue_bulk(Handle& h, const T*, std::size_t count) {
+    if (count == 0) return;
+    auto* hp = h.get();
+    this->rcl_.begin_op(hp, hp->tail);
+    uint64_t base = Faa::fetch_add(*enq_ticket_, uint64_t(count),
+                                   std::memory_order_seq_cst);
+    stamp_range(hp, hp->tail, base, count, "faa_enq_bulk");
+    this->rcl_.end_op(hp);
+  }
+
+  /// Bulk variant: one FAA reserves `count` tickets; fabricates T{} for
+  /// each ticket that had a matching enqueue ticket.
+  std::size_t dequeue_bulk(Handle& h, T* out, std::size_t count) {
+    if (count == 0) return 0;
+    auto* hp = h.get();
+    this->rcl_.begin_op(hp, hp->head);
+    uint64_t base = Faa::fetch_add(*deq_ticket_, uint64_t(count),
+                                   std::memory_order_seq_cst);
+    stamp_range(hp, hp->head, base, count, "faa_deq_bulk");
+    uint64_t avail = enq_ticket_->load(std::memory_order_relaxed);
+    std::size_t got = avail > base
+                          ? std::size_t(std::min<uint64_t>(avail - base, count))
+                          : 0;
+    this->rcl_.end_op(hp);
+    this->poll_reclaim(hp, *deq_ticket_, *enq_ticket_);
+    for (std::size_t j = 0; j < got; ++j) out[j] = T{};
+    return got;
+  }
+
   uint64_t enqueues() const {
     return enq_ticket_->load(std::memory_order_relaxed);
   }
@@ -90,6 +124,25 @@ class FAAQueue : private SegmentQueueBase<FaaCell, Traits> {
   using Base::segments_outstanding;
 
  private:
+  using BaseHandle = typename Base::Handle;
+
+  /// Stamp `count` consecutive ticket cells resolved with one segment walk.
+  void stamp_range(BaseHandle* hp,
+                   std::atomic<typename Base::Segment*>& sp, uint64_t base,
+                   std::size_t count, const char* who) {
+    FaaCell* cells[kChunk];
+    for (std::size_t done = 0; done < count;) {
+      const std::size_t take = std::min(count - done, kChunk);
+      this->cells_at(hp, sp, base + done, take, cells, who);
+      for (std::size_t j = 0; j < take; ++j) {
+        cells[j]->stamp.store(base + done + j + 1, std::memory_order_release);
+      }
+      done += take;
+    }
+  }
+
+  static constexpr std::size_t kChunk = 64;
+
   CacheAligned<std::atomic<uint64_t>> enq_ticket_{0};
   CacheAligned<std::atomic<uint64_t>> deq_ticket_{0};
 };

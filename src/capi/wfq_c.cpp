@@ -64,6 +64,18 @@ int wfq_dequeue(wfq_handle_t* h, uint64_t* out) {
   return 1;
 }
 
+int wfq_enqueue_bulk(wfq_handle_t* h, const uint64_t* values, size_t count) {
+  for (size_t j = 0; j < count; ++j) {
+    if (!Core::is_enqueueable(values[j])) return -1;
+  }
+  h->owner->core.enqueue_bulk(h->h, values, count);
+  return 0;
+}
+
+size_t wfq_dequeue_bulk(wfq_handle_t* h, uint64_t* out, size_t count) {
+  return h->owner->core.dequeue_bulk(h->h, out, count);
+}
+
 uint64_t wfq_approx_size(const wfq_queue_t* q) {
   return q->core.approx_size();
 }

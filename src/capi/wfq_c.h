@@ -12,6 +12,7 @@
 #ifndef WFQ_C_H_
 #define WFQ_C_H_
 
+#include <stddef.h>
 #include <stdint.h>
 
 #ifdef __cplusplus
@@ -43,6 +44,18 @@ int wfq_enqueue(wfq_handle_t* h, uint64_t value);
 /* Dequeue into *out. Returns 1 on success, 0 if the queue was observed
  * empty (linearizable EMPTY). Wait-free. */
 int wfq_dequeue(wfq_handle_t* h, uint64_t* out);
+
+/* Batched enqueue: append values[0..count) in order, paying the contended
+ * fetch-and-add once for the whole batch. Linearizes as `count` consecutive
+ * enqueues. Returns 0 on success, -1 if ANY value is reserved (then nothing
+ * was enqueued — values are validated up front). Each item is individually
+ * wait-free. */
+int wfq_enqueue_bulk(wfq_handle_t* h, const uint64_t* values, size_t count);
+
+/* Batched dequeue: remove up to `count` values into out[0..), FIFO order,
+ * one fetch-and-add. Returns the number dequeued; fewer than `count` means
+ * the queue was observed empty during the call. */
+size_t wfq_dequeue_bulk(wfq_handle_t* h, uint64_t* out, size_t count);
 
 /* Heuristic occupancy (tail - head indices, clamped at 0); monitoring
  * only, not linearizable. */

@@ -16,6 +16,7 @@
 // enqueue and every dequeue burns at least one cell).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <optional>
@@ -131,6 +132,88 @@ class ObstructionQueue : private SegmentQueueBase<ObsCell, Traits> {
     }
   }
 
+  /// Bulk enqueue (comparison implementation for bench_bulk): one FAA
+  /// reserves `count` consecutive cells, values are CAS-deposited in cell
+  /// order; a value whose cell a dequeuer already marked unusable retries
+  /// through the ordinary per-item enqueue (whose FAAs land past the
+  /// batch, preserving array order). Obstruction-free like the base ops.
+  void enqueue_bulk(Handle& h, const T* vals, std::size_t count) {
+    if (count == 0) return;
+    auto* hp = h.get();
+    this->rcl_.begin_op(hp, hp->tail);
+    uint64_t base = tail_->fetch_add(count, std::memory_order_seq_cst);
+    // Tickets beyond a configured capacity are unusable; the values they
+    // would have carried go through the residual per-item path (throws).
+    const std::size_t usable =
+        capacity_ == 0 ? count
+                       : std::size_t(std::min<uint64_t>(
+                             count, capacity_ > base ? capacity_ - base : 0));
+    std::size_t committed = 0;
+    ObsCell* cells[kChunk];
+    for (std::size_t ticket = 0; ticket < usable && committed < usable;) {
+      const std::size_t take = std::min(usable - ticket, kChunk);
+      this->cells_at(hp, hp->tail, base + ticket, take, cells, "obs_enq_bulk");
+      for (std::size_t j = 0; j < take && committed < usable; ++j) {
+        uint64_t slot = Codec::encode(T(vals[committed]));
+        uint64_t expected = kBot;
+        if (cells[j]->val.compare_exchange_strong(expected, slot,
+                                                  std::memory_order_seq_cst,
+                                                  std::memory_order_relaxed)) {
+          ++committed;
+        } else {
+          Codec::destroy_slot(slot);
+        }
+      }
+      ticket += take;
+    }
+    this->rcl_.end_op(hp);
+    // Residual values (stolen tickets, or tickets beyond a configured
+    // capacity): ordinary per-item enqueues, which throw on exhaustion.
+    for (; committed < count; ++committed) enqueue(h, T(vals[committed]));
+  }
+
+  /// Bulk dequeue: one FAA reserves `count` cells; every reserved cell is
+  /// either drained (CAS-to-⊤ failed: a value was present) or sealed.
+  /// Returns values claimed; fewer than `count` only after the tail was
+  /// observed at or behind a sealed cell (queue seen empty).
+  std::size_t dequeue_bulk(Handle& h, T* out, std::size_t count) {
+    if (count == 0) return 0;
+    auto* hp = h.get();
+    this->rcl_.begin_op(hp, hp->head);
+    uint64_t base = head_->fetch_add(count, std::memory_order_seq_cst);
+    std::size_t got = 0;
+    bool saw_empty = false;
+    ObsCell* cells[kChunk];
+    for (std::size_t ticket = 0; ticket < count; ticket += kChunk) {
+      const std::size_t take = std::min(count - ticket, kChunk);
+      this->cells_at(hp, hp->head, base + ticket, take, cells, "obs_deq_bulk");
+      for (std::size_t j = 0; j < take; ++j) {
+        const uint64_t i = base + ticket + j;
+        if (capacity_ != 0 && i >= capacity_) {
+          saw_empty = true;  // index space exhausted: stop topping up
+          continue;
+        }
+        uint64_t expected = kBot;
+        if (!cells[j]->val.compare_exchange_strong(expected, kTop,
+                                                   std::memory_order_seq_cst,
+                                                   std::memory_order_relaxed)) {
+          out[got++] = Codec::decode(expected);
+        } else if (tail_->load(std::memory_order_seq_cst) <= i) {
+          saw_empty = true;
+        }
+        // else: an enqueue was in flight at or past i; ticket wasted.
+      }
+    }
+    this->rcl_.end_op(hp);
+    this->poll_reclaim(hp, *head_, *tail_);
+    while (!saw_empty && got < count) {
+      std::optional<T> v = dequeue(h);
+      if (!v) break;
+      out[got++] = *std::move(v);
+    }
+    return got;
+  }
+
   uint64_t head_index() const {
     return head_->load(std::memory_order_acquire);
   }
@@ -145,6 +228,8 @@ class ObstructionQueue : private SegmentQueueBase<ObsCell, Traits> {
   using Base::segments_outstanding;
 
  private:
+  static constexpr std::size_t kChunk = 64;
+
   CacheAligned<std::atomic<uint64_t>> tail_{0};  // T
   CacheAligned<std::atomic<uint64_t>> head_{0};  // H
   std::size_t capacity_;

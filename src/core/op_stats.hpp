@@ -25,6 +25,15 @@ struct OpStats {
   std::atomic<uint64_t> cleanups{0};   ///< cleanup() passes that reclaimed
   std::atomic<uint64_t> segments_freed{0};  ///< segments returned to the OS
 
+  // Batched operations (enqueue_bulk / dequeue_bulk). *_bulk_batches counts
+  // calls; *_bulk_fast counts items completed on a prepaid ticket (one
+  // shared FAA amortized over the batch). Items that fell back to per-item
+  // operations are counted by the ordinary fast/slow counters above.
+  std::atomic<uint64_t> enq_bulk_batches{0};  ///< enqueue_bulk calls
+  std::atomic<uint64_t> enq_bulk_fast{0};     ///< items deposited via tickets
+  std::atomic<uint64_t> deq_bulk_batches{0};  ///< dequeue_bulk calls
+  std::atomic<uint64_t> deq_bulk_fast{0};     ///< items claimed via tickets
+
   // Empirical wait-freedom bound (§4): cells probed (find_cell calls) per
   // operation. Wait-freedom means max probes stays bounded by a function of
   // the thread count, never by the run length.
@@ -59,6 +68,10 @@ struct OpStats {
     bump(deq_empty, ld(o.deq_empty));
     bump(cleanups, ld(o.cleanups));
     bump(segments_freed, ld(o.segments_freed));
+    bump(enq_bulk_batches, ld(o.enq_bulk_batches));
+    bump(enq_bulk_fast, ld(o.enq_bulk_fast));
+    bump(deq_bulk_batches, ld(o.deq_bulk_batches));
+    bump(deq_bulk_fast, ld(o.deq_bulk_fast));
     bump(enq_probes, ld(o.enq_probes));
     bump(deq_probes, ld(o.deq_probes));
     raise(max_enq_probes, ld(o.max_enq_probes));
@@ -67,19 +80,23 @@ struct OpStats {
 
   void reset() noexcept {
     for (auto* c : {&enq_fast, &enq_slow, &deq_fast, &deq_slow, &deq_empty,
-                    &cleanups, &segments_freed, &enq_probes, &deq_probes,
-                    &max_enq_probes, &max_deq_probes}) {
+                    &cleanups, &segments_freed, &enq_bulk_batches,
+                    &enq_bulk_fast, &deq_bulk_batches, &deq_bulk_fast,
+                    &enq_probes, &deq_probes, &max_enq_probes,
+                    &max_deq_probes}) {
       c->store(0, std::memory_order_relaxed);
     }
   }
 
   uint64_t enqueues() const noexcept {
     return enq_fast.load(std::memory_order_relaxed) +
-           enq_slow.load(std::memory_order_relaxed);
+           enq_slow.load(std::memory_order_relaxed) +
+           enq_bulk_fast.load(std::memory_order_relaxed);
   }
   uint64_t dequeues() const noexcept {
     return deq_fast.load(std::memory_order_relaxed) +
-           deq_slow.load(std::memory_order_relaxed);
+           deq_slow.load(std::memory_order_relaxed) +
+           deq_bulk_fast.load(std::memory_order_relaxed);
   }
 
   double avg_enq_probes() const noexcept {

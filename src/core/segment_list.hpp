@@ -25,6 +25,7 @@
 // an HP/epoch domain).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cassert>
@@ -144,39 +145,40 @@ class SegmentList {
   /// Precondition: sp->id <= cell_id / N and *sp not reclaimed (guaranteed
   /// by the caller's reclamation policy).
   Cell* find_cell(Segment*& sp, uint64_t cell_id, Segment*& spare,
-                  [[maybe_unused]] const char* who = "?") {
+                  const char* who = "?") {
     Segment* s = sp;
-    const int64_t target = static_cast<int64_t>(cell_id / kSegmentSize);
-#ifndef NDEBUG
-    if (s->id > target) {
-      std::fprintf(stderr,
-                   "find_cell overshoot at %s: seg id %lld > target %lld "
-                   "(cell %llu)\n",
-                   who, (long long)s->id, (long long)target,
-                   (unsigned long long)cell_id);
-    }
-#endif
-    assert(s->id <= target && "segment pointer overshot the target cell");
-    for (int64_t i = s->id; i < target; ++i) {
-      Segment* next = s->next.load(acq());
-      if (next == nullptr) {
-        // Extend the list, recycling the caller's spare if it has one.
-        Segment* tmp = spare != nullptr ? spare : new_segment(0);
-        spare = nullptr;
-        tmp->id = i + 1;
-        Segment* expected = nullptr;
-        if (!s->next.compare_exchange_strong(expected, tmp, rel(), acq())) {
-          spare = tmp;  // another thread extended the list first
-        } else {
-          note_appended(i + 1);
-        }
-        next = s->next.load(acq());
-        assert(next != nullptr);
-      }
-      s = next;
-    }
+    walk_to(s, static_cast<int64_t>(cell_id / kSegmentSize), spare, who,
+            cell_id);
     sp = s;
     return &s->cells[cell_id & (kSegmentSize - 1)];
+  }
+
+  /// Batch variant of find_cell: resolve `count` consecutive cells starting
+  /// at `first_id`, storing pointers into `out[0..count)`, and advance `sp`
+  /// to the segment containing the *last* cell. Where a per-cell loop over
+  /// find_cell would re-enter the walk `count` times, this walks each
+  /// visited segment exactly once and prefetches the next segment's header
+  /// line while the current segment's cells are being handed out — the
+  /// pointer chase overlaps with the caller's work on the batch.
+  /// Precondition: as find_cell's, for `first_id`.
+  void find_cell_range(Segment*& sp, uint64_t first_id, std::size_t count,
+                       Cell** out, Segment*& spare, const char* who = "?") {
+    Segment* s = sp;
+    std::size_t done = 0;
+    while (done < count) {
+      const uint64_t id = first_id + done;
+      walk_to(s, static_cast<int64_t>(id / kSegmentSize), spare, who, id);
+      if (Segment* nx = s->next.load(std::memory_order_relaxed)) {
+        prefetch_segment(nx);
+      }
+      const std::size_t off = std::size_t(id & (kSegmentSize - 1));
+      const std::size_t take = std::min(count - done, kSegmentSize - off);
+      for (std::size_t j = 0; j < take; ++j) {
+        out[done + j] = &s->cells[off + j];
+      }
+      done += take;
+    }
+    sp = s;
   }
 
   // ---- introspection --------------------------------------------------
@@ -211,6 +213,50 @@ class SegmentList {
   }
 
  private:
+  /// The Listing-2 walk shared by find_cell and find_cell_range: advance
+  /// `s` to the segment with id `target`, CAS-appending fresh segments when
+  /// the list ends; append-race losers land in the caller's `spare`.
+  void walk_to(Segment*& s, int64_t target, Segment*& spare,
+               [[maybe_unused]] const char* who,
+               [[maybe_unused]] uint64_t cell_id) {
+#ifndef NDEBUG
+    if (s->id > target) {
+      std::fprintf(stderr,
+                   "find_cell overshoot at %s: seg id %lld > target %lld "
+                   "(cell %llu)\n",
+                   who, (long long)s->id, (long long)target,
+                   (unsigned long long)cell_id);
+    }
+#endif
+    assert(s->id <= target && "segment pointer overshot the target cell");
+    for (int64_t i = s->id; i < target; ++i) {
+      Segment* next = s->next.load(acq());
+      if (next == nullptr) {
+        // Extend the list, recycling the caller's spare if it has one.
+        Segment* tmp = spare != nullptr ? spare : new_segment(0);
+        spare = nullptr;
+        tmp->id = i + 1;
+        Segment* expected = nullptr;
+        if (!s->next.compare_exchange_strong(expected, tmp, rel(), acq())) {
+          spare = tmp;  // another thread extended the list first
+        } else {
+          note_appended(i + 1);
+        }
+        next = s->next.load(acq());
+        assert(next != nullptr);
+      }
+      s = next;
+    }
+  }
+
+  static void prefetch_segment(const Segment* s) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(static_cast<const void*>(s), /*rw=*/0, /*locality=*/1);
+#else
+    (void)s;
+#endif
+  }
+
   static constexpr std::memory_order acq() {
     return Traits::kConservativeOrdering ? std::memory_order_seq_cst
                                          : std::memory_order_acquire;

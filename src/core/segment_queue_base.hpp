@@ -135,6 +135,16 @@ class SegmentQueueBase {
     return c;
   }
 
+  /// Batch variant of cell_at: resolve `count` consecutive cells starting
+  /// at `first` with one segment walk (SegmentList::find_cell_range),
+  /// advancing `sp` to the last cell's segment.
+  void cells_at(Handle* h, std::atomic<Segment*>& sp, uint64_t first,
+                std::size_t count, Cell** out, const char* who) {
+    Segment* s = sp.load(std::memory_order_acquire);
+    segs_.find_cell_range(s, first, count, out, h->spare, who);
+    sp.store(s, std::memory_order_release);
+  }
+
   /// Post-dequeue reclamation poll. `head_index`/`tail_index` are the
   /// queue's dequeue/enqueue indices H and T: the frontier must stay at or
   /// below segment(T / N) (tail-cap erratum; see

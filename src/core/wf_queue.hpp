@@ -20,8 +20,11 @@
 // (the paper's Power7 configuration) operations are lock-free only.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "core/slot_codec.hpp"
 #include "core/wf_queue_core.hpp"
@@ -74,6 +77,58 @@ class WFQueue {
     return Codec::decode(slot);
   }
 
+  /// Appends vals[0..count) in order, paying the contended FAA once for the
+  /// whole batch. Linearizes as `count` consecutive enqueues (batch-as-
+  /// sequence; see docs/API.md). Each item is individually wait-free.
+  void enqueue_bulk(Handle& h, const T* vals, std::size_t count) {
+    if (count == 0) return;
+    if constexpr (std::is_same_v<T, uint64_t>) {
+      // Identity codec: hand the caller's array straight to the core.
+      core_.enqueue_bulk(h.get(), vals, count);
+    } else {
+      uint64_t inline_slots[kInlineBulk];
+      std::vector<uint64_t> heap_slots;
+      uint64_t* slots = inline_slots;
+      if (count > kInlineBulk) {
+        heap_slots.resize(count);
+        slots = heap_slots.data();
+      }
+      std::size_t encoded = 0;
+      try {
+        for (; encoded < count; ++encoded) {
+          slots[encoded] = Codec::encode(T(vals[encoded]));
+        }
+      } catch (...) {
+        // A throwing copy/encode must not leak the boxes already made.
+        for (std::size_t j = 0; j < encoded; ++j) Codec::destroy_slot(slots[j]);
+        throw;
+      }
+      core_.enqueue_bulk(h.get(), slots, count);
+    }
+  }
+
+  /// Removes up to `count` oldest values into out[0..), in FIFO order, with
+  /// one FAA. Returns how many were dequeued; fewer than `count` means the
+  /// queue was observed empty during the call (the batch's emptiness
+  /// witness — see docs/API.md for the batch-linearizability contract).
+  std::size_t dequeue_bulk(Handle& h, T* out, std::size_t count) {
+    if (count == 0) return 0;
+    if constexpr (std::is_same_v<T, uint64_t>) {
+      return core_.dequeue_bulk(h.get(), out, count);
+    } else {
+      uint64_t inline_slots[kInlineBulk];
+      std::vector<uint64_t> heap_slots;
+      uint64_t* slots = inline_slots;
+      if (count > kInlineBulk) {
+        heap_slots.resize(count);
+        slots = heap_slots.data();
+      }
+      std::size_t got = core_.dequeue_bulk(h.get(), slots, count);
+      for (std::size_t j = 0; j < got; ++j) out[j] = Codec::decode(slots[j]);
+      return got;
+    }
+  }
+
   /// Operation-path statistics (Table 2 instrumentation).
   OpStats stats() const { return core_.collect_stats(); }
   void reset_stats() { core_.reset_stats(); }
@@ -95,6 +150,10 @@ class WFQueue {
   Core& core() noexcept { return core_; }
 
  private:
+  /// Slot-encoding scratch for bulk calls stays on the stack up to this
+  /// many items; larger batches take one heap allocation.
+  static constexpr std::size_t kInlineBulk = 64;
+
   Core core_;
 };
 

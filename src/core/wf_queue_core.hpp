@@ -31,8 +31,10 @@
 // wf_queue.hpp for the typed, value-owning public wrapper.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -150,6 +152,12 @@ class WFQueueCore {
   using Cell = WfCell;
   using EnqReq = WfEnqReq;
   using DeqReq = WfDeqReq;
+
+  /// Bulk operations resolve cells in chunks of this many at a time (one
+  /// segment walk per chunk, stack-allocated pointer array). Batches larger
+  /// than this still pay only one FAA; they just take ceil(n / chunk)
+  /// segment walks.
+  static constexpr std::size_t kBulkChunk = 64;
   static constexpr uint64_t kBot = kSlotBot;      ///< ⊥: cell untouched
   static constexpr uint64_t kTop = kSlotTop;      ///< ⊤: cell unusable
   static constexpr uint64_t kEmpty = kSlotEmpty;  ///< dequeue saw empty
@@ -180,16 +188,26 @@ class WFQueueCore {
     std::atomic<Handle*> next{nullptr};   ///< ring of all handles
     typename Reclaim::PerHandle rcl;      ///< policy state (§3.6: hzdp)
 
-    struct {
-      EnqReq req;
+    // Enqueue-/dequeue-side helping state. The request records are
+    // helper-shared (CAS-claimed by any thread in the ring); the peer
+    // cursors are owner-local. Padding keeps each request record alone on
+    // its cache line so helper CAS traffic cannot invalidate the owner's
+    // cursor line, and the alignas keeps each side off its neighbours'
+    // lines (see the static_asserts after Handle).
+    struct alignas(kCacheLineSize) EnqSide {
+      EnqReq req;              ///< helper-shared request record
+      char pad_[kCacheLineSize - sizeof(EnqReq)];
       Handle* peer = nullptr;  ///< enqueue peer to help (owner-local)
       uint64_t help_id = 0;    ///< paper: enq.id — pending peer request id
-    } enq;
-
-    struct {
-      DeqReq req;
+    };
+    struct alignas(kCacheLineSize) DeqSide {
+      DeqReq req;              ///< helper-shared request record
+      char pad_[kCacheLineSize - sizeof(DeqReq)];
       Handle* peer = nullptr;  ///< dequeue peer to help (owner-local)
-    } deq;
+    };
+
+    EnqSide enq;
+    DeqSide deq;
 
     Segment* spare = nullptr;  ///< one cached segment to recycle failed
                                ///< list-extension allocations (reference
@@ -199,6 +217,25 @@ class WFQueueCore {
     OpStats stats;
     Handle* next_free = nullptr;  ///< freelist link (guarded by mutex)
   };
+
+  // False-sharing audit of Handle. Each request record must fit its line,
+  // the owner-local cursor that follows it must start on the next line, and
+  // each side's size must round to a whole number of lines — which, with
+  // the alignas, also guarantees the owner-local fields after `deq`
+  // (`spare`, `op_probes`, `stats`) begin on a fresh line of their own.
+  static_assert(sizeof(EnqReq) <= kCacheLineSize &&
+                    sizeof(DeqReq) <= kCacheLineSize,
+                "request records must each fit one cache line");
+  static_assert(offsetof(typename Handle::EnqSide, peer) == kCacheLineSize,
+                "enq.peer must sit on the line after the enq request record");
+  static_assert(offsetof(typename Handle::DeqSide, peer) == kCacheLineSize,
+                "deq.peer must sit on the line after the deq request record");
+  static_assert(sizeof(typename Handle::EnqSide) % kCacheLineSize == 0 &&
+                    sizeof(typename Handle::DeqSide) % kCacheLineSize == 0,
+                "helping-state blocks must tile whole cache lines");
+  // (enq and deq cannot share a line with each other or with `spare`:
+  // alignas places each side on a line boundary and the sizeof asserts
+  // above make every block a whole number of lines.)
 
   explicit WFQueueCore(WfConfig cfg = {}) : cfg_(cfg) {
     tail_index_->store(0, std::memory_order_relaxed);
@@ -318,14 +355,7 @@ class WFQueueCore {
       enq_slow(h, v, cell_id);
       count(h->stats.enq_slow);
     }
-    if constexpr (Traits::kCollectStats) {
-      h->stats.enq_probes.fetch_add(h->op_probes, std::memory_order_relaxed);
-      if (h->op_probes >
-          h->stats.max_enq_probes.load(std::memory_order_relaxed)) {
-        h->stats.max_enq_probes.store(h->op_probes,
-                                      std::memory_order_relaxed);
-      }
-    }
+    flush_probes(h, h->stats.enq_probes, h->stats.max_enq_probes);
     rcl_.end_op(h);
   }
 
@@ -354,19 +384,161 @@ class WFQueueCore {
     } else {
       count(h->stats.deq_empty);
     }
-    if constexpr (Traits::kCollectStats) {
-      // Probe accounting includes the peer help above: helping is part of
-      // the dequeue's bounded work (Lemma 4.4).
-      h->stats.deq_probes.fetch_add(h->op_probes, std::memory_order_relaxed);
-      if (h->op_probes >
-          h->stats.max_deq_probes.load(std::memory_order_relaxed)) {
-        h->stats.max_deq_probes.store(h->op_probes,
-                                      std::memory_order_relaxed);
-      }
-    }
+    // Probe accounting includes the peer help above: helping is part of
+    // the dequeue's bounded work (Lemma 4.4).
+    flush_probes(h, h->stats.deq_probes, h->stats.max_deq_probes);
     rcl_.end_op(h);
     poll_reclaim(h);
     return v;
+  }
+
+  // -------------------------------------------------------------------
+  // Batched operations. One FAA on the shared index reserves `n`
+  // consecutive cell ids — n prepaid fast-path tickets with consecutive
+  // indices, indistinguishable to every other thread from n single-op
+  // threads that FAA'd back to back and are being scheduled one after
+  // another. The batch then commits each ticket through the ordinary
+  // fast-path cell protocol, so the per-cell state machine (help_enq,
+  // Dijkstra's protocol, the helping paths) is exactly the single-op one.
+  // The contended FAA — the only serialized step (§3.2) — is paid once per
+  // batch instead of once per item.
+  // -------------------------------------------------------------------
+
+  /// Batched enqueue: append vals[0..n) in order with one FAA on T.
+  ///
+  /// Linearizes as n consecutive enqueues in array order: tickets are
+  /// consumed in increasing cell order, and any value whose tickets were
+  /// all stolen (a dequeuer ⊤-ed the cell first — the same wasted attempt a
+  /// failed enq_fast produces) falls back to the ordinary per-item
+  /// operation, whose fast- or slow-path cell ids all land at or above
+  /// base + n because the batch FAA already advanced T past them. Per-item
+  /// wait-freedom is preserved: each item costs at most one prepaid ticket
+  /// here plus one ordinary wait-free enqueue.
+  ///
+  /// Invariant 4 (T > cid before a value is visible at cid) holds for every
+  /// ticket up front — the batch FAA advanced T to base + n — so ticket
+  /// commits need no advance_end_for_linearizability, like enq_fast.
+  void enqueue_bulk(Handle* h, const uint64_t* vals, std::size_t n) {
+    if (n == 0) return;
+    if (n == 1) return enqueue(h, vals[0]);
+#ifndef NDEBUG
+    for (std::size_t j = 0; j < n; ++j) assert(is_enqueueable(vals[j]));
+#endif
+    rcl_.begin_op(h, h->tail);
+    Traits::interleave_hint();  // protection published, operation not begun
+    if constexpr (Traits::kCollectStats) h->op_probes = 0;
+    const uint64_t base =
+        Traits::Faa::fetch_add(*tail_index_, uint64_t(n), sc());
+    Traits::interleave_hint();  // stall point: n indices claimed, no cell
+                                // touched — helpers must cope, as for a
+                                // stalled single-op enqueuer
+    std::size_t committed = 0;
+    Segment* s = h->tail.load(acq());
+    Cell* cells[kBulkChunk];
+    for (std::size_t ticket = 0; ticket < n;) {
+      const std::size_t take = std::min(n - ticket, kBulkChunk);
+      find_cell_range(h, s, base + ticket, take, cells, "enq_bulk");
+      for (std::size_t j = 0; j < take; ++j) {
+        Traits::interleave_hint();
+        uint64_t expected = kBot;
+        if (cells[j]->val.compare_exchange_strong(
+                expected, vals[committed], sc(), std::memory_order_relaxed)) {
+          if (++committed == n) break;
+        }
+        // else: a dequeuer sealed this cell — ticket wasted, value retries
+        // on the next one.
+      }
+      if (committed == n) break;
+      ticket += take;
+    }
+    h->tail.store(s, rel());
+    count(h->stats.enq_bulk_batches);
+    count_n(h->stats.enq_bulk_fast, committed);
+    flush_probes(h, h->stats.enq_probes, h->stats.max_enq_probes);
+    rcl_.end_op(h);
+    // Residual values (every ticket from theirs onward was stolen): plain
+    // per-item wait-free enqueues, in order.
+    for (; committed < n; ++committed) enqueue(h, vals[committed]);
+  }
+
+  /// Batched dequeue: remove up to `n` values into out[0..) with one FAA
+  /// on H; returns the number of values claimed.
+  ///
+  /// Every reserved cell is visited through help_enq — exactly what a
+  /// fast-path dequeuer landing there would do, so in-flight enqueues at
+  /// those cells still get helped. Visiting all n cells is mandatory, not
+  /// an optimization: no future dequeuer will ever FAA into these indices,
+  /// and an unvisited cell could strand a deposited value (or an enqueue
+  /// request Dijkstra's protocol obliges this dequeuer to referee).
+  ///
+  /// Linearizes as the sequence of successful claims, which occur at
+  /// strictly increasing cell ids — the same shape as one thread running
+  /// `got` single dequeues. A short return (got < n) means help_enq
+  /// observed the queue empty at some reserved cell (Invariant 6: a valid
+  /// instantaneous emptiness witness). The unfilled portion of the batch is
+  /// deliberately NOT reported as per-item EMPTY results: an EMPTY observed
+  /// mid-batch cannot be reordered after values claimed at later cells, so
+  /// the contract is "short count == queue was seen empty during the call",
+  /// exactly what a caller polling a queue needs.
+  ///
+  /// If tickets were lost to competing claimers but no emptiness was
+  /// observed, the shortfall is topped up with ordinary per-item dequeues
+  /// (ids >= base + n), stopping at the first EMPTY.
+  std::size_t dequeue_bulk(Handle* h, uint64_t* out, std::size_t n) {
+    if (n == 0) return 0;
+    if (n == 1) {
+      uint64_t v = dequeue(h);
+      if (v == kEmpty) return 0;
+      out[0] = v;
+      return 1;
+    }
+    rcl_.begin_op(h, h->head);
+    if constexpr (Traits::kCollectStats) h->op_probes = 0;
+    const uint64_t base =
+        Traits::Faa::fetch_add(*head_index_, uint64_t(n), sc());
+    Traits::interleave_hint();  // stall point: n indices claimed, cells unseen
+    std::size_t got = 0;
+    bool saw_empty = false;
+    Segment* s = h->head.load(acq());
+    Cell* cells[kBulkChunk];
+    for (std::size_t ticket = 0; ticket < n; ticket += kBulkChunk) {
+      const std::size_t take = std::min(n - ticket, kBulkChunk);
+      find_cell_range(h, s, base + ticket, take, cells, "deq_bulk");
+      for (std::size_t j = 0; j < take; ++j) {
+        Traits::interleave_hint();
+        const uint64_t v = help_enq(h, cells[j], base + ticket + j);
+        if (v == kEmpty) {
+          saw_empty = true;
+          continue;  // keep visiting: later cells may need helping/refereeing
+        }
+        if (v == kTop) continue;  // cell unusable, ticket wasted
+        DeqReq* expected = deq_bot();
+        if (cells[j]->deq.compare_exchange_strong(
+                expected, deq_top(), sc(), std::memory_order_relaxed)) {
+          out[got++] = v;  // claimed, FIFO by increasing cell id
+        }
+        // else: a slow-path dequeue request claimed this value first.
+      }
+    }
+    h->head.store(s, rel());
+    if (got != 0) {
+      // As in dequeue (Listing 4 line 135): a successful dequeuer helps its
+      // dequeue peer — once per batch, matching the one shared FAA.
+      help_deq(h, h->deq.peer);
+      h->deq.peer = h->deq.peer->next.load(rlx());
+    }
+    count(h->stats.deq_bulk_batches);
+    count_n(h->stats.deq_bulk_fast, got);
+    if (saw_empty) count(h->stats.deq_empty);
+    flush_probes(h, h->stats.deq_probes, h->stats.max_deq_probes);
+    rcl_.end_op(h);
+    poll_reclaim(h);
+    while (!saw_empty && got < n) {
+      const uint64_t v = dequeue(h);
+      if (v == kEmpty) break;
+      out[got++] = v;
+    }
+    return got;
   }
 
   // -------------------------------------------------------------------
@@ -447,12 +619,39 @@ class WFQueueCore {
     }
   }
 
+  static void count_n(std::atomic<uint64_t>& c, uint64_t k) {
+    if constexpr (Traits::kCollectStats) {
+      c.fetch_add(k, std::memory_order_relaxed);
+    }
+  }
+
+  /// Fold the finished operation's probe count into the per-handle totals
+  /// and high-water mark (wait-freedom accounting).
+  static void flush_probes(Handle* h, std::atomic<uint64_t>& total,
+                           std::atomic<uint64_t>& max) {
+    if constexpr (Traits::kCollectStats) {
+      total.fetch_add(h->op_probes, std::memory_order_relaxed);
+      if (h->op_probes > max.load(std::memory_order_relaxed)) {
+        max.store(h->op_probes, std::memory_order_relaxed);
+      }
+    }
+  }
+
   /// Listing 2 find_cell, with probe accounting and the handle's spare
   /// segment wired into the segment layer's traversal.
   Cell* find_cell(Handle* h, Segment*& sp, uint64_t cell_id,
                   const char* who = "?") {
     if constexpr (Traits::kCollectStats) ++h->op_probes;
     return segs_.find_cell(sp, cell_id, h->spare, who);
+  }
+
+  /// Batch find_cell: resolve `n` consecutive cells with one segment walk
+  /// (SegmentList::find_cell_range). Each cell still counts as one probe —
+  /// the wait-freedom accounting bounds cells visited, not walks taken.
+  void find_cell_range(Handle* h, Segment*& sp, uint64_t first_id,
+                       std::size_t n, Cell** out, const char* who = "?") {
+    if constexpr (Traits::kCollectStats) h->op_probes += n;
+    segs_.find_cell_range(sp, first_id, n, out, h->spare, who);
   }
 
   /// Listing 2 advance_end_for_linearizability: raise the head or tail

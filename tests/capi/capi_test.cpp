@@ -73,6 +73,44 @@ TEST(CApi, ApproxSizeAndStats) {
   wfq_destroy(q);
 }
 
+TEST(CApi, BulkRoundTrip) {
+  wfq_queue_t* q = wfq_create(10, 64);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  uint64_t vals[100], out[100];
+  for (uint64_t i = 0; i < 100; ++i) vals[i] = i + 1;
+  EXPECT_EQ(wfq_enqueue_bulk(h, vals, 100), 0);  // crosses segments (64)
+  EXPECT_EQ(wfq_dequeue_bulk(h, out, 40), 40u);
+  for (uint64_t i = 0; i < 40; ++i) ASSERT_EQ(out[i], i + 1);
+  // Short return == queue observed empty during the call.
+  EXPECT_EQ(wfq_dequeue_bulk(h, out, 100), 60u);
+  for (uint64_t i = 0; i < 60; ++i) ASSERT_EQ(out[i], i + 41);
+  EXPECT_EQ(wfq_dequeue_bulk(h, out, 8), 0u);
+  // count == 0 is a no-op on both sides.
+  EXPECT_EQ(wfq_enqueue_bulk(h, vals, 0), 0);
+  EXPECT_EQ(wfq_dequeue_bulk(h, out, 0), 0u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApi, BulkRejectsReservedValuesAtomically) {
+  wfq_queue_t* q = wfq_create_default();
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  // One reserved value anywhere in the batch rejects the whole batch
+  // before anything is enqueued.
+  uint64_t bad[3] = {1, 0, 3};
+  EXPECT_EQ(wfq_enqueue_bulk(h, bad, 3), -1);
+  uint64_t bad2[3] = {1, 2, ~uint64_t{0}};
+  EXPECT_EQ(wfq_enqueue_bulk(h, bad2, 3), -1);
+  uint64_t out;
+  EXPECT_EQ(wfq_dequeue(h, &out), 0);  // nothing slipped through
+  uint64_t good[3] = {1, 2, 3};
+  EXPECT_EQ(wfq_enqueue_bulk(h, good, 3), 0);
+  EXPECT_EQ(wfq_dequeue_bulk(h, &out, 1), 1u);
+  EXPECT_EQ(out, 1u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
 TEST(CApi, ConcurrentConservation) {
   wfq_queue_t* q = wfq_create_default();
   constexpr unsigned kThreads = 6;

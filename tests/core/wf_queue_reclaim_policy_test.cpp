@@ -154,6 +154,49 @@ TYPED_TEST(WfReclaimPolicyTest, BoundedMemoryAfterQuiesce) {
   EXPECT_GT(q.stats().segments_freed.load(), 500u);
 }
 
+TYPED_TEST(WfReclaimPolicyTest, BulkChurnReclaimsUnderEveryPolicy) {
+  // Batched ops must interoperate with reclamation: segment-crossing
+  // batches (48 of 64 cells per call) churn through hundreds of segments
+  // while two threads run bulk pairs, and the policy must keep freeing
+  // them without losing or duplicating values.
+  constexpr std::size_t kBatch = 48;
+  constexpr uint64_t kBatchesPerThread = 400;  // ~300 segments of indices
+  constexpr unsigned kThreads = 2;
+  WfConfig cfg;
+  cfg.max_garbage = 4;
+  WFQueue<uint64_t, TypeParam> q(cfg);
+  std::atomic<uint64_t> claimed{0};
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      auto h = q.get_handle();
+      std::vector<uint64_t> vals(kBatch), out(kBatch);
+      uint64_t local = 0;
+      for (uint64_t b = 0; b < kBatchesPerThread; ++b) {
+        for (std::size_t j = 0; j < kBatch; ++j) {
+          vals[j] = test::make_val(t, b * kBatch + j);
+        }
+        q.enqueue_bulk(h, vals.data(), kBatch);
+        local += q.dequeue_bulk(h, out.data(), kBatch);
+      }
+      claimed.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : ts) t.join();
+  auto h = q.get_handle();
+  std::vector<uint64_t> out(kBatch);
+  uint64_t rest = 0;
+  for (std::size_t got; (got = q.dequeue_bulk(h, out.data(), kBatch)) > 0;) {
+    rest += got;
+  }
+  ASSERT_EQ(claimed.load() + rest,
+            uint64_t{kThreads} * kBatchesPerThread * kBatch);
+  // Reclamation kept up: the live list is bounded, and most of the
+  // ~kThreads * 300 consumed segments were actually freed.
+  EXPECT_LT(q.live_segments(), 64u);
+  EXPECT_GT(q.stats().segments_freed.load(), 300u);
+}
+
 TYPED_TEST(WfReclaimPolicyTest, StalledThreadDoesNotStopTheSystem) {
   // A registered thread that goes dormant between operations (stale
   // segment pointers, no protection published) must not wedge the others:

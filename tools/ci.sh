@@ -8,14 +8,18 @@
 #   3. tsan         — ThreadSanitizer, core subset only (`ctest -L tsan`:
 #                     common/core/memory tests); the full suite under TSan's
 #                     ~10x slowdown exceeds practical CI budgets
+#   4. bench        — smoke leg: every bench binary runs ~1 s under --smoke
+#                     (RelWithDebInfo, reuses the default config's build) so
+#                     the flag surface (--smoke/--json) and the measurement
+#                     harness cannot bitrot between releases
 #
-# Usage: tools/ci.sh [default|asan|tsan]...   (no args = all three)
+# Usage: tools/ci.sh [default|asan|tsan|bench]...   (no args = all four)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
 CONFIGS=("$@")
-[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan)
+[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan bench)
 
 run_config() {
   local name=$1
@@ -43,13 +47,49 @@ run_config() {
   echo "== [${name}] OK =="
 }
 
+run_bench_smoke() {
+  # Reuse (or make) the default config's tree, then run every bench binary
+  # for ~1 s. `--json` output goes to a scratch file and is checked for
+  # JSON well-formedness when python3 is around.
+  local dir="build-ci-default"
+  echo "== [bench] configure+build =="
+  cmake -B "${dir}" -S . >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" >/dev/null
+  echo "== [bench] smoke =="
+  local scratch
+  scratch=$(mktemp -d)
+  local b
+  for b in "${dir}"/bench/bench_*; do
+    [ -x "${b}" ] || continue
+    local name
+    name=$(basename "${b}")
+    case "${name}" in
+      bench_platform) "${b}" >/dev/null ;;  # no flags; already ~1 s
+      *) "${b}" --smoke --json "${scratch}/${name}.json" \
+           >/dev/null 2>&1 ;;
+    esac
+    echo "  ${name} OK"
+  done
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${scratch}" <<'EOF'
+import json, pathlib, sys
+for p in pathlib.Path(sys.argv[1]).glob("*.json"):
+    json.load(p.open())
+print("  --json outputs parse")
+EOF
+  fi
+  rm -rf "${scratch}"
+  echo "== [bench] OK =="
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "${cfg}" in
     default) run_config default ;;
     asan) run_config asan -DWFQ_SANITIZE=address ;;
     tsan) run_config tsan -DWFQ_SANITIZE=thread ;;
+    bench) run_bench_smoke ;;
     *)
-      echo "unknown config '${cfg}' (want default|asan|tsan)" >&2
+      echo "unknown config '${cfg}' (want default|asan|tsan|bench)" >&2
       exit 2
       ;;
   esac

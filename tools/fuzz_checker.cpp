@@ -6,6 +6,7 @@
 // slice of this; the tool runs for as long as you give it.
 //
 //   $ ./fuzz_checker [seconds] [max_ops]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +33,11 @@ Op deq_empty(uint64_t t0, uint64_t t1) {
 
 /// Same generator as the ctest fuzz: distinct event timestamps (matching
 /// the recorder's guarantee), enqueue values distinct, dequeues drawn from
-/// the pool with occasional duplicates, some EMPTYs.
+/// the pool with occasional duplicates, some EMPTYs. About a third of the
+/// ops are emitted as *batches*: 2-3 same-kind ops whose intervals are
+/// back-to-back and strictly ordered (2b timestamps drawn, sorted, then
+/// paired in order) — the shape a bulk enqueue/dequeue produces, since a
+/// batch linearizes as consecutive per-item operations.
 std::vector<Op> random_history(Xorshift128Plus& rng, unsigned max_ops) {
   unsigned n_enq = 1 + unsigned(rng.next_below(max_ops / 2));
   unsigned n_deq = unsigned(rng.next_below(max_ops / 2 + 1));
@@ -48,21 +53,54 @@ std::vector<Op> random_history(Xorshift128Plus& rng, unsigned max_ops) {
     t1 = ts[next_ts++];
     if (t0 > t1) std::swap(t0, t1);
   };
+  // Draw 2b timestamps, sort, pair in order: b ordered, non-overlapping
+  // intervals for one batch.
+  auto batch_intervals = [&](unsigned b) {
+    std::vector<uint64_t> s(ts.begin() + next_ts, ts.begin() + next_ts + 2 * b);
+    next_ts += 2 * b;
+    std::sort(s.begin(), s.end());
+    return s;
+  };
   std::vector<Op> h;
   std::vector<uint64_t> values;
-  for (unsigned i = 0; i < n_enq; ++i) {
-    uint64_t t0, t1;
-    interval(t0, t1);
-    h.push_back(enq(i + 1, t0, t1));
-    values.push_back(i + 1);
-  }
-  for (unsigned i = 0; i < n_deq; ++i) {
-    uint64_t t0, t1;
-    interval(t0, t1);
-    if (rng.next_below(4) == 0) {
-      h.push_back(deq_empty(t0, t1));
+  for (unsigned i = 0; i < n_enq;) {
+    unsigned b = 1;
+    if (n_enq - i >= 2 && rng.next_below(3) == 0) {
+      b = 2 + unsigned(rng.next_below(std::min(2u, n_enq - i - 1)));
+    }
+    if (b == 1) {
+      uint64_t t0, t1;
+      interval(t0, t1);
+      h.push_back(enq(i + 1, t0, t1));
+      values.push_back(++i);
     } else {
-      h.push_back(deq(values[rng.next_below(values.size())], t0, t1));
+      auto s = batch_intervals(b);
+      for (unsigned j = 0; j < b; ++j) {
+        h.push_back(enq(i + 1, s[2 * j], s[2 * j + 1]));
+        values.push_back(++i);
+      }
+    }
+  }
+  for (unsigned i = 0; i < n_deq;) {
+    unsigned b = 1;
+    if (n_deq - i >= 2 && rng.next_below(3) == 0) {
+      b = 2 + unsigned(rng.next_below(std::min(2u, n_deq - i - 1)));
+    }
+    if (b == 1) {
+      uint64_t t0, t1;
+      interval(t0, t1);
+      if (rng.next_below(4) == 0) {
+        h.push_back(deq_empty(t0, t1));
+      } else {
+        h.push_back(deq(values[rng.next_below(values.size())], t0, t1));
+      }
+      ++i;
+    } else {
+      auto s = batch_intervals(b);
+      for (unsigned j = 0; j < b; ++j, ++i) {
+        h.push_back(
+            deq(values[rng.next_below(values.size())], s[2 * j], s[2 * j + 1]));
+      }
     }
   }
   return h;

@@ -2,7 +2,10 @@
 // checksummed mixed workload on the wait-free queue (and optionally any
 // baseline) for a wall-clock budget, with periodic invariant audits:
 // value conservation, per-producer FIFO spot checks, memory footprint,
-// slow-path/probe statistics.
+// slow-path/probe statistics. On queues that expose the bulk API
+// (enqueue_bulk / dequeue_bulk) a quarter of the operations are batches
+// of random size (2-16) interleaved with the singles, so the prepaid-
+// ticket paths soak alongside the ordinary ones.
 //
 //   $ ./soak [seconds] [threads] [queue]
 //     queue in {wf, wf0, msq, lcrq, ccq, mutex, kp, sim}; default wf
@@ -55,28 +58,58 @@ SoakResult soak(Queue& q, unsigned threads, double seconds) {
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       auto h = q.get_handle();
+      constexpr bool kHasBulk =
+          requires(Queue& qq, decltype(q.get_handle())& hh, uint64_t* p) {
+            qq.enqueue_bulk(hh, p, std::size_t{1});
+            qq.dequeue_bulk(hh, p, std::size_t{1});
+          };
+      constexpr std::size_t kMaxBatch = 16;
       wfq::Xorshift128Plus rng(t * 7919 + 13);
       // last sequence seen per producer, for the FIFO spot check.
       std::vector<uint64_t> last_seq(threads, 0);
+      std::vector<uint64_t> batch(kMaxBatch);
       uint64_t seq = 0;
+      auto record_out = [&](uint64_t v) {
+        sum_out[t] += v;
+        ++deq_count[t];
+        unsigned prod = unsigned(v >> 40);
+        uint64_t s = v & ((uint64_t{1} << 40) - 1);
+        if (prod < threads) {
+          if (s <= last_seq[prod]) ++fifo_bad[t];
+          last_seq[prod] = s;
+        }
+      };
       while (!stop.load(std::memory_order_relaxed)) {
+        const bool use_bulk = kHasBulk && rng.percent_chance(25);
         if (rng.percent_chance(50)) {
+          if constexpr (kHasBulk) {
+            if (use_bulk) {
+              std::size_t k = 2 + rng.next_below(kMaxBatch - 1);
+              for (std::size_t j = 0; j < k; ++j) {
+                uint64_t v = (uint64_t(t) << 40) | ++seq;
+                batch[j] = v;
+                sum_in[t] += v;
+              }
+              q.enqueue_bulk(h, batch.data(), k);
+              enq_count[t] += k;
+              continue;
+            }
+          }
           uint64_t v = (uint64_t(t) << 40) | ++seq;
           q.enqueue(h, v);
           sum_in[t] += v;
           ++enq_count[t];
         } else {
-          auto v = q.dequeue(h);
-          if (v.has_value()) {
-            sum_out[t] += *v;
-            ++deq_count[t];
-            unsigned prod = unsigned(*v >> 40);
-            uint64_t s = *v & ((uint64_t{1} << 40) - 1);
-            if (prod < threads) {
-              if (s <= last_seq[prod]) ++fifo_bad[t];
-              last_seq[prod] = s;
+          if constexpr (kHasBulk) {
+            if (use_bulk) {
+              std::size_t k = 2 + rng.next_below(kMaxBatch - 1);
+              std::size_t got = q.dequeue_bulk(h, batch.data(), k);
+              for (std::size_t j = 0; j < got; ++j) record_out(batch[j]);
+              continue;
             }
           }
+          auto v = q.dequeue(h);
+          if (v.has_value()) record_out(*v);
         }
       }
     });
