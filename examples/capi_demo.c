@@ -1,6 +1,11 @@
 /* Pure-C demonstration of the wait-free queue bindings: compiled as C
  * (this file is C, not C++), proving the extern "C" surface links.
  *
+ * Producers push tagged values; consumers block in wfq_dequeue_wait (no
+ * spinning) until main closes the queue, at which point every consumer
+ * drains its share and exits on the 0 ("closed and drained") return.
+ * Conservation is checked across the full close/drain lifecycle.
+ *
  *   $ ./capi_demo
  */
 #include <inttypes.h>
@@ -9,58 +14,73 @@
 
 #include "capi/wfq_c.h"
 
-#define N_THREADS 4
-#define OPS_PER_THREAD 20000
+#define N_PRODUCERS 3
+#define N_CONSUMERS 3
+#define OPS_PER_PRODUCER 20000
 
 static wfq_queue_t* queue;
-static uint64_t consumed_sum[N_THREADS];
-static uint64_t produced_sum[N_THREADS];
+static uint64_t produced_sum[N_PRODUCERS];
+static uint64_t consumed_sum[N_CONSUMERS];
 
-static void* worker(void* arg) {
+static void* producer(void* arg) {
   long tid = (long)arg;
   wfq_handle_t* h = wfq_handle_acquire(queue);
-  uint64_t out;
   int i;
-  for (i = 0; i < OPS_PER_THREAD; ++i) {
+  for (i = 0; i < OPS_PER_PRODUCER; ++i) {
     uint64_t v = ((uint64_t)tid << 32) | (uint64_t)(i + 1);
     if (wfq_enqueue(h, v) != 0) {
-      fprintf(stderr, "reserved value rejected unexpectedly\n");
+      fprintf(stderr, "enqueue rejected unexpectedly\n");
       break;
     }
     produced_sum[tid] += v;
-    if (wfq_dequeue(h, &out) == 1) {
-      consumed_sum[tid] += out;
-    }
+  }
+  wfq_handle_release(h);
+  return 0;
+}
+
+static void* consumer(void* arg) {
+  long tid = (long)arg;
+  wfq_handle_t* h = wfq_handle_acquire(queue);
+  uint64_t out;
+  /* Blocks while the queue is open and empty; returns 0 only once the
+   * queue is closed AND every residual item has been handed out. */
+  while (wfq_dequeue_wait(h, &out) == 1) {
+    consumed_sum[tid] += out;
   }
   wfq_handle_release(h);
   return 0;
 }
 
 int main(void) {
-  pthread_t threads[N_THREADS];
+  pthread_t producers[N_PRODUCERS];
+  pthread_t consumers[N_CONSUMERS];
   long t;
-  uint64_t produced = 0, consumed = 0, out;
-  wfq_handle_t* h;
+  uint64_t produced = 0, consumed = 0;
   wfq_stats_t stats;
 
   queue = wfq_create_default();
   if (!queue) return 1;
 
-  for (t = 0; t < N_THREADS; ++t) {
-    pthread_create(&threads[t], 0, worker, (void*)t);
+  for (t = 0; t < N_CONSUMERS; ++t) {
+    pthread_create(&consumers[t], 0, consumer, (void*)t);
   }
-  for (t = 0; t < N_THREADS; ++t) {
-    pthread_join(threads[t], 0);
+  for (t = 0; t < N_PRODUCERS; ++t) {
+    pthread_create(&producers[t], 0, producer, (void*)t);
+  }
+  for (t = 0; t < N_PRODUCERS; ++t) {
+    pthread_join(producers[t], 0);
   }
 
-  /* Drain the backlog and check conservation. */
-  h = wfq_handle_acquire(queue);
-  while (wfq_dequeue(h, &out) == 1) consumed += out;
-  wfq_handle_release(h);
-  for (t = 0; t < N_THREADS; ++t) {
-    produced += produced_sum[t];
-    consumed += consumed_sum[t];
+  /* All producers done: close. Consumers drain the backlog, then their
+   * wfq_dequeue_wait returns 0 and they exit — no sentinel values, no
+   * flags, no sleep-loops. */
+  wfq_close(queue);
+  for (t = 0; t < N_CONSUMERS; ++t) {
+    pthread_join(consumers[t], 0);
   }
+
+  for (t = 0; t < N_PRODUCERS; ++t) produced += produced_sum[t];
+  for (t = 0; t < N_CONSUMERS; ++t) consumed += consumed_sum[t];
 
   wfq_get_stats(queue, &stats);
   printf("C API: %" PRIu64 " enqueues, %" PRIu64 " dequeues, conservation %s\n",
@@ -70,6 +90,9 @@ int main(void) {
          ", segments freed %" PRIu64 "\n",
          stats.slow_enqueues, stats.slow_dequeues, stats.empty_dequeues,
          stats.segments_freed);
+  printf("       parks %" PRIu64 ", spurious wakeups %" PRIu64
+         ", notifies %" PRIu64 "\n",
+         stats.deq_parks, stats.deq_spurious_wakeups, stats.notify_calls);
 
   wfq_destroy(queue);
   return produced == consumed ? 0 : 1;

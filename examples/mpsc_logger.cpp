@@ -6,8 +6,11 @@
 //
 //   $ ./mpsc_logger [records] [producers]
 //
-// Demonstrates: boxed struct payloads, a clean shutdown protocol (sentinel
-// records), and enqueue-side latency accounting.
+// Demonstrates: boxed struct payloads, an idle writer that parks instead of
+// spin-polling (blocking layer, src/sync/), and shutdown via the queue's
+// own close()/drain protocol — the old per-producer shutdown-sentinel
+// records and the writer's live-producer count are gone; close() after the
+// producers join is the complete, linearizable end-of-stream signal.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -17,7 +20,7 @@
 #include <vector>
 
 #include "common/random.hpp"
-#include "core/wf_queue.hpp"
+#include "sync/blocking_queue.hpp"
 
 namespace {
 
@@ -31,35 +34,31 @@ struct LogRecord {
   uint64_t seq = 0;
   Clock::time_point emitted{};
   std::string message;
-  bool shutdown = false;  // sentinel: producer finished
 };
+
+using LogQueue = wfq::sync::BlockingWFQueue<LogRecord>;
 
 class Logger {
  public:
-  explicit Logger(unsigned producers)
-      : producers_(producers), writer_([this] { writer_loop(); }) {}
+  Logger() : writer_([this] { writer_loop(); }) {}
 
-  ~Logger() { wait(); }
+  ~Logger() { shutdown(); }
 
-  /// Blocks until the writer drained every producer's shutdown sentinel.
-  void wait() {
+  /// End of stream: fails further log() calls, wakes the (possibly parked)
+  /// writer, and joins it once every record in flight has been written.
+  void shutdown() {
+    queue_.close();
     if (writer_.joinable()) writer_.join();
   }
 
-  /// Wait-free from the caller's perspective (one boxed enqueue).
-  void log(wfq::WFQueue<LogRecord>::Handle& h, LogRecord rec) {
+  /// Wait-free from the caller's perspective (one boxed enqueue; no fence
+  /// and no syscall unless the writer is actually parked).
+  void log(LogQueue::Handle& h, LogRecord rec) {
     rec.emitted = Clock::now();
-    queue_.enqueue(h, std::move(rec));
+    queue_.push(h, std::move(rec));
   }
 
-  /// Each producer sends one shutdown sentinel when done.
-  void finish(wfq::WFQueue<LogRecord>::Handle& h) {
-    LogRecord rec;
-    rec.shutdown = true;
-    queue_.enqueue(h, std::move(rec));
-  }
-
-  wfq::WFQueue<LogRecord>& queue() { return queue_; }
+  LogQueue& queue() { return queue_; }
 
   uint64_t written() const { return written_.load(); }
   uint64_t dropped_debug() const { return dropped_debug_.load(); }
@@ -70,32 +69,27 @@ class Logger {
  private:
   void writer_loop() {
     auto h = queue_.get_handle();
-    unsigned live = producers_;
     uint64_t max_ns = 0;
-    while (live > 0) {
-      auto rec = queue_.dequeue(h);
-      if (!rec.has_value()) continue;  // empty: poll again
-      if (rec->shutdown) {
-        --live;
-        continue;
-      }
+    LogRecord rec;
+    // kOk until the queue is closed AND drained; the writer never misses
+    // a record and never busy-waits for one.
+    while (queue_.pop_wait(h, rec) == wfq::sync::PopStatus::kOk) {
       auto ns = uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             Clock::now() - rec->emitted)
+                             Clock::now() - rec.emitted)
                              .count());
       if (ns > max_ns) max_ns = ns;
-      if (rec->severity == Severity::kDebug) {
+      if (rec.severity == Severity::kDebug) {
         dropped_debug_.fetch_add(1);  // "sink" filters debug noise
       } else {
         written_.fetch_add(1);
         // A real sink would write to disk; this one just accounts bytes.
-        bytes_ += rec->message.size();
+        bytes_ += rec.message.size();
       }
     }
     max_delivery_ns_.store(max_ns);
   }
 
-  wfq::WFQueue<LogRecord> queue_;
-  const unsigned producers_;
+  LogQueue queue_;
   std::atomic<uint64_t> written_{0}, dropped_debug_{0};
   std::atomic<uint64_t> max_delivery_ns_{0};
   uint64_t bytes_ = 0;
@@ -111,7 +105,7 @@ int main(int argc, char** argv) {
       argc > 2 ? unsigned(std::strtoul(argv[2], nullptr, 10)) : 3;
 
   auto t0 = Clock::now();
-  Logger logger(producers);
+  Logger logger;
   std::vector<std::thread> ts;
   for (unsigned p = 0; p < producers; ++p) {
     ts.emplace_back([&, p] {
@@ -128,11 +122,10 @@ int main(int argc, char** argv) {
                       std::to_string(p);
         logger.log(h, std::move(rec));
       }
-      logger.finish(h);
     });
   }
   for (auto& t : ts) t.join();
-  logger.wait();  // writer drains every sentinel, then exits
+  logger.shutdown();  // close + drain: every emitted record reaches the sink
   uint64_t written = logger.written();
   uint64_t dropped = logger.dropped_debug();
   double max_ms = logger.max_delivery_ms();

@@ -7,8 +7,14 @@
 //
 //   $ ./pipeline [packets]
 //
-// The aggregate stage verifies conservation (every accepted packet's
-// payload is accounted for exactly once) and prints per-stage throughput.
+// Stage shutdown is the blocking layer's close()/drain protocol: when a
+// stage's producers finish, main close()s that stage's queue; the next
+// stage drains the residue and its pop_wait returns kClosed — replacing
+// the old done-flag handshake (which needed a carefully ordered
+// flag-before-dequeue read to dodge a TOCTOU; close() builds that ordering
+// in) and parking idle stages instead of spin-polling them. The aggregate
+// stage verifies conservation (every accepted packet's payload is
+// accounted for exactly once) and prints per-stage throughput.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -17,7 +23,7 @@
 #include <vector>
 
 #include "common/random.hpp"
-#include "core/wf_queue.hpp"
+#include "sync/blocking_queue.hpp"
 
 namespace {
 
@@ -28,9 +34,8 @@ struct Packet {
   uint64_t checksum;
 };
 
-using PacketQueue = wfq::WFQueue<Packet>;
-
-constexpr uint64_t kDoneId = ~uint64_t{0};  // end-of-stream marker
+using PacketQueue = wfq::sync::BlockingWFQueue<Packet>;
+using wfq::sync::PopStatus;
 
 }  // namespace
 
@@ -57,7 +62,7 @@ int main(int argc, char** argv) {
       for (uint64_t i = 0; i < mine; ++i) {
         Packet pkt{(uint64_t(p) << 48) | i, rng.next()};
         local_sum += pkt.checksum;
-        q1.enqueue(h, pkt);
+        q1.push(h, pkt);
       }
       checksum_in.fetch_add(local_sum);
       parsed.fetch_add(mine);
@@ -65,33 +70,23 @@ int main(int argc, char** argv) {
   }
 
   // Stage 2: filter — drop packets whose checksum is divisible by 4
-  // (a stand-in for classification work), forward the rest.
+  // (a stand-in for classification work), forward the rest. The loop has
+  // exactly one exit: kClosed, which q1's close() guarantees arrives only
+  // after every parsed packet has been handed to some filter.
   std::atomic<uint64_t> dropped_checksum{0};
   std::vector<std::thread> filters;
-  std::atomic<bool> parse_done{false};
   for (unsigned f = 0; f < kFilters; ++f) {
     filters.emplace_back([&] {
       auto in = q1.get_handle();
       auto out = q2.get_handle();
       uint64_t local_drop_sum = 0;
-      for (;;) {
-        // Shutdown protocol: read the flag BEFORE dequeuing. EMPTY is
-        // linearizable, so an EMPTY that started after parse_done was set
-        // (which in turn happens after every enqueue completed) proves the
-        // queue is drained. Checking the flag AFTER the dequeue is a
-        // classic TOCTOU: the EMPTY may have been observed before the last
-        // enqueues, with the flag flipping in between.
-        const bool was_done = parse_done.load(std::memory_order_acquire);
-        auto pkt = q1.dequeue(in);
-        if (!pkt.has_value()) {
-          if (was_done) break;
-          continue;
-        }
-        if (pkt->checksum % 4 == 0) {
-          local_drop_sum += pkt->checksum;
+      Packet pkt;
+      while (q1.pop_wait(in, pkt) == PopStatus::kOk) {
+        if (pkt.checksum % 4 == 0) {
+          local_drop_sum += pkt.checksum;
           dropped.fetch_add(1);
         } else {
-          q2.enqueue(out, *pkt);
+          q2.push(out, pkt);
           accepted.fetch_add(1);
         }
       }
@@ -101,26 +96,18 @@ int main(int argc, char** argv) {
 
   // Stage 3: aggregate — single consumer sums the surviving checksums.
   std::atomic<uint64_t> checksum_out{0};
-  std::atomic<bool> filter_done{false};
   std::thread aggregator([&] {
     auto h = q2.get_handle();
-    uint64_t sum = 0, n = 0;
-    for (;;) {
-      auto pkt = q2.dequeue(h);
-      if (pkt.has_value()) {
-        sum += pkt->checksum;
-        ++n;
-      } else if (filter_done.load() && n == accepted.load()) {
-        break;
-      }
-    }
+    uint64_t sum = 0;
+    Packet pkt;
+    while (q2.pop_wait(h, pkt) == PopStatus::kOk) sum += pkt.checksum;
     checksum_out.store(sum);
   });
 
   for (auto& t : parsers) t.join();
-  parse_done.store(true);
+  q1.close();  // parse stage done: filters drain q1, then see kClosed
   for (auto& t : filters) t.join();
-  filter_done.store(true);
+  q2.close();  // filter stage done: aggregator drains q2, then exits
   aggregator.join();
 
   auto t1 = std::chrono::steady_clock::now();

@@ -7,7 +7,11 @@
 //
 // Tasks are enqueued with a submission timestamp; workers execute them and
 // record queueing latency. Because the queue is wait-free, no submitter or
-// worker can be starved by a stalled peer.
+// worker can be starved by a stalled peer. Idle workers park on a futex
+// through the blocking layer (src/sync/) instead of burning cores, and
+// shutdown is the queue's own close()/drain protocol: close() after the
+// last submit guarantees every worker executes every task and then sees
+// kClosed — no stop flag, no executed==submitted polling.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -19,7 +23,7 @@
 #include <vector>
 
 #include "common/random.hpp"
-#include "core/wf_queue.hpp"
+#include "sync/blocking_queue.hpp"
 
 namespace {
 
@@ -30,6 +34,8 @@ struct Task {
   Clock::time_point submitted;
 };
 
+using TaskQueue = wfq::sync::BlockingWFQueue<Task>;
+
 class Scheduler {
  public:
   explicit Scheduler(unsigned workers) {
@@ -38,16 +44,24 @@ class Scheduler {
     }
   }
 
-  ~Scheduler() {
-    stop_.store(true, std::memory_order_release);
+  ~Scheduler() { shutdown(); }
+
+  /// Closes the queue and joins the pool. On return every submitted task
+  /// has executed (close() seals the task set; workers drain it fully
+  /// before observing kClosed).
+  void shutdown() {
+    queue_.close();
     for (auto& w : workers_) w.join();
+    workers_.clear();
   }
 
-  /// Submit from any thread; wait-free enqueue.
-  void submit(std::function<uint64_t()> fn) {
+  /// Submit from any thread; wait-free enqueue (and fence-free when no
+  /// worker is parked). Returns false after shutdown() began.
+  bool submit(std::function<uint64_t()> fn) {
     thread_local auto handle = queue_.get_handle();
-    queue_.enqueue(handle, Task{std::move(fn), Clock::now()});
+    if (!queue_.push(handle, Task{std::move(fn), Clock::now()})) return false;
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
 
   uint64_t executed() const {
@@ -60,6 +74,9 @@ class Scheduler {
     return result_sum_.load(std::memory_order_relaxed);
   }
 
+  /// Park/notify accounting from the blocking layer.
+  wfq::OpStats stats() const { return queue_.stats(); }
+
   /// Queueing-latency samples (ns), gathered by the workers.
   std::vector<uint64_t> latencies() {
     std::lock_guard<std::mutex> g(lat_mu_);
@@ -71,28 +88,24 @@ class Scheduler {
     auto handle = queue_.get_handle();
     std::vector<uint64_t> local_lat;
     local_lat.reserve(4096);
-    while (true) {
-      auto task = queue_.dequeue(handle);
-      if (task.has_value()) {
-        auto picked_up = Clock::now();
-        local_lat.push_back(uint64_t(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                picked_up - task->submitted)
-                .count()));
-        result_sum_.fetch_add(task->work(), std::memory_order_relaxed);
-        executed_.fetch_add(1, std::memory_order_relaxed);
-      } else if (stop_.load(std::memory_order_acquire) &&
-                 executed_.load() == submitted_.load()) {
-        break;
-      }
+    Task task;
+    // pop_wait parks when idle and returns kClosed exactly once the queue
+    // is closed AND drained — the loop needs no other exit condition.
+    while (queue_.pop_wait(handle, task) == wfq::sync::PopStatus::kOk) {
+      auto picked_up = Clock::now();
+      local_lat.push_back(uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              picked_up - task.submitted)
+              .count()));
+      result_sum_.fetch_add(task.work(), std::memory_order_relaxed);
+      executed_.fetch_add(1, std::memory_order_relaxed);
     }
     std::lock_guard<std::mutex> g(lat_mu_);
     latencies_.insert(latencies_.end(), local_lat.begin(), local_lat.end());
   }
 
-  wfq::WFQueue<Task> queue_;
+  TaskQueue queue_;
   std::vector<std::thread> workers_;
-  std::atomic<bool> stop_{false};
   std::atomic<uint64_t> submitted_{0}, executed_{0}, result_sum_{0};
   std::mutex lat_mu_;
   std::vector<uint64_t> latencies_;
@@ -113,49 +126,50 @@ int main(int argc, char** argv) {
   const unsigned workers =
       argc > 2 ? unsigned(std::strtoul(argv[2], nullptr, 10)) : 3;
 
-  uint64_t expected_sum = 0;
   auto t0 = Clock::now();
-  {
-    Scheduler sched(workers);
-    // Two submitter threads with mixed task sizes.
-    std::vector<std::thread> submitters;
-    std::atomic<uint64_t> expected{0};
-    for (unsigned s = 0; s < 2; ++s) {
-      submitters.emplace_back([&, s] {
-        wfq::Xorshift128Plus rng(s + 99);
-        uint64_t local = 0;
-        for (uint64_t i = 0; i < tasks / 2; ++i) {
-          uint64_t spin = rng.next_in(1, 64);  // heterogeneous task cost
-          local += spin;
-          sched.submit([spin] {
-            uint64_t x = spin;
-            for (uint64_t k = 0; k < spin; ++k) x ^= x << 7, x ^= x >> 9;
-            return spin;  // deterministic contribution
-          });
-        }
-        expected.fetch_add(local);
-      });
-    }
-    for (auto& s : submitters) s.join();
-    expected_sum = expected.load();
-    // Scheduler destructor drains remaining tasks and joins workers.
-    while (sched.executed() < sched.submitted()) {
-      std::this_thread::yield();
-    }
-    auto t1 = Clock::now();
-    double secs = std::chrono::duration<double>(t1 - t0).count();
-    auto lats = sched.latencies();
-    std::printf("scheduler: %llu tasks on %u workers in %.3fs (%.2f "
-                "Mtask/s)\n",
-                (unsigned long long)sched.executed(), workers, secs,
-                double(sched.executed()) / secs / 1e6);
-    std::printf("queueing latency: p50=%lluns p95=%lluns p99=%lluns\n",
-                (unsigned long long)percentile(lats, 0.50),
-                (unsigned long long)percentile(lats, 0.95),
-                (unsigned long long)percentile(lats, 0.99));
-    const bool ok = sched.result_sum() == expected_sum &&
-                    sched.executed() == tasks / 2 * 2;
-    std::printf("result check: %s\n", ok ? "OK" : "FAILED");
-    return ok ? 0 : 1;
+  Scheduler sched(workers);
+  // Two submitter threads with mixed task sizes.
+  std::vector<std::thread> submitters;
+  std::atomic<uint64_t> expected{0};
+  for (unsigned s = 0; s < 2; ++s) {
+    submitters.emplace_back([&, s] {
+      wfq::Xorshift128Plus rng(s + 99);
+      uint64_t local = 0;
+      for (uint64_t i = 0; i < tasks / 2; ++i) {
+        uint64_t spin = rng.next_in(1, 64);  // heterogeneous task cost
+        local += spin;
+        sched.submit([spin] {
+          uint64_t x = spin;
+          for (uint64_t k = 0; k < spin; ++k) x ^= x << 7, x ^= x >> 9;
+          return spin;  // deterministic contribution
+        });
+      }
+      expected.fetch_add(local);
+    });
   }
+  for (auto& s : submitters) s.join();
+  const uint64_t expected_sum = expected.load();
+  // close() + join: on return, every task has executed.
+  sched.shutdown();
+  auto t1 = Clock::now();
+  double secs = std::chrono::duration<double>(t1 - t0).count();
+  auto lats = sched.latencies();
+  auto st = sched.stats();
+  std::printf("scheduler: %llu tasks on %u workers in %.3fs (%.2f "
+              "Mtask/s)\n",
+              (unsigned long long)sched.executed(), workers, secs,
+              double(sched.executed()) / secs / 1e6);
+  std::printf("queueing latency: p50=%lluns p95=%lluns p99=%lluns\n",
+              (unsigned long long)percentile(lats, 0.50),
+              (unsigned long long)percentile(lats, 0.95),
+              (unsigned long long)percentile(lats, 0.99));
+  std::printf("blocking layer: %llu parks, %llu notifies, %llu spurious\n",
+              (unsigned long long)st.deq_parks.load(),
+              (unsigned long long)st.notify_calls.load(),
+              (unsigned long long)st.deq_spurious_wakeups.load());
+  const bool ok = sched.result_sum() == expected_sum &&
+                  sched.executed() == tasks / 2 * 2 &&
+                  sched.executed() == sched.submitted();
+  std::printf("result check: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
 }

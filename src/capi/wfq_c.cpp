@@ -1,23 +1,31 @@
 // Implementation of the C bindings (see wfq_c.h).
 #include "capi/wfq_c.h"
 
+#include <chrono>
 #include <new>
+#include <optional>
+#include <utility>
 
 #include "core/wf_queue_core.hpp"
+#include "sync/blocking_queue.hpp"
 
 namespace {
-using Core = wfq::WFQueueCore<wfq::DefaultWfTraits>;
+using Core = wfq::WFQueueCore<wfq::DefaultWfTraits>;  // reserved-value check
+using BQ = wfq::sync::BlockingWFQueue<uint64_t>;
+using wfq::sync::PopStatus;
 }  // namespace
 
 // The opaque C structs are the C++ objects themselves.
 struct wfq_queue {
-  Core core;
-  explicit wfq_queue(wfq::WfConfig cfg) : core(cfg) {}
+  BQ q;
+  explicit wfq_queue(wfq::WfConfig cfg) : q(cfg) {}
 };
 
 struct wfq_handle {
   wfq_queue* owner;
-  Core::Handle* h;
+  BQ::Handle h;
+  wfq_handle(wfq_queue* q, BQ::Handle handle)
+      : owner(q), h(std::move(handle)) {}
 };
 
 extern "C" {
@@ -38,56 +46,89 @@ void wfq_destroy(wfq_queue_t* q) {
 }
 
 wfq_handle_t* wfq_handle_acquire(wfq_queue_t* q) {
-  auto* h = new (std::nothrow) wfq_handle;
-  if (h == nullptr) return nullptr;
-  h->owner = q;
-  h->h = q->core.register_handle();
-  return h;
+  return new (std::nothrow) wfq_handle(q, q->q.get_handle());
 }
 
 void wfq_handle_release(wfq_handle_t* h) {
-  if (h == nullptr) return;
-  h->owner->core.release_handle(h->h);
-  delete h;
+  delete h;  // BQ::Handle's RAII returns both layers' records
 }
 
 int wfq_enqueue(wfq_handle_t* h, uint64_t value) {
   if (!Core::is_enqueueable(value)) return -1;
-  h->owner->core.enqueue(h->h, value);
-  return 0;
+  return h->owner->q.push(h->h, value) ? 0 : -2;
 }
 
 int wfq_dequeue(wfq_handle_t* h, uint64_t* out) {
-  uint64_t v = h->owner->core.dequeue(h->h);
-  if (v == Core::kEmpty) return 0;
+  std::optional<uint64_t> v = h->owner->q.try_pop(h->h);
+  if (!v) return 0;
+  *out = *v;
+  return 1;
+}
+
+int wfq_dequeue_wait(wfq_handle_t* h, uint64_t* out) {
+  uint64_t v = 0;
+  PopStatus st = h->owner->q.pop_wait(h->h, v);
+  if (st != PopStatus::kOk) return 0;  // kClosed (pop_wait never times out)
   *out = v;
   return 1;
+}
+
+int wfq_dequeue_timed(wfq_handle_t* h, uint64_t* out, uint64_t timeout_ns) {
+  uint64_t v = 0;
+  PopStatus st = h->owner->q.pop_wait_for(
+      h->h, v, std::chrono::nanoseconds(timeout_ns));
+  switch (st) {
+    case PopStatus::kOk:
+      *out = v;
+      return 1;
+    case PopStatus::kTimeout:
+      return 0;
+    case PopStatus::kClosed:
+      break;
+  }
+  return -1;
+}
+
+void wfq_close(wfq_queue_t* q) {
+  q->q.close();
+}
+
+int wfq_is_closed(const wfq_queue_t* q) {
+  return q->q.closed() ? 1 : 0;
 }
 
 int wfq_enqueue_bulk(wfq_handle_t* h, const uint64_t* values, size_t count) {
   for (size_t j = 0; j < count; ++j) {
     if (!Core::is_enqueueable(values[j])) return -1;
   }
-  h->owner->core.enqueue_bulk(h->h, values, count);
-  return 0;
+  if (count == 0) {
+    // Preserve the all-or-nothing contract's error reporting for the
+    // degenerate batch: closed beats "trivially succeeded".
+    return h->owner->q.closed() ? -2 : 0;
+  }
+  return h->owner->q.push_bulk(h->h, values, count) == count ? 0 : -2;
 }
 
 size_t wfq_dequeue_bulk(wfq_handle_t* h, uint64_t* out, size_t count) {
-  return h->owner->core.dequeue_bulk(h->h, out, count);
+  return h->owner->q.try_pop_bulk(h->h, out, count);
 }
 
 uint64_t wfq_approx_size(const wfq_queue_t* q) {
-  return q->core.approx_size();
+  return q->q.inner().approx_size();
 }
 
 void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out) {
-  wfq::OpStats s = q->core.collect_stats();
+  wfq::OpStats s = q->q.stats();
   out->enqueues = s.enqueues();
   out->dequeues = s.dequeues();
   out->slow_enqueues = s.enq_slow.load(std::memory_order_relaxed);
   out->slow_dequeues = s.deq_slow.load(std::memory_order_relaxed);
   out->empty_dequeues = s.deq_empty.load(std::memory_order_relaxed);
   out->segments_freed = s.segments_freed.load(std::memory_order_relaxed);
+  out->deq_parks = s.deq_parks.load(std::memory_order_relaxed);
+  out->deq_spurious_wakeups =
+      s.deq_spurious_wakeups.load(std::memory_order_relaxed);
+  out->notify_calls = s.notify_calls.load(std::memory_order_relaxed);
 }
 
 }  // extern "C"

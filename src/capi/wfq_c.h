@@ -1,13 +1,22 @@
 /* C89-compatible API for the wait-free queue.
  *
- * Thin bindings over wfq::WFQueue<uint64_t>: payloads are 64-bit values
- * (pointers cast to uintptr_t are the common case). Three values are
+ * Thin bindings over wfq::sync::BlockingWFQueue<uint64_t> — the wait-free
+ * queue wrapped in the blocking & lifecycle layer. Payloads are 64-bit
+ * values (pointers cast to uintptr_t are the common case). Three values are
  * reserved by the queue's cell encoding and rejected by wfq_enqueue:
  * 0, UINT64_MAX and UINT64_MAX-1.
  *
  * Threading contract: one wfq_handle_t per thread (acquire/release are
  * cheap and internally recycled). enqueue/dequeue through a handle are
- * wait-free. A handle must be released before its queue is destroyed.
+ * wait-free; the _wait/_timed dequeues may block (futex park) but never
+ * spin unboundedly. A handle must be released before its queue is
+ * destroyed.
+ *
+ * Lifecycle: wfq_close() makes further enqueues fail with -2; dequeues keep
+ * returning residual items until the queue is empty, after which
+ * wfq_dequeue_wait returns 0 (closed-and-drained — a linearizable
+ * termination signal, never returned while an item is still reachable).
+ * wfq_close is idempotent and callable from any thread, no handle needed.
  */
 #ifndef WFQ_C_H_
 #define WFQ_C_H_
@@ -38,30 +47,53 @@ wfq_handle_t* wfq_handle_acquire(wfq_queue_t* q);
 void wfq_handle_release(wfq_handle_t* h);
 
 /* Enqueue `value`. Returns 0 on success, -1 if `value` is one of the three
- * reserved payloads. Wait-free. */
+ * reserved payloads, -2 if the queue is closed (nothing enqueued).
+ * Wait-free; with no blocked consumer the closed-check and wakeup-check
+ * add no fence on x86. */
 int wfq_enqueue(wfq_handle_t* h, uint64_t value);
 
 /* Dequeue into *out. Returns 1 on success, 0 if the queue was observed
- * empty (linearizable EMPTY). Wait-free. */
+ * empty (linearizable EMPTY; says nothing about closure). Wait-free,
+ * never blocks. */
 int wfq_dequeue(wfq_handle_t* h, uint64_t* out);
+
+/* Blocking dequeue: spins briefly, then parks on a futex until a value
+ * arrives or the queue is closed AND drained. Returns 1 with *out set, or
+ * 0 when closed-and-drained (*out untouched) — after a 0, no later call
+ * can ever return a value. */
+int wfq_dequeue_wait(wfq_handle_t* h, uint64_t* out);
+
+/* Timed blocking dequeue. Returns 1 with *out set, 0 on timeout with the
+ * queue still open (a delivery racing the deadline wins: one final attempt
+ * runs after the clock expires), or -1 when closed-and-drained. */
+int wfq_dequeue_timed(wfq_handle_t* h, uint64_t* out, uint64_t timeout_ns);
+
+/* Close the queue (see file header). Blocks until every in-flight enqueue
+ * has completed, so on return the set of successful enqueues is frozen and
+ * all parked consumers have been woken. Idempotent. */
+void wfq_close(wfq_queue_t* q);
+
+/* 1 once wfq_close has been called (possibly still draining), else 0. */
+int wfq_is_closed(const wfq_queue_t* q);
 
 /* Batched enqueue: append values[0..count) in order, paying the contended
  * fetch-and-add once for the whole batch. Linearizes as `count` consecutive
- * enqueues. Returns 0 on success, -1 if ANY value is reserved (then nothing
- * was enqueued — values are validated up front). Each item is individually
- * wait-free. */
+ * enqueues. Returns 0 on success, -1 if ANY value is reserved, -2 if the
+ * queue is closed (in both failure cases nothing was enqueued). Each item
+ * is individually wait-free. */
 int wfq_enqueue_bulk(wfq_handle_t* h, const uint64_t* values, size_t count);
 
 /* Batched dequeue: remove up to `count` values into out[0..), FIFO order,
  * one fetch-and-add. Returns the number dequeued; fewer than `count` means
- * the queue was observed empty during the call. */
+ * the queue was observed empty during the call. Never blocks. */
 size_t wfq_dequeue_bulk(wfq_handle_t* h, uint64_t* out, size_t count);
 
 /* Heuristic occupancy (tail - head indices, clamped at 0); monitoring
  * only, not linearizable. */
 uint64_t wfq_approx_size(const wfq_queue_t* q);
 
-/* Operation-path statistics (the paper's Table 2 counters). */
+/* Operation-path statistics (the paper's Table 2 counters plus the
+ * blocking layer's park/notify accounting). */
 typedef struct wfq_stats {
   uint64_t enqueues;
   uint64_t dequeues;
@@ -69,6 +101,9 @@ typedef struct wfq_stats {
   uint64_t slow_dequeues;
   uint64_t empty_dequeues;
   uint64_t segments_freed;
+  uint64_t deq_parks;            /* consumer futex sleeps */
+  uint64_t deq_spurious_wakeups; /* wakes that found the queue still empty */
+  uint64_t notify_calls;         /* producer-side futex wakes issued */
 } wfq_stats_t;
 
 void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out);

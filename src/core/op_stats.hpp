@@ -34,6 +34,15 @@ struct OpStats {
   std::atomic<uint64_t> deq_bulk_batches{0};  ///< dequeue_bulk calls
   std::atomic<uint64_t> deq_bulk_fast{0};     ///< items claimed via tickets
 
+  // Blocking layer (src/sync/blocking_queue.hpp). `notify_calls` counts
+  // futex-wake notifications actually issued by producers — the zero-fence
+  // claim of ALGORITHM.md §10 is testable as "no-waiter workloads report
+  // notify_calls == 0". `deq_parks` counts futex sleeps; a wakeup that
+  // found the queue still empty (and not closed) is a spurious wakeup.
+  std::atomic<uint64_t> deq_parks{0};             ///< consumer futex sleeps
+  std::atomic<uint64_t> deq_spurious_wakeups{0};  ///< woke to still-empty
+  std::atomic<uint64_t> notify_calls{0};          ///< producer-side wakes
+
   // Empirical wait-freedom bound (§4): cells probed (find_cell calls) per
   // operation. Wait-freedom means max probes stays bounded by a function of
   // the thread count, never by the run length.
@@ -72,6 +81,9 @@ struct OpStats {
     bump(enq_bulk_fast, ld(o.enq_bulk_fast));
     bump(deq_bulk_batches, ld(o.deq_bulk_batches));
     bump(deq_bulk_fast, ld(o.deq_bulk_fast));
+    bump(deq_parks, ld(o.deq_parks));
+    bump(deq_spurious_wakeups, ld(o.deq_spurious_wakeups));
+    bump(notify_calls, ld(o.notify_calls));
     bump(enq_probes, ld(o.enq_probes));
     bump(deq_probes, ld(o.deq_probes));
     raise(max_enq_probes, ld(o.max_enq_probes));
@@ -82,6 +94,7 @@ struct OpStats {
     for (auto* c : {&enq_fast, &enq_slow, &deq_fast, &deq_slow, &deq_empty,
                     &cleanups, &segments_freed, &enq_bulk_batches,
                     &enq_bulk_fast, &deq_bulk_batches, &deq_bulk_fast,
+                    &deq_parks, &deq_spurious_wakeups, &notify_calls,
                     &enq_probes, &deq_probes, &max_enq_probes,
                     &max_deq_probes}) {
       c->store(0, std::memory_order_relaxed);

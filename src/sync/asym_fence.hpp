@@ -1,0 +1,82 @@
+// Asymmetric Dekker fence: a StoreLoad barrier whose cost is moved entirely
+// onto the rare side.
+//
+// The blocking layer's close() protocol needs a Dekker handshake with every
+// producer (producer: "publish in-flight flag, then read closed"; closer:
+// "publish closed, then read every in-flight flag"). A symmetric solution
+// puts a full fence on the producer's push fast path — exactly the cost the
+// paper's §3.6 reclamation scheme goes out of its way to avoid on the
+// enqueue path. The asymmetric solution mirrors that philosophy at the OS
+// level: the hot side (`light()`) compiles to a compiler-only barrier, and
+// the cold side (`heavy()`) runs `membarrier(2)`
+// MEMBARRIER_CMD_PRIVATE_EXPEDITED, which interrupts every peer CPU of the
+// process with a full memory barrier. The IPI lands at an instruction
+// boundary on each CPU: either before the hot side's load (which then
+// observes the cold side's prior store) or after its store retired (which
+// the barrier drains, so the cold side's subsequent load observes it) —
+// the two-sided guarantee a Dekker needs, with zero fast-path fences.
+//
+// When membarrier is unavailable (pre-4.14 kernel, non-Linux, seccomp),
+// both sides degrade to ordinary seq_cst thread fences — the classic
+// symmetric Dekker, slower but correct everywhere.
+#pragma once
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <linux/membarrier.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace wfq::sync {
+
+class AsymmetricFence {
+ public:
+  /// True when the hot side is compiler-only (membarrier registered).
+  static bool fast_path_is_fence_free() { return state().registered; }
+
+  /// Hot side: order a preceding store before a following load, for free
+  /// when paired with heavy(). Must be matched by heavy() on the cold side.
+  static void light() {
+    if (state().registered) {
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    } else {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+  }
+
+  /// Cold side: full barrier on every CPU running a thread of this process.
+  static void heavy() {
+#if defined(__linux__)
+    if (state().registered) {
+      (void)syscall(SYS_membarrier, MEMBARRIER_CMD_PRIVATE_EXPEDITED, 0, 0);
+      return;
+    }
+#endif
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct State {
+    bool registered = false;
+    State() {
+#if defined(__linux__)
+      // Expedited private membarrier needs a one-time registration.
+      long q = syscall(SYS_membarrier, MEMBARRIER_CMD_QUERY, 0, 0);
+      if (q > 0 && (q & MEMBARRIER_CMD_PRIVATE_EXPEDITED) != 0 &&
+          syscall(SYS_membarrier, MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED,
+                  0, 0) == 0) {
+        registered = true;
+      }
+#endif
+    }
+  };
+
+  static const State& state() {
+    static const State s;  // registration races are benign (idempotent)
+    return s;
+  }
+};
+
+}  // namespace wfq::sync

@@ -1,0 +1,452 @@
+// BlockingQueue<Q>: blocking pops and a close()/drain() lifecycle layered
+// over any queue in this repo, without fencing the underlying fast paths.
+//
+// The adapter owns a `Q` (WFQueue<T>, FAAQueue, ObstructionQueue — anything
+// with the Handle/enqueue/dequeue/bulk surface) and adds:
+//
+//   * pop_wait / pop_wait_for / pop_wait_bulk — consumers that sleep on
+//     empty via an EventCount (spin → yield → futex park escalation).
+//   * close() / drain() — a linearizable termination protocol: once closed,
+//     producers fail fast, consumers drain every residual item, and then —
+//     and only then — observe kClosed. No consumer stays parked.
+//
+// Fast-path cost accounting (the whole point of the design):
+//
+//   push, no waiter parked:  the inner enqueue + ONE predicted branch on a
+//     plain load of the waiter count (§ EventCount header / ALGORITHM.md
+//     §10) + one relaxed store/load pair on the handle's private in_push
+//     ticket (same cache line as the handle's other hot state, no fence on
+//     x86; on other ISAs AsymmetricFence::light() is compiler-only when
+//     membarrier is available).
+//   pop, queue non-empty:    exactly the inner dequeue + one acquire load
+//     of `sealed_` (a read-shared line; plain load on x86/ARM).
+//
+// Close protocol (the Dekker with producers, cold side):
+//
+//   producer push              close()
+//   ----------------------     -------------------------------------------
+//   in_push.store(1,rlx)       closed_.exchange(true, seq_cst)
+//   AsymFence::light()         AsymFence::heavy()            // membarrier
+//   if closed_.load(rlx):      for each handle: spin until in_push == 0
+//       in_push=0; fail        sealed_.store(true, release)
+//   q.enqueue(v)               ec.notify_all()
+//   in_push.store(0,rel)
+//
+// The heavy fence guarantees every producer is on one side or the other:
+// either its closed-load happens after the exchange (it fails fast, no
+// enqueue), or its in_push=1 store is visible to the closer's quiesce scan
+// (the closer waits for that push — including its enqueue — to finish).
+// Hence when `sealed_` is published, the set of successful pushes is
+// frozen: a consumer that (a) loads sealed_ == true and then (b) dequeues
+// EMPTY has witnessed the final, empty state of the queue — the bulk
+// emptiness witness (PR 2) makes (b) a real linearization point, so
+// "return kClosed" is a linearizable response, not a heuristic.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+#include "core/op_stats.hpp"
+#include "core/wf_queue.hpp"
+#include "sync/asym_fence.hpp"
+#include "sync/event_count.hpp"
+#include "sync/wait_strategy.hpp"
+
+namespace wfq::sync {
+
+/// Result of a (possibly timed) blocking pop.
+enum class PopStatus {
+  kOk,       ///< a value was delivered
+  kTimeout,  ///< deadline passed with the queue open and empty
+  kClosed,   ///< queue closed AND drained: no value will ever arrive
+};
+
+template <class Q>
+class BlockingQueue {
+ public:
+  using value_type = typename Q::value_type;
+  using InnerHandle = typename Q::Handle;
+
+ private:
+  using T = value_type;
+
+  /// Per-handle blocking-layer state. Lives next to (not inside) the inner
+  /// queue handle; one cache line so the in_push ticket never false-shares.
+  struct alignas(kCacheLineSize) BlockingRec {
+    /// Nonzero while the owning thread is between its closed-check and the
+    /// completion of an inner enqueue (the close() quiesce scan spins on
+    /// this). Only the owner writes it.
+    std::atomic<uint32_t> in_push{0};
+    std::atomic<uint32_t> active{1};  ///< 0 once returned to the freelist
+    OpStats stats;                    ///< parks / spurious wakeups / notifies
+    BlockingRec* next_free = nullptr;
+  };
+
+ public:
+  /// Per-thread access token: the inner queue handle plus the blocking
+  /// record. Move-only, RAII like the inner handle.
+  class Handle {
+   public:
+    Handle(Handle&& o) noexcept
+        : inner_(std::move(o.inner_)), owner_(o.owner_), rec_(o.rec_) {
+      o.owner_ = nullptr;
+      o.rec_ = nullptr;
+    }
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        release();
+        inner_ = std::move(o.inner_);
+        owner_ = o.owner_;
+        rec_ = o.rec_;
+        o.owner_ = nullptr;
+        o.rec_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+   private:
+    friend class BlockingQueue;
+    Handle(InnerHandle inner, BlockingQueue* owner, BlockingRec* rec)
+        : inner_(std::move(inner)), owner_(owner), rec_(rec) {}
+
+    void release() {
+      if (owner_ != nullptr) {
+        owner_->release_rec(rec_);
+        owner_ = nullptr;
+        rec_ = nullptr;
+      }
+    }
+
+    InnerHandle inner_;
+    BlockingQueue* owner_;
+    BlockingRec* rec_;
+  };
+
+  template <class... Args>
+  explicit BlockingQueue(Args&&... args) : q_(std::forward<Args>(args)...) {}
+
+  ~BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  Handle get_handle() { return Handle(q_.get_handle(), this, acquire_rec()); }
+
+  // ---- Producer side -----------------------------------------------------
+
+  /// Appends `v`. Returns false iff the queue is closed (v is not consumed
+  /// in that case — the caller keeps ownership and can re-route it).
+  bool push(Handle& h, T v) {
+    BlockingRec* rec = h.rec_;
+    rec->in_push.store(1, std::memory_order_relaxed);
+    AsymmetricFence::light();  // order ticket-store before closed-load
+    if (closed_.load(std::memory_order_relaxed)) {
+      rec->in_push.store(0, std::memory_order_relaxed);
+      return false;
+    }
+    q_.enqueue(h.inner_, std::move(v));
+    // Release: the quiesce scan's acquire load of in_push==0 must observe
+    // the enqueue as complete.
+    rec->in_push.store(0, std::memory_order_release);
+    maybe_notify(rec, /*n=*/1);
+    return true;
+  }
+
+  /// Bulk append: all `count` items or none (closed). Returns count or 0.
+  std::size_t push_bulk(Handle& h, const T* vals, std::size_t count) {
+    if (count == 0) return 0;
+    BlockingRec* rec = h.rec_;
+    rec->in_push.store(1, std::memory_order_relaxed);
+    AsymmetricFence::light();
+    if (closed_.load(std::memory_order_relaxed)) {
+      rec->in_push.store(0, std::memory_order_relaxed);
+      return 0;
+    }
+    q_.enqueue_bulk(h.inner_, vals, count);
+    rec->in_push.store(0, std::memory_order_release);
+    maybe_notify(rec, static_cast<uint32_t>(count));
+    return count;
+  }
+
+  // ---- Consumer side -----------------------------------------------------
+
+  /// Non-blocking pop; nullopt means "observed empty" (closed or not —
+  /// callers that need the distinction use pop_wait or closed()).
+  std::optional<T> try_pop(Handle& h) { return q_.dequeue(h.inner_); }
+
+  std::size_t try_pop_bulk(Handle& h, T* out, std::size_t count) {
+    return q_.dequeue_bulk(h.inner_, out, count);
+  }
+
+  /// Blocks until a value arrives (kOk) or the queue is closed and fully
+  /// drained (kClosed — `out` untouched).
+  PopStatus pop_wait(Handle& h, T& out,
+                     WaitPolicy policy = {}) {
+    return pop_impl(h, &out, nullptr, policy, /*has_deadline=*/false, {});
+  }
+
+  /// Timed variant; kTimeout after `timeout` with the queue open and empty.
+  /// A delivery racing the deadline wins: one final dequeue attempt runs
+  /// after the clock expires, so a value that was already in the queue at
+  /// timeout-processing time is returned, not abandoned.
+  template <class Rep, class Period>
+  PopStatus pop_wait_for(Handle& h, T& out,
+                         std::chrono::duration<Rep, Period> timeout,
+                         WaitPolicy policy = {}) {
+    return pop_impl(h, &out, nullptr, policy, /*has_deadline=*/true,
+                    WaitClock::now() +
+                        std::chrono::duration_cast<WaitClock::duration>(
+                            timeout));
+  }
+
+  /// Blocking bulk pop: waits for at least one value, then takes up to
+  /// `max` without further waiting. Returns 0 iff closed and drained.
+  std::size_t pop_wait_bulk(Handle& h, T* out, std::size_t max,
+                            WaitPolicy policy = {}) {
+    if (max == 0) return 0;
+    BulkOut b{out, max, 0};
+    PopStatus st = pop_impl(h, nullptr, &b, policy, /*has_deadline=*/false, {});
+    return st == PopStatus::kOk ? b.got : 0;
+  }
+
+  // ---- Lifecycle ---------------------------------------------------------
+
+  /// Closes the queue: subsequent pushes fail fast; parked consumers are
+  /// woken; consumers drain the residue and then observe kClosed. Safe to
+  /// call from any thread, any number of times; returns once the close is
+  /// sealed (every in-flight push quiesced), so "close(); join consumers"
+  /// is a complete shutdown. Callable without a Handle (e.g. a signal
+  /// handler thread or the C API's wfq_close).
+  void close() {
+    if (closed_.exchange(true, std::memory_order_seq_cst)) {
+      // Someone else is closing/closed; wait for their seal so our caller
+      // also gets the "returns ⇒ sealed" guarantee.
+      while (!sealed_.load(std::memory_order_acquire)) cpu_pause();
+      return;
+    }
+    // Dekker cold side: after this barrier, every producer has either seen
+    // closed_ == true (fails fast) or published in_push == 1 beforehand.
+    AsymmetricFence::heavy();
+    quiesce_producers();
+    sealed_.store(true, std::memory_order_release);
+    ec_.notify_all();  // close-wakes are unconditional, not counted as
+                       // producer notifies (they are not value deliveries)
+  }
+
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// True once close() has sealed (no in-flight push remains).
+  bool sealed() const noexcept {
+    return sealed_.load(std::memory_order_acquire);
+  }
+
+  /// Convenience: pop everything currently reachable into `out` until the
+  /// queue reports empty. After close(), one drain() call per consumer plus
+  /// the kClosed protocol accounts for every item ever pushed. Returns the
+  /// number of items appended.
+  std::size_t drain(Handle& h, std::vector<T>& out) {
+    std::size_t n = 0;
+    T buf[kDrainChunk];
+    for (;;) {
+      std::size_t got = q_.dequeue_bulk(h.inner_, buf, kDrainChunk);
+      for (std::size_t i = 0; i < got; ++i) out.push_back(std::move(buf[i]));
+      n += got;
+      if (got < kDrainChunk) return n;  // bulk emptiness witness
+    }
+  }
+
+  // ---- Introspection -----------------------------------------------------
+
+  /// Inner-queue stats merged with every blocking record's park/notify
+  /// counters (live and freed handles alike).
+  OpStats stats() const {
+    OpStats s = q_.stats();
+    std::lock_guard<std::mutex> g(reg_mu_);
+    for (const auto& rec : recs_) s.add(rec->stats);
+    return s;
+  }
+
+  Q& inner() noexcept { return q_; }
+  const Q& inner() const noexcept { return q_; }
+
+  /// Registered-waiter count right now (tests).
+  uint32_t waiters() const noexcept { return ec_.waiters(); }
+
+ private:
+  struct BulkOut {
+    T* out;
+    std::size_t max;
+    std::size_t got;
+  };
+
+  /// Shared wait loop behind pop_wait / pop_wait_for / pop_wait_bulk.
+  /// Exactly one of (single, bulk) is non-null.
+  PopStatus pop_impl(Handle& h, T* single, BulkOut* bulk, WaitPolicy policy,
+                     bool has_deadline, WaitClock::time_point deadline) {
+    BlockingRec* rec = h.rec_;
+    WaitStrategy strategy(policy);
+    bool just_woke = false;
+    // Read sealed_ BEFORE attempting the dequeue: if the dequeue then
+    // returns EMPTY, emptiness was observed at a point where the push set
+    // was already frozen, so EMPTY is final — kClosed is linearizable.
+    // (The other order would race: seal could land between a failed
+    // dequeue and the closed-check, wrongly reporting kClosed for a queue
+    // that was merely momentarily empty while still open.)
+    for (;;) {
+      bool was_sealed = sealed_.load(std::memory_order_acquire);
+      if (attempt(h, single, bulk)) return PopStatus::kOk;
+      if (was_sealed) return PopStatus::kClosed;
+      if (just_woke) {
+        // Parked, woken, and the re-check still found an open empty queue:
+        // that wake delivered nothing — spurious by definition. Only the
+        // failed re-check can make this call, so it is made here.
+        rec->stats.deq_spurious_wakeups.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        just_woke = false;
+      }
+
+      switch (strategy.step()) {
+        case WaitStrategy::Step::kSpun:
+        case WaitStrategy::Step::kYielded:
+          continue;  // cheap retries before touching the EventCount
+        case WaitStrategy::Step::kPark:
+          break;
+      }
+      if (has_deadline && WaitClock::now() >= deadline) {
+        // Deadline processing: one FINAL attempt so a delivery that raced
+        // the timeout is returned rather than stranded (tested by the
+        // timed-pop race test).
+        if (attempt(h, single, bulk)) return PopStatus::kOk;
+        return sealed_.load(std::memory_order_acquire) ? PopStatus::kClosed
+                                                       : PopStatus::kTimeout;
+      }
+
+      EventCount::Key key = ec_.prepare_wait();
+      // Registered as a waiter — now re-run the full predicate. A producer
+      // that deposited before our registration was visible cannot have
+      // seen has_waiters(); the seq_cst Dekker (EventCount header)
+      // guarantees this re-check finds its item.
+      bool sealed_now = sealed_.load(std::memory_order_acquire);
+      if (attempt(h, single, bulk)) {
+        ec_.cancel_wait();
+        return PopStatus::kOk;
+      }
+      if (sealed_now) {
+        ec_.cancel_wait();
+        return PopStatus::kClosed;
+      }
+      rec->stats.deq_parks.fetch_add(1, std::memory_order_relaxed);
+      if (has_deadline) {
+        if (!ec_.wait_until(key, deadline)) {
+          if (attempt(h, single, bulk)) return PopStatus::kOk;
+          return sealed_.load(std::memory_order_acquire)
+                     ? PopStatus::kClosed
+                     : PopStatus::kTimeout;
+        }
+      } else {
+        ec_.wait(key);
+      }
+      // Woken (or the epoch moved under us). The loop re-runs the full
+      // predicate; `just_woke` lets the re-check classify the wake.
+      // `strategy` stays escalated on purpose: after one park, re-park
+      // without repeating the whole spin ladder.
+      just_woke = true;
+    }
+  }
+
+  /// One dequeue attempt for whichever mode pop_impl runs in.
+  bool attempt(Handle& h, T* single, BulkOut* bulk) {
+    if (single != nullptr) {
+      std::optional<T> v = q_.dequeue(h.inner_);
+      if (!v) return false;
+      *single = std::move(*v);
+      return true;
+    }
+    bulk->got = q_.dequeue_bulk(h.inner_, bulk->out, bulk->max);
+    return bulk->got != 0;
+  }
+
+  /// Producer-side notify: the plain-load waiter check IS the fast path —
+  /// see EventCount's header for why no fence precedes it on x86.
+  void maybe_notify(BlockingRec* rec, uint32_t n) {
+#if !(defined(__x86_64__) || defined(__i386__))
+    // Non-TSO: the inner enqueue's trailing seq_cst RMW need not behave as
+    // a full fence portably, and slow-path commits end in a release store;
+    // make the deposit→waiter-load ordering explicit. Compiled out on x86.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+    if (!ec_.has_waiters()) return;  // common case: one predicted branch
+    rec->stats.notify_calls.fetch_add(1, std::memory_order_relaxed);
+    ec_.notify(n);
+  }
+
+  /// Spin until every handle's in-flight push (ticket taken before the
+  /// heavy fence) has completed. New handles created after closed_ was
+  /// published can only fail fast, so scanning a snapshot is sufficient —
+  /// but we re-lock and re-scan in case a handle was mid-registration.
+  void quiesce_producers() {
+    for (;;) {
+      bool clean = true;
+      {
+        std::lock_guard<std::mutex> g(reg_mu_);
+        for (const auto& rec : recs_) {
+          if (rec->in_push.load(std::memory_order_acquire) != 0) {
+            clean = false;
+            break;
+          }
+        }
+      }
+      if (clean) return;
+      cpu_pause();
+    }
+  }
+
+  BlockingRec* acquire_rec() {
+    std::lock_guard<std::mutex> g(reg_mu_);
+    if (free_recs_ != nullptr) {
+      BlockingRec* r = free_recs_;
+      free_recs_ = r->next_free;
+      r->next_free = nullptr;
+      r->active.store(1, std::memory_order_relaxed);
+      return r;
+    }
+    recs_.push_back(std::make_unique<BlockingRec>());
+    return recs_.back().get();
+  }
+
+  void release_rec(BlockingRec* rec) {
+    std::lock_guard<std::mutex> g(reg_mu_);
+    rec->active.store(0, std::memory_order_relaxed);
+    rec->next_free = free_recs_;
+    free_recs_ = rec;  // stats intentionally survive for stats() merging
+  }
+
+  static constexpr std::size_t kDrainChunk = 64;
+
+  Q q_;
+  EventCount ec_;
+  alignas(kCacheLineSize) std::atomic<bool> closed_{false};
+  std::atomic<bool> sealed_{false};
+
+  mutable std::mutex reg_mu_;
+  std::vector<std::unique_ptr<BlockingRec>> recs_;
+  BlockingRec* free_recs_ = nullptr;
+};
+
+/// The headline configuration: blocking wait-free MPMC queue of T.
+template <class T, class Traits = DefaultWfTraits>
+using BlockingWFQueue = BlockingQueue<WFQueue<T, Traits>>;
+
+}  // namespace wfq::sync

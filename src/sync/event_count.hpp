@@ -1,0 +1,125 @@
+// EventCount: Dekker-style waiter registration that lets producers skip the
+// notify path entirely — with zero additional fences on x86 — whenever no
+// consumer is parked.
+//
+// The problem it solves is the standard one for any blocking layer over a
+// non-blocking queue: a consumer that observes EMPTY and goes to sleep must
+// not miss a value enqueued concurrently. The classic solution (condition
+// variable) taxes *every* enqueue with a lock or at least a fence. The
+// EventCount splits the handshake:
+//
+//   consumer (rare, about to park)         producer (hot path)
+//   --------------------------------       ------------------------------
+//   waiters.fetch_add(1, seq_cst)  (W)     enqueue(v)              (E)
+//   key = epoch.load(seq_cst)              if (waiters.load(seq_cst) == 0)
+//   re-check queue: dequeue()      (D)         return;          // fast path
+//   if EMPTY: futex_wait(epoch, key)       epoch.fetch_add(1); futex_wake()
+//
+// Why the producer's check is free on x86: a seq_cst *load* compiles to a
+// plain MOV — the expensive half of seq_cst lands on stores and RMWs. The
+// ordering the Dekker needs (E's deposit visible before the waiters load)
+// is provided by the seq_cst FAA/CAS the wait-free enqueue already executes
+// at its linearization point, exactly the way Listing 5's hazard-pointer
+// publication is ordered by the fast path's FAA instead of an explicit
+// MFENCE (§3.6; docs/ALGORITHM.md §10 gives the full proof sketch). So an
+// enqueue with no waiters registered executes ZERO instructions it would
+// not execute unwrapped — no fence, no RMW, one predictable-taken branch.
+//
+// Lost-wakeup argument (all four ops seq_cst, so they embed in the single
+// total order S): if the producer's load misses the consumer's increment,
+// then load <S W <S D, and the load follows E in program order, so
+// E <S D — the consumer's re-check dequeue linearizes after the enqueue
+// and cannot return EMPTY while the value is still in the queue. Either
+// the re-check finds a value (no park) or some other consumer already took
+// it (no wakeup owed). The epoch word closes the remaining window between
+// the re-check and the futex syscall: notify bumps it, and the kernel
+// (or parking lot) re-checks it atomically against the waiter's key.
+//
+// On non-TSO ISAs the producer-side argument additionally needs the
+// enqueue's trailing RMW to be a *fence*, which seq_cst RMWs are not
+// obliged to be portably; BlockingQueue inserts one explicit
+// thread_fence(seq_cst) before the check on those targets (never on x86).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "sync/futex.hpp"
+
+namespace wfq::sync {
+
+/// `FutexT` is LinuxFutex or PortableFutex (see futex.hpp); the default is
+/// the platform's best. Waiters and notifiers must agree on the instance.
+template <class FutexT = Futex>
+class BasicEventCount {
+ public:
+  /// Epoch snapshot handed from prepare_wait() to wait().
+  using Key = uint32_t;
+
+  /// The producer-side check. Seq_cst load = plain MOV on x86 (see file
+  /// header for why that suffices); call it after the publishing operation
+  /// (the enqueue), never before.
+  bool has_waiters() const noexcept {
+    return waiters_.load(std::memory_order_seq_cst) != 0;
+  }
+
+  /// Registers the caller as a waiter and snapshots the epoch. After this
+  /// the caller MUST re-check its predicate and then call exactly one of
+  /// cancel_wait() / wait() / wait_until().
+  Key prepare_wait() noexcept {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);  // full fence on x86
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Deregisters without sleeping (the re-check found the predicate true).
+  void cancel_wait() noexcept {
+    waiters_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Sleeps until an epoch bump (or spuriously); deregisters on return.
+  /// The caller re-checks its predicate in a loop.
+  void wait(Key key) noexcept {
+    FutexT::wait(epoch_, key);
+    waiters_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Timed wait; returns false iff the deadline passed without a wake.
+  /// Deregisters on return either way.
+  bool wait_until(Key key, WaitClock::time_point deadline) noexcept {
+    bool woken = FutexT::wait_until(epoch_, key, deadline);
+    waiters_.fetch_sub(1, std::memory_order_release);
+    return woken;
+  }
+
+  /// Wakes up to `n` registered waiters. Callers normally guard with
+  /// has_waiters(); notify itself is unconditional (close() wants that).
+  void notify(uint32_t n) noexcept {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    FutexT::wake(epoch_, n);
+  }
+
+  void notify_all() noexcept {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    FutexT::wake_all(epoch_);
+  }
+
+  /// Approximate registered-waiter count (tests/monitoring).
+  uint32_t waiters() const noexcept {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One line for both words: only parking/waking traffic touches them, and
+  // a producer's read of waiters_ would drag epoch_'s line along anyway.
+  // The alignas keeps unrelated neighbours (e.g. the queue's indices) off.
+  alignas(kCacheLineSize) std::atomic<uint32_t> epoch_{0};  ///< futex word
+  std::atomic<uint32_t> waiters_{0};
+  // Epoch wrap (2^32 notifies between a snapshot and its wait) is ignored,
+  // as in every futex-based event count: the window is a handful of
+  // instructions and a wrap merely costs one spurious sleep-and-recheck.
+};
+
+using EventCount = BasicEventCount<>;
+
+}  // namespace wfq::sync

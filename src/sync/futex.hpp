@@ -1,0 +1,162 @@
+// Portable futex: block a thread on a 32-bit word until another thread
+// changes it and issues a wake.
+//
+// Two interchangeable implementations behind one static interface:
+//
+//  * `LinuxFutex` — the real `futex(2)` syscall (FUTEX_WAIT_PRIVATE /
+//    FUTEX_WAKE_PRIVATE). Zero userspace state; the kernel re-checks the
+//    word under its own lock, so the classic "value changed between my
+//    check and my sleep" race cannot lose a wakeup.
+//  * `PortableFutex` — a bucketed parking lot (hashed mutex + condvar
+//    pairs). The waiter re-checks the word *under the bucket mutex* and a
+//    waker locks the bucket before notifying, which closes the same race
+//    by mutual exclusion. Used on non-Linux hosts; always compiled (and
+//    tested) so it cannot bitrot. (`std::atomic::wait` is not usable here:
+//    it has no timed variant, which `pop_wait_for` needs.)
+//
+// Both may return spuriously; callers must re-check their predicate in a
+// loop (EventCount does).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#endif
+
+namespace wfq::sync {
+
+using WaitClock = std::chrono::steady_clock;
+
+#if defined(__linux__)
+
+/// futex(2)-backed implementation. `word` must be a naturally aligned
+/// lock-free 32-bit atomic (guaranteed for std::atomic<uint32_t> on every
+/// platform this repo targets; asserted below).
+struct LinuxFutex {
+  static constexpr const char* kName = "linux-futex";
+
+  /// Sleep while `*word == expected`. Returns on wake, on value mismatch,
+  /// or spuriously (EINTR); never consumes a wake it did not receive.
+  static void wait(const std::atomic<uint32_t>& word, uint32_t expected) {
+    (void)syscall(SYS_futex, address_of(word), FUTEX_WAIT_PRIVATE, expected,
+                  nullptr, nullptr, 0);
+  }
+
+  /// Timed variant. Returns false iff the deadline passed without a wake
+  /// (the caller still re-checks its predicate: a wake and a timeout can
+  /// race, and the kernel reports whichever it committed first).
+  static bool wait_until(const std::atomic<uint32_t>& word, uint32_t expected,
+                         WaitClock::time_point deadline) {
+    auto now = WaitClock::now();
+    if (now >= deadline) return false;
+    auto rel = deadline - now;
+    struct timespec ts;
+    auto secs = std::chrono::duration_cast<std::chrono::seconds>(rel);
+    ts.tv_sec = static_cast<time_t>(secs.count());
+    ts.tv_nsec = static_cast<long>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(rel - secs)
+            .count());
+    long rc = syscall(SYS_futex, address_of(word), FUTEX_WAIT_PRIVATE,
+                      expected, &ts, nullptr, 0);
+    if (rc == -1 && errno == ETIMEDOUT) return false;
+    return true;  // woken, value mismatch (EAGAIN), or EINTR: all "re-check"
+  }
+
+  /// Wake up to `n` waiters blocked on `word`.
+  static void wake(const std::atomic<uint32_t>& word, uint32_t n) {
+    (void)syscall(SYS_futex, address_of(word), FUTEX_WAKE_PRIVATE, n, nullptr,
+                  nullptr, 0);
+  }
+
+  static void wake_all(const std::atomic<uint32_t>& word) {
+    wake(word, ~uint32_t{0} >> 1);  // INT_MAX: kernel caps the count anyway
+  }
+
+ private:
+  static uint32_t* address_of(const std::atomic<uint32_t>& word) {
+    static_assert(sizeof(std::atomic<uint32_t>) == sizeof(uint32_t),
+                  "futex word must be exactly the atomic's storage");
+    // The kernel reads the word with its own atomics; casting away the
+    // C++ atomic wrapper is the established idiom (same layout).
+    return reinterpret_cast<uint32_t*>(
+        const_cast<std::atomic<uint32_t>*>(&word));
+  }
+};
+
+#endif  // __linux__
+
+/// Parking-lot fallback: waiters hash their word's address into a small
+/// table of (mutex, condvar) buckets. Collisions only cause extra spurious
+/// wakeups (notify_all per bucket), never lost ones.
+struct PortableFutex {
+  static constexpr const char* kName = "portable-parking-lot";
+
+  static void wait(const std::atomic<uint32_t>& word, uint32_t expected) {
+    Bucket& b = bucket(&word);
+    std::unique_lock<std::mutex> lk(b.m);
+    // Re-check under the bucket lock: a waker that changed the word must
+    // take this lock before notifying, so either we see the new value here
+    // or its notify happens after we are inside cv.wait.
+    if (word.load(std::memory_order_seq_cst) != expected) return;
+    b.cv.wait(lk);
+  }
+
+  static bool wait_until(const std::atomic<uint32_t>& word, uint32_t expected,
+                         WaitClock::time_point deadline) {
+    Bucket& b = bucket(&word);
+    std::unique_lock<std::mutex> lk(b.m);
+    if (word.load(std::memory_order_seq_cst) != expected) return true;
+    return b.cv.wait_until(lk, deadline) == std::cv_status::no_timeout;
+  }
+
+  static void wake(const std::atomic<uint32_t>& word, uint32_t /*n*/) {
+    // Buckets are shared between addresses, so a targeted wake_one could
+    // deliver its one notify to a waiter parked on a *different* word and
+    // strand ours: always notify the whole bucket (over-waking is merely a
+    // spurious wakeup for the others).
+    wake_all(word);
+  }
+
+  static void wake_all(const std::atomic<uint32_t>& word) {
+    Bucket& b = bucket(&word);
+    {
+      // Lock-unlock handshake: a waiter between its word re-check and
+      // cv.wait holds the mutex, so our notify cannot slip into that gap.
+      std::lock_guard<std::mutex> g(b.m);
+    }
+    b.cv.notify_all();
+  }
+
+ private:
+  struct Bucket {
+    std::mutex m;
+    std::condition_variable cv;
+  };
+
+  static Bucket& bucket(const void* addr) {
+    static Bucket table[kBuckets];
+    auto h = reinterpret_cast<uintptr_t>(addr);
+    h ^= h >> 7;  // words are >= 4-byte aligned; mix the useful bits down
+    return table[(h >> 2) & (kBuckets - 1)];
+  }
+
+  static constexpr std::size_t kBuckets = 64;  // power of two
+};
+
+#if defined(__linux__)
+using Futex = LinuxFutex;
+#else
+using Futex = PortableFutex;
+#endif
+
+}  // namespace wfq::sync

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -107,6 +108,82 @@ TEST(CApi, BulkRejectsReservedValuesAtomically) {
   EXPECT_EQ(wfq_enqueue_bulk(h, good, 3), 0);
   EXPECT_EQ(wfq_dequeue_bulk(h, &out, 1), 1u);
   EXPECT_EQ(out, 1u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApi, CloseFailsProducersAndDrainsConsumers) {
+  wfq_queue_t* q = wfq_create_default();
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  EXPECT_EQ(wfq_is_closed(q), 0);
+  EXPECT_EQ(wfq_enqueue(h, 1), 0);
+  EXPECT_EQ(wfq_enqueue(h, 2), 0);
+  wfq_close(q);
+  EXPECT_EQ(wfq_is_closed(q), 1);
+  EXPECT_EQ(wfq_enqueue(h, 3), -2);       // closed beats reserved-OK values
+  uint64_t vals[2] = {4, 5};
+  EXPECT_EQ(wfq_enqueue_bulk(h, vals, 2), -2);
+  EXPECT_EQ(wfq_enqueue_bulk(h, vals, 0), -2);  // degenerate batch, closed
+  uint64_t out = 0;
+  EXPECT_EQ(wfq_dequeue_wait(h, &out), 1);  // residue drains first
+  EXPECT_EQ(out, 1u);
+  EXPECT_EQ(wfq_dequeue_wait(h, &out), 1);
+  EXPECT_EQ(out, 2u);
+  EXPECT_EQ(wfq_dequeue_wait(h, &out), 0);  // closed-and-drained
+  EXPECT_EQ(wfq_dequeue_timed(h, &out, 1000000), -1);
+  wfq_close(q);  // idempotent
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApi, TimedDequeueTimesOutOnOpenEmptyQueue) {
+  wfq_queue_t* q = wfq_create_default();
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  uint64_t out = 0;
+  EXPECT_EQ(wfq_dequeue_timed(h, &out, 2000000), 0);  // 2 ms, still open
+  EXPECT_EQ(wfq_enqueue(h, 9), 0);
+  EXPECT_EQ(wfq_dequeue_timed(h, &out, 2000000), 1);
+  EXPECT_EQ(out, 9u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApi, DequeueWaitBlocksUntilDelivery) {
+  wfq_queue_t* q = wfq_create_default();
+  std::thread consumer([&] {
+    wfq_handle_t* h = wfq_handle_acquire(q);
+    uint64_t out = 0, sum = 0;
+    while (wfq_dequeue_wait(h, &out) == 1) sum += out;
+    EXPECT_EQ(sum, 1u + 2u + 3u);
+    wfq_handle_release(h);
+  });
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  for (uint64_t v = 1; v <= 3; ++v) {
+    EXPECT_EQ(wfq_enqueue(h, v), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  wfq_close(q);
+  consumer.join();
+  wfq_stats_t s;
+  wfq_get_stats(q, &s);
+  EXPECT_EQ(s.enqueues, 3u);
+  // dequeues counts attempts (empties included), so >= the 3 deliveries.
+  EXPECT_GE(s.dequeues, 3u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApi, NoWaiterWorkloadIssuesNoNotifies) {
+  wfq_queue_t* q = wfq_create_default();
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  for (uint64_t i = 1; i <= 1000; ++i) ASSERT_EQ(wfq_enqueue(h, i), 0);
+  uint64_t out;
+  while (wfq_dequeue(h, &out) == 1) {
+  }
+  wfq_stats_t s;
+  wfq_get_stats(q, &s);
+  EXPECT_EQ(s.notify_calls, 0u);  // nobody parked => producers never woke
+  EXPECT_EQ(s.deq_parks, 0u);
   wfq_handle_release(h);
   wfq_destroy(q);
 }

@@ -1,0 +1,145 @@
+// Tests for the EventCount (src/sync/event_count.hpp): waiter-registration
+// bookkeeping, wake delivery, timed waits, and — the property the whole
+// design rests on — the Dekker no-lost-wakeup guarantee under a
+// deposit/park race.
+#include "sync/event_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using wfq::sync::WaitClock;
+
+template <class F>
+class EventCountTest : public ::testing::Test {
+ protected:
+  wfq::sync::BasicEventCount<F> ec;
+};
+
+#if defined(__linux__)
+using FutexImpls =
+    ::testing::Types<wfq::sync::LinuxFutex, wfq::sync::PortableFutex>;
+#else
+using FutexImpls = ::testing::Types<wfq::sync::PortableFutex>;
+#endif
+TYPED_TEST_SUITE(EventCountTest, FutexImpls);
+
+TYPED_TEST(EventCountTest, NoWaitersInitially) {
+  EXPECT_FALSE(this->ec.has_waiters());
+  EXPECT_EQ(this->ec.waiters(), 0u);
+}
+
+TYPED_TEST(EventCountTest, PrepareRegistersCancelDeregisters) {
+  (void)this->ec.prepare_wait();
+  EXPECT_TRUE(this->ec.has_waiters());
+  EXPECT_EQ(this->ec.waiters(), 1u);
+  this->ec.cancel_wait();
+  EXPECT_FALSE(this->ec.has_waiters());
+}
+
+TYPED_TEST(EventCountTest, StaleKeyDoesNotSleep) {
+  auto key = this->ec.prepare_wait();
+  this->ec.notify_all();     // bumps the epoch: key is now stale
+  this->ec.wait(key);        // must return immediately, not park forever
+  EXPECT_FALSE(this->ec.has_waiters());  // wait() deregistered
+}
+
+TYPED_TEST(EventCountTest, TimedWaitTimesOutAndDeregisters) {
+  auto key = this->ec.prepare_wait();
+  EXPECT_FALSE(this->ec.wait_until(
+      key, WaitClock::now() + std::chrono::milliseconds(10)));
+  EXPECT_FALSE(this->ec.has_waiters());
+}
+
+TYPED_TEST(EventCountTest, NotifyWakesParkedWaiter) {
+  std::atomic<bool> flag{false};
+  std::thread waiter([&] {
+    for (;;) {
+      auto key = this->ec.prepare_wait();
+      if (flag.load(std::memory_order_seq_cst)) {
+        this->ec.cancel_wait();
+        return;
+      }
+      this->ec.wait(key);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  flag.store(true, std::memory_order_seq_cst);
+  if (this->ec.has_waiters()) this->ec.notify(1);
+  waiter.join();
+  EXPECT_FALSE(this->ec.has_waiters());
+}
+
+TYPED_TEST(EventCountTest, NotifyAllWakesEveryWaiter) {
+  constexpr unsigned kWaiters = 4;
+  std::atomic<bool> flag{false};
+  std::vector<std::thread> ts;
+  for (unsigned i = 0; i < kWaiters; ++i) {
+    ts.emplace_back([&] {
+      for (;;) {
+        auto key = this->ec.prepare_wait();
+        if (flag.load(std::memory_order_seq_cst)) {
+          this->ec.cancel_wait();
+          return;
+        }
+        this->ec.wait(key);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  flag.store(true, std::memory_order_seq_cst);
+  this->ec.notify_all();
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(this->ec.waiters(), 0u);
+}
+
+// The Dekker guarantee: a producer that deposits and then sees no waiter
+// may skip notify entirely, yet no consumer that registered can sleep
+// through the deposit. One flag per round plays the "queue item"; the
+// consumer uses the prepare/re-check/wait protocol, the producer uses
+// deposit/check/conditional-notify — exactly BlockingQueue's structure.
+TYPED_TEST(EventCountTest, DekkerNeverLosesAWakeup) {
+  constexpr int kRounds = 20000;
+  std::atomic<int> round{0};   // producer bumps: consumer must see each bump
+  std::atomic<uint64_t> skipped_notifies{0};
+  std::thread consumer([&] {
+    int seen = 0;
+    while (seen < kRounds) {
+      if (round.load(std::memory_order_seq_cst) > seen) {
+        ++seen;
+        continue;
+      }
+      auto key = this->ec.prepare_wait();
+      if (round.load(std::memory_order_seq_cst) > seen) {
+        this->ec.cancel_wait();  // re-check found the deposit: no park
+        continue;
+      }
+      this->ec.wait(key);  // if the wakeup were lost, we hang right here
+    }
+  });
+  for (int r = 1; r <= kRounds; ++r) {
+    round.store(r, std::memory_order_seq_cst);  // "deposit"
+    if (this->ec.has_waiters()) {
+      this->ec.notify(1);
+    } else {
+      skipped_notifies.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  consumer.join();
+  // The assertion is the join itself: a lost wakeup parks the consumer
+  // forever and the test times out. skipped_notifies measures how often
+  // the producer's fast path actually skipped — usually most rounds, but
+  // on a loaded machine the consumer can legitimately be registered every
+  // single round, so it is reported rather than asserted (the
+  // deterministic zero-notify assertion lives in the BlockingQueue suite,
+  // where try_pop provably never registers).
+  this->RecordProperty("skipped_notifies",
+                       std::to_string(skipped_notifies.load()));
+}
+
+}  // namespace

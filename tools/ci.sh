@@ -2,16 +2,24 @@
 # CI driver: build + test the repo in three configurations.
 #
 #   1. default      — RelWithDebInfo, full ctest suite
-#   2. asan         — AddressSanitizer (leak detection on), full ctest suite;
-#                     this is what proves the segment-backed queues do not
-#                     leak segments
+#   2. asan         — AddressSanitizer (leak detection on), full ctest suite
+#                     (incl. tests/sync: parked threads must not leak waiter
+#                     registrations); this is what proves the segment-backed
+#                     queues do not leak segments
 #   3. tsan         — ThreadSanitizer, core subset only (`ctest -L tsan`:
-#                     common/core/memory tests); the full suite under TSan's
+#                     common/core/memory tests plus test_sync — the
+#                     futex/EventCount/BlockingQueue suite is labeled tsan
+#                     because the Dekker park/notify race is exactly what
+#                     TSan exists to check); the full suite under TSan's
 #                     ~10x slowdown exceeds practical CI budgets
 #   4. bench        — smoke leg: every bench binary runs ~1 s under --smoke
 #                     (RelWithDebInfo, reuses the default config's build) so
 #                     the flag surface (--smoke/--json) and the measurement
-#                     harness cannot bitrot between releases
+#                     harness cannot bitrot between releases. Additionally
+#                     verifies bench_wakeup's --json records the no-waiter
+#                     overhead ratio (the §10 acceptance metric behind the
+#                     committed BENCH_wakeup.json) and runs a short
+#                     close()/drain() blocking soak.
 #
 # Usage: tools/ci.sh [default|asan|tsan|bench]...   (no args = all four)
 set -euo pipefail
@@ -74,11 +82,18 @@ run_bench_smoke() {
     python3 - "${scratch}" <<'EOF'
 import json, pathlib, sys
 for p in pathlib.Path(sys.argv[1]).glob("*.json"):
-    json.load(p.open())
-print("  --json outputs parse")
+    recs = json.load(p.open())
+    if p.stem == "bench_wakeup":
+        # The acceptance metric behind the committed BENCH_wakeup.json:
+        # the smoke run must still emit the no-waiter overhead ratio.
+        assert any(r.get("config") == "no_waiter_ratio" for r in recs), \
+            "bench_wakeup --json lost the no_waiter_ratio records"
+print("  --json outputs parse (bench_wakeup ratio records present)")
 EOF
   fi
   rm -rf "${scratch}"
+  echo "== [bench] soak (blocking close/drain, 2 s) =="
+  "${dir}/tools/soak" 2 2 block
   echo "== [bench] OK =="
 }
 

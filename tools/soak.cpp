@@ -7,8 +7,18 @@
 // of random size (2-16) interleaved with the singles, so the prepaid-
 // ticket paths soak alongside the ordinary ones.
 //
+// The default mode soaks the blocking layer (src/sync/): dedicated
+// producers feed a BlockingWFQueue while a mixed population of consumers —
+// half spinning (default escalation policy), half sleeping (park_only,
+// futex from the first miss) — pops via pop_wait/pop_wait_bulk. Shutdown
+// goes through close(): producers fail fast, every consumer drains until
+// it observes kClosed, and the final accounting must balance EXACTLY —
+// enqueued == dequeued with matching checksums, no "residue swept by the
+// main thread" fudge, plus a post-close drain() that must come back empty.
+//
 //   $ ./soak [seconds] [threads] [queue]
-//     queue in {wf, wf0, msq, lcrq, ccq, mutex, kp, sim}; default wf
+//     queue in {block, wf, wf0, msq, lcrq, ccq, mutex, kp, sim};
+//     default block
 //
 // Exit status 0 only if every audit passed. Not part of ctest (runtime is
 // caller-chosen); CI runs it via the `soak` convenience target.
@@ -29,6 +39,7 @@
 #include "baselines/sim_queue.hpp"
 #include "common/random.hpp"
 #include "core/wf_queue.hpp"
+#include "sync/blocking_queue.hpp"
 
 namespace {
 
@@ -145,6 +156,143 @@ SoakResult soak(Queue& q, unsigned threads, double seconds) {
   return r;
 }
 
+// ---- blocking-layer soak ----------------------------------------------
+//
+// `threads` producers + `threads` consumers on a BlockingWFQueue.
+// Consumers alternate between the spinning escalation policy and pure
+// park_only sleeping, and a quarter of their pops are pop_wait_bulk
+// batches. Producers stop at the deadline and join BEFORE close(), so
+// close() observes a quiesced producer side; consumers then drain the
+// residue through their ordinary pop loops until pop_wait reports
+// kClosed. Unlike the raw-queue soak there is no main-thread sweep: the
+// close()/drain() contract guarantees the per-consumer accounting already
+// covers every in-flight item, and we assert exactly that.
+int run_blocking(unsigned threads, double seconds) {
+  using BQ = wfq::sync::BlockingWFQueue<uint64_t>;
+  using wfq::sync::PopStatus;
+  using wfq::sync::WaitPolicy;
+  BQ q;
+
+  std::atomic<bool> stop_producing{false};
+  std::vector<uint64_t> enq_count(threads, 0), sum_in(threads, 0);
+  std::vector<uint64_t> deq_count(threads, 0), sum_out(threads, 0);
+  std::vector<uint64_t> fifo_bad(threads, 0), timeouts(threads, 0);
+  constexpr std::size_t kMaxBatch = 16;
+
+  std::printf("soaking BlockingWFQueue for %.1fs with %u producers + "
+              "%u consumers (%u spinning, %u sleeping)...\n",
+              seconds, threads, threads, (threads + 1) / 2, threads / 2);
+
+  std::vector<std::thread> producers, consumers;
+  for (unsigned t = 0; t < threads; ++t) {
+    producers.emplace_back([&, t] {
+      auto h = q.get_handle();
+      wfq::Xorshift128Plus rng(t * 7919 + 13);
+      std::vector<uint64_t> batch(kMaxBatch);
+      uint64_t seq = 0;
+      while (!stop_producing.load(std::memory_order_relaxed)) {
+        if (rng.percent_chance(25)) {
+          std::size_t k = 2 + rng.next_below(kMaxBatch - 1);
+          for (std::size_t j = 0; j < k; ++j) {
+            batch[j] = (uint64_t(t) << 40) | ++seq;
+          }
+          if (q.push_bulk(h, batch.data(), k) != k) break;  // closed
+          for (std::size_t j = 0; j < k; ++j) sum_in[t] += batch[j];
+          enq_count[t] += k;
+        } else {
+          uint64_t v = (uint64_t(t) << 40) | ++seq;
+          if (!q.push(h, v)) break;  // closed
+          sum_in[t] += v;
+          ++enq_count[t];
+        }
+      }
+    });
+  }
+  for (unsigned t = 0; t < threads; ++t) {
+    consumers.emplace_back([&, t] {
+      auto h = q.get_handle();
+      // Even consumers spin before parking; odd ones park immediately —
+      // the mixed population the blocking layer has to wake correctly.
+      const WaitPolicy policy =
+          (t % 2 == 0) ? WaitPolicy{} : WaitPolicy::park_only();
+      wfq::Xorshift128Plus rng(t * 104729 + 7);
+      std::vector<uint64_t> last_seq(threads, 0);
+      std::vector<uint64_t> batch(kMaxBatch);
+      auto record_out = [&](uint64_t v) {
+        sum_out[t] += v;
+        ++deq_count[t];
+        unsigned prod = unsigned(v >> 40);
+        uint64_t s = v & ((uint64_t{1} << 40) - 1);
+        if (prod < threads) {
+          if (s <= last_seq[prod]) ++fifo_bad[t];
+          last_seq[prod] = s;
+        }
+      };
+      for (;;) {
+        if (rng.percent_chance(25)) {
+          std::size_t k = 2 + rng.next_below(kMaxBatch - 1);
+          std::size_t got = q.pop_wait_bulk(h, batch.data(), k, policy);
+          if (got == 0) break;  // closed AND drained
+          for (std::size_t j = 0; j < got; ++j) record_out(batch[j]);
+        } else if (rng.percent_chance(10)) {
+          // Timed pops exercise the deadline path under full load.
+          uint64_t v = 0;
+          PopStatus st =
+              q.pop_wait_for(h, v, std::chrono::milliseconds(1), policy);
+          if (st == PopStatus::kClosed) break;
+          if (st == PopStatus::kTimeout) {
+            ++timeouts[t];
+            continue;
+          }
+          record_out(v);
+        } else {
+          uint64_t v = 0;
+          if (q.pop_wait(h, v, policy) != PopStatus::kOk) break;
+          record_out(v);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop_producing.store(true);
+  for (auto& p : producers) p.join();
+  q.close();
+  for (auto& c : consumers) c.join();
+
+  // The termination witness: after every consumer observed kClosed, a
+  // fresh drain() must find nothing — kClosed asserted bulk emptiness.
+  auto h = q.get_handle();
+  std::vector<uint64_t> residue;
+  std::size_t leftover = q.drain(h, residue);
+
+  SoakResult r;
+  for (unsigned t = 0; t < threads; ++t) {
+    r.enqueued += enq_count[t];
+    r.dequeued += deq_count[t];
+    r.checksum_in += sum_in[t];
+    r.checksum_out += sum_out[t];
+    r.fifo_violations += fifo_bad[t];
+  }
+  uint64_t total_timeouts = 0;
+  for (auto v : timeouts) total_timeouts += v;
+  auto st = q.stats();
+  std::printf("  enq=%llu deq=%llu timeouts=%llu parks=%llu notifies=%llu "
+              "spurious=%llu\n",
+              (unsigned long long)r.enqueued, (unsigned long long)r.dequeued,
+              (unsigned long long)total_timeouts,
+              (unsigned long long)st.deq_parks.load(),
+              (unsigned long long)st.notify_calls.load(),
+              (unsigned long long)st.deq_spurious_wakeups.load());
+  bool exact = r.enqueued == r.dequeued && leftover == 0;
+  std::printf("  close()/drain() accounting %s (post-close residue=%zu), "
+              "checksum %s, fifo spot checks %s\n",
+              exact ? "EXACT" : "FAILED", leftover,
+              r.checksum_in == r.checksum_out ? "OK" : "FAILED",
+              r.fifo_violations == 0 ? "OK" : "FAILED");
+  return (r.ok() && exact) ? 0 : 1;
+}
+
 template <class Queue, class... Args>
 int run(const char* name, unsigned threads, double seconds, Args&&... args) {
   Queue q(std::forward<Args>(args)...);
@@ -164,8 +312,11 @@ int main(int argc, char** argv) {
   double seconds = argc > 1 ? std::strtod(argv[1], nullptr) : 10.0;
   unsigned threads =
       argc > 2 ? unsigned(std::strtoul(argv[2], nullptr, 10)) : 4;
-  std::string which = argc > 3 ? argv[3] : "wf";
+  std::string which = argc > 3 ? argv[3] : "block";
 
+  if (which == "block") {
+    return run_blocking(threads, seconds);
+  }
   if (which == "wf") {
     return run<wfq::WFQueue<uint64_t>>("WFQueue (WF-10)", threads, seconds);
   }
