@@ -2,7 +2,6 @@
 #include "capi/wfq_c.h"
 
 #include <chrono>
-#include <new>
 #include <optional>
 #include <utility>
 
@@ -34,7 +33,13 @@ wfq_queue_t* wfq_create(unsigned patience, int64_t max_garbage) {
   wfq::WfConfig cfg;
   cfg.patience = patience;
   cfg.max_garbage = max_garbage > 0 ? max_garbage : 1;
-  return new (std::nothrow) wfq_queue(cfg);
+  // Constructors allocate (segments, registries) and may throw bad_alloc;
+  // no exception may cross the extern "C" boundary — NULL means failure.
+  try {
+    return new wfq_queue(cfg);
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 wfq_queue_t* wfq_create_default(void) {
@@ -46,7 +51,13 @@ void wfq_destroy(wfq_queue_t* q) {
 }
 
 wfq_handle_t* wfq_handle_acquire(wfq_queue_t* q) {
-  return new (std::nothrow) wfq_handle(q, q->q.get_handle());
+  // get_handle()/acquire_rec() register in growable vectors and may throw;
+  // catch everything so the C contract (NULL on failure) holds.
+  try {
+    return new wfq_handle(q, q->q.get_handle());
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 void wfq_handle_release(wfq_handle_t* h) {

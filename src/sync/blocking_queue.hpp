@@ -317,20 +317,27 @@ class BlockingQueue {
         just_woke = false;
       }
 
+      // Deadline check runs on EVERY iteration, not only when the strategy
+      // escalates to a park: a spin-heavy policy (e.g. spin_only()) never
+      // reaches kPark, and the timed API must still time out under it.
+      if (has_deadline && WaitClock::now() >= deadline) {
+        // Deadline processing: one FINAL attempt so a delivery that raced
+        // the timeout is returned rather than stranded (tested by the
+        // timed-pop race test). Snapshot sealed_ BEFORE that attempt —
+        // same ordering rule as the loop top — so a close() landing
+        // between a failed dequeue and the sealed-load can't turn
+        // "momentarily empty while still open" into kClosed.
+        bool final_sealed = sealed_.load(std::memory_order_acquire);
+        if (attempt(h, single, bulk)) return PopStatus::kOk;
+        return final_sealed ? PopStatus::kClosed : PopStatus::kTimeout;
+      }
+
       switch (strategy.step()) {
         case WaitStrategy::Step::kSpun:
         case WaitStrategy::Step::kYielded:
           continue;  // cheap retries before touching the EventCount
         case WaitStrategy::Step::kPark:
           break;
-      }
-      if (has_deadline && WaitClock::now() >= deadline) {
-        // Deadline processing: one FINAL attempt so a delivery that raced
-        // the timeout is returned rather than stranded (tested by the
-        // timed-pop race test).
-        if (attempt(h, single, bulk)) return PopStatus::kOk;
-        return sealed_.load(std::memory_order_acquire) ? PopStatus::kClosed
-                                                       : PopStatus::kTimeout;
       }
 
       EventCount::Key key = ec_.prepare_wait();
@@ -350,10 +357,11 @@ class BlockingQueue {
       rec->stats.deq_parks.fetch_add(1, std::memory_order_relaxed);
       if (has_deadline) {
         if (!ec_.wait_until(key, deadline)) {
+          // Same sealed-before-attempt order as above: a seal landing
+          // after a failed attempt must not masquerade as "drained".
+          bool final_sealed = sealed_.load(std::memory_order_acquire);
           if (attempt(h, single, bulk)) return PopStatus::kOk;
-          return sealed_.load(std::memory_order_acquire)
-                     ? PopStatus::kClosed
-                     : PopStatus::kTimeout;
+          return final_sealed ? PopStatus::kClosed : PopStatus::kTimeout;
         }
       } else {
         ec_.wait(key);

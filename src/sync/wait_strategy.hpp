@@ -30,7 +30,10 @@ struct WaitPolicy {
 
   /// Always park immediately (benchmarks isolating futex cost).
   static constexpr WaitPolicy park_only() { return {0, 0}; }
-  /// Never park; degenerate busy-wait (step() keeps returning kYielded).
+  /// Never park; degenerate busy-wait. step() returns kSpun (cpu_pause,
+  /// the CPU is not yielded) for ~2^32 rounds before the yield phase even
+  /// starts — in practice the predicate resolves long before that, so this
+  /// is a pure pause-loop spin.
   static constexpr WaitPolicy spin_only() {
     return {~0u, ~0u};
   }

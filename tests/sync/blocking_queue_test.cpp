@@ -67,6 +67,22 @@ TEST(BlockingQueue, PopWaitForWithParkOnlyPolicyStillTimesOut) {
   EXPECT_GE(s.deq_parks.load(), 1u);  // it really parked
 }
 
+TEST(BlockingQueue, PopWaitForWithSpinOnlyPolicyStillTimesOut) {
+  // Regression: the deadline must be checked on every wait-loop iteration,
+  // not only when the strategy escalates to a park — a pure-spin policy
+  // never parks, and the timed API must not degrade into an unbounded wait.
+  BQ q;
+  auto h = q.get_handle();
+  uint64_t v = 0;
+  auto t0 = sync::WaitClock::now();
+  EXPECT_EQ(q.pop_wait_for(h, v, std::chrono::milliseconds(10),
+                           WaitPolicy::spin_only()),
+            PopStatus::kTimeout);
+  EXPECT_GE(sync::WaitClock::now() - t0, std::chrono::milliseconds(5));
+  auto s = q.stats();
+  EXPECT_EQ(s.deq_parks.load(), 0u);  // it spun the whole time
+}
+
 TEST(BlockingQueue, PopWaitDeliversFromConcurrentProducer) {
   BQ q;
   std::thread producer([&] {
@@ -122,6 +138,41 @@ TEST(BlockingQueue, TimedPopRaceNeverLosesTheValue) {
       ASSERT_TRUE(left.has_value());
       ASSERT_EQ(*left, 9u);
     }
+  }
+}
+
+// Regression for the seal-vs-deadline race: close() landing between a timed
+// pop's failed final dequeue and its sealed-check must not produce kClosed
+// ("closed AND drained") while the pre-close value is still undelivered.
+// The consumer loops on short timeouts until it observes kClosed; at that
+// point the value must already have been handed out and the queue empty.
+TEST(BlockingQueue, TimedPopNeverReportsClosedWithResidue) {
+  constexpr int kRounds = 200;
+  for (int r = 0; r < kRounds; ++r) {
+    BQ q;
+    std::thread producer([&] {
+      auto h = q.get_handle();
+      std::this_thread::sleep_for(std::chrono::microseconds(r % 40));
+      q.push(h, 9);
+      q.close();
+    });
+    auto h = q.get_handle();
+    bool delivered = false;
+    for (;;) {
+      uint64_t v = 0;
+      PopStatus st = q.pop_wait_for(h, v, std::chrono::microseconds(10),
+                                    WaitPolicy::park_only());
+      if (st == PopStatus::kOk) {
+        ASSERT_EQ(v, 9u);
+        delivered = true;
+      } else if (st == PopStatus::kClosed) {
+        ASSERT_TRUE(delivered);  // kClosed before delivery = stranded item
+        ASSERT_FALSE(q.try_pop(h).has_value());
+        break;
+      }
+      // kTimeout: queue still open (or residue pending) — keep polling.
+    }
+    producer.join();
   }
 }
 
