@@ -2,6 +2,7 @@
 #include "capi/wfq_c.h"
 
 #include <chrono>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -12,6 +13,7 @@ namespace {
 using Core = wfq::WFQueueCore<wfq::DefaultWfTraits>;  // reserved-value check
 using BQ = wfq::sync::BlockingWFQueue<uint64_t>;
 using wfq::sync::PopStatus;
+using wfq::sync::PushStatus;
 }  // namespace
 
 // The opaque C structs are the C++ objects themselves.
@@ -46,6 +48,19 @@ wfq_queue_t* wfq_create_default(void) {
   return wfq_create(10, 64);
 }
 
+wfq_queue_t* wfq_create_ex(unsigned patience, int64_t max_garbage,
+                           size_t reserve_segments) {
+  wfq::WfConfig cfg;
+  cfg.patience = patience;
+  cfg.max_garbage = max_garbage > 0 ? max_garbage : 1;
+  cfg.reserve_segments = reserve_segments;
+  try {
+    return new wfq_queue(cfg);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
 void wfq_destroy(wfq_queue_t* q) {
   delete q;
 }
@@ -66,38 +81,61 @@ void wfq_handle_release(wfq_handle_t* h) {
 
 int wfq_enqueue(wfq_handle_t* h, uint64_t value) {
   if (!Core::is_enqueueable(value)) return -1;
-  return h->owner->q.push(h->h, value) ? 0 : -2;
+  switch (h->owner->q.push_status(h->h, value)) {
+    case PushStatus::kOk:
+      return 0;
+    case PushStatus::kClosed:
+      return -2;
+    case PushStatus::kNoMem:
+      break;
+  }
+  return -3;
 }
 
 int wfq_dequeue(wfq_handle_t* h, uint64_t* out) {
-  std::optional<uint64_t> v = h->owner->q.try_pop(h->h);
-  if (!v) return 0;
-  *out = *v;
-  return 1;
+  // The inner dequeue reports allocation exhaustion (a helper needing a
+  // fresh segment under OOM) by throwing; no exception may cross the
+  // extern "C" boundary.
+  try {
+    std::optional<uint64_t> v = h->owner->q.try_pop(h->h);
+    if (!v) return 0;
+    *out = *v;
+    return 1;
+  } catch (const std::bad_alloc&) {
+    return -3;
+  }
 }
 
 int wfq_dequeue_wait(wfq_handle_t* h, uint64_t* out) {
   uint64_t v = 0;
-  PopStatus st = h->owner->q.pop_wait(h->h, v);
-  if (st != PopStatus::kOk) return 0;  // kClosed (pop_wait never times out)
-  *out = v;
-  return 1;
+  try {
+    PopStatus st = h->owner->q.pop_wait(h->h, v);
+    if (st != PopStatus::kOk) return 0;  // kClosed (pop_wait never times out)
+    *out = v;
+    return 1;
+  } catch (const std::bad_alloc&) {
+    return -3;
+  }
 }
 
 int wfq_dequeue_timed(wfq_handle_t* h, uint64_t* out, uint64_t timeout_ns) {
   uint64_t v = 0;
-  PopStatus st = h->owner->q.pop_wait_for(
-      h->h, v, std::chrono::nanoseconds(timeout_ns));
-  switch (st) {
-    case PopStatus::kOk:
-      *out = v;
-      return 1;
-    case PopStatus::kTimeout:
-      return 0;
-    case PopStatus::kClosed:
-      break;
+  try {
+    PopStatus st = h->owner->q.pop_wait_for(
+        h->h, v, std::chrono::nanoseconds(timeout_ns));
+    switch (st) {
+      case PopStatus::kOk:
+        *out = v;
+        return 1;
+      case PopStatus::kTimeout:
+        return 0;
+      case PopStatus::kClosed:
+        break;
+    }
+    return -1;
+  } catch (const std::bad_alloc&) {
+    return -3;
   }
-  return -1;
 }
 
 void wfq_close(wfq_queue_t* q) {
@@ -117,7 +155,11 @@ int wfq_enqueue_bulk(wfq_handle_t* h, const uint64_t* values, size_t count) {
     // degenerate batch: closed beats "trivially succeeded".
     return h->owner->q.closed() ? -2 : 0;
   }
-  return h->owner->q.push_bulk(h->h, values, count) == count ? 0 : -2;
+  size_t committed = h->owner->q.push_bulk(h->h, values, count);
+  if (committed == count) return 0;
+  // 0 committed on a closed queue is the closed fast-fail; any other
+  // shortfall is allocation exhaustion mid-batch (prefix enqueued).
+  return (committed == 0 && h->owner->q.closed()) ? -2 : -3;
 }
 
 size_t wfq_dequeue_bulk(wfq_handle_t* h, uint64_t* out, size_t count) {
@@ -140,6 +182,14 @@ void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out) {
   out->deq_spurious_wakeups =
       s.deq_spurious_wakeups.load(std::memory_order_relaxed);
   out->notify_calls = s.notify_calls.load(std::memory_order_relaxed);
+  out->injected_stalls = s.injected_stalls.load(std::memory_order_relaxed);
+  out->injected_crashes = s.injected_crashes.load(std::memory_order_relaxed);
+  out->adopted_handles = s.adopted_handles.load(std::memory_order_relaxed);
+  out->orphan_drops = s.orphan_drops.load(std::memory_order_relaxed);
+  out->alloc_failures = s.alloc_failures.load(std::memory_order_relaxed);
+  out->reserve_pool_hits =
+      s.reserve_pool_hits.load(std::memory_order_relaxed);
+  out->oom_rescues = s.oom_rescues.load(std::memory_order_relaxed);
 }
 
 }  // extern "C"

@@ -2,9 +2,15 @@
  *
  * Thin bindings over wfq::sync::BlockingWFQueue<uint64_t> — the wait-free
  * queue wrapped in the blocking & lifecycle layer. Payloads are 64-bit
- * values (pointers cast to uintptr_t are the common case). Three values are
+ * values (pointers cast to uintptr_t are the common case). Four values are
  * reserved by the queue's cell encoding and rejected by wfq_enqueue:
- * 0, UINT64_MAX and UINT64_MAX-1.
+ * 0, UINT64_MAX, UINT64_MAX-1 and UINT64_MAX-2.
+ *
+ * Out-of-memory contract: when segment allocation fails past the internal
+ * retries and the pre-reserved segment pool, operations return -3 instead
+ * of aborting or corrupting the queue. -3 is retryable — no value was
+ * consumed or lost, the queue stays intact, and a later call may succeed
+ * once memory pressure eases (docs/API.md "OOM contract").
  *
  * Threading contract: one wfq_handle_t per thread (acquire/release are
  * cheap and internally recycled). enqueue/dequeue through a handle are
@@ -39,6 +45,13 @@ wfq_queue_t* wfq_create(unsigned patience, int64_t max_garbage);
 /* Create with the defaults (PATIENCE = 10, MAX_GARBAGE = 64). */
 wfq_queue_t* wfq_create_default(void);
 
+/* Create with every knob exposed. `reserve_segments` pre-allocates that
+ * many spare segments at construction; they back the OOM fallback path
+ * (operations dip into the reserve when live allocation fails, and freed
+ * segments refill it). 0 disables the reserve. */
+wfq_queue_t* wfq_create_ex(unsigned patience, int64_t max_garbage,
+                           size_t reserve_segments);
+
 /* Destroy the queue. All handles must have been released. */
 void wfq_destroy(wfq_queue_t* q);
 
@@ -46,26 +59,28 @@ void wfq_destroy(wfq_queue_t* q);
 wfq_handle_t* wfq_handle_acquire(wfq_queue_t* q);
 void wfq_handle_release(wfq_handle_t* h);
 
-/* Enqueue `value`. Returns 0 on success, -1 if `value` is one of the three
- * reserved payloads, -2 if the queue is closed (nothing enqueued).
+/* Enqueue `value`. Returns 0 on success, -1 if `value` is one of the four
+ * reserved payloads, -2 if the queue is closed, -3 if segment allocation
+ * failed (nothing enqueued in any failure case; -3 is retryable).
  * Wait-free; with no blocked consumer the closed-check and wakeup-check
  * add no fence on x86. */
 int wfq_enqueue(wfq_handle_t* h, uint64_t value);
 
 /* Dequeue into *out. Returns 1 on success, 0 if the queue was observed
- * empty (linearizable EMPTY; says nothing about closure). Wait-free,
- * never blocks. */
+ * empty (linearizable EMPTY; says nothing about closure), -3 if segment
+ * allocation failed (no value lost; retryable). Wait-free, never blocks. */
 int wfq_dequeue(wfq_handle_t* h, uint64_t* out);
 
 /* Blocking dequeue: spins briefly, then parks on a futex until a value
- * arrives or the queue is closed AND drained. Returns 1 with *out set, or
- * 0 when closed-and-drained (*out untouched) — after a 0, no later call
- * can ever return a value. */
+ * arrives or the queue is closed AND drained. Returns 1 with *out set, 0
+ * when closed-and-drained (*out untouched) — after a 0, no later call can
+ * ever return a value — or -3 on allocation failure (retryable). */
 int wfq_dequeue_wait(wfq_handle_t* h, uint64_t* out);
 
 /* Timed blocking dequeue. Returns 1 with *out set, 0 on timeout with the
  * queue still open (a delivery racing the deadline wins: one final attempt
- * runs after the clock expires), or -1 when closed-and-drained. */
+ * runs after the clock expires), -1 when closed-and-drained, or -3 on
+ * allocation failure (retryable). */
 int wfq_dequeue_timed(wfq_handle_t* h, uint64_t* out, uint64_t timeout_ns);
 
 /* Close the queue (see file header). Blocks until every in-flight enqueue
@@ -79,8 +94,10 @@ int wfq_is_closed(const wfq_queue_t* q);
 /* Batched enqueue: append values[0..count) in order, paying the contended
  * fetch-and-add once for the whole batch. Linearizes as `count` consecutive
  * enqueues. Returns 0 on success, -1 if ANY value is reserved, -2 if the
- * queue is closed (in both failure cases nothing was enqueued). Each item
- * is individually wait-free. */
+ * queue is closed (nothing enqueued in either case), or -3 if allocation
+ * failed mid-batch — then a PREFIX of the batch was enqueued; callers
+ * needing exact per-item accounting under memory pressure should use
+ * wfq_enqueue. Each item is individually wait-free. */
 int wfq_enqueue_bulk(wfq_handle_t* h, const uint64_t* values, size_t count);
 
 /* Batched dequeue: remove up to `count` values into out[0..), FIFO order,
@@ -104,6 +121,17 @@ typedef struct wfq_stats {
   uint64_t deq_parks;            /* consumer futex sleeps */
   uint64_t deq_spurious_wakeups; /* wakes that found the queue still empty */
   uint64_t notify_calls;         /* producer-side futex wakes issued */
+  /* Robustness counters (fault-injection harness + OOM seam). The
+   * injected_* pair is nonzero only in fault-injection builds. */
+  uint64_t injected_stalls;   /* scripted stall actions performed */
+  uint64_t injected_crashes;  /* scripted crash actions performed */
+  uint64_t adopted_handles;   /* abandoned handles whose op was finished */
+  uint64_t orphan_drops;      /* values dropped completing adopted deqs */
+  uint64_t alloc_failures;    /* segment allocations that failed cleanly */
+  uint64_t reserve_pool_hits; /* allocations served by the reserve pool */
+  uint64_t oom_rescues;       /* deposits retracted from debt-parked cells
+                               * and re-enqueued (value conservation when
+                               * a dequeue hit WFQ_NOMEM) */
 } wfq_stats_t;
 
 void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out);

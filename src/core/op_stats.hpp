@@ -43,6 +43,23 @@ struct OpStats {
   std::atomic<uint64_t> deq_spurious_wakeups{0};  ///< woke to still-empty
   std::atomic<uint64_t> notify_calls{0};          ///< producer-side wakes
 
+  // Robustness layer (src/harness/fault_inject.hpp + orphan adoption + the
+  // fallible allocation seam). The injected_* counters are nonzero only
+  // under a ScriptedInjector; the rest also fire in production builds:
+  // adopted_handles/orphan_drops when release_handle (or adopt_handle)
+  // finishes an abandoned operation, alloc_failures/reserve_pool_hits when
+  // segment allocation exhausts retries or falls back to the reserve pool.
+  std::atomic<uint64_t> injected_stalls{0};   ///< scripted stall actions
+  std::atomic<uint64_t> injected_crashes{0};  ///< scripted crash actions
+  std::atomic<uint64_t> adopted_handles{0};   ///< orphaned handles adopted
+  std::atomic<uint64_t> orphan_drops{0};      ///< values dropped adopting deqs
+  std::atomic<uint64_t> alloc_failures{0};    ///< segment allocs failed clean
+  std::atomic<uint64_t> reserve_pool_hits{0}; ///< allocs served by reserve
+  std::atomic<uint64_t> oom_rescues{0};       ///< deposits retracted from
+                                              ///< debt-parked cells and
+                                              ///< re-enqueued (conservation
+                                              ///< under OOM)
+
   // Empirical wait-freedom bound (§4): cells probed (find_cell calls) per
   // operation. Wait-freedom means max probes stays bounded by a function of
   // the thread count, never by the run length.
@@ -84,6 +101,13 @@ struct OpStats {
     bump(deq_parks, ld(o.deq_parks));
     bump(deq_spurious_wakeups, ld(o.deq_spurious_wakeups));
     bump(notify_calls, ld(o.notify_calls));
+    bump(injected_stalls, ld(o.injected_stalls));
+    bump(injected_crashes, ld(o.injected_crashes));
+    bump(adopted_handles, ld(o.adopted_handles));
+    bump(orphan_drops, ld(o.orphan_drops));
+    bump(alloc_failures, ld(o.alloc_failures));
+    bump(reserve_pool_hits, ld(o.reserve_pool_hits));
+    bump(oom_rescues, ld(o.oom_rescues));
     bump(enq_probes, ld(o.enq_probes));
     bump(deq_probes, ld(o.deq_probes));
     raise(max_enq_probes, ld(o.max_enq_probes));
@@ -95,7 +119,9 @@ struct OpStats {
                     &cleanups, &segments_freed, &enq_bulk_batches,
                     &enq_bulk_fast, &deq_bulk_batches, &deq_bulk_fast,
                     &deq_parks, &deq_spurious_wakeups, &notify_calls,
-                    &enq_probes, &deq_probes, &max_enq_probes,
+                    &injected_stalls, &injected_crashes, &adopted_handles,
+                    &orphan_drops, &alloc_failures, &reserve_pool_hits,
+                    &oom_rescues, &enq_probes, &deq_probes, &max_enq_probes,
                     &max_deq_probes}) {
       c->store(0, std::memory_order_relaxed);
     }

@@ -31,10 +31,24 @@
 #include <cassert>
 #include <cstdint>
 #include <cstdio>
+#include <new>
+#include <thread>
 
 #include "common/align.hpp"
+#include "harness/fault_inject.hpp"
 
 namespace wfq {
+
+/// Thrown by the segment-allocation seam when retries *and* the reserve
+/// pool are exhausted. IS-A bad_alloc so callers that predate the graceful
+/// OOM contract (the baseline queues, the C API's catch-all) keep their old
+/// behavior; WFQueueCore catches it specifically to fail the operation
+/// cleanly instead of unwinding out of find_cell.
+struct SegmentAllocError : std::bad_alloc {
+  const char* what() const noexcept override {
+    return "wfq: segment allocation failed (retries and reserve exhausted)";
+  }
+};
 
 template <class Cell, class Traits>
 class SegmentList {
@@ -52,9 +66,21 @@ class SegmentList {
     alignas(kCacheLineSize) Cell cells[kSegmentSize];
   };
 
-  SegmentList() {
+  /// `reserve_segments` pre-allocates up to kReserveSlots segments into a
+  /// dedicated reserve pool consulted only after allocation retries fail:
+  /// the OOM "airbag" that lets in-flight operations complete (or fail
+  /// cleanly) when the heap is exhausted. Construction itself may still
+  /// throw bad_alloc — there is no queue to keep intact yet.
+  explicit SegmentList(std::size_t reserve_segments = 0)
+      : reserve_target_(std::min(reserve_segments, kReserveSlots)) {
     Segment* s0 = new_segment(0);
     first_.store(s0, std::memory_order_relaxed);
+    const std::size_t n = reserve_target_;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto* s = aligned_new<Segment>();
+      allocated_.fetch_add(1, std::memory_order_relaxed);
+      reserve_[i].store(s, std::memory_order_relaxed);
+    }
   }
 
   SegmentList(const SegmentList&) = delete;
@@ -70,6 +96,11 @@ class SegmentList {
       s = n;
     }
     for (auto& slot : pool_) {
+      if (Segment* p = slot.exchange(nullptr, std::memory_order_relaxed)) {
+        free_raw(p);
+      }
+    }
+    for (auto& slot : reserve_) {
       if (Segment* p = slot.exchange(nullptr, std::memory_order_relaxed)) {
         free_raw(p);
       }
@@ -105,15 +136,14 @@ class SegmentList {
         return s;
       }
     }
-    auto* s = aligned_new<Segment>();
-    s->id = id;
-    allocated_.fetch_add(1, std::memory_order_relaxed);
-    return s;
+    return allocate_fresh(id);
   }
 
   /// Retire a segment whose memory is provably quiescent (no thread can
-  /// still dereference it): recycle through the pool, else free for real.
+  /// still dereference it): refill the OOM reserve first, then recycle
+  /// through the pool, else free for real.
   void delete_segment(Segment* s) {
+    if (reserve_push(s)) return;
     if constexpr (Traits::kSegmentPoolCap > 0) {
       if (pool_push(s)) return;
     }
@@ -204,6 +234,26 @@ class SegmentList {
     return allocated_.load(std::memory_order_relaxed);
   }
 
+  /// Segment allocations that failed cleanly (SegmentAllocError thrown
+  /// after retries and the reserve pool were exhausted).
+  uint64_t alloc_failures() const {
+    return alloc_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Allocations served from the pre-reserved OOM pool.
+  uint64_t reserve_pool_hits() const {
+    return reserve_pool_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Segments currently parked in the OOM reserve (test helper).
+  std::size_t reserve_available() const {
+    std::size_t n = 0;
+    for (const auto& slot : reserve_) {
+      if (slot.load(std::memory_order_relaxed) != nullptr) ++n;
+    }
+    return n;
+  }
+
   /// High-water mark of (newest appended id − list-head id + 1): the peak
   /// number of simultaneously live segments, maintained O(1) at append
   /// time. This is the memory-bound axis wCQ optimizes; reported by
@@ -212,7 +262,74 @@ class SegmentList {
     return std::size_t(peak_live_.load(std::memory_order_relaxed));
   }
 
+  /// Upper bound on the OOM reserve (compile-time slot count; the runtime
+  /// `reserve_segments` constructor knob is clamped to it).
+  static constexpr std::size_t kReserveSlots = 8;
+
  private:
+  /// Attempts before falling back on the reserve pool. OOM near the
+  /// allocation rate of a queue segment is usually transient (the cleaner
+  /// or another subsystem is mid-free), so a couple of yield-separated
+  /// retries clear most episodes without touching the reserve.
+  static constexpr int kAllocRetries = 3;
+
+  /// The single fallible allocation seam: retry/backoff, then the reserve
+  /// pool, then a clean SegmentAllocError. Every segment the queue ever
+  /// creates funnels through here (ctor, walk_to extension, pool misses).
+  Segment* allocate_fresh(int64_t id) {
+    for (int attempt = 0; attempt < kAllocRetries; ++attempt) {
+      try {
+        WFQ_INJECT(Traits, "seg_alloc_try");
+        auto* s = aligned_new<Segment>();
+        s->id = id;
+        allocated_.fetch_add(1, std::memory_order_relaxed);
+        return s;
+      } catch (const std::bad_alloc&) {
+        if (attempt + 1 < kAllocRetries) std::this_thread::yield();
+      }
+    }
+    if (Segment* s = reserve_pop()) {
+      reserve_pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      s->id = id;
+      s->next.store(nullptr, std::memory_order_relaxed);
+      for (auto& c : s->cells) c.reset();
+      return s;
+    }
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    throw SegmentAllocError{};
+  }
+
+  // The reserve uses the same dereference-free slot-array shape as the
+  // recycling pool below, but is consulted only on the allocation-failure
+  // path and refilled with priority by delete_segment.
+
+  Segment* reserve_pop() {
+    for (auto& slot : reserve_) {
+      if (slot.load(std::memory_order_relaxed) != nullptr) {
+        if (Segment* s = slot.exchange(nullptr, std::memory_order_acquire)) {
+          return s;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  /// Refill only up to the configured target: with the reserve disabled
+  /// (target 0) retirement behaves exactly as before the OOM seam existed,
+  /// keeping the allocated/freed accounting of pool-disabled configs exact.
+  bool reserve_push(Segment* s) {
+    for (std::size_t i = 0; i < reserve_target_; ++i) {
+      auto& slot = reserve_[i];
+      Segment* expected = nullptr;
+      if (slot.load(std::memory_order_relaxed) == nullptr &&
+          slot.compare_exchange_strong(expected, s, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// The Listing-2 walk shared by find_cell and find_cell_range: advance
   /// `s` to the segment with id `target`, CAS-appending fresh segments when
   /// the list ends; append-race losers land in the caller's `spare`.
@@ -233,6 +350,9 @@ class SegmentList {
       Segment* next = s->next.load(acq());
       if (next == nullptr) {
         // Extend the list, recycling the caller's spare if it has one.
+        // The injection point sits BEFORE the allocation: a victim that
+        // crashes here has not yet acquired a segment, so nothing leaks.
+        WFQ_INJECT(Traits, "seg_extend");
         Segment* tmp = spare != nullptr ? spare : new_segment(0);
         spare = nullptr;
         tmp->id = i + 1;
@@ -316,8 +436,13 @@ class SegmentList {
   std::atomic<int64_t> freed_{0};
   std::atomic<int64_t> first_id_{0};
   std::atomic<int64_t> peak_live_{1};
+  std::atomic<uint64_t> alloc_failures_{0};
+  std::atomic<uint64_t> reserve_pool_hits_{0};
+  const std::size_t reserve_target_;
   alignas(kCacheLineSize) std::array<std::atomic<Segment*>, kPoolSlots>
       pool_{};
+  alignas(kCacheLineSize) std::array<std::atomic<Segment*>, kReserveSlots>
+      reserve_{};
 };
 
 }  // namespace wfq

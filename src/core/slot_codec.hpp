@@ -1,8 +1,8 @@
 // Encoding of user values into the queue core's 64-bit slots.
 //
-// The core reserves three slot values (⊥ = 0, ⊤ = ~0, EMPTY = ~0-1); user
-// payloads must never collide with them. This header maps common value
-// types into the safe range:
+// The core reserves four slot values (⊥ = 0, ⊤ = ~0, EMPTY = ~0-1,
+// NOMEM = ~0-2); user payloads must never collide with them. This header
+// maps common value types into the safe range:
 //
 //  * integrals/enums/floats that fit in 62 bits after zero-extension are
 //    stored shifted by +1 (always collision-free);
@@ -92,11 +92,13 @@ struct SlotCodec<T, std::enable_if_t<detail::is_wide_scalar_v<T>>> {
 
   static constexpr bool representable(T v) {
     auto u = static_cast<uint64_t>(v);
-    return u != 0 && u != ~uint64_t{0} && u != ~uint64_t{0} - 1;
+    return u != 0 && u != ~uint64_t{0} && u != ~uint64_t{0} - 1 &&
+           u != ~uint64_t{0} - 2;
   }
   static uint64_t encode(T v) {
     assert(representable(v) &&
-           "64-bit payloads 0, ~0 and ~0-1 are reserved; box them instead");
+           "64-bit payloads 0, ~0, ~0-1 and ~0-2 are reserved; box them "
+           "instead");
     return static_cast<uint64_t>(v);
   }
   static T decode(uint64_t slot) { return static_cast<T>(slot); }
@@ -145,11 +147,11 @@ struct SlotCodec<double, void> {
   static uint64_t encode(double v) {
     uint64_t bits;
     std::memcpy(&bits, &v, sizeof(bits));
-    // Store bits + 1, which needs bits <= ~0-3 to stay clear of the
-    // reserved slots {0, ~0, ~0-1}. The three excluded bit patterns
-    // (~0, ~0-1, ~0-2) are all non-canonical negative NaNs; canonicalize
-    // them to the standard quiet NaN first.
-    if (bits >= ~uint64_t{0} - 2) bits = 0x7FF8000000000000ull;
+    // Store bits + 1, which needs bits <= ~0-4 to stay clear of the
+    // reserved slots {0, ~0, ~0-1, ~0-2}. The four excluded bit patterns
+    // (~0 .. ~0-3) are all non-canonical negative NaNs; canonicalize them
+    // to the standard quiet NaN first.
+    if (bits >= ~uint64_t{0} - 3) bits = 0x7FF8000000000000ull;
     return bits + 1;
   }
   static double decode(uint64_t slot) {

@@ -38,6 +38,7 @@ class WFQueue {
 
  public:
   using value_type = T;
+  using Traits_ = Traits;
 
   /// Per-thread access token. Movable, not copyable; releases its slot in
   /// the helper ring back to the queue's freelist on destruction.
@@ -55,7 +56,7 @@ class WFQueue {
       auto h = get_handle();
       for (;;) {
         uint64_t slot = core_.dequeue(h.get());
-        if (slot == Core::kEmpty) break;
+        if (slot == Core::kEmpty || slot == Core::kNoMem) break;
         Codec::destroy_slot(slot);
       }
     }
@@ -64,27 +65,38 @@ class WFQueue {
   /// Registers the calling scope as a queue participant.
   Handle get_handle() { return Handle(core_); }
 
-  /// Appends `v` to the queue. Wait-free.
-  void enqueue(Handle& h, T v) {
-    core_.enqueue(h.get(), Codec::encode(std::move(v)));
+  /// Appends `v` to the queue. Wait-free. Returns false only when segment
+  /// allocation failed past all retries and the reserve pool (the OOM
+  /// contract, docs/API.md): the value is NOT enqueued and the queue is
+  /// still intact — the call may simply be retried later.
+  bool enqueue(Handle& h, T v) {
+    uint64_t slot = Codec::encode(std::move(v));
+    bool ok = core_.enqueue(h.get(), slot);
+    if (!ok) Codec::destroy_slot(slot);
+    return ok;
   }
 
   /// Removes the oldest value; `nullopt` means the queue was observed empty
-  /// at the operation's linearization point. Wait-free.
+  /// at the operation's linearization point. Wait-free. Throws
+  /// SegmentAllocError when segment allocation failed past all retries and
+  /// the reserve pool; no value is lost and the queue remains usable.
   std::optional<T> dequeue(Handle& h) {
     uint64_t slot = core_.dequeue(h.get());
     if (slot == Core::kEmpty) return std::nullopt;
+    if (slot == Core::kNoMem) throw SegmentAllocError{};
     return Codec::decode(slot);
   }
 
   /// Appends vals[0..count) in order, paying the contended FAA once for the
   /// whole batch. Linearizes as `count` consecutive enqueues (batch-as-
   /// sequence; see docs/API.md). Each item is individually wait-free.
-  void enqueue_bulk(Handle& h, const T* vals, std::size_t count) {
-    if (count == 0) return;
+  /// Returns how many items were enqueued: fewer than `count` only under
+  /// allocation failure (the committed items form a prefix of `vals`).
+  std::size_t enqueue_bulk(Handle& h, const T* vals, std::size_t count) {
+    if (count == 0) return 0;
     if constexpr (std::is_same_v<T, uint64_t>) {
       // Identity codec: hand the caller's array straight to the core.
-      core_.enqueue_bulk(h.get(), vals, count);
+      return core_.enqueue_bulk(h.get(), vals, count);
     } else {
       uint64_t inline_slots[kInlineBulk];
       std::vector<uint64_t> heap_slots;
@@ -103,7 +115,12 @@ class WFQueue {
         for (std::size_t j = 0; j < encoded; ++j) Codec::destroy_slot(slots[j]);
         throw;
       }
-      core_.enqueue_bulk(h.get(), slots, count);
+      std::size_t committed = core_.enqueue_bulk(h.get(), slots, count);
+      // Boxes past the committed prefix never entered the queue.
+      for (std::size_t j = committed; j < count; ++j) {
+        Codec::destroy_slot(slots[j]);
+      }
+      return committed;
     }
   }
 

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/align.hpp"
@@ -45,6 +46,7 @@
 #include "common/packed_state.hpp"
 #include "core/op_stats.hpp"
 #include "core/segment_list.hpp"
+#include "harness/fault_inject.hpp"
 #include "memory/segment_reclaim.hpp"
 
 namespace wfq {
@@ -56,6 +58,10 @@ namespace wfq {
 inline constexpr uint64_t kSlotBot = 0;                   ///< ⊥
 inline constexpr uint64_t kSlotTop = ~uint64_t{0};        ///< ⊤
 inline constexpr uint64_t kSlotEmpty = ~uint64_t{0} - 1;  ///< EMPTY
+/// Return-only sentinel: dequeue could not complete because segment
+/// allocation failed cleanly (the OOM seam exhausted retries and the
+/// reserve pool). Never stored in a cell.
+inline constexpr uint64_t kSlotNoMem = ~uint64_t{0} - 2;
 
 /// An enqueue request: logically (val, pending, id). `state` packs
 /// (pending, id) into one word so helpers can claim it with a single CAS.
@@ -123,6 +129,13 @@ struct DefaultWfTraits {
   /// to widen the explored schedule space — essential on hosts with few
   /// hardware threads, where natural preemption rarely lands mid-operation.
   static void interleave_hint() {}
+
+  /// Fault-injection hook (src/harness/fault_inject.hpp). NullInjector
+  /// compiles every WFQ_INJECT site to nothing; fault tests substitute
+  /// fault::ScriptedInjector to stall/crash/alloc-fail a victim thread at
+  /// named points. Traits types that omit this member get NullInjector via
+  /// fault::InjectorOf detection, so pre-existing custom traits still work.
+  using Injector = fault::NullInjector;
 };
 
 /// Runtime tunables (the paper's PATIENCE and MAX_GARBAGE).
@@ -135,6 +148,13 @@ struct WfConfig {
   /// Number of retired segments allowed to accumulate before a dequeuer
   /// attempts reclamation (amortizes cleanup cost, §3.6).
   int64_t max_garbage = 64;
+  /// Segments pre-allocated into the SegmentList's OOM reserve pool
+  /// (clamped to SegmentList::kReserveSlots). Consulted only after
+  /// allocation retries fail; refilled with priority as segments retire.
+  /// 0 (the default) disables the airbag — operations fail as soon as
+  /// retries do — and keeps segment accounting identical to a queue
+  /// without the OOM seam.
+  std::size_t reserve_segments = 0;
 };
 
 template <class Traits = DefaultWfTraits>
@@ -161,10 +181,15 @@ class WFQueueCore {
   static constexpr uint64_t kBot = kSlotBot;      ///< ⊥: cell untouched
   static constexpr uint64_t kTop = kSlotTop;      ///< ⊤: cell unusable
   static constexpr uint64_t kEmpty = kSlotEmpty;  ///< dequeue saw empty
+  static constexpr uint64_t kNoMem = kSlotNoMem;  ///< dequeue failed: OOM
+
+  /// Fault-injection hook resolved from the traits (NullInjector unless the
+  /// traits opt in; see src/harness/fault_inject.hpp).
+  using Injector = fault::InjectorOf<Traits>;
 
   /// True iff a slot value is legal to enqueue.
   static constexpr bool is_enqueueable(uint64_t v) noexcept {
-    return v != kBot && v != kTop && v != kEmpty;
+    return v != kBot && v != kTop && v != kEmpty && v != kNoMem;
   }
 
   // Sentinels for the cell's request-pointer fields (⊥e/⊤e, ⊥d/⊤d).
@@ -214,9 +239,26 @@ class WFQueueCore {
                                ///< implementation optimization)
     uint64_t op_probes = 0;    ///< cells probed by the in-flight operation
                                ///< (owner-only; wait-freedom accounting)
+
+    // Robustness state (orphan adoption; see docs/ALGORITHM.md §11).
+    // `op_phase` is owner-written and read by an adopter only once the
+    // owner provably takes no more steps (dead, or parked by the fault
+    // injector): it distinguishes a request record that belongs to the
+    // crashed operation from a stale one left by an ancient completed op
+    // whose cell may long since have been reclaimed.
+    std::atomic<uint8_t> op_phase{0};     ///< kPhaseIdle/kPhaseEnq/kPhaseDeq
+    std::atomic<bool> orphaned{false};    ///< adopted via adopt_handle();
+                                          ///< the owner's late release is
+                                          ///< then a plain freelist push
+
     OpStats stats;
     Handle* next_free = nullptr;  ///< freelist link (guarded by mutex)
   };
+
+  // Operation phases for Handle::op_phase.
+  static constexpr uint8_t kPhaseIdle = 0;
+  static constexpr uint8_t kPhaseEnq = 1;
+  static constexpr uint8_t kPhaseDeq = 2;
 
   // False-sharing audit of Handle. Each request record must fit its line,
   // the owner-local cursor that follows it must start on the next line, and
@@ -237,7 +279,8 @@ class WFQueueCore {
   // alignas places each side on a line boundary and the sizeof asserts
   // above make every block a whole number of lines.)
 
-  explicit WFQueueCore(WfConfig cfg = {}) : cfg_(cfg) {
+  explicit WFQueueCore(WfConfig cfg = {})
+      : cfg_(cfg), segs_(cfg.reserve_segments) {
     tail_index_->store(0, std::memory_order_relaxed);
     head_index_->store(0, std::memory_order_relaxed);
   }
@@ -272,6 +315,17 @@ class WFQueueCore {
       Handle* h = free_handles_;
       free_handles_ = h->next_free;
       h->next_free = nullptr;
+      // release_handle hardening: a recycled handle must come back clean —
+      // no published protection, no in-flight phase, no pending request.
+      assert(!rcl_.op_active(h) &&
+             h->op_phase.load(std::memory_order_relaxed) == kPhaseIdle &&
+             !PackedState::from_word(
+                  h->enq.req.state.load(std::memory_order_relaxed))
+                  .pending() &&
+             !PackedState::from_word(
+                  h->deq.req.state.load(std::memory_order_relaxed))
+                  .pending() &&
+             "recycled handle carries live operation state");
       return h;
     }
     auto owned = std::make_unique<Handle>();
@@ -302,10 +356,43 @@ class WFQueueCore {
     return h;
   }
 
+  /// Return a handle to the freelist. Hardened: a handle released with a
+  /// pending request or still-published protection (a guard leaked from the
+  /// middle of an operation, a thread unwinding after an injected crash) is
+  /// *adopted* first — its request is driven to completion and its
+  /// protection cleared — so the next register_handle() reuser starts clean
+  /// and, crucially, the reclamation frontier is no longer pinned by a
+  /// dead operation (the paper assumes every thread keeps taking steps;
+  /// see docs/ALGORITHM.md §11).
   void release_handle(Handle* h) {
     std::lock_guard<std::mutex> g(handle_mutex_);
+    if (h->orphaned.exchange(false, std::memory_order_acq_rel)) {
+      // adopt_handle() already completed the operation and cleared the
+      // state while the owner was stalled; nothing left but the freelist.
+    } else if (rcl_.op_active(h) ||
+               h->op_phase.load(std::memory_order_acquire) != kPhaseIdle) {
+      adopt_orphan(h);
+    }
+    assert(!rcl_.op_active(h) && "released handle still publishes protection");
     h->next_free = free_handles_;
     free_handles_ = h;
+  }
+
+  /// Adopt a handle whose owner provably takes no more steps (dead thread,
+  /// permanently stalled victim) WITHOUT waiting for its HandleGuard to
+  /// unwind: completes any pending request, clears protection, and marks
+  /// the handle so the owner's eventual release (if it ever runs) is a
+  /// plain freelist push. The handle stays out of circulation until that
+  /// release — adoption unblocks the *cleaner*, not the handle slot.
+  /// Precondition: the owner performs no further queue operations.
+  void adopt_handle(Handle* h) {
+    std::lock_guard<std::mutex> g(handle_mutex_);
+    if (h->orphaned.load(std::memory_order_acquire)) return;
+    if (rcl_.op_active(h) ||
+        h->op_phase.load(std::memory_order_acquire) != kPhaseIdle) {
+      adopt_orphan(h);
+    }
+    h->orphaned.store(true, std::memory_order_release);
   }
 
   /// RAII registration for one thread.
@@ -336,57 +423,102 @@ class WFQueueCore {
   /// `patience + 1` fast-path attempts, then the helping slow path, which
   /// completes once every contending dequeuer has become a helper
   /// (Lemma 4.3: at most (n-1)^2 slow-path failures).
-  void enqueue(Handle* h, uint64_t v) {
+  ///
+  /// Returns false only when segment allocation failed cleanly (the OOM
+  /// seam exhausted retries and the reserve pool): the value was NOT
+  /// enqueued and the queue state is intact — indices the operation FAA'd
+  /// are abandoned exactly like contention-wasted fast-path attempts.
+  bool enqueue(Handle* h, uint64_t v) {
     assert(is_enqueueable(v));
+    // Op-start marker: park the request state at the unreachable index
+    // kMaxIndex so an adopter can tell "no slow-path request this op" from
+    // a stale record of an ancient, completed operation.
+    h->enq.req.state.store(PackedState(false, PackedState::kMaxIndex).word(),
+                           std::memory_order_relaxed);
+    h->op_phase.store(kPhaseEnq, std::memory_order_release);
     // Protect the operation's root segment (with PaperReclaim this is the
     // §3.6 hazard-pointer publish whose fast-path ordering the FAA below
     // provides for free on x86).
     rcl_.begin_op(h, h->tail);
+    WFQ_INJECT(Traits, "enq_begin");
     Traits::interleave_hint();  // protection published, operation not begun
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
     uint64_t cell_id = 0;
     bool done = false;
-    for (unsigned p = 0; p <= cfg_.patience && !done; ++p) {
-      done = enq_fast(h, v, cell_id);
+    bool ok = true;
+    try {
+      for (unsigned p = 0; p <= cfg_.patience && !done; ++p) {
+        done = enq_fast(h, v, cell_id);
+      }
+    } catch (const SegmentAllocError&) {
+      // Fast-path find_cell could not extend the list. No request was
+      // published and no cell holds the value: fail the operation cleanly.
+      ok = false;
     }
-    if (done) {
-      count(h->stats.enq_fast);
-    } else {
-      enq_slow(h, v, cell_id);
-      count(h->stats.enq_slow);
+    if (ok) {
+      if (done) {
+        count(h->stats.enq_fast);
+      } else {
+        ok = enq_slow(h, v, cell_id);
+        count(h->stats.enq_slow);
+      }
     }
     flush_probes(h, h->stats.enq_probes, h->stats.max_enq_probes);
+    h->op_phase.store(kPhaseIdle, std::memory_order_release);
     rcl_.end_op(h);
+    return ok;
   }
 
-  /// Removes and returns the oldest value, or kEmpty if the queue was
-  /// observed empty at the linearization point. Wait-free (Lemma 4.4).
+  /// Removes and returns the oldest value, kEmpty if the queue was observed
+  /// empty at the linearization point, or kNoMem if segment allocation
+  /// failed cleanly before any value was claimed (queue state intact).
+  /// Wait-free (Lemma 4.4).
   uint64_t dequeue(Handle* h) {
+    h->deq.req.state.store(PackedState(false, PackedState::kMaxIndex).word(),
+                           std::memory_order_relaxed);
+    h->op_phase.store(kPhaseDeq, std::memory_order_release);
     rcl_.begin_op(h, h->head);
+    WFQ_INJECT(Traits, "deq_begin");
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
     uint64_t v = kTop;
     uint64_t cell_id = 0;
-    for (unsigned p = 0; p <= cfg_.patience; ++p) {
-      v = deq_fast(h, cell_id);
-      if (v != kTop) break;
+    try {
+      for (unsigned p = 0; p <= cfg_.patience; ++p) {
+        v = deq_fast(h, cell_id);
+        if (v != kTop) break;
+      }
+      if (v == kTop) {
+        v = deq_slow(h, cell_id);
+        count(h->stats.deq_slow);
+      } else {
+        count(h->stats.deq_fast);
+      }
+    } catch (const SegmentAllocError&) {
+      // deq_fast rethrows only after parking its consumed index in the
+      // debt table (settle_unreachable) and deq_slow cancels its request
+      // before rethrowing, so no value has been claimed for this
+      // operation and no index was silently abandoned.
+      v = kNoMem;
     }
-    if (v == kTop) {
-      v = deq_slow(h, cell_id);
-      count(h->stats.deq_slow);
-    } else {
-      count(h->stats.deq_fast);
-    }
-    if (v != kEmpty) {
+    if (v == kEmpty) {
+      count(h->stats.deq_empty);
+    } else if (v != kNoMem) {
       // Listing 4 line 135: a successful dequeuer helps its dequeue peer,
       // then moves to the next peer in the ring (Invariant 13).
-      help_deq(h, h->deq.peer);
+      WFQ_INJECT(Traits, "deq_help_peer");
+      try {
+        help_deq(h, h->deq.peer);
+      } catch (const SegmentAllocError&) {
+        // Helping is best-effort under OOM: the peer's own loop (or a
+        // later helper) completes the request once memory returns. Our
+        // value is already claimed, so the operation still succeeds.
+      }
       h->deq.peer = h->deq.peer->next.load(std::memory_order_relaxed);
-    } else {
-      count(h->stats.deq_empty);
     }
     // Probe accounting includes the peer help above: helping is part of
     // the dequeue's bounded work (Lemma 4.4).
     flush_probes(h, h->stats.deq_probes, h->stats.max_deq_probes);
+    h->op_phase.store(kPhaseIdle, std::memory_order_release);
     rcl_.end_op(h);
     poll_reclaim(h);
     return v;
@@ -418,9 +550,12 @@ class WFQueueCore {
   /// Invariant 4 (T > cid before a value is visible at cid) holds for every
   /// ticket up front — the batch FAA advanced T to base + n — so ticket
   /// commits need no advance_end_for_linearizability, like enq_fast.
-  void enqueue_bulk(Handle* h, const uint64_t* vals, std::size_t n) {
-    if (n == 0) return;
-    if (n == 1) return enqueue(h, vals[0]);
+  /// Returns the number of values actually enqueued — `n` except under a
+  /// clean allocation failure, where a prefix [0, returned) was enqueued
+  /// and the rest was not (queue state intact).
+  std::size_t enqueue_bulk(Handle* h, const uint64_t* vals, std::size_t n) {
+    if (n == 0) return 0;
+    if (n == 1) return enqueue(h, vals[0]) ? 1 : 0;
 #ifndef NDEBUG
     for (std::size_t j = 0; j < n; ++j) assert(is_enqueueable(vals[j]));
 #endif
@@ -429,27 +564,39 @@ class WFQueueCore {
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
     const uint64_t base =
         Traits::Faa::fetch_add(*tail_index_, uint64_t(n), sc());
+    WFQ_INJECT(Traits, "enq_bulk_faa_post");
     Traits::interleave_hint();  // stall point: n indices claimed, no cell
                                 // touched — helpers must cope, as for a
                                 // stalled single-op enqueuer
     std::size_t committed = 0;
     Segment* s = h->tail.load(acq());
     Cell* cells[kBulkChunk];
-    for (std::size_t ticket = 0; ticket < n;) {
-      const std::size_t take = std::min(n - ticket, kBulkChunk);
-      find_cell_range(h, s, base + ticket, take, cells, "enq_bulk");
-      for (std::size_t j = 0; j < take; ++j) {
-        Traits::interleave_hint();
-        uint64_t expected = kBot;
-        if (cells[j]->val.compare_exchange_strong(
-                expected, vals[committed], sc(), std::memory_order_relaxed)) {
-          if (++committed == n) break;
+    std::size_t ticket = 0;
+    try {
+      for (; ticket < n;) {
+        const std::size_t take = std::min(n - ticket, kBulkChunk);
+        find_cell_range(h, s, base + ticket, take, cells, "enq_bulk");
+        for (std::size_t j = 0; j < take; ++j) {
+          Traits::interleave_hint();
+          uint64_t expected = kBot;
+          if (cells[j]->val.compare_exchange_strong(
+                  expected, vals[committed], sc(),
+                  std::memory_order_relaxed) &&
+              !deposit_retracted(h, cells[j], base + ticket + j)) {
+            if (++committed == n) break;
+          }
+          // else: a dequeuer sealed this cell, or the deposit landed in a
+          // debt-parked cell and was retracted — ticket wasted, value
+          // retries on the next one.
         }
-        // else: a dequeuer sealed this cell — ticket wasted, value retries
-        // on the next one.
+        if (committed == n) break;
+        ticket += take;
       }
-      if (committed == n) break;
-      ticket += take;
+    } catch (const SegmentAllocError&) {
+      // Unreachable tickets are abandoned like contention-wasted ones (the
+      // remaining values retry below as ordinary fallible enqueues), but a
+      // parked debt at an abandoned ticket can never be repaid: drop them.
+      for (std::size_t u = ticket; u < n; ++u) debt_gc(base + u);
     }
     h->tail.store(s, rel());
     count(h->stats.enq_bulk_batches);
@@ -457,8 +604,12 @@ class WFQueueCore {
     flush_probes(h, h->stats.enq_probes, h->stats.max_enq_probes);
     rcl_.end_op(h);
     // Residual values (every ticket from theirs onward was stolen): plain
-    // per-item wait-free enqueues, in order.
-    for (; committed < n; ++committed) enqueue(h, vals[committed]);
+    // per-item wait-free enqueues, in order, stopping at the first clean
+    // allocation failure.
+    for (; committed < n; ++committed) {
+      if (!enqueue(h, vals[committed])) break;
+    }
+    return committed;
   }
 
   /// Batched dequeue: remove up to `n` values into out[0..) with one FAA
@@ -496,35 +647,57 @@ class WFQueueCore {
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
     const uint64_t base =
         Traits::Faa::fetch_add(*head_index_, uint64_t(n), sc());
+    WFQ_INJECT(Traits, "deq_bulk_faa_post");
     Traits::interleave_hint();  // stall point: n indices claimed, cells unseen
     std::size_t got = 0;
     bool saw_empty = false;
     Segment* s = h->head.load(acq());
     Cell* cells[kBulkChunk];
-    for (std::size_t ticket = 0; ticket < n; ticket += kBulkChunk) {
-      const std::size_t take = std::min(n - ticket, kBulkChunk);
-      find_cell_range(h, s, base + ticket, take, cells, "deq_bulk");
-      for (std::size_t j = 0; j < take; ++j) {
-        Traits::interleave_hint();
-        const uint64_t v = help_enq(h, cells[j], base + ticket + j);
-        if (v == kEmpty) {
+    std::size_t ticket = 0;
+    try {
+      for (; ticket < n; ticket += kBulkChunk) {
+        const std::size_t take = std::min(n - ticket, kBulkChunk);
+        find_cell_range(h, s, base + ticket, take, cells, "deq_bulk");
+        for (std::size_t j = 0; j < take; ++j) {
+          Traits::interleave_hint();
+          const uint64_t v = help_enq(h, cells[j], base + ticket + j);
+          if (v == kEmpty) {
+            saw_empty = true;
+            continue;  // keep visiting: later cells may need helping
+          }
+          if (v == kTop) continue;  // cell unusable, ticket wasted
+          DeqReq* expected = deq_bot();
+          if (cells[j]->deq.compare_exchange_strong(
+                  expected, deq_top(), sc(), std::memory_order_relaxed)) {
+            out[got++] = v;  // claimed, FIFO by increasing cell id
+          }
+          // else: a slow-path dequeue request claimed this value first.
+        }
+      }
+    } catch (const SegmentAllocError&) {
+      // Values claimed so far are real. The tickets from the failed chunk
+      // onward were consumed by the FAA but their cells never visited —
+      // and an enqueue whose walk succeeds later (reserve pool, memory
+      // returning) could still deposit there. Park each as a debt, or
+      // settle it in person, exactly as deq_fast does for its one index.
+      for (std::size_t u = ticket; u < n; ++u) {
+        const uint64_t sv = settle_unreachable(h, base + u);
+        if (sv == kEmpty) {
           saw_empty = true;
-          continue;  // keep visiting: later cells may need helping/refereeing
+        } else if (sv != kTop && sv != kNoMem) {
+          out[got++] = sv;  // settled in person and claimed
         }
-        if (v == kTop) continue;  // cell unusable, ticket wasted
-        DeqReq* expected = deq_bot();
-        if (cells[j]->deq.compare_exchange_strong(
-                expected, deq_top(), sc(), std::memory_order_relaxed)) {
-          out[got++] = v;  // claimed, FIFO by increasing cell id
-        }
-        // else: a slow-path dequeue request claimed this value first.
       }
     }
     h->head.store(s, rel());
     if (got != 0) {
       // As in dequeue (Listing 4 line 135): a successful dequeuer helps its
       // dequeue peer — once per batch, matching the one shared FAA.
-      help_deq(h, h->deq.peer);
+      try {
+        help_deq(h, h->deq.peer);
+      } catch (const SegmentAllocError&) {
+        // Best-effort under OOM, as in dequeue().
+      }
       h->deq.peer = h->deq.peer->next.load(rlx());
     }
     count(h->stats.deq_bulk_batches);
@@ -535,7 +708,7 @@ class WFQueueCore {
     poll_reclaim(h);
     while (!saw_empty && got < n) {
       const uint64_t v = dequeue(h);
-      if (v == kEmpty) break;
+      if (v == kEmpty || v == kNoMem) break;
       out[got++] = v;
     }
     return got;
@@ -549,8 +722,20 @@ class WFQueueCore {
   /// numbers; any time for an approximation).
   OpStats collect_stats() const {
     OpStats total;
-    std::lock_guard<std::mutex> g(handle_mutex_);
-    for (const auto& h : all_handles_) total.add(h->stats);
+    {
+      std::lock_guard<std::mutex> g(handle_mutex_);
+      for (const auto& h : all_handles_) total.add(h->stats);
+    }
+    // Seam and injector counters live on the segment list / the (process-
+    // global) injector rather than on handles; fold them in here.
+    total.alloc_failures.fetch_add(segs_.alloc_failures(),
+                                   std::memory_order_relaxed);
+    total.reserve_pool_hits.fetch_add(segs_.reserve_pool_hits(),
+                                      std::memory_order_relaxed);
+    total.injected_stalls.fetch_add(Injector::stalls(),
+                                    std::memory_order_relaxed);
+    total.injected_crashes.fetch_add(Injector::crashes(),
+                                     std::memory_order_relaxed);
     return total;
   }
 
@@ -681,6 +866,140 @@ class WFQueueCore {
     c->val.store(v, rel());
   }
 
+  // ---- OOM debt protocol (conservation under allocation failure) ------
+  //
+  // A dequeuer's FAA on H irrevocably consumes cell index i. If the
+  // subsequent find_cell cannot materialize segment(i), abandoning the
+  // index would strand any value a later enqueue deposits there (the
+  // enqueuer's walk may succeed where ours failed: the reserve pool, or
+  // memory returning) — no dequeue ever FAAs into i again. Instead the
+  // dequeuer *parks the index as a debt* in a bounded table that every
+  // depositor consults (one shared load when the table is empty) after
+  // making a value visible. A depositor that lands on a parked index
+  // claims the entry, seals the cell's `deq` field, and deposits the value
+  // again at a fresh index — all inside its own operation, so the enqueue
+  // simply linearizes at the later deposit and FIFO/linearizability are
+  // preserved. Counted in OpStats::oom_rescues.
+  //
+  // The `deq` field is the single arbiter between a retracting depositor
+  // and any dequeue-side claimer (an in-person settler below, or a
+  // help_deq candidate claim): whoever CASes it from ⊥d first owns the
+  // value's fate, so the value is consumed exactly once.
+  //
+  // The park itself is race-free against a concurrent deposit because a
+  // deposit at i requires segment(i) to exist, and the parking dequeuer
+  // re-probes the list *after* publishing the entry (seq_cst RMWs plus a
+  // fence — the Dekker pairing with the depositor's seq_cst check): if the
+  // list is still too short, no deposit has happened yet and every future
+  // depositor sees the entry; if the segment appeared meanwhile, the
+  // dequeuer races for its own entry back and settles the cell in person.
+
+  /// Publish cell id `i` as a parked debt. False if the table is full.
+  bool debt_log(uint64_t i) {
+    for (auto& slot : debt_) {
+      uint64_t expected = 0;
+      if (slot.load(std::memory_order_relaxed) == 0 &&
+          slot.compare_exchange_strong(expected, i + 1,
+                                       std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        debt_count_->fetch_add(1, std::memory_order_seq_cst);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Claim (remove) the debt entry for cell id `i`; at most one claimer
+  /// succeeds. The slot is cleared before the count drops, so the
+  /// depositors' fast-path gate (count == 0) never hides a live entry.
+  bool debt_claim(uint64_t i) {
+    for (auto& slot : debt_) {
+      uint64_t expected = i + 1;
+      if (slot.load(std::memory_order_relaxed) == i + 1 &&
+          slot.compare_exchange_strong(expected, 0, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        debt_count_->fetch_sub(1, std::memory_order_seq_cst);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Drop a parked debt for an index that can never receive a deposit
+  /// (its enqueue-side owner abandoned it too, or help_enq sealed the cell
+  /// barren). Pure slot hygiene — the cell is dead either way.
+  void debt_gc(uint64_t i) {
+    if (debt_count_->load(std::memory_order_seq_cst) == 0) return;
+    (void)debt_claim(i);
+  }
+
+  /// Handle a dequeue-side index whose segment could not be materialized.
+  /// Parks it as a debt when possible; when the segment appears
+  /// concurrently (or the table is full) settles the cell in person with
+  /// the ordinary help_enq / claim protocol. Returns a claimed value,
+  /// kEmpty (valid emptiness witness), kTop (ticket wasted), or kNoMem
+  /// (index parked; the operation may fail cleanly).
+  uint64_t settle_unreachable(Handle* h, uint64_t i) {
+    for (;;) {
+      Cell* c = nullptr;
+      if (debt_log(i)) {
+        // Dekker pairing with deposit_retracted: publish, fence, re-probe.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        try {
+          Segment* s = h->head.load(acq());
+          c = find_cell(h, s, i, "debt_settle");
+          h->head.store(s, rel());
+        } catch (const SegmentAllocError&) {
+          return kNoMem;  // parked; a future depositor will retract
+        }
+        // The segment appeared while we parked: take the entry back and
+        // settle in person. Losing the race means a depositor (or a
+        // barren-cell GC) owns the cell now — for us the ticket is dead.
+        if (!debt_claim(i)) return kTop;
+      } else {
+        // Table full: conservation requires visiting the cell, so retry
+        // the walk until the allocator recovers. Reaching this corner
+        // takes >= kDebtSlots outstanding debts during a persistent OOM
+        // storm; progress resumes as soon as any allocation succeeds.
+        try {
+          Segment* s = h->head.load(acq());
+          c = find_cell(h, s, i, "debt_settle_full");
+          h->head.store(s, rel());
+        } catch (const SegmentAllocError&) {
+          std::this_thread::yield();
+          continue;
+        }
+      }
+      const uint64_t v = help_enq(h, c, i);
+      if (v == kEmpty) return kEmpty;
+      if (v == kTop) return kTop;
+      DeqReq* expected = deq_bot();
+      if (c->deq.compare_exchange_strong(expected, deq_top(), sc(),
+                                         std::memory_order_relaxed)) {
+        return v;
+      }
+      return kTop;  // a slow-path dequeue request claimed the value first
+    }
+  }
+
+  /// Post-deposit check, run by every path that makes a value visible in a
+  /// cell. True means the deposit landed in a debt-parked (dead) cell and
+  /// was retracted: the caller still owns the value and must deposit it
+  /// again at a fresh index. False either because the index was never
+  /// parked or because a dequeue-side claimer won the `deq` arbitration —
+  /// then the value was consumed normally and the deposit stands.
+  bool deposit_retracted(Handle* h, Cell* c, uint64_t i) {
+    if (debt_count_->load(std::memory_order_seq_cst) == 0) return false;
+    if (!debt_claim(i)) return false;
+    DeqReq* expected = deq_bot();
+    if (!c->deq.compare_exchange_strong(expected, deq_top(), sc(),
+                                        std::memory_order_relaxed)) {
+      return false;  // a dequeuer claimed the value first: it is consumed
+    }
+    count(h->stats.oom_rescues);
+    return true;
+  }
+
   // ---- enqueue (Listing 3) -------------------------------------------
 
   /// One fast-path attempt: FAA a cell index, try to deposit with one CAS.
@@ -688,54 +1007,107 @@ class WFQueueCore {
   /// slow-path request id).
   bool enq_fast(Handle* h, uint64_t v, uint64_t& cid) {
     uint64_t i = Traits::Faa::fetch_add(*tail_index_, uint64_t{1}, sc());
+    WFQ_INJECT(Traits, "enq_faa_post");
     Traits::interleave_hint();  // stall point: index claimed, cell untouched
     Segment* s = h->tail.load(acq());
-    Cell* c = find_cell(h, s, i, "enq_fast");
+    Cell* c;
+    try {
+      c = find_cell(h, s, i, "enq_fast");
+    } catch (const SegmentAllocError&) {
+      debt_gc(i);  // both sides failed to reach i: the cell is barren
+      throw;
+    }
     h->tail.store(s, rel());
     uint64_t expected = kBot;
     if (c->val.compare_exchange_strong(expected, v, sc(),
-                                       std::memory_order_relaxed)) {
+                                       std::memory_order_relaxed) &&
+        !deposit_retracted(h, c, i)) {
       return true;
     }
+    // Ticket wasted (a dequeuer sealed the cell, or the deposit landed in
+    // a debt-parked cell and was retracted): the value retries.
     cid = i;
     return false;
   }
 
   /// Slow path: publish an enqueue request, keep claiming cells; complete
   /// when the enqueuer or any helper claims the request for a cell.
-  void enq_slow(Handle* h, uint64_t v, uint64_t cell_id) {
+  /// Returns false iff allocation failed and the request was withdrawn
+  /// before any helper claimed it (the value was not enqueued).
+  bool enq_slow(Handle* h, uint64_t v, uint64_t cell_id) {
     EnqReq* r = &h->enq.req;
     // Publish (val first, then state with the pending bit: helpers read in
     // the reverse order, which is the two-word consistency argument of
     // §3.4 "Write the proper value in a cell").
     r->val.store(v, rel());
     r->state.store(PackedState(true, cell_id).word(), sc());
+    WFQ_INJECT(Traits, "enq_slow_published");
+    return enq_slow_finish(h, r, v, cell_id);
+  }
 
+  /// Drive a published enqueue request to completion. Shared by enq_slow
+  /// and orphan adoption (the adopter calls it with the victim's handle to
+  /// complete a request the victim abandoned mid-flight). On allocation
+  /// failure the request is withdrawn with a single CAS to the unreachable
+  /// index kMaxIndex — helpers treat the cancelled record exactly like any
+  /// completed one (kMaxIndex can never equal a visited cell id, so the
+  /// "claimed but uncommitted" helper branch can never resurrect it).
+  bool enq_slow_finish(Handle* h, EnqReq* r, uint64_t v, uint64_t cell_id) {
     // Traverse with a local tail pointer: line 87 may need to revisit an
     // earlier cell than the last one probed.
     Segment* tmp_tail = h->tail.load(acq());
-    do {
-      uint64_t i = Traits::Faa::fetch_add(*tail_index_, uint64_t{1}, sc());
-      Traits::interleave_hint();
-      Cell* c = find_cell(h, tmp_tail, i, "enq_slow_loop");
-      // Dijkstra's protocol with help_enq: reserve the cell for the
-      // request, then check the cell was not already made unusable.
-      EnqReq* expected = enq_bot();
-      if (c->enq.compare_exchange_strong(expected, r, sc(),
-                                         std::memory_order_relaxed) &&
-          c->val.load(sc()) == kBot) {
-        try_to_claim_req(r->state, cell_id, i);
-        // Request now claimed for some cell (by us or a helper).
-        break;
+    try {
+      do {
+        uint64_t i = Traits::Faa::fetch_add(*tail_index_, uint64_t{1}, sc());
+        WFQ_INJECT(Traits, "enq_slow_faa");
+        Traits::interleave_hint();
+        Cell* c;
+        try {
+          c = find_cell(h, tmp_tail, i, "enq_slow_loop");
+        } catch (const SegmentAllocError&) {
+          debt_gc(i);  // this index is abandoned: a parked debt at it can
+                       // never be repaid
+          throw;
+        }
+        // Dijkstra's protocol with help_enq: reserve the cell for the
+        // request, then check the cell was not already made unusable.
+        EnqReq* expected = enq_bot();
+        if (c->enq.compare_exchange_strong(expected, r, sc(),
+                                           std::memory_order_relaxed) &&
+            c->val.load(sc()) == kBot) {
+          try_to_claim_req(r->state, cell_id, i);
+          // Request now claimed for some cell (by us or a helper).
+          break;
+        }
+      } while (PackedState::from_word(r->state.load(acq())).pending());
+    } catch (const SegmentAllocError&) {
+      uint64_t expected = PackedState(true, cell_id).word();
+      if (r->state.compare_exchange_strong(
+              expected, PackedState(false, PackedState::kMaxIndex).word(),
+              sc(), std::memory_order_relaxed)) {
+        return false;  // withdrawn cleanly; the value was not enqueued
       }
-    } while (PackedState::from_word(r->state.load(acq())).pending());
+      // A helper claimed the request concurrently: the value WILL be
+      // visible, so fall through and commit it. The commit path below is
+      // allocation-free — the claimed cell's segment already exists and is
+      // protected by this handle's published hzdp.
+    }
 
     // The request was claimed for cell `id`; find it and commit there.
     uint64_t id = PackedState::from_word(r->state.load(acq())).index();
+    assert(id != PackedState::kMaxIndex);
     Segment* s = h->tail.load(acq());
     Cell* c = find_cell(h, s, id, "enq_slow_commit");
     h->tail.store(s, rel());
+    WFQ_INJECT(Traits, "enq_slow_claimed");
     enq_commit(c, v, id);
+    if (deposit_retracted(h, c, id)) {
+      // The claimed cell was a parked debt: the request is complete but
+      // the value would be stranded there. Re-drive it as a fresh request
+      // (bounded: every retraction removes one debt entry).
+      return enq_slow(h, v, id);
+    }
+    return true;
   }
 
   /// Listing 3 help_enq, called by dequeuers on every cell they visit.
@@ -780,6 +1152,7 @@ class WFQueueCore {
       }
       // If no request reserved the cell, seal it so later helpers don't.
       if (c->enq.load(acq()) == enq_bot()) {
+        WFQ_INJECT(Traits, "help_enq_sealed");
         EnqReq* eb = enq_bot();
         c->enq.compare_exchange_strong(eb, enq_top(), sc(),
                                        std::memory_order_relaxed);
@@ -787,8 +1160,10 @@ class WFQueueCore {
     }
     EnqReq* e = c->enq.load(sc());
     if (e == enq_top()) {
-      // No enqueue will ever fill this cell. EMPTY only if not enough
-      // enqueues linearized before i (Invariant 6).
+      // No enqueue will ever fill this cell. A parked debt here can never
+      // be repaid — drop it. EMPTY only if not enough enqueues linearized
+      // before i (Invariant 6).
+      debt_gc(i);
       return tail_index_->load(sc()) <= i ? kEmpty : kTop;
     }
     // The cell holds a real enqueue request. Read state before val (reverse
@@ -815,9 +1190,21 @@ class WFQueueCore {
   /// (reporting the probed index through `cid`).
   uint64_t deq_fast(Handle* h, uint64_t& cid) {
     uint64_t i = Traits::Faa::fetch_add(*head_index_, uint64_t{1}, sc());
+    WFQ_INJECT(Traits, "deq_faa_post");
     Traits::interleave_hint();  // stall point: index claimed, cell unseen
     Segment* s = h->head.load(acq());
-    Cell* c = find_cell(h, s, i, "deq_fast");
+    Cell* c;
+    try {
+      c = find_cell(h, s, i, "deq_fast");
+    } catch (const SegmentAllocError&) {
+      // The FAA already consumed index i; never abandon it silently. Park
+      // it as a debt (clean kNoMem) or settle it in person (see the debt
+      // protocol above).
+      const uint64_t sv = settle_unreachable(h, i);
+      if (sv == kNoMem) throw;  // parked: dequeue() reports kNoMem
+      if (sv == kTop) cid = i;
+      return sv;  // a claimed value, kEmpty, or kTop (ticket wasted)
+    }
     h->head.store(s, rel());
     uint64_t v = help_enq(h, c, i);
     if (v == kEmpty) return kEmpty;
@@ -838,12 +1225,48 @@ class WFQueueCore {
     DeqReq* r = &h->deq.req;
     r->id.store(cid, rel());
     r->state.store(PackedState(true, cid).word(), sc());
+    WFQ_INJECT(Traits, "deq_slow_published");
     Traits::interleave_hint();  // request visible, no self-help yet
 
-    help_deq(h, h);
+    try {
+      help_deq(h, h);
+    } catch (const SegmentAllocError&) {
+      if (cancel_deq_request(h, r)) {
+        throw;  // withdrawn before completion; dequeue() reports kNoMem
+      }
+      // Helpers completed the request concurrently; read out the result.
+    }
+    return deq_slow_epilogue(h, r);
+  }
 
-    // The request is complete; its destination cell index is state.idx.
+  /// Withdraw a pending dequeue request by CASing its state to the
+  /// unreachable index kMaxIndex (looping across helper announcements).
+  /// Returns false if a helper completed the request first. On successful
+  /// withdrawal a helper may already have claimed a cell's `deq` field for
+  /// the request without closing it; that value is then unreachable, which
+  /// we account for pessimistically as an orphan drop.
+  bool cancel_deq_request(Handle* h, DeqReq* r) {
+    uint64_t w = r->state.load(acq());
+    while (PackedState::from_word(w).pending()) {
+      const bool announced =
+          PackedState::from_word(w).index() != r->id.load(acq());
+      if (r->state.compare_exchange_weak(
+              w, PackedState(false, PackedState::kMaxIndex).word(), sc(),
+              std::memory_order_relaxed)) {
+        if (announced) count(h->stats.orphan_drops);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Completed-request epilogue shared by deq_slow and orphan adoption:
+  /// locate the destination cell, read the value, raise H (Invariant 8).
+  /// Allocation-free: the destination segment exists (the completing
+  /// helper walked to it) and is protected by this handle's hzdp.
+  uint64_t deq_slow_epilogue(Handle* h, DeqReq* r) {
     uint64_t i = PackedState::from_word(r->state.load(acq())).index();
+    assert(i != PackedState::kMaxIndex);
     Segment* s = h->head.load(acq());
     Cell* c = find_cell(h, s, i, "deq_slow_epilogue");
     h->head.store(s, rel());
@@ -881,6 +1304,7 @@ class WFQueueCore {
       // Find a candidate cell, unless another helper announces one first.
       // `hc` is a second local segment pointer for the candidate scan.
       for (Segment* hc = ha; cand == 0 && s.index() == prior;) {
+        WFQ_INJECT(Traits, "help_deq_scan");
         Traits::interleave_hint();
         Cell* c = find_cell(h, hc, ++i, "help_deq_scan");
         uint64_t v = help_enq(h, c, i);
@@ -905,6 +1329,7 @@ class WFQueueCore {
       if (!s.pending() || r->id.load(acq()) != id) return;
 
       // Work on the announced candidate.
+      WFQ_INJECT(Traits, "help_deq_announced");
       Cell* c = find_cell(h, ha, s.index(), "help_deq_announced");
       DeqReq* expected = deq_bot();
       if (c->val.load(sc()) == kTop ||
@@ -954,6 +1379,76 @@ class WFQueueCore {
     }
   }
 
+  // ---- orphan adoption (docs/ALGORITHM.md §11) -------------------------
+
+  /// Complete whatever operation handle `h` abandoned and clear its
+  /// protection. Caller holds handle_mutex_ and guarantees the owner takes
+  /// no further steps. Runs under the injector's SuppressScope: adoption
+  /// executes *because of* a fault and must not catch another scripted one.
+  ///
+  /// Decision table, per request record:
+  ///   pending                          -> drive to completion (the enq
+  ///       value becomes visible; the deq value is consumed and dropped,
+  ///       counted as orphan_drops — the caller that would have received
+  ///       it no longer exists).
+  ///   completed, index == kMaxIndex    -> op-start marker or withdrawn
+  ///       request: no cell involvement, nothing to do.
+  ///   completed, index == i, phase matches -> the op crashed between its
+  ///       claim and its epilogue: re-run the (idempotent) epilogue. The
+  ///       phase gate is what makes this safe — without it a stale record
+  ///       from an ancient op would send us walking to a reclaimed cell.
+  void adopt_orphan(Handle* h) {
+    typename Injector::SuppressScope suppress;
+    const uint8_t phase = h->op_phase.load(std::memory_order_acquire);
+    // Enqueue side.
+    {
+      EnqReq* r = &h->enq.req;
+      PackedState s = PackedState::from_word(r->state.load(sc()));
+      if (s.pending()) {
+        enq_slow_finish(h, r, r->val.load(acq()), s.index());
+      } else if (phase == kPhaseEnq && s.index() != PackedState::kMaxIndex) {
+        // Claimed, possibly uncommitted: enq_commit re-raises T (monotone)
+        // and re-stores the same value — idempotent even if the victim or
+        // a helper already committed.
+        uint64_t id = s.index();
+        Segment* seg = h->tail.load(acq());
+        Cell* c = find_cell(h, seg, id, "adopt_enq_commit");
+        h->tail.store(seg, rel());
+        enq_commit(c, r->val.load(acq()), id);
+        if (deposit_retracted(h, c, id)) {
+          // The victim's claimed cell was a parked debt: finish its
+          // enqueue by re-driving the value, as enq_slow_finish would.
+          enq_slow(h, r->val.load(acq()), id);
+        }
+      }
+    }
+    // Dequeue side.
+    {
+      DeqReq* r = &h->deq.req;
+      PackedState s = PackedState::from_word(r->state.load(sc()));
+      if (s.pending()) {
+        try {
+          help_deq(h, h);
+          if (deq_slow_epilogue(h, r) != kEmpty) {
+            count(h->stats.orphan_drops);
+          }
+        } catch (const SegmentAllocError&) {
+          if (!cancel_deq_request(h, r) &&
+              deq_slow_epilogue(h, r) != kEmpty) {
+            count(h->stats.orphan_drops);
+          }
+        }
+      } else if (phase == kPhaseDeq && s.index() != PackedState::kMaxIndex) {
+        if (deq_slow_epilogue(h, r) != kEmpty) {
+          count(h->stats.orphan_drops);
+        }
+      }
+    }
+    h->op_phase.store(kPhaseIdle, std::memory_order_release);
+    rcl_.end_op(h);  // clears hzdp / hazard slots / epoch pin
+    count(h->stats.adopted_handles);
+  }
+
   // ---- members ---------------------------------------------------------
 
   friend struct WfTestPeek;  // white-box access for deterministic
@@ -962,6 +1457,14 @@ class WFQueueCore {
   WfConfig cfg_;
   CacheAligned<std::atomic<uint64_t>> tail_index_{0};  ///< paper: T
   CacheAligned<std::atomic<uint64_t>> head_index_{0};  ///< paper: H
+
+  /// OOM debt table (see the debt-protocol section above): cell ids whose
+  /// dequeuer could not materialize the segment, stored as id + 1 (0 =
+  /// empty slot). `debt_count_` is the depositors' fast-path gate — a
+  /// single shared load that stays 0 unless an allocation ever failed.
+  static constexpr std::size_t kDebtSlots = 64;
+  CacheAligned<std::atomic<uint64_t>> debt_count_{0};
+  std::atomic<uint64_t> debt_[kDebtSlots] = {};
   SegList segs_;    ///< the emulated infinite array (paper: Q)
   Reclaim rcl_;     ///< reclamation policy (owns the paper's I)
   std::atomic<Handle*> ring_{nullptr};  ///< any handle in the ring

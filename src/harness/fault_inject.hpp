@@ -1,0 +1,377 @@
+// Deterministic fault injection for the queue stack.
+//
+// The paper's wait-freedom and reclamation arguments are claims about
+// *adversarial schedules*: a dequeuer stalled between publishing hzdp and
+// dereferencing it, a helper crashing between claiming a request and
+// committing it, an allocator failing in the middle of find_cell. Stress
+// tests only hit those windows by luck. This header turns them into
+// schedulable events:
+//
+//   - WFQ_INJECT(Traits, "point") is compiled into every
+//     linearization/reclamation-critical step of the stack. With the
+//     default NullInjector it expands to nothing (the `if constexpr` on
+//     kEnabled discards the call and the point-name literal entirely, so
+//     release binaries contain no trace of the harness — tools/ci.sh greps
+//     for exactly this).
+//   - ScriptedInjector is a process-global, seed-reproducible script: a
+//     designated *victim* thread performs an armed action when it reaches a
+//     named point. Actions: yield, delay, stall (park for N global steps so
+//     helpers and the cleaner must route around the victim), crash (throw
+//     InjectedCrash — the victim abandons the operation mid-flight and its
+//     HandleGuard leaks), alloc-fail (prime the next N segment allocations,
+//     on any thread, to throw InjectedBadAlloc).
+//
+// The injector is deliberately static/global: injection points live in
+// template code instantiated with a Traits type, and threading an injector
+// instance through every layer would distort the code under test. One
+// scripted experiment per process at a time is exactly what the matrix
+// test wants anyway.
+//
+// See docs/TESTING.md for the point catalog and the reproduction workflow.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <thread>
+#include <type_traits>
+
+namespace wfq::fault {
+
+/// Thrown by a kCrash action. Deliberately NOT derived from std::exception:
+/// nothing in the stack may catch it by accident — it must unwind through
+/// the operation exactly like a thread dying mid-flight (modulo
+/// destructors), leaving requests pending and hzdp published.
+struct InjectedCrash {
+  const char* point;
+};
+
+/// Thrown by a primed alloc-fail when the allocation seam is reached.
+/// IS-A bad_alloc so the seam's retry/reserve-pool logic treats it exactly
+/// like a real exhausted heap.
+struct InjectedBadAlloc : std::bad_alloc {
+  const char* what() const noexcept override {
+    return "wfq: injected segment allocation failure";
+  }
+};
+
+/// Default injector: every hook is a no-op and kEnabled lets WFQ_INJECT
+/// discard the call site at compile time.
+struct NullInjector {
+  static constexpr bool kEnabled = false;
+  static void inject(const char* /*point*/) noexcept {}
+  /// Matches ScriptedInjector::SuppressScope so adoption/cleanup code can
+  /// unconditionally open one.
+  struct SuppressScope {
+    SuppressScope() noexcept {}
+  };
+  static std::uint64_t stalls() noexcept { return 0; }
+  static std::uint64_t crashes() noexcept { return 0; }
+  static std::uint64_t alloc_failures() noexcept { return 0; }
+};
+
+enum class Action : std::uint8_t {
+  kNone = 0,
+  kYield,      // std::this_thread::yield()
+  kDelay,      // spin ~arg iterations (scheduling noise)
+  kStall,      // park until `arg` further global steps elapse (kForever:
+               // park until release_stalls(), then throw InjectedCrash)
+  kCrash,      // throw InjectedCrash{point}
+  kAllocFail,  // prime the next `arg` allocations (any thread) to fail
+};
+
+/// Seeded, reproducible injector. All state is process-global; tests call
+/// reset() between experiments. Thread roles:
+///   victim   — the one thread that performs armed actions (set_victim()).
+///   others   — advance the global step counter as they pass points, which
+///              is what "stall for N steps" measures progress against.
+class ScriptedInjector {
+ public:
+  static constexpr bool kEnabled = true;
+  static constexpr int kMaxScript = 8;
+  static constexpr std::uint64_t kForever = ~std::uint64_t{0};
+
+  /// Clear the script, counters, victim/release flags. Call only while no
+  /// thread is inside the queue.
+  static void reset() noexcept {
+    for (auto& e : script()) {
+      e.point.store(nullptr, std::memory_order_relaxed);
+      e.action.store(Action::kNone, std::memory_order_relaxed);
+      e.budget.store(0, std::memory_order_relaxed);
+      e.arg.store(0, std::memory_order_relaxed);
+      e.fired.store(0, std::memory_order_relaxed);
+    }
+    alloc_fail_pending().store(0, std::memory_order_relaxed);
+    released().store(false, std::memory_order_relaxed);
+    stalls_.store(0, std::memory_order_relaxed);
+    crashes_.store(0, std::memory_order_relaxed);
+    alloc_failures_.store(0, std::memory_order_relaxed);
+    steps_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Arm `point` with `action`. `budget` = how many times it fires before
+  /// going inert; `arg` = steps for kStall, spins for kDelay, allocation
+  /// count for kAllocFail. Returns false if the script table is full or the
+  /// point is already armed (re-arm by reset()ing first).
+  static bool arm(const char* point, Action action, std::uint32_t budget = 1,
+                  std::uint64_t arg = 0) {
+    for (auto& e : script()) {
+      const char* expected = nullptr;
+      if (e.point.compare_exchange_strong(expected, point,
+                                          std::memory_order_relaxed)) {
+        e.arg.store(arg, std::memory_order_relaxed);
+        e.action.store(action, std::memory_order_relaxed);
+        e.fired.store(0, std::memory_order_relaxed);
+        // budget last, released: a concurrent victim only acts once it
+        // sees a non-zero budget, by which time action/arg are visible.
+        e.budget.store(budget, std::memory_order_release);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Mark the calling thread as the victim (or unmark with false).
+  static void set_victim(bool v = true) noexcept { victim_flag() = v; }
+  static bool is_victim() noexcept { return victim_flag(); }
+
+  /// Wake every parked kStall victim. Finite stalls resume the operation;
+  /// kForever stalls convert into an InjectedCrash (the canonical
+  /// "stalled thread finally dies" schedule).
+  static void release_stalls() noexcept {
+    released().store(true, std::memory_order_release);
+  }
+
+  /// Times an armed entry at `point` actually fired (test assertions).
+  static std::uint64_t fired(const char* point) noexcept {
+    for (auto& e : script()) {
+      const char* p = e.point.load(std::memory_order_relaxed);
+      if (p != nullptr && std::strcmp(p, point) == 0)
+        return e.fired.load(std::memory_order_relaxed);
+    }
+    return 0;
+  }
+
+  static std::uint64_t stalls() noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t crashes() noexcept {
+    return crashes_.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t alloc_failures() noexcept {
+    return alloc_failures_.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t steps() noexcept {
+    return steps_.load(std::memory_order_relaxed);
+  }
+
+  /// Suppress actions on the current thread (adoption and reclamation
+  /// cleanup run *because of* a fault; injecting more faults into them
+  /// would test nothing and deadlock plenty). Steps still advance.
+  struct SuppressScope {
+    SuppressScope() noexcept { ++suppress_depth(); }
+    ~SuppressScope() noexcept { --suppress_depth(); }
+    SuppressScope(const SuppressScope&) = delete;
+    SuppressScope& operator=(const SuppressScope&) = delete;
+  };
+
+  /// The hook behind WFQ_INJECT. Not noexcept: kCrash/kAllocFail throw.
+  static void inject(const char* point) {
+    std::uint64_t now = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (suppress_depth() > 0) return;
+    // Alloc-fail applies to whichever thread reaches the seam next, victim
+    // or not: a real OOM does not care who mapped the last page.
+    if (std::strcmp(point, "seg_alloc_try") == 0) {
+      std::uint64_t pending =
+          alloc_fail_pending().load(std::memory_order_relaxed);
+      while (pending > 0) {
+        if (alloc_fail_pending().compare_exchange_weak(
+                pending, pending - 1, std::memory_order_relaxed)) {
+          alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+          throw InjectedBadAlloc{};
+        }
+      }
+    }
+    if (!victim_flag()) return;
+    for (auto& e : script()) {
+      const char* p = e.point.load(std::memory_order_relaxed);
+      if (p == nullptr || std::strcmp(p, point) != 0) continue;
+      std::uint32_t budget = e.budget.load(std::memory_order_acquire);
+      while (budget > 0) {
+        if (e.budget.compare_exchange_weak(budget, budget - 1,
+                                           std::memory_order_acquire)) {
+          e.fired.fetch_add(1, std::memory_order_relaxed);
+          perform(e.action.load(std::memory_order_relaxed),
+                  e.arg.load(std::memory_order_relaxed), point, now);
+          return;
+        }
+      }
+      return;  // matched but out of budget
+    }
+  }
+
+ private:
+  struct Entry {
+    std::atomic<const char*> point{nullptr};
+    std::atomic<Action> action{Action::kNone};
+    std::atomic<std::uint32_t> budget{0};
+    std::atomic<std::uint64_t> arg{0};
+    std::atomic<std::uint64_t> fired{0};
+  };
+
+  static void perform(Action a, std::uint64_t arg, const char* point,
+                      std::uint64_t entry_step) {
+    switch (a) {
+      case Action::kNone:
+        return;
+      case Action::kYield:
+        std::this_thread::yield();
+        return;
+      case Action::kDelay: {
+        for (std::uint64_t i = 0, n = arg != 0 ? arg : 64; i < n; ++i) {
+          std::atomic_signal_fence(std::memory_order_seq_cst);
+        }
+        return;
+      }
+      case Action::kStall:
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        park(arg, point, entry_step);
+        return;
+      case Action::kCrash:
+        crashes_.fetch_add(1, std::memory_order_relaxed);
+        throw InjectedCrash{point};
+      case Action::kAllocFail:
+        alloc_fail_pending().fetch_add(arg != 0 ? arg : 1,
+                                       std::memory_order_relaxed);
+        return;
+    }
+  }
+
+  static void park(std::uint64_t arg, const char* point,
+                   std::uint64_t entry_step) {
+    // Stall progress is measured in *global steps* — other threads passing
+    // injection points — so the victim stays parked exactly while the rest
+    // of the system is forced to route around it. A wall-clock ceiling
+    // keeps a mis-scripted test from hanging CI.
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() +
+        (arg == kForever ? std::chrono::seconds(60) : std::chrono::seconds(5));
+    for (;;) {
+      if (released().load(std::memory_order_acquire)) break;
+      if (arg != kForever &&
+          steps_.load(std::memory_order_relaxed) >= entry_step + arg) {
+        return;  // served its stall; operation resumes
+      }
+      if (Clock::now() >= deadline) {
+        if (arg != kForever) return;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (arg == kForever) {
+      // A permanently stalled thread that "wakes up" is indistinguishable
+      // from one that died: convert to a crash so the leaked-guard /
+      // adoption paths are what get exercised, never a resumed op.
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      throw InjectedCrash{point};
+    }
+  }
+
+  static std::array<Entry, kMaxScript>& script() noexcept {
+    static std::array<Entry, kMaxScript> s;
+    return s;
+  }
+  static std::atomic<std::uint64_t>& alloc_fail_pending() noexcept {
+    static std::atomic<std::uint64_t> v{0};
+    return v;
+  }
+  static std::atomic<bool>& released() noexcept {
+    static std::atomic<bool> v{false};
+    return v;
+  }
+  static bool& victim_flag() noexcept {
+    thread_local bool v = false;
+    return v;
+  }
+  static int& suppress_depth() noexcept {
+    thread_local int d = 0;
+    return d;
+  }
+
+  static inline std::atomic<std::uint64_t> steps_{0};
+  static inline std::atomic<std::uint64_t> stalls_{0};
+  static inline std::atomic<std::uint64_t> crashes_{0};
+  static inline std::atomic<std::uint64_t> alloc_failures_{0};
+};
+
+namespace detail {
+template <class T, class = void>
+struct InjectorOfImpl {
+  using type = NullInjector;
+};
+template <class T>
+struct InjectorOfImpl<T, std::void_t<typename T::Injector>> {
+  using type = typename T::Injector;
+};
+}  // namespace detail
+
+/// Traits::Injector if present, NullInjector otherwise — existing custom
+/// traits types keep compiling unchanged.
+template <class Traits>
+using InjectorOf = typename detail::InjectorOfImpl<Traits>::type;
+
+/// Catalog of every named injection point, for docs/TESTING.md and the
+/// matrix test (which iterates it). Keep in sync with the WFQ_INJECT call
+/// sites; the matrix test cross-checks reachability per point.
+inline constexpr const char* kInjectionPoints[] = {
+    // core/wf_queue_core.hpp — enqueue
+    "enq_begin",           // after begin_op, before the first fast attempt
+    "enq_faa_post",        // enq_fast: FAA'd tail, cell not yet written
+    "enq_slow_published",  // enq_slow: request visible, no cell claimed
+    "enq_slow_faa",        // enq_slow loop: FAA'd tail, candidate unreserved
+    "enq_slow_claimed",    // request claimed to a cell, value not committed
+    // core/wf_queue_core.hpp — dequeue
+    "deq_begin",           // after begin_op, before the first fast attempt
+    "deq_faa_post",        // deq_fast: FAA'd head, cell not yet consumed
+    "deq_slow_published",  // deq_slow: request visible, not yet claimed
+    "deq_help_peer",       // about to help the enqueue peer
+    // core/wf_queue_core.hpp — helping
+    "help_enq_sealed",     // help_enq: about to seal a cell with TOP
+    "help_deq_scan",       // help_deq: candidate scan iteration
+    "help_deq_announced",  // help_deq: candidate announced in prior field
+    // core/wf_queue_core.hpp — batched ops
+    "enq_bulk_faa_post",   // ticket span reserved, no cell written
+    "deq_bulk_faa_post",   // ticket span reserved, no cell consumed
+    // core/segment_list.hpp
+    "seg_alloc_try",       // about to call operator new for a segment
+    "seg_extend",          // walk_to: about to append a fresh segment
+    // memory/segment_reclaim.hpp
+    "reclaim_elected",     // won the cleaner election, scan not started
+    "reclaim_frontier_set",// new frontier published, free loop not started
+    // sync/blocking_queue.hpp
+    "blk_push_ticket",     // in_push ticket visible, closed not yet checked
+    "blk_pre_enqueue",     // closed checked, inner enqueue not yet started
+    "blk_close_pre_seal",  // close(): producers quiesced, sealed not set
+    "blk_pop_prepark",     // pop: about to publish waiter registration
+};
+
+inline constexpr std::size_t kInjectionPointCount =
+    sizeof(kInjectionPoints) / sizeof(kInjectionPoints[0]);
+
+}  // namespace wfq::fault
+
+/// Injection hook. With NullInjector (any Traits without an `Injector`
+/// member) the `if constexpr` discards the call *and* the point-name
+/// string at compile time — release binaries carry zero overhead and no
+/// point names (tools/ci.sh greps for this).
+#define WFQ_INJECT(TraitsT, point)                           \
+  do {                                                       \
+    if constexpr (::wfq::fault::InjectorOf<TraitsT>::kEnabled) { \
+      ::wfq::fault::InjectorOf<TraitsT>::inject(point);      \
+    }                                                        \
+  } while (0)

@@ -68,6 +68,7 @@
 
 #include "common/align.hpp"
 #include "common/atomics.hpp"
+#include "harness/fault_inject.hpp"
 #include "memory/epoch.hpp"
 #include "memory/hazard_pointers.hpp"
 
@@ -153,6 +154,89 @@ typename SegList::Segment* cap_frontier(SegList& list,
   return s;
 }
 
+/// Releases the cleaner election on scope exit unless dismissed. The
+/// election word has no owner record, so an exception unwinding out of an
+/// elected cleaner — an injected crash, or a real bad_alloc from the scan's
+/// bookkeeping — would otherwise leave I = kCleaning forever and silently
+/// disable reclamation for the rest of the process.
+class ElectionGuard {
+ public:
+  ElectionGuard(std::atomic<int64_t>* word, int64_t oid) noexcept
+      : word_(word), oid_(oid) {}
+  ~ElectionGuard() {
+    if (word_ != nullptr) word_->store(oid_, std::memory_order_release);
+  }
+  /// Call once the election word has been re-published (either restored to
+  /// oid on the nothing-reclaimable path or advanced to the new frontier).
+  void dismiss() noexcept { word_ = nullptr; }
+  ElectionGuard(const ElectionGuard&) = delete;
+  ElectionGuard& operator=(const ElectionGuard&) = delete;
+
+ private:
+  std::atomic<int64_t>* word_;
+  int64_t oid_;
+};
+
+/// Crash-safe record of a detached-but-not-yet-freed prefix. A cleaner that
+/// detaches [head, stop) stashes the range BEFORE the first free; if the
+/// cleaner thread dies mid-loop (fault injection's crash action, or a real
+/// crash unwinding through a helper), the chain is unreachable from the
+/// list — set_first() already passed it — but still recorded here, and the
+/// policy destructor frees the remainder. The election may already be
+/// released when the free loop runs, so several cleaners can hold ranges at
+/// once: each claims one slot by CAS. With more than kSlots concurrent
+/// cleaners the extra range goes unstashed (crash there leaks, as before).
+template <class Segment>
+class LimboStash {
+ public:
+  static constexpr std::size_t kSlots = 8;
+
+  /// Claim a slot for [head, stop); returns kSlots when full. `stop` is
+  /// written after the claim: the only crash opportunity is an injection
+  /// point, and none fires between the claim and the store.
+  std::size_t stash(Segment* head, Segment* stop) {
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      Segment* expected = nullptr;
+      if (slots_[i].head.compare_exchange_strong(expected, head,
+                                                 std::memory_order_acq_rel)) {
+        slots_[i].stop = stop;
+        return i;
+      }
+    }
+    return kSlots;
+  }
+
+  /// The free loop moves the recorded head forward before releasing each
+  /// segment, so the stash never points at freed memory.
+  void advance(std::size_t slot, Segment* head) {
+    if (slot < kSlots) slots_[slot].head.store(head, std::memory_order_relaxed);
+  }
+
+  void clear(std::size_t slot) {
+    if (slot < kSlots) {
+      slots_[slot].head.store(nullptr, std::memory_order_release);
+    }
+  }
+
+  ~LimboStash() {
+    for (auto& s : slots_) {
+      Segment* p = s.head.load(std::memory_order_acquire);
+      while (p != nullptr && p != s.stop) {
+        Segment* next = p->next.load(std::memory_order_relaxed);
+        aligned_delete(p);
+        p = next;
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<Segment*> head{nullptr};
+    Segment* stop = nullptr;
+  };
+  Slot slots_[kSlots];
+};
+
 }  // namespace reclaim_detail
 
 // ===========================================================================
@@ -199,6 +283,14 @@ class PaperReclaim : public reclaim_detail::FrontierElection {
     h->rcl.hzdp.store(nullptr, std::memory_order_release);
   }
 
+  /// True while the handle is inside an operation (protection published).
+  /// Used by the orphan-adoption path to decide whether a released handle
+  /// abandoned an operation mid-flight.
+  template <class Handle>
+  bool op_active(Handle* h) const {
+    return h->rcl.hzdp.load(std::memory_order_acquire) != nullptr;
+  }
+
   /// The one non-fast-path fence of the scheme (help_deq's jump to the
   /// helpee's head segment). Required even on x86: if the segment was
   /// reclaimed before our store became visible, the caller's re-validation
@@ -232,7 +324,9 @@ class PaperReclaim : public reclaim_detail::FrontierElection {
       return {};  // not enough reclaimable garbage
     }
     if (!this->try_elect(oid)) return {};
+    reclaim_detail::ElectionGuard election(&*this->oldest_id_, oid);
     Traits::interleave_hint();  // cleaner elected, scan not started
+    WFQ_INJECT(Traits, "reclaim_elected");
 
     Segment* start = list.first();
     Segment* frontier = reclaim_detail::cap_frontier(
@@ -259,23 +353,32 @@ class PaperReclaim : public reclaim_detail::FrontierElection {
     if (frontier->id <= oid) {
       // Nothing reclaimable after all: release the cleaner lock. (Paper
       // erratum: Listing 5 line 236 omits restoring I.)
+      election.dismiss();
       this->oldest_id_->store(oid, std::memory_order_release);
       return {};
     }
     list.set_first(frontier);
+    election.dismiss();
     this->oldest_id_->store(frontier->id, std::memory_order_release);
-    // Free [start, frontier).
+    // Free [start, frontier). The range is stashed first so a cleaner that
+    // dies between detach and free leaves a record the destructor drains.
+    std::size_t slot = limbo_.stash(start, frontier);
+    WFQ_INJECT(Traits, "reclaim_frontier_set");
     ReclaimResult res{true, 0};
     while (start != frontier) {
       Segment* next = start->next.load(std::memory_order_relaxed);
+      limbo_.advance(slot, next);
       list.delete_segment(start);
       ++res.freed;
       start = next;
     }
+    limbo_.clear(slot);
     return res;
   }
 
  private:
+  reclaim_detail::LimboStash<Segment> limbo_;
+
   /// Lower the reclamation frontier `seg` to a hazard segment if needed
   /// (Listing 5 verify).
   static void verify(Segment*& seg, Segment* hzdp) {
@@ -366,6 +469,12 @@ class HpReclaim : public reclaim_detail::FrontierElection {
     domain_.clear(h->rcl.rec, 1);
   }
 
+  /// True while the handle is inside an operation (root hazard published).
+  template <class Handle>
+  bool op_active(Handle* h) const {
+    return h->rcl.rec->hazards[0].load(std::memory_order_acquire) != nullptr;
+  }
+
   template <class Handle>
   void protect_foreign(Handle* h, Segment* seg) {
     domain_.set_hazard(h->rcl.rec, 1, seg);  // seq_cst store
@@ -381,7 +490,9 @@ class HpReclaim : public reclaim_detail::FrontierElection {
     if (oid == kCleaning) return {};
     if (std::min(head_cap, tail_cap) - oid < max_garbage) return {};
     if (!this->try_elect(oid)) return {};
+    reclaim_detail::ElectionGuard election(&*this->oldest_id_, oid);
     Traits::interleave_hint();
+    WFQ_INJECT(Traits, "reclaim_elected");
 
     Segment* start = list.first();
     Segment* frontier = reclaim_detail::cap_frontier(
@@ -418,18 +529,24 @@ class HpReclaim : public reclaim_detail::FrontierElection {
     }
 
     if (frontier->id <= oid) {
+      election.dismiss();
       this->oldest_id_->store(oid, std::memory_order_release);
       return {};
     }
     list.set_first(frontier);
+    election.dismiss();
     this->oldest_id_->store(frontier->id, std::memory_order_release);
+    std::size_t slot = limbo_.stash(start, frontier);
+    WFQ_INJECT(Traits, "reclaim_frontier_set");
     ReclaimResult res{true, 0};
     while (start != frontier) {
       Segment* next = start->next.load(std::memory_order_relaxed);
+      limbo_.advance(slot, next);
       list.delete_segment(start);
       ++res.freed;
       start = next;
     }
+    limbo_.clear(slot);
     return res;
   }
 
@@ -438,6 +555,7 @@ class HpReclaim : public reclaim_detail::FrontierElection {
 
  private:
   Domain domain_;
+  reclaim_detail::LimboStash<Segment> limbo_;
 };
 
 // ===========================================================================
@@ -481,6 +599,13 @@ class EpochReclaim : public reclaim_detail::FrontierElection {
     domain_.exit(h->rcl.rec);
   }
 
+  /// True while the handle is inside an operation (epoch pinned).
+  template <class Handle>
+  bool op_active(Handle* h) const {
+    return h->rcl.rec->local_epoch.load(std::memory_order_acquire) !=
+           EpochDomain::kIdle;
+  }
+
   template <class Handle>
   void protect_foreign(Handle*, Segment*) {
     // The epoch pin already covers any segment reachable mid-operation;
@@ -498,7 +623,9 @@ class EpochReclaim : public reclaim_detail::FrontierElection {
     if (oid == kCleaning) return {};
     if (std::min(head_cap, tail_cap) - oid < max_garbage) return {};
     if (!this->try_elect(oid)) return {};
+    reclaim_detail::ElectionGuard election(&*this->oldest_id_, oid);
     Traits::interleave_hint();
+    WFQ_INJECT(Traits, "reclaim_elected");
 
     Segment* start = list.first();
     Segment* frontier = reclaim_detail::cap_frontier(
@@ -527,24 +654,30 @@ class EpochReclaim : public reclaim_detail::FrontierElection {
     } while (frontier->id > oid && p != h);
 
     if (frontier->id <= oid) {
+      election.dismiss();
       this->oldest_id_->store(oid, std::memory_order_release);
       return {};
     }
     list.set_first(frontier);
+    election.dismiss();
     this->oldest_id_->store(frontier->id, std::memory_order_release);
     // Retire the detached prefix into the epoch domain; memory returns two
     // epoch advances later (or at domain destruction). Retirement bypasses
     // the recycling pool — deferred frees defeat its purpose — and counts
     // as freed at hand-off (see SegmentList::note_deferred_free).
+    std::size_t slot = limbo_.stash(start, frontier);
+    WFQ_INJECT(Traits, "reclaim_frontier_set");
     ReclaimResult res{true, 0};
     while (start != frontier) {
       Segment* next = start->next.load(std::memory_order_relaxed);
+      limbo_.advance(slot, next);
       list.note_deferred_free();
       domain_.retire(h->rcl.rec, static_cast<void*>(start),
                      [](void* q) { aligned_delete(static_cast<Segment*>(q)); });
       ++res.freed;
       start = next;
     }
+    limbo_.clear(slot);
     return res;
   }
 
@@ -556,6 +689,7 @@ class EpochReclaim : public reclaim_detail::FrontierElection {
   // (N cells each), so letting 64 of them pile up per limbo generation
   // would dwarf the max_garbage bound the queue is trying to honor.
   EpochDomain domain_{16};
+  reclaim_detail::LimboStash<Segment> limbo_;
 };
 
 }  // namespace wfq

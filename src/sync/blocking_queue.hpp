@@ -50,12 +50,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "common/align.hpp"
 #include "common/atomics.hpp"
 #include "core/op_stats.hpp"
 #include "core/wf_queue.hpp"
+#include "harness/fault_inject.hpp"
 #include "sync/asym_fence.hpp"
 #include "sync/event_count.hpp"
 #include "sync/wait_strategy.hpp"
@@ -69,6 +71,26 @@ enum class PopStatus {
   kClosed,   ///< queue closed AND drained: no value will ever arrive
 };
 
+/// Result of a status-reporting push (push_status).
+enum class PushStatus {
+  kOk,      ///< the value was enqueued
+  kClosed,  ///< the queue is closed; the caller keeps the value
+  kNoMem,   ///< segment allocation failed cleanly; retryable, value kept
+};
+
+namespace detail {
+/// The inner queue's trait pack, when it exposes one (WFQueue does via
+/// Traits_); otherwise an empty type, which resolves to NullInjector.
+template <class Q, class = void>
+struct QueueTraitsOf {
+  struct type {};
+};
+template <class Q>
+struct QueueTraitsOf<Q, std::void_t<typename Q::Traits_>> {
+  using type = typename Q::Traits_;
+};
+}  // namespace detail
+
 template <class Q>
 class BlockingQueue {
  public:
@@ -77,6 +99,7 @@ class BlockingQueue {
 
  private:
   using T = value_type;
+  using QTraits = typename detail::QueueTraitsOf<Q>::type;
 
   /// Per-handle blocking-layer state. Lives next to (not inside) the inner
   /// queue handle; one cache line so the in_push ticket never false-shares.
@@ -144,38 +167,63 @@ class BlockingQueue {
 
   // ---- Producer side -----------------------------------------------------
 
-  /// Appends `v`. Returns false iff the queue is closed (v is not consumed
-  /// in that case — the caller keeps ownership and can re-route it).
+  /// Appends `v`. Returns false iff the queue is closed or allocation
+  /// failed (push_status distinguishes the two; v is not consumed in either
+  /// case — the caller keeps ownership and can re-route or retry it).
   bool push(Handle& h, T v) {
-    BlockingRec* rec = h.rec_;
-    rec->in_push.store(1, std::memory_order_relaxed);
-    AsymmetricFence::light();  // order ticket-store before closed-load
-    if (closed_.load(std::memory_order_relaxed)) {
-      rec->in_push.store(0, std::memory_order_relaxed);
-      return false;
-    }
-    q_.enqueue(h.inner_, std::move(v));
-    // Release: the quiesce scan's acquire load of in_push==0 must observe
-    // the enqueue as complete.
-    rec->in_push.store(0, std::memory_order_release);
-    maybe_notify(rec, /*n=*/1);
-    return true;
+    return push_status(h, std::move(v)) == PushStatus::kOk;
   }
 
-  /// Bulk append: all `count` items or none (closed). Returns count or 0.
+  /// Status-reporting push: kClosed on a closed queue, kNoMem when segment
+  /// allocation failed past retries and the reserve pool (retryable — the
+  /// queue is intact). The in_push ticket is held through an RAII guard so
+  /// an exception unwinding out of the inner enqueue (injected crash, OOM
+  /// from a throwing codec) can never leave the ticket set — a stuck ticket
+  /// would spin close()'s quiesce scan forever.
+  PushStatus push_status(Handle& h, T v) {
+    BlockingRec* rec = h.rec_;
+    bool ok = true;
+    {
+      PushTicket ticket(rec->in_push);
+      WFQ_INJECT(QTraits, "blk_push_ticket");
+      AsymmetricFence::light();  // order ticket-store before closed-load
+      if (closed_.load(std::memory_order_relaxed)) return PushStatus::kClosed;
+      WFQ_INJECT(QTraits, "blk_pre_enqueue");
+      if constexpr (std::is_void_v<decltype(q_.enqueue(h.inner_,
+                                                       std::move(v)))>) {
+        q_.enqueue(h.inner_, std::move(v));
+      } else {
+        ok = q_.enqueue(h.inner_, std::move(v));
+      }
+    }  // ticket released: the quiesce scan's acquire load of in_push == 0
+       // observes the enqueue as complete
+    if (!ok) return PushStatus::kNoMem;
+    maybe_notify(rec, /*n=*/1);
+    return PushStatus::kOk;
+  }
+
+  /// Bulk append: all `count` items, 0 when closed, or a committed prefix
+  /// of `vals` under allocation failure (inner enqueue_bulk's OOM
+  /// contract). Returns the number enqueued.
   std::size_t push_bulk(Handle& h, const T* vals, std::size_t count) {
     if (count == 0) return 0;
     BlockingRec* rec = h.rec_;
-    rec->in_push.store(1, std::memory_order_relaxed);
-    AsymmetricFence::light();
-    if (closed_.load(std::memory_order_relaxed)) {
-      rec->in_push.store(0, std::memory_order_relaxed);
-      return 0;
+    std::size_t committed = count;
+    {
+      PushTicket ticket(rec->in_push);
+      WFQ_INJECT(QTraits, "blk_push_ticket");
+      AsymmetricFence::light();
+      if (closed_.load(std::memory_order_relaxed)) return 0;
+      WFQ_INJECT(QTraits, "blk_pre_enqueue");
+      if constexpr (std::is_void_v<decltype(q_.enqueue_bulk(h.inner_, vals,
+                                                            count))>) {
+        q_.enqueue_bulk(h.inner_, vals, count);
+      } else {
+        committed = q_.enqueue_bulk(h.inner_, vals, count);
+      }
     }
-    q_.enqueue_bulk(h.inner_, vals, count);
-    rec->in_push.store(0, std::memory_order_release);
-    maybe_notify(rec, static_cast<uint32_t>(count));
-    return count;
+    if (committed != 0) maybe_notify(rec, static_cast<uint32_t>(committed));
+    return committed;
   }
 
   // ---- Consumer side -----------------------------------------------------
@@ -228,16 +276,20 @@ class BlockingQueue {
   /// is a complete shutdown. Callable without a Handle (e.g. a signal
   /// handler thread or the C API's wfq_close).
   void close() {
-    if (closed_.exchange(true, std::memory_order_seq_cst)) {
-      // Someone else is closing/closed; wait for their seal so our caller
-      // also gets the "returns ⇒ sealed" guarantee.
-      while (!sealed_.load(std::memory_order_acquire)) cpu_pause();
-      return;
-    }
+    closed_.exchange(true, std::memory_order_seq_cst);
+    if (sealed_.load(std::memory_order_acquire)) return;  // already sealed
+    // Every closer runs the full protocol rather than waiting on the first
+    // one's seal: quiesce + seal are idempotent, close() is cold, and this
+    // makes the protocol crash-recoverable — if a closer dies between the
+    // exchange and the seal (fault injection's crash action), any later
+    // close() call finishes the job instead of spinning on a seal that
+    // will never come.
+    //
     // Dekker cold side: after this barrier, every producer has either seen
     // closed_ == true (fails fast) or published in_push == 1 beforehand.
     AsymmetricFence::heavy();
     quiesce_producers();
+    WFQ_INJECT(QTraits, "blk_close_pre_seal");
     sealed_.store(true, std::memory_order_release);
     ec_.notify_all();  // close-wakes are unconditional, not counted as
                        // producer notifies (they are not value deliveries)
@@ -289,6 +341,19 @@ class BlockingQueue {
     T* out;
     std::size_t max;
     std::size_t got;
+  };
+
+  /// RAII in_push ticket: taken on construction, released on destruction —
+  /// including exceptional unwinds, so close()'s quiesce scan can always
+  /// terminate. The release store publishes the enqueue's completion.
+  struct PushTicket {
+    explicit PushTicket(std::atomic<uint32_t>& t) : t_(t) {
+      t_.store(1, std::memory_order_relaxed);
+    }
+    ~PushTicket() { t_.store(0, std::memory_order_release); }
+    PushTicket(const PushTicket&) = delete;
+    PushTicket& operator=(const PushTicket&) = delete;
+    std::atomic<uint32_t>& t_;
   };
 
   /// Shared wait loop behind pop_wait / pop_wait_for / pop_wait_bulk.
@@ -346,7 +411,16 @@ class BlockingQueue {
       // seen has_waiters(); the seq_cst Dekker (EventCount header)
       // guarantees this re-check finds its item.
       bool sealed_now = sealed_.load(std::memory_order_acquire);
-      if (attempt(h, single, bulk)) {
+      bool got;
+      try {
+        got = attempt(h, single, bulk);
+      } catch (...) {
+        // The inner dequeue can throw (allocation failure, injected
+        // crash); never leave the waiter registration behind.
+        ec_.cancel_wait();
+        throw;
+      }
+      if (got) {
         ec_.cancel_wait();
         return PopStatus::kOk;
       }
@@ -355,6 +429,7 @@ class BlockingQueue {
         return PopStatus::kClosed;
       }
       rec->stats.deq_parks.fetch_add(1, std::memory_order_relaxed);
+      WFQ_INJECT(QTraits, "blk_pop_prepark");
       if (has_deadline) {
         if (!ec_.wait_until(key, deadline)) {
           // Same sealed-before-attempt order as above: a seal landing

@@ -1,0 +1,112 @@
+// Bounded memory under a permanently stalled victim, for every reclamation
+// policy. A thread parked inside an operation keeps its protection (hzdp /
+// hazard pointer / epoch) published, which pins the reclamation frontier:
+// live segments grow without bound while the rest of the system keeps
+// making wait-free progress. The robustness claim under test is that
+// adopting the stalled thread's handle clears its protection and pending
+// work, after which reclamation catches up and memory returns to the
+// max_garbage-bounded steady state — the paper's "every thread keeps
+// stepping" liveness assumption replaced by detection + adoption (see
+// docs/ALGORITHM.md §11).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "core/wf_queue_core.hpp"
+#include "fault/fault_test_util.hpp"
+#include "memory/segment_reclaim.hpp"
+
+namespace wfq {
+namespace {
+
+using fault_test::Inj;
+
+struct PaperTraits : fault_test::FaultSmallTraits {};
+struct HpTraits : fault_test::FaultSmallTraits {
+  template <class SL>
+  using Reclaim = HpReclaim<SL>;
+};
+struct EpochTraits : fault_test::FaultSmallTraits {
+  template <class SL>
+  using Reclaim = EpochReclaim<SL>;
+};
+
+template <class Traits>
+class FaultBoundedMemory : public ::testing::Test {};
+using Policies = ::testing::Types<PaperTraits, HpTraits, EpochTraits>;
+TYPED_TEST_SUITE(FaultBoundedMemory, Policies);
+
+TYPED_TEST(FaultBoundedMemory, StalledVictimPinsUntilAdopted) {
+  using Core = WFQueueCore<TypeParam>;
+  constexpr std::size_t kSeg = TypeParam::kSegmentSize;
+
+  fault_test::ScriptReset script;
+  // Aggressive reclamation (max_garbage 4) so the steady-state footprint is
+  // small and the pinned growth is unmistakable.
+  Core q(WfConfig{/*patience=*/10, /*max_garbage=*/4, /*reserve=*/0});
+
+  // The victim parks forever at deq_begin — after begin_op, so its
+  // protection is published exactly as a live dequeuer's would be.
+  typename Core::Handle* vh = q.register_handle();
+  std::thread victim([&] {
+    Inj::set_victim(true);
+    EXPECT_TRUE(
+        Inj::arm("deq_begin", fault::Action::kStall, 1, Inj::kForever));
+    try {
+      (void)q.dequeue(vh);
+      ADD_FAILURE() << "permanently stalled dequeue returned";
+    } catch (const fault::InjectedCrash& c) {
+      EXPECT_STREQ(c.point, "deq_begin");
+    }
+    Inj::set_victim(false);
+  });
+  while (Inj::stalls() == 0) std::this_thread::yield();
+
+  // Steady traffic from a healthy thread: enqueue/dequeue pairs, `rounds`
+  // segments' worth. The queue's *content* stays tiny throughout; only the
+  // pinned garbage grows.
+  auto pump = [&](std::size_t rounds) {
+    typename Core::HandleGuard h(q);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < kSeg; ++i) {
+        ASSERT_TRUE(q.enqueue(h.get(), (r + 2) * 100000 + i));
+        ASSERT_NE(q.dequeue(h.get()), Core::kEmpty);
+      }
+    }
+  };
+  pump(32);
+  const std::size_t pinned = q.live_segments();
+  // With the frontier pinned at the victim's position, nearly all 32
+  // traversed segments must still be live (far above the max_garbage bound).
+  EXPECT_GE(pinned, 16u);
+
+  // Adoption: the victim is declared dead, its handle's pending work is
+  // completed and its protection cleared. Reclamation now catches up.
+  q.adopt_handle(vh);
+  pump(32);
+  EXPECT_LE(q.live_segments(), 12u);
+  EXPECT_GE(q.peak_live_segments(), pinned);
+
+  // Unpark the corpse: a kForever stall wakes only as an InjectedCrash, so
+  // the victim unwinds without ever resuming the adopted operation.
+  Inj::release_stalls();
+  victim.join();
+  q.release_handle(vh);  // releasing an adopted handle only freelists it
+
+  OpStats s = q.collect_stats();
+  EXPECT_EQ(s.adopted_handles.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(s.injected_stalls.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(s.injected_crashes.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(s.orphan_drops.load(std::memory_order_relaxed), 0u);
+
+  // The recycled record and the queue both stay fully serviceable.
+  typename Core::HandleGuard h(q);
+  ASSERT_TRUE(q.enqueue(h.get(), 42));
+  EXPECT_EQ(q.dequeue(h.get()), 42u);
+  EXPECT_EQ(q.dequeue(h.get()), Core::kEmpty);
+}
+
+}  // namespace
+}  // namespace wfq

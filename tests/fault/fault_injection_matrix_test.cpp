@@ -1,0 +1,396 @@
+// The injection matrix: every named point in the catalog × every
+// destructive action, run against the full stack (BlockingQueue over
+// WFQueue over WFQueueCore), with the outcome validated by set accounting
+// and — whenever the history is complete — the linearizability oracle in
+// src/checker/.
+//
+// Accounting contract being verified:
+//   * a push that returned kOk is dequeued EXACTLY once (no loss, no dup),
+//     except that a crash on a dequeue-side point may strand or drop a
+//     bounded number of already-claimed values (bounded by the batch size,
+//     and counted in orphan_drops when an adopter did the dropping);
+//   * a push in flight at the moment of a crash appears 0 or 1 times;
+//   * with no crash (stalls, delays, primed allocation failures) the
+//     accounting is EXACT — stalls must not lose operations (wait-freedom
+//     with helping) and allocation failures must not consume values (the
+//     OOM contract).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "checker/history.hpp"
+#include "checker/queue_checker.hpp"
+#include "core/wf_queue.hpp"
+#include "fault/fault_test_util.hpp"
+#include "sync/blocking_queue.hpp"
+
+namespace wfq {
+namespace {
+
+using fault_test::Inj;
+
+struct MatrixTraits : fault_test::FaultTraits {
+  static constexpr std::size_t kSegmentSize = 64;
+};
+using MQ = sync::BlockingQueue<WFQueue<uint64_t, MatrixTraits>>;
+using sync::PopStatus;
+using sync::PushStatus;
+
+constexpr std::size_t kBulkPush = 4;
+constexpr std::size_t kBulkPop = 3;
+constexpr uint64_t kPendingTs = ~uint64_t{0};  // synthetic op never responded
+
+uint64_t val(unsigned tid, uint64_t seq) {
+  return (uint64_t(tid + 1) << 40) | seq;
+}
+
+struct Outcome {
+  std::vector<uint64_t> pushed_ok;  // values whose push returned kOk
+  std::vector<uint64_t> in_flight;  // values mid-push when the crash hit
+  std::vector<uint64_t> popped;     // every value popped anywhere
+  std::vector<lin::Op> history;     // completed ops + synthetic pending enqs
+  uint64_t fired = 0;
+  uint64_t crashes = 0;
+  uint64_t stalls = 0;
+  uint64_t orphan_drops = 0;
+  uint64_t adopted = 0;
+  bool victim_crashed = false;
+};
+
+// Points where a crash kills a dequeuer that has already FAA'd past (or
+// claimed) values: those values are stranded or adopter-dropped. Bounded by
+// the bulk batch size; everything else must account exactly.
+bool deq_loss_point(const char* p) {
+  static constexpr const char* kLossy[] = {
+      "deq_faa_post",      "deq_help_peer",    "deq_slow_published",
+      "help_enq_sealed",   "help_deq_scan",    "help_deq_announced",
+      "deq_bulk_faa_post", "seg_alloc_try",    "seg_extend",
+      "reclaim_elected",   "reclaim_frontier_set",
+  };
+  for (const char* q : kLossy) {
+    if (std::strcmp(p, q) == 0) return true;
+  }
+  return false;
+}
+
+// Points the victim's scripted sequence passes unconditionally (before any
+// earlier armed point could end it): the experiment must observe a firing.
+bool deterministic_point(const char* p) {
+  static constexpr const char* kAlways[] = {
+      "enq_begin",         "enq_faa_post",      "deq_begin",
+      "deq_faa_post",      "enq_bulk_faa_post", "deq_bulk_faa_post",
+      "blk_push_ticket",   "blk_pre_enqueue",   "blk_pop_prepark",
+      "blk_close_pre_seal",
+  };
+  for (const char* q : kAlways) {
+    if (std::strcmp(p, q) == 0) return true;
+  }
+  return false;
+}
+
+Outcome run_experiment(const char* point, fault::Action action,
+                       uint64_t arg) {
+  fault_test::ScriptReset script;
+  EXPECT_TRUE(Inj::arm(point, action, /*budget=*/1, arg));
+
+  MQ q(WfConfig{/*patience=*/0, /*max_garbage=*/2, /*reserve=*/2});
+  Outcome out;
+  lin::HistoryRecorder rec;
+  lin::HistoryRecorder::ThreadLog* vlog = rec.make_log(0);
+  lin::HistoryRecorder::ThreadLog* hlog[2] = {rec.make_log(1),
+                                              rec.make_log(2)};
+  lin::HistoryRecorder::ThreadLog* mlog = rec.make_log(3);
+
+  std::atomic<bool> helpers_go{false};
+  std::atomic<bool> victim_done{false};
+  std::mutex merge_mu;
+  // (value, invoke_ts) of pushes in flight on the victim when it crashed.
+  std::vector<std::pair<uint64_t, uint64_t>> pending_enq;
+
+  std::thread victim([&] {
+    Inj::set_victim(true);
+    std::vector<uint64_t> pushed, popped;
+    std::vector<std::pair<uint64_t, uint64_t>> in_flight;
+    auto pop1 = [&](MQ::Handle& h) {
+      uint64_t ts = vlog->invoke();
+      try {
+        if (auto v = q.try_pop(h)) {
+          vlog->complete(lin::OpKind::kDequeue, *v, ts);
+          popped.push_back(*v);
+        } else {
+          vlog->complete(lin::OpKind::kDequeueEmpty, 0, ts);
+        }
+      } catch (const std::bad_alloc&) {
+      }
+    };
+    try {
+      MQ::Handle h = q.get_handle();
+      // Phase 1 (queue empty, helpers not yet running): a timed pop that
+      // must park — the only deterministic road to blk_pop_prepark.
+      // park_only skips the spin/yield escalation, whose per-iteration
+      // deadline checks can otherwise burn the whole timeout under a
+      // loaded scheduler without ever reaching the pre-park step; when
+      // this experiment is the one asserting the point fired, a generous
+      // deadline closes the residual descheduling window.
+      {
+        uint64_t ts = vlog->invoke();
+        uint64_t v = 0;
+        const auto timeout =
+            std::strcmp(point, "blk_pop_prepark") == 0
+                ? std::chrono::milliseconds(200)
+                : std::chrono::milliseconds(2);
+        try {
+          PopStatus st =
+              q.pop_wait_for(h, v, timeout, sync::WaitPolicy::park_only());
+          if (st == PopStatus::kOk) {
+            vlog->complete(lin::OpKind::kDequeue, v, ts);
+            popped.push_back(v);
+          }
+          // kTimeout: no effect, record nothing. kClosed cannot happen yet.
+        } catch (const std::bad_alloc&) {
+        }
+      }
+      helpers_go.store(true, std::memory_order_release);
+      // Phase 2: mixed singles, batches, and pops.
+      for (uint64_t seq = 1; seq <= 48; ++seq) {
+        uint64_t v = val(0, seq);
+        uint64_t ts = vlog->invoke();
+        in_flight.assign(1, {v, ts});
+        PushStatus st = q.push_status(h, v);
+        in_flight.clear();
+        if (st == PushStatus::kOk) {
+          vlog->complete(lin::OpKind::kEnqueue, v, ts);
+          pushed.push_back(v);
+        }
+        if (seq % 6 == 0) {
+          uint64_t batch[kBulkPush];
+          uint64_t bts = vlog->invoke();
+          for (uint64_t j = 0; j < kBulkPush; ++j) {
+            batch[j] = val(0, 1000 + seq * 10 + j);
+            in_flight.emplace_back(batch[j], bts);
+          }
+          std::size_t committed = q.push_bulk(h, batch, kBulkPush);
+          in_flight.clear();
+          for (std::size_t j = 0; j < committed; ++j) {
+            vlog->complete(lin::OpKind::kEnqueue, batch[j], bts);
+            pushed.push_back(batch[j]);
+          }
+        }
+        if (seq % 5 == 0) pop1(h);
+        if (seq % 16 == 0) {
+          uint64_t buf[kBulkPop];
+          uint64_t bts = vlog->invoke();
+          try {
+            std::size_t got = q.try_pop_bulk(h, buf, kBulkPop);
+            for (std::size_t j = 0; j < got; ++j) {
+              vlog->complete(lin::OpKind::kDequeue, buf[j], bts);
+              popped.push_back(buf[j]);
+            }
+            // A short batch is not recorded as EMPTY: under primed
+            // allocation failure a short count can mean OOM, not empty.
+          } catch (const std::bad_alloc&) {
+          }
+        }
+      }
+      q.close();  // fires blk_close_pre_seal on the victim
+    } catch (const fault::InjectedCrash& c) {
+      EXPECT_STREQ(c.point, point);
+      out.victim_crashed = true;  // joined before main reads this
+    } catch (const std::bad_alloc&) {
+      // An OOM storm may surface as a throw from a pop path; the values
+      // accounting below still must hold exactly.
+    }
+    Inj::set_victim(false);
+    {
+      std::lock_guard<std::mutex> g(merge_mu);
+      out.pushed_ok.insert(out.pushed_ok.end(), pushed.begin(), pushed.end());
+      out.popped.insert(out.popped.end(), popped.begin(), popped.end());
+      for (auto& p : in_flight) pending_enq.push_back(p);
+    }
+    helpers_go.store(true, std::memory_order_release);  // even after a crash
+    victim_done.store(true, std::memory_order_release);
+  });
+
+  std::thread helpers[2];
+  for (unsigned t = 0; t < 2; ++t) {
+    helpers[t] = std::thread([&, t] {
+      while (!helpers_go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::mt19937_64 rng(fault_test::fault_seed() ^ (t + 1) ^
+                          std::hash<std::string>{}(point));
+      std::vector<uint64_t> pushed, popped;
+      MQ::Handle h = q.get_handle();
+      for (uint64_t seq = 1; seq <= 40; ++seq) {
+        uint64_t v = val(t + 1, seq);
+        uint64_t ts = hlog[t]->invoke();
+        if (q.push_status(h, v) == PushStatus::kOk) {
+          hlog[t]->complete(lin::OpKind::kEnqueue, v, ts);
+          pushed.push_back(v);
+        }
+        if (rng() % 3 == 0) {
+          uint64_t pts = hlog[t]->invoke();
+          try {
+            if (auto got = q.try_pop(h)) {
+              hlog[t]->complete(lin::OpKind::kDequeue, *got, pts);
+              popped.push_back(*got);
+            } else {
+              hlog[t]->complete(lin::OpKind::kDequeueEmpty, 0, pts);
+            }
+          } catch (const std::bad_alloc&) {
+          }
+        }
+      }
+      std::lock_guard<std::mutex> g(merge_mu);
+      out.pushed_ok.insert(out.pushed_ok.end(), pushed.begin(), pushed.end());
+      out.popped.insert(out.popped.end(), popped.begin(), popped.end());
+    });
+  }
+
+  // Keep the global step counter moving so a finite stall always serves out
+  // (the victim may park before the helpers are released).
+  while (!victim_done.load(std::memory_order_acquire)) {
+    Inj::inject("matrix_pump");
+    std::this_thread::yield();
+  }
+  victim.join();
+  for (auto& th : helpers) th.join();
+
+  out.fired = Inj::fired(point);
+  out.crashes = Inj::crashes();
+  out.stalls = Inj::stalls();
+  Inj::reset();  // memory pressure off; drain must see the whole residue
+
+  q.close();  // idempotent; recovers a close the victim crashed out of
+  {
+    MQ::Handle h = q.get_handle();
+    for (;;) {
+      uint64_t ts = mlog->invoke();
+      auto v = q.try_pop(h);
+      if (!v) {
+        mlog->complete(lin::OpKind::kDequeueEmpty, 0, ts);
+        break;
+      }
+      mlog->complete(lin::OpKind::kDequeue, *v, ts);
+      out.popped.push_back(*v);
+    }
+  }
+
+  OpStats s = q.stats();
+  out.orphan_drops = s.orphan_drops.load(std::memory_order_relaxed);
+  out.adopted = s.adopted_handles.load(std::memory_order_relaxed);
+
+  out.history = rec.collect();
+  // A push in flight at the crash may have been committed by the adopter:
+  // if its value surfaced, it linearizes somewhere after its invocation.
+  for (const auto& [v, ts] : pending_enq) {
+    if (std::find(out.popped.begin(), out.popped.end(), v) !=
+        out.popped.end()) {
+      out.history.push_back(
+          lin::Op{lin::OpKind::kEnqueue, /*thread=*/0, v, ts, kPendingTs});
+    }
+    out.in_flight.push_back(v);
+  }
+  return out;
+}
+
+void validate(const char* point, fault::Action action, const Outcome& out) {
+  SCOPED_TRACE(std::string(point) + " / action " +
+               std::to_string(static_cast<int>(action)));
+
+  if (deterministic_point(point)) {
+    EXPECT_GE(out.fired, 1u) << "armed point never reached";
+  }
+
+  // No duplicates, ever.
+  std::vector<uint64_t> popped = out.popped;
+  std::sort(popped.begin(), popped.end());
+  ASSERT_TRUE(std::adjacent_find(popped.begin(), popped.end()) ==
+              popped.end())
+      << "duplicate dequeue";
+
+  // Everything popped was pushed (ok or in flight at the crash).
+  std::set<uint64_t> legal(out.pushed_ok.begin(), out.pushed_ok.end());
+  legal.insert(out.in_flight.begin(), out.in_flight.end());
+  for (uint64_t v : popped) {
+    ASSERT_TRUE(legal.count(v) != 0) << "dequeued unknown value " << v;
+  }
+
+  // Loss accounting.
+  std::set<uint64_t> popped_set(popped.begin(), popped.end());
+  std::vector<uint64_t> missing;
+  for (uint64_t v : out.pushed_ok) {
+    if (popped_set.count(v) == 0) missing.push_back(v);
+  }
+  if (out.crashes == 0) {
+    EXPECT_TRUE(out.in_flight.empty());
+    EXPECT_EQ(out.orphan_drops, 0u);
+    EXPECT_TRUE(missing.empty())
+        << missing.size() << " values lost without any crash";
+  } else {
+    const uint64_t allowance =
+        deq_loss_point(point) ? kBulkPush + out.orphan_drops
+                              : out.orphan_drops;
+    EXPECT_LE(missing.size(), allowance)
+        << "lost more values than a single dequeue-side crash can strand";
+  }
+
+  // The linearizability oracle runs whenever the history is complete: no
+  // stranded values, no adopter-dropped values. (Synthetic pending-enqueue
+  // ops cover crash-then-adopted pushes.)
+  if (out.orphan_drops == 0 && missing.empty()) {
+    lin::CheckResult res = lin::check_queue_history(out.history);
+    EXPECT_TRUE(res.linearizable) << res.violation;
+  }
+}
+
+TEST(FaultInjectionMatrix, StallEveryPoint) {
+  for (const char* point : fault::kInjectionPoints) {
+    Outcome out = run_experiment(point, fault::Action::kStall, 200);
+    EXPECT_EQ(out.crashes, 0u) << point << ": finite stall must not crash";
+    validate(point, fault::Action::kStall, out);
+  }
+}
+
+TEST(FaultInjectionMatrix, CrashEveryPoint) {
+  for (const char* point : fault::kInjectionPoints) {
+    Outcome out = run_experiment(point, fault::Action::kCrash, 0);
+    if (out.fired > 0) {
+      EXPECT_TRUE(out.victim_crashed) << point;
+      EXPECT_GE(out.crashes, 1u) << point;
+    }
+    validate(point, fault::Action::kCrash, out);
+  }
+}
+
+TEST(FaultInjectionMatrix, AllocFailEveryPoint) {
+  for (const char* point : fault::kInjectionPoints) {
+    // A long storm: retries and the 2-segment reserve are both exhausted,
+    // so operations must surface kNoMem / throw — and still account
+    // exactly (no crash: the fault is in the allocator, not the thread).
+    Outcome out = run_experiment(point, fault::Action::kAllocFail, 10000);
+    EXPECT_EQ(out.crashes, 0u) << point;
+    validate(point, fault::Action::kAllocFail, out);
+  }
+}
+
+TEST(FaultInjectionMatrix, CatalogMatchesCallSites) {
+  // The matrix iterates the catalog; if someone adds a WFQ_INJECT call
+  // with a new name, it must be added to kInjectionPoints (docs/TESTING.md
+  // documents each entry) so the matrix covers it.
+  EXPECT_EQ(fault::kInjectionPointCount, 22u);
+}
+
+}  // namespace
+}  // namespace wfq

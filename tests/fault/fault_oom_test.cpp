@@ -1,0 +1,196 @@
+// OOM graceful degradation: segment allocation goes through one fallible
+// seam (SegmentList::allocate_fresh) with bounded retries and an opt-in
+// pre-reserved pool. When everything is exhausted an operation fails
+// *cleanly* — error return at the core, SegmentAllocError at the typed
+// wrapper — with no value lost and the queue fully intact and retryable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wf_queue.hpp"
+#include "core/wf_queue_core.hpp"
+#include "fault/fault_test_util.hpp"
+
+namespace wfq {
+namespace {
+
+using fault_test::FaultSmallTraits;
+using fault_test::Inj;
+using Core = WFQueueCore<FaultSmallTraits>;
+constexpr std::size_t kSeg = FaultSmallTraits::kSegmentSize;
+
+// Prime `n` pending allocation failures. The kAllocFail action fires on
+// the victim's next pass through `point`; the primed failures are then
+// consumed at the allocation seam by whichever thread allocates next.
+void prime_alloc_failures(std::uint64_t n) {
+  Inj::set_victim(true);
+  ASSERT_TRUE(Inj::arm("enq_begin", fault::Action::kAllocFail, 1, n));
+}
+
+TEST(FaultOom, ReservePoolAbsorbsTransientFailure) {
+  fault_test::ScriptReset script;
+  Core q(WfConfig{/*patience=*/10, /*max_garbage=*/1 << 20, /*reserve=*/4});
+  prime_alloc_failures(3);  // one allocation's worth of retries, exactly
+
+  Core::HandleGuard h(q);
+  // Three segments of traffic: the first extension eats the 3 primed
+  // failures (all retries) and must be served by the reserve pool; later
+  // extensions allocate normally again.
+  const std::uint64_t n = 3 * kSeg;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    ASSERT_TRUE(q.enqueue(h.get(), i)) << "enqueue " << i;
+  }
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    ASSERT_EQ(q.dequeue(h.get()), i);  // FIFO intact through the fallback
+  }
+  EXPECT_EQ(q.dequeue(h.get()), Core::kEmpty);
+
+  EXPECT_EQ(Inj::alloc_failures(), 3u);  // injected attempts
+  OpStats s = q.collect_stats();
+  // ...but zero *operation-visible* failures: the airbag absorbed them.
+  EXPECT_EQ(s.alloc_failures.load(std::memory_order_relaxed), 0u);
+  EXPECT_EQ(s.reserve_pool_hits.load(std::memory_order_relaxed), 1u);
+}
+
+TEST(FaultOom, ExhaustionFailsCleanlyAndRecovers) {
+  fault_test::ScriptReset script;
+  Core q(WfConfig{/*patience=*/10, /*max_garbage=*/1 << 20, /*reserve=*/2});
+  prime_alloc_failures(1u << 20);  // memory pressure does not let up
+
+  Core::HandleGuard h(q);
+  // Capacity before exhaustion: the pre-allocated first segment plus the
+  // two reserve segments. Every enqueue past that fails cleanly.
+  std::vector<std::uint64_t> ok;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    if (q.enqueue(h.get(), i)) {
+      EXPECT_EQ(ok.size() + 1, i) << "non-contiguous success prefix";
+      ok.push_back(i);
+    }
+  }
+  EXPECT_EQ(ok.size(), 3 * kSeg);
+
+  OpStats s = q.collect_stats();
+  EXPECT_EQ(s.reserve_pool_hits.load(std::memory_order_relaxed), 2u);
+  EXPECT_GE(s.alloc_failures.load(std::memory_order_relaxed), 1u);
+
+  // Memory pressure eases: the queue recovers with nothing corrupted and
+  // nothing lost — the successful prefix drains in FIFO order, then new
+  // traffic flows.
+  Inj::reset();
+  ASSERT_TRUE(q.enqueue(h.get(), 424242));
+  for (std::uint64_t i = 1; i <= ok.size(); ++i) {
+    ASSERT_EQ(q.dequeue(h.get()), i);
+  }
+  EXPECT_EQ(q.dequeue(h.get()), 424242u);
+  EXPECT_EQ(q.dequeue(h.get()), Core::kEmpty);
+}
+
+TEST(FaultOom, DequeueReportsNoMemCleanly) {
+  fault_test::ScriptReset script;
+  Core q(WfConfig{/*patience=*/10, /*max_garbage=*/1 << 20, /*reserve=*/0});
+  prime_alloc_failures(1u << 20);
+
+  Core::HandleGuard h(q);
+  // Fill the pre-allocated segment, then push T past it with failing
+  // enqueues: H will need the missing segment too.
+  for (std::uint64_t i = 1; i <= kSeg; ++i) {
+    ASSERT_TRUE(q.enqueue(h.get(), i));
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(q.enqueue(h.get(), 999));
+  // All stored values come out untouched...
+  for (std::uint64_t i = 1; i <= kSeg; ++i) {
+    ASSERT_EQ(q.dequeue(h.get()), i);
+  }
+  // ...and the next dequeue needs a segment that cannot be allocated:
+  // kNoMem, not a throw from find_cell, and nothing was consumed.
+  EXPECT_EQ(q.dequeue(h.get()), Core::kNoMem);
+  Inj::reset();
+  EXPECT_EQ(q.dequeue(h.get()), Core::kEmpty);  // retryable: now it's EMPTY
+}
+
+TEST(FaultOom, BulkEnqueueCommitsPrefixUnderExhaustion) {
+  fault_test::ScriptReset script;
+  Core q(WfConfig{/*patience=*/10, /*max_garbage=*/1 << 20, /*reserve=*/0});
+  // Prime at the bulk path's own post-FAA point (a bulk op never passes
+  // enq_begin): the storm starts after the indices are claimed but before
+  // any cell walk, so every fresh-segment allocation below fails.
+  Inj::set_victim(true);
+  ASSERT_TRUE(
+      Inj::arm("enq_bulk_faa_post", fault::Action::kAllocFail, 1, 1u << 20));
+
+  Core::HandleGuard h(q);
+  // A two-chunk batch on the empty queue: chunk one lands in the
+  // pre-allocated segment and commits; chunk two needs a fresh segment,
+  // which cannot be had. The contract is a clean committed prefix (here in
+  // chunk granularity — a failed cell walk abandons its whole chunk).
+  static_assert(Core::kBulkChunk == kSeg,
+                "test assumes one chunk == one segment");
+  constexpr std::size_t kBatch = 2 * Core::kBulkChunk;
+  std::uint64_t batch[kBatch];
+  for (std::uint64_t j = 0; j < kBatch; ++j) batch[j] = 1000 + j;
+  EXPECT_EQ(q.enqueue_bulk(h.get(), batch, kBatch), Core::kBulkChunk);
+  for (std::uint64_t j = 0; j < Core::kBulkChunk; ++j) {
+    ASSERT_EQ(q.dequeue(h.get()), 1000 + j);  // the prefix, in order
+  }
+  EXPECT_EQ(q.dequeue(h.get()), Core::kNoMem);  // H parked at the gap
+  Inj::reset();
+  EXPECT_EQ(q.dequeue(h.get()), Core::kEmpty);  // and it heals
+}
+
+TEST(FaultOom, DebtParkedIndexIsRepaidByLaterEnqueue) {
+  fault_test::ScriptReset script;
+  Core q(WfConfig{/*patience=*/10, /*max_garbage=*/1 << 20, /*reserve=*/0});
+
+  Core::HandleGuard h(q);
+  for (std::uint64_t i = 1; i <= kSeg; ++i) {
+    ASSERT_TRUE(q.enqueue(h.get(), i));
+  }
+  for (std::uint64_t i = 1; i <= kSeg; ++i) {
+    ASSERT_EQ(q.dequeue(h.get()), i);
+  }
+  // H == T == kSeg. The next dequeue's FAA consumes index kSeg, whose
+  // segment cannot be materialized: instead of abandoning the index, the
+  // dequeuer must park it in the debt table and fail cleanly.
+  Inj::set_victim(true);
+  ASSERT_TRUE(Inj::arm("deq_begin", fault::Action::kAllocFail, 1, 1u << 20));
+  EXPECT_EQ(q.dequeue(h.get()), Core::kNoMem);
+
+  // Memory returns. The enqueue's deposit lands exactly on the parked
+  // index — a cell no dequeue will ever visit. The depositor must claim
+  // the debt, seal the dead cell, and deposit the value again at a fresh
+  // index: without the retraction, 777 would be stranded forever.
+  Inj::reset();
+  ASSERT_TRUE(q.enqueue(h.get(), 777));
+  EXPECT_EQ(q.dequeue(h.get()), 777u);
+  EXPECT_EQ(q.dequeue(h.get()), Core::kEmpty);
+
+  OpStats s = q.collect_stats();
+  EXPECT_EQ(s.oom_rescues.load(std::memory_order_relaxed), 1u);
+}
+
+TEST(FaultOom, TypedWrapperThrowsSegmentAllocError) {
+  fault_test::ScriptReset script;
+  WFQueue<std::uint64_t, FaultSmallTraits> q(
+      WfConfig{/*patience=*/10, /*max_garbage=*/1 << 20, /*reserve=*/0});
+  prime_alloc_failures(1u << 20);
+
+  auto h = q.get_handle();
+  for (std::uint64_t i = 1; i <= kSeg; ++i) {
+    ASSERT_TRUE(q.enqueue(h, i));
+  }
+  EXPECT_FALSE(q.enqueue(h, 999));  // enqueue reports failure by value
+  for (std::uint64_t i = 1; i <= kSeg; ++i) {
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+  // dequeue's only failure channel besides EMPTY is the exception; it must
+  // be the catchable bad_alloc subtype, and it must be retryable.
+  EXPECT_THROW((void)q.dequeue(h), SegmentAllocError);
+  Inj::reset();
+  EXPECT_FALSE(q.dequeue(h).has_value());
+}
+
+}  // namespace
+}  // namespace wfq

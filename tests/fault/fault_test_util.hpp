@@ -1,0 +1,60 @@
+// Shared fixtures for the fault-injection tests: traits with the scripted
+// injector compiled in, script lifecycle RAII, and the seed plumbing that
+// makes a failing run reproducible (`WFQ_FAULT_SEED=<n> ctest -R Fault...`).
+//
+// The ScriptedInjector is process-global, so each gtest TEST must own the
+// script for its whole run. ctest executes every discovered test in its own
+// process (gtest_discover_tests), which makes that ownership free; within a
+// test, ScriptReset brackets each experiment.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "core/wf_queue_core.hpp"
+#include "harness/fault_inject.hpp"
+
+namespace wfq::fault_test {
+
+using Inj = fault::ScriptedInjector;
+
+/// DefaultWfTraits with the scripted injector compiled in. Everything else
+/// (segment size, FAA, reclamation policy, stats) is the production
+/// configuration — the point of the harness is to fault the real code.
+struct FaultTraits : DefaultWfTraits {
+  using Injector = fault::ScriptedInjector;
+};
+
+/// Small segments so segment extension and reclamation are reachable with
+/// tens of operations instead of thousands.
+struct FaultSmallTraits : FaultTraits {
+  static constexpr std::size_t kSegmentSize = 64;
+};
+
+/// Clears the process-global script on entry and exit so no experiment can
+/// leak armed points, primed allocation failures, or the victim flag into
+/// the next one. The victim thread itself must still unset its thread-local
+/// flag (set_victim(false)) before exiting if the thread object is reused.
+struct ScriptReset {
+  ScriptReset() { Inj::reset(); }
+  ~ScriptReset() {
+    Inj::set_victim(false);
+    Inj::reset();
+  }
+  ScriptReset(const ScriptReset&) = delete;
+  ScriptReset& operator=(const ScriptReset&) = delete;
+};
+
+/// Workload seed: WFQ_FAULT_SEED env var, default 1234. tools/ci.sh runs
+/// the fault tests under a fixed set of seeds; a failure report names the
+/// seed so the exact schedule pressure can be replayed.
+inline std::uint64_t fault_seed() {
+  if (const char* s = std::getenv("WFQ_FAULT_SEED")) {
+    char* end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 10);
+    if (end != s) return v;
+  }
+  return 1234;
+}
+
+}  // namespace wfq::fault_test

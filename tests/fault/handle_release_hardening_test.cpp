@@ -1,0 +1,203 @@
+// release_handle hardening: a handle abandoned mid-operation — its
+// HandleGuard unwinding through an injected crash, or adopted explicitly
+// while the owner is wedged — must have its pending request completed
+// exactly once before the record re-enters the freelist, and the recycled
+// record must come back clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/wf_queue_core.hpp"
+#include "fault/fault_test_util.hpp"
+
+namespace wfq {
+namespace {
+
+using fault_test::FaultTraits;
+using fault_test::Inj;
+using Core = WFQueueCore<FaultTraits>;
+
+// Seal the first `n` cells by dequeuing on an empty queue: each empty
+// dequeue FAAs H past one cell and (patience 0) ⊤-seals it, so the next
+// enqueue's fast-path attempt lands on a dead cell and must take the slow
+// path — the only way to reach a published request deterministically from
+// a single thread.
+void seal_cells(Core& q, Core::Handle* h, int n) {
+  for (int i = 0; i < n; ++i) EXPECT_EQ(q.dequeue(h), Core::kEmpty);
+}
+
+TEST(HandleReleaseHardening, CrashMidEnqueueIsAdoptedOnGuardRelease) {
+  fault_test::ScriptReset script;
+  Core q(WfConfig{/*patience=*/0, /*max_garbage=*/64, /*reserve=*/0});
+  {
+    Core::HandleGuard main_h(q);
+    seal_cells(q, main_h.get(), 2);
+  }
+
+  std::atomic<bool> crashed{false};
+  std::thread victim([&] {
+    Inj::set_victim(true);
+    ASSERT_TRUE(Inj::arm("enq_slow_published", fault::Action::kCrash));
+    try {
+      Core::HandleGuard g(q);
+      q.enqueue(g.get(), 42);
+      ADD_FAILURE() << "enqueue returned despite armed crash";
+    } catch (const fault::InjectedCrash& c) {
+      // The guard's destructor already ran: release_handle saw the pending
+      // request and completed it (adoption) before freelisting the record.
+      EXPECT_STREQ(c.point, "enq_slow_published");
+      crashed = true;
+    }
+    Inj::set_victim(false);
+  });
+  victim.join();
+  ASSERT_TRUE(crashed.load());
+  EXPECT_EQ(Inj::fired("enq_slow_published"), 1u);
+
+  // The abandoned enqueue was completed by the adopter: 42 is in the queue
+  // exactly once, and the queue is fully operational.
+  Core::HandleGuard h(q);
+  EXPECT_EQ(q.dequeue(h.get()), 42u);
+  EXPECT_EQ(q.dequeue(h.get()), Core::kEmpty);
+
+  OpStats s = q.collect_stats();
+  EXPECT_EQ(s.adopted_handles.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(s.injected_crashes.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(s.orphan_drops.load(std::memory_order_relaxed), 0u);
+}
+
+TEST(HandleReleaseHardening, ExplicitAdoptionThenReleaseCompletesOnce) {
+  fault_test::ScriptReset script;
+  Core q(WfConfig{/*patience=*/0, /*max_garbage=*/64, /*reserve=*/0});
+  {
+    Core::HandleGuard main_h(q);
+    seal_cells(q, main_h.get(), 2);
+  }
+
+  Core::Handle* vh = q.register_handle();
+  std::atomic<bool> wedged{false};
+  std::atomic<bool> adopted{false};
+  std::thread victim([&] {
+    Inj::set_victim(true);
+    ASSERT_TRUE(Inj::arm("enq_slow_published", fault::Action::kCrash));
+    try {
+      q.enqueue(vh, 99);
+      ADD_FAILURE() << "enqueue returned despite armed crash";
+    } catch (const fault::InjectedCrash&) {
+      // Keep the handle alive: this models a thread that is wedged (not
+      // yet destroyed) while another thread decides to adopt its work.
+      wedged = true;
+    }
+    while (!adopted.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    Inj::set_victim(false);
+    // Releasing an already-adopted handle must NOT re-complete the op.
+    q.release_handle(vh);
+  });
+
+  while (!wedged.load(std::memory_order_acquire)) std::this_thread::yield();
+  q.adopt_handle(vh);  // completes the pending enqueue, keeps vh un-freed
+  adopted.store(true, std::memory_order_release);
+  victim.join();
+
+  Core::HandleGuard h(q);
+  EXPECT_EQ(q.dequeue(h.get()), 99u);  // exactly once
+  EXPECT_EQ(q.dequeue(h.get()), Core::kEmpty);
+  OpStats s = q.collect_stats();
+  EXPECT_EQ(s.adopted_handles.load(std::memory_order_relaxed), 1u);
+}
+
+TEST(HandleReleaseHardening, CrashedDequeueAdoptionDropsClaimedValue) {
+  fault_test::ScriptReset script;
+  Core q(WfConfig{/*patience=*/0, /*max_garbage=*/64, /*reserve=*/0});
+
+  // Kill an enqueue after its FAA so cell 0 is permanently unwritten, then
+  // enqueue a real value (lands at cell 1). A dequeuer now ⊤-seals cell 0,
+  // fails its fast path, and publishes a slow-path request.
+  std::thread enq_victim([&] {
+    Inj::set_victim(true);
+    ASSERT_TRUE(Inj::arm("enq_faa_post", fault::Action::kCrash));
+    try {
+      Core::HandleGuard g(q);
+      q.enqueue(g.get(), 7);
+      ADD_FAILURE() << "enqueue returned despite armed crash";
+    } catch (const fault::InjectedCrash&) {
+    }
+    Inj::set_victim(false);
+  });
+  enq_victim.join();
+  {
+    Core::HandleGuard h(q);
+    ASSERT_TRUE(q.enqueue(h.get(), 1234));
+  }
+
+  std::thread deq_victim([&] {
+    Inj::set_victim(true);
+    ASSERT_TRUE(Inj::arm("deq_slow_published", fault::Action::kCrash));
+    try {
+      Core::HandleGuard g(q);
+      (void)q.dequeue(g.get());
+      ADD_FAILURE() << "dequeue returned despite armed crash";
+    } catch (const fault::InjectedCrash&) {
+    }
+    Inj::set_victim(false);
+  });
+  deq_victim.join();
+  ASSERT_EQ(Inj::fired("deq_slow_published"), 1u);
+
+  // Adoption completed the crashed dequeue; the value it claimed has no
+  // caller to return to and is dropped — but accounted for.
+  OpStats s = q.collect_stats();
+  EXPECT_EQ(s.orphan_drops.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(s.adopted_handles.load(std::memory_order_relaxed), 2u);
+  Core::HandleGuard h(q);
+  EXPECT_EQ(q.dequeue(h.get()), Core::kEmpty);
+}
+
+TEST(HandleReleaseHardening, RecycledHandlesStayClean) {
+  Core q(WfConfig{/*patience=*/0, /*max_garbage=*/64, /*reserve=*/0});
+  // Crash an operation through a guard every round, interleaved with clean
+  // reuse: every recycled record must pass register_handle's cleanliness
+  // assert and behave like a fresh one. The queue is drained to empty each
+  // round so the cell-sealing setup stays deterministic.
+  for (int round = 0; round < 4; ++round) {
+    fault_test::ScriptReset script;
+    {
+      Core::HandleGuard main_h(q);
+      seal_cells(q, main_h.get(), 2);
+    }
+    const uint64_t adopted_v = 100 + static_cast<uint64_t>(round);
+    const uint64_t normal_v = 200 + static_cast<uint64_t>(round);
+    std::thread victim([&] {
+      Inj::set_victim(true);
+      ASSERT_TRUE(Inj::arm("enq_slow_published", fault::Action::kCrash));
+      try {
+        Core::HandleGuard g(q);
+        q.enqueue(g.get(), adopted_v);
+        ADD_FAILURE() << "enqueue returned despite armed crash";
+      } catch (const fault::InjectedCrash&) {
+      }
+      Inj::set_victim(false);
+    });
+    victim.join();
+    Core::HandleGuard h(q);
+    ASSERT_TRUE(q.enqueue(h.get(), normal_v));
+    std::vector<uint64_t> got;
+    for (uint64_t v; (v = q.dequeue(h.get())) != Core::kEmpty;) {
+      got.push_back(v);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, (std::vector<uint64_t>{adopted_v, normal_v}))
+        << "round " << round;
+  }
+  OpStats s = q.collect_stats();
+  EXPECT_EQ(s.adopted_handles.load(std::memory_order_relaxed), 4u);
+}
+
+}  // namespace
+}  // namespace wfq

@@ -20,14 +20,23 @@
 #                     overhead ratio (the §10 acceptance metric behind the
 #                     committed BENCH_wakeup.json) and runs a short
 #                     close()/drain() blocking soak.
+#   5. faults       — robustness leg: the fault-injection suites (stall /
+#                     crash / alloc-fail scripts, orphan adoption, OOM debt
+#                     protocol) under fixed seeds via WFQ_FAULT_SEED, in the
+#                     default and ASan trees plus one TSan pass; three
+#                     seeded `soak --inject` runs with exact conservation
+#                     checks; and a NullInjector zero-footprint check — a
+#                     release bench binary must not contain any injection
+#                     point-name string (WFQ_INJECT's `if constexpr` must
+#                     have discarded them all).
 #
-# Usage: tools/ci.sh [default|asan|tsan|bench]...   (no args = all four)
+# Usage: tools/ci.sh [default|asan|tsan|bench|faults]...  (no args = all five)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
 CONFIGS=("$@")
-[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan bench)
+[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan bench faults)
 
 run_config() {
   local name=$1
@@ -97,14 +106,70 @@ EOF
   echo "== [bench] OK =="
 }
 
+run_faults() {
+  # The fault suites (test_fault: scripted stall/crash/alloc-fail matrix,
+  # handle-release hardening, bounded-memory-under-stall, OOM seam + debt
+  # protocol) are seeded through WFQ_FAULT_SEED — fixed seeds here so a CI
+  # failure is reproducible verbatim with
+  #   WFQ_FAULT_SEED=<s> ctest -R 'Fault|HandleRelease'
+  local seeds=(1 7 1234)
+  local regex='Fault|HandleRelease'
+  local dir s
+
+  for dir in build-ci-default build-ci-asan; do
+    case "${dir}" in
+      *asan) echo "== [faults] configure+build (asan) =="
+             cmake -B "${dir}" -S . -DWFQ_SANITIZE=address >/dev/null ;;
+      *) echo "== [faults] configure+build (default) =="
+         cmake -B "${dir}" -S . >/dev/null ;;
+    esac
+    cmake --build "${dir}" -j "${JOBS}" >/dev/null
+    for s in "${seeds[@]}"; do
+      echo "== [faults] ${dir} seed ${s} =="
+      (cd "${dir}" && WFQ_FAULT_SEED=${s} ASAN_OPTIONS=detect_leaks=1 \
+        ctest -R "${regex}" --output-on-failure -j "${JOBS}")
+    done
+  done
+
+  # One TSan pass: the injector's stall/release handshake and the debt
+  # table's seq_cst publication protocol are cross-thread by construction.
+  echo "== [faults] configure+build (tsan) =="
+  cmake -B build-ci-tsan -S . -DWFQ_SANITIZE=thread >/dev/null
+  cmake --build build-ci-tsan -j "${JOBS}" >/dev/null
+  echo "== [faults] tsan seed 1234 =="
+  (cd build-ci-tsan && WFQ_FAULT_SEED=1234 TSAN_OPTIONS=halt_on_error=1 \
+    ctest -R "${regex}" --output-on-failure -j "${JOBS}")
+
+  # Seeded chaos soaks: random injection scripts riding real MPMC traffic,
+  # with the soak's own exact-conservation checksum as the oracle.
+  for s in "${seeds[@]}"; do
+    echo "== [faults] soak --inject ${s} (2 s, 4x4 threads) =="
+    build-ci-default/tools/soak --inject "${s}" 2 4
+  done
+
+  # NullInjector zero-footprint check: in a production build every
+  # WFQ_INJECT site sits in a discarded `if constexpr` branch, so not one
+  # point-name string may survive into a bench binary. (tools/soak is the
+  # wrong target — it links the ScriptedInjector variant for --inject.)
+  echo "== [faults] NullInjector footprint check =="
+  if grep -q "enq_slow_published" build-ci-default/bench/bench_ops; then
+    echo "FAIL: injection point names found in release bench_ops —" \
+         "NullInjector is no longer compiling to nothing" >&2
+    exit 1
+  fi
+  echo "  bench_ops is injection-string-free"
+  echo "== [faults] OK =="
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "${cfg}" in
     default) run_config default ;;
     asan) run_config asan -DWFQ_SANITIZE=address ;;
     tsan) run_config tsan -DWFQ_SANITIZE=thread ;;
     bench) run_bench_smoke ;;
+    faults) run_faults ;;
     *)
-      echo "unknown config '${cfg}' (want default|asan|tsan|bench)" >&2
+      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults)" >&2
       exit 2
       ;;
   esac

@@ -19,6 +19,14 @@
 //   $ ./soak [seconds] [threads] [queue]
 //     queue in {block, wf, wf0, msq, lcrq, ccq, mutex, kp, sim};
 //     default block
+//   $ ./soak --inject <seed> [seconds] [threads]
+//     blocking-layer soak with the fault-injection harness compiled in: a
+//     seeded schedule of yields/delays/finite stalls/allocation-failure
+//     bursts is armed against producer 0 (the victim), and the run must
+//     still balance EXACTLY — wait-freedom says stalls cost throughput,
+//     never operations, and the OOM contract says a failed push consumes
+//     nothing. Crashes are deliberately not in the soak schedule (their
+//     bounded value loss is owned by the injection-matrix ctest).
 //
 // Exit status 0 only if every audit passed. Not part of ctest (runtime is
 // caller-chosen); CI runs it via the `soak` convenience target.
@@ -39,6 +47,7 @@
 #include "baselines/sim_queue.hpp"
 #include "common/random.hpp"
 #include "core/wf_queue.hpp"
+#include "harness/fault_inject.hpp"
 #include "sync/blocking_queue.hpp"
 
 namespace {
@@ -293,6 +302,170 @@ int run_blocking(unsigned threads, double seconds) {
   return (r.ok() && exact) ? 0 : 1;
 }
 
+// ---- fault-injection soak ---------------------------------------------
+//
+// Like run_blocking, but on a queue with the ScriptedInjector compiled in
+// and a seeded fault schedule armed against producer 0. Every action in the
+// schedule is accounting-neutral (yield, delay, finite stall, allocation-
+// failure burst), so the EXACT close()/drain() balance still applies: a
+// stalled victim may slow things down but must never lose an operation,
+// and an allocation failure must surface as a clean kNoMem, not a consumed
+// value. The schedule is armed once up front (ScriptedInjector::reset is
+// only safe with no thread inside the queue) with budgets big enough to
+// keep firing for the whole run.
+struct SoakFaultTraits : wfq::DefaultWfTraits {
+  using Injector = wfq::fault::ScriptedInjector;
+};
+
+int run_inject(uint64_t seed, unsigned threads, double seconds) {
+  using Inj = wfq::fault::ScriptedInjector;
+  using BQ = wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, SoakFaultTraits>>;
+  using wfq::sync::PopStatus;
+  using wfq::sync::PushStatus;
+  using wfq::sync::WaitPolicy;
+
+  Inj::reset();
+  wfq::Xorshift128Plus rng(seed ^ 0x5eedf417u);
+  // Arm up to 6 distinct points with neutral actions. Points the victim's
+  // producer role never passes simply stay inert — the schedule is still
+  // reproducible from the seed alone.
+  constexpr wfq::fault::Action kNeutral[] = {
+      wfq::fault::Action::kYield, wfq::fault::Action::kDelay,
+      wfq::fault::Action::kStall, wfq::fault::Action::kAllocFail};
+  std::printf("fault schedule (seed %llu):\n", (unsigned long long)seed);
+  for (int i = 0; i < 6; ++i) {
+    const char* point =
+        wfq::fault::kInjectionPoints[rng.next_below(
+            wfq::fault::kInjectionPointCount)];
+    wfq::fault::Action a = kNeutral[rng.next_below(4)];
+    // Finite stalls (64-573 global steps) and small alloc-fail bursts (1-4
+    // failures per firing) keep every fault recoverable in-line.
+    uint64_t arg = a == wfq::fault::Action::kStall
+                       ? 64 + rng.next_below(510)
+                       : a == wfq::fault::Action::kAllocFail
+                             ? 1 + rng.next_below(4)
+                             : 0;
+    uint32_t budget = 1u << (3 + rng.next_below(8));  // 8 .. 1024 firings
+    if (Inj::arm(point, a, budget, arg)) {
+      std::printf("  %-22s action=%d budget=%u arg=%llu\n", point, int(a),
+                  budget, (unsigned long long)arg);
+    }
+  }
+
+  wfq::WfConfig cfg;
+  cfg.reserve_segments = 2;  // the airbag the alloc-fail bursts land on
+  BQ q(cfg);
+
+  std::atomic<bool> stop_producing{false};
+  std::vector<uint64_t> enq_count(threads, 0), sum_in(threads, 0);
+  std::vector<uint64_t> deq_count(threads, 0), sum_out(threads, 0);
+  std::vector<uint64_t> fifo_bad(threads, 0), nomem(threads, 0);
+
+  std::printf("soaking BlockingQueue<WFQueue[ScriptedInjector]> for %.1fs "
+              "with %u producers (victim: 0) + %u consumers...\n",
+              seconds, threads, threads);
+
+  std::vector<std::thread> producers, consumers;
+  for (unsigned t = 0; t < threads; ++t) {
+    producers.emplace_back([&, t] {
+      Inj::set_victim(t == 0);
+      auto h = q.get_handle();
+      wfq::Xorshift128Plus prng(t * 7919 + 13);
+      uint64_t seq = 0;
+      bool closed = false;
+      while (!closed && !stop_producing.load(std::memory_order_relaxed)) {
+        uint64_t v = (uint64_t(t) << 40) | ++seq;
+        switch (q.push_status(h, v)) {
+          case PushStatus::kOk:
+            sum_in[t] += v;
+            ++enq_count[t];
+            break;
+          case PushStatus::kNoMem:
+            ++nomem[t];  // clean failure: v was NOT consumed; retry later
+            --seq;
+            std::this_thread::yield();
+            break;
+          case PushStatus::kClosed:
+            closed = true;
+            break;
+        }
+      }
+      Inj::set_victim(false);
+    });
+  }
+  for (unsigned t = 0; t < threads; ++t) {
+    consumers.emplace_back([&, t] {
+      auto h = q.get_handle();
+      const WaitPolicy policy =
+          (t % 2 == 0) ? WaitPolicy{} : WaitPolicy::park_only();
+      std::vector<uint64_t> last_seq(threads, 0);
+      for (;;) {
+        uint64_t v = 0;
+        PopStatus st;
+        try {
+          st = q.pop_wait(h, v, policy);
+        } catch (const std::bad_alloc&) {
+          std::this_thread::yield();  // OOM burst: back off and retry
+          continue;
+        }
+        if (st != PopStatus::kOk) break;  // kClosed
+        sum_out[t] += v;
+        ++deq_count[t];
+        unsigned prod = unsigned(v >> 40);
+        uint64_t s = v & ((uint64_t{1} << 40) - 1);
+        if (prod < threads) {
+          if (s <= last_seq[prod]) ++fifo_bad[t];
+          last_seq[prod] = s;
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop_producing.store(true);
+  for (auto& p : producers) p.join();
+  Inj::release_stalls();  // no kForever stalls armed: pure wakeup, no crash
+  q.close();
+  for (auto& c : consumers) c.join();
+
+  auto h = q.get_handle();
+  std::vector<uint64_t> residue;
+  std::size_t leftover = q.drain(h, residue);
+
+  SoakResult r;
+  uint64_t total_nomem = 0;
+  for (unsigned t = 0; t < threads; ++t) {
+    r.enqueued += enq_count[t];
+    r.dequeued += deq_count[t];
+    r.checksum_in += sum_in[t];
+    r.checksum_out += sum_out[t];
+    r.fifo_violations += fifo_bad[t];
+    total_nomem += nomem[t];
+  }
+  auto st = q.stats();
+  std::printf("  enq=%llu deq=%llu push_nomem=%llu | injected: stalls=%llu "
+              "crashes=%llu alloc_failures=%llu | adopted=%llu "
+              "reserve_hits=%llu orphan_drops=%llu oom_rescues=%llu\n",
+              (unsigned long long)r.enqueued, (unsigned long long)r.dequeued,
+              (unsigned long long)total_nomem,
+              (unsigned long long)st.injected_stalls.load(),
+              (unsigned long long)st.injected_crashes.load(),
+              (unsigned long long)st.alloc_failures.load(),
+              (unsigned long long)st.adopted_handles.load(),
+              (unsigned long long)st.reserve_pool_hits.load(),
+              (unsigned long long)st.orphan_drops.load(),
+              (unsigned long long)st.oom_rescues.load());
+  bool exact = r.enqueued == r.dequeued && leftover == 0;
+  bool no_crash = st.injected_crashes.load() == 0;
+  std::printf("  close()/drain() accounting %s (post-close residue=%zu), "
+              "checksum %s, fifo spot checks %s, crash-free %s\n",
+              exact ? "EXACT" : "FAILED", leftover,
+              r.checksum_in == r.checksum_out ? "OK" : "FAILED",
+              r.fifo_violations == 0 ? "OK" : "FAILED",
+              no_crash ? "OK" : "FAILED");
+  return (r.ok() && exact && no_crash) ? 0 : 1;
+}
+
 template <class Queue, class... Args>
 int run(const char* name, unsigned threads, double seconds, Args&&... args) {
   Queue q(std::forward<Args>(args)...);
@@ -309,6 +482,16 @@ int run(const char* name, unsigned threads, double seconds, Args&&... args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--inject") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: soak --inject <seed> [seconds] [threads]\n");
+      return 2;
+    }
+    uint64_t seed = std::strtoull(argv[2], nullptr, 10);
+    double secs = argc > 3 ? std::strtod(argv[3], nullptr) : 10.0;
+    unsigned thr = argc > 4 ? unsigned(std::strtoul(argv[4], nullptr, 10)) : 4;
+    return run_inject(seed, thr, secs);
+  }
   double seconds = argc > 1 ? std::strtod(argv[1], nullptr) : 10.0;
   unsigned threads =
       argc > 2 ? unsigned(std::strtoul(argv[2], nullptr, 10)) : 4;
