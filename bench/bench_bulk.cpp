@@ -169,7 +169,7 @@ std::vector<SweepPoint> sweep_family(const std::string& family,
       const std::string config =
           family + (k == 1 ? " single" : " bulk k=" + std::to_string(k));
       json_sink().record("bulk_pairs", config, t, ci.mean, double(lat.p50),
-                         double(lat.p99));
+                         double(lat.p99), double(lat.p999));
       std::cerr << "  [bulk_pairs] " << config << " threads=" << t << ": "
                 << Table::fmt_ci(ci.mean, ci.half_width) << " Mops/s  p50="
                 << lat.p50 << "ns p99=" << lat.p99 << "ns\n";

@@ -34,6 +34,7 @@
 #include "common/cpu.hpp"
 #include "core/wf_queue.hpp"
 #include "harness/chart.hpp"
+#include "harness/latency.hpp"
 #include "harness/methodology.hpp"
 #include "harness/platform.hpp"
 #include "harness/runner.hpp"
@@ -77,13 +78,19 @@ inline bool delay_enabled_from_env() {
 //
 // One record per measured (bench, config, threads) point:
 //   {"bench":"...","config":"...","threads":N,"mops":M,
-//    "p50_ns":null|X,"p99_ns":null|X}
-// The file is a JSON array, opened by `--json <file>` and closed at
-// process exit. Latency percentiles are null for throughput-only sweeps.
+//    "p50_ns":null|X,"p99_ns":null|X,"p999_ns":null|X}
+// The file is a JSON array. To survive crashes and early exits without
+// leaving a truncated (unparseable) file at the target path, records are
+// written to `<file>.tmp` and the close() at process exit finishes the
+// array and atomically renames it into place — downstream tooling either
+// sees the complete previous file or the complete new one, never a torn
+// write. Latency percentiles are null for throughput-only sweeps.
 class JsonSink {
  public:
   bool open(const std::string& path) {
-    f_ = std::fopen(path.c_str(), "w");
+    path_ = path;
+    tmp_path_ = path + ".tmp";
+    f_ = std::fopen(tmp_path_.c_str(), "w");
     if (f_ == nullptr) return false;
     std::fputs("[", f_);
     return true;
@@ -93,35 +100,45 @@ class JsonSink {
 
   void record(const std::string& bench, const std::string& config,
               unsigned threads, double mops, double p50_ns = -1.0,
-              double p99_ns = -1.0) {
+              double p99_ns = -1.0, double p999_ns = -1.0) {
     if (f_ == nullptr) return;
     std::fprintf(f_, "%s\n  {\"bench\":\"%s\",\"config\":\"%s\",\"threads\":%u,"
                      "\"mops\":%.6g",
                  first_ ? "" : ",", escaped(bench).c_str(),
                  escaped(config).c_str(), threads, mops);
-    if (p50_ns >= 0) {
-      std::fprintf(f_, ",\"p50_ns\":%.6g", p50_ns);
-    } else {
-      std::fputs(",\"p50_ns\":null", f_);
-    }
-    if (p99_ns >= 0) {
-      std::fprintf(f_, ",\"p99_ns\":%.6g", p99_ns);
-    } else {
-      std::fputs(",\"p99_ns\":null", f_);
-    }
+    write_pct("p50_ns", p50_ns);
+    write_pct("p99_ns", p99_ns);
+    write_pct("p999_ns", p999_ns);
     std::fputs("}", f_);
     first_ = false;
-    std::fflush(f_);  // partial files stay parseable-ish if a run is killed
+    std::fflush(f_);  // the .tmp stays inspectable while a long run works
   }
 
-  ~JsonSink() {
-    if (f_ != nullptr) {
-      std::fputs("\n]\n", f_);
-      std::fclose(f_);
+  /// Finish the array and atomically publish the file. Idempotent; called
+  /// by the destructor for the normal exit path.
+  void close() {
+    if (f_ == nullptr) return;
+    std::fputs("\n]\n", f_);
+    const bool wrote = std::fflush(f_) == 0 && !std::ferror(f_);
+    std::fclose(f_);
+    f_ = nullptr;
+    if (!wrote || std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+      std::fprintf(stderr, "json sink: failed to publish %s\n", path_.c_str());
+      std::remove(tmp_path_.c_str());
     }
   }
 
+  ~JsonSink() { close(); }
+
  private:
+  void write_pct(const char* key, double v) {
+    if (v >= 0) {
+      std::fprintf(f_, ",\"%s\":%.6g", key, v);
+    } else {
+      std::fprintf(f_, ",\"%s\":null", key);
+    }
+  }
+
   static std::string escaped(const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -134,6 +151,8 @@ class JsonSink {
 
   std::FILE* f_ = nullptr;
   bool first_ = true;
+  std::string path_;
+  std::string tmp_path_;
 };
 
 /// The process-wide sink. Inactive (records are dropped) unless
@@ -180,29 +199,46 @@ struct Contender {
   /// queue, so relative ordering matches the paper's convention; see
   /// EXPERIMENTS.md on why the subtraction variant is unstable here).
   std::function<std::function<double()>(const RunConfig&)> make_invocation;
+  /// Pooled per-operation (enqueue and dequeue) wall-clock latency
+  /// distribution at a thread count — fills the p50/p99/p999 columns of
+  /// --json records. Optional; run only when the JSON sink is active.
+  std::function<LatencyResult(unsigned threads, uint64_t pairs_per_thread)>
+      measure_latency;
 };
 
 template <class Queue>
 Contender make_contender(std::string name) {
-  return Contender{
-      std::move(name), [](const RunConfig& cfg) {
-        auto q = std::make_shared<Queue>();
-        return std::function<double()>([q, cfg] {
-          return run_workload(*q, cfg).mops_raw();
-        });
-      }};
+  Contender c;
+  c.name = std::move(name);
+  c.make_invocation = [](const RunConfig& cfg) {
+    auto q = std::make_shared<Queue>();
+    return std::function<double()>([q, cfg] {
+      return run_workload(*q, cfg).mops_raw();
+    });
+  };
+  c.measure_latency = [](unsigned threads, uint64_t pairs) {
+    Queue q;
+    return measure_op_latency(q, threads, pairs);
+  };
+  return c;
 }
 
 /// WF queue contenders need a WfConfig.
 template <class Traits>
 Contender make_wf_contender(std::string name, WfConfig wf) {
-  return Contender{
-      std::move(name), [wf](const RunConfig& cfg) {
-        auto q = std::make_shared<WFQueue<uint64_t, Traits>>(wf);
-        return std::function<double()>([q, cfg] {
-          return run_workload(*q, cfg).mops_raw();
-        });
-      }};
+  Contender c;
+  c.name = std::move(name);
+  c.make_invocation = [wf](const RunConfig& cfg) {
+    auto q = std::make_shared<WFQueue<uint64_t, Traits>>(wf);
+    return std::function<double()>([q, cfg] {
+      return run_workload(*q, cfg).mops_raw();
+    });
+  };
+  c.measure_latency = [wf](unsigned threads, uint64_t pairs) {
+    WFQueue<uint64_t, Traits> q(wf);
+    return measure_op_latency(q, threads, pairs);
+  };
+  return c;
 }
 
 /// The paper's Figure 2 line-up (plus the mutex sanity baseline).
@@ -224,22 +260,32 @@ inline std::vector<Contender> figure2_contenders() {
   // helping registry is sized to the actual thread count (its state array
   // is scanned on every operation, so an oversized registry would be an
   // unfair handicap).
-  cs.push_back(Contender{
-      "KPQUEUE", [](const RunConfig& cfg) {
-        auto q = std::make_shared<baselines::KPQueue<uint64_t>>(
-            cfg.threads + 2);
-        return std::function<double()>(
-            [q, cfg] { return run_workload(*q, cfg).mops_raw(); });
-      }});
+  Contender kp;
+  kp.name = "KPQUEUE";
+  kp.make_invocation = [](const RunConfig& cfg) {
+    auto q = std::make_shared<baselines::KPQueue<uint64_t>>(cfg.threads + 2);
+    return std::function<double()>(
+        [q, cfg] { return run_workload(*q, cfg).mops_raw(); });
+  };
+  kp.measure_latency = [](unsigned threads, uint64_t pairs) {
+    baselines::KPQueue<uint64_t> q(threads + 2);
+    return measure_op_latency(q, threads, pairs);
+  };
+  cs.push_back(std::move(kp));
   // Ditto for the P-Sim universal-construction queue (§2: it beat all
   // prior wait-free queues and MS-Queue before LCRQ/CC-Queue appeared).
-  cs.push_back(Contender{
-      "SIMQUEUE", [](const RunConfig& cfg) {
-        auto q = std::make_shared<baselines::SimQueue<uint64_t>>(
-            cfg.threads + 2);
-        return std::function<double()>(
-            [q, cfg] { return run_workload(*q, cfg).mops_raw(); });
-      }});
+  Contender sim;
+  sim.name = "SIMQUEUE";
+  sim.make_invocation = [](const RunConfig& cfg) {
+    auto q = std::make_shared<baselines::SimQueue<uint64_t>>(cfg.threads + 2);
+    return std::function<double()>(
+        [q, cfg] { return run_workload(*q, cfg).mops_raw(); });
+  };
+  sim.measure_latency = [](unsigned threads, uint64_t pairs) {
+    baselines::SimQueue<uint64_t> q(threads + 2);
+    return measure_op_latency(q, threads, pairs);
+  };
+  cs.push_back(std::move(sim));
   return cs;
 }
 
@@ -284,7 +330,18 @@ inline void run_figure(const std::string& title, WorkloadKind kind,
       auto ci = measure(mcfg, [&] { return c.make_invocation(cfg); });
       row.push_back(Table::fmt_ci(ci.mean, ci.half_width));
       series[ci_idx].values.push_back(ci.mean);
-      json_sink().record(title, c.name, t, ci.mean);
+      if (json_sink().active() && c.measure_latency) {
+        // Fill the percentile columns with a pooled enqueue+dequeue
+        // wall-clock latency sample (harness/latency.hpp) — measured only
+        // for --json runs so console sweeps keep their cost unchanged.
+        const uint64_t pairs =
+            std::max<uint64_t>(1, std::min<uint64_t>(ops, 20'000) / t);
+        LatencyResult lr = c.measure_latency(t, pairs);
+        json_sink().record(title, c.name, t, ci.mean, double(lr.p50),
+                           double(lr.p99), double(lr.p999));
+      } else {
+        json_sink().record(title, c.name, t, ci.mean);
+      }
       std::cerr << "  [" << title << "] threads=" << t << " " << c.name
                 << ": " << Table::fmt_ci(ci.mean, ci.half_width)
                 << " Mops/s\n";

@@ -19,6 +19,9 @@ void row(Table& table, const std::string& name, unsigned threads,
   table.add_row({name, std::to_string(r.p50), std::to_string(r.p90),
                  std::to_string(r.p99), std::to_string(r.p999),
                  std::to_string(r.max), std::to_string(r.count)});
+  json_sink().record("latency", name, threads,
+                     double(r.count) / 1e6,  // informational: sample count
+                     double(r.p50), double(r.p99), double(r.p999));
   std::cerr << "  [latency] " << name << " p99=" << r.p99
             << "ns max=" << r.max << "ns\n";
 }

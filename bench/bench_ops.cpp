@@ -18,6 +18,7 @@
 #include "common/atomics.hpp"
 #include "core/obstruction_queue.hpp"
 #include "core/wf_queue.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -77,6 +78,36 @@ using SimQ = wfq::baselines::SimQueue<uint64_t>;
 
 BENCHMARK_TEMPLATE(BM_PairSingleThread, WfQ);
 BENCHMARK_TEMPLATE(BM_PairSingleThread, Lcrq);
+
+/// Same pair workload with the observability layer compiled in at its
+/// production sampling rate (1-in-256 latency records on average, 4096-entry
+/// rings). The acceptance bound is <2% regression vs BM_PairSingleThread<WfQ>
+/// above; tools/ci.sh's obs leg compares the two. The queue's own histograms
+/// also report the sampled per-op percentiles as counters, so the JSON output
+/// carries p50/p99/p999 like every other bench binary.
+struct MetricsTraits : wfq::DefaultWfTraits {
+  using Metrics = wfq::obs::ObsMetrics<>;
+};
+using WfQMetrics = wfq::WFQueue<uint64_t, MetricsTraits>;
+
+void BM_PairSingleThreadMetrics(benchmark::State& state) {
+  WfQMetrics q;
+  auto h = q.get_handle();
+  uint64_t v = 1;
+  for (auto _ : state) {
+    q.enqueue(h, v++);
+    benchmark::DoNotOptimize(q.dequeue(h));
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+  wfq::obs::ObsSnapshot snap = q.collect_obs();
+  wfq::obs::LatencyHistogram pooled = snap.enq_ns;
+  pooled.merge(snap.deq_ns);
+  state.counters["p50_ns"] = double(pooled.percentile(0.50));
+  state.counters["p99_ns"] = double(pooled.percentile(0.99));
+  state.counters["p999_ns"] = double(pooled.percentile(0.999));
+}
+BENCHMARK(BM_PairSingleThreadMetrics);
+
 BENCHMARK_TEMPLATE(BM_PairSingleThread, MsQ);
 BENCHMARK_TEMPLATE(BM_PairSingleThread, CcQ);
 BENCHMARK_TEMPLATE(BM_PairSingleThread, MuQ);

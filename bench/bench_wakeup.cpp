@@ -163,7 +163,7 @@ int main(int argc, char** argv) {
               (unsigned long long)lat.p99, (unsigned long long)lat.max);
   json_sink().record("wakeup", "parked_handoff", 2,
                      double(lat.count) / 1e6,  // informational
-                     double(lat.p50), double(lat.p99));
+                     double(lat.p50), double(lat.p99), double(lat.p999));
 
   // 2. No-waiter throughput: wrapper vs raw, per thread count.
   //

@@ -7,13 +7,36 @@
 #include <utility>
 
 #include "core/wf_queue_core.hpp"
+#include "obs/trace_export.hpp"
 #include "sync/blocking_queue.hpp"
 
 namespace {
 using Core = wfq::WFQueueCore<wfq::DefaultWfTraits>;  // reserved-value check
-using BQ = wfq::sync::BlockingWFQueue<uint64_t>;
+
+/// The C API queue is compiled with metrics enabled (production sampling:
+/// 1-in-256 average latency recording, 4096-record trace rings) so
+/// and the histogram summaries work out of the box. The zero-overhead-when-
+/// disabled property is demonstrated by the NullMetrics grep target in
+/// tools/ci.sh's obs leg, not by this binding.
+struct CApiTraits : wfq::DefaultWfTraits {
+  using Metrics = wfq::obs::ObsMetrics<>;
+};
+using BQ = wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, CApiTraits>>;
 using wfq::sync::PopStatus;
 using wfq::sync::PushStatus;
+
+// The C struct and the internal OpStats both expand wfq_stats_fields.h, so
+// they cannot drift apart by construction; these asserts additionally pin
+// the ABI — same field count, no padding surprises.
+constexpr std::size_t kExFieldCount = 0
+#define WFQ_STATS_ONE(name) +1
+    WFQ_STATS_FIELDS(WFQ_STATS_ONE, WFQ_STATS_ONE)
+#undef WFQ_STATS_ONE
+    ;
+static_assert(kExFieldCount == wfq::OpStats::kFieldCount,
+              "wfq_stats_ex_t and OpStats must expand the same field table");
+static_assert(sizeof(wfq_stats_ex_t) == kExFieldCount * sizeof(uint64_t),
+              "wfq_stats_ex_t must be a packed array of uint64_t counters");
 }  // namespace
 
 // The opaque C structs are the C++ objects themselves.
@@ -190,6 +213,23 @@ void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out) {
   out->reserve_pool_hits =
       s.reserve_pool_hits.load(std::memory_order_relaxed);
   out->oom_rescues = s.oom_rescues.load(std::memory_order_relaxed);
+}
+
+void wfq_get_stats_ex(const wfq_queue_t* q, wfq_stats_ex_t* out) {
+  wfq::OpStats s = q->q.stats();
+#define WFQ_STATS_COPY(name) \
+  out->name = s.name.load(std::memory_order_relaxed);
+  WFQ_STATS_FIELDS(WFQ_STATS_COPY, WFQ_STATS_COPY)
+#undef WFQ_STATS_COPY
+}
+
+int wfq_trace_dump(const wfq_queue_t* q, const char* path) {
+  if (path == nullptr) return -1;
+  try {
+    return wfq::obs::write_chrome_trace(q->q.collect_obs(), path) ? 0 : -1;
+  } catch (...) {
+    return -1;  // snapshot allocation failure; no exception crosses the ABI
+  }
 }
 
 }  // extern "C"

@@ -30,6 +30,8 @@
 #include <stddef.h>
 #include <stdint.h>
 
+#include "wfq_stats_fields.h"
+
 #ifdef __cplusplus
 extern "C" {
 #endif
@@ -134,7 +136,34 @@ typedef struct wfq_stats {
                                * a dequeue hit WFQ_NOMEM) */
 } wfq_stats_t;
 
+/* Legacy aggregate view. Kept for source compatibility; it predates the
+ * batched-operation and probe counters and will not grow. New code should
+ * use wfq_get_stats_ex, whose struct is generated from the same X-macro
+ * table the queue's internal counters are (wfq_stats_fields.h) — a counter
+ * added there appears here by construction and can never silently read
+ * zero. */
 void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out);
+
+/* Complete statistics: one uint64_t per counter in wfq_stats_fields.h,
+ * same names, same order. Generated from the X-macro table, so this struct
+ * is always in sync with the queue's internal OpStats (static_asserts in
+ * the implementation enforce it at compile time). */
+typedef struct wfq_stats_ex {
+#define WFQ_STATS_C_FIELD(name) uint64_t name;
+  WFQ_STATS_FIELDS(WFQ_STATS_C_FIELD, WFQ_STATS_C_FIELD)
+#undef WFQ_STATS_C_FIELD
+} wfq_stats_ex_t;
+
+void wfq_get_stats_ex(const wfq_queue_t* q, wfq_stats_ex_t* out);
+
+/* Export the queue's observability snapshot — slow-path trace events plus
+ * latency-histogram summaries (p50/p99/p999 of enqueue, dequeue, bulk and
+ * blocking-pop latencies) — as a Chrome trace-event JSON file loadable by
+ * chrome://tracing and Perfetto. The file is written to `<path>.tmp` and
+ * atomically renamed, so a crash mid-export never leaves a truncated file.
+ * Call while no operation is in flight for exact numbers. Returns 0 on
+ * success, -1 on I/O failure. */
+int wfq_trace_dump(const wfq_queue_t* q, const char* path);
 
 #ifdef __cplusplus
 } /* extern "C" */

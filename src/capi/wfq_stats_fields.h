@@ -1,0 +1,67 @@
+/* The single source of truth for the queue's operation counters.
+ *
+ * Every counter the stack maintains is declared exactly once, here, as an
+ * X-macro entry. Three consumers expand the table:
+ *
+ *   - src/core/op_stats.hpp  -> the OpStats struct (atomic fields, add(),
+ *                               reset(), for_each_field, kFieldCount)
+ *   - src/capi/wfq_c.h       -> the wfq_stats_ex_t C struct (one uint64_t
+ *                               per counter, same names, same order)
+ *   - src/capi/wfq_c.cpp     -> the OpStats -> wfq_stats_ex_t copy and the
+ *                               static_asserts that keep all three in sync
+ *
+ * Adding a counter is ONE edit in this file; forgetting any consumer is a
+ * compile error, not a silently-zero stat (the PR-2..4 counters drifted out
+ * of wfq_stats_t exactly because the old field lists were hand-maintained).
+ *
+ * Two kinds of entry:
+ *   F(name)  -- monotonic counter; aggregated across handles by addition.
+ *   M(name)  -- high-water mark; aggregated by an atomic CAS-max.
+ *
+ * This header must stay C89-clean: wfq_c.h includes it.
+ */
+#ifndef WFQ_STATS_FIELDS_H_
+#define WFQ_STATS_FIELDS_H_
+
+#define WFQ_STATS_FIELDS(F, M)                                               \
+  /* Operation paths (the paper's Table 2). */                               \
+  F(enq_fast)          /* enqueues completed on the fast path */             \
+  F(enq_slow)          /* enqueues that fell back to enq_slow */             \
+  F(deq_fast)          /* dequeues completed on the fast path */             \
+  F(deq_slow)          /* dequeues that fell back to deq_slow */             \
+  F(deq_empty)         /* dequeues that returned EMPTY */                    \
+  F(cleanups)          /* cleanup() passes that reclaimed */                 \
+  F(segments_freed)    /* segments returned to the OS */                     \
+  /* Batched operations (PR 2). *_bulk_batches counts calls; *_bulk_fast */  \
+  /* counts items completed on a prepaid ticket (one shared FAA). Items */   \
+  /* that fell back to per-item ops are counted by the fields above. */      \
+  F(enq_bulk_batches)  /* enqueue_bulk calls */                              \
+  F(enq_bulk_fast)     /* items deposited via tickets */                     \
+  F(deq_bulk_batches)  /* dequeue_bulk calls */                              \
+  F(deq_bulk_fast)     /* items claimed via tickets */                       \
+  /* Blocking layer (PR 3, src/sync/blocking_queue.hpp). notify_calls */     \
+  /* counts futex wakes actually issued by producers -- the zero-fence */    \
+  /* claim of ALGORITHM.md section 10 is testable as "no-waiter workloads */ \
+  /* report notify_calls == 0". */                                           \
+  F(deq_parks)             /* consumer futex sleeps */                       \
+  F(deq_spurious_wakeups)  /* woke to a still-empty open queue */            \
+  F(notify_calls)          /* producer-side futex wakes issued */            \
+  /* Robustness layer (PR 4: fault injection, orphan adoption, OOM seam). */ \
+  /* The injected_* pair is nonzero only under a ScriptedInjector. */        \
+  F(injected_stalls)   /* scripted stall actions performed */                \
+  F(injected_crashes)  /* scripted crash actions performed */                \
+  F(adopted_handles)   /* abandoned handles whose op was finished */         \
+  F(orphan_drops)      /* values dropped completing adopted deqs */          \
+  F(alloc_failures)    /* segment allocations that failed cleanly */         \
+  F(reserve_pool_hits) /* allocations served by the reserve pool */          \
+  F(oom_rescues)       /* deposits retracted from debt-parked cells and */   \
+                       /* re-enqueued (conservation under OOM) */            \
+  /* Empirical wait-freedom bound (section 4): cells probed (find_cell */    \
+  /* calls) per operation. Wait-freedom means max probes stays bounded */    \
+  /* by a function of the thread count, never by the run length. */          \
+  F(enq_probes)        /* total probes across enqueues */                    \
+  F(deq_probes)        /* total probes across dequeues */                    \
+  M(max_enq_probes)    /* worst single enqueue */                            \
+  M(max_deq_probes)    /* worst single dequeue */
+
+#endif /* WFQ_STATS_FIELDS_H_ */

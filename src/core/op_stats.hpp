@@ -6,67 +6,38 @@
 // (thread-local, uncontended) relaxed atomics so that collection is safe
 // while threads run; the increment cost is one uncontended cached add and
 // does not perturb the measured operation.
+//
+// The field set is generated from the X-macro table in
+// src/capi/wfq_stats_fields.h — the single source of truth shared with the
+// C API's wfq_stats_ex_t. add(), reset(), for_each_field and kFieldCount
+// all expand from the same table, so a new counter cannot drift out of any
+// of them (the old hand-maintained lists lost counters twice).
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+
+#include "capi/wfq_stats_fields.h"
 
 namespace wfq {
 
 /// Per-handle path counters. All increments are relaxed; aggregation reads
 /// are relaxed too (counts are only interpreted after a benchmark phase
 /// joins its threads, or as an approximate running breakdown).
+///
+/// Per-field documentation lives in wfq_stats_fields.h next to each entry.
 struct OpStats {
-  std::atomic<uint64_t> enq_fast{0};   ///< enqueues completed on the fast path
-  std::atomic<uint64_t> enq_slow{0};   ///< enqueues that fell back to enq_slow
-  std::atomic<uint64_t> deq_fast{0};   ///< dequeues completed on the fast path
-  std::atomic<uint64_t> deq_slow{0};   ///< dequeues that fell back to deq_slow
-  std::atomic<uint64_t> deq_empty{0};  ///< dequeues that returned EMPTY
-  std::atomic<uint64_t> cleanups{0};   ///< cleanup() passes that reclaimed
-  std::atomic<uint64_t> segments_freed{0};  ///< segments returned to the OS
+#define WFQ_STATS_DECL(name) std::atomic<uint64_t> name{0};
+  WFQ_STATS_FIELDS(WFQ_STATS_DECL, WFQ_STATS_DECL)
+#undef WFQ_STATS_DECL
 
-  // Batched operations (enqueue_bulk / dequeue_bulk). *_bulk_batches counts
-  // calls; *_bulk_fast counts items completed on a prepaid ticket (one
-  // shared FAA amortized over the batch). Items that fell back to per-item
-  // operations are counted by the ordinary fast/slow counters above.
-  std::atomic<uint64_t> enq_bulk_batches{0};  ///< enqueue_bulk calls
-  std::atomic<uint64_t> enq_bulk_fast{0};     ///< items deposited via tickets
-  std::atomic<uint64_t> deq_bulk_batches{0};  ///< dequeue_bulk calls
-  std::atomic<uint64_t> deq_bulk_fast{0};     ///< items claimed via tickets
-
-  // Blocking layer (src/sync/blocking_queue.hpp). `notify_calls` counts
-  // futex-wake notifications actually issued by producers — the zero-fence
-  // claim of ALGORITHM.md §10 is testable as "no-waiter workloads report
-  // notify_calls == 0". `deq_parks` counts futex sleeps; a wakeup that
-  // found the queue still empty (and not closed) is a spurious wakeup.
-  std::atomic<uint64_t> deq_parks{0};             ///< consumer futex sleeps
-  std::atomic<uint64_t> deq_spurious_wakeups{0};  ///< woke to still-empty
-  std::atomic<uint64_t> notify_calls{0};          ///< producer-side wakes
-
-  // Robustness layer (src/harness/fault_inject.hpp + orphan adoption + the
-  // fallible allocation seam). The injected_* counters are nonzero only
-  // under a ScriptedInjector; the rest also fire in production builds:
-  // adopted_handles/orphan_drops when release_handle (or adopt_handle)
-  // finishes an abandoned operation, alloc_failures/reserve_pool_hits when
-  // segment allocation exhausts retries or falls back to the reserve pool.
-  std::atomic<uint64_t> injected_stalls{0};   ///< scripted stall actions
-  std::atomic<uint64_t> injected_crashes{0};  ///< scripted crash actions
-  std::atomic<uint64_t> adopted_handles{0};   ///< orphaned handles adopted
-  std::atomic<uint64_t> orphan_drops{0};      ///< values dropped adopting deqs
-  std::atomic<uint64_t> alloc_failures{0};    ///< segment allocs failed clean
-  std::atomic<uint64_t> reserve_pool_hits{0}; ///< allocs served by reserve
-  std::atomic<uint64_t> oom_rescues{0};       ///< deposits retracted from
-                                              ///< debt-parked cells and
-                                              ///< re-enqueued (conservation
-                                              ///< under OOM)
-
-  // Empirical wait-freedom bound (§4): cells probed (find_cell calls) per
-  // operation. Wait-freedom means max probes stays bounded by a function of
-  // the thread count, never by the run length.
-  std::atomic<uint64_t> enq_probes{0};      ///< total probes across enqueues
-  std::atomic<uint64_t> deq_probes{0};      ///< total probes across dequeues
-  std::atomic<uint64_t> max_enq_probes{0};  ///< worst single enqueue
-  std::atomic<uint64_t> max_deq_probes{0};  ///< worst single dequeue
+  /// Number of counters in the table (== fields of wfq_stats_ex_t).
+  static constexpr std::size_t kFieldCount = 0
+#define WFQ_STATS_ONE(name) +1
+      WFQ_STATS_FIELDS(WFQ_STATS_ONE, WFQ_STATS_ONE)
+#undef WFQ_STATS_ONE
+      ;
 
   OpStats() = default;
   // Copyable as a relaxed snapshot (atomics delete the default copy).
@@ -77,54 +48,42 @@ struct OpStats {
     return *this;
   }
 
+  /// Atomic maximum: CAS loop so two threads aggregating concurrently can
+  /// never lose the larger value (a plain load-compare-store could overwrite
+  /// a concurrent raise with a smaller one).
+  static void raise_max(std::atomic<uint64_t>& a, uint64_t v) noexcept {
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (cur < v && !a.compare_exchange_weak(cur, v,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
   void add(const OpStats& o) noexcept {
     auto ld = [](const std::atomic<uint64_t>& a) {
       return a.load(std::memory_order_relaxed);
     };
-    auto bump = [](std::atomic<uint64_t>& a, uint64_t v) {
-      a.fetch_add(v, std::memory_order_relaxed);
-    };
-    auto raise = [&](std::atomic<uint64_t>& a, uint64_t v) {
-      if (v > ld(a)) a.store(v, std::memory_order_relaxed);
-    };
-    bump(enq_fast, ld(o.enq_fast));
-    bump(enq_slow, ld(o.enq_slow));
-    bump(deq_fast, ld(o.deq_fast));
-    bump(deq_slow, ld(o.deq_slow));
-    bump(deq_empty, ld(o.deq_empty));
-    bump(cleanups, ld(o.cleanups));
-    bump(segments_freed, ld(o.segments_freed));
-    bump(enq_bulk_batches, ld(o.enq_bulk_batches));
-    bump(enq_bulk_fast, ld(o.enq_bulk_fast));
-    bump(deq_bulk_batches, ld(o.deq_bulk_batches));
-    bump(deq_bulk_fast, ld(o.deq_bulk_fast));
-    bump(deq_parks, ld(o.deq_parks));
-    bump(deq_spurious_wakeups, ld(o.deq_spurious_wakeups));
-    bump(notify_calls, ld(o.notify_calls));
-    bump(injected_stalls, ld(o.injected_stalls));
-    bump(injected_crashes, ld(o.injected_crashes));
-    bump(adopted_handles, ld(o.adopted_handles));
-    bump(orphan_drops, ld(o.orphan_drops));
-    bump(alloc_failures, ld(o.alloc_failures));
-    bump(reserve_pool_hits, ld(o.reserve_pool_hits));
-    bump(oom_rescues, ld(o.oom_rescues));
-    bump(enq_probes, ld(o.enq_probes));
-    bump(deq_probes, ld(o.deq_probes));
-    raise(max_enq_probes, ld(o.max_enq_probes));
-    raise(max_deq_probes, ld(o.max_deq_probes));
+#define WFQ_STATS_ADD(name) \
+  name.fetch_add(ld(o.name), std::memory_order_relaxed);
+#define WFQ_STATS_MAX(name) raise_max(name, ld(o.name));
+    WFQ_STATS_FIELDS(WFQ_STATS_ADD, WFQ_STATS_MAX)
+#undef WFQ_STATS_ADD
+#undef WFQ_STATS_MAX
   }
 
   void reset() noexcept {
-    for (auto* c : {&enq_fast, &enq_slow, &deq_fast, &deq_slow, &deq_empty,
-                    &cleanups, &segments_freed, &enq_bulk_batches,
-                    &enq_bulk_fast, &deq_bulk_batches, &deq_bulk_fast,
-                    &deq_parks, &deq_spurious_wakeups, &notify_calls,
-                    &injected_stalls, &injected_crashes, &adopted_handles,
-                    &orphan_drops, &alloc_failures, &reserve_pool_hits,
-                    &oom_rescues, &enq_probes, &deq_probes, &max_enq_probes,
-                    &max_deq_probes}) {
-      c->store(0, std::memory_order_relaxed);
-    }
+#define WFQ_STATS_RESET(name) name.store(0, std::memory_order_relaxed);
+    WFQ_STATS_FIELDS(WFQ_STATS_RESET, WFQ_STATS_RESET)
+#undef WFQ_STATS_RESET
+  }
+
+  /// Visit every (name, value) pair in table order — the C API copy, the
+  /// soak's --metrics report and the round-trip test all iterate this
+  /// instead of keeping their own field list.
+  template <class F>
+  void for_each_field(F&& f) const {
+#define WFQ_STATS_VISIT(name) f(#name, name.load(std::memory_order_relaxed));
+    WFQ_STATS_FIELDS(WFQ_STATS_VISIT, WFQ_STATS_VISIT)
+#undef WFQ_STATS_VISIT
   }
 
   uint64_t enqueues() const noexcept {
@@ -166,5 +125,12 @@ struct OpStats {
              : 0.0;
   }
 };
+
+// The struct is nothing but the table's atomics: any stray member (or a
+// table entry that failed to expand) breaks this, which in turn guarantees
+// the C mirror struct below can be filled positionally-by-name.
+static_assert(sizeof(OpStats) ==
+                  OpStats::kFieldCount * sizeof(std::atomic<uint64_t>),
+              "OpStats must contain exactly the X-macro table's counters");
 
 }  // namespace wfq

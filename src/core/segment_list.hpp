@@ -36,6 +36,7 @@
 
 #include "common/align.hpp"
 #include "harness/fault_inject.hpp"
+#include "obs/metrics.hpp"
 
 namespace wfq {
 
@@ -290,12 +291,23 @@ class SegmentList {
     }
     if (Segment* s = reserve_pop()) {
       reserve_pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      // The segment layer has no handle; these rare events go to the
+      // process-global ring (folded into snapshots like the injector's
+      // process-global counters are folded into collect_stats).
+      if constexpr (obs::MetricsOf<Traits>::kEnabled) {
+        obs::MetricsOf<Traits>::trace_global(obs::TraceEvent::kReserveHit,
+                                             uint64_t(id));
+      }
       s->id = id;
       s->next.store(nullptr, std::memory_order_relaxed);
       for (auto& c : s->cells) c.reset();
       return s;
     }
     alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::MetricsOf<Traits>::kEnabled) {
+      obs::MetricsOf<Traits>::trace_global(obs::TraceEvent::kAllocFail,
+                                           uint64_t(id));
+    }
     throw SegmentAllocError{};
   }
 

@@ -150,6 +150,11 @@ class WFQueue {
   OpStats stats() const { return core_.collect_stats(); }
   void reset_stats() { core_.reset_stats(); }
 
+  /// Observability snapshot: merged latency histograms + trace records
+  /// (empty under the default NullMetrics traits; see src/obs/metrics.hpp).
+  obs::ObsSnapshot collect_obs() const { return core_.collect_obs(); }
+  void reset_obs() { core_.reset_obs(); }
+
   /// Segment-list introspection for tests and reclamation benchmarks.
   std::size_t live_segments() const { return core_.live_segments(); }
   int64_t segments_outstanding() const { return core_.segments_outstanding(); }

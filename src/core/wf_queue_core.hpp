@@ -48,6 +48,7 @@
 #include "core/segment_list.hpp"
 #include "harness/fault_inject.hpp"
 #include "memory/segment_reclaim.hpp"
+#include "obs/metrics.hpp"
 
 namespace wfq {
 
@@ -136,6 +137,14 @@ struct DefaultWfTraits {
   /// named points. Traits types that omit this member get NullInjector via
   /// fault::InjectorOf detection, so pre-existing custom traits still work.
   using Injector = fault::NullInjector;
+
+  /// Observability hook (src/obs/metrics.hpp), same discipline as the
+  /// injector: NullMetrics compiles every recording site — latency
+  /// histograms AND the slow-path trace ring — to nothing (tools/ci.sh's
+  /// obs leg greps a release binary to enforce it). Substitute
+  /// obs::ObsMetrics<> to record; traits types that omit the member get
+  /// NullMetrics via obs::MetricsOf detection.
+  using Metrics = obs::NullMetrics;
 };
 
 /// Runtime tunables (the paper's PATIENCE and MAX_GARBAGE).
@@ -186,6 +195,12 @@ class WFQueueCore {
   /// Fault-injection hook resolved from the traits (NullInjector unless the
   /// traits opt in; see src/harness/fault_inject.hpp).
   using Injector = fault::InjectorOf<Traits>;
+
+  /// Observability hook resolved from the traits (NullMetrics unless the
+  /// traits opt in; see src/obs/metrics.hpp). Every recording site below is
+  /// guarded by `if constexpr (Metrics::kEnabled)`, so a NullMetrics build
+  /// carries no histogram or trace code at all.
+  using Metrics = obs::MetricsOf<Traits>;
 
   /// True iff a slot value is legal to enqueue.
   static constexpr bool is_enqueueable(uint64_t v) noexcept {
@@ -252,7 +267,9 @@ class WFQueueCore {
                                           ///< then a plain freelist push
 
     OpStats stats;
-    Handle* next_free = nullptr;  ///< freelist link (guarded by mutex)
+    typename Metrics::PerHandle obs;  ///< latency histograms + trace ring
+                                      ///< (empty struct under NullMetrics)
+    Handle* next_free = nullptr;      ///< freelist link (guarded by mutex)
   };
 
   // Operation phases for Handle::op_phase.
@@ -330,6 +347,11 @@ class WFQueueCore {
     }
     auto owned = std::make_unique<Handle>();
     Handle* h = owned.get();
+    if constexpr (Metrics::kEnabled) {
+      // Stable per-handle obs id (1-based; 0 is the process-global ring).
+      // Recycled handles keep theirs — trace rows stay attributable.
+      h->obs.id = uint32_t(all_handles_.size()) + 1;
+    }
     rcl_.attach(h);
     // Exclude concurrent cleaners while we capture the current first
     // segment; otherwise the captured pointer could be freed between the
@@ -443,6 +465,7 @@ class WFQueueCore {
     WFQ_INJECT(Traits, "enq_begin");
     Traits::interleave_hint();  // protection published, operation not begun
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
+    const uint64_t obs_t0 = obs_start(h);
     uint64_t cell_id = 0;
     bool done = false;
     bool ok = true;
@@ -459,11 +482,16 @@ class WFQueueCore {
       if (done) {
         count(h->stats.enq_fast);
       } else {
+        // One kEnqSlow event per enqueue that left the fast path — the
+        // trace total matches the enq_slow counter exactly (re-drives
+        // inside enq_slow_finish do not re-emit).
+        obs_trace(h, obs::TraceEvent::kEnqSlow, cell_id);
         ok = enq_slow(h, v, cell_id);
         count(h->stats.enq_slow);
       }
     }
     flush_probes(h, h->stats.enq_probes, h->stats.max_enq_probes);
+    obs_lat(h, obs_t0, [](auto& o) -> auto& { return o.enq_ns; });
     h->op_phase.store(kPhaseIdle, std::memory_order_release);
     rcl_.end_op(h);
     return ok;
@@ -480,6 +508,7 @@ class WFQueueCore {
     rcl_.begin_op(h, h->head);
     WFQ_INJECT(Traits, "deq_begin");
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
+    const uint64_t obs_t0 = obs_start(h);
     uint64_t v = kTop;
     uint64_t cell_id = 0;
     try {
@@ -488,6 +517,7 @@ class WFQueueCore {
         if (v != kTop) break;
       }
       if (v == kTop) {
+        obs_trace(h, obs::TraceEvent::kDeqSlow, cell_id);
         v = deq_slow(h, cell_id);
         count(h->stats.deq_slow);
       } else {
@@ -518,6 +548,7 @@ class WFQueueCore {
     // Probe accounting includes the peer help above: helping is part of
     // the dequeue's bounded work (Lemma 4.4).
     flush_probes(h, h->stats.deq_probes, h->stats.max_deq_probes);
+    obs_lat(h, obs_t0, [](auto& o) -> auto& { return o.deq_ns; });
     h->op_phase.store(kPhaseIdle, std::memory_order_release);
     rcl_.end_op(h);
     poll_reclaim(h);
@@ -562,6 +593,7 @@ class WFQueueCore {
     rcl_.begin_op(h, h->tail);
     Traits::interleave_hint();  // protection published, operation not begun
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
+    const uint64_t obs_t0 = obs_start(h);  // per batch, not per item
     const uint64_t base =
         Traits::Faa::fetch_add(*tail_index_, uint64_t(n), sc());
     WFQ_INJECT(Traits, "enq_bulk_faa_post");
@@ -602,6 +634,7 @@ class WFQueueCore {
     count(h->stats.enq_bulk_batches);
     count_n(h->stats.enq_bulk_fast, committed);
     flush_probes(h, h->stats.enq_probes, h->stats.max_enq_probes);
+    obs_lat(h, obs_t0, [](auto& o) -> auto& { return o.enq_bulk_ns; });
     rcl_.end_op(h);
     // Residual values (every ticket from theirs onward was stolen): plain
     // per-item wait-free enqueues, in order, stopping at the first clean
@@ -645,6 +678,7 @@ class WFQueueCore {
     }
     rcl_.begin_op(h, h->head);
     if constexpr (Traits::kCollectStats) h->op_probes = 0;
+    const uint64_t obs_t0 = obs_start(h);  // per batch, not per item
     const uint64_t base =
         Traits::Faa::fetch_add(*head_index_, uint64_t(n), sc());
     WFQ_INJECT(Traits, "deq_bulk_faa_post");
@@ -704,6 +738,7 @@ class WFQueueCore {
     count_n(h->stats.deq_bulk_fast, got);
     if (saw_empty) count(h->stats.deq_empty);
     flush_probes(h, h->stats.deq_probes, h->stats.max_deq_probes);
+    obs_lat(h, obs_t0, [](auto& o) -> auto& { return o.deq_bulk_ns; });
     rcl_.end_op(h);
     poll_reclaim(h);
     while (!saw_empty && got < n) {
@@ -742,6 +777,43 @@ class WFQueueCore {
   void reset_stats() {
     std::lock_guard<std::mutex> g(handle_mutex_);
     for (const auto& h : all_handles_) h->stats.reset();
+  }
+
+  /// Snapshot of everything the metrics layer recorded: merged latency
+  /// histograms, retained trace records, and exact per-type event totals
+  /// (per-handle rings plus the process-global segment-layer ring). Under
+  /// NullMetrics returns an empty snapshot. Same quiescence contract as
+  /// collect_stats for exact numbers.
+  obs::ObsSnapshot collect_obs() const {
+    obs::ObsSnapshot snap;
+    if constexpr (Metrics::kEnabled) {
+      std::lock_guard<std::mutex> g(handle_mutex_);
+      for (const auto& h : all_handles_) {
+        snap.enq_ns.merge(h->obs.enq_ns);
+        snap.deq_ns.merge(h->obs.deq_ns);
+        snap.enq_bulk_ns.merge(h->obs.enq_bulk_ns);
+        snap.deq_bulk_ns.merge(h->obs.deq_bulk_ns);
+        snap.absorb_ring(h->obs.ring);
+      }
+      snap.absorb_ring(Metrics::global_ring());
+    }
+    return snap;
+  }
+
+  /// Clear all recorded metrics (histograms and rings, including the
+  /// process-global one — so run-to-run soak phases start clean).
+  void reset_obs() {
+    if constexpr (Metrics::kEnabled) {
+      std::lock_guard<std::mutex> g(handle_mutex_);
+      for (const auto& h : all_handles_) {
+        h->obs.enq_ns.reset();
+        h->obs.deq_ns.reset();
+        h->obs.enq_bulk_ns.reset();
+        h->obs.deq_bulk_ns.reset();
+        h->obs.ring.reset();
+      }
+      Metrics::global_ring().reset();
+    }
   }
 
   /// Number of segments currently in the list (O(segments); test helper).
@@ -801,6 +873,39 @@ class WFQueueCore {
   static void count(std::atomic<uint64_t>& c) {
     if constexpr (Traits::kCollectStats) {
       c.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // ---- observability shims (src/obs/metrics.hpp) ---------------------
+  // Same discarded-statement discipline as WFQ_INJECT: under NullMetrics
+  // every call below is inside a discarded `if constexpr` branch, so the
+  // clock reads, the histogram selectors (generic lambdas — never
+  // instantiated when discarded) and the ring emits vanish entirely.
+
+  /// Sampled op-start stamp: 0 means "this op is not sampled".
+  static uint64_t obs_start(Handle* h) {
+    if constexpr (Metrics::kEnabled) {
+      return Metrics::op_start(h->obs);
+    } else {
+      return 0;
+    }
+  }
+
+  /// Record the elapsed latency of a sampled op into the histogram `sel`
+  /// picks out of the per-handle block.
+  template <class Sel>
+  static void obs_lat(Handle* h, uint64_t t0, Sel&& sel) {
+    if constexpr (Metrics::kEnabled) {
+      if (t0 != 0) sel(h->obs).record(Metrics::now_ns() - t0);
+    }
+  }
+
+  /// Emit a typed slow-path event into `h`'s trace ring. Never sampled:
+  /// trace totals must agree exactly with the OpStats counters they shadow.
+  static void obs_trace(Handle* h, obs::TraceEvent ev, uint64_t a = 0,
+                        uint64_t b = 0) {
+    if constexpr (Metrics::kEnabled) {
+      h->obs.ring.emit(ev, Metrics::now_ns(), h->obs.id, a, b);
     }
   }
 
@@ -997,6 +1102,7 @@ class WFQueueCore {
       return false;  // a dequeuer claimed the value first: it is consumed
     }
     count(h->stats.oom_rescues);
+    obs_trace(h, obs::TraceEvent::kOomRescue, i);
     return true;
   }
 
@@ -1056,6 +1162,10 @@ class WFQueueCore {
     // Traverse with a local tail pointer: line 87 may need to revisit an
     // earlier cell than the last one probed.
     Segment* tmp_tail = h->tail.load(acq());
+    // Whether WE closed the request. Every other way out of the loop —
+    // while-condition seeing !pending(), a failed claim CAS, the OOM
+    // withdrawal losing its CAS — means a helper claimed it for us.
+    bool self_claimed = false;
     try {
       do {
         uint64_t i = Traits::Faa::fetch_add(*tail_index_, uint64_t{1}, sc());
@@ -1075,7 +1185,7 @@ class WFQueueCore {
         if (c->enq.compare_exchange_strong(expected, r, sc(),
                                            std::memory_order_relaxed) &&
             c->val.load(sc()) == kBot) {
-          try_to_claim_req(r->state, cell_id, i);
+          self_claimed = try_to_claim_req(r->state, cell_id, i);
           // Request now claimed for some cell (by us or a helper).
           break;
         }
@@ -1096,6 +1206,9 @@ class WFQueueCore {
     // The request was claimed for cell `id`; find it and commit there.
     uint64_t id = PackedState::from_word(r->state.load(acq())).index();
     assert(id != PackedState::kMaxIndex);
+    if constexpr (Metrics::kEnabled) {
+      if (!self_claimed) obs_trace(h, obs::TraceEvent::kHelpReceived, 0, id);
+    }
     Segment* s = h->tail.load(acq());
     Cell* c = find_cell(h, s, id, "enq_slow_commit");
     h->tail.store(s, rel());
@@ -1139,13 +1252,23 @@ class WFQueueCore {
         h->enq.peer = p->next.load(rlx());
       }
       EnqReq* expected = enq_bot();
-      if (s.pending() && s.index() <= i &&
+      const bool peer_wants = s.pending() && s.index() <= i;
+      if (peer_wants &&
           !c->enq.compare_exchange_strong(expected, r, sc(),
                                           std::memory_order_relaxed)) {
         // Failed to reserve this cell for the peer's request: remember the
         // request id so we keep helping this peer (Invariant 2).
         h->enq.help_id = s.index();
       } else {
+        if constexpr (Metrics::kEnabled) {
+          // In this branch the CAS either succeeded (expected still ⊥e) or
+          // was short-circuited away (!peer_wants, expected untouched), so
+          // `peer_wants && expected == ⊥e` means we reserved the cell for
+          // the peer's request.
+          if (peer_wants && expected == enq_bot() && p != h) {
+            obs_trace(h, obs::TraceEvent::kHelpGiven, p->obs.id, i);
+          }
+        }
         // Peer doesn't need help, can't use this cell, or we just reserved
         // the cell for it: next time help the next peer.
         h->enq.peer = p->next.load(rlx());
@@ -1283,6 +1406,13 @@ class WFQueueCore {
     PackedState s = PackedState::from_word(r->state.load(acq()));
     uint64_t id = r->id.load(acq());
     if (!s.pending() || s.index() < id) return;  // request needs no help
+    if constexpr (Metrics::kEnabled) {
+      // Help genuinely begins here (the pending check above filtered the
+      // common no-op calls); self-help from deq_slow is not "help given".
+      if (helpee != h) {
+        obs_trace(h, obs::TraceEvent::kHelpGiven, helpee->obs.id, id);
+      }
+    }
 
     // Local segment pointer for announced cells; never advances the
     // helpee's own head pointer (§3.5 "Don't advance segment pointers too
@@ -1376,6 +1506,7 @@ class WFQueueCore {
         h->stats.segments_freed.fetch_add(res.freed,
                                           std::memory_order_relaxed);
       }
+      obs_trace(h, obs::TraceEvent::kCleanup, uint64_t(res.freed));
     }
   }
 
@@ -1447,6 +1578,9 @@ class WFQueueCore {
     h->op_phase.store(kPhaseIdle, std::memory_order_release);
     rcl_.end_op(h);  // clears hzdp / hazard slots / epoch pin
     count(h->stats.adopted_handles);
+    // Emitted into the victim's own ring (multi-writer safe; the adopter
+    // runs on a different thread) so the trace row carries the victim's id.
+    obs_trace(h, obs::TraceEvent::kAdopt);
   }
 
   // ---- members ---------------------------------------------------------

@@ -1,0 +1,119 @@
+// Wait-free log-bucketed latency histogram (HDR-style).
+//
+// One histogram per (handle, operation kind). Recording is a single relaxed
+// fetch_add on an uncontended (owner-only) cache-resident counter — safe
+// inside a wait-free operation, readable concurrently by a snapshot thread.
+//
+// Bucketization: values below 2^kLinearBits map linearly (exact); above,
+// each power-of-two range is split into kSubBuckets sub-ranges (the top
+// kSubBits bits after the leading one select the sub-bucket), giving a
+// bounded relative error of 1/kSubBuckets (25%) everywhere. With 128
+// buckets the top bucket starts at ~2^33 ns (~8.6 s) — everything slower
+// saturates there, which for queue-operation latencies means "pathological,
+// go look at the trace ring" either way.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace wfq::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 2;                 ///< 4 sub-buckets
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;
+  static constexpr unsigned kLinearBits = kSubBits + 1;   ///< values < 8: exact
+  static constexpr std::size_t kBuckets = 128;
+
+  /// Bucket index for value `v` (saturating at kBuckets - 1).
+  static constexpr std::size_t bucket_index(uint64_t v) noexcept {
+    if (v < (uint64_t{1} << kLinearBits)) return std::size_t(v);
+    const unsigned e = std::bit_width(v) - 1;  // exponent, >= kLinearBits
+    const unsigned sub = unsigned(v >> (e - kSubBits)) & (kSubBuckets - 1);
+    const std::size_t idx =
+        (uint64_t{1} << kLinearBits) +
+        std::size_t(e - kLinearBits) * kSubBuckets + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  /// Smallest value mapping to bucket `idx` (inverse of bucket_index).
+  static constexpr uint64_t bucket_lower(std::size_t idx) noexcept {
+    if (idx < (uint64_t{1} << kLinearBits)) return uint64_t(idx);
+    const std::size_t off = idx - (std::size_t{1} << kLinearBits);
+    const unsigned e = kLinearBits + unsigned(off / kSubBuckets);
+    const unsigned sub = unsigned(off % kSubBuckets);
+    return (uint64_t{1} << e) | (uint64_t(sub) << (e - kSubBits));
+  }
+
+  /// One past the largest value mapping to bucket `idx` (the top bucket is
+  /// open-ended; UINT64_MAX stands in for infinity).
+  static constexpr uint64_t bucket_upper(std::size_t idx) noexcept {
+    return idx + 1 < kBuckets ? bucket_lower(idx + 1) : ~uint64_t{0};
+  }
+
+  /// Record one sample. Wait-free: one relaxed increment.
+  void record(uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Fold `o` into this histogram (relaxed snapshot semantics, like
+  /// OpStats::add). Associative and commutative by construction — the
+  /// merged histogram is the bucket-wise sum regardless of merge order.
+  void merge(const LatencyHistogram& o) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      uint64_t v = o.buckets_[i].load(std::memory_order_relaxed);
+      if (v != 0) buckets_[i].fetch_add(v, std::memory_order_relaxed);
+    }
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const noexcept {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  uint64_t bucket_count(std::size_t idx) const noexcept {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+
+  /// Nearest-rank percentile, p in [0, 1]; returns the midpoint of the
+  /// bucket holding the rank (the bucket's bounded relative error applies).
+  /// 0 when the histogram is empty.
+  uint64_t percentile(double p) const noexcept {
+    const uint64_t n = count();
+    if (n == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    uint64_t rank = uint64_t(p * double(n - 1));  // 0-based nearest rank
+    uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i].load(std::memory_order_relaxed);
+      if (seen > rank) {
+        const uint64_t lo = bucket_lower(i);
+        const uint64_t hi = bucket_upper(i);
+        return hi == ~uint64_t{0} ? lo : lo + (hi - lo) / 2;
+      }
+    }
+    return bucket_lower(kBuckets - 1);  // unreachable if count() was stable
+  }
+
+  /// Copyable as a relaxed snapshot, mirroring OpStats.
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram& o) noexcept { *this = o; }
+  LatencyHistogram& operator=(const LatencyHistogram& o) noexcept {
+    reset();
+    merge(o);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+}  // namespace wfq::obs

@@ -1,0 +1,178 @@
+// The observability seam: Traits::Metrics.
+//
+// Mirrors the fault injector's discipline exactly (harness/fault_inject.hpp):
+//
+//   - `NullMetrics` (the default, resolved via MetricsOf<Traits> for any
+//     traits type without a `Metrics` member) has kEnabled = false; every
+//     instrumentation site in the stack sits inside
+//     `if constexpr (Metrics::kEnabled)`, so disabled builds compile the
+//     recording calls — and the exporter's event-name strings — to nothing.
+//     tools/ci.sh's obs leg greps a release bench binary for "obs:" to
+//     enforce this stays true.
+//   - `ObsMetrics<SampleShift, RingCap>` enables per-handle latency
+//     histograms (enq / deq / enq_bulk / deq_bulk / pop_wait) and a typed
+//     slow-path trace ring.
+//
+// Cost model (docs/OBSERVABILITY.md):
+//   fast path, unsampled op:  one owner-local counter increment + one
+//                             predicted branch (no clock read).
+//   fast path, sampled op:    + two steady_clock reads and one relaxed
+//                             histogram increment. 1-in-2^SampleShift ops.
+//   slow path:                + one ring emit (cursor fetch_add + relaxed
+//                             field stores)
+//                             per traced event. Slow paths are where the
+//                             latency already went; the emit is noise.
+//
+// Trace events are NOT sampled — their totals must agree exactly with the
+// OpStats counters they shadow (oom_rescues, adopted_handles), which is the
+// soak's --trace acceptance check.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "obs/latency_hist.hpp"
+#include "obs/trace_ring.hpp"
+
+namespace wfq::obs {
+
+/// Default metrics provider: nothing is recorded, nothing is compiled in.
+struct NullMetrics {
+  static constexpr bool kEnabled = false;
+  /// Empty per-handle block so `typename Metrics::PerHandle obs;` is legal
+  /// in every Handle regardless of the traits.
+  struct PerHandle {};
+};
+
+/// Aggregated, queue-wide view of everything the metrics layer recorded.
+/// Built by WFQueueCore::collect_obs() (and BlockingQueue::collect_obs(),
+/// which folds in the blocking records); consumed by the trace exporter,
+/// the soak's --metrics report and the C API's wfq_trace_dump.
+struct ObsSnapshot {
+  LatencyHistogram enq_ns;
+  LatencyHistogram deq_ns;
+  LatencyHistogram enq_bulk_ns;
+  LatencyHistogram deq_bulk_ns;
+  LatencyHistogram pop_wait_ns;
+
+  std::vector<TraceRec> events;               ///< retained records
+  uint64_t totals[kTraceEventCount] = {};     ///< exact per-type emissions
+  uint64_t dropped = 0;                       ///< records lost to wrap
+
+  uint64_t total(TraceEvent t) const noexcept {
+    return totals[std::size_t(t)];
+  }
+
+  /// Append a ring's retained records and exact totals.
+  template <class Ring>
+  void absorb_ring(const Ring& r) {
+    r.for_each([&](const TraceRec& rec) { events.push_back(rec); });
+    for (std::size_t i = 0; i < kTraceEventCount; ++i) {
+      totals[i] += r.total(TraceEvent(i));
+    }
+    dropped += r.dropped();
+  }
+
+  /// Order events by timestamp (emission sequence breaks ties within one
+  /// ring; cross-ring ties are already what one clock read apart means).
+  void sort_events() {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceRec& x, const TraceRec& y) {
+                       return x.ts_ns != y.ts_ns ? x.ts_ns < y.ts_ns
+                                                 : x.seq < y.seq;
+                     });
+  }
+};
+
+/// Enabled metrics provider. `SampleShift`: latency of 1 in 2^SampleShift
+/// operations is recorded on average (0 = every op — tests; 8 = the
+/// production default: at ~40 ns/op the two clock reads of a sampled op
+/// cost ~100 ns, so 1-in-16 sampling was a measured ~20% throughput hit
+/// and 1-in-256 is what fits the <2% regression budget bench_ops checks).
+/// Sampling is randomized per handle (xorshift), not strided — a fixed
+/// stride aliases with the queue's own periodicity (segment-boundary ops
+/// recur every kSegmentSize ops) and visibly distorts the tail
+/// percentiles. `RingCap`: per-handle trace-ring capacity.
+template <unsigned SampleShift = 8, std::size_t RingCap = 4096>
+struct ObsMetrics {
+  static constexpr bool kEnabled = true;
+  static constexpr unsigned kSampleShift = SampleShift;
+  static constexpr uint64_t kSampleMask = (uint64_t{1} << SampleShift) - 1;
+  using Ring = TraceRing<RingCap>;
+
+  /// Per-handle recording state. Histograms and the ring are written by the
+  /// owner (the ring also by an adopter, which its cursor tolerates);
+  /// sample_state is owner-only.
+  struct PerHandle {
+    LatencyHistogram enq_ns;
+    LatencyHistogram deq_ns;
+    LatencyHistogram enq_bulk_ns;
+    LatencyHistogram deq_bulk_ns;
+    LatencyHistogram pop_wait_ns;
+    Ring ring;
+    uint64_t sample_state = 0x9E3779B97F4A7C15ull;  ///< xorshift64, nonzero
+    uint64_t sample_gap = 1;  ///< ops until the next sampled one
+    uint32_t id = 0;  ///< stable obs id, assigned at registration
+  };
+
+  static uint64_t now_ns() noexcept {
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count());
+  }
+
+  /// Sampling gate: 0 means "not sampled", otherwise the op's start stamp.
+  /// Unsampled ops pay one owner-local decrement + predicted branch; a
+  /// sampled op additionally draws the next gap (one xorshift64 step,
+  /// uniform in [1, 2^(SampleShift+1)], mean ~2^SampleShift) and reads the
+  /// clock. The gap is randomized rather than strided because a fixed
+  /// stride phase-locks onto the queue's own periodicity (segment-boundary
+  /// ops recur every kSegmentSize ops) and visibly distorts tail
+  /// percentiles.
+  static uint64_t op_start(PerHandle& o) noexcept {
+    if constexpr (kSampleShift == 0) return now_ns();
+    if (--o.sample_gap != 0) return 0;
+    uint64_t x = o.sample_state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    o.sample_state = x;
+    o.sample_gap = (x & (2 * kSampleMask + 1)) + 1;
+    return now_ns();
+  }
+
+  /// The process-global ring for layers that have no handle (the segment
+  /// list's allocation seam). Process-global like the ScriptedInjector's
+  /// counters, and folded into every snapshot the same way.
+  static Ring& global_ring() noexcept {
+    static Ring r;
+    return r;
+  }
+
+  static void trace_global(TraceEvent t, uint64_t a = 0,
+                           uint64_t b = 0) noexcept {
+    global_ring().emit(t, now_ns(), /*tid=*/0, a, b);
+  }
+};
+
+namespace detail {
+template <class T, class = void>
+struct MetricsOfImpl {
+  using type = NullMetrics;
+};
+template <class T>
+struct MetricsOfImpl<T, std::void_t<typename T::Metrics>> {
+  using type = typename T::Metrics;
+};
+}  // namespace detail
+
+/// Traits::Metrics if present, NullMetrics otherwise — pre-existing custom
+/// traits types keep compiling unchanged (same shape as fault::InjectorOf).
+template <class Traits>
+using MetricsOf = typename detail::MetricsOfImpl<Traits>::type;
+
+}  // namespace wfq::obs

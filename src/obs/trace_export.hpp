@@ -1,0 +1,115 @@
+// Chrome trace-event exporter for ObsSnapshot.
+//
+// Writes the JSON object format that chrome://tracing and Perfetto load
+// directly: a `traceEvents` array of instant events (ph "i", one per trace
+// record, timestamps in microseconds) plus an `otherData` block carrying
+// the exact per-type emission totals, the drop count, and the latency
+// histogram summaries. `otherData.totals` is the ground truth for
+// event/counter agreement checks: ring wrap-around can drop *records*, but
+// never mis-counts a *total* (tools/soak --trace validates oom_rescue and
+// adoption totals against OpStats exactly; tools/ci.sh re-checks the file).
+//
+// This header owns the event-name strings (the "obs:" prefix is the
+// NullMetrics zero-footprint grep canary, chosen so it can never collide
+// with a fault-injection point name). Only binaries that actually export a
+// trace include-and-odr-use these names; a NullMetrics build must not
+// contain them.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace wfq::obs {
+
+/// One name per TraceEvent, in enum order.
+inline constexpr const char* kTraceEventNames[] = {
+    "obs:enq_slow",      "obs:deq_slow",   "obs:help_given",
+    "obs:help_received", "obs:cleanup",    "obs:park",
+    "obs:wake",          "obs:alloc_fail", "obs:reserve_hit",
+    "obs:oom_rescue",    "obs:adopt",
+};
+static_assert(sizeof(kTraceEventNames) / sizeof(kTraceEventNames[0]) ==
+                  kTraceEventCount,
+              "kTraceEventNames must cover every TraceEvent");
+
+inline const char* trace_event_name(TraceEvent t) noexcept {
+  return kTraceEventNames[std::size_t(t)];
+}
+
+/// Short keys for otherData.totals / histogram summaries (no prefix; these
+/// are JSON keys, not the grep canary).
+inline constexpr const char* kTraceEventKeys[] = {
+    "enq_slow",      "deq_slow",   "help_given", "help_received",
+    "cleanup",       "park",       "wake",       "alloc_fail",
+    "reserve_hit",   "oom_rescue", "adopt",
+};
+static_assert(sizeof(kTraceEventKeys) / sizeof(kTraceEventKeys[0]) ==
+                  kTraceEventCount,
+              "kTraceEventKeys must cover every TraceEvent");
+
+namespace detail {
+inline void write_hist_summary(std::FILE* f, const char* key,
+                               const LatencyHistogram& h, bool first) {
+  std::fprintf(f,
+               "%s\n      \"%s\": {\"count\": %llu, \"p50_ns\": %llu, "
+               "\"p99_ns\": %llu, \"p999_ns\": %llu}",
+               first ? "" : ",", key, (unsigned long long)h.count(),
+               (unsigned long long)h.percentile(0.50),
+               (unsigned long long)h.percentile(0.99),
+               (unsigned long long)h.percentile(0.999));
+}
+}  // namespace detail
+
+/// Write `snap` as a Chrome trace-event JSON file. The file is written to
+/// `<path>.tmp` and atomically renamed into place so a crash mid-export
+/// can't leave a truncated trace for downstream tooling to choke on.
+/// Returns false on any I/O failure (the tmp file is removed).
+inline bool write_chrome_trace(ObsSnapshot snap, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  snap.sort_events();
+
+  // Timestamps relative to the earliest event keep the numbers readable;
+  // Chrome's `ts` unit is microseconds (fractional for ns resolution).
+  const uint64_t t0 = snap.events.empty() ? 0 : snap.events.front().ts_ns;
+  std::fputs("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [", f);
+  bool first = true;
+  for (const TraceRec& r : snap.events) {
+    std::fprintf(
+        f,
+        "%s\n    {\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", "
+        "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+        "\"args\": {\"a\": %llu, \"b\": %llu, \"seq\": %llu}}",
+        first ? "" : ",", trace_event_name(TraceEvent(r.type)), r.tid,
+        double(r.ts_ns - t0) / 1000.0, (unsigned long long)r.a,
+        (unsigned long long)r.b, (unsigned long long)r.seq);
+    first = false;
+  }
+  std::fputs("\n  ],\n  \"otherData\": {\n    \"totals\": {", f);
+  for (std::size_t i = 0; i < kTraceEventCount; ++i) {
+    std::fprintf(f, "%s\n      \"%s\": %llu", i == 0 ? "" : ",",
+                 kTraceEventKeys[i], (unsigned long long)snap.totals[i]);
+  }
+  std::fprintf(f, "\n    },\n    \"dropped\": %llu,\n    \"histograms\": {",
+               (unsigned long long)snap.dropped);
+  detail::write_hist_summary(f, "enq_ns", snap.enq_ns, true);
+  detail::write_hist_summary(f, "deq_ns", snap.deq_ns, false);
+  detail::write_hist_summary(f, "enq_bulk_ns", snap.enq_bulk_ns, false);
+  detail::write_hist_summary(f, "deq_bulk_ns", snap.deq_bulk_ns, false);
+  detail::write_hist_summary(f, "pop_wait_ns", snap.pop_wait_ns, false);
+  std::fputs("\n    }\n  }\n}\n", f);
+
+  const bool wrote = std::fflush(f) == 0 && !std::ferror(f);
+  std::fclose(f);
+  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wfq::obs

@@ -1,0 +1,148 @@
+// Fixed-size typed event ring for slow-path tracing.
+//
+// Each metrics-enabled handle owns one ring; the segment layer shares one
+// process-global ring (allocation events have no handle). Emitting is a
+// relaxed fetch_add on the write cursor plus six relaxed stores — slow-path
+// only, never on a fast path. The ring keeps an exact per-type emitted
+// total alongside the (wrappable) event storage, so counter/event agreement
+// can be checked exactly even if the ring overflowed: `totals` never lies,
+// `dropped` says how many records were overwritten.
+//
+// Deliberately string-free: event names (the "obs:" strings the NullMetrics
+// zero-footprint grep hunts for) live only in trace_export.hpp, which only
+// exporter binaries include-and-use.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace wfq::obs {
+
+/// Typed slow-path events. Keep in sync with kTraceEventNames in
+/// trace_export.hpp (a static_assert there counts both).
+enum class TraceEvent : uint32_t {
+  kEnqSlow = 0,   ///< enqueue fell off the fast path; a = seed cell id
+  kDeqSlow,       ///< dequeue fell off the fast path; a = seed cell id
+  kHelpGiven,     ///< reserved a cell for / helped a peer; a = peer obs id,
+                  ///< b = cell id (enq) or request id (deq)
+  kHelpReceived,  ///< own slow-path request was claimed by a helper;
+                  ///< b = cell id it was claimed for
+  kCleanup,       ///< reclamation pass freed segments; a = segments freed
+  kPark,          ///< consumer futex sleep (blocking layer)
+  kWake,          ///< consumer woke from a park
+  kAllocFail,     ///< segment allocation failed cleanly; a = segment id
+  kReserveHit,    ///< allocation served by the OOM reserve; a = segment id
+  kOomRescue,     ///< deposit retracted from a debt-parked cell; a = cell id
+  kAdopt,         ///< orphaned handle adopted; a = victim obs id
+  kCount_         ///< number of event types (not an event)
+};
+
+inline constexpr std::size_t kTraceEventCount =
+    std::size_t(TraceEvent::kCount_);
+
+/// One trace record. `seq` is the global emission order (the write cursor
+/// value), which doubles as the tie-breaker when exporting by timestamp.
+struct TraceRec {
+  uint64_t ts_ns;
+  uint64_t seq;
+  uint64_t a;
+  uint64_t b;
+  uint32_t type;
+  uint32_t tid;  ///< emitting handle's obs id (0 for the global ring)
+};
+
+template <std::size_t Cap>
+class TraceRing {
+  static_assert(Cap > 0 && (Cap & (Cap - 1)) == 0,
+                "ring capacity must be a power of two");
+
+ public:
+  static constexpr std::size_t kCapacity = Cap;
+
+  /// Append one event. Multi-writer safe (adoption emits into the victim's
+  /// ring from the adopter's thread): the cursor fetch_add assigns each
+  /// writer a distinct seq, and slot fields are relaxed atomics, so two
+  /// writers whose seqs collide on one slot mod Cap (wrap-around) at worst
+  /// interleave fields — the retained record is then a mix of two real
+  /// events, which is within the ring's contract (records are best-effort,
+  /// totals are exact). No store here can ever be a data race.
+  void emit(TraceEvent t, uint64_t ts_ns, uint64_t tid, uint64_t a = 0,
+            uint64_t b = 0) noexcept {
+    totals_[std::size_t(t)].fetch_add(1, std::memory_order_relaxed);
+    const uint64_t seq = cursor_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = recs_[seq & (Cap - 1)];
+    s.ts_ns.store(ts_ns, std::memory_order_relaxed);
+    s.seq.store(seq, std::memory_order_relaxed);
+    s.a.store(a, std::memory_order_relaxed);
+    s.b.store(b, std::memory_order_relaxed);
+    s.type.store(uint32_t(t), std::memory_order_relaxed);
+    s.tid.store(uint32_t(tid), std::memory_order_relaxed);
+  }
+
+  /// Events ever emitted (including overwritten ones).
+  uint64_t emitted() const noexcept {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  /// Events whose records were overwritten by ring wrap-around.
+  uint64_t dropped() const noexcept {
+    const uint64_t n = emitted();
+    return n > Cap ? n - Cap : 0;
+  }
+
+  /// Records currently retained.
+  std::size_t size() const noexcept {
+    const uint64_t n = emitted();
+    return n < Cap ? std::size_t(n) : Cap;
+  }
+
+  /// Exact per-type emission total (never subject to wrap-around).
+  uint64_t total(TraceEvent t) const noexcept {
+    return totals_[std::size_t(t)].load(std::memory_order_relaxed);
+  }
+
+  /// Visit retained records in emission order (oldest first). Safe against
+  /// concurrent emitters (relaxed loads); a record raced by a wrapping
+  /// writer may read torn (fields from two real events) — quiesce writers
+  /// first (join workers before snapshotting, the contract OpStats
+  /// collection documents) for fully coherent records.
+  template <class F>
+  void for_each(F&& f) const {
+    const uint64_t n = emitted();
+    const uint64_t first = n > Cap ? n - Cap : 0;
+    for (uint64_t s = first; s < n; ++s) {
+      const Slot& slot = recs_[s & (Cap - 1)];
+      TraceRec r;
+      r.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+      r.seq = slot.seq.load(std::memory_order_relaxed);
+      r.a = slot.a.load(std::memory_order_relaxed);
+      r.b = slot.b.load(std::memory_order_relaxed);
+      r.type = slot.type.load(std::memory_order_relaxed);
+      r.tid = slot.tid.load(std::memory_order_relaxed);
+      f(r);
+    }
+  }
+
+  void reset() noexcept {
+    cursor_.store(0, std::memory_order_relaxed);
+    for (auto& t : totals_) t.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  /// Atomic mirror of TraceRec: slots are racily rewritten on wrap.
+  struct Slot {
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint32_t> type{0};
+    std::atomic<uint32_t> tid{0};
+  };
+
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> totals_[kTraceEventCount] = {};
+  Slot recs_[Cap] = {};
+};
+
+}  // namespace wfq::obs

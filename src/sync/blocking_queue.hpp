@@ -58,6 +58,7 @@
 #include "core/op_stats.hpp"
 #include "core/wf_queue.hpp"
 #include "harness/fault_inject.hpp"
+#include "obs/metrics.hpp"
 #include "sync/asym_fence.hpp"
 #include "sync/event_count.hpp"
 #include "sync/wait_strategy.hpp"
@@ -100,6 +101,10 @@ class BlockingQueue {
  private:
   using T = value_type;
   using QTraits = typename detail::QueueTraitsOf<Q>::type;
+  /// Observability provider shared with the inner queue (NullMetrics unless
+  /// the traits opt in); this layer records the pop_wait latency histogram
+  /// and the park/wake trace events.
+  using Metrics = obs::MetricsOf<QTraits>;
 
   /// Per-handle blocking-layer state. Lives next to (not inside) the inner
   /// queue handle; one cache line so the in_push ticket never false-shares.
@@ -110,6 +115,7 @@ class BlockingQueue {
     std::atomic<uint32_t> in_push{0};
     std::atomic<uint32_t> active{1};  ///< 0 once returned to the freelist
     OpStats stats;                    ///< parks / spurious wakeups / notifies
+    typename Metrics::PerHandle obs;  ///< pop_wait histogram + trace ring
     BlockingRec* next_free = nullptr;
   };
 
@@ -330,6 +336,24 @@ class BlockingQueue {
     return s;
   }
 
+  /// Inner-queue observability snapshot plus this layer's pop_wait
+  /// histograms and park/wake trace rings. Empty under NullMetrics (and for
+  /// inner queues that predate collect_obs).
+  obs::ObsSnapshot collect_obs() const {
+    obs::ObsSnapshot snap;
+    if constexpr (requires(const Q& q) { q.collect_obs(); }) {
+      snap = q_.collect_obs();
+    }
+    if constexpr (Metrics::kEnabled) {
+      std::lock_guard<std::mutex> g(reg_mu_);
+      for (const auto& rec : recs_) {
+        snap.pop_wait_ns.merge(rec->obs.pop_wait_ns);
+        snap.absorb_ring(rec->obs.ring);
+      }
+    }
+    return snap;
+  }
+
   Q& inner() noexcept { return q_; }
   const Q& inner() const noexcept { return q_; }
 
@@ -356,10 +380,35 @@ class BlockingQueue {
     std::atomic<uint32_t>& t_;
   };
 
-  /// Shared wait loop behind pop_wait / pop_wait_for / pop_wait_bulk.
-  /// Exactly one of (single, bulk) is non-null.
+  /// Trace shim, same discarded-`if constexpr` discipline as the core's.
+  static void obs_trace(BlockingRec* rec, obs::TraceEvent ev, uint64_t a = 0) {
+    if constexpr (Metrics::kEnabled) {
+      rec->obs.ring.emit(ev, Metrics::now_ns(), rec->obs.id, a);
+    }
+  }
+
+  /// Shared wait loop behind pop_wait / pop_wait_for / pop_wait_bulk:
+  /// records the delivered pops' end-to-end wait latency (sampled, like the
+  /// core's op histograms), then delegates to the body.
   PopStatus pop_impl(Handle& h, T* single, BulkOut* bulk, WaitPolicy policy,
                      bool has_deadline, WaitClock::time_point deadline) {
+    if constexpr (Metrics::kEnabled) {
+      BlockingRec* rec = h.rec_;
+      const uint64_t t0 = Metrics::op_start(rec->obs);
+      PopStatus st =
+          pop_impl_body(h, single, bulk, policy, has_deadline, deadline);
+      if (t0 != 0 && st == PopStatus::kOk) {
+        rec->obs.pop_wait_ns.record(Metrics::now_ns() - t0);
+      }
+      return st;
+    } else {
+      return pop_impl_body(h, single, bulk, policy, has_deadline, deadline);
+    }
+  }
+
+  PopStatus pop_impl_body(Handle& h, T* single, BulkOut* bulk,
+                          WaitPolicy policy, bool has_deadline,
+                          WaitClock::time_point deadline) {
     BlockingRec* rec = h.rec_;
     WaitStrategy strategy(policy);
     bool just_woke = false;
@@ -429,9 +478,13 @@ class BlockingQueue {
         return PopStatus::kClosed;
       }
       rec->stats.deq_parks.fetch_add(1, std::memory_order_relaxed);
+      obs_trace(rec, obs::TraceEvent::kPark);
       WFQ_INJECT(QTraits, "blk_pop_prepark");
       if (has_deadline) {
-        if (!ec_.wait_until(key, deadline)) {
+        const bool signaled = ec_.wait_until(key, deadline);
+        // a = 1 when a notify ended the park, 0 when the deadline did.
+        obs_trace(rec, obs::TraceEvent::kWake, signaled ? 1 : 0);
+        if (!signaled) {
           // Same sealed-before-attempt order as above: a seal landing
           // after a failed attempt must not masquerade as "drained".
           bool final_sealed = sealed_.load(std::memory_order_acquire);
@@ -440,6 +493,7 @@ class BlockingQueue {
         }
       } else {
         ec_.wait(key);
+        obs_trace(rec, obs::TraceEvent::kWake, 1);
       }
       // Woken (or the epoch moved under us). The loop re-runs the full
       // predicate; `just_woke` lets the re-check classify the wake.
@@ -506,6 +560,11 @@ class BlockingQueue {
       return r;
     }
     recs_.push_back(std::make_unique<BlockingRec>());
+    if constexpr (Metrics::kEnabled) {
+      // Blocking-layer obs ids live in their own range so trace rows never
+      // collide with the inner queue's handle ids (which start at 1).
+      recs_.back()->obs.id = uint32_t(0x10000 + recs_.size());
+    }
     return recs_.back().get();
   }
 

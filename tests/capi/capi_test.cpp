@@ -6,6 +6,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -184,6 +189,146 @@ TEST(CApi, NoWaiterWorkloadIssuesNoNotifies) {
   wfq_get_stats(q, &s);
   EXPECT_EQ(s.notify_calls, 0u);  // nobody parked => producers never woke
   EXPECT_EQ(s.deq_parks, 0u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+// ---- extended stats (wfq_get_stats_ex) --------------------------------
+//
+// The ex struct and the internal OpStats both expand the X-macro table in
+// wfq_stats_fields.h; these tests re-expand it here, so a counter added to
+// the table automatically joins the round-trip below — the drift that
+// motivated the table (PR-2..4 counters silently missing from wfq_stats_t)
+// cannot recur without breaking this file's compile or assertions.
+
+std::map<std::string, uint64_t> ex_fields(const wfq_queue_t* q) {
+  wfq_stats_ex_t ex;
+  wfq_get_stats_ex(q, &ex);
+  std::map<std::string, uint64_t> m;
+#define WFQ_STATS_PUT(name) m[#name] = ex.name;
+  WFQ_STATS_FIELDS(WFQ_STATS_PUT, WFQ_STATS_PUT)
+#undef WFQ_STATS_PUT
+  return m;
+}
+
+constexpr std::size_t kExFields = 0
+#define WFQ_STATS_ONE(name) +1
+    WFQ_STATS_FIELDS(WFQ_STATS_ONE, WFQ_STATS_ONE)
+#undef WFQ_STATS_ONE
+    ;
+static_assert(sizeof(wfq_stats_ex_t) == kExFields * sizeof(uint64_t),
+              "wfq_stats_ex_t must be exactly the X-macro table");
+
+TEST(CApiStatsEx, EveryTableFieldRoundTripsAndLegacyAgrees) {
+  // patience 0 + max_garbage 1: every single op takes the slow path and
+  // reclamation runs eagerly, so the slow/cleanup counters all move.
+  wfq_queue_t* q = wfq_create(0, 1);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  constexpr uint64_t kOps = 3000;  // crosses several segments
+  uint64_t out;
+  // Each round: an empty dequeue seals a cell, so the next enqueue's single
+  // fast-path attempt (patience 0) deterministically falls back to
+  // enq_slow; the final dequeue retrieves the value.
+  for (uint64_t i = 1; i <= kOps; ++i) {
+    EXPECT_EQ(wfq_dequeue(h, &out), 0);
+    ASSERT_EQ(wfq_enqueue(h, i), 0);
+    ASSERT_EQ(wfq_dequeue(h, &out), 1);
+    ASSERT_EQ(out, i);
+  }
+  uint64_t vals[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_EQ(wfq_enqueue_bulk(h, vals, 8), 0);
+  ASSERT_EQ(wfq_dequeue_bulk(h, vals, 8), 8u);
+
+  auto m = ex_fields(q);
+  ASSERT_EQ(m.size(), kExFields);  // distinct names, none collapsed
+
+  // Counters this workload must have bumped. (deq_slow needs engineered
+  // contention; its deterministic coverage lives in the core obs tests.)
+  for (const char* key :
+       {"enq_slow", "deq_empty", "enq_bulk_batches", "enq_bulk_fast",
+        "deq_bulk_batches", "deq_bulk_fast", "cleanups", "segments_freed",
+        "enq_probes", "deq_probes", "max_enq_probes", "max_deq_probes"}) {
+    EXPECT_GT(m.at(key), 0u) << key;
+  }
+  // Fault-layer counters exist in the struct but stay zero without an
+  // injector or OOM pressure.
+  for (const char* key :
+       {"injected_stalls", "injected_crashes", "adopted_handles",
+        "orphan_drops", "alloc_failures", "reserve_pool_hits",
+        "oom_rescues"}) {
+    EXPECT_EQ(m.at(key), 0u) << key;
+  }
+
+  // The legacy struct is a strict projection of the table.
+  wfq_stats_t legacy;
+  wfq_get_stats(q, &legacy);
+  EXPECT_EQ(legacy.enqueues,
+            m.at("enq_fast") + m.at("enq_slow") + m.at("enq_bulk_fast"));
+  EXPECT_EQ(legacy.dequeues,
+            m.at("deq_fast") + m.at("deq_slow") + m.at("deq_bulk_fast"));
+  EXPECT_EQ(legacy.slow_enqueues, m.at("enq_slow"));
+  EXPECT_EQ(legacy.slow_dequeues, m.at("deq_slow"));
+  EXPECT_EQ(legacy.empty_dequeues, m.at("deq_empty"));
+  EXPECT_EQ(legacy.segments_freed, m.at("segments_freed"));
+  EXPECT_EQ(legacy.deq_parks, m.at("deq_parks"));
+  EXPECT_EQ(legacy.notify_calls, m.at("notify_calls"));
+  EXPECT_EQ(legacy.adopted_handles, m.at("adopted_handles"));
+  EXPECT_EQ(legacy.oom_rescues, m.at("oom_rescues"));
+
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApiStatsEx, BlockingCountersMoveThroughTheCApi) {
+  wfq_queue_t* q = wfq_create_default();
+  std::thread consumer([&] {
+    wfq_handle_t* h = wfq_handle_acquire(q);
+    uint64_t out = 0;
+    EXPECT_EQ(wfq_dequeue_wait(h, &out), 1);  // parks: nothing for 50 ms
+    EXPECT_EQ(out, 7u);
+    wfq_handle_release(h);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  EXPECT_EQ(wfq_enqueue(h, 7), 0);
+  consumer.join();
+  auto m = ex_fields(q);
+  EXPECT_GE(m.at("deq_parks"), 1u);
+  EXPECT_GE(m.at("notify_calls"), 1u);
+  // Exactly one enqueue happened; whether it was fast or slow depends on
+  // how many cells the consumer's pre-park spin sealed.
+  EXPECT_EQ(m.at("enq_fast") + m.at("enq_slow"), 1u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApiTrace, DumpWritesChromeTraceJson) {
+  wfq_queue_t* q = wfq_create(0, 64);  // patience 0
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  uint64_t out;
+  // Empty-dequeue/enqueue rounds: each seal forces a slow enqueue, so the
+  // trace has kEnqSlow events to export.
+  for (uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_EQ(wfq_dequeue(h, &out), 0);
+    ASSERT_EQ(wfq_enqueue(h, i), 0);
+    ASSERT_EQ(wfq_dequeue(h, &out), 1);
+  }
+
+  const std::string path = ::testing::TempDir() + "wfq_capi_trace.json";
+  std::remove(path.c_str());
+  EXPECT_EQ(wfq_trace_dump(q, path.c_str()), 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string body = ss.str();
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"obs:enq_slow\""), std::string::npos);
+  EXPECT_NE(body.find("\"totals\""), std::string::npos);
+
+  EXPECT_EQ(wfq_trace_dump(q, nullptr), -1);
+  EXPECT_EQ(wfq_trace_dump(q, "/nonexistent-dir/trace.json"), -1);
+  std::remove(path.c_str());
   wfq_handle_release(h);
   wfq_destroy(q);
 }

@@ -1,0 +1,118 @@
+// OpStats X-macro table and aggregation algebra: every counter is declared
+// exactly once in wfq_stats_fields.h, so kFieldCount, for_each_field, add()
+// and reset() must all see the same set. raise_max is a CAS loop — the old
+// load-compare-store could lose a concurrent larger value, which is the
+// regression the concurrent test pins.
+#include "core/op_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wfq {
+namespace {
+
+TEST(OpStats, FieldTableIsTheSingleSourceOfTruth) {
+  OpStats s;
+  std::vector<std::string> names;
+  s.for_each_field([&](const char* name, uint64_t v) {
+    names.push_back(name);
+    EXPECT_EQ(v, 0u) << name << " must start at zero";
+  });
+  EXPECT_EQ(names.size(), OpStats::kFieldCount);
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size())
+      << "duplicate field in the X-macro table";
+  // The struct is nothing but the table's atomics (also a static_assert in
+  // the header; this keeps the property visible in a test report).
+  EXPECT_EQ(sizeof(OpStats),
+            OpStats::kFieldCount * sizeof(std::atomic<uint64_t>));
+}
+
+TEST(OpStats, AddSumsCountersAndMaxesHighWaterMarks) {
+  OpStats a, b;
+  a.enq_fast.store(10);
+  a.max_enq_probes.store(7);
+  a.max_deq_probes.store(100);
+  b.enq_fast.store(5);
+  b.max_enq_probes.store(50);
+  b.max_deq_probes.store(3);
+  a.add(b);
+  EXPECT_EQ(a.enq_fast.load(), 15u);          // monotonic: summed
+  EXPECT_EQ(a.max_enq_probes.load(), 50u);    // high-water: maxed
+  EXPECT_EQ(a.max_deq_probes.load(), 100u);   // max keeps the larger side
+}
+
+TEST(OpStats, RaiseMaxNeverLowers) {
+  std::atomic<uint64_t> m{10};
+  OpStats::raise_max(m, 5);
+  EXPECT_EQ(m.load(), 10u);
+  OpStats::raise_max(m, 11);
+  EXPECT_EQ(m.load(), 11u);
+  OpStats::raise_max(m, 11);
+  EXPECT_EQ(m.load(), 11u);
+}
+
+// The bugfix target: concurrent raise_max calls must converge on the global
+// maximum. With the old unlocked load-compare-store, a thread holding a
+// stale small read could overwrite a concurrently-raised larger value.
+TEST(OpStats, RaiseMaxIsLosslessUnderContention) {
+  constexpr unsigned kThreads = 8;
+  constexpr uint64_t kPerThread = 20'000;
+  std::atomic<uint64_t> m{0};
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      // Interleaved ascending ramps: every thread repeatedly publishes
+      // values both above and below the running maximum.
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        OpStats::raise_max(m, i * kThreads + t);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(m.load(), kPerThread * kThreads + (kThreads - 1));
+}
+
+TEST(OpStats, ConcurrentAggregationKeepsMaxima) {
+  // Many sources folded into one target from several threads at once — the
+  // collect_stats() pattern. The final max must be the max over sources no
+  // matter how the add() calls interleave.
+  constexpr unsigned kSources = 16;
+  OpStats sources[kSources];
+  for (unsigned i = 0; i < kSources; ++i) {
+    sources[i].deq_fast.store(i + 1);
+    sources[i].max_enq_probes.store(100 + i);
+  }
+  OpStats total;
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      for (unsigned i = t; i < kSources; i += 4) total.add(sources[i]);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(total.deq_fast.load(), uint64_t(kSources) * (kSources + 1) / 2);
+  EXPECT_EQ(total.max_enq_probes.load(), 100u + kSources - 1);
+}
+
+TEST(OpStats, CopyIsASnapshotAndResetZeroes) {
+  OpStats a;
+  a.enq_slow.store(4);
+  a.max_deq_probes.store(9);
+  OpStats b = a;
+  a.enq_slow.store(100);
+  EXPECT_EQ(b.enq_slow.load(), 4u);
+  EXPECT_EQ(b.max_deq_probes.load(), 9u);
+  b.reset();
+  b.for_each_field(
+      [](const char* name, uint64_t v) { EXPECT_EQ(v, 0u) << name; });
+}
+
+}  // namespace
+}  // namespace wfq

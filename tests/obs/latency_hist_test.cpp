@@ -1,0 +1,160 @@
+// Unit tests for the wait-free log-bucketed latency histogram: the bucket
+// geometry (round-trips, bounded relative error), recording/percentiles,
+// and the merge algebra (associative + commutative) that collect_obs()
+// relies on when folding per-handle histograms in arbitrary order. The
+// concurrent test runs under TSan via the tsan label: recording is relaxed
+// increments only, and a reader may snapshot mid-traffic.
+#include "obs/latency_hist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace wfq::obs {
+namespace {
+
+using H = LatencyHistogram;
+
+TEST(LatencyHistogram, LinearRegionIsExact) {
+  for (uint64_t v = 0; v < (uint64_t{1} << H::kLinearBits); ++v) {
+    EXPECT_EQ(H::bucket_index(v), v);
+    EXPECT_EQ(H::bucket_lower(std::size_t(v)), v);
+    EXPECT_EQ(H::bucket_upper(std::size_t(v)), v + 1);
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundariesRoundTrip) {
+  for (std::size_t idx = 0; idx < H::kBuckets; ++idx) {
+    const uint64_t lo = H::bucket_lower(idx);
+    EXPECT_EQ(H::bucket_index(lo), idx) << "lower of bucket " << idx;
+    if (idx > 0) {
+      // The value just below a bucket's lower bound belongs to its
+      // predecessor — the buckets tile the axis with no gap or overlap.
+      EXPECT_EQ(H::bucket_index(lo - 1), idx - 1) << "below bucket " << idx;
+      EXPECT_GT(lo, H::bucket_lower(idx - 1)) << "lowers must increase";
+    }
+    if (idx + 1 < H::kBuckets) {
+      EXPECT_EQ(H::bucket_upper(idx), H::bucket_lower(idx + 1));
+      EXPECT_EQ(H::bucket_index(H::bucket_upper(idx) - 1), idx);
+    } else {
+      EXPECT_EQ(H::bucket_upper(idx), ~uint64_t{0});
+      EXPECT_EQ(H::bucket_index(~uint64_t{0}), idx);  // saturates at the top
+    }
+  }
+}
+
+TEST(LatencyHistogram, RelativeErrorIsBounded) {
+  // Above the linear region every bucket's width is at most lower/2^kSubBits,
+  // which is the 25% relative-error claim in the header comment.
+  for (std::size_t idx = (1u << H::kLinearBits); idx + 1 < H::kBuckets;
+       ++idx) {
+    const uint64_t lo = H::bucket_lower(idx);
+    const uint64_t width = H::bucket_upper(idx) - lo;
+    EXPECT_LE(width, lo / H::kSubBuckets) << "bucket " << idx;
+  }
+}
+
+TEST(LatencyHistogram, RecordAndPercentile) {
+  H h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty histogram reads 0
+
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  EXPECT_EQ(h.count(), 100u);
+  const std::size_t idx = H::bucket_index(1000);
+  EXPECT_EQ(h.bucket_count(idx), 100u);
+  // Every percentile of a single-bucket population is that bucket's
+  // midpoint, and the true value lies in the bucket's range.
+  const uint64_t p = h.percentile(0.5);
+  EXPECT_EQ(p, h.percentile(0.0));
+  EXPECT_EQ(p, h.percentile(1.0));
+  EXPECT_GE(p, H::bucket_lower(idx));
+  EXPECT_LT(p, H::bucket_upper(idx));
+}
+
+TEST(LatencyHistogram, PercentilesOrderedAndApproximatelyCorrect) {
+  H h;
+  for (uint64_t v = 1; v <= 10'000; ++v) h.record(v);
+  const uint64_t p50 = h.percentile(0.50);
+  const uint64_t p99 = h.percentile(0.99);
+  const uint64_t p999 = h.percentile(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  // Bounded relative error: 25% bucket width plus midpoint rounding.
+  EXPECT_GE(p50, 3500u);
+  EXPECT_LE(p50, 7000u);
+  EXPECT_GE(p999, 7000u);
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative) {
+  Xorshift128Plus rng(42);
+  H a, b, c;
+  for (int i = 0; i < 3000; ++i) {
+    a.record(rng.next_below(1u << 20));
+    b.record(rng.next_below(1u << 10));
+    c.record(rng.next_below(1u << 30));
+  }
+  H ab_c = a;   // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  H bc = b;     // a + (b + c)
+  bc.merge(c);
+  H a_bc = a;
+  a_bc.merge(bc);
+  H ba = b;     // b + a
+  ba.merge(a);
+  H ab = a;
+  ab.merge(b);
+  for (std::size_t i = 0; i < H::kBuckets; ++i) {
+    EXPECT_EQ(ab_c.bucket_count(i), a_bc.bucket_count(i)) << "bucket " << i;
+    EXPECT_EQ(ab.bucket_count(i), ba.bucket_count(i)) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, CopyIsASnapshot) {
+  H h;
+  for (int i = 0; i < 10; ++i) h.record(uint64_t(i) * 100);
+  H copy = h;
+  h.record(1);  // diverge the original
+  EXPECT_EQ(copy.count(), 10u);
+  EXPECT_EQ(h.count(), 11u);
+}
+
+// Relaxed recording from many threads with a concurrent reader: the final
+// count is exact once writers join, and mid-flight reads never misbehave
+// (this is the TSan target — record() and the read path must stay free of
+// data races by construction, i.e. all-atomic).
+TEST(LatencyHistogram, ConcurrentRecordingIsExactAfterJoin) {
+  constexpr unsigned kThreads = 4;
+  constexpr uint64_t kPerThread = 50'000;
+  H h;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    uint64_t sink = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      sink += h.count() + h.percentile(0.5);
+    }
+    (void)sink;
+  });
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      Xorshift128Plus rng(t * 977 + 1);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(rng.next_below(1u << 24));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(h.count(), uint64_t(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace wfq::obs

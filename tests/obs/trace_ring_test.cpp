@@ -1,0 +1,140 @@
+// Unit tests for the slow-path trace ring: exact per-type totals that
+// survive wrap-around (the property the soak's counter-agreement audit
+// leans on), retained-window semantics, multi-writer emission, and the
+// snapshot's (ts, seq) event ordering.
+#include "obs/trace_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace wfq::obs {
+namespace {
+
+TEST(TraceRing, RetainsEverythingBeforeWrap) {
+  TraceRing<8> r;
+  for (uint64_t i = 0; i < 5; ++i) {
+    r.emit(TraceEvent::kEnqSlow, /*ts=*/100 + i, /*tid=*/7, /*a=*/i);
+  }
+  EXPECT_EQ(r.emitted(), 5u);
+  EXPECT_EQ(r.dropped(), 0u);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.total(TraceEvent::kEnqSlow), 5u);
+  uint64_t expect = 0;
+  r.for_each([&](const TraceRec& rec) {
+    EXPECT_EQ(rec.type, uint32_t(TraceEvent::kEnqSlow));
+    EXPECT_EQ(rec.ts_ns, 100 + expect);
+    EXPECT_EQ(rec.seq, expect);
+    EXPECT_EQ(rec.a, expect);
+    EXPECT_EQ(rec.tid, 7u);
+    ++expect;
+  });
+  EXPECT_EQ(expect, 5u);
+}
+
+TEST(TraceRing, TotalsStayExactUnderWrap) {
+  constexpr uint64_t kEmit = 100;
+  TraceRing<8> r;
+  for (uint64_t i = 0; i < kEmit; ++i) {
+    r.emit(i % 2 == 0 ? TraceEvent::kEnqSlow : TraceEvent::kDeqSlow, i, 0);
+  }
+  // Records wrap; totals never do.
+  EXPECT_EQ(r.total(TraceEvent::kEnqSlow), kEmit / 2);
+  EXPECT_EQ(r.total(TraceEvent::kDeqSlow), kEmit / 2);
+  EXPECT_EQ(r.emitted(), kEmit);
+  EXPECT_EQ(r.dropped(), kEmit - 8);
+  EXPECT_EQ(r.size(), 8u);
+  // The retained window is the newest Cap records, oldest first.
+  uint64_t expect = kEmit - 8;
+  r.for_each([&](const TraceRec& rec) {
+    EXPECT_EQ(rec.seq, expect);
+    EXPECT_EQ(rec.ts_ns, expect);
+    ++expect;
+  });
+  EXPECT_EQ(expect, kEmit);
+}
+
+TEST(TraceRing, ResetClearsEverything) {
+  TraceRing<8> r;
+  for (int i = 0; i < 20; ++i) r.emit(TraceEvent::kPark, uint64_t(i), 0);
+  r.reset();
+  EXPECT_EQ(r.emitted(), 0u);
+  EXPECT_EQ(r.dropped(), 0u);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.total(TraceEvent::kPark), 0u);
+}
+
+// Multiple writers (the adoption path emits into the victim's ring from the
+// adopter's thread): the cursor's fetch_add gives each emission a distinct
+// slot and the totals sum exactly.
+TEST(TraceRing, MultiWriterTotalsAreExact) {
+  constexpr unsigned kThreads = 4;
+  constexpr uint64_t kPerThread = 20'000;
+  TraceRing<64> r;
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      const TraceEvent ev =
+          t % 2 == 0 ? TraceEvent::kHelpGiven : TraceEvent::kHelpReceived;
+      for (uint64_t i = 0; i < kPerThread; ++i) r.emit(ev, i, t);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(r.total(TraceEvent::kHelpGiven), 2 * kPerThread);
+  EXPECT_EQ(r.total(TraceEvent::kHelpReceived), 2 * kPerThread);
+  EXPECT_EQ(r.emitted(), kThreads * kPerThread);
+  EXPECT_EQ(r.dropped(), kThreads * kPerThread - 64);
+  // Every retained record is one some writer actually emitted.
+  r.for_each([&](const TraceRec& rec) {
+    EXPECT_LT(rec.tid, kThreads);
+    EXPECT_LT(rec.ts_ns, kPerThread);
+  });
+}
+
+TEST(ObsSnapshot, AbsorbRingAccumulatesTotalsAndDrops) {
+  TraceRing<8> a, b;
+  for (int i = 0; i < 12; ++i) a.emit(TraceEvent::kEnqSlow, uint64_t(i), 1);
+  for (int i = 0; i < 3; ++i) b.emit(TraceEvent::kCleanup, uint64_t(i), 2);
+  ObsSnapshot snap;
+  snap.absorb_ring(a);
+  snap.absorb_ring(b);
+  EXPECT_EQ(snap.total(TraceEvent::kEnqSlow), 12u);
+  EXPECT_EQ(snap.total(TraceEvent::kCleanup), 3u);
+  EXPECT_EQ(snap.dropped, 4u);          // only ring a wrapped
+  EXPECT_EQ(snap.events.size(), 8u + 3u);  // retained records of both
+}
+
+TEST(ObsSnapshot, SortOrdersByTimestampThenSeq) {
+  TraceRing<16> a, b;
+  // Deliberately emit with out-of-order timestamps across two rings,
+  // including a cross-ring tie at ts=50.
+  a.emit(TraceEvent::kEnqSlow, /*ts=*/90, 1);   // seq 0
+  a.emit(TraceEvent::kEnqSlow, /*ts=*/50, 1);   // seq 1
+  a.emit(TraceEvent::kEnqSlow, /*ts=*/50, 1);   // seq 2
+  b.emit(TraceEvent::kDeqSlow, /*ts=*/10, 2);   // seq 0
+  b.emit(TraceEvent::kDeqSlow, /*ts=*/70, 2);   // seq 1
+  ObsSnapshot snap;
+  snap.absorb_ring(a);
+  snap.absorb_ring(b);
+  snap.sort_events();
+  ASSERT_EQ(snap.events.size(), 5u);
+  for (std::size_t i = 1; i < snap.events.size(); ++i) {
+    const TraceRec& prev = snap.events[i - 1];
+    const TraceRec& cur = snap.events[i];
+    EXPECT_TRUE(prev.ts_ns < cur.ts_ns ||
+                (prev.ts_ns == cur.ts_ns && prev.seq <= cur.seq))
+        << "events out of order at " << i;
+  }
+  EXPECT_EQ(snap.events.front().ts_ns, 10u);
+  EXPECT_EQ(snap.events.back().ts_ns, 90u);
+  // The ts=50 tie keeps emission order (seq 1 before seq 2).
+  EXPECT_EQ(snap.events[1].seq, 1u);
+  EXPECT_EQ(snap.events[2].seq, 2u);
+}
+
+}  // namespace
+}  // namespace wfq::obs

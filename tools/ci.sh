@@ -29,14 +29,22 @@
 #                     release bench binary must not contain any injection
 #                     point-name string (WFQ_INJECT's `if constexpr` must
 #                     have discarded them all).
+#   6. obs          — observability leg: NullMetrics zero-footprint check
+#                     (no "obs:" trace-event name may survive into a bench
+#                     binary built without the metrics traits), the obs
+#                     test suite in the default and TSan trees (histogram/
+#                     trace-ring recording is relaxed-atomics-only by
+#                     design — TSan proves it), traced soaks whose Chrome
+#                     trace JSON is schema-validated, and a parse check of
+#                     the committed BENCH_*.json latency columns.
 #
-# Usage: tools/ci.sh [default|asan|tsan|bench|faults]...  (no args = all five)
+# Usage: tools/ci.sh [default|asan|tsan|bench|faults|obs]...  (no args = all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
 CONFIGS=("$@")
-[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan bench faults)
+[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan bench faults obs)
 
 run_config() {
   local name=$1
@@ -161,6 +169,104 @@ run_faults() {
   echo "== [faults] OK =="
 }
 
+run_obs() {
+  # Observability leg.
+  #   1. NullMetrics zero-footprint: DefaultWfTraits compiles every
+  #      recording site into a discarded `if constexpr (Metrics::kEnabled)`
+  #      branch and the "obs:"-prefixed event names live only in
+  #      trace_export.hpp, so a bench binary that doesn't opt in must not
+  #      contain a single "obs:" string. bench_pairs is the target —
+  #      bench_ops is the wrong one, since it deliberately links a
+  #      metrics-enabled contender as the overhead control; that makes
+  #      tools/soak (which exports traces) the positive control proving
+  #      the grep would actually catch leakage.
+  #   2. The obs/OpStats/C-API-stats tests in the default tree and under
+  #      TSan.
+  #   3. Traced soaks: one seeded chaos soak and one blocking soak with
+  #      --metrics --trace. The soak binary itself fails on any mismatch
+  #      between trace-event totals and OpStats counters (oom_rescue,
+  #      adoption, parks, slow paths — exact equality, not bounds); here
+  #      the emitted Chrome trace JSON is additionally schema-validated.
+  #   4. The committed BENCH_*.json artifacts still parse and carry the
+  #      latency percentile columns.
+  local dir="build-ci-default"
+  echo "== [obs] configure+build (default) =="
+  cmake -B "${dir}" -S . >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" >/dev/null
+
+  echo "== [obs] NullMetrics footprint check =="
+  # "obs:[a-z]" matches exactly the event-name strings ("obs:enq_slow", …)
+  # and not the "wfq::obs::" type names RelWithDebInfo's debug info always
+  # carries (those have a second colon after "obs:").
+  if grep -qE "obs:[a-z]" "${dir}/bench/bench_pairs"; then
+    echo "FAIL: obs trace-event names found in release bench_pairs —" \
+         "NullMetrics is no longer compiling to nothing" >&2
+    exit 1
+  fi
+  if ! grep -q "obs:enq_slow" "${dir}/tools/soak"; then
+    echo "FAIL: positive control broken — tools/soak links the metrics" \
+         "traits and must contain obs: event names" >&2
+    exit 1
+  fi
+  echo "  bench_pairs is obs-string-free (soak positive control intact)"
+
+  local regex='LatencyHistogram|TraceRing|ObsSnapshot|ObsQueue|ObsTraceExport|OpStats|CApiStatsEx|CApiTrace'
+  echo "== [obs] tests (default) =="
+  (cd "${dir}" && ctest -R "${regex}" --output-on-failure -j "${JOBS}")
+
+  echo "== [obs] configure+build (tsan) =="
+  cmake -B build-ci-tsan -S . -DWFQ_SANITIZE=thread >/dev/null
+  cmake --build build-ci-tsan -j "${JOBS}" >/dev/null
+  echo "== [obs] tests (tsan) =="
+  (cd build-ci-tsan && TSAN_OPTIONS=halt_on_error=1 \
+    ctest -R "${regex}" --output-on-failure -j "${JOBS}")
+
+  local scratch
+  scratch=$(mktemp -d)
+  echo "== [obs] traced soak --inject 1234 (2 s, 4x4 threads) =="
+  "${dir}/tools/soak" --inject 1234 2 4 --trace "${scratch}/inject.json"
+  echo "== [obs] traced blocking soak --metrics (2 s) =="
+  "${dir}/tools/soak" 2 2 block --metrics --trace "${scratch}/block.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${scratch}/inject.json" "${scratch}/block.json" \
+      BENCH_bulk.json BENCH_wakeup.json <<'EOF'
+import json, sys
+from collections import Counter
+
+for path in sys.argv[1:3]:
+    doc = json.load(open(path))
+    evs = doc["traceEvents"]
+    other = doc["otherData"]
+    totals = other["totals"]
+    assert all(e["ph"] == "i" for e in evs), "non-instant trace event"
+    assert all(e["name"].startswith("obs:") for e in evs)
+    ts = [e["ts"] for e in evs]
+    assert ts == sorted(ts), "trace events not time-ordered"
+    assert int(other["dropped"]) >= 0
+    # Wrap-around may drop records but never inflates them: the retained
+    # window can't show more of a type than its exact total.
+    seen = Counter(e["name"][len("obs:"):] for e in evs)
+    for name, n in seen.items():
+        assert n <= int(totals[name]), f"{name}: retained {n} > total"
+    for key, h in other["histograms"].items():
+        assert h["p50_ns"] <= h["p99_ns"] <= h["p999_ns"], key
+    name = path.split("/")[-1]
+    print(f"  {name}: {len(evs)} events, totals/percentiles consistent")
+
+for path in sys.argv[3:]:
+    recs = json.load(open(path))
+    assert recs, f"{path} is empty"
+    for r in recs:
+        assert {"bench", "config", "threads", "mops"} <= r.keys(), path
+        assert "p50_ns" in r and "p99_ns" in r, \
+            f"{path} lost its latency columns"
+    print(f"  {path}: {len(recs)} records, latency columns present")
+EOF
+  fi
+  rm -rf "${scratch}"
+  echo "== [obs] OK =="
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "${cfg}" in
     default) run_config default ;;
@@ -168,8 +274,9 @@ for cfg in "${CONFIGS[@]}"; do
     tsan) run_config tsan -DWFQ_SANITIZE=thread ;;
     bench) run_bench_smoke ;;
     faults) run_faults ;;
+    obs) run_obs ;;
     *)
-      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults)" >&2
+      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults|obs)" >&2
       exit 2
       ;;
   esac

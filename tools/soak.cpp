@@ -28,6 +28,19 @@
 //     nothing. Crashes are deliberately not in the soak schedule (their
 //     bounded value loss is owned by the injection-matrix ctest).
 //
+// Observability flags (block and --inject modes, which compile the queue
+// with ObsMetrics at the production sampling rate; the raw baseline modes
+// ignore them):
+//   --metrics        print the latency-histogram / slow-path-event report
+//                    after the run
+//   --trace <file>   dump a Chrome trace-event JSON (chrome://tracing,
+//                    Perfetto) of the retained slow-path events
+// Independent of the flags, these modes always verify that the trace-ring
+// per-type totals agree EXACTLY with the OpStats counters they shadow
+// (enq_slow, deq_slow, deq_parks, alloc_failures, reserve_pool_hits,
+// oom_rescues, adopted_handles) — trace events are never sampled, so any
+// drift is an instrumentation bug and fails the soak.
+//
 // Exit status 0 only if every audit passed. Not part of ctest (runtime is
 // caller-chosen); CI runs it via the `soak` convenience target.
 #include <atomic>
@@ -48,11 +61,101 @@
 #include "common/random.hpp"
 #include "core/wf_queue.hpp"
 #include "harness/fault_inject.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "sync/blocking_queue.hpp"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// ---- observability plumbing -------------------------------------------
+
+struct ObsOptions {
+  bool metrics = false;            ///< --metrics: print the report
+  const char* trace_path = nullptr;  ///< --trace <file>: Chrome trace dump
+};
+ObsOptions g_obs;
+
+/// Metrics-enabled traits for the default blocking soak (the --inject mode
+/// has its own traits carrying the injector as well).
+struct SoakObsTraits : wfq::DefaultWfTraits {
+  using Metrics = wfq::obs::ObsMetrics<>;
+};
+
+void print_obs_report(const wfq::obs::ObsSnapshot& snap) {
+  auto hist = [](const char* name, const wfq::obs::LatencyHistogram& h) {
+    if (h.count() == 0) return;
+    std::printf("    %-12s n=%-9llu p50=%lluns p99=%lluns p99.9=%lluns\n",
+                name, (unsigned long long)h.count(),
+                (unsigned long long)h.percentile(0.50),
+                (unsigned long long)h.percentile(0.99),
+                (unsigned long long)h.percentile(0.999));
+  };
+  std::printf("  -- observability report (latencies sampled 1-in-%llu) --\n",
+              (unsigned long long)(wfq::obs::ObsMetrics<>::kSampleMask + 1));
+  hist("enqueue", snap.enq_ns);
+  hist("dequeue", snap.deq_ns);
+  hist("enq_bulk", snap.enq_bulk_ns);
+  hist("deq_bulk", snap.deq_bulk_ns);
+  hist("pop_wait", snap.pop_wait_ns);
+  std::printf("    events:");
+  for (std::size_t i = 0; i < wfq::obs::kTraceEventCount; ++i) {
+    if (snap.totals[i] != 0) {
+      std::printf(" %s=%llu", wfq::obs::kTraceEventKeys[i],
+                  (unsigned long long)snap.totals[i]);
+    }
+  }
+  std::printf("\n    retained=%zu dropped=%llu\n", snap.events.size(),
+              (unsigned long long)snap.dropped);
+}
+
+/// Post-run observability epilogue shared by the blocking and inject soaks:
+/// the exact event-total/counter agreement audit (always on — trace events
+/// are never sampled, so the totals must shadow the counters one-for-one),
+/// the --metrics report, and the --trace dump. Must run after every worker
+/// joined (quiesced-reader contract of the rings). Returns false on any
+/// mismatch or dump failure.
+bool obs_epilogue(const wfq::obs::ObsSnapshot& snap, const wfq::OpStats& st) {
+  using wfq::obs::TraceEvent;
+  const struct {
+    TraceEvent ev;
+    const char* name;
+    uint64_t counter;
+  } shadow[] = {
+      {TraceEvent::kEnqSlow, "enq_slow", st.enq_slow.load()},
+      {TraceEvent::kDeqSlow, "deq_slow", st.deq_slow.load()},
+      {TraceEvent::kPark, "deq_parks", st.deq_parks.load()},
+      {TraceEvent::kAllocFail, "alloc_failures", st.alloc_failures.load()},
+      {TraceEvent::kReserveHit, "reserve_pool_hits",
+       st.reserve_pool_hits.load()},
+      {TraceEvent::kOomRescue, "oom_rescues", st.oom_rescues.load()},
+      {TraceEvent::kAdopt, "adopted_handles", st.adopted_handles.load()},
+  };
+  bool ok = true;
+  for (const auto& s : shadow) {
+    if (snap.total(s.ev) != s.counter) {
+      std::printf("  OBS MISMATCH: trace total %s=%llu but counter %s=%llu\n",
+                  wfq::obs::kTraceEventKeys[std::size_t(s.ev)],
+                  (unsigned long long)snap.total(s.ev), s.name,
+                  (unsigned long long)s.counter);
+      ok = false;
+    }
+  }
+  std::printf("  trace/counter agreement %s\n", ok ? "EXACT" : "FAILED");
+  if (g_obs.metrics) print_obs_report(snap);
+  if (g_obs.trace_path != nullptr) {
+    if (wfq::obs::write_chrome_trace(snap, g_obs.trace_path)) {
+      std::printf("  trace written to %s (%zu events, %llu dropped)\n",
+                  g_obs.trace_path, snap.events.size(),
+                  (unsigned long long)snap.dropped);
+    } else {
+      std::printf("  trace dump to %s FAILED\n", g_obs.trace_path);
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 struct SoakResult {
   uint64_t enqueued = 0;
@@ -177,7 +280,7 @@ SoakResult soak(Queue& q, unsigned threads, double seconds) {
 // close()/drain() contract guarantees the per-consumer accounting already
 // covers every in-flight item, and we assert exactly that.
 int run_blocking(unsigned threads, double seconds) {
-  using BQ = wfq::sync::BlockingWFQueue<uint64_t>;
+  using BQ = wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, SoakObsTraits>>;
   using wfq::sync::PopStatus;
   using wfq::sync::WaitPolicy;
   BQ q;
@@ -299,7 +402,8 @@ int run_blocking(unsigned threads, double seconds) {
               exact ? "EXACT" : "FAILED", leftover,
               r.checksum_in == r.checksum_out ? "OK" : "FAILED",
               r.fifo_violations == 0 ? "OK" : "FAILED");
-  return (r.ok() && exact) ? 0 : 1;
+  bool obs_ok = obs_epilogue(q.collect_obs(), st);
+  return (r.ok() && exact && obs_ok) ? 0 : 1;
 }
 
 // ---- fault-injection soak ---------------------------------------------
@@ -315,6 +419,7 @@ int run_blocking(unsigned threads, double seconds) {
 // keep firing for the whole run.
 struct SoakFaultTraits : wfq::DefaultWfTraits {
   using Injector = wfq::fault::ScriptedInjector;
+  using Metrics = wfq::obs::ObsMetrics<>;
 };
 
 int run_inject(uint64_t seed, unsigned threads, double seconds) {
@@ -463,7 +568,8 @@ int run_inject(uint64_t seed, unsigned threads, double seconds) {
               r.checksum_in == r.checksum_out ? "OK" : "FAILED",
               r.fifo_violations == 0 ? "OK" : "FAILED",
               no_crash ? "OK" : "FAILED");
-  return (r.ok() && exact && no_crash) ? 0 : 1;
+  bool obs_ok = obs_epilogue(q.collect_obs(), st);
+  return (r.ok() && exact && no_crash && obs_ok) ? 0 : 1;
 }
 
 template <class Queue, class... Args>
@@ -482,6 +588,26 @@ int run(const char* name, unsigned threads, double seconds, Args&&... args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the observability flags first; everything else keeps its
+  // positional meaning (so `soak --inject 7 --trace t.json 5 8` works).
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      g_obs.metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace requires a file argument\n");
+        return 2;
+      }
+      g_obs.trace_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = int(args.size());
+  argv = args.data();
+
   if (argc > 1 && std::strcmp(argv[1], "--inject") == 0) {
     if (argc < 3) {
       std::fprintf(stderr, "usage: soak --inject <seed> [seconds] [threads]\n");
