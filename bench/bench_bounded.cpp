@@ -1,0 +1,57 @@
+// The bounded-memory anchor (committed as BENCH_bounded.json): throughput
+// and tail latency of the bounded family against the unbounded references
+// at matched ring sizes. SCQ and wCQ run on 4096-slot rings; LCRQ's closed
+// rings are 4096 cells each (its kRingSize default), so the three share
+// cell-array geometry and the columns isolate protocol cost — threshold
+// bookkeeping (SCQ), helping (wCQ), CAS2 cell contention (LCRQ). WF-10 is
+// the unbounded contrast line, not a control: its segment list grows while
+// the rings stay at their construction-time footprint.
+//
+// The pairs workload keeps occupancy <= threads, far below 4096, so the
+// bound itself never throttles — backpressure behavior is the blocking
+// layer's story (bench_wakeup, tools/soak --backend scq|wcq).
+//
+//   $ ./bench_bounded [--smoke] [--json BENCH_bounded.json]
+#include <cstddef>
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace {
+
+/// make_contender for queues whose constructor takes a capacity.
+template <class Queue>
+wfq::bench::Contender make_ring_contender(std::string name,
+                                          std::size_t capacity) {
+  wfq::bench::Contender c;
+  c.name = std::move(name);
+  c.make_invocation = [capacity](const wfq::bench::RunConfig& cfg) {
+    auto q = std::make_shared<Queue>(capacity);
+    return std::function<double()>(
+        [q, cfg] { return wfq::bench::run_workload(*q, cfg).mops_raw(); });
+  };
+  c.measure_latency = [capacity](unsigned threads, uint64_t pairs) {
+    Queue q(capacity);
+    return wfq::bench::measure_op_latency(q, threads, pairs);
+  };
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
+  constexpr std::size_t kRing = 4096;  // == LCRQ's per-segment ring size
+  wfq::WfConfig wf10;
+  wf10.patience = 10;
+  std::vector<wfq::bench::Contender> cs;
+  cs.push_back(make_ring_contender<wfq::ScqQueue<uint64_t>>("SCQ", kRing));
+  cs.push_back(make_ring_contender<wfq::WcqQueue<uint64_t>>("WCQ", kRing));
+  cs.push_back(
+      wfq::bench::make_contender<wfq::baselines::LCRQ<uint64_t>>("LCRQ"));
+  cs.push_back(
+      wfq::bench::make_wf_contender<wfq::DefaultWfTraits>("WF-10", wf10));
+  wfq::bench::run_figure("bounded: enqueue-dequeue pairs",
+                         wfq::bench::WorkloadKind::kPairs, 50, std::move(cs));
+  return 0;
+}

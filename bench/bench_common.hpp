@@ -32,6 +32,8 @@
 #include "baselines/mutex_queue.hpp"
 #include "baselines/sim_queue.hpp"
 #include "common/cpu.hpp"
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
 #include "harness/chart.hpp"
 #include "harness/latency.hpp"
@@ -255,6 +257,13 @@ inline std::vector<Contender> figure2_contenders() {
   cs.push_back(make_contender<baselines::MSQueue<uint64_t>>("MSQUEUE"));
   cs.push_back(make_contender<baselines::LCRQ<uint64_t>>("LCRQ"));
   cs.push_back(make_contender<baselines::MutexQueue<uint64_t>>("MUTEX"));
+  // The bounded-memory family (not in the paper's figure; SCQ is the ring
+  // substrate, wCQ its wait-free successor). Default 64Ki-slot rings: the
+  // pairs workload keeps occupancy <= threads and the random mixes stay
+  // within a sqrt(ops) excursion, so the bound is never the bottleneck and
+  // the column measures ring-protocol cost, not backpressure.
+  cs.push_back(make_contender<ScqQueue<uint64_t>>("SCQ"));
+  cs.push_back(make_contender<WcqQueue<uint64_t>>("WCQ"));
   // Not in the paper's Figure 2, but §2 claims the first practical
   // wait-free queue performs like MS-Queue; this column checks that. The
   // helping registry is sized to the actual thread count (its state array
@@ -290,11 +299,15 @@ inline std::vector<Contender> figure2_contenders() {
 }
 
 /// Sweeps thread counts x contenders for one workload and prints the
-/// figure's data table (Mops/s with 95% CIs). Returns the table for reuse.
+/// figure's data table (Mops/s with 95% CIs). The default (empty)
+/// contender list means the full Figure 2 line-up; benches with their own
+/// cast (bench_bounded's matched-ring-size comparison) pass one in.
 inline void run_figure(const std::string& title, WorkloadKind kind,
-                       unsigned percent_enqueue = 50) {
+                       unsigned percent_enqueue = 50,
+                       std::vector<Contender> custom_contenders = {}) {
   auto threads = thread_counts_from_env();
-  auto contenders = figure2_contenders();
+  auto contenders = custom_contenders.empty() ? figure2_contenders()
+                                              : std::move(custom_contenders);
   auto mcfg = MethodologyConfig::from_env();
   uint64_t ops = ops_from_env();
   bool use_delay = delay_enabled_from_env();

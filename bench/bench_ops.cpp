@@ -17,6 +17,8 @@
 #include "baselines/sim_queue.hpp"
 #include "common/atomics.hpp"
 #include "core/obstruction_queue.hpp"
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
 #include "obs/metrics.hpp"
 
@@ -75,6 +77,8 @@ using MuQ = wfq::baselines::MutexQueue<uint64_t>;
 using FaaQ = wfq::baselines::FAAQueue<uint64_t>;
 using KpQ = wfq::baselines::KPQueue<uint64_t>;
 using SimQ = wfq::baselines::SimQueue<uint64_t>;
+using ScqQ = wfq::ScqQueue<uint64_t>;
+using WcqQ = wfq::WcqQueue<uint64_t>;
 
 BENCHMARK_TEMPLATE(BM_PairSingleThread, WfQ);
 BENCHMARK_TEMPLATE(BM_PairSingleThread, Lcrq);
@@ -114,6 +118,8 @@ BENCHMARK_TEMPLATE(BM_PairSingleThread, MuQ);
 BENCHMARK_TEMPLATE(BM_PairSingleThread, FaaQ);
 BENCHMARK_TEMPLATE(BM_PairSingleThread, KpQ);
 BENCHMARK_TEMPLATE(BM_PairSingleThread, SimQ);
+BENCHMARK_TEMPLATE(BM_PairSingleThread, ScqQ);
+BENCHMARK_TEMPLATE(BM_PairSingleThread, WcqQ);
 
 /// Empty-queue dequeue cost (the 50%-enqueues workload spends much of its
 /// time here; §5.2 explains why the wait-free queue pays more than LCRQ).
@@ -129,9 +135,30 @@ void BM_EmptyDequeue(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_EmptyDequeue, MsQ);
 BENCHMARK_TEMPLATE(BM_EmptyDequeue, CcQ);
 BENCHMARK_TEMPLATE(BM_EmptyDequeue, MuQ);
+// The rings belong here: SCQ's threshold makes an empty dequeue cheap and
+// non-destructive (no index space burned), which is precisely the claim.
+BENCHMARK_TEMPLATE(BM_EmptyDequeue, ScqQ);
+BENCHMARK_TEMPLATE(BM_EmptyDequeue, WcqQ);
 // Note: the wait-free queue and LCRQ burn index space per empty dequeue;
 // their empty-dequeue cost appears in the 50%-enqueues figure instead of an
 // unbounded-memory microbenchmark loop here.
+
+/// Full-ring rejection cost: try_enqueue -> kFull on a ring at capacity is
+/// the price a bounded producer pays per backpressure probe before it
+/// parks (BlockingQueue retries this exact call under its EventCount).
+template <class Queue>
+void BM_TryEnqueueFull(benchmark::State& state) {
+  Queue q(64);
+  auto h = q.get_handle();
+  uint64_t v = 1;
+  while (q.try_enqueue(h, uint64_t{v}) == wfq::EnqueueResult::kOk) ++v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.try_enqueue(h, uint64_t{v}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_TryEnqueueFull, ScqQ);
+BENCHMARK_TEMPLATE(BM_TryEnqueueFull, WcqQ);
 
 /// Enqueue-only burst then dequeue-only drain (segment/ring growth paths).
 template <class Queue>

@@ -78,10 +78,10 @@ std::vector<ReclaimContender> make_contenders() {
   cs.push_back(make_policy_contender<EpochPolicyTraits>("WF epoch", wf_on));
   cs.push_back(
       make_policy_contender<DefaultWfTraits>("WF no-reclaim", wf_off));
-  cs.push_back(make_plain_contender<baselines::MSQueue<uint64_t, HpReclaimer>>(
+  cs.push_back(make_plain_contender<baselines::MSQueue<uint64_t, HpReclaimer<2>>>(
       "MSQ+HP"));
   cs.push_back(
-      make_plain_contender<baselines::MSQueue<uint64_t, EbrReclaimer>>(
+      make_plain_contender<baselines::MSQueue<uint64_t, EbrReclaimer<2>>>(
           "MSQ+EBR"));
   return cs;
 }

@@ -51,6 +51,62 @@ static void* consumer(void* arg) {
   return 0;
 }
 
+/* Producer for the bounded act: wfq_enqueue may return WFQ_E_FULL, so
+ * this one parks in wfq_enqueue_wait instead of treating full as fatal. */
+static void* bounded_producer(void* arg) {
+  long tid = (long)arg;
+  wfq_handle_t* h = wfq_handle_acquire(queue);
+  int i;
+  for (i = 0; i < OPS_PER_PRODUCER; ++i) {
+    uint64_t v = ((uint64_t)tid << 32) | (uint64_t)(i + 1);
+    if (wfq_enqueue_wait(h, v) != WFQ_OK) {
+      fprintf(stderr, "bounded enqueue rejected unexpectedly\n");
+      break;
+    }
+    produced_sum[tid] += v;
+  }
+  wfq_handle_release(h);
+  return 0;
+}
+
+/* Second act: the same pipeline through a bounded backend. Capacity 64
+ * means producers outrun consumers almost immediately; wfq_enqueue_wait
+ * parks them (futex, not spin) until space frees, so memory stays hard-
+ * bounded while conservation still holds. */
+static int bounded_backend_demo(void) {
+  wfq_options_t opt;
+  pthread_t producers[N_PRODUCERS];
+  pthread_t consumers[N_CONSUMERS];
+  long t;
+  uint64_t produced = 0, consumed = 0;
+
+  wfq_options_init(&opt);
+  opt.backend = WFQ_BACKEND_WCQ;
+  opt.capacity = 64;
+  queue = wfq_create_ex(&opt);
+  if (!queue) return 1;
+  for (t = 0; t < N_PRODUCERS; ++t) produced_sum[t] = 0;
+  for (t = 0; t < N_CONSUMERS; ++t) consumed_sum[t] = 0;
+
+  for (t = 0; t < N_CONSUMERS; ++t) {
+    pthread_create(&consumers[t], 0, consumer, (void*)t);
+  }
+  for (t = 0; t < N_PRODUCERS; ++t) {
+    pthread_create(&producers[t], 0, bounded_producer, (void*)t);
+  }
+  for (t = 0; t < N_PRODUCERS; ++t) pthread_join(producers[t], 0);
+  wfq_close(queue);
+  for (t = 0; t < N_CONSUMERS; ++t) pthread_join(consumers[t], 0);
+
+  for (t = 0; t < N_PRODUCERS; ++t) produced += produced_sum[t];
+  for (t = 0; t < N_CONSUMERS; ++t) consumed += consumed_sum[t];
+  printf("C API (wCQ, capacity %" PRIu64 "): conservation %s\n",
+         (uint64_t)wfq_capacity(queue),
+         produced == consumed ? "OK" : "FAILED");
+  wfq_destroy(queue);
+  return produced == consumed ? 0 : 1;
+}
+
 int main(void) {
   pthread_t producers[N_PRODUCERS];
   pthread_t consumers[N_CONSUMERS];
@@ -95,5 +151,7 @@ int main(void) {
          stats.deq_parks, stats.deq_spurious_wakeups, stats.notify_calls);
 
   wfq_destroy(queue);
-  return produced == consumed ? 0 : 1;
+  if (produced != consumed) return 1;
+
+  return bounded_backend_demo();
 }

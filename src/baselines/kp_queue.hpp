@@ -73,6 +73,9 @@ class KPQueue {
  public:
   using value_type = T;
 
+  /// Kogan-Petrank is wait-free by construction (phase-ordered helping).
+  static constexpr bool kIsWaitFree = true;
+
   /// `max_threads` bounds the state array (per-thread helping slots).
   explicit KPQueue(unsigned max_threads = 64)
       : nthreads_(max_threads), state_(max_threads) {

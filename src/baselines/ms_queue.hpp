@@ -8,7 +8,12 @@
 // The memory-reclamation scheme is a policy parameter (hazard pointers by
 // default, matching the paper's evaluation, or epoch-based reclamation) so
 // the per-operation reclamation overhead can be measured head to head —
-// the comparison behind the §3.6 overhead claim.
+// the comparison behind the §3.6 overhead claim. The parameter is a plain
+// policy *type* (HpReclaimer<2> / EbrReclaimer<2>) matching the OpGuard
+// contract documented in memory/reclaimer.hpp — it was previously a
+// template-template `template <int> class` that no documented concept
+// described, which is exactly the signature drift queue_concepts.hpp
+// exists to prevent.
 #pragma once
 
 #include <atomic>
@@ -21,7 +26,7 @@
 
 namespace wfq::baselines {
 
-template <class T, template <int> class ReclaimPolicy = HpReclaimer>
+template <class T, class ReclaimPolicy = HpReclaimer<2>>
 class MSQueue {
   struct Node {
     std::atomic<Node*> next{nullptr};
@@ -31,7 +36,7 @@ class MSQueue {
     explicit Node(T v) : value(std::move(v)) {}
   };
 
-  using Reclaim = ReclaimPolicy<2>;
+  using Reclaim = ReclaimPolicy;
 
  public:
   using value_type = T;

@@ -72,6 +72,10 @@ class SimQueue {
  public:
   using value_type = T;
 
+  /// SimQueue is wait-free: every announced op is applied within two
+  /// collect rounds of the combining loop.
+  static constexpr bool kIsWaitFree = true;
+
   explicit SimQueue(unsigned max_threads = 16)
       : nthreads_(max_threads < kMaxThreads ? max_threads : kMaxThreads),
         announce_(nthreads_),

@@ -1,11 +1,21 @@
 // Implementation of the C bindings (see wfq_c.h).
+//
+// Backend dispatch: the opaque wfq_queue_t owns a small virtual interface
+// (QueueBase) implemented once per backend by a template. One indirect call
+// per C-API operation — negligible next to the queue operation itself, and
+// it keeps the C surface identical across the unbounded WF queue and the
+// bounded SCQ/wCQ rings (capability differences surface as status codes:
+// WFQ_E_FULL only ever comes out of a bounded backend).
 #include "capi/wfq_c.h"
 
 #include <chrono>
+#include <memory>
 #include <new>
 #include <optional>
 #include <utility>
 
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
 #include "core/wf_queue_core.hpp"
 #include "obs/trace_export.hpp"
 #include "sync/blocking_queue.hpp"
@@ -13,15 +23,21 @@
 namespace {
 using Core = wfq::WFQueueCore<wfq::DefaultWfTraits>;  // reserved-value check
 
-/// The C API queue is compiled with metrics enabled (production sampling:
+/// The C API queues are compiled with metrics enabled (production sampling:
 /// 1-in-256 average latency recording, 4096-record trace rings) so
-/// and the histogram summaries work out of the box. The zero-overhead-when-
-/// disabled property is demonstrated by the NullMetrics grep target in
-/// tools/ci.sh's obs leg, not by this binding.
+/// wfq_trace_dump and the histogram summaries work out of the box. The
+/// zero-overhead-when-disabled property is demonstrated by the NullMetrics
+/// grep target in tools/ci.sh's obs leg, not by this binding.
 struct CApiTraits : wfq::DefaultWfTraits {
   using Metrics = wfq::obs::ObsMetrics<>;
 };
+struct CApiRingTraits : wfq::DefaultRingTraits {
+  using Metrics = wfq::obs::ObsMetrics<>;
+};
+
 using BQ = wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, CApiTraits>>;
+using SQ = wfq::sync::BlockingQueue<wfq::ScqQueue<uint64_t, CApiRingTraits>>;
+using WQ = wfq::sync::BlockingQueue<wfq::WcqQueue<uint64_t, CApiRingTraits>>;
 using wfq::sync::PopStatus;
 using wfq::sync::PushStatus;
 
@@ -37,51 +53,193 @@ static_assert(kExFieldCount == wfq::OpStats::kFieldCount,
               "wfq_stats_ex_t and OpStats must expand the same field table");
 static_assert(sizeof(wfq_stats_ex_t) == kExFieldCount * sizeof(uint64_t),
               "wfq_stats_ex_t must be a packed array of uint64_t counters");
+
+struct HandleBase {
+  virtual ~HandleBase() = default;
+};
+
+struct QueueBase {
+  virtual ~QueueBase() = default;
+  virtual HandleBase* acquire() = 0;
+  virtual int enqueue(HandleBase* h, uint64_t v, bool wait) = 0;
+  virtual int dequeue(HandleBase* h, uint64_t* out) = 0;
+  virtual int dequeue_wait(HandleBase* h, uint64_t* out) = 0;
+  virtual int dequeue_timed(HandleBase* h, uint64_t* out, uint64_t ns) = 0;
+  virtual int enqueue_bulk_impl(HandleBase* h, const uint64_t* vals,
+                                size_t count) = 0;
+  virtual size_t dequeue_bulk_impl(HandleBase* h, uint64_t* out,
+                                   size_t count) = 0;
+  virtual void close_queue() = 0;
+  virtual bool is_closed() const = 0;
+  virtual uint64_t approx() const = 0;
+  virtual size_t cap() const = 0;
+  virtual wfq::OpStats stats() const = 0;
+  virtual wfq::obs::ObsSnapshot snapshot() const = 0;
+};
+
+int status_code(PushStatus st) {
+  switch (st) {
+    case PushStatus::kOk:
+      return WFQ_OK;
+    case PushStatus::kClosed:
+      return WFQ_E_CLOSED;
+    case PushStatus::kNoMem:
+      return WFQ_E_NOMEM;
+    case PushStatus::kFull:
+      return WFQ_E_FULL;
+    case PushStatus::kTimeout:
+      return WFQ_E_FULL;  // only the (unused here) timed wait returns it
+  }
+  return WFQ_E_NOMEM;
+}
+
+template <class Q>
+struct QueueImpl final : QueueBase {
+  Q q;
+  template <class... Args>
+  explicit QueueImpl(Args&&... args) : q(std::forward<Args>(args)...) {}
+
+  struct H final : HandleBase {
+    typename Q::Handle h;
+    explicit H(typename Q::Handle hh) : h(std::move(hh)) {}
+  };
+  static typename Q::Handle& hof(HandleBase* b) {
+    return static_cast<H*>(b)->h;
+  }
+
+  HandleBase* acquire() override { return new H(q.get_handle()); }
+
+  int enqueue(HandleBase* b, uint64_t v, bool wait) override {
+    return status_code(wait ? q.push_wait(hof(b), v)
+                            : q.push_status(hof(b), v));
+  }
+
+  int dequeue(HandleBase* b, uint64_t* out) override {
+    std::optional<uint64_t> v = q.try_pop(hof(b));
+    if (!v) return 0;
+    *out = *v;
+    return 1;
+  }
+
+  int dequeue_wait(HandleBase* b, uint64_t* out) override {
+    uint64_t v = 0;
+    PopStatus st = q.pop_wait(hof(b), v);
+    if (st != PopStatus::kOk) return 0;  // kClosed; pop_wait never times out
+    *out = v;
+    return 1;
+  }
+
+  int dequeue_timed(HandleBase* b, uint64_t* out, uint64_t ns) override {
+    uint64_t v = 0;
+    switch (q.pop_wait_for(hof(b), v, std::chrono::nanoseconds(ns))) {
+      case PopStatus::kOk:
+        *out = v;
+        return 1;
+      case PopStatus::kTimeout:
+        return 0;
+      case PopStatus::kClosed:
+        break;
+    }
+    return -1;
+  }
+
+  int enqueue_bulk_impl(HandleBase* b, const uint64_t* vals,
+                        size_t count) override {
+    size_t committed = q.push_bulk(hof(b), vals, count);
+    if (committed == count) return WFQ_OK;
+    if (committed == 0 && q.closed()) return WFQ_E_CLOSED;
+    // A shortfall on an open queue: allocation exhaustion mid-batch on the
+    // WF backend, or a full ring on a bounded one (prefix enqueued).
+    if constexpr (requires(const Q& qq) { qq.capacity(); }) {
+      return WFQ_E_FULL;
+    } else {
+      return WFQ_E_NOMEM;
+    }
+  }
+
+  size_t dequeue_bulk_impl(HandleBase* b, uint64_t* out,
+                           size_t count) override {
+    return q.try_pop_bulk(hof(b), out, count);
+  }
+
+  void close_queue() override { q.close(); }
+  bool is_closed() const override { return q.closed(); }
+
+  uint64_t approx() const override { return q.inner().approx_size(); }
+
+  size_t cap() const override {
+    if constexpr (requires(const Q& qq) { qq.capacity(); }) {
+      return q.capacity();
+    } else {
+      return 0;
+    }
+  }
+
+  wfq::OpStats stats() const override { return q.stats(); }
+  wfq::obs::ObsSnapshot snapshot() const override { return q.collect_obs(); }
+};
+
 }  // namespace
 
-// The opaque C structs are the C++ objects themselves.
+// The opaque C structs wrap the erased backend.
 struct wfq_queue {
-  BQ q;
-  explicit wfq_queue(wfq::WfConfig cfg) : q(cfg) {}
+  std::unique_ptr<QueueBase> impl;
+  explicit wfq_queue(std::unique_ptr<QueueBase> i) : impl(std::move(i)) {}
 };
 
 struct wfq_handle {
   wfq_queue* owner;
-  BQ::Handle h;
-  wfq_handle(wfq_queue* q, BQ::Handle handle)
-      : owner(q), h(std::move(handle)) {}
+  std::unique_ptr<HandleBase> h;
+  wfq_handle(wfq_queue* q, HandleBase* handle) : owner(q), h(handle) {}
 };
 
 extern "C" {
 
-wfq_queue_t* wfq_create(unsigned patience, int64_t max_garbage) {
-  wfq::WfConfig cfg;
-  cfg.patience = patience;
-  cfg.max_garbage = max_garbage > 0 ? max_garbage : 1;
-  // Constructors allocate (segments, registries) and may throw bad_alloc;
-  // no exception may cross the extern "C" boundary — NULL means failure.
+void wfq_options_init(wfq_options_t* opt) {
+  opt->backend = WFQ_BACKEND_WF;
+  opt->patience = 10;
+  opt->max_garbage = 64;
+  opt->reserve_segments = 0;
+  opt->capacity = 1024;
+}
+
+wfq_queue_t* wfq_create_ex(const wfq_options_t* opt) {
+  // Constructors allocate (segments, rings, registries) and may throw
+  // bad_alloc; no exception may cross the extern "C" boundary — NULL means
+  // failure.
   try {
-    return new wfq_queue(cfg);
+    switch (opt->backend) {
+      case WFQ_BACKEND_WF: {
+        wfq::WfConfig cfg;
+        cfg.patience = opt->patience;
+        cfg.max_garbage = opt->max_garbage > 0 ? opt->max_garbage : 1;
+        cfg.reserve_segments = opt->reserve_segments;
+        return new wfq_queue(std::make_unique<QueueImpl<BQ>>(cfg));
+      }
+      case WFQ_BACKEND_SCQ:
+        return new wfq_queue(
+            std::make_unique<QueueImpl<SQ>>(opt->capacity));
+      case WFQ_BACKEND_WCQ:
+        return new wfq_queue(
+            std::make_unique<QueueImpl<WQ>>(opt->capacity));
+      default:
+        return nullptr;
+    }
   } catch (...) {
     return nullptr;
   }
+}
+
+wfq_queue_t* wfq_create(unsigned patience, int64_t max_garbage) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.patience = patience;
+  opt.max_garbage = max_garbage;
+  return wfq_create_ex(&opt);
 }
 
 wfq_queue_t* wfq_create_default(void) {
   return wfq_create(10, 64);
-}
-
-wfq_queue_t* wfq_create_ex(unsigned patience, int64_t max_garbage,
-                           size_t reserve_segments) {
-  wfq::WfConfig cfg;
-  cfg.patience = patience;
-  cfg.max_garbage = max_garbage > 0 ? max_garbage : 1;
-  cfg.reserve_segments = reserve_segments;
-  try {
-    return new wfq_queue(cfg);
-  } catch (...) {
-    return nullptr;
-  }
 }
 
 void wfq_destroy(wfq_queue_t* q) {
@@ -92,27 +250,28 @@ wfq_handle_t* wfq_handle_acquire(wfq_queue_t* q) {
   // get_handle()/acquire_rec() register in growable vectors and may throw;
   // catch everything so the C contract (NULL on failure) holds.
   try {
-    return new wfq_handle(q, q->q.get_handle());
+    return new wfq_handle(q, q->impl->acquire());
   } catch (...) {
     return nullptr;
   }
 }
 
 void wfq_handle_release(wfq_handle_t* h) {
-  delete h;  // BQ::Handle's RAII returns both layers' records
+  delete h;  // Handle RAII returns both layers' records
 }
 
 int wfq_enqueue(wfq_handle_t* h, uint64_t value) {
-  if (!Core::is_enqueueable(value)) return -1;
-  switch (h->owner->q.push_status(h->h, value)) {
-    case PushStatus::kOk:
-      return 0;
-    case PushStatus::kClosed:
-      return -2;
-    case PushStatus::kNoMem:
-      break;
-  }
-  return -3;
+  if (!Core::is_enqueueable(value)) return WFQ_E_RESERVED;
+  return h->owner->impl->enqueue(h->h.get(), value, /*wait=*/false);
+}
+
+int wfq_enqueue_wait(wfq_handle_t* h, uint64_t value) {
+  if (!Core::is_enqueueable(value)) return WFQ_E_RESERVED;
+  return h->owner->impl->enqueue(h->h.get(), value, /*wait=*/true);
+}
+
+size_t wfq_capacity(const wfq_queue_t* q) {
+  return q->impl->cap();
 }
 
 int wfq_dequeue(wfq_handle_t* h, uint64_t* out) {
@@ -120,81 +279,58 @@ int wfq_dequeue(wfq_handle_t* h, uint64_t* out) {
   // fresh segment under OOM) by throwing; no exception may cross the
   // extern "C" boundary.
   try {
-    std::optional<uint64_t> v = h->owner->q.try_pop(h->h);
-    if (!v) return 0;
-    *out = *v;
-    return 1;
+    return h->owner->impl->dequeue(h->h.get(), out);
   } catch (const std::bad_alloc&) {
-    return -3;
+    return WFQ_E_NOMEM;
   }
 }
 
 int wfq_dequeue_wait(wfq_handle_t* h, uint64_t* out) {
-  uint64_t v = 0;
   try {
-    PopStatus st = h->owner->q.pop_wait(h->h, v);
-    if (st != PopStatus::kOk) return 0;  // kClosed (pop_wait never times out)
-    *out = v;
-    return 1;
+    return h->owner->impl->dequeue_wait(h->h.get(), out);
   } catch (const std::bad_alloc&) {
-    return -3;
+    return WFQ_E_NOMEM;
   }
 }
 
 int wfq_dequeue_timed(wfq_handle_t* h, uint64_t* out, uint64_t timeout_ns) {
-  uint64_t v = 0;
   try {
-    PopStatus st = h->owner->q.pop_wait_for(
-        h->h, v, std::chrono::nanoseconds(timeout_ns));
-    switch (st) {
-      case PopStatus::kOk:
-        *out = v;
-        return 1;
-      case PopStatus::kTimeout:
-        return 0;
-      case PopStatus::kClosed:
-        break;
-    }
-    return -1;
+    return h->owner->impl->dequeue_timed(h->h.get(), out, timeout_ns);
   } catch (const std::bad_alloc&) {
-    return -3;
+    return WFQ_E_NOMEM;
   }
 }
 
 void wfq_close(wfq_queue_t* q) {
-  q->q.close();
+  q->impl->close_queue();
 }
 
 int wfq_is_closed(const wfq_queue_t* q) {
-  return q->q.closed() ? 1 : 0;
+  return q->impl->is_closed() ? 1 : 0;
 }
 
 int wfq_enqueue_bulk(wfq_handle_t* h, const uint64_t* values, size_t count) {
   for (size_t j = 0; j < count; ++j) {
-    if (!Core::is_enqueueable(values[j])) return -1;
+    if (!Core::is_enqueueable(values[j])) return WFQ_E_RESERVED;
   }
   if (count == 0) {
     // Preserve the all-or-nothing contract's error reporting for the
     // degenerate batch: closed beats "trivially succeeded".
-    return h->owner->q.closed() ? -2 : 0;
+    return h->owner->impl->is_closed() ? WFQ_E_CLOSED : WFQ_OK;
   }
-  size_t committed = h->owner->q.push_bulk(h->h, values, count);
-  if (committed == count) return 0;
-  // 0 committed on a closed queue is the closed fast-fail; any other
-  // shortfall is allocation exhaustion mid-batch (prefix enqueued).
-  return (committed == 0 && h->owner->q.closed()) ? -2 : -3;
+  return h->owner->impl->enqueue_bulk_impl(h->h.get(), values, count);
 }
 
 size_t wfq_dequeue_bulk(wfq_handle_t* h, uint64_t* out, size_t count) {
-  return h->owner->q.try_pop_bulk(h->h, out, count);
+  return h->owner->impl->dequeue_bulk_impl(h->h.get(), out, count);
 }
 
 uint64_t wfq_approx_size(const wfq_queue_t* q) {
-  return q->q.inner().approx_size();
+  return q->impl->approx();
 }
 
 void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out) {
-  wfq::OpStats s = q->q.stats();
+  wfq::OpStats s = q->impl->stats();
   out->enqueues = s.enqueues();
   out->dequeues = s.dequeues();
   out->slow_enqueues = s.enq_slow.load(std::memory_order_relaxed);
@@ -216,7 +352,7 @@ void wfq_get_stats(const wfq_queue_t* q, wfq_stats_t* out) {
 }
 
 void wfq_get_stats_ex(const wfq_queue_t* q, wfq_stats_ex_t* out) {
-  wfq::OpStats s = q->q.stats();
+  wfq::OpStats s = q->impl->stats();
 #define WFQ_STATS_COPY(name) \
   out->name = s.name.load(std::memory_order_relaxed);
   WFQ_STATS_FIELDS(WFQ_STATS_COPY, WFQ_STATS_COPY)
@@ -226,7 +362,7 @@ void wfq_get_stats_ex(const wfq_queue_t* q, wfq_stats_ex_t* out) {
 int wfq_trace_dump(const wfq_queue_t* q, const char* path) {
   if (path == nullptr) return -1;
   try {
-    return wfq::obs::write_chrome_trace(q->q.collect_obs(), path) ? 0 : -1;
+    return wfq::obs::write_chrome_trace(q->impl->snapshot(), path) ? 0 : -1;
   } catch (...) {
     return -1;  // snapshot allocation failure; no exception crosses the ABI
   }

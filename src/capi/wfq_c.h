@@ -1,10 +1,12 @@
 /* C89-compatible API for the wait-free queue.
  *
- * Thin bindings over wfq::sync::BlockingWFQueue<uint64_t> — the wait-free
- * queue wrapped in the blocking & lifecycle layer. Payloads are 64-bit
- * values (pointers cast to uintptr_t are the common case). Four values are
- * reserved by the queue's cell encoding and rejected by wfq_enqueue:
- * 0, UINT64_MAX, UINT64_MAX-1 and UINT64_MAX-2.
+ * Thin bindings over the blocking & lifecycle layer wrapped around one of
+ * three backends (wfq_options_t.backend): the unbounded wait-free queue
+ * (default), or the bounded-memory SCQ / wCQ rings, which add a hard
+ * capacity, WFQ_E_FULL backpressure, and wfq_enqueue_wait parking.
+ * Payloads are 64-bit values (pointers cast to uintptr_t are the common
+ * case). Four values are reserved by the queue's cell encoding and
+ * rejected by wfq_enqueue: 0, UINT64_MAX, UINT64_MAX-1 and UINT64_MAX-2.
  *
  * Out-of-memory contract: when segment allocation fails past the internal
  * retries and the pre-reserved segment pool, operations return -3 instead
@@ -39,6 +41,21 @@ extern "C" {
 typedef struct wfq_queue wfq_queue_t;
 typedef struct wfq_handle wfq_handle_t;
 
+/* Error codes shared by the enqueue family. */
+#define WFQ_OK 0
+#define WFQ_E_RESERVED (-1) /* value is one of the four reserved payloads */
+#define WFQ_E_CLOSED (-2)   /* queue closed; nothing enqueued */
+#define WFQ_E_NOMEM (-3)    /* allocation failed cleanly; retryable */
+#define WFQ_E_FULL (-4)     /* bounded backend at capacity; retry, drop,
+                             * or park via wfq_enqueue_wait */
+
+/* Queue backend selector (wfq_options_t.backend). */
+typedef enum wfq_backend {
+  WFQ_BACKEND_WF = 0,  /* unbounded wait-free queue (the paper's; default) */
+  WFQ_BACKEND_SCQ = 1, /* bounded lock-free index ring (SCQ) */
+  WFQ_BACKEND_WCQ = 2  /* bounded wait-free-enqueue ring (wCQ) */
+} wfq_backend_t;
+
 /* Create a queue. `patience` is the paper's PATIENCE knob (10 = WF-10,
  * 0 = WF-0); `max_garbage` the reclamation threshold (segments).
  * Returns NULL on allocation failure. */
@@ -47,12 +64,28 @@ wfq_queue_t* wfq_create(unsigned patience, int64_t max_garbage);
 /* Create with the defaults (PATIENCE = 10, MAX_GARBAGE = 64). */
 wfq_queue_t* wfq_create_default(void);
 
-/* Create with every knob exposed. `reserve_segments` pre-allocates that
- * many spare segments at construction; they back the OOM fallback path
- * (operations dip into the reserve when live allocation fails, and freed
- * segments refill it). 0 disables the reserve. */
-wfq_queue_t* wfq_create_ex(unsigned patience, int64_t max_garbage,
-                           size_t reserve_segments);
+/* Every construction knob, including the backend selector. Always
+ * initialize with wfq_options_init first so newly added fields keep their
+ * defaults. Fields are read only by the backend they apply to. */
+typedef struct wfq_options {
+  int backend;             /* wfq_backend_t; WFQ_BACKEND_WF by default */
+  unsigned patience;       /* WF: extra fast-path attempts before helping */
+  int64_t max_garbage;     /* WF: retired segments before reclamation */
+  size_t reserve_segments; /* WF: pre-allocated OOM reserve pool
+                            * (operations dip into it when live allocation
+                            * fails; freed segments refill it; 0 disables) */
+  size_t capacity;         /* SCQ/WCQ: hard element bound, rounded up to a
+                            * power of two. Must be >= the number of threads
+                            * operating concurrently (ring precondition). */
+} wfq_options_t;
+
+/* Fill `opt` with the defaults (WF backend, PATIENCE 10, MAX_GARBAGE 64,
+ * no reserve, capacity 1024 for callers that switch the backend). */
+void wfq_options_init(wfq_options_t* opt);
+
+/* Create from an options struct. Returns NULL on allocation failure or an
+ * unknown backend value. */
+wfq_queue_t* wfq_create_ex(const wfq_options_t* opt);
 
 /* Destroy the queue. All handles must have been released. */
 void wfq_destroy(wfq_queue_t* q);
@@ -61,12 +94,25 @@ void wfq_destroy(wfq_queue_t* q);
 wfq_handle_t* wfq_handle_acquire(wfq_queue_t* q);
 void wfq_handle_release(wfq_handle_t* h);
 
-/* Enqueue `value`. Returns 0 on success, -1 if `value` is one of the four
- * reserved payloads, -2 if the queue is closed, -3 if segment allocation
- * failed (nothing enqueued in any failure case; -3 is retryable).
- * Wait-free; with no blocked consumer the closed-check and wakeup-check
- * add no fence on x86. */
+/* Enqueue `value`. Returns WFQ_OK on success, WFQ_E_RESERVED if `value`
+ * is one of the four reserved payloads, WFQ_E_CLOSED if the queue is
+ * closed, WFQ_E_NOMEM if segment allocation failed, or — bounded backends
+ * only — WFQ_E_FULL when the ring is at capacity (nothing enqueued in any
+ * failure case; WFQ_E_NOMEM and WFQ_E_FULL are retryable). Never blocks;
+ * with no blocked consumer the closed-check and wakeup-check add no fence
+ * on x86. */
 int wfq_enqueue(wfq_handle_t* h, uint64_t value);
+
+/* Blocking enqueue: on a bounded backend, parks on a futex while the ring
+ * is full until a consumer frees space or the queue closes — the producer
+ * mirror of wfq_dequeue_wait. Returns WFQ_OK, WFQ_E_RESERVED, WFQ_E_CLOSED
+ * or WFQ_E_NOMEM; never WFQ_E_FULL. On the unbounded WF backend this is
+ * exactly wfq_enqueue. */
+int wfq_enqueue_wait(wfq_handle_t* h, uint64_t value);
+
+/* Hard element bound of a bounded backend (the rounded-up capacity), or 0
+ * for the unbounded WF backend. */
+size_t wfq_capacity(const wfq_queue_t* q);
 
 /* Dequeue into *out. Returns 1 on success, 0 if the queue was observed
  * empty (linearizable EMPTY; says nothing about closure), -3 if segment

@@ -56,6 +56,12 @@
   F(reserve_pool_hits) /* allocations served by the reserve pool */          \
   F(oom_rescues)       /* deposits retracted from debt-parked cells and */   \
                        /* re-enqueued (conservation under OOM) */            \
+  /* Bounded backends (PR 6: SCQ/wCQ rings + the BoundedQueue contract). */  \
+  /* enq_full counts try_enqueue attempts that observed a full queue; */     \
+  /* push_full_parks counts producers that slept on it (BlockingQueue's */   \
+  /* push_wait, the producer-side mirror of deq_parks). */                   \
+  F(enq_full)          /* try_enqueue returned kFull */                      \
+  F(push_full_parks)   /* producer futex sleeps on a full queue */           \
   /* Empirical wait-freedom bound (section 4): cells probed (find_cell */    \
   /* calls) per operation. Wait-freedom means max probes stays bounded */    \
   /* by a function of the thread count, never by the run length. */          \

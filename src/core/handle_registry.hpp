@@ -1,0 +1,163 @@
+// Shared handle-registration scaffolding for every backend whose threads
+// operate through registered, ring-linked handles.
+//
+// Before this header, two copies of the same machinery existed:
+// SegmentQueueBase (the simple baselines) and WFQueueCore (~50 lines of
+// hand-copied duplicate, diverged by obs-id assignment, recycled-handle
+// hardening asserts and orphan-adoption-aware release). The registry owns
+// the parts that are genuinely common:
+//
+//   - the handle freelist (handles are recycled, never unlinked: a helping
+//     peer pointer or a cleaner's ring scan must never dangle),
+//   - the owning vector of all handles ever created (stable addresses,
+//     stats/obs aggregation, destructor sweeps),
+//   - the ring link protocol: a new handle becomes visible to ring readers
+//     with a single release store, after all of its fields — including any
+//     queue-specific state wired by the `at_link` hook — are initialized,
+//   - the frontier exclusion: attach + lock_frontier around the capture and
+//     link, so a cleaner can never free a segment between a new handle
+//     capturing it and the handle becoming visible in the ring (the PR 1
+//     reclamation invariant, preserved verbatim — see docs/ALGORITHM.md
+//     §13).
+//
+// The parts that differ per queue stay with the queue, passed in as hooks
+// that run *under the registry lock*:
+//
+//   acquire(on_recycle, pre_attach, at_link)
+//     on_recycle(h)       recycled handle about to be handed out (hardening
+//                         asserts live here)
+//     pre_attach(h, idx)  brand-new handle, before Reclaim::attach; idx is
+//                         its 0-based creation index (obs ids derive from
+//                         it)
+//     at_link(h, after)   inside the frontier lock, before the publishing
+//                         store; `after` is the handle that will follow h in
+//                         the ring (h itself when the ring was empty) —
+//                         helping peers and segment-pointer capture go here
+//   release(h, on_release)
+//     on_release(h)       under the lock, before the freelist push — the
+//                         orphan-adoption check (PR 4) lives here
+//
+// `Reclaim` is the segment-reclamation policy bound to the owning queue's
+// SegmentList (a no-op policy for ring backends, which have no segments but
+// keep the same registration discipline).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace wfq {
+
+template <class Handle, class Reclaim>
+class HandleRegistry {
+ public:
+  explicit HandleRegistry(Reclaim& rcl) : rcl_(rcl) {}
+
+  HandleRegistry(const HandleRegistry&) = delete;
+  HandleRegistry& operator=(const HandleRegistry&) = delete;
+
+  /// Hand out a handle: recycled from the freelist, or newly created,
+  /// attached to the reclamation policy and published into the ring. See
+  /// the header comment for the three hooks; all run under the lock.
+  template <class OnRecycle, class PreAttach, class AtLink>
+  Handle* acquire(OnRecycle&& on_recycle, PreAttach&& pre_attach,
+                  AtLink&& at_link) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (free_ != nullptr) {
+      Handle* h = free_;
+      free_ = h->next_free;
+      h->next_free = nullptr;
+      on_recycle(h);
+      return h;
+    }
+    auto owned = std::make_unique<Handle>();
+    Handle* h = owned.get();
+    pre_attach(h, all_.size());
+    rcl_.attach(h);
+    // Exclude concurrent cleaners while capturing frontier-dependent state
+    // (the queue's current first segment) and wiring the ring: otherwise a
+    // captured pointer could be freed between the read and the link
+    // becoming visible.
+    int64_t oid = rcl_.lock_frontier();
+    Handle* anchor = ring_.load(std::memory_order_relaxed);
+    Handle* after =
+        anchor == nullptr ? h : anchor->next.load(std::memory_order_relaxed);
+    h->next.store(after, std::memory_order_relaxed);
+    at_link(h, after);
+    // The publishing store: everything written above (h's own fields, the
+    // hook's writes) becomes visible to ring readers no later than h does.
+    if (anchor == nullptr) {
+      ring_.store(h, std::memory_order_release);
+    } else {
+      anchor->next.store(h, std::memory_order_release);
+    }
+    rcl_.unlock_frontier(oid);
+    all_.push_back(std::move(owned));
+    return h;
+  }
+
+  /// Return a handle to the freelist; `on_release` runs first, under the
+  /// lock (adoption of leaked operations happens there).
+  template <class OnRelease>
+  void release(Handle* h, OnRelease&& on_release) {
+    std::lock_guard<std::mutex> g(mu_);
+    on_release(h);
+    h->next_free = free_;
+    free_ = h;
+  }
+
+  void release(Handle* h) {
+    release(h, [](Handle*) {});
+  }
+
+  /// Run `f` under the registry lock — for operations that must be mutually
+  /// exclusive with acquire/release/adoption (WFQueueCore::adopt_handle).
+  template <class F>
+  decltype(auto) with_lock(F&& f) {
+    std::lock_guard<std::mutex> g(mu_);
+    return f();
+  }
+
+  /// Visit every handle ever created (registered or on the freelist), under
+  /// the lock. Aggregation (stats, obs snapshots) and destructor sweeps.
+  template <class F>
+  void for_each(F&& f) const {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& h : all_) f(h.get());
+  }
+
+  /// Handles ever created (not the number currently registered).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return all_.size();
+  }
+
+ private:
+  Reclaim& rcl_;
+  std::atomic<Handle*> ring_{nullptr};  ///< any handle in the ring
+  mutable std::mutex mu_;
+  Handle* free_ = nullptr;
+  std::vector<std::unique_ptr<Handle>> all_;
+};
+
+/// No-op reclamation policy for backends with nothing to reclaim (the
+/// bounded rings: all storage is allocated at construction). Satisfies the
+/// slice of the ReclaimPolicy surface HandleRegistry touches, so ring
+/// backends share the exact registration discipline of the segment queues.
+struct NullReclaim {
+  static constexpr const char* kName = "none";
+  struct PerHandle {};
+  template <class Handle>
+  void attach(Handle*) noexcept {}
+  int64_t lock_frontier() noexcept { return 0; }
+  void unlock_frontier(int64_t) noexcept {}
+  template <class Handle>
+  bool op_active(const Handle*) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace wfq

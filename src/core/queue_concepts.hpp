@@ -1,0 +1,135 @@
+// The library's queue contract, as the compiler sees it.
+//
+// Until now the "ConcurrentQueue concept" existed only as comments in
+// harness/runner.hpp and tests/support/queue_test_util.hpp — every driver,
+// bench contender, soak mode and property test re-stated it informally and
+// drifted independently. This header is the single formal statement:
+//
+//   ConcurrentQueue  get_handle / enqueue / optional-dequeue — the surface
+//                    every backend (the wait-free queue, the seven Figure-2
+//                    baselines, the bounded family) presents to drivers.
+//   BulkQueue        + enqueue_bulk / dequeue_bulk (batched FAA span ops).
+//   BoundedQueue     + try_enqueue -> EnqueueResult and capacity(): the
+//                    backpressure contract the SCQ/wCQ rings introduce and
+//                    BlockingQueue's push_wait parks on.
+//
+// QueueCaps is the runtime-queryable mirror (capability table in
+// docs/API.md): what a generic layer can dispatch on when `if constexpr`
+// over the concepts is not enough (the C API's backend selector, the soak's
+// backend table). Capabilities are *detected* from the type where possible
+// (has_bulk, has_stats, is_bounded) and *declared* where they are semantic
+// claims the compiler cannot check (is_wait_free — progress guarantees do
+// not type-check; a queue asserts kIsWaitFree and the waitfreedom bench
+// holds it to that).
+//
+// Every backend is static_assert-ed against these concepts in
+// tests/core/queue_concepts_test.cpp and (per-entry) in the typed backend
+// list of tests/integration/all_queues_property_test.cpp, so a signature
+// regression is a compile error, not a 2am soak failure.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace wfq {
+
+/// Result of a bounded enqueue attempt. kFull is a *state*, not an error:
+/// the queue is at capacity and the caller owns the backpressure decision
+/// (retry, drop, or park via BlockingQueue::push_wait). kNoMem is reserved
+/// for backends whose enqueue can fail allocation (segment queues under the
+/// OOM protocol); ring backends never return it.
+enum class EnqueueResult : int {
+  kOk = 0,
+  kFull = 1,
+  kNoMem = 2,
+};
+
+/// The minimal MPMC queue surface shared by every backend in the library.
+///
+///   - `value_type`: element type.
+///   - `Handle`: per-thread access token, obtained from get_handle() and
+///     movable (many backends' handles are move-only RAII). One handle per
+///     thread; handles are not shared concurrently.
+///   - `enqueue(h, v)`: inserts v. Return type is backend-specific (void
+///     for most; WFQueue returns bool under the OOM protocol) — drivers
+///     that need a uniform answer use try_enqueue on BoundedQueue or treat
+///     the call as fire-and-forget.
+///   - `dequeue(h)`: optional<value_type>; nullopt linearizes as EMPTY.
+template <class Q>
+concept ConcurrentQueue =
+    requires(Q& q, typename Q::Handle& h, typename Q::value_type v) {
+      typename Q::value_type;
+      typename Q::Handle;
+      { q.get_handle() } -> std::same_as<typename Q::Handle>;
+      q.enqueue(h, std::move(v));
+      { q.dequeue(h) } -> std::same_as<std::optional<typename Q::value_type>>;
+    };
+
+/// Batched extension: a backend that can amortize its synchronization over
+/// k-element spans. enqueue_bulk's return type is backend-specific (void on
+/// the unbounded baselines, size_t on WFQueue where the OOM protocol can
+/// shorten a batch); dequeue_bulk always reports how many items landed.
+template <class Q>
+concept BulkQueue =
+    ConcurrentQueue<Q> &&
+    requires(Q& q, typename Q::Handle& h, typename Q::value_type* out,
+             const typename Q::value_type* in, std::size_t n) {
+      q.enqueue_bulk(h, in, n);
+      { q.dequeue_bulk(h, out, n) } -> std::convertible_to<std::size_t>;
+    };
+
+/// Bounded extension: capacity is a hard, pre-allocated limit and full is
+/// an observable state. Contract:
+///   - `capacity()`: the configured bound; the queue never holds more than
+///     this many elements and never allocates past its construction-time
+///     footprint.
+///   - `try_enqueue(h, v)`: kOk or kFull, never blocks, never drops.
+///   - `enqueue(h, v)` (from ConcurrentQueue) on a bounded backend is the
+///     backpressure-blocking convenience: it retries try_enqueue until
+///     space appears. Non-blocking callers use try_enqueue; parking callers
+///     use BlockingQueue::push_wait.
+template <class Q>
+concept BoundedQueue =
+    ConcurrentQueue<Q> &&
+    requires(Q& q, typename Q::Handle& h, typename Q::value_type v) {
+      { q.try_enqueue(h, std::move(v)) } -> std::same_as<EnqueueResult>;
+      { q.capacity() } -> std::convertible_to<std::size_t>;
+    };
+
+/// Capability summary for one backend — the runtime mirror of the concepts
+/// above, for layers that tabulate backends (docs/API.md's matrix, the C
+/// API selector, soak's --backend table) rather than template over them.
+struct QueueCaps {
+  bool is_wait_free = false;  ///< per-op step bound (declared, not detected)
+  bool is_bounded = false;    ///< models BoundedQueue
+  bool has_bulk = false;      ///< models BulkQueue
+  bool has_stats = false;     ///< exposes OpStats via stats()
+};
+
+namespace detail {
+template <class Q>
+concept HasStats = requires(const Q& q) { q.stats(); };
+template <class Q>
+concept DeclaresWaitFree = requires { { Q::kIsWaitFree } -> std::convertible_to<bool>; };
+}  // namespace detail
+
+/// Detected + declared capabilities of Q. is_wait_free comes from a
+/// `static constexpr bool kIsWaitFree` member (absent == false): progress
+/// guarantees are semantic claims, so a backend must opt in explicitly.
+template <class Q>
+constexpr QueueCaps queue_caps() {
+  QueueCaps c;
+  c.is_bounded = BoundedQueue<Q>;
+  c.has_bulk = BulkQueue<Q>;
+  c.has_stats = detail::HasStats<Q>;
+  if constexpr (detail::DeclaresWaitFree<Q>) c.is_wait_free = Q::kIsWaitFree;
+  return c;
+}
+
+template <class Q>
+inline constexpr QueueCaps kQueueCaps = queue_caps<Q>();
+
+}  // namespace wfq

@@ -1,0 +1,585 @@
+// SCQ — the Scalable Circular Queue (Nikolaev, DISC'19; arXiv:1908.04511),
+// the portable single-width-CAS member of the bounded family.
+//
+// Two index rings of 2n entries each (fq = free indices, aq = allocated
+// indices) plus a data array of n slots: the SCQD construction from the
+// paper. Each ring entry packs, in one 64-bit word the platform can CAS
+// without CAS2:
+//
+//     [ cycle | is_safe (1 bit) | index (lg 2n bits, low) ]
+//
+// The index field sits in the LOW bits so a dequeue can *consume* an entry
+// with one fetch_or that sets the index to ⊥ (all-ones) while preserving
+// the cycle and safe bits — the paper's OR trick, which is what makes the
+// consume unconditional (no CAS retry on the hot dequeue path).
+//
+// Livelock freedom on enqueue comes from the ring being twice the capacity:
+// at most n indices are ever live, so a fetch_add on tail reaches a usable
+// entry within a bounded number of tickets. Dequeue termination on an empty
+// queue comes from the `threshold` counter (reset to 3n-1 by every
+// successful enqueue, decremented by every failed dequeue transition): when
+// it drops below zero the queue was linearizably empty. Section 13 of
+// docs/ALGORITHM.md walks through both arguments.
+//
+// Progress: lock-free, not wait-free — a dequeuer can push an enqueuer's
+// ticket into a retry (bounded only by the threshold/2n structure, not by
+// the thread count). The wait-free bounded sibling is core/wcq.hpp, which
+// layers wCQ-style slow-path helping over these same rings.
+//
+// Plumbing: handles register through the same HandleRegistry discipline as
+// every other backend (with NullReclaim — all storage is allocated at
+// construction, capacity() is a hard bound and footprint_bytes() is exact),
+// stats flow through the OpStats X-macro fields, fault injection and
+// metrics ride the Traits seams unchanged.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "common/align.hpp"
+#include "common/atomics.hpp"
+#include "core/handle_registry.hpp"
+#include "core/op_stats.hpp"
+#include "core/queue_concepts.hpp"
+#include "core/slot_codec.hpp"
+#include "harness/fault_inject.hpp"
+#include "obs/metrics.hpp"
+
+namespace wfq {
+
+/// Traits for the ring backends when the full DefaultWfTraits (segment
+/// sizing, reclamation policy) is irrelevant. Any WF traits type works too:
+/// the rings read only Faa / kCollectStats / Injector / Metrics, each with
+/// a detected default, so pre-existing custom traits compile unchanged.
+struct DefaultRingTraits {
+  static constexpr bool kCollectStats = true;
+  using Faa = NativeFaa;
+};
+
+namespace detail {
+
+template <class Traits, class = void>
+struct RingFaaOf {
+  using type = NativeFaa;
+};
+template <class Traits>
+struct RingFaaOf<Traits, std::void_t<typename Traits::Faa>> {
+  using type = typename Traits::Faa;
+};
+
+template <class Traits, class = void>
+struct RingCollectStats : std::true_type {};
+template <class Traits>
+struct RingCollectStats<Traits, std::void_t<decltype(Traits::kCollectStats)>>
+    : std::bool_constant<Traits::kCollectStats> {};
+
+/// Smallest power of two >= v (v >= 1).
+constexpr std::size_t ceil_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+constexpr unsigned log2_pow2(std::size_t v) {
+  unsigned lg = 0;
+  while ((std::size_t{1} << lg) < v) ++lg;
+  return lg;
+}
+
+}  // namespace detail
+
+/// One SCQ ring of indices in [0, capacity): the paper's Figure 7 algorithm
+/// with the threshold extension. Used twice per value queue (fq/aq) and
+/// reused by the wCQ backend for its free-index side.
+template <class Traits = DefaultRingTraits>
+class ScqRing {
+ public:
+  using Faa = typename detail::RingFaaOf<Traits>::type;
+
+  /// `capacity` must be a power of two; the ring itself has 2*capacity
+  /// entries (the 2n trick that bounds enqueue retries).
+  explicit ScqRing(std::size_t capacity)
+      : n_(capacity),
+        ring_(2 * capacity),
+        lg_ring_(detail::log2_pow2(2 * capacity)),
+        entries_(new std::atomic<uint64_t>[2 * capacity]) {
+    assert(n_ >= 1 && (n_ & (n_ - 1)) == 0 && "capacity must be a power of 2");
+    init_empty();
+  }
+
+  ScqRing(const ScqRing&) = delete;
+  ScqRing& operator=(const ScqRing&) = delete;
+
+  /// Empty ring: every entry (cycle 0, safe, ⊥); head = tail = 2n so live
+  /// tickets carry cycle >= 1 and always dominate the initial entries;
+  /// threshold negative = observably empty without touching head.
+  void init_empty() {
+    for (std::size_t j = 0; j < ring_; ++j) {
+      entries_[j].store(pack(0, true, bot()), std::memory_order_relaxed);
+    }
+    head_->store(ring_, std::memory_order_relaxed);
+    tail_->store(ring_, std::memory_order_relaxed);
+    threshold_->store(-1, std::memory_order_relaxed);
+  }
+
+  /// Full ring holding indices 0..n-1 in order (the initial free list):
+  /// positions 0..n-1 hold (cycle 1, safe, j) — consumable by head tickets
+  /// 2n..3n-1 (cycle 1) — and tail starts at 3n, whose tickets (cycle 1,
+  /// positions n..) land on the (cycle 0, ⊥) upper half.
+  void init_full() {
+    for (std::size_t j = 0; j < n_; ++j) {
+      entries_[remap(j)].store(pack(1, true, uint64_t(j)),
+                               std::memory_order_relaxed);
+    }
+    for (std::size_t j = n_; j < ring_; ++j) {
+      entries_[remap(j)].store(pack(0, true, bot()), std::memory_order_relaxed);
+    }
+    head_->store(ring_, std::memory_order_relaxed);
+    tail_->store(ring_ + n_, std::memory_order_relaxed);
+    threshold_->store(threshold_reset(), std::memory_order_relaxed);
+  }
+
+  /// Insert index `idx` (< capacity). Never fails when at most `capacity`
+  /// indices circulate (the SCQD usage); `probes` accumulates ticket
+  /// attempts for the OpStats probe counters.
+  void enqueue(uint64_t idx, uint64_t& probes) noexcept {
+    assert(idx < n_);
+    for (;;) {
+      ++probes;
+      const uint64_t t =
+          Faa::fetch_add(*tail_, 1, std::memory_order_seq_cst);
+      WFQ_INJECT(Traits, "ring_enq_faa");
+      const uint64_t cyc = t >> lg_ring_;
+      const std::size_t j = remap(t);
+      uint64_t e = entries_[j].load(std::memory_order_acquire);
+      for (;;) {
+        // An unsafe entry is reusable only while Head <= T: then the
+        // dequeuer ticket for this cycle has not been issued yet, so the
+        // installed value is guaranteed a future consumer. (Head past T
+        // means that dequeuer may already have scanned and left.)
+        if (!(cycle_of(e) < cyc && idx_of(e) == bot() &&
+              (safe_of(e) ||
+               int64_t(head_->load(std::memory_order_seq_cst) - t) <= 0))) {
+          break;  // entry unusable at this ticket: take another
+        }
+        if (entries_[j].compare_exchange_weak(e, pack(cyc, true, idx),
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_acquire)) {
+          // Revive empty-side dequeuers: a value exists, so the failed-
+          // transition budget goes back to its maximum (paper Fig 7).
+          if (threshold_->load(std::memory_order_seq_cst) !=
+              threshold_reset()) {
+            threshold_->store(threshold_reset(), std::memory_order_seq_cst);
+          }
+          return;
+        }
+        // CAS refreshed `e`; re-evaluate the same ticket.
+      }
+    }
+  }
+
+  /// Remove the oldest index into `*out`. False <=> observed empty.
+  bool dequeue(uint64_t* out, uint64_t& probes) noexcept {
+    if (threshold_->load(std::memory_order_seq_cst) < 0) {
+      return false;  // empty fast path: no ticket burned
+    }
+    for (;;) {
+      ++probes;
+      const uint64_t h =
+          Faa::fetch_add(*head_, 1, std::memory_order_seq_cst);
+      WFQ_INJECT(Traits, "ring_deq_faa");
+      const uint64_t cyc = h >> lg_ring_;
+      const std::size_t j = remap(h);
+      uint64_t e = entries_[j].load(std::memory_order_acquire);
+      for (;;) {
+        const uint64_t ecyc = cycle_of(e);
+        if (ecyc == cyc) {
+          // Consume: one unconditional OR sets the index to ⊥, preserving
+          // cycle and safe. Only this ticket's owner can have a matching
+          // cycle, so the pre-OR index is ours.
+          const uint64_t prev =
+              entries_[j].fetch_or(idx_mask(), std::memory_order_acq_rel);
+          assert(idx_of(prev) != bot() && "consume raced a same-cycle ⊥");
+          *out = idx_of(prev);
+          return true;
+        }
+        if (ecyc < cyc) {
+          // Our ticket overtook this entry. ⊥-entries advance to our cycle
+          // (keeping safe); occupied entries are marked unsafe so a slower
+          // enqueuer of that stale cycle cannot be consumed out of order.
+          const uint64_t ne = idx_of(e) == bot()
+                                  ? pack(cyc, safe_of(e), bot())
+                                  : (e & ~safe_mask());
+          if (ne != e &&
+              !entries_[j].compare_exchange_weak(e, ne,
+                                                 std::memory_order_seq_cst,
+                                                 std::memory_order_acquire)) {
+            continue;  // entry moved; re-examine it
+          }
+        }
+        break;
+      }
+      // No value at this ticket: empty-detect before retrying.
+      const uint64_t t = tail_->load(std::memory_order_seq_cst);
+      if (int64_t(t - (h + 1)) <= 0) {
+        catchup(t, h + 1);
+        threshold_->fetch_sub(1, std::memory_order_seq_cst);
+        return false;
+      }
+      if (threshold_->fetch_sub(1, std::memory_order_seq_cst) <= 0) {
+        return false;
+      }
+    }
+  }
+
+  std::size_t capacity() const noexcept { return n_; }
+
+  /// tail - head clamped to [0, capacity]: a heuristic occupancy count
+  /// (tickets in flight make it approximate, like WFQueueCore::approx_size).
+  std::size_t approx_size() const noexcept {
+    const uint64_t t = tail_->load(std::memory_order_acquire);
+    const uint64_t h = head_->load(std::memory_order_acquire);
+    const int64_t d = int64_t(t - h);
+    if (d <= 0) return 0;
+    return std::size_t(d) < n_ ? std::size_t(d) : n_;
+  }
+
+  std::size_t footprint_bytes() const noexcept {
+    return ring_ * sizeof(std::atomic<uint64_t>) + 3 * kCacheLineSize;
+  }
+
+ private:
+  uint64_t bot() const noexcept { return idx_mask(); }
+  uint64_t idx_mask() const noexcept { return (uint64_t{1} << lg_ring_) - 1; }
+  uint64_t safe_mask() const noexcept { return uint64_t{1} << lg_ring_; }
+  uint64_t pack(uint64_t cycle, bool safe, uint64_t idx) const noexcept {
+    return (cycle << (lg_ring_ + 1)) | (uint64_t(safe) << lg_ring_) | idx;
+  }
+  uint64_t cycle_of(uint64_t e) const noexcept { return e >> (lg_ring_ + 1); }
+  bool safe_of(uint64_t e) const noexcept { return (e & safe_mask()) != 0; }
+  uint64_t idx_of(uint64_t e) const noexcept { return e & idx_mask(); }
+  int64_t threshold_reset() const noexcept { return int64_t(3 * n_) - 1; }
+
+  /// Spread consecutive ring positions one cache line apart (3-bit rotate:
+  /// 8 entries of 8 bytes per 64-byte line) so the FAA-ticket stream does
+  /// not serialize on a single line. Identity for tiny rings.
+  std::size_t remap(uint64_t pos) const noexcept {
+    const uint64_t i = pos & (ring_ - 1);
+    if (lg_ring_ <= 3) return std::size_t(i);
+    return std::size_t(((i << 3) | (i >> (lg_ring_ - 3))) & (ring_ - 1));
+  }
+
+  /// Drag tail up to head after an empty observation so stale tickets do
+  /// not make later dequeuers spin (paper's catchup).
+  void catchup(uint64_t t, uint64_t h) noexcept {
+    while (!tail_->compare_exchange_weak(t, h, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed)) {
+      h = head_->load(std::memory_order_seq_cst);
+      t = tail_->load(std::memory_order_seq_cst);
+      if (int64_t(t - h) >= 0) return;
+    }
+  }
+
+  const std::size_t n_;        ///< capacity (power of two)
+  const std::size_t ring_;     ///< 2n entries
+  const unsigned lg_ring_;     ///< log2(ring_)
+  std::unique_ptr<std::atomic<uint64_t>[]> entries_;
+  CacheAligned<std::atomic<uint64_t>> head_;
+  CacheAligned<std::atomic<uint64_t>> tail_;
+  CacheAligned<std::atomic<int64_t>> threshold_;
+};
+
+/// The SCQD value queue: fq (free indices, starts full) + aq (allocated
+/// indices, starts empty) + n data slots. try_enqueue moves an index
+/// fq -> data -> aq; dequeue moves it back. Bounded: holds at most
+/// `capacity` values and never allocates after construction.
+///
+/// Precondition (from the paper): `capacity` must be at least the number
+/// of threads operating concurrently. The threshold (3n-1) empty-detection
+/// argument counts the holes at most n in-flight operations can leave
+/// between head and a live entry; with more threads than capacity a
+/// dequeuer can exhaust the threshold before reaching a value and report
+/// EMPTY with the value still in the ring. The ctor rounds capacity up to
+/// a power of two, which usually absorbs small thread counts, but callers
+/// own the bound.
+template <class T, class Traits = DefaultRingTraits>
+class ScqQueue {
+  using Codec = SlotCodec<T>;
+  using Metrics = obs::MetricsOf<Traits>;
+
+ public:
+  using value_type = T;
+  using Traits_ = Traits;
+  static constexpr const char* kName = "scq";
+  /// Lock-free only: an enqueue ticket can be invalidated by concurrent
+  /// dequeuers without bound in thread count (the gap wCQ closes).
+  static constexpr bool kIsWaitFree = false;
+  static constexpr bool kCollectStats = detail::RingCollectStats<Traits>::value;
+
+  /// Per-thread registration record. Ring backends need no per-thread
+  /// algorithmic state — the record exists for the shared registration
+  /// discipline: owner-local stats, obs histograms, stable ring membership.
+  struct Rec {
+    std::atomic<Rec*> next{nullptr};
+    OpStats stats;
+    typename Metrics::PerHandle obs;
+    Rec* next_free = nullptr;
+  };
+
+  /// RAII per-thread access token (the library-wide Handle shape).
+  class HandleGuard {
+   public:
+    explicit HandleGuard(ScqQueue& q) : q_(&q), h_(q.register_handle()) {}
+    ~HandleGuard() {
+      if (h_ != nullptr) q_->release_handle(h_);
+    }
+    HandleGuard(HandleGuard&& o) noexcept : q_(o.q_), h_(o.h_) {
+      o.h_ = nullptr;
+    }
+    HandleGuard(const HandleGuard&) = delete;
+    HandleGuard& operator=(const HandleGuard&) = delete;
+    Rec* get() const noexcept { return h_; }
+    Rec* operator->() const noexcept { return h_; }
+
+   private:
+    ScqQueue* q_;
+    Rec* h_;
+  };
+  using Handle = HandleGuard;
+
+  /// `capacity` is rounded up to a power of two (the hard bound reported by
+  /// capacity()). All memory — both rings and the slot array — is allocated
+  /// here and freed only by the destructor.
+  explicit ScqQueue(std::size_t capacity = kDefaultCapacity)
+      : n_(detail::ceil_pow2(capacity < 2 ? 2 : capacity)),
+        fq_(n_),
+        aq_(n_),
+        data_(new std::atomic<uint64_t>[n_]),
+        registry_(nrcl_) {
+    fq_.init_full();
+    aq_.init_empty();
+  }
+
+  ScqQueue(const ScqQueue&) = delete;
+  ScqQueue& operator=(const ScqQueue&) = delete;
+
+  ~ScqQueue() {
+    // Drain still-encoded payloads (boxed codecs own heap memory).
+    uint64_t idx = 0;
+    uint64_t probes = 0;
+    while (aq_.dequeue(&idx, probes)) {
+      Codec::destroy_slot(data_[idx].load(std::memory_order_relaxed));
+    }
+  }
+
+  Handle get_handle() { return Handle(*this); }
+
+  /// kOk or kFull; never blocks, never allocates. The free index is
+  /// reserved *before* the value is encoded, so on kFull `v` is left
+  /// untouched — callers can park and retry without keeping a copy.
+  EnqueueResult try_enqueue(Handle& h, T&& v) {
+    Rec* r = h.get();
+    const uint64_t t0 = obs_start(r);
+    uint64_t idx = 0;
+    uint64_t probes = 0;
+    if (!acquire_index(r, &idx, &probes)) return EnqueueResult::kFull;
+    publish_index(r, idx, Codec::encode(std::move(v)), probes, t0);
+    return EnqueueResult::kOk;
+  }
+  EnqueueResult try_enqueue(Handle& h, const T& v) {
+    T copy = v;
+    return try_enqueue(h, std::move(copy));
+  }
+
+  /// Backpressure-blocking convenience (the BoundedQueue contract for
+  /// `enqueue`): spins with backoff until space appears. Parking callers
+  /// use BlockingQueue::push_wait instead.
+  void enqueue(Handle& h, T v) {
+    Backoff backoff;
+    unsigned spins = 0;
+    while (try_enqueue(h, std::move(v)) != EnqueueResult::kOk) {
+      // Yield once backoff saturates: on an oversubscribed machine the
+      // consumer that would free a slot may share our core, and spinning
+      // through a scheduler quantum starves it.
+      if (++spins >= 16) {
+        std::this_thread::yield();
+      } else {
+        backoff.pause();
+      }
+    }
+  }
+
+  /// Oldest value, or nullopt <=> linearizably empty (threshold witness).
+  std::optional<T> dequeue(Handle& h) {
+    Rec* r = h.get();
+    const uint64_t t0 = obs_start(r);
+    uint64_t idx = 0;
+    uint64_t probes = 0;
+    if (!aq_.dequeue(&idx, probes)) {
+      if constexpr (kCollectStats) {
+        r->stats.deq_empty.fetch_add(1, std::memory_order_relaxed);
+        note_probes(r->stats.deq_probes, r->stats.max_deq_probes, probes);
+      }
+      return std::nullopt;
+    }
+    const uint64_t slot = data_[idx].load(std::memory_order_relaxed);
+    fq_.enqueue(idx, probes);
+    if constexpr (kCollectStats) {
+      r->stats.deq_fast.fetch_add(1, std::memory_order_relaxed);
+      note_probes(r->stats.deq_probes, r->stats.max_deq_probes, probes);
+    }
+    obs_record_deq(r, t0);
+    return Codec::decode(slot);
+  }
+
+  /// The configured hard bound (rounded-up constructor argument).
+  std::size_t capacity() const noexcept { return n_; }
+
+  /// Heuristic occupancy of the value ring.
+  std::size_t approx_size() const noexcept { return aq_.approx_size(); }
+
+  /// Exact bytes this queue will ever own: fixed at construction — the
+  /// bounded-memory claim the stall soak asserts against.
+  std::size_t footprint_bytes() const noexcept {
+    return sizeof(ScqQueue) + fq_.footprint_bytes() + aq_.footprint_bytes() +
+           n_ * sizeof(std::atomic<uint64_t>);
+  }
+
+  OpStats stats() const {
+    OpStats total;
+    registry_.for_each([&](const Rec* r) { total.add(r->stats); });
+    if constexpr (fault::InjectorOf<Traits>::kEnabled) {
+      using Inj = fault::InjectorOf<Traits>;
+      total.injected_stalls.fetch_add(Inj::stalls(),
+                                      std::memory_order_relaxed);
+      total.injected_crashes.fetch_add(Inj::crashes(),
+                                       std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset_stats() {
+    registry_.for_each([](Rec* r) { r->stats.reset(); });
+  }
+
+  obs::ObsSnapshot collect_obs() const {
+    obs::ObsSnapshot snap;
+    if constexpr (Metrics::kEnabled) {
+      registry_.for_each([&](const Rec* r) {
+        snap.enq_ns.merge(r->obs.enq_ns);
+        snap.deq_ns.merge(r->obs.deq_ns);
+        snap.absorb_ring(r->obs.ring);
+      });
+      snap.absorb_ring(Metrics::global_ring());
+      snap.sort_events();
+    }
+    return snap;
+  }
+
+  void reset_obs() {
+    if constexpr (Metrics::kEnabled) {
+      registry_.for_each([](Rec* r) {
+        const uint32_t id = r->obs.id;  // stable across resets
+        r->obs = typename Metrics::PerHandle{};
+        r->obs.id = id;
+      });
+    }
+  }
+
+ private:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  Rec* register_handle() {
+    return registry_.acquire(
+        /*on_recycle=*/[](Rec*) {},
+        /*pre_attach=*/
+        [](Rec* r, std::size_t index) {
+          (void)r;
+          (void)index;
+          if constexpr (Metrics::kEnabled) {
+            r->obs.id = uint32_t(index) + 1;
+          }
+        },
+        /*at_link=*/[](Rec*, Rec*) {});
+  }
+
+  void release_handle(Rec* r) { registry_.release(r); }
+
+  bool acquire_index(Rec* r, uint64_t* idx, uint64_t* probes) {
+    if (!fq_.dequeue(idx, *probes)) {
+      // The free list is empty <=> `capacity` values are live: full.
+      if constexpr (kCollectStats) {
+        r->stats.enq_full.fetch_add(1, std::memory_order_relaxed);
+        note_probes(r->stats.enq_probes, r->stats.max_enq_probes, *probes);
+      }
+      return false;
+    }
+    return true;
+  }
+
+  void publish_index(Rec* r, uint64_t idx, uint64_t slot, uint64_t probes,
+                     uint64_t t0) {
+    data_[idx].store(slot, std::memory_order_relaxed);
+    aq_.enqueue(idx, probes);  // release: the entry CAS publishes the slot
+    if constexpr (kCollectStats) {
+      r->stats.enq_fast.fetch_add(1, std::memory_order_relaxed);
+      note_probes(r->stats.enq_probes, r->stats.max_enq_probes, probes);
+    }
+    obs_record_enq(r, t0);
+  }
+
+  static uint64_t obs_start(Rec* r) noexcept {
+    (void)r;
+    if constexpr (Metrics::kEnabled) {
+      return Metrics::op_start(r->obs);
+    } else {
+      return 0;
+    }
+  }
+
+  static void obs_record_enq(Rec* r, uint64_t t0) noexcept {
+    (void)r;
+    (void)t0;
+    if constexpr (Metrics::kEnabled) {
+      if (t0 != 0) r->obs.enq_ns.record(Metrics::now_ns() - t0);
+    }
+  }
+
+  static void obs_record_deq(Rec* r, uint64_t t0) noexcept {
+    (void)r;
+    (void)t0;
+    if constexpr (Metrics::kEnabled) {
+      if (t0 != 0) r->obs.deq_ns.record(Metrics::now_ns() - t0);
+    }
+  }
+
+  static void note_probes(std::atomic<uint64_t>& total,
+                          std::atomic<uint64_t>& high_water,
+                          uint64_t probes) noexcept {
+    total.fetch_add(probes, std::memory_order_relaxed);
+    uint64_t cur = high_water.load(std::memory_order_relaxed);
+    while (probes > cur &&
+           !high_water.compare_exchange_weak(cur, probes,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::size_t n_;
+  ScqRing<Traits> fq_;  ///< free indices; starts holding 0..n-1
+  ScqRing<Traits> aq_;  ///< allocated indices; starts empty
+  std::unique_ptr<std::atomic<uint64_t>[]> data_;
+  NullReclaim nrcl_;
+  HandleRegistry<Rec, NullReclaim> registry_;
+};
+
+static_assert(ConcurrentQueue<ScqQueue<uint64_t>>);
+static_assert(BoundedQueue<ScqQueue<uint64_t>>);
+
+}  // namespace wfq

@@ -4,18 +4,18 @@
 // (so cleaners can advance idle threads' segment pointers), per-handle
 // policy state, and the post-dequeue reclamation poll.
 //
-// WFQueueCore carries its own copy of this scaffolding because its handles
-// additionally hold helping state (peers, requests) that must be
-// initialized inside the registration critical section; the simple
-// baselines (ObstructionQueue, FAAQueue) share this one.
+// The registration machinery itself (freelist, ring link, frontier
+// exclusion) lives in HandleRegistry — shared with WFQueueCore, whose
+// handles additionally hold helping state wired through the registry's
+// at_link hook. This base contributes only what is segment-specific: the
+// SegmentList, the cell resolution helpers and the reclamation poll.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <mutex>
-#include <vector>
 
+#include "core/handle_registry.hpp"
 #include "core/segment_list.hpp"
 #include "memory/segment_reclaim.hpp"
 
@@ -41,56 +41,34 @@ class SegmentQueueBase {
   };
 
   explicit SegmentQueueBase(int64_t max_garbage = 64)
-      : max_garbage_(max_garbage) {}
+      : max_garbage_(max_garbage), registry_(rcl_) {}
 
   SegmentQueueBase(const SegmentQueueBase&) = delete;
   SegmentQueueBase& operator=(const SegmentQueueBase&) = delete;
 
   ~SegmentQueueBase() {
-    for (auto& h : all_handles_) {
+    registry_.for_each([this](Handle* h) {
       if (h->spare != nullptr) {
         segs_.free_raw(h->spare);
         h->spare = nullptr;
       }
-    }
+    });
   }
 
   Handle* register_handle() {
-    std::lock_guard<std::mutex> g(handle_mutex_);
-    if (free_handles_ != nullptr) {
-      Handle* h = free_handles_;
-      free_handles_ = h->next_free;
-      h->next_free = nullptr;
-      return h;
-    }
-    auto owned = std::make_unique<Handle>();
-    Handle* h = owned.get();
-    rcl_.attach(h);
-    // Exclude cleaners while capturing the current first segment, exactly
-    // as WFQueueCore::register_handle does.
-    int64_t oid = rcl_.lock_frontier();
-    Segment* front = segs_.first(std::memory_order_relaxed);
-    h->tail.store(front, std::memory_order_relaxed);
-    h->head.store(front, std::memory_order_relaxed);
-    Handle* anchor = ring_.load(std::memory_order_relaxed);
-    if (anchor == nullptr) {
-      h->next.store(h, std::memory_order_relaxed);
-      ring_.store(h, std::memory_order_release);
-    } else {
-      h->next.store(anchor->next.load(std::memory_order_relaxed),
-                    std::memory_order_relaxed);
-      anchor->next.store(h, std::memory_order_release);
-    }
-    rcl_.unlock_frontier(oid);
-    all_handles_.push_back(std::move(owned));
-    return h;
+    return registry_.acquire(
+        /*on_recycle=*/[](Handle*) {},
+        /*pre_attach=*/[](Handle*, std::size_t) {},
+        /*at_link=*/[this](Handle* h, Handle*) {
+          // Inside the frontier lock: capture the current first segment,
+          // exactly as WFQueueCore's at_link hook does.
+          Segment* front = segs_.first(std::memory_order_relaxed);
+          h->tail.store(front, std::memory_order_relaxed);
+          h->head.store(front, std::memory_order_relaxed);
+        });
   }
 
-  void release_handle(Handle* h) {
-    std::lock_guard<std::mutex> g(handle_mutex_);
-    h->next_free = free_handles_;
-    free_handles_ = h;
-  }
+  void release_handle(Handle* h) { registry_.release(h); }
 
   /// RAII registration for one thread. Must not outlive the queue: the
   /// destructor returns the handle to the queue's freelist.
@@ -164,10 +142,7 @@ class SegmentQueueBase {
   int64_t max_garbage_;
 
  private:
-  std::atomic<Handle*> ring_{nullptr};
-  mutable std::mutex handle_mutex_;
-  Handle* free_handles_ = nullptr;
-  std::vector<std::unique_ptr<Handle>> all_handles_;
+  HandleRegistry<Handle, Reclaim> registry_;
 };
 
 }  // namespace wfq

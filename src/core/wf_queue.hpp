@@ -40,6 +40,11 @@ class WFQueue {
   using value_type = T;
   using Traits_ = Traits;
 
+  /// Declared capability (see queue_concepts.hpp): every operation
+  /// completes in a bounded number of steps; the waitfreedom bench holds
+  /// the implementation to this claim.
+  static constexpr bool kIsWaitFree = true;
+
   /// Per-thread access token. Movable, not copyable; releases its slot in
   /// the helper ring back to the queue's freelist on destruction.
   using Handle = typename Core::HandleGuard;

@@ -36,14 +36,12 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <thread>
-#include <vector>
 
 #include "common/align.hpp"
 #include "common/atomics.hpp"
 #include "common/packed_state.hpp"
+#include "core/handle_registry.hpp"
 #include "core/op_stats.hpp"
 #include "core/segment_list.hpp"
 #include "harness/fault_inject.hpp"
@@ -297,7 +295,7 @@ class WFQueueCore {
   // above make every block a whole number of lines.)
 
   explicit WFQueueCore(WfConfig cfg = {})
-      : cfg_(cfg), segs_(cfg.reserve_segments) {
+      : cfg_(cfg), segs_(cfg.reserve_segments), registry_(rcl_) {
     tail_index_->store(0, std::memory_order_relaxed);
     head_index_->store(0, std::memory_order_relaxed);
   }
@@ -308,12 +306,12 @@ class WFQueueCore {
   ~WFQueueCore() {
     // Handle spares bypass the pool: the SegmentList destructor (which runs
     // after this body) frees the remaining chain and drains the pool.
-    for (auto& h : all_handles_) {
+    registry_.for_each([this](Handle* h) {
       if (h->spare != nullptr) {
         segs_.free_raw(h->spare);
         h->spare = nullptr;
       }
-    }
+    });
   }
 
   // -------------------------------------------------------------------
@@ -324,58 +322,52 @@ class WFQueueCore {
   // dangles) and lets cleaners keep advancing idle handles' segment
   // pointers. Registration is off the operation path and may block briefly
   // on the cleaner lock; enqueue/dequeue themselves stay wait-free.
+  //
+  // The mechanics (freelist, ring publication, frontier exclusion) are
+  // HandleRegistry's; this queue contributes only its hooks — the recycled-
+  // handle hardening assert, the obs-id assignment, and the helping-peer /
+  // segment-pointer wiring that must happen inside the registration
+  // critical section (docs/ALGORITHM.md §13).
   // -------------------------------------------------------------------
 
   Handle* register_handle() {
-    std::lock_guard<std::mutex> g(handle_mutex_);
-    if (free_handles_ != nullptr) {
-      Handle* h = free_handles_;
-      free_handles_ = h->next_free;
-      h->next_free = nullptr;
-      // release_handle hardening: a recycled handle must come back clean —
-      // no published protection, no in-flight phase, no pending request.
-      assert(!rcl_.op_active(h) &&
-             h->op_phase.load(std::memory_order_relaxed) == kPhaseIdle &&
-             !PackedState::from_word(
-                  h->enq.req.state.load(std::memory_order_relaxed))
-                  .pending() &&
-             !PackedState::from_word(
-                  h->deq.req.state.load(std::memory_order_relaxed))
-                  .pending() &&
-             "recycled handle carries live operation state");
-      return h;
-    }
-    auto owned = std::make_unique<Handle>();
-    Handle* h = owned.get();
-    if constexpr (Metrics::kEnabled) {
-      // Stable per-handle obs id (1-based; 0 is the process-global ring).
-      // Recycled handles keep theirs — trace rows stay attributable.
-      h->obs.id = uint32_t(all_handles_.size()) + 1;
-    }
-    rcl_.attach(h);
-    // Exclude concurrent cleaners while we capture the current first
-    // segment; otherwise the captured pointer could be freed between the
-    // read and the ring link becoming visible.
-    int64_t oid = rcl_.lock_frontier();
-    Segment* front = segs_.first(std::memory_order_relaxed);
-    h->tail.store(front, std::memory_order_relaxed);
-    h->head.store(front, std::memory_order_relaxed);
-    Handle* anchor = ring_.load(std::memory_order_relaxed);
-    if (anchor == nullptr) {
-      h->next.store(h, std::memory_order_relaxed);
-      h->enq.peer = h;
-      h->deq.peer = h;
-      ring_.store(h, std::memory_order_release);
-    } else {
-      Handle* after = anchor->next.load(std::memory_order_relaxed);
-      h->next.store(after, std::memory_order_relaxed);
-      h->enq.peer = after;
-      h->deq.peer = after;
-      anchor->next.store(h, std::memory_order_release);
-    }
-    rcl_.unlock_frontier(oid);
-    all_handles_.push_back(std::move(owned));
-    return h;
+    return registry_.acquire(
+        [this](Handle* h) {
+          // release_handle hardening: a recycled handle must come back
+          // clean — no published protection, no in-flight phase, no
+          // pending request.
+          assert(!rcl_.op_active(h) &&
+                 h->op_phase.load(std::memory_order_relaxed) == kPhaseIdle &&
+                 !PackedState::from_word(
+                      h->enq.req.state.load(std::memory_order_relaxed))
+                      .pending() &&
+                 !PackedState::from_word(
+                      h->deq.req.state.load(std::memory_order_relaxed))
+                      .pending() &&
+                 "recycled handle carries live operation state");
+          (void)h;
+        },
+        [](Handle* h, std::size_t index) {
+          (void)h;
+          (void)index;
+          if constexpr (Metrics::kEnabled) {
+            // Stable per-handle obs id (1-based; 0 is the process-global
+            // ring). Recycled handles keep theirs — trace rows stay
+            // attributable.
+            h->obs.id = uint32_t(index) + 1;
+          }
+        },
+        [this](Handle* h, Handle* after) {
+          // Inside the frontier lock, before h is published to the ring:
+          // capture the current first segment (a cleaner must not free it
+          // under us) and aim the helping peers at the handle that will
+          // follow h (h itself when the ring was empty).
+          Segment* front = segs_.first(std::memory_order_relaxed);
+          h->tail.store(front, std::memory_order_relaxed);
+          h->head.store(front, std::memory_order_relaxed);
+          h->enq.peer = after;
+          h->deq.peer = after;
+        });
   }
 
   /// Return a handle to the freelist. Hardened: a handle released with a
@@ -387,17 +379,18 @@ class WFQueueCore {
   /// dead operation (the paper assumes every thread keeps taking steps;
   /// see docs/ALGORITHM.md §11).
   void release_handle(Handle* h) {
-    std::lock_guard<std::mutex> g(handle_mutex_);
-    if (h->orphaned.exchange(false, std::memory_order_acq_rel)) {
-      // adopt_handle() already completed the operation and cleared the
-      // state while the owner was stalled; nothing left but the freelist.
-    } else if (rcl_.op_active(h) ||
-               h->op_phase.load(std::memory_order_acquire) != kPhaseIdle) {
-      adopt_orphan(h);
-    }
-    assert(!rcl_.op_active(h) && "released handle still publishes protection");
-    h->next_free = free_handles_;
-    free_handles_ = h;
+    registry_.release(h, [this](Handle* victim) {
+      if (victim->orphaned.exchange(false, std::memory_order_acq_rel)) {
+        // adopt_handle() already completed the operation and cleared the
+        // state while the owner was stalled; nothing left but the freelist.
+      } else if (rcl_.op_active(victim) ||
+                 victim->op_phase.load(std::memory_order_acquire) !=
+                     kPhaseIdle) {
+        adopt_orphan(victim);
+      }
+      assert(!rcl_.op_active(victim) &&
+             "released handle still publishes protection");
+    });
   }
 
   /// Adopt a handle whose owner provably takes no more steps (dead thread,
@@ -408,13 +401,14 @@ class WFQueueCore {
   /// release — adoption unblocks the *cleaner*, not the handle slot.
   /// Precondition: the owner performs no further queue operations.
   void adopt_handle(Handle* h) {
-    std::lock_guard<std::mutex> g(handle_mutex_);
-    if (h->orphaned.load(std::memory_order_acquire)) return;
-    if (rcl_.op_active(h) ||
-        h->op_phase.load(std::memory_order_acquire) != kPhaseIdle) {
-      adopt_orphan(h);
-    }
-    h->orphaned.store(true, std::memory_order_release);
+    registry_.with_lock([&] {
+      if (h->orphaned.load(std::memory_order_acquire)) return;
+      if (rcl_.op_active(h) ||
+          h->op_phase.load(std::memory_order_acquire) != kPhaseIdle) {
+        adopt_orphan(h);
+      }
+      h->orphaned.store(true, std::memory_order_release);
+    });
   }
 
   /// RAII registration for one thread.
@@ -757,10 +751,7 @@ class WFQueueCore {
   /// numbers; any time for an approximation).
   OpStats collect_stats() const {
     OpStats total;
-    {
-      std::lock_guard<std::mutex> g(handle_mutex_);
-      for (const auto& h : all_handles_) total.add(h->stats);
-    }
+    registry_.for_each([&](const Handle* h) { total.add(h->stats); });
     // Seam and injector counters live on the segment list / the (process-
     // global) injector rather than on handles; fold them in here.
     total.alloc_failures.fetch_add(segs_.alloc_failures(),
@@ -775,8 +766,7 @@ class WFQueueCore {
   }
 
   void reset_stats() {
-    std::lock_guard<std::mutex> g(handle_mutex_);
-    for (const auto& h : all_handles_) h->stats.reset();
+    registry_.for_each([](Handle* h) { h->stats.reset(); });
   }
 
   /// Snapshot of everything the metrics layer recorded: merged latency
@@ -787,14 +777,13 @@ class WFQueueCore {
   obs::ObsSnapshot collect_obs() const {
     obs::ObsSnapshot snap;
     if constexpr (Metrics::kEnabled) {
-      std::lock_guard<std::mutex> g(handle_mutex_);
-      for (const auto& h : all_handles_) {
+      registry_.for_each([&](const Handle* h) {
         snap.enq_ns.merge(h->obs.enq_ns);
         snap.deq_ns.merge(h->obs.deq_ns);
         snap.enq_bulk_ns.merge(h->obs.enq_bulk_ns);
         snap.deq_bulk_ns.merge(h->obs.deq_bulk_ns);
         snap.absorb_ring(h->obs.ring);
-      }
+      });
       snap.absorb_ring(Metrics::global_ring());
     }
     return snap;
@@ -804,14 +793,13 @@ class WFQueueCore {
   /// process-global one — so run-to-run soak phases start clean).
   void reset_obs() {
     if constexpr (Metrics::kEnabled) {
-      std::lock_guard<std::mutex> g(handle_mutex_);
-      for (const auto& h : all_handles_) {
+      registry_.for_each([](Handle* h) {
         h->obs.enq_ns.reset();
         h->obs.deq_ns.reset();
         h->obs.enq_bulk_ns.reset();
         h->obs.deq_bulk_ns.reset();
         h->obs.ring.reset();
-      }
+      });
       Metrics::global_ring().reset();
     }
   }
@@ -1513,7 +1501,7 @@ class WFQueueCore {
   // ---- orphan adoption (docs/ALGORITHM.md §11) -------------------------
 
   /// Complete whatever operation handle `h` abandoned and clear its
-  /// protection. Caller holds handle_mutex_ and guarantees the owner takes
+  /// protection. Caller holds the registry lock and guarantees the owner takes
   /// no further steps. Runs under the injector's SuppressScope: adoption
   /// executes *because of* a fault and must not catch another scripted one.
   ///
@@ -1601,11 +1589,10 @@ class WFQueueCore {
   std::atomic<uint64_t> debt_[kDebtSlots] = {};
   SegList segs_;    ///< the emulated infinite array (paper: Q)
   Reclaim rcl_;     ///< reclamation policy (owns the paper's I)
-  std::atomic<Handle*> ring_{nullptr};  ///< any handle in the ring
-
-  mutable std::mutex handle_mutex_;
-  Handle* free_handles_ = nullptr;
-  std::vector<std::unique_ptr<Handle>> all_handles_;
+  /// Registration scaffolding (freelist, helper ring, frontier exclusion):
+  /// shared with SegmentQueueBase via HandleRegistry; this core only
+  /// supplies the hooks in register_handle/release_handle above.
+  HandleRegistry<Handle, Reclaim> registry_;
 };
 
 }  // namespace wfq

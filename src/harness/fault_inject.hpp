@@ -358,6 +358,15 @@ inline constexpr const char* kInjectionPoints[] = {
     "blk_pre_enqueue",     // closed checked, inner enqueue not yet started
     "blk_close_pre_seal",  // close(): producers quiesced, sealed not set
     "blk_pop_prepark",     // pop: about to publish waiter registration
+    "blk_push_prepark",    // push_wait: space-waiter registered, queue
+                           // still full, about to park
+    // core/scq.hpp — bounded index rings (also wCQ's fast path)
+    "ring_enq_faa",        // ring enqueue: ticket taken, entry not claimed
+    "ring_deq_faa",        // ring dequeue: ticket taken, entry not examined
+    // core/wcq.hpp — slow-path helping
+    "wcq_enq_slow_published",  // enqueue request visible, no index claimed
+    "wcq_help_install",    // helper: index claimed, entry not yet prepared
+    "wcq_finalize",        // entry prepared, request not yet finalized
 };
 
 inline constexpr std::size_t kInjectionPointCount =

@@ -6,6 +6,10 @@
 //
 //   * pop_wait / pop_wait_for / pop_wait_bulk — consumers that sleep on
 //     empty via an EventCount (spin → yield → futex park escalation).
+//   * push_wait / push_wait_for — producers that sleep on a FULL bounded
+//     inner queue (the SCQ/wCQ rings) via a second, producer-side
+//     EventCount; consumers freeing space wake them. The exact mirror of
+//     pop_wait, with kFull playing the role of empty.
 //   * close() / drain() — a linearizable termination protocol: once closed,
 //     producers fail fast, consumers drain every residual item, and then —
 //     and only then — observe kClosed. No consumer stays parked.
@@ -56,6 +60,9 @@
 #include "common/align.hpp"
 #include "common/atomics.hpp"
 #include "core/op_stats.hpp"
+#include "core/queue_concepts.hpp"
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
 #include "harness/fault_inject.hpp"
 #include "obs/metrics.hpp"
@@ -72,11 +79,14 @@ enum class PopStatus {
   kClosed,   ///< queue closed AND drained: no value will ever arrive
 };
 
-/// Result of a status-reporting push (push_status).
+/// Result of a status-reporting push (push_status / push_wait).
 enum class PushStatus {
-  kOk,      ///< the value was enqueued
-  kClosed,  ///< the queue is closed; the caller keeps the value
-  kNoMem,   ///< segment allocation failed cleanly; retryable, value kept
+  kOk,       ///< the value was enqueued
+  kClosed,   ///< the queue is closed; the caller keeps the value
+  kNoMem,    ///< segment allocation failed cleanly; retryable, value kept
+  kFull,     ///< bounded inner queue at capacity (push_status only —
+             ///< push_wait parks instead of returning this)
+  kTimeout,  ///< push_wait_for deadline passed with the queue still full
 };
 
 namespace detail {
@@ -182,35 +192,35 @@ class BlockingQueue {
 
   /// Status-reporting push: kClosed on a closed queue, kNoMem when segment
   /// allocation failed past retries and the reserve pool (retryable — the
-  /// queue is intact). The in_push ticket is held through an RAII guard so
-  /// an exception unwinding out of the inner enqueue (injected crash, OOM
-  /// from a throwing codec) can never leave the ticket set — a stuck ticket
-  /// would spin close()'s quiesce scan forever.
-  PushStatus push_status(Handle& h, T v) {
-    BlockingRec* rec = h.rec_;
-    bool ok = true;
-    {
-      PushTicket ticket(rec->in_push);
-      WFQ_INJECT(QTraits, "blk_push_ticket");
-      AsymmetricFence::light();  // order ticket-store before closed-load
-      if (closed_.load(std::memory_order_relaxed)) return PushStatus::kClosed;
-      WFQ_INJECT(QTraits, "blk_pre_enqueue");
-      if constexpr (std::is_void_v<decltype(q_.enqueue(h.inner_,
-                                                       std::move(v)))>) {
-        q_.enqueue(h.inner_, std::move(v));
-      } else {
-        ok = q_.enqueue(h.inner_, std::move(v));
-      }
-    }  // ticket released: the quiesce scan's acquire load of in_push == 0
-       // observes the enqueue as complete
-    if (!ok) return PushStatus::kNoMem;
-    maybe_notify(rec, /*n=*/1);
-    return PushStatus::kOk;
+  /// queue is intact), kFull when a bounded inner queue is at capacity
+  /// (backpressure: retry, drop, or use push_wait to park for space).
+  PushStatus push_status(Handle& h, T v) { return push_once(h, v); }
+
+  /// Blocking push for a bounded inner queue: parks via a producer-side
+  /// EventCount while the queue is full, woken by consumers freeing space
+  /// (the mirror image of pop_wait). Returns kOk or kClosed — never kFull.
+  /// On an unbounded inner queue full cannot happen and this is exactly
+  /// push_status.
+  PushStatus push_wait(Handle& h, T v, WaitPolicy policy = {}) {
+    return push_wait_impl(h, v, policy, /*has_deadline=*/false, {});
+  }
+
+  /// Timed variant; kTimeout after `timeout` with the queue open and still
+  /// full. A slot freed racing the deadline wins: one final attempt runs
+  /// after the clock expires.
+  template <class Rep, class Period>
+  PushStatus push_wait_for(Handle& h, T v,
+                           std::chrono::duration<Rep, Period> timeout,
+                           WaitPolicy policy = {}) {
+    return push_wait_impl(h, v, policy, /*has_deadline=*/true,
+                          WaitClock::now() +
+                              std::chrono::duration_cast<WaitClock::duration>(
+                                  timeout));
   }
 
   /// Bulk append: all `count` items, 0 when closed, or a committed prefix
   /// of `vals` under allocation failure (inner enqueue_bulk's OOM
-  /// contract). Returns the number enqueued.
+  /// contract) or a full bounded inner queue. Returns the number enqueued.
   std::size_t push_bulk(Handle& h, const T* vals, std::size_t count) {
     if (count == 0) return 0;
     BlockingRec* rec = h.rec_;
@@ -221,11 +231,31 @@ class BlockingQueue {
       AsymmetricFence::light();
       if (closed_.load(std::memory_order_relaxed)) return 0;
       WFQ_INJECT(QTraits, "blk_pre_enqueue");
-      if constexpr (std::is_void_v<decltype(q_.enqueue_bulk(h.inner_, vals,
-                                                            count))>) {
-        q_.enqueue_bulk(h.inner_, vals, count);
+      if constexpr (BulkQueue<Q>) {
+        if constexpr (std::is_void_v<decltype(q_.enqueue_bulk(h.inner_, vals,
+                                                              count))>) {
+          q_.enqueue_bulk(h.inner_, vals, count);
+        } else {
+          committed = q_.enqueue_bulk(h.inner_, vals, count);
+        }
+      } else if constexpr (BoundedQueue<Q>) {
+        // No native batching: commit a prefix one try_enqueue at a time,
+        // stopping at full (the committed-prefix contract, with kFull
+        // playing the role allocation failure plays on segment queues).
+        committed = 0;
+        while (committed < count) {
+          T copy = vals[committed];
+          if (q_.try_enqueue(h.inner_, std::move(copy)) !=
+              EnqueueResult::kOk) {
+            break;
+          }
+          ++committed;
+        }
       } else {
-        committed = q_.enqueue_bulk(h.inner_, vals, count);
+        for (std::size_t i = 0; i < count; ++i) {
+          T copy = vals[i];
+          q_.enqueue(h.inner_, std::move(copy));
+        }
       }
     }
     if (committed != 0) maybe_notify(rec, static_cast<uint32_t>(committed));
@@ -236,10 +266,16 @@ class BlockingQueue {
 
   /// Non-blocking pop; nullopt means "observed empty" (closed or not —
   /// callers that need the distinction use pop_wait or closed()).
-  std::optional<T> try_pop(Handle& h) { return q_.dequeue(h.inner_); }
+  std::optional<T> try_pop(Handle& h) {
+    std::optional<T> v = q_.dequeue(h.inner_);
+    if (v.has_value()) maybe_notify_space();
+    return v;
+  }
 
   std::size_t try_pop_bulk(Handle& h, T* out, std::size_t count) {
-    return q_.dequeue_bulk(h.inner_, out, count);
+    std::size_t got = inner_dequeue_bulk(h, out, count);
+    if (got != 0) maybe_notify_space();
+    return got;
   }
 
   /// Blocks until a value arrives (kOk) or the queue is closed and fully
@@ -299,6 +335,8 @@ class BlockingQueue {
     sealed_.store(true, std::memory_order_release);
     ec_.notify_all();  // close-wakes are unconditional, not counted as
                        // producer notifies (they are not value deliveries)
+    space_ec_.notify_all();  // producers parked on a full bounded queue
+                             // must wake to observe kClosed
   }
 
   bool closed() const noexcept {
@@ -318,10 +356,11 @@ class BlockingQueue {
     std::size_t n = 0;
     T buf[kDrainChunk];
     for (;;) {
-      std::size_t got = q_.dequeue_bulk(h.inner_, buf, kDrainChunk);
+      std::size_t got = inner_dequeue_bulk(h, buf, kDrainChunk);
       for (std::size_t i = 0; i < got; ++i) out.push_back(std::move(buf[i]));
       n += got;
-      if (got < kDrainChunk) return n;  // bulk emptiness witness
+      if (got != 0) maybe_notify_space();
+      if (got < kDrainChunk) return n;  // (bulk) emptiness witness
     }
   }
 
@@ -359,6 +398,16 @@ class BlockingQueue {
 
   /// Registered-waiter count right now (tests).
   uint32_t waiters() const noexcept { return ec_.waiters(); }
+
+  /// Producers currently registered against the space EventCount (tests).
+  uint32_t space_waiters() const noexcept { return space_ec_.waiters(); }
+
+  /// Hard bound of the inner queue (bounded inner queues only).
+  std::size_t capacity() const
+    requires BoundedQueue<Q>
+  {
+    return q_.capacity();
+  }
 
  private:
   struct BulkOut {
@@ -503,16 +552,148 @@ class BlockingQueue {
     }
   }
 
-  /// One dequeue attempt for whichever mode pop_impl runs in.
+  /// One dequeue attempt for whichever mode pop_impl runs in. Successful
+  /// attempts free inner capacity, so they wake a space-parked producer.
   bool attempt(Handle& h, T* single, BulkOut* bulk) {
     if (single != nullptr) {
       std::optional<T> v = q_.dequeue(h.inner_);
       if (!v) return false;
       *single = std::move(*v);
+      maybe_notify_space();
       return true;
     }
-    bulk->got = q_.dequeue_bulk(h.inner_, bulk->out, bulk->max);
-    return bulk->got != 0;
+    bulk->got = inner_dequeue_bulk(h, bulk->out, bulk->max);
+    if (bulk->got == 0) return false;
+    maybe_notify_space();
+    return true;
+  }
+
+  /// Inner bulk dequeue, or a single-dequeue loop for backends without a
+  /// batched surface (the bounded rings). For those, the final nullopt is
+  /// the emptiness witness (SCQ's threshold / wCQ's helping make EMPTY a
+  /// real linearization point), so the close protocol's reasoning holds.
+  std::size_t inner_dequeue_bulk(Handle& h, T* out, std::size_t max) {
+    if constexpr (BulkQueue<Q>) {
+      return q_.dequeue_bulk(h.inner_, out, max);
+    } else {
+      std::size_t got = 0;
+      while (got < max) {
+        std::optional<T> v = q_.dequeue(h.inner_);
+        if (!v.has_value()) break;
+        out[got++] = std::move(*v);
+      }
+      return got;
+    }
+  }
+
+  /// One push attempt shared by push_status and push_wait's retry loop.
+  /// Consumes `v` only on kOk: on a bounded inner queue try_enqueue
+  /// reserves its free index before encoding, so kFull hands the value
+  /// back untouched and the parking loop can retry without copies. The
+  /// in_push ticket is held through an RAII guard so an exception
+  /// unwinding out of the inner enqueue (injected crash, OOM from a
+  /// throwing codec) can never leave the ticket set — a stuck ticket
+  /// would spin close()'s quiesce scan forever.
+  PushStatus push_once(Handle& h, T& v) {
+    BlockingRec* rec = h.rec_;
+    bool ok = true;
+    {
+      PushTicket ticket(rec->in_push);
+      WFQ_INJECT(QTraits, "blk_push_ticket");
+      AsymmetricFence::light();  // order ticket-store before closed-load
+      if (closed_.load(std::memory_order_relaxed)) return PushStatus::kClosed;
+      WFQ_INJECT(QTraits, "blk_pre_enqueue");
+      if constexpr (BoundedQueue<Q>) {
+        switch (q_.try_enqueue(h.inner_, std::move(v))) {
+          case EnqueueResult::kOk:
+            break;
+          case EnqueueResult::kFull:
+            return PushStatus::kFull;
+          case EnqueueResult::kNoMem:
+            return PushStatus::kNoMem;
+        }
+      } else if constexpr (std::is_void_v<decltype(q_.enqueue(
+                               h.inner_, std::move(v)))>) {
+        q_.enqueue(h.inner_, std::move(v));
+      } else {
+        ok = q_.enqueue(h.inner_, std::move(v));
+      }
+    }  // ticket released: the quiesce scan's acquire load of in_push == 0
+       // observes the enqueue as complete
+    if (!ok) return PushStatus::kNoMem;
+    maybe_notify(rec, /*n=*/1);
+    return PushStatus::kOk;
+  }
+
+  /// The producer-side wait loop: the mirror of pop_impl_body, parking on
+  /// space_ec_ instead of ec_. No sealed-ordering subtlety is needed here:
+  /// push_once itself checks closed_ under the ticket, and close() wakes
+  /// space waiters after sealing, so a parked producer always re-checks.
+  PushStatus push_wait_impl(Handle& h, T& v, WaitPolicy policy,
+                            bool has_deadline,
+                            WaitClock::time_point deadline) {
+    BlockingRec* rec = h.rec_;
+    WaitStrategy strategy(policy);
+    for (;;) {
+      PushStatus st = push_once(h, v);
+      if (st != PushStatus::kFull) return st;
+
+      if (has_deadline && WaitClock::now() >= deadline) {
+        // One final attempt so a slot freed racing the deadline is used
+        // rather than stranded (same rule as the timed pop).
+        st = push_once(h, v);
+        return st == PushStatus::kFull ? PushStatus::kTimeout : st;
+      }
+
+      switch (strategy.step()) {
+        case WaitStrategy::Step::kSpun:
+        case WaitStrategy::Step::kYielded:
+          continue;
+        case WaitStrategy::Step::kPark:
+          break;
+      }
+
+      EventCount::Key key = space_ec_.prepare_wait();
+      // Registered as a space waiter — re-run the attempt. A consumer that
+      // freed a slot before our registration was visible cannot have seen
+      // has_waiters(); the seq_cst Dekker guarantees this re-check finds
+      // the space (or the close).
+      st = push_once(h, v);
+      if (st != PushStatus::kFull) {
+        space_ec_.cancel_wait();
+        return st;
+      }
+      rec->stats.push_full_parks.fetch_add(1, std::memory_order_relaxed);
+      // a = 2 marks a producer-side (space) park in the shared trace ring.
+      obs_trace(rec, obs::TraceEvent::kPark, 2);
+      WFQ_INJECT(QTraits, "blk_push_prepark");
+      if (has_deadline) {
+        const bool signaled = space_ec_.wait_until(key, deadline);
+        obs_trace(rec, obs::TraceEvent::kWake, signaled ? 3 : 2);
+        if (!signaled) {
+          st = push_once(h, v);
+          return st == PushStatus::kFull ? PushStatus::kTimeout : st;
+        }
+      } else {
+        space_ec_.wait(key);
+        obs_trace(rec, obs::TraceEvent::kWake, 3);
+      }
+      // Re-loop with the strategy kept escalated, like the pop side.
+    }
+  }
+
+  /// Consumer-side notify of space-parked producers; compiled out for
+  /// unbounded inner queues (they can never be full, so no one parks).
+  void maybe_notify_space() {
+    if constexpr (BoundedQueue<Q>) {
+#if !(defined(__x86_64__) || defined(__i386__))
+      // Non-TSO: make the slot-free (fq enqueue RMW) → waiter-load
+      // ordering explicit; see maybe_notify.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+      if (!space_ec_.has_waiters()) return;  // common case: one branch
+      space_ec_.notify(1);
+    }
   }
 
   /// Producer-side notify: the plain-load waiter check IS the fast path —
@@ -578,7 +759,8 @@ class BlockingQueue {
   static constexpr std::size_t kDrainChunk = 64;
 
   Q q_;
-  EventCount ec_;
+  EventCount ec_;        ///< consumers parked on empty
+  EventCount space_ec_;  ///< producers parked on full (bounded inner only)
   alignas(kCacheLineSize) std::atomic<bool> closed_{false};
   std::atomic<bool> sealed_{false};
 
@@ -590,5 +772,13 @@ class BlockingQueue {
 /// The headline configuration: blocking wait-free MPMC queue of T.
 template <class T, class Traits = DefaultWfTraits>
 using BlockingWFQueue = BlockingQueue<WFQueue<T, Traits>>;
+
+/// Bounded-memory configurations: both directions block — pop_wait parks
+/// on empty, push_wait parks on full. Construct with the capacity:
+/// `BlockingScqQueue<T> q(1024);`.
+template <class T, class Traits = DefaultRingTraits>
+using BlockingScqQueue = BlockingQueue<ScqQueue<T, Traits>>;
+template <class T, class Traits = DefaultRingTraits>
+using BlockingWcqQueue = BlockingQueue<WcqQueue<T, Traits>>;
 
 }  // namespace wfq::sync

@@ -79,7 +79,7 @@ TEST(MSQueue, HazardReclamationKeepsRetiredBounded) {
 
 // ---- epoch-based reclamation variant ------------------------------------
 
-using MSQueueEbr = MSQueue<uint64_t, EbrReclaimer>;
+using MSQueueEbr = MSQueue<uint64_t, EbrReclaimer<2>>;
 
 TEST(MSQueueEbrVariant, SequentialFifo) {
   MSQueueEbr q;

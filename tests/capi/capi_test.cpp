@@ -364,4 +364,121 @@ TEST(CApi, ConcurrentConservation) {
   wfq_destroy(q);
 }
 
+// ---- Backend selector (wfq_create_ex) ------------------------------------
+
+class CApiBackends : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Rings, CApiBackends,
+                         ::testing::Values(WFQ_BACKEND_SCQ, WFQ_BACKEND_WCQ),
+                         [](const ::testing::TestParamInfo<int>& i) {
+                           return i.param == WFQ_BACKEND_SCQ ? "scq" : "wcq";
+                         });
+
+TEST_P(CApiBackends, BoundedContractThroughTheCApi) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.backend = GetParam();
+  opt.capacity = 8;
+  wfq_queue_t* q = wfq_create_ex(&opt);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(wfq_capacity(q), 8u);
+
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  for (uint64_t i = 1; i <= 8; ++i) EXPECT_EQ(wfq_enqueue(h, i), WFQ_OK);
+  EXPECT_EQ(wfq_enqueue(h, 99), WFQ_E_FULL);  // at capacity: backpressure
+  uint64_t out = 0;
+  EXPECT_EQ(wfq_dequeue(h, &out), 1);
+  EXPECT_EQ(out, 1u);
+  EXPECT_EQ(wfq_enqueue(h, 100), WFQ_OK);  // freed slot reusable
+  // FIFO drain of the remainder.
+  for (uint64_t want = 2; want <= 8; ++want) {
+    ASSERT_EQ(wfq_dequeue(h, &out), 1);
+    EXPECT_EQ(out, want);
+  }
+  ASSERT_EQ(wfq_dequeue(h, &out), 1);
+  EXPECT_EQ(out, 100u);
+  EXPECT_EQ(wfq_dequeue(h, &out), 0);  // empty
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST_P(CApiBackends, EnqueueWaitParksUntilSpaceFrees) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.backend = GetParam();
+  opt.capacity = 8;
+  wfq_queue_t* q = wfq_create_ex(&opt);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  for (uint64_t i = 1; i <= 8; ++i) ASSERT_EQ(wfq_enqueue(h, i), WFQ_OK);
+
+  std::thread producer([&] {
+    wfq_handle_t* ph = wfq_handle_acquire(q);
+    // Full: must block until the main thread dequeues, then succeed.
+    EXPECT_EQ(wfq_enqueue_wait(ph, 999), WFQ_OK);
+    wfq_handle_release(ph);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  uint64_t out = 0;
+  EXPECT_EQ(wfq_dequeue(h, &out), 1);
+  producer.join();
+
+  // Everything conserved: 2..8 then the parked producer's 999.
+  uint64_t sum = 0, n = 0;
+  while (wfq_dequeue(h, &out) == 1) {
+    sum += out;
+    ++n;
+  }
+  EXPECT_EQ(n, 8u);
+  EXPECT_EQ(sum, uint64_t(2 + 3 + 4 + 5 + 6 + 7 + 8 + 999));
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST_P(CApiBackends, CloseWakesParkedProducer) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.backend = GetParam();
+  opt.capacity = 8;
+  wfq_queue_t* q = wfq_create_ex(&opt);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  for (uint64_t i = 1; i <= 8; ++i) ASSERT_EQ(wfq_enqueue(h, i), WFQ_OK);
+
+  std::thread producer([&] {
+    wfq_handle_t* ph = wfq_handle_acquire(q);
+    EXPECT_EQ(wfq_enqueue_wait(ph, 999), WFQ_E_CLOSED);
+    wfq_handle_release(ph);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  wfq_close(q);
+  producer.join();
+
+  // The close never loses the resident items: all 8 drain, then closed.
+  uint64_t out = 0, n = 0;
+  while (wfq_dequeue_wait(h, &out) == 1) ++n;
+  EXPECT_EQ(n, 8u);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApiBackends, UnknownBackendRejected) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.backend = 42;
+  EXPECT_EQ(wfq_create_ex(&opt), nullptr);
+}
+
+TEST(CApiBackends, WfBackendReportsUnbounded) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  wfq_queue_t* q = wfq_create_ex(&opt);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(wfq_capacity(q), 0u);  // 0 = unbounded
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  EXPECT_EQ(wfq_enqueue(h, 7), WFQ_OK);  // never WFQ_E_FULL
+  uint64_t out = 0;
+  EXPECT_EQ(wfq_dequeue(h, &out), 1);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
 }  // namespace

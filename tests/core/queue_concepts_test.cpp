@@ -1,0 +1,170 @@
+// Compile-time conformance of every backend against the formal queue
+// concepts (src/core/queue_concepts.hpp), plus runtime checks that the
+// detected/declared QueueCaps match each backend's documented capability
+// row (docs/API.md). A signature drift in any queue is a compile error
+// here, not a template-spew failure deep inside a driver.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/ccqueue.hpp"
+#include "baselines/faaq.hpp"
+#include "baselines/kp_queue.hpp"
+#include "baselines/lcrq.hpp"
+#include "baselines/ms_queue.hpp"
+#include "baselines/mutex_queue.hpp"
+#include "baselines/sim_queue.hpp"
+#include "core/obstruction_queue.hpp"
+#include "core/queue_concepts.hpp"
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
+#include "core/wf_queue.hpp"
+
+namespace wfq {
+namespace {
+
+// ---- ConcurrentQueue: the floor every backend must clear ----------------
+
+static_assert(ConcurrentQueue<WFQueue<uint64_t>>);
+static_assert(ConcurrentQueue<baselines::FAAQueue<uint64_t>>);
+static_assert(ConcurrentQueue<ObstructionQueue<uint64_t>>);
+static_assert(ConcurrentQueue<ScqQueue<uint64_t>>);
+static_assert(ConcurrentQueue<WcqQueue<uint64_t>>);
+static_assert(ConcurrentQueue<baselines::MSQueue<uint64_t>>);
+static_assert(ConcurrentQueue<baselines::LCRQ<uint64_t, 64>>);
+static_assert(ConcurrentQueue<baselines::CCQueue<uint64_t>>);
+static_assert(ConcurrentQueue<baselines::MutexQueue<uint64_t>>);
+static_assert(ConcurrentQueue<baselines::KPQueue<uint64_t>>);
+static_assert(ConcurrentQueue<baselines::SimQueue<uint64_t>>);
+
+// Traits variants must conform identically (the concept is over the whole
+// template, so a traits-dependent signature drift shows up here).
+struct LlscTraits : DefaultWfTraits {
+  using Faa = EmulatedFaa;
+};
+static_assert(ConcurrentQueue<WFQueue<uint64_t, LlscTraits>>);
+
+// Boxed payloads go through SlotCodec; concept conformance must not depend
+// on T being 64-bit-inlineable.
+static_assert(ConcurrentQueue<WFQueue<std::string>>);
+static_assert(ConcurrentQueue<ScqQueue<std::vector<int>>>);
+static_assert(ConcurrentQueue<WcqQueue<std::string>>);
+
+// ---- BulkQueue: batched span ops ----------------------------------------
+
+static_assert(BulkQueue<WFQueue<uint64_t>>);
+static_assert(BulkQueue<baselines::FAAQueue<uint64_t>>);
+static_assert(BulkQueue<ObstructionQueue<uint64_t>>);
+// Ring backends and node baselines do not batch.
+static_assert(!BulkQueue<ScqQueue<uint64_t>>);
+static_assert(!BulkQueue<WcqQueue<uint64_t>>);
+static_assert(!BulkQueue<baselines::MSQueue<uint64_t>>);
+static_assert(!BulkQueue<baselines::MutexQueue<uint64_t>>);
+
+// ---- BoundedQueue: the backpressure contract -----------------------------
+
+static_assert(BoundedQueue<ScqQueue<uint64_t>>);
+static_assert(BoundedQueue<WcqQueue<uint64_t>>);
+// Segment/node queues grow without bound: they must NOT model the bounded
+// contract, or BlockingQueue::push_wait would park on a queue that can
+// never report full.
+static_assert(!BoundedQueue<WFQueue<uint64_t>>);
+static_assert(!BoundedQueue<baselines::FAAQueue<uint64_t>>);
+static_assert(!BoundedQueue<ObstructionQueue<uint64_t>>);
+static_assert(!BoundedQueue<baselines::MSQueue<uint64_t>>);
+static_assert(!BoundedQueue<baselines::LCRQ<uint64_t, 64>>);
+static_assert(!BoundedQueue<baselines::CCQueue<uint64_t>>);
+static_assert(!BoundedQueue<baselines::MutexQueue<uint64_t>>);
+static_assert(!BoundedQueue<baselines::KPQueue<uint64_t>>);
+static_assert(!BoundedQueue<baselines::SimQueue<uint64_t>>);
+
+// ---- QueueCaps: detected + declared capability rows ----------------------
+
+TEST(QueueConcepts, WfQueueCaps) {
+  constexpr QueueCaps c = kQueueCaps<WFQueue<uint64_t>>;
+  EXPECT_TRUE(c.is_wait_free);
+  EXPECT_FALSE(c.is_bounded);
+  EXPECT_TRUE(c.has_bulk);
+  EXPECT_TRUE(c.has_stats);
+}
+
+TEST(QueueConcepts, ScqCaps) {
+  constexpr QueueCaps c = kQueueCaps<ScqQueue<uint64_t>>;
+  // SCQ's dequeue-side threshold handoff is lock-free, not wait-free: the
+  // type must not claim the stronger guarantee.
+  EXPECT_FALSE(c.is_wait_free);
+  EXPECT_TRUE(c.is_bounded);
+  EXPECT_FALSE(c.has_bulk);
+  EXPECT_TRUE(c.has_stats);
+}
+
+TEST(QueueConcepts, WcqCaps) {
+  constexpr QueueCaps c = kQueueCaps<WcqQueue<uint64_t>>;
+  // wCQ declares wait-freedom iff the FAA primitive is native (the LL/SC
+  // emulation degrades the install loop to lock-free).
+  EXPECT_EQ(c.is_wait_free, NativeFaa::kWaitFree);
+  EXPECT_TRUE(c.is_bounded);
+  EXPECT_FALSE(c.has_bulk);
+  EXPECT_TRUE(c.has_stats);
+}
+
+TEST(QueueConcepts, BaselineCaps) {
+  EXPECT_FALSE(kQueueCaps<baselines::MSQueue<uint64_t>>.is_wait_free);
+  EXPECT_FALSE(kQueueCaps<baselines::MutexQueue<uint64_t>>.is_wait_free);
+  EXPECT_TRUE(kQueueCaps<baselines::KPQueue<uint64_t>>.is_wait_free);
+  EXPECT_TRUE(kQueueCaps<baselines::SimQueue<uint64_t>>.is_wait_free);
+  EXPECT_TRUE(kQueueCaps<baselines::FAAQueue<uint64_t>>.has_bulk);
+  EXPECT_FALSE((kQueueCaps<baselines::LCRQ<uint64_t, 64>>.is_bounded));
+}
+
+// ---- Bounded semantics smoke: capacity() and kFull are live ---------------
+
+TEST(QueueConcepts, ScqBoundedContract) {
+  ScqQueue<uint64_t> q(8);
+  auto h = q.get_handle();
+  EXPECT_EQ(q.capacity(), 8u);
+  for (uint64_t i = 0; i < q.capacity(); ++i) {
+    EXPECT_EQ(q.try_enqueue(h, i + 1), EnqueueResult::kOk);
+  }
+  EXPECT_EQ(q.try_enqueue(h, 99), EnqueueResult::kFull);
+  auto v = q.dequeue(h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1u);
+  // One slot freed: the next try must succeed again.
+  EXPECT_EQ(q.try_enqueue(h, 100), EnqueueResult::kOk);
+}
+
+TEST(QueueConcepts, WcqBoundedContract) {
+  WcqQueue<uint64_t> q(8);
+  auto h = q.get_handle();
+  EXPECT_EQ(q.capacity(), 8u);
+  for (uint64_t i = 0; i < q.capacity(); ++i) {
+    EXPECT_EQ(q.try_enqueue(h, i + 1), EnqueueResult::kOk);
+  }
+  EXPECT_EQ(q.try_enqueue(h, 99), EnqueueResult::kFull);
+  auto v = q.dequeue(h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1u);
+  EXPECT_EQ(q.try_enqueue(h, 100), EnqueueResult::kOk);
+}
+
+// try_enqueue on a full boxed ring must leave the caller's value intact
+// (the reserve-before-encode contract push_wait retries depend on).
+TEST(QueueConcepts, TryEnqueueKeepsValueOnFull) {
+  ScqQueue<std::vector<int>> q(2);
+  auto h = q.get_handle();
+  ASSERT_EQ(q.try_enqueue(h, std::vector<int>(4, 1)), EnqueueResult::kOk);
+  ASSERT_EQ(q.try_enqueue(h, std::vector<int>(4, 2)), EnqueueResult::kOk);
+  std::vector<int> v(64, 7);
+  ASSERT_EQ(q.try_enqueue(h, std::move(v)), EnqueueResult::kFull);
+  EXPECT_EQ(v.size(), 64u);  // untouched: still ours to retry with
+  EXPECT_EQ(v[0], 7);
+  (void)q.dequeue(h);
+  ASSERT_EQ(q.try_enqueue(h, std::move(v)), EnqueueResult::kOk);
+  EXPECT_TRUE(v.empty());  // now consumed
+}
+
+}  // namespace
+}  // namespace wfq

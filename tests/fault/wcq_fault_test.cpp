@@ -1,0 +1,284 @@
+// Fault injection for the bounded index rings (src/core/scq.hpp,
+// src/core/wcq.hpp), covering all five ring injection points:
+// ring_enq_faa / ring_deq_faa (SCQ geometry, both queues) and
+// wcq_enq_slow_published / wcq_help_install / wcq_finalize (the wCQ helping
+// protocol). The claims under test are the ones the header comments make:
+//
+//   - a slow-path enqueuer that stalls or dies after publishing its request
+//     cannot strand the value — consumers help it through, and an abandoned
+//     handle is adopted on release;
+//   - finite stalls anywhere in the protocol resume and conserve values
+//     exactly (no loss, no duplication);
+//   - memory stays at the construction-time footprint while the rest of the
+//     system makes progress around a permanently stalled thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
+#include "fault/fault_test_util.hpp"
+
+namespace wfq {
+namespace {
+
+using fault_test::Inj;
+
+/// Production ring configuration with the scripted injector compiled in.
+struct RingFaultTraits : DefaultRingTraits {
+  using Injector = fault::ScriptedInjector;
+};
+
+/// Patience 0: every enqueue publishes a request and goes through the
+/// helping slow path, making the wcq_* points reachable on the first op.
+struct RingFaultSlowTraits : RingFaultTraits {
+  static constexpr int kWcqPatience = 0;
+};
+
+using FaultWcq = WcqQueue<uint64_t, RingFaultSlowTraits>;
+/// Default patience: the fast path runs, which is where wCQ's
+/// ring_enq_faa call site lives (patience 0 never reaches it).
+using FaultWcqFast = WcqQueue<uint64_t, RingFaultTraits>;
+using FaultScq = ScqQueue<uint64_t, RingFaultTraits>;
+
+// A slow-path enqueuer parked forever right after publishing its request
+// must not strand the value: dequeue() helps pending requests before it
+// may report EMPTY, so a consumer that arrives while the owner is parked
+// still receives the value.
+TEST(WcqFault, StalledSlowEnqueuerStillDelivers) {
+  fault_test::ScriptReset script;
+  FaultWcq q(64);
+  std::thread victim([&] {
+    auto vh = q.get_handle();
+    Inj::set_victim(true);
+    EXPECT_TRUE(Inj::arm("wcq_enq_slow_published", fault::Action::kStall, 1,
+                         Inj::kForever));
+    try {
+      q.enqueue(vh, 42);
+      ADD_FAILURE() << "permanently stalled enqueue returned";
+    } catch (const fault::InjectedCrash& c) {
+      EXPECT_STREQ(c.point, "wcq_enq_slow_published");
+    }
+    Inj::set_victim(false);
+  });
+  while (Inj::stalls() == 0) std::this_thread::yield();
+
+  // The owner is parked with its request published. A consumer must get
+  // the value anyway (help-before-EMPTY); poll a little to let helping win
+  // the race with our arrival.
+  auto h = q.get_handle();
+  std::optional<uint64_t> got;
+  for (int spin = 0; spin < 100000 && !got; ++spin) {
+    got = q.dequeue(h);
+    if (!got) std::this_thread::yield();
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42u);
+  EXPECT_FALSE(q.dequeue(h).has_value());  // exactly once
+
+  Inj::release_stalls();  // the parked corpse wakes only as a crash
+  victim.join();
+  EXPECT_GE(Inj::crashes(), 1u);
+}
+
+// An enqueuer that dies immediately after publishing (no helper traffic at
+// all) is adopted when its handle is released: release_handle() finishes
+// the pending request, so the value is delivered, not leaked.
+TEST(WcqFault, CrashedSlowEnqueuerIsAdoptedOnRelease) {
+  fault_test::ScriptReset script;
+  FaultWcq q(64);
+  {
+    auto vh = q.get_handle();
+    Inj::set_victim(true);
+    EXPECT_TRUE(
+        Inj::arm("wcq_enq_slow_published", fault::Action::kCrash, 1));
+    try {
+      q.enqueue(vh, 42);
+      ADD_FAILURE() << "crashed enqueue returned";
+    } catch (const fault::InjectedCrash&) {
+    }
+    Inj::set_victim(false);
+  }  // HandleGuard release: orphan adoption completes the insert
+  EXPECT_EQ(Inj::fired("wcq_enq_slow_published"), 1u);
+  auto h = q.get_handle();
+  auto got = q.dequeue(h);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42u);
+  EXPECT_FALSE(q.dequeue(h).has_value());
+  OpStats s = q.stats();
+  EXPECT_EQ(s.adopted_handles.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(s.injected_crashes.load(std::memory_order_relaxed), 1u);
+}
+
+// Deeper crash points inside the cooperative insert: dying between claiming
+// an index and preparing the entry (wcq_help_install), or between preparing
+// and finalizing (wcq_finalize), leaves shared state any thread can drive
+// to completion — adoption on release delivers the value exactly once.
+class WcqCrashPoint : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WcqCrashPoint, MidProtocolCrashIsAdopted) {
+  fault_test::ScriptReset script;
+  FaultWcq q(64);
+  {
+    auto vh = q.get_handle();
+    Inj::set_victim(true);
+    EXPECT_TRUE(Inj::arm(GetParam(), fault::Action::kCrash, 1));
+    try {
+      q.enqueue(vh, 42);
+      ADD_FAILURE() << "crashed enqueue returned";
+    } catch (const fault::InjectedCrash& c) {
+      EXPECT_STREQ(c.point, GetParam());
+    }
+    Inj::set_victim(false);
+  }
+  auto h = q.get_handle();
+  auto got = q.dequeue(h);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42u);
+  EXPECT_FALSE(q.dequeue(h).has_value());
+  EXPECT_EQ(q.stats().adopted_handles.load(std::memory_order_relaxed), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, WcqCrashPoint,
+                         ::testing::Values("wcq_help_install",
+                                           "wcq_finalize"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// Finite stalls at every ring point, under concurrent traffic: the victim
+// resumes and completes its operation, so conservation must be exact. This
+// is the schedule-pressure version of the protocol arguments — a stalled
+// FAA winner (ring_enq_faa / ring_deq_faa) forces holes and threshold
+// bridging; a stalled helper forces commit-validation and retraction.
+template <class Q>
+void finite_stall_conservation(const char* point, std::size_t capacity) {
+  fault_test::ScriptReset script;
+  Q q(capacity);
+  constexpr unsigned kHealthy = 2;
+  constexpr uint64_t kOpsPerThread = 4000;
+  std::atomic<uint64_t> pushed_sum{0}, popped_sum{0};
+  std::atomic<uint64_t> pushed_n{0}, popped_n{0};
+
+  auto worker = [&](unsigned id, bool is_victim) {
+    auto h = q.get_handle();
+    if (is_victim) {
+      Inj::set_victim(true);
+      // A couple of 500-step stalls: long enough that healthy threads lap
+      // the victim's position, short enough to resume within the workload.
+      EXPECT_TRUE(Inj::arm(point, fault::Action::kStall, 2, 500));
+    }
+    uint64_t local_push = 0, local_pop = 0, ln_push = 0, ln_pop = 0;
+    for (uint64_t i = 1; i <= kOpsPerThread; ++i) {
+      uint64_t v = (uint64_t(id + 1) << 40) | i;
+      q.enqueue(h, v);
+      local_push += v;
+      ++ln_push;
+      if (auto got = q.dequeue(h)) {
+        local_pop += *got;
+        ++ln_pop;
+      }
+    }
+    if (is_victim) Inj::set_victim(false);
+    pushed_sum.fetch_add(local_push);
+    popped_sum.fetch_add(local_pop);
+    pushed_n.fetch_add(ln_push);
+    popped_n.fetch_add(ln_pop);
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(worker, 0u, true);
+  for (unsigned t = 1; t <= kHealthy; ++t) threads.emplace_back(worker, t, false);
+  for (auto& t : threads) t.join();
+
+  // Drain the residue single-threaded; every push must be accounted for.
+  auto h = q.get_handle();
+  while (auto got = q.dequeue(h)) {
+    popped_sum.fetch_add(*got);
+    popped_n.fetch_add(1);
+  }
+  EXPECT_EQ(popped_n.load(), pushed_n.load()) << "point " << point;
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load()) << "point " << point;
+  EXPECT_GE(Inj::fired(point), 1u) << "point " << point << " never reached";
+}
+
+TEST(WcqFault, FiniteStallsConserveAtEveryPoint) {
+  // Capacity >= threads (3 here) with room for the victim's parked window.
+  // The two SCQ-geometry points run on the fast path (default patience);
+  // the three helping-protocol points on the forced slow path.
+  finite_stall_conservation<FaultWcqFast>("ring_enq_faa", 64);
+  finite_stall_conservation<FaultWcqFast>("ring_deq_faa", 64);
+  finite_stall_conservation<FaultWcq>("wcq_enq_slow_published", 64);
+  finite_stall_conservation<FaultWcq>("wcq_help_install", 64);
+  finite_stall_conservation<FaultWcq>("wcq_finalize", 64);
+}
+
+TEST(ScqFault, FiniteStallsConserveAtRingPoints) {
+  finite_stall_conservation<FaultScq>("ring_enq_faa", 64);
+  finite_stall_conservation<FaultScq>("ring_deq_faa", 64);
+}
+
+// Bounded memory under a forever-stalled thread (acceptance criterion):
+// unlike the unbounded queue — where a pinned reclamation frontier grows
+// live segments — the rings are allocation-free after construction.
+// footprint_bytes() must not move while healthy threads pump many times
+// the capacity through the queue around the parked victim, and every
+// value (the victim's published one included) is delivered exactly once.
+TEST(WcqFault, MemoryBoundedUnderForeverStall) {
+  fault_test::ScriptReset script;
+  FaultWcq q(64);
+  const std::size_t footprint = q.footprint_bytes();
+  constexpr uint64_t kVictimVal = (uint64_t{1} << 40) | 0xbeef;
+
+  std::thread victim([&] {
+    auto vh = q.get_handle();
+    Inj::set_victim(true);
+    EXPECT_TRUE(Inj::arm("wcq_enq_slow_published", fault::Action::kStall, 1,
+                         Inj::kForever));
+    try {
+      q.enqueue(vh, kVictimVal);
+      ADD_FAILURE() << "permanently stalled enqueue returned";
+    } catch (const fault::InjectedCrash&) {
+    }
+    Inj::set_victim(false);
+  });
+  while (Inj::stalls() == 0) std::this_thread::yield();
+
+  // 128 half-capacity rotations around the parked victim: progress and
+  // exact conservation, zero growth. Half capacity, not full — the victim
+  // holds one free index hostage while parked, so filling to the brim
+  // could only complete after its request is helped AND consumed.
+  auto h = q.get_handle();
+  uint64_t pumped_sum = 0, drained_sum = 0, drained_n = 0;
+  uint64_t victim_seen = 0;
+  for (uint64_t r = 0; r < 128; ++r) {
+    for (uint64_t i = 0; i < 32; ++i) {
+      const uint64_t v = (r << 8) | i | (uint64_t{2} << 40);
+      q.enqueue(h, v);
+      pumped_sum += v;
+    }
+    while (auto got = q.dequeue(h)) {
+      if (*got == kVictimVal) {
+        ++victim_seen;
+      } else {
+        drained_sum += *got;
+        ++drained_n;
+      }
+    }
+    ASSERT_LE(q.approx_size(), q.capacity());
+  }
+  EXPECT_EQ(q.footprint_bytes(), footprint);
+  EXPECT_EQ(drained_n, 128u * 32u);
+  EXPECT_EQ(drained_sum, pumped_sum);
+  EXPECT_EQ(victim_seen, 1u);  // helped through, exactly once
+
+  Inj::release_stalls();
+  victim.join();
+  EXPECT_FALSE(q.dequeue(h).has_value());
+}
+
+}  // namespace
+}  // namespace wfq

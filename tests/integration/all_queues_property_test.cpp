@@ -13,6 +13,9 @@
 #include "baselines/mutex_queue.hpp"
 #include "baselines/sim_queue.hpp"
 #include "core/obstruction_queue.hpp"
+#include "core/queue_concepts.hpp"
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
 #include "support/queue_test_util.hpp"
 
@@ -100,6 +103,36 @@ struct SimQueueFactory {
   }
 };
 
+struct ScqFactory {
+  static constexpr const char* kName = "SCQ";
+  using Queue = ScqQueue<uint64_t>;
+  // Bounded backends under the unbounded property driver: capacity must be
+  // comfortably above both the thread count (the ring precondition) and the
+  // single largest blocking-enqueue burst, or a test livelocks instead of
+  // measuring FIFO properties. SequentialFifo enqueues 2000 values before
+  // its first dequeue, so 4096 is the floor here, not a tuning choice.
+  static std::unique_ptr<Queue> make() { return std::make_unique<Queue>(4096); }
+};
+
+struct WcqFactory {
+  static constexpr const char* kName = "wCQ";
+  using Queue = WcqQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() { return std::make_unique<Queue>(4096); }
+};
+
+struct WcqSlowPathFactory {
+  static constexpr const char* kName = "wCQ-slow";
+  // Patience 0 forces every insertion through the publish/help/commit
+  // protocol, so the helping machinery gets full MPMC property coverage.
+  struct Traits {
+    static constexpr bool kCollectStats = true;
+    using Faa = NativeFaa;
+    static constexpr int kWcqPatience = 0;
+  };
+  using Queue = WcqQueue<uint64_t, Traits>;
+  static std::unique_ptr<Queue> make() { return std::make_unique<Queue>(4096); }
+};
+
 template <class Factory>
 class AllQueues : public ::testing::Test {};
 
@@ -107,8 +140,17 @@ using QueueFactories =
     ::testing::Types<WfDefaultFactory, WfZeroPatienceFactory, WfLlscFactory,
                      MsQueueFactory, LcrqFactory, CcQueueFactory,
                      MutexQueueFactory, ObstructionFactory, KpQueueFactory,
-                     SimQueueFactory>;
+                     SimQueueFactory, ScqFactory, WcqFactory,
+                     WcqSlowPathFactory>;
 TYPED_TEST_SUITE(AllQueues, QueueFactories);
+
+// Every entry in the typed list must model the formal concept the uniform
+// driver assumes (the informal comment-contract, made a compile error).
+template <class... Fs>
+constexpr bool all_conform(::testing::Types<Fs...>*) {
+  return (ConcurrentQueue<typename Fs::Queue> && ...);
+}
+static_assert(all_conform(static_cast<QueueFactories*>(nullptr)));
 
 TYPED_TEST(AllQueues, SequentialFifo) {
   auto q = TypeParam::make();

@@ -52,11 +52,11 @@ TEST(HarnessCompat, WfQueueWf0) {
   drive(q);
 }
 TEST(HarnessCompat, MsQueueHp) {
-  baselines::MSQueue<uint64_t, HpReclaimer> q;
+  baselines::MSQueue<uint64_t, HpReclaimer<2>> q;
   drive(q);
 }
 TEST(HarnessCompat, MsQueueEbr) {
-  baselines::MSQueue<uint64_t, EbrReclaimer> q;
+  baselines::MSQueue<uint64_t, EbrReclaimer<2>> q;
   drive(q);
 }
 TEST(HarnessCompat, Lcrq) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include "core/queue_concepts.hpp"
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -29,6 +30,8 @@ constexpr uint64_t val_seq(uint64_t v) {
 template <class Queue>
 void run_mpmc_property(Queue& q, unsigned producers, unsigned consumers,
                        uint64_t per_producer) {
+  static_assert(ConcurrentQueue<Queue>,
+                "property drivers require the formal queue contract");
   const uint64_t total = per_producer * producers;
   std::atomic<uint64_t> consumed{0};
   std::atomic<bool> producers_done{false};
@@ -56,6 +59,11 @@ void run_mpmc_property(Queue& q, unsigned producers, unsigned consumers,
         } else if (producers_done.load(std::memory_order_acquire) &&
                    consumed.load(std::memory_order_relaxed) >= total) {
           break;
+        } else {
+          // Empty is transient here; yield so an oversubscribed core can
+          // run the producer (or, on bounded rings, the blocked enqueuer)
+          // that will make the next value appear.
+          std::this_thread::yield();
         }
       }
     });
@@ -95,6 +103,8 @@ void run_mpmc_property(Queue& q, unsigned producers, unsigned consumers,
 /// Sequential FIFO smoke applicable to any queue type.
 template <class Queue>
 void run_sequential_fifo(Queue& q, uint64_t count) {
+  static_assert(ConcurrentQueue<Queue>,
+                "property drivers require the formal queue contract");
   auto h = q.get_handle();
   for (uint64_t i = 0; i < count; ++i) q.enqueue(h, i + 1);
   for (uint64_t i = 0; i < count; ++i) {
@@ -109,6 +119,8 @@ void run_sequential_fifo(Queue& q, uint64_t count) {
 /// conservation of values.
 template <class Queue>
 void run_pairs_conservation(Queue& q, unsigned threads, uint64_t pairs) {
+  static_assert(ConcurrentQueue<Queue>,
+                "property drivers require the formal queue contract");
   std::atomic<uint64_t> got{0};
   std::vector<std::thread> ts;
   for (unsigned t = 0; t < threads; ++t) {

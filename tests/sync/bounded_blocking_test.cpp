@@ -1,0 +1,257 @@
+// Bounded-backend contract through BlockingQueue (src/sync/blocking_queue.hpp
+// over src/core/scq.hpp and src/core/wcq.hpp): push_status -> kFull at
+// capacity, push_wait parking until a consumer frees space, push_wait_for's
+// timeout-vs-freed-space race, close() waking parked producers, and
+// capacity-exact MPMC conservation where every producer spends most of the
+// run parked on a full ring.
+//
+// Ring precondition everywhere below: capacity >= the number of threads
+// operating concurrently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "checker/queue_checker.hpp"
+#include "sync/blocking_queue.hpp"
+
+namespace wfq {
+namespace {
+
+using sync::BlockingScqQueue;
+using sync::BlockingWcqQueue;
+using sync::PopStatus;
+using sync::PushStatus;
+using sync::WaitPolicy;
+
+template <class Q>
+class BoundedBlockingTest : public ::testing::Test {};
+
+using BoundedQueues =
+    ::testing::Types<BlockingScqQueue<uint64_t>, BlockingWcqQueue<uint64_t>>;
+TYPED_TEST_SUITE(BoundedBlockingTest, BoundedQueues);
+
+TYPED_TEST(BoundedBlockingTest, PushStatusReportsFullAtCapacity) {
+  TypeParam q(8);
+  ASSERT_EQ(q.capacity(), 8u);
+  auto h = q.get_handle();
+  for (uint64_t i = 1; i <= 8; ++i) {
+    ASSERT_EQ(q.push_status(h, i), PushStatus::kOk) << "i=" << i;
+  }
+  // At capacity: kFull, repeatably, with nothing consumed or lost.
+  EXPECT_EQ(q.push_status(h, 100), PushStatus::kFull);
+  EXPECT_EQ(q.push_status(h, 100), PushStatus::kFull);
+  EXPECT_FALSE(q.push(h, 100));
+  // One slot freed -> next push succeeds; FIFO order intact.
+  EXPECT_EQ(q.try_pop(h).value(), 1u);
+  EXPECT_EQ(q.push_status(h, 100), PushStatus::kOk);
+  for (uint64_t i = 2; i <= 8; ++i) EXPECT_EQ(q.try_pop(h).value(), i);
+  EXPECT_EQ(q.try_pop(h).value(), 100u);
+  EXPECT_FALSE(q.try_pop(h).has_value());
+}
+
+TYPED_TEST(BoundedBlockingTest, PushWaitParksUntilConsumerFreesSpace) {
+  TypeParam q(8);
+  auto h = q.get_handle();
+  for (uint64_t i = 1; i <= 8; ++i) ASSERT_TRUE(q.push(h, i));
+  std::thread producer([&] {
+    auto ph = q.get_handle();
+    EXPECT_EQ(q.push_wait(ph, 999, WaitPolicy::park_only()), PushStatus::kOk);
+  });
+  // Wait until the producer has actually registered as a space waiter (it
+  // cannot proceed: the ring is full), then free one slot.
+  while (q.space_waiters() == 0) std::this_thread::yield();
+  EXPECT_EQ(q.try_pop(h).value(), 1u);
+  producer.join();
+  auto s = q.stats();
+  EXPECT_GE(s.push_full_parks.load(), 1u);  // it really parked
+  // FIFO: the parked push landed after everything already in the ring.
+  for (uint64_t i = 2; i <= 8; ++i) EXPECT_EQ(q.try_pop(h).value(), i);
+  EXPECT_EQ(q.try_pop(h).value(), 999u);
+}
+
+TYPED_TEST(BoundedBlockingTest, PushWaitForTimesOutOnFullQueue) {
+  TypeParam q(8);
+  auto h = q.get_handle();
+  for (uint64_t i = 1; i <= 8; ++i) ASSERT_TRUE(q.push(h, i));
+  auto t0 = sync::WaitClock::now();
+  EXPECT_EQ(q.push_wait_for(h, 999, std::chrono::milliseconds(10),
+                            WaitPolicy::park_only()),
+            PushStatus::kTimeout);
+  EXPECT_GE(sync::WaitClock::now() - t0, std::chrono::milliseconds(5));
+  // Nothing was enqueued by the timed-out push.
+  for (uint64_t i = 1; i <= 8; ++i) EXPECT_EQ(q.try_pop(h).value(), i);
+  EXPECT_FALSE(q.try_pop(h).has_value());
+}
+
+// The producer mirror of ExpiredDeadlineStillDeliversDepositedValue: space
+// that frees "simultaneously" with the deadline must be used, not wasted —
+// push_wait_for runs one final attempt after observing the deadline.
+TYPED_TEST(BoundedBlockingTest, ExpiredDeadlineStillUsesFreedSpace) {
+  TypeParam q(8);
+  auto h = q.get_handle();
+  for (uint64_t i = 1; i <= 7; ++i) ASSERT_TRUE(q.push(h, i));
+  EXPECT_EQ(q.push_wait_for(h, 8, std::chrono::nanoseconds(0)),
+            PushStatus::kOk);
+}
+
+TYPED_TEST(BoundedBlockingTest, CloseWakesParkedProducer) {
+  TypeParam q(8);
+  auto h = q.get_handle();
+  for (uint64_t i = 1; i <= 8; ++i) ASSERT_TRUE(q.push(h, i));
+  std::thread producer([&] {
+    auto ph = q.get_handle();
+    EXPECT_EQ(q.push_wait(ph, 999, WaitPolicy::park_only()),
+              PushStatus::kClosed);
+  });
+  while (q.space_waiters() == 0) std::this_thread::yield();
+  q.close();
+  producer.join();  // a stranded parked producer hangs here
+  EXPECT_EQ(q.space_waiters(), 0u);
+  // Residue (everything accepted before close) still drains, then kClosed.
+  uint64_t v = 0;
+  for (uint64_t i = 1; i <= 8; ++i) {
+    ASSERT_EQ(q.pop_wait(h, v), PopStatus::kOk);
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.pop_wait(h, v), PopStatus::kClosed);
+}
+
+// Capacity-exact MPMC conservation: ring capacity equals the thread count,
+// so producers park on full and consumers park on empty throughout. Every
+// accepted push must come out exactly once before kClosed.
+TYPED_TEST(BoundedBlockingTest, CapacityExactMpmcNoLoss) {
+  constexpr unsigned kProducers = 2, kConsumers = 2;
+  constexpr uint64_t kOpsPerProducer = 5000;
+  TypeParam q(kProducers + kConsumers);
+  std::atomic<uint64_t> pushed_sum{0}, popped_sum{0};
+  std::atomic<uint64_t> pushed_n{0}, popped_n{0};
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      auto h = q.get_handle();
+      uint64_t local_sum = 0;
+      for (uint64_t i = 1; i <= kOpsPerProducer; ++i) {
+        uint64_t v = (uint64_t(p + 1) << 40) | i;
+        ASSERT_EQ(q.push_wait(h, v), PushStatus::kOk);
+        local_sum += v;
+      }
+      pushed_sum.fetch_add(local_sum);
+      pushed_n.fetch_add(kOpsPerProducer);
+    });
+  }
+  for (unsigned c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      auto h = q.get_handle();
+      uint64_t local_sum = 0, local_n = 0, v = 0;
+      while (q.pop_wait(h, v) == PopStatus::kOk) {
+        local_sum += v;
+        ++local_n;
+      }
+      popped_sum.fetch_add(local_sum);
+      popped_n.fetch_add(local_n);
+    });
+  }
+  for (unsigned p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (unsigned c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  EXPECT_EQ(pushed_n.load(), kProducers * kOpsPerProducer);
+  EXPECT_EQ(popped_n.load(), pushed_n.load());
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+}
+
+// close() racing a parked push_wait: whatever the interleaving, a push that
+// reported kOk must drain out, and a push that reported kClosed must not.
+TYPED_TEST(BoundedBlockingTest, PushWaitCloseRaceNeverLosesAcceptedValue) {
+  constexpr int kRounds = 100;
+  for (int r = 0; r < kRounds; ++r) {
+    TypeParam q(4);
+    auto h = q.get_handle();
+    for (uint64_t i = 1; i <= 4; ++i) ASSERT_TRUE(q.push(h, i));
+    std::atomic<int> accepted{-1};
+    std::thread producer([&] {
+      auto ph = q.get_handle();
+      PushStatus st = q.push_wait(ph, 999, WaitPolicy::park_only());
+      accepted.store(st == PushStatus::kOk ? 1 : 0);
+    });
+    std::thread racer([&] {
+      auto rh = q.get_handle();
+      std::this_thread::sleep_for(std::chrono::microseconds(r % 30));
+      (void)q.try_pop(rh);  // frees one slot...
+      q.close();            // ...racing the seal
+    });
+    producer.join();
+    racer.join();
+    ASSERT_NE(accepted.load(), -1);
+    std::vector<uint64_t> out;
+    q.drain(h, out);
+    uint64_t nines = 0;
+    for (uint64_t v : out) nines += (v == 999u);
+    ASSERT_EQ(nines, uint64_t(accepted.load()))
+        << "round " << r << ": push_wait said "
+        << (accepted.load() ? "kOk" : "kClosed") << " but " << nines
+        << " copies drained";
+  }
+}
+
+// Differential check through the linearizability checker: a concurrent
+// workload on the bounded blocking queue records a full history (with kFull
+// rejections unrecorded — a failed push has no effect) and must pass the
+// same FIFO + EMPTY-legality conditions the unbounded WFQueue is held to.
+// This is the "unmodified Traits seams" acceptance test: the checker cannot
+// tell which backend produced the history.
+TYPED_TEST(BoundedBlockingTest, HistoryIsLinearizableUnderChecker) {
+  for (int round = 0; round < 3; ++round) {
+    TypeParam q(16);
+    lin::HistoryRecorder rec;
+    constexpr unsigned kProducers = 2, kConsumers = 2;
+    std::vector<lin::HistoryRecorder::ThreadLog*> plogs, clogs;
+    for (unsigned i = 0; i < kProducers; ++i) plogs.push_back(rec.make_log(i));
+    for (unsigned i = 0; i < kConsumers; ++i) {
+      clogs.push_back(rec.make_log(kProducers + i));
+    }
+    constexpr uint64_t kPerProducer = 1500;
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        auto h = q.get_handle();
+        auto* log = plogs[p];
+        for (uint64_t i = 1; i <= kPerProducer; ++i) {
+          uint64_t v = (uint64_t(p + 1) << 40) | i;
+          uint64_t ts = log->invoke();
+          PushStatus st = q.push_wait(h, v);
+          if (st != PushStatus::kOk) break;  // closed: no effect, unrecorded
+          log->complete(lin::OpKind::kEnqueue, v, ts);
+        }
+      });
+    }
+    for (unsigned c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&, c] {
+        auto h = q.get_handle();
+        auto* log = clogs[c];
+        for (;;) {
+          uint64_t v = 0;
+          uint64_t ts = log->invoke();
+          PopStatus st = q.pop_wait(h, v);
+          if (st == PopStatus::kOk) {
+            log->complete(lin::OpKind::kDequeue, v, ts);
+          } else {
+            log->complete(lin::OpKind::kDequeueEmpty, 0, ts);
+            break;
+          }
+        }
+      });
+    }
+    for (unsigned p = 0; p < kProducers; ++p) threads[p].join();
+    q.close();
+    for (unsigned c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+    auto result = lin::check_queue_history(rec.collect());
+    ASSERT_TRUE(result.linearizable) << result.violation;
+  }
+}
+
+}  // namespace
+}  // namespace wfq

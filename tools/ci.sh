@@ -29,6 +29,17 @@
 #                     release bench binary must not contain any injection
 #                     point-name string (WFQ_INJECT's `if constexpr` must
 #                     have discarded them all).
+#   7. backends     — QueueBackend-concept leg: the concept-conformance
+#                     build (every backend's static_assert fires at compile
+#                     time; the QueueConcepts suite re-checks the caps at
+#                     runtime), the bounded-backend suites (SCQ/wCQ rings:
+#                     property tests, bounded blocking contract, ring fault
+#                     matrix) in the default, ASan and TSan trees, one
+#                     seeded `--backend wcq --inject` chaos soak with exact
+#                     conservation, live differential fuzzing of each
+#                     backend through the checker, and a grep check that
+#                     wf_queue_core.hpp stays free of the handle-
+#                     registration scaffolding HandleRegistry absorbed.
 #   6. obs          — observability leg: NullMetrics zero-footprint check
 #                     (no "obs:" trace-event name may survive into a bench
 #                     binary built without the metrics traits), the obs
@@ -38,13 +49,14 @@
 #                     trace JSON is schema-validated, and a parse check of
 #                     the committed BENCH_*.json latency columns.
 #
-# Usage: tools/ci.sh [default|asan|tsan|bench|faults|obs]...  (no args = all)
+# Usage: tools/ci.sh [default|asan|tsan|bench|faults|obs|backends]...
+#        (no args = all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
 CONFIGS=("$@")
-[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan bench faults obs)
+[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan bench faults obs backends)
 
 run_config() {
   local name=$1
@@ -229,7 +241,7 @@ run_obs() {
   "${dir}/tools/soak" 2 2 block --metrics --trace "${scratch}/block.json"
   if command -v python3 >/dev/null 2>&1; then
     python3 - "${scratch}/inject.json" "${scratch}/block.json" \
-      BENCH_bulk.json BENCH_wakeup.json <<'EOF'
+      BENCH_bulk.json BENCH_wakeup.json BENCH_bounded.json <<'EOF'
 import json, sys
 from collections import Counter
 
@@ -267,6 +279,74 @@ EOF
   echo "== [obs] OK =="
 }
 
+run_backends() {
+  # QueueBackend-concept leg. Building any tree IS the conformance check —
+  # queue_concepts.hpp static_asserts every backend at compile time — but
+  # the ctest pass below re-proves the QueueCaps claims at runtime and
+  # exercises the bounded family end to end:
+  #   QueueConcepts        caps + bounded contract (kFull keeps the value)
+  #   AllQueues<Scq|Wcq*>  property tests through the typed backend list
+  #   BoundedBlocking      push_wait parking / close() / capacity-exact MPMC
+  #   WcqFault|ScqFault    ring fault matrix (stall, crash, adoption,
+  #                        bounded memory under a forever-stalled thread)
+  local regex='QueueConcepts|ScqFactory|WcqFactory|WcqSlowPathFactory'
+  regex+='|BoundedBlocking|WcqFault|ScqFault'
+  local dir
+
+  for dir in build-ci-default build-ci-asan build-ci-tsan; do
+    case "${dir}" in
+      *asan) echo "== [backends] configure+build (asan) =="
+             cmake -B "${dir}" -S . -DWFQ_SANITIZE=address >/dev/null ;;
+      *tsan) echo "== [backends] configure+build (tsan) =="
+             cmake -B "${dir}" -S . -DWFQ_SANITIZE=thread >/dev/null ;;
+      *) echo "== [backends] configure+build (default) =="
+         cmake -B "${dir}" -S . >/dev/null ;;
+    esac
+    cmake --build "${dir}" -j "${JOBS}" >/dev/null
+    echo "== [backends] ${dir} bounded suites =="
+    case "${dir}" in
+      *asan) (cd "${dir}" && ASAN_OPTIONS=detect_leaks=1 \
+               ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+      *tsan) (cd "${dir}" && TSAN_OPTIONS=halt_on_error=1 \
+               ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+      *) (cd "${dir}" && ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+    esac
+  done
+
+  # Chaos soak against the bounded wait-free ring: the wcq_*/ring_* points
+  # become reachable, and accounting must still balance exactly.
+  echo "== [backends] soak --backend wcq --inject 7 (2 s, 2x2 threads) =="
+  build-ci-default/tools/soak --backend wcq --inject 7 2 2
+
+  # Live differential fuzzing: every backend's recorded histories through
+  # both linearizability checkers (faa's fabricated-value histories drive
+  # the rejection paths; the real queues must come back linearizable).
+  local b
+  for b in wf faa obstruction scq wcq; do
+    echo "== [backends] fuzz_checker --backend ${b} (2 s) =="
+    build-ci-default/tools/fuzz_checker --backend "${b}" 2
+  done
+
+  # The dedup half of the refactor, grep-enforced: WFQueueCore must not
+  # regrow the handle-registration ring / free-list / registration-mutex
+  # scaffolding it used to duplicate from SegmentQueueBase — that now
+  # lives only in HandleRegistry.
+  echo "== [backends] wf_queue_core.hpp scaffolding check =="
+  if grep -qE "free_handles_|all_handles_|handle_mutex_" \
+       src/core/wf_queue_core.hpp; then
+    echo "FAIL: handle-registration scaffolding is back in" \
+         "wf_queue_core.hpp — use HandleRegistry instead" >&2
+    exit 1
+  fi
+  if ! grep -q "HandleRegistry" src/core/wf_queue_core.hpp; then
+    echo "FAIL: wf_queue_core.hpp no longer uses HandleRegistry —" \
+         "the scaffolding grep above is guarding the wrong seam" >&2
+    exit 1
+  fi
+  echo "  wf_queue_core.hpp is scaffolding-free (HandleRegistry in use)"
+  echo "== [backends] OK =="
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "${cfg}" in
     default) run_config default ;;
@@ -275,8 +355,9 @@ for cfg in "${CONFIGS[@]}"; do
     bench) run_bench_smoke ;;
     faults) run_faults ;;
     obs) run_obs ;;
+    backends) run_backends ;;
     *)
-      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults|obs)" >&2
+      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults|obs|backends)" >&2
       exit 2
       ;;
   esac

@@ -6,15 +6,37 @@
 // slice of this; the tool runs for as long as you give it.
 //
 //   $ ./fuzz_checker [seconds] [max_ops]
+//     synthetic mode (default): generated histories, valid and broken
+//   $ ./fuzz_checker --backend {wf,faa,obstruction,scq,wcq} [seconds] [max_ops]
+//     live mode: tiny concurrent episodes (2 producers + 2 consumers,
+//     <= max_ops operations so the brute-force search stays feasible) are
+//     recorded from the chosen backend through the ConcurrentQueue concept
+//     seam. Both checkers must agree on every recorded history, and for
+//     the real FIFO backends the history must also BE linearizable — a
+//     rejection is a queue bug, printed with its replayable episode seed.
+//     `faa` is the §5 ticket microbenchmark: it fabricates dequeue values,
+//     so its histories are mostly rejected (P1/P2/P4) — live-mode faa
+//     exists to drive the checkers' rejection paths with execution-shaped
+//     timestamps, and checker agreement is the whole assertion.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "baselines/faaq.hpp"
 #include "checker/brute_checker.hpp"
+#include "checker/history.hpp"
 #include "checker/queue_checker.hpp"
 #include "common/random.hpp"
+#include "core/obstruction_queue.hpp"
+#include "core/queue_concepts.hpp"
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
+#include "core/wf_queue.hpp"
 
 namespace {
 
@@ -118,12 +140,137 @@ void dump(const std::vector<Op>& h) {
   }
 }
 
+/// Live mode: record real concurrent episodes from backend Q and hold the
+/// two checkers to agreement (plus linearizability when `expect_fifo`).
+/// One episode = fresh queue, 2 producers with distinct tagged values and
+/// 2 consumers with a bounded attempt budget, all through the concept-
+/// checked enqueue/dequeue seam — the recorder cannot tell backends apart.
+template <class Q, class... Args>
+int run_live(const char* name, bool expect_fifo, double seconds,
+             unsigned max_ops, Args... qargs) {
+  static_assert(ConcurrentQueue<Q>);
+  std::printf("fuzzing live %s histories for %.1fs (episodes of <= %u ops, "
+              "2 producers + 2 consumers)...\n",
+              name, seconds, max_ops);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(seconds);
+  uint64_t seed = 1;
+  uint64_t episodes = 0, accepted = 0, rejected = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    Xorshift128Plus rng(seed);
+    unsigned n_enq = 1 + unsigned(rng.next_below(std::max(1u, max_ops / 2)));
+    unsigned n_deq =
+        1 + unsigned(rng.next_below(std::max(1u, max_ops - n_enq)));
+    Q q(qargs...);
+    HistoryRecorder rec;
+    HistoryRecorder::ThreadLog* logs[4];
+    for (unsigned t = 0; t < 4; ++t) logs[t] = rec.make_log(t);
+    const unsigned enq_share[2] = {n_enq / 2, n_enq - n_enq / 2};
+    const unsigned deq_share[2] = {n_deq / 2, n_deq - n_deq / 2};
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < 2; ++p) {
+      threads.emplace_back([&, p] {
+        auto h = q.get_handle();
+        for (unsigned i = 1; i <= enq_share[p]; ++i) {
+          recorded_enqueue(q, h, logs[p], (uint64_t(p + 1) << 40) | i);
+        }
+      });
+    }
+    for (unsigned c = 0; c < 2; ++c) {
+      threads.emplace_back([&, c] {
+        auto h = q.get_handle();
+        for (unsigned i = 0; i < deq_share[c]; ++i) {
+          (void)recorded_dequeue(q, h, logs[2 + c]);
+          if (i % 2 == c) std::this_thread::yield();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    auto h = rec.collect();
+    auto pattern = wfq::lin::check_queue_history(h);
+    bool brute = wfq::lin::brute_force_linearizable(h);
+    ++episodes;
+    (pattern.linearizable ? accepted : rejected)++;
+    if (pattern.linearizable != brute) {
+      std::printf("DISAGREEMENT at episode seed=%llu: pattern says %s, "
+                  "brute force says %s\n",
+                  (unsigned long long)seed,
+                  pattern.linearizable ? "linearizable"
+                                       : pattern.violation.c_str(),
+                  brute ? "linearizable" : "NOT linearizable");
+      dump(h);
+      return 1;
+    }
+    if (expect_fifo && !pattern.linearizable) {
+      std::printf("NOT LINEARIZABLE at episode seed=%llu on %s: %s\n",
+                  (unsigned long long)seed, name,
+                  pattern.violation.c_str());
+      dump(h);
+      return 1;
+    }
+    ++seed;
+  }
+  std::printf("fuzz_checker: %llu live %s episodes (%llu linearizable, "
+              "%llu rejected) — checkers agree%s\n",
+              (unsigned long long)episodes, name,
+              (unsigned long long)accepted, (unsigned long long)rejected,
+              expect_fifo ? ", all histories linearizable" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --backend; the positional [seconds] [max_ops] keep their slots.
+  std::vector<char*> args;
+  std::string backend;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--backend requires {wf,faa,obstruction,scq,wcq}\n");
+        return 2;
+      }
+      backend = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = int(args.size());
+  argv = args.data();
   double seconds = argc > 1 ? std::strtod(argv[1], nullptr) : 30.0;
   unsigned max_ops =
       argc > 2 ? unsigned(std::strtoul(argv[2], nullptr, 10)) : 11;
+
+  if (!backend.empty()) {
+    // Ring capacity clears max_ops so a full ring can never block a
+    // producer after the consumers' attempt budgets run out.
+    const std::size_t cap = std::size_t(max_ops) + 4;
+    if (backend == "wf") {
+      return run_live<WFQueue<uint64_t>>("WFQueue", true, seconds, max_ops);
+    }
+    if (backend == "faa") {
+      return run_live<baselines::FAAQueue<uint64_t>>(
+          "FAAQueue", false, seconds, max_ops);
+    }
+    if (backend == "obstruction") {
+      return run_live<ObstructionQueue<uint64_t>>("ObstructionQueue", true,
+                                                  seconds, max_ops);
+    }
+    if (backend == "scq") {
+      return run_live<ScqQueue<uint64_t>>("ScqQueue", true, seconds, max_ops,
+                                          cap);
+    }
+    if (backend == "wcq") {
+      return run_live<WcqQueue<uint64_t>>("WcqQueue", true, seconds, max_ops,
+                                          cap);
+    }
+    std::fprintf(stderr, "unknown backend '%s' (want wf, faa, obstruction, "
+                         "scq or wcq)\n",
+                 backend.c_str());
+    return 2;
+  }
 
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::duration<double>(seconds);

@@ -19,6 +19,15 @@
 //   $ ./soak [seconds] [threads] [queue]
 //     queue in {block, wf, wf0, msq, lcrq, ccq, mutex, kp, sim};
 //     default block
+//   $ ./soak --backend {wf,faa,obstruction,scq,wcq} [seconds] [threads]
+//     backend-selector form (mirrors wfq_create_ex): wf is the blocking
+//     soak, obstruction is a raw-queue soak of that baseline, and
+//     scq/wcq run the blocking layer over the bounded rings — producers
+//     park in push_wait when the ring fills, and the close()/drain()
+//     accounting must still balance EXACTLY (backpressure costs time,
+//     never operations). faa is the §5 FAA ticket microbenchmark, which
+//     is not a value-carrying queue, so it gets its own exact audit
+//     (ticket accounting, not checksums — see run_faa).
 //   $ ./soak --inject <seed> [seconds] [threads]
 //     blocking-layer soak with the fault-injection harness compiled in: a
 //     seeded schedule of yields/delays/finite stalls/allocation-failure
@@ -27,6 +36,9 @@
 //     never operations, and the OOM contract says a failed push consumes
 //     nothing. Crashes are deliberately not in the soak schedule (their
 //     bounded value loss is owned by the injection-matrix ctest).
+//     Composes with --backend: `--backend wcq --inject <seed>` arms the
+//     same schedule against a bounded ring (the wcq_* and ring_* points
+//     become reachable; the segment/reclamation points stay inert).
 //
 // Observability flags (block and --inject modes, which compile the queue
 // with ObsMetrics at the production sampling rate; the raw baseline modes
@@ -53,12 +65,16 @@
 #include <vector>
 
 #include "baselines/ccqueue.hpp"
+#include "baselines/faaq.hpp"
 #include "baselines/kp_queue.hpp"
 #include "baselines/lcrq.hpp"
 #include "baselines/ms_queue.hpp"
 #include "baselines/mutex_queue.hpp"
 #include "baselines/sim_queue.hpp"
 #include "common/random.hpp"
+#include "core/obstruction_queue.hpp"
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
 #include "harness/fault_inject.hpp"
 #include "obs/metrics.hpp"
@@ -82,6 +98,19 @@ ObsOptions g_obs;
 struct SoakObsTraits : wfq::DefaultWfTraits {
   using Metrics = wfq::obs::ObsMetrics<>;
 };
+
+/// Ring analog for the scq/wcq backends.
+struct SoakRingObsTraits : wfq::DefaultRingTraits {
+  using Metrics = wfq::obs::ObsMetrics<>;
+};
+
+/// Ring capacity for the bounded soaks: small enough that producers hit
+/// FULL constantly (the point of the exercise), while honoring the ring
+/// precondition capacity >= concurrent threads.
+std::size_t ring_capacity(unsigned threads) {
+  const std::size_t floor_cap = 2 * std::size_t(threads) + 2;
+  return floor_cap > 256 ? floor_cap : 256;
+}
 
 void print_obs_report(const wfq::obs::ObsSnapshot& snap) {
   auto hist = [](const char* name, const wfq::obs::LatencyHistogram& h) {
@@ -125,7 +154,10 @@ bool obs_epilogue(const wfq::obs::ObsSnapshot& snap, const wfq::OpStats& st) {
   } shadow[] = {
       {TraceEvent::kEnqSlow, "enq_slow", st.enq_slow.load()},
       {TraceEvent::kDeqSlow, "deq_slow", st.deq_slow.load()},
-      {TraceEvent::kPark, "deq_parks", st.deq_parks.load()},
+      // Both park sites emit kPark: consumers on empty (a=1), producers on
+      // a full bounded ring (a=2).
+      {TraceEvent::kPark, "deq_parks+push_full_parks",
+       st.deq_parks.load() + st.push_full_parks.load()},
       {TraceEvent::kAllocFail, "alloc_failures", st.alloc_failures.load()},
       {TraceEvent::kReserveHit, "reserve_pool_hits",
        st.reserve_pool_hits.load()},
@@ -270,20 +302,26 @@ SoakResult soak(Queue& q, unsigned threads, double seconds) {
 
 // ---- blocking-layer soak ----------------------------------------------
 //
-// `threads` producers + `threads` consumers on a BlockingWFQueue.
+// `threads` producers + `threads` consumers on a BlockingQueue over any
+// inner backend (the unbounded WFQueue, or a bounded SCQ/wCQ ring).
 // Consumers alternate between the spinning escalation policy and pure
 // park_only sleeping, and a quarter of their pops are pop_wait_bulk
-// batches. Producers stop at the deadline and join BEFORE close(), so
+// batches. Producers push via push_wait — a no-op difference on the
+// unbounded queue, futex backpressure on a full ring — and bulk pushes
+// account only the committed prefix (a bounded inner commits what fits).
+// Producers stop at the deadline and join BEFORE close(), so
 // close() observes a quiesced producer side; consumers then drain the
 // residue through their ordinary pop loops until pop_wait reports
 // kClosed. Unlike the raw-queue soak there is no main-thread sweep: the
 // close()/drain() contract guarantees the per-consumer accounting already
 // covers every in-flight item, and we assert exactly that.
-int run_blocking(unsigned threads, double seconds) {
-  using BQ = wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, SoakObsTraits>>;
+template <class BQ>
+int run_blocking_q(BQ& q, const char* name, unsigned threads,
+                   double seconds) {
   using wfq::sync::PopStatus;
+  using wfq::sync::PushStatus;
   using wfq::sync::WaitPolicy;
-  BQ q;
+  constexpr bool kBounded = requires(const BQ& qq) { qq.capacity(); };
 
   std::atomic<bool> stop_producing{false};
   std::vector<uint64_t> enq_count(threads, 0), sum_in(threads, 0);
@@ -291,9 +329,14 @@ int run_blocking(unsigned threads, double seconds) {
   std::vector<uint64_t> fifo_bad(threads, 0), timeouts(threads, 0);
   constexpr std::size_t kMaxBatch = 16;
 
-  std::printf("soaking BlockingWFQueue for %.1fs with %u producers + "
+  std::printf("soaking %s for %.1fs with %u producers + "
               "%u consumers (%u spinning, %u sleeping)...\n",
-              seconds, threads, threads, (threads + 1) / 2, threads / 2);
+              name, seconds, threads, threads, (threads + 1) / 2,
+              threads / 2);
+  if constexpr (kBounded) {
+    std::printf("  bounded: capacity=%zu, producers park on FULL\n",
+                q.capacity());
+  }
 
   std::vector<std::thread> producers, consumers;
   for (unsigned t = 0; t < threads; ++t) {
@@ -308,14 +351,28 @@ int run_blocking(unsigned threads, double seconds) {
           for (std::size_t j = 0; j < k; ++j) {
             batch[j] = (uint64_t(t) << 40) | ++seq;
           }
-          if (q.push_bulk(h, batch.data(), k) != k) break;  // closed
-          for (std::size_t j = 0; j < k; ++j) sum_in[t] += batch[j];
-          enq_count[t] += k;
+          std::size_t got = q.push_bulk(h, batch.data(), k);
+          for (std::size_t j = 0; j < got; ++j) sum_in[t] += batch[j];
+          enq_count[t] += got;
+          if (got < k) {
+            // The uncommitted tail never entered the queue: rewind so the
+            // per-producer sequence stream stays dense for the FIFO check.
+            seq -= (k - got);
+            if (q.closed()) break;
+            // Bounded ring momentarily full — loop and try again.
+          }
         } else {
-          uint64_t v = (uint64_t(t) << 40) | ++seq;
-          if (!q.push(h, v)) break;  // closed
-          sum_in[t] += v;
-          ++enq_count[t];
+          uint64_t v = (uint64_t(t) << 40) | (seq + 1);
+          PushStatus st = q.push_wait(h, v);
+          if (st == PushStatus::kOk) {
+            ++seq;
+            sum_in[t] += v;
+            ++enq_count[t];
+          } else if (st == PushStatus::kClosed) {
+            break;
+          } else {
+            std::this_thread::yield();  // kNoMem: clean failure, retryable
+          }
         }
       }
     });
@@ -389,11 +446,12 @@ int run_blocking(unsigned threads, double seconds) {
   uint64_t total_timeouts = 0;
   for (auto v : timeouts) total_timeouts += v;
   auto st = q.stats();
-  std::printf("  enq=%llu deq=%llu timeouts=%llu parks=%llu notifies=%llu "
-              "spurious=%llu\n",
+  std::printf("  enq=%llu deq=%llu timeouts=%llu parks=%llu "
+              "push_parks=%llu notifies=%llu spurious=%llu\n",
               (unsigned long long)r.enqueued, (unsigned long long)r.dequeued,
               (unsigned long long)total_timeouts,
               (unsigned long long)st.deq_parks.load(),
+              (unsigned long long)st.push_full_parks.load(),
               (unsigned long long)st.notify_calls.load(),
               (unsigned long long)st.deq_spurious_wakeups.load());
   bool exact = r.enqueued == r.dequeued && leftover == 0;
@@ -404,6 +462,25 @@ int run_blocking(unsigned threads, double seconds) {
               r.fifo_violations == 0 ? "OK" : "FAILED");
   bool obs_ok = obs_epilogue(q.collect_obs(), st);
   return (r.ok() && exact && obs_ok) ? 0 : 1;
+}
+
+int run_blocking(unsigned threads, double seconds) {
+  wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, SoakObsTraits>> q;
+  return run_blocking_q(q, "BlockingWFQueue", threads, seconds);
+}
+
+/// Bounded blocking soaks (`--backend scq|wcq`): exact conservation with
+/// both directions parking — consumers on empty, producers on full.
+int run_blocking_ring(const std::string& backend, unsigned threads,
+                      double seconds) {
+  const std::size_t cap = ring_capacity(threads);
+  if (backend == "scq") {
+    wfq::sync::BlockingQueue<wfq::ScqQueue<uint64_t, SoakRingObsTraits>> q(
+        cap);
+    return run_blocking_q(q, "BlockingScqQueue", threads, seconds);
+  }
+  wfq::sync::BlockingQueue<wfq::WcqQueue<uint64_t, SoakRingObsTraits>> q(cap);
+  return run_blocking_q(q, "BlockingWcqQueue", threads, seconds);
 }
 
 // ---- fault-injection soak ---------------------------------------------
@@ -422,53 +499,29 @@ struct SoakFaultTraits : wfq::DefaultWfTraits {
   using Metrics = wfq::obs::ObsMetrics<>;
 };
 
-int run_inject(uint64_t seed, unsigned threads, double seconds) {
+/// Ring analog (`--backend scq|wcq --inject`): same schedule machinery,
+/// bounded backend. The ring_* / wcq_* points become reachable; the
+/// segment and reclamation points stay inert (rings never allocate).
+struct SoakRingFaultTraits : wfq::DefaultRingTraits {
+  using Injector = wfq::fault::ScriptedInjector;
+  using Metrics = wfq::obs::ObsMetrics<>;
+};
+
+template <class BQ>
+int run_inject_q(BQ& q, const char* name, unsigned threads, double seconds) {
   using Inj = wfq::fault::ScriptedInjector;
-  using BQ = wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, SoakFaultTraits>>;
   using wfq::sync::PopStatus;
   using wfq::sync::PushStatus;
   using wfq::sync::WaitPolicy;
-
-  Inj::reset();
-  wfq::Xorshift128Plus rng(seed ^ 0x5eedf417u);
-  // Arm up to 6 distinct points with neutral actions. Points the victim's
-  // producer role never passes simply stay inert — the schedule is still
-  // reproducible from the seed alone.
-  constexpr wfq::fault::Action kNeutral[] = {
-      wfq::fault::Action::kYield, wfq::fault::Action::kDelay,
-      wfq::fault::Action::kStall, wfq::fault::Action::kAllocFail};
-  std::printf("fault schedule (seed %llu):\n", (unsigned long long)seed);
-  for (int i = 0; i < 6; ++i) {
-    const char* point =
-        wfq::fault::kInjectionPoints[rng.next_below(
-            wfq::fault::kInjectionPointCount)];
-    wfq::fault::Action a = kNeutral[rng.next_below(4)];
-    // Finite stalls (64-573 global steps) and small alloc-fail bursts (1-4
-    // failures per firing) keep every fault recoverable in-line.
-    uint64_t arg = a == wfq::fault::Action::kStall
-                       ? 64 + rng.next_below(510)
-                       : a == wfq::fault::Action::kAllocFail
-                             ? 1 + rng.next_below(4)
-                             : 0;
-    uint32_t budget = 1u << (3 + rng.next_below(8));  // 8 .. 1024 firings
-    if (Inj::arm(point, a, budget, arg)) {
-      std::printf("  %-22s action=%d budget=%u arg=%llu\n", point, int(a),
-                  budget, (unsigned long long)arg);
-    }
-  }
-
-  wfq::WfConfig cfg;
-  cfg.reserve_segments = 2;  // the airbag the alloc-fail bursts land on
-  BQ q(cfg);
 
   std::atomic<bool> stop_producing{false};
   std::vector<uint64_t> enq_count(threads, 0), sum_in(threads, 0);
   std::vector<uint64_t> deq_count(threads, 0), sum_out(threads, 0);
   std::vector<uint64_t> fifo_bad(threads, 0), nomem(threads, 0);
 
-  std::printf("soaking BlockingQueue<WFQueue[ScriptedInjector]> for %.1fs "
-              "with %u producers (victim: 0) + %u consumers...\n",
-              seconds, threads, threads);
+  std::printf("soaking %s for %.1fs with %u producers (victim: 0) + "
+              "%u consumers...\n",
+              name, seconds, threads, threads);
 
   std::vector<std::thread> producers, consumers;
   for (unsigned t = 0; t < threads; ++t) {
@@ -480,18 +533,20 @@ int run_inject(uint64_t seed, unsigned threads, double seconds) {
       bool closed = false;
       while (!closed && !stop_producing.load(std::memory_order_relaxed)) {
         uint64_t v = (uint64_t(t) << 40) | ++seq;
-        switch (q.push_status(h, v)) {
+        // push_wait: parks on a full bounded ring (never returns kFull),
+        // behaves exactly like push_status on the unbounded queue.
+        switch (q.push_wait(h, v)) {
           case PushStatus::kOk:
             sum_in[t] += v;
             ++enq_count[t];
             break;
-          case PushStatus::kNoMem:
-            ++nomem[t];  // clean failure: v was NOT consumed; retry later
-            --seq;
-            std::this_thread::yield();
-            break;
           case PushStatus::kClosed:
             closed = true;
+            break;
+          default:  // kNoMem: clean failure, v NOT consumed; retry later
+            ++nomem[t];
+            --seq;
+            std::this_thread::yield();
             break;
         }
       }
@@ -572,6 +627,133 @@ int run_inject(uint64_t seed, unsigned threads, double seconds) {
   return (r.ok() && exact && no_crash && obs_ok) ? 0 : 1;
 }
 
+/// Arm the seeded schedule, then run the inject soak on the selected
+/// backend. Arming is backend-independent — points the chosen queue never
+/// passes simply stay inert, and the schedule stays reproducible from the
+/// seed alone.
+int run_inject(uint64_t seed, unsigned threads, double seconds,
+               const std::string& backend) {
+  using Inj = wfq::fault::ScriptedInjector;
+  Inj::reset();
+  wfq::Xorshift128Plus rng(seed ^ 0x5eedf417u);
+  // Arm up to 6 distinct points with neutral actions.
+  constexpr wfq::fault::Action kNeutral[] = {
+      wfq::fault::Action::kYield, wfq::fault::Action::kDelay,
+      wfq::fault::Action::kStall, wfq::fault::Action::kAllocFail};
+  std::printf("fault schedule (seed %llu):\n", (unsigned long long)seed);
+  for (int i = 0; i < 6; ++i) {
+    const char* point =
+        wfq::fault::kInjectionPoints[rng.next_below(
+            wfq::fault::kInjectionPointCount)];
+    wfq::fault::Action a = kNeutral[rng.next_below(4)];
+    // Finite stalls (64-573 global steps) and small alloc-fail bursts (1-4
+    // failures per firing) keep every fault recoverable in-line.
+    uint64_t arg = a == wfq::fault::Action::kStall
+                       ? 64 + rng.next_below(510)
+                       : a == wfq::fault::Action::kAllocFail
+                             ? 1 + rng.next_below(4)
+                             : 0;
+    uint32_t budget = 1u << (3 + rng.next_below(8));  // 8 .. 1024 firings
+    if (Inj::arm(point, a, budget, arg)) {
+      std::printf("  %-22s action=%d budget=%u arg=%llu\n", point, int(a),
+                  budget, (unsigned long long)arg);
+    }
+  }
+
+  if (backend == "scq") {
+    wfq::sync::BlockingQueue<wfq::ScqQueue<uint64_t, SoakRingFaultTraits>> q(
+        ring_capacity(threads));
+    return run_inject_q(q, "BlockingQueue<ScqQueue[ScriptedInjector]>",
+                        threads, seconds);
+  }
+  if (backend == "wcq") {
+    wfq::sync::BlockingQueue<wfq::WcqQueue<uint64_t, SoakRingFaultTraits>> q(
+        ring_capacity(threads));
+    return run_inject_q(q, "BlockingQueue<WcqQueue[ScriptedInjector]>",
+                        threads, seconds);
+  }
+  wfq::WfConfig cfg;
+  cfg.reserve_segments = 2;  // the airbag the alloc-fail bursts land on
+  wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, SoakFaultTraits>> q(cfg);
+  return run_inject_q(q, "BlockingQueue<WFQueue[ScriptedInjector]>", threads,
+                      seconds);
+}
+
+/// `--backend faa`: the §5 FAA microbenchmark is NOT a queue — dequeue
+/// fabricates T{} whenever an enqueue ticket is available, and burns its
+/// dequeue ticket even when it reports empty. An empty dequeue at ticket d
+/// therefore strands the later enqueue numbered d: that loss is the
+/// strawman's defining property (the one the real queue's slow path
+/// exists to fix), so soak()'s value checksum and FIFO audits cannot
+/// apply. What IS exact is the ticket arithmetic, and that is what this
+/// soak audits after a single-threaded drain:
+///   - the queue's own FAA counters equal the harness's call counts
+///     (every call moved its hot-spot counter by exactly one);
+///   - successes <= enqueue tickets (nothing fabricated out of thin air);
+///   - enqueue tickets <= successes + worker empty-failures (each
+///     stranded enqueue maps to a distinct earlier empty failure).
+int run_faa(unsigned threads, double seconds) {
+  wfq::baselines::FAAQueue<uint64_t> q;
+  std::printf("soaking FAAQueue (FAA ticket microbenchmark) for %.1fs with "
+              "%u threads...\n",
+              seconds, threads);
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> enq_n(threads, 0), succ_n(threads, 0),
+      empty_n(threads, 0);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto h = q.get_handle();
+      wfq::Xorshift128Plus rng(t * 7919 + 13);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (rng.percent_chance(50)) {
+          q.enqueue(h, 0);
+          ++enq_n[t];
+        } else if (q.dequeue(h).has_value()) {
+          ++succ_n[t];
+        } else {
+          ++empty_n[t];
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  uint64_t enq = 0, succ = 0, empty = 0;
+  for (unsigned t = 0; t < threads; ++t) {
+    enq += enq_n[t];
+    succ += succ_n[t];
+    empty += empty_n[t];
+  }
+  // Drain: succeeds until the dequeue ticket counter passes the (now
+  // frozen) enqueue counter, then fails exactly once.
+  auto h = q.get_handle();
+  uint64_t deq_calls = succ + empty;
+  for (;;) {
+    ++deq_calls;
+    if (q.dequeue(h).has_value()) {
+      ++succ;
+    } else {
+      break;
+    }
+  }
+  const uint64_t stranded = enq - succ;
+  const bool counters_ok = q.enqueues() == enq && q.dequeues() == deq_calls;
+  const bool bounds_ok = succ <= enq && stranded <= empty;
+  std::printf("  tickets enq=%llu deq_calls=%llu fabricated=%llu "
+              "empty=%llu stranded=%llu\n",
+              (unsigned long long)enq, (unsigned long long)deq_calls,
+              (unsigned long long)succ, (unsigned long long)empty,
+              (unsigned long long)stranded);
+  std::printf("  FAA counter agreement %s, ticket conservation %s "
+              "(stranded <= empty failures: the strawman's loss mode)\n",
+              counters_ok ? "EXACT" : "FAILED",
+              bounds_ok ? "OK" : "FAILED");
+  return counters_ok && bounds_ok ? 0 : 1;
+}
+
 template <class Queue, class... Args>
 int run(const char* name, unsigned threads, double seconds, Args&&... args) {
   Queue q(std::forward<Args>(args)...);
@@ -591,6 +773,7 @@ int main(int argc, char** argv) {
   // Strip the observability flags first; everything else keeps its
   // positional meaning (so `soak --inject 7 --trace t.json 5 8` works).
   std::vector<char*> args;
+  std::string backend;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -601,6 +784,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_obs.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--backend requires {wf,faa,obstruction,scq,wcq}\n");
+        return 2;
+      }
+      backend = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -608,22 +798,47 @@ int main(int argc, char** argv) {
   argc = int(args.size());
   argv = args.data();
 
+  if (!backend.empty() && backend != "wf" && backend != "faa" &&
+      backend != "obstruction" && backend != "scq" && backend != "wcq") {
+    std::fprintf(stderr, "unknown backend '%s' (want wf, faa, obstruction, "
+                         "scq or wcq)\n",
+                 backend.c_str());
+    return 2;
+  }
+
   if (argc > 1 && std::strcmp(argv[1], "--inject") == 0) {
     if (argc < 3) {
-      std::fprintf(stderr, "usage: soak --inject <seed> [seconds] [threads]\n");
+      std::fprintf(stderr, "usage: soak [--backend b] --inject <seed> "
+                           "[seconds] [threads]\n");
+      return 2;
+    }
+    if (backend == "faa" || backend == "obstruction") {
+      std::fprintf(stderr,
+                   "--inject needs a blocking-layer backend (wf, scq, wcq)\n");
       return 2;
     }
     uint64_t seed = std::strtoull(argv[2], nullptr, 10);
     double secs = argc > 3 ? std::strtod(argv[3], nullptr) : 10.0;
     unsigned thr = argc > 4 ? unsigned(std::strtoul(argv[4], nullptr, 10)) : 4;
-    return run_inject(seed, thr, secs);
+    return run_inject(seed, thr, secs, backend);
   }
   double seconds = argc > 1 ? std::strtod(argv[1], nullptr) : 10.0;
   unsigned threads =
       argc > 2 ? unsigned(std::strtoul(argv[2], nullptr, 10)) : 4;
   std::string which = argc > 3 ? argv[3] : "block";
 
-  if (which == "block") {
+  if (backend == "faa") {
+    return run_faa(threads, seconds);
+  }
+  if (backend == "obstruction") {
+    return run<wfq::ObstructionQueue<uint64_t>>("ObstructionQueue", threads,
+                                                seconds);
+  }
+  if (backend == "scq" || backend == "wcq") {
+    return run_blocking_ring(backend, threads, seconds);
+  }
+  // --backend wf (or none): the default blocking soak / positional names.
+  if (which == "block" || backend == "wf") {
     return run_blocking(threads, seconds);
   }
   if (which == "wf") {
