@@ -1,0 +1,192 @@
+// Adaptive fast-path tuning A/B (ALGORITHM.md §14): the same workload run
+// with the knob fixed and with the controller driving it, side by side.
+//
+// Part A — PATIENCE: the Figure-2 pairs workload over WF-10 (the paper's
+// fixed default), WF-INF (never give up on the fast path) and WF-ADAPT
+// (per-handle EWMA controller retuning patience from the observed
+// slow-path ratio). With --json each point records throughput, the 95% CI
+// half-width and pooled p50/p99/p999 operation latency, so the committed
+// BENCH_adaptive.json shows the adaptive deltas — throughput AND tail —
+// at every swept thread count.
+//
+// Part B — bulk-k: "bulk pairs" with a deliberately large requested batch
+// (n = 64). Fixed mode hammers the queue with the full request every
+// time; adaptive mode lets the AIMD BulkKController shrink the reserved
+// batch whenever dequeue_bulk comes back short (unclaimed cells are pure
+// waste: each costs a cell plus helping traffic) and regrow it while
+// batches fill. Reported Mops/s counts elements, per-element latency is
+// bulk-call time / n.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/barrier.hpp"
+#include "harness/latency.hpp"
+
+namespace wfq::bench {
+namespace {
+
+constexpr std::size_t kBulkRequest = 64;
+
+/// One iteration of the bulk-pairs workload at a fixed requested batch
+/// size; returns raw element throughput in Mops/s. Identical shape to
+/// bench_bulk's driver — the only variable is the queue's patience_mode.
+double run_bulk_ab(WFQueue<uint64_t>& q, unsigned threads,
+                   uint64_t elems_per_thread, bool use_delay, uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  SpinBarrier start(threads), stop(threads);
+  std::vector<Clock::time_point> t_begin(threads), t_end(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)pin_to_cpu(t);
+      auto h = q.get_handle();
+      WorkDelay delay = WorkDelay::paper_default(seed * 1315423911u + t);
+      std::vector<uint64_t> vals(kBulkRequest), out(kBulkRequest);
+      const uint64_t batches =
+          (elems_per_thread + kBulkRequest - 1) / kBulkRequest;
+      uint64_t seq = 0;
+      start.arrive_and_wait();
+      t_begin[t] = Clock::now();
+      for (uint64_t b = 0; b < batches; ++b) {
+        for (std::size_t j = 0; j < kBulkRequest; ++j) {
+          vals[j] = (uint64_t(t) << 40) | ++seq;
+        }
+        q.enqueue_bulk(h, vals.data(), kBulkRequest);
+        if (use_delay) delay.spin();
+        // Drain what we produced; short returns are exactly the signal
+        // the adaptive controller feeds on.
+        std::size_t got = 0;
+        while (got < kBulkRequest) {
+          std::size_t r = q.dequeue_bulk(h, out.data() + got,
+                                         kBulkRequest - got);
+          got += r;
+          if (r == 0) break;
+        }
+        if (use_delay) delay.spin();
+      }
+      t_end[t] = Clock::now();
+      stop.arrive_and_wait();
+    });
+  }
+  for (auto& w : workers) w.join();
+  Clock::time_point first = t_begin[0], last = t_end[0];
+  for (unsigned t = 1; t < threads; ++t) {
+    if (t_begin[t] < first) first = t_begin[t];
+    if (t_end[t] > last) last = t_end[t];
+  }
+  const double secs = std::chrono::duration<double>(last - first).count();
+  const uint64_t elems = uint64_t(threads) *
+      ((elems_per_thread + kBulkRequest - 1) / kBulkRequest) * kBulkRequest;
+  return secs > 0 ? double(2 * elems) / secs / 1e6 : 0.0;
+}
+
+/// Per-element latency of the same workload (bulk-call time / n, pooled
+/// enqueue+dequeue).
+LatencyResult bulk_ab_latency(WFQueue<uint64_t>& q, unsigned threads,
+                              uint64_t elems_per_thread) {
+  using Clock = std::chrono::steady_clock;
+  SpinBarrier start(threads);
+  std::vector<std::vector<uint64_t>> samples(threads);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)pin_to_cpu(t);
+      auto h = q.get_handle();
+      std::vector<uint64_t> vals(kBulkRequest), out(kBulkRequest);
+      const uint64_t batches =
+          (elems_per_thread + kBulkRequest - 1) / kBulkRequest;
+      auto& mine = samples[t];
+      mine.reserve(2 * batches);
+      uint64_t seq = 0;
+      start.arrive_and_wait();
+      for (uint64_t b = 0; b < batches; ++b) {
+        for (std::size_t j = 0; j < kBulkRequest; ++j) {
+          vals[j] = (uint64_t(t) << 40) | ++seq;
+        }
+        auto t0 = Clock::now();
+        q.enqueue_bulk(h, vals.data(), kBulkRequest);
+        auto t1 = Clock::now();
+        (void)q.dequeue_bulk(h, out.data(), kBulkRequest);
+        auto t2 = Clock::now();
+        mine.push_back(
+            uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         t1 - t0).count()) / kBulkRequest);
+        mine.push_back(
+            uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         t2 - t1).count()) / kBulkRequest);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<uint64_t> all;
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  return summarize_latencies(std::move(all));
+}
+
+}  // namespace
+}  // namespace wfq::bench
+
+int main(int argc, char** argv) {
+  using namespace wfq::bench;
+  bench_main_init(argc, argv);
+  ::setenv("WFQ_NO_DELAY", "1", /*overwrite=*/0);
+
+  // ---- Part A: fixed vs adaptive PATIENCE on the Figure-2 pairs workload.
+  wfq::WfConfig wf10;
+  wf10.patience = 10;
+  wfq::WfConfig wfinf;
+  wfinf.patience = 1u << 20;
+  wfq::WfConfig wfadapt;
+  wfadapt.patience = 10;
+  wfadapt.patience_mode = wfq::PatienceMode::kAdaptive;
+  std::vector<Contender> ab;
+  ab.push_back(make_wf_contender<wfq::DefaultWfTraits>("WF-10", wf10));
+  ab.push_back(make_wf_contender<wfq::DefaultWfTraits>("WF-INF", wfinf));
+  ab.push_back(make_wf_contender<wfq::DefaultWfTraits>("WF-ADAPT", wfadapt));
+  run_figure("adaptive_patience", WorkloadKind::kPairs, 50, std::move(ab));
+
+  // ---- Part B: fixed vs adaptive bulk-k at a large requested batch.
+  auto threads = thread_counts_from_env();
+  auto mcfg = MethodologyConfig::from_env();
+  const uint64_t elems = ops_from_env();
+  const bool use_delay = delay_enabled_from_env();
+  const unsigned hw = wfq::hardware_threads();
+
+  std::cout << "== Bulk batch sizing: fixed request vs AIMD controller "
+               "(n=" << kBulkRequest << ") ==\n";
+  Table table({"threads", "WF-10 fixed (Mops/s)", "WF-ADAPT (Mops/s)"});
+  for (unsigned t : threads) {
+    const uint64_t per_thread = std::max<uint64_t>(kBulkRequest, elems / t);
+    std::vector<std::string> row{std::to_string(t) + (t > hw ? "^" : "")};
+    for (int adaptive = 0; adaptive <= 1; ++adaptive) {
+      wfq::WfConfig cfg = adaptive ? wfadapt : wf10;
+      auto ci = measure(mcfg, [&] {
+        auto q = std::make_shared<wfq::WFQueue<uint64_t>>(cfg);
+        return std::function<double()>([q, t, per_thread, use_delay] {
+          return run_bulk_ab(*q, t, per_thread, use_delay, 0xab);
+        });
+      });
+      wfq::WFQueue<uint64_t> lq(cfg);
+      LatencyResult lat = bulk_ab_latency(
+          lq, t, std::max<uint64_t>(4 * kBulkRequest, per_thread / 4));
+      row.push_back(Table::fmt_ci(ci.mean, ci.half_width));
+      const std::string name =
+          adaptive ? "WF-ADAPT bulk n=64" : "WF-10 bulk n=64";
+      json_sink().record("adaptive_bulk", name, t, ci.mean, double(lat.p50),
+                         double(lat.p99), double(lat.p999), ci.half_width);
+      std::cerr << "  [adaptive_bulk] " << name << " threads=" << t << ": "
+                << Table::fmt_ci(ci.mean, ci.half_width) << " Mops/s  p99="
+                << lat.p99 << "ns\n";
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -32,6 +32,7 @@
 #include "baselines/mutex_queue.hpp"
 #include "baselines/sim_queue.hpp"
 #include "common/cpu.hpp"
+#include "core/obstruction_queue.hpp"
 #include "core/scq.hpp"
 #include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
@@ -79,8 +80,10 @@ inline bool delay_enabled_from_env() {
 // ---- machine-readable output (--json) --------------------------------
 //
 // One record per measured (bench, config, threads) point:
-//   {"bench":"...","config":"...","threads":N,"mops":M,
+//   {"bench":"...","config":"...","threads":N,"mops":M,"ci_mops":null|H,
 //    "p50_ns":null|X,"p99_ns":null|X,"p999_ns":null|X}
+// ci_mops is the 95% confidence-interval half-width around mops (Georges
+// et al. methodology) — tools/bench_diff uses it to avoid flagging noise.
 // The file is a JSON array. To survive crashes and early exits without
 // leaving a truncated (unparseable) file at the target path, records are
 // written to `<file>.tmp` and the close() at process exit finishes the
@@ -102,12 +105,14 @@ class JsonSink {
 
   void record(const std::string& bench, const std::string& config,
               unsigned threads, double mops, double p50_ns = -1.0,
-              double p99_ns = -1.0, double p999_ns = -1.0) {
+              double p99_ns = -1.0, double p999_ns = -1.0,
+              double ci_mops = -1.0) {
     if (f_ == nullptr) return;
     std::fprintf(f_, "%s\n  {\"bench\":\"%s\",\"config\":\"%s\",\"threads\":%u,"
                      "\"mops\":%.6g",
                  first_ ? "" : ",", escaped(bench).c_str(),
                  escaped(config).c_str(), threads, mops);
+    write_pct("ci_mops", ci_mops);
     write_pct("p50_ns", p50_ns);
     write_pct("p99_ns", p99_ns);
     write_pct("p999_ns", p999_ns);
@@ -249,9 +254,21 @@ inline std::vector<Contender> figure2_contenders() {
   wf10.patience = 10;
   WfConfig wf0;
   wf0.patience = 0;
+  // WF-INF approximates the paper's PATIENCE=∞ column: with a practically
+  // unreachable patience the slow path never triggers, so the column
+  // isolates the raw FAA fast path of the wait-free structure.
+  WfConfig wfinf;
+  wfinf.patience = 1u << 20;
+  // WF-ADAPT is this repo's addition (ALGORITHM.md §14): the per-handle
+  // EWMA controller retunes patience from the observed slow-path ratio.
+  WfConfig wfadapt;
+  wfadapt.patience = 10;
+  wfadapt.patience_mode = PatienceMode::kAdaptive;
   std::vector<Contender> cs;
   cs.push_back(make_wf_contender<DefaultWfTraits>("WF-10", wf10));
   cs.push_back(make_wf_contender<DefaultWfTraits>("WF-0", wf0));
+  cs.push_back(make_wf_contender<DefaultWfTraits>("WF-INF", wfinf));
+  cs.push_back(make_wf_contender<DefaultWfTraits>("WF-ADAPT", wfadapt));
   cs.push_back(make_contender<baselines::FAAQueue<uint64_t>>("F&A"));
   cs.push_back(make_contender<baselines::CCQueue<uint64_t>>("CCQUEUE"));
   cs.push_back(make_contender<baselines::MSQueue<uint64_t>>("MSQUEUE"));
@@ -264,6 +281,9 @@ inline std::vector<Contender> figure2_contenders() {
   // the column measures ring-protocol cost, not backpressure.
   cs.push_back(make_contender<ScqQueue<uint64_t>>("SCQ"));
   cs.push_back(make_contender<WcqQueue<uint64_t>>("WCQ"));
+  // The obstruction-free ancestor (§3 of the paper): FAA fast path without
+  // the helping machinery — upper-bounds what helping may cost.
+  cs.push_back(make_contender<ObstructionQueue<uint64_t>>("OBSTRUCTION"));
   // Not in the paper's Figure 2, but §2 claims the first practical
   // wait-free queue performs like MS-Queue; this column checks that. The
   // helping registry is sized to the actual thread count (its state array
@@ -351,9 +371,10 @@ inline void run_figure(const std::string& title, WorkloadKind kind,
             std::max<uint64_t>(1, std::min<uint64_t>(ops, 20'000) / t);
         LatencyResult lr = c.measure_latency(t, pairs);
         json_sink().record(title, c.name, t, ci.mean, double(lr.p50),
-                           double(lr.p99), double(lr.p999));
+                           double(lr.p99), double(lr.p999), ci.half_width);
       } else {
-        json_sink().record(title, c.name, t, ci.mean);
+        json_sink().record(title, c.name, t, ci.mean, -1.0, -1.0, -1.0,
+                           ci.half_width);
       }
       std::cerr << "  [" << title << "] threads=" << t << " " << c.name
                 << ": " << Table::fmt_ci(ci.mean, ci.half_width)

@@ -1,0 +1,28 @@
+// The full Figure-2 campaign in one binary: every contender of
+// figure2_contenders() (the paper's line-up, this repo's bounded SCQ/wCQ
+// family, the Listing-1 obstruction-free ancestor, and the WF-INF /
+// WF-ADAPT patience columns) x the thread sweep x BOTH workloads of the
+// figure (enqueue-dequeue pairs on the left, 50%-enqueues on the right),
+// measured with the §5.1 Georges-et-al. methodology plus a
+// warm-up-until-stable phase, and — with --json — one record per point
+// carrying the 95% CI half-width (ci_mops) alongside mops/p50/p99/p999.
+//
+// The committed BENCH_fig2.json at the repo root is this binary's output;
+// tools/bench_diff gates CI against it (see `tools/ci.sh fig2` and
+// docs/BENCHMARKING.md "Figure 2 methodology" for the regeneration
+// command — the diff is only meaningful when fresh and baseline runs use
+// the same WFQ_* environment).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  wfq::bench::bench_main_init(argc, argv);
+  // Campaign default: discard up to two warm-up iterations per invocation
+  // (cold caches / first-touch faults / segment-pool fill); explicit
+  // WFQ_WARMUP still wins, and --smoke's tiny iteration budget keeps this
+  // cheap there.
+  ::setenv("WFQ_WARMUP", "2", /*overwrite=*/0);
+  wfq::bench::run_figure("fig2_pairs", wfq::bench::WorkloadKind::kPairs);
+  wfq::bench::run_figure("fig2_50enq", wfq::bench::WorkloadKind::kPercentEnq,
+                         /*percent_enqueue=*/50);
+  return 0;
+}

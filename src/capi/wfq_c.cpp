@@ -201,6 +201,8 @@ void wfq_options_init(wfq_options_t* opt) {
   opt->max_garbage = 64;
   opt->reserve_segments = 0;
   opt->capacity = 1024;
+  opt->patience_mode = WFQ_PATIENCE_FIXED;
+  opt->prefetch_segments = 1;
 }
 
 wfq_queue_t* wfq_create_ex(const wfq_options_t* opt) {
@@ -214,6 +216,14 @@ wfq_queue_t* wfq_create_ex(const wfq_options_t* opt) {
         cfg.patience = opt->patience;
         cfg.max_garbage = opt->max_garbage > 0 ? opt->max_garbage : 1;
         cfg.reserve_segments = opt->reserve_segments;
+        if (opt->patience_mode != WFQ_PATIENCE_FIXED &&
+            opt->patience_mode != WFQ_PATIENCE_ADAPTIVE) {
+          return nullptr;  // unknown mode: same contract as unknown backend
+        }
+        cfg.patience_mode = opt->patience_mode == WFQ_PATIENCE_ADAPTIVE
+                                ? wfq::PatienceMode::kAdaptive
+                                : wfq::PatienceMode::kFixed;
+        cfg.prefetch_segments = opt->prefetch_segments;
         return new wfq_queue(std::make_unique<QueueImpl<BQ>>(cfg));
       }
       case WFQ_BACKEND_SCQ:

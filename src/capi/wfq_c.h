@@ -56,6 +56,18 @@ typedef enum wfq_backend {
   WFQ_BACKEND_WCQ = 2  /* bounded wait-free-enqueue ring (wCQ) */
 } wfq_backend_t;
 
+/* PATIENCE driving mode (wfq_options_t.patience_mode; WF backend only).
+ * Adaptive mode seeds each handle's controller with `patience` (clamped to
+ * [1, 64]) and moves it with the observed slow-path ratio; adaptation only
+ * changes when helping starts, never whether it completes, so operations
+ * stay wait-free (docs/ALGORITHM.md section 14). The patience_raises /
+ * patience_drops / bulk_k_current counters of wfq_stats_ex_t report what
+ * the controllers did. */
+typedef enum wfq_patience_mode {
+  WFQ_PATIENCE_FIXED = 0,   /* the paper's WF-k: patience never moves */
+  WFQ_PATIENCE_ADAPTIVE = 1 /* per-handle slow-path-ratio controller */
+} wfq_patience_mode_t;
+
 /* Create a queue. `patience` is the paper's PATIENCE knob (10 = WF-10,
  * 0 = WF-0); `max_garbage` the reclamation threshold (segments).
  * Returns NULL on allocation failure. */
@@ -77,10 +89,14 @@ typedef struct wfq_options {
   size_t capacity;         /* SCQ/WCQ: hard element bound, rounded up to a
                             * power of two. Must be >= the number of threads
                             * operating concurrently (ring precondition). */
+  int patience_mode;       /* WF: wfq_patience_mode_t; fixed by default */
+  unsigned prefetch_segments; /* WF: next-segment header prefetch depth of
+                               * the cell traversal (0 disables; default 1) */
 } wfq_options_t;
 
-/* Fill `opt` with the defaults (WF backend, PATIENCE 10, MAX_GARBAGE 64,
- * no reserve, capacity 1024 for callers that switch the backend). */
+/* Fill `opt` with the defaults (WF backend, PATIENCE 10 fixed-mode,
+ * MAX_GARBAGE 64, no reserve, prefetch depth 1, capacity 1024 for callers
+ * that switch the backend). */
 void wfq_options_init(wfq_options_t* opt);
 
 /* Create from an options struct. Returns NULL on allocation failure or an

@@ -62,6 +62,13 @@
   /* push_wait, the producer-side mirror of deq_parks). */                   \
   F(enq_full)          /* try_enqueue returned kFull */                      \
   F(push_full_parks)   /* producer futex sleeps on a full queue */           \
+  /* Adaptive fast-path tuning (PR 7, src/core/adaptive.hpp). Nonzero */     \
+  /* only with WfConfig::patience_mode == kAdaptive: the per-handle */       \
+  /* PATIENCE controller's epoch-boundary decisions, and the high-water */   \
+  /* mark of the adaptive dequeue_bulk reservation size. */                  \
+  F(patience_raises)   /* adaptive PATIENCE doublings */                     \
+  F(patience_drops)    /* adaptive PATIENCE halvings */                      \
+  M(bulk_k_current)    /* largest adaptive bulk-k reservation used */        \
   /* Empirical wait-freedom bound (section 4): cells probed (find_cell */    \
   /* calls) per operation. Wait-freedom means max probes stays bounded */    \
   /* by a function of the thread count, never by the run length. */          \

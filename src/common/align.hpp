@@ -17,9 +17,22 @@ namespace wfq {
 ///
 /// `std::hardware_destructive_interference_size` exists but GCC warns when it
 /// leaks into ABI; 64 is correct for every x86-64 part and a safe
-/// over-estimate elsewhere. 128 would cover adjacent-line prefetchers, but
-/// the paper's reference implementation uses 64 and so do we.
-inline constexpr std::size_t kCacheLineSize = 64;
+/// over-estimate elsewhere. On x86 servers with the adjacent-line (spatial)
+/// prefetcher enabled, two 64-byte lines behave as one 128-byte
+/// destructive-interference granule — build with -DWFQ_CACHELINE=128 there
+/// (the CMake cache variable WFQ_CACHELINE plumbs it through). Every padded
+/// layout in the tree (CacheAligned, the Handle EnqSide/DeqSide blocks and
+/// their offset static_asserts in wf_queue_core.hpp, the segment headers)
+/// scales with this constant, so the override is a one-flag rebuild, never
+/// a code change. Mixing objects from translation units built with
+/// different WFQ_CACHELINE values is an ODR violation — set it globally.
+#ifndef WFQ_CACHELINE
+#define WFQ_CACHELINE 64
+#endif
+inline constexpr std::size_t kCacheLineSize = WFQ_CACHELINE;
+static_assert(kCacheLineSize >= 64 && kCacheLineSize <= 4096 &&
+                  (kCacheLineSize & (kCacheLineSize - 1)) == 0,
+              "WFQ_CACHELINE must be a power of two in [64, 4096]");
 
 /// Wraps `T` so that it starts on a cache-line boundary and owns the whole
 /// line (the struct is padded up to a multiple of `kCacheLineSize`).

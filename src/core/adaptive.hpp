@@ -1,0 +1,157 @@
+// Observability-driven adaptive tuning for the wait-free queue's fast-path
+// knobs (docs/ALGORITHM.md §14).
+//
+// The paper fixes PATIENCE (extra fast-path attempts before an operation
+// publishes a helping request) at construction time: WF-10 for
+// throughput, WF-0 to stress the slow path. But the right setting depends on
+// the observed contention mix — wCQ (PPoPP'22) shows the fast/slow fork is
+// the dominant cost lever in this design family, and the slow-path *ratio*
+// is exactly what the OpStats counters already measure. The controllers in
+// this header close that loop per handle:
+//
+//   * PatienceController — EWMA of the handle's own slow-path ratio over
+//     fixed-size op epochs, with a hysteresis band: ratio above the raise
+//     threshold doubles patience (more fast-path attempts, fewer request
+//     publications), below the drop threshold halves it (stop paying wasted
+//     CAS attempts the contention level no longer demands). Clamped to
+//     [kMinPatience, kMaxPatience] = [1, 64].
+//   * BulkKController — AIMD on dequeue_bulk reservation size: a reservation
+//     that came back full grows k (amortize the shared FAA further), a short
+//     return (the batch's emptiness witness) halves it so a near-empty queue
+//     stops burning head indices on tickets that will mostly be wasted.
+//
+// Progress-safety: adaptation only moves *when* the helping slow path is
+// entered (between 2 and 65 fast-path attempts), never *whether* it runs —
+// every operation still falls through to enq_slow/deq_slow after finitely
+// many attempts, so the wait-freedom bound (Theorem 4.6) is untouched; only
+// the constant changes. See docs/ALGORITHM.md §14 for the full argument.
+//
+// Threading contract: a controller is owner-local Handle state. note_op /
+// note_batch run on the handle owner's fast path and are plain loads/stores
+// and integer arithmetic — ZERO atomics, no fences, nothing shared. The
+// stats counters fed by the controller's decisions (patience_raises,
+// patience_drops, bulk_k_current) are bumped by the *caller* and only at
+// epoch boundaries, so the per-op cost of adaptive mode is one branch and
+// two owner-local increments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wfq::adaptive {
+
+/// What a controller decided at an epoch boundary (kHold on every op that
+/// is not an epoch boundary, or when the EWMA sits inside the hysteresis
+/// band). The caller translates kRaise/kDrop into stats/trace emissions.
+enum class Decision : uint8_t { kHold = 0, kRaise = 1, kDrop = 2 };
+
+/// Tuning knobs for PatienceController. The defaults are deliberately
+/// conservative: a 256-op epoch is long enough that one helping burst does
+/// not whipsaw the knob, and the 10x gap between the raise and drop
+/// thresholds is the hysteresis band that keeps a borderline workload from
+/// oscillating between two patience values every epoch.
+struct PatienceConfig {
+  unsigned initial = 10;        ///< starting patience (the WfConfig knob)
+  unsigned epoch_ops = 256;     ///< ops per adaptation window (power of two)
+  double alpha = 0.5;           ///< EWMA blend weight of the newest window
+  double raise_above = 0.02;    ///< EWMA slow ratio > this => raise
+  double drop_below = 0.002;    ///< EWMA slow ratio < this => drop
+};
+
+/// Per-handle PATIENCE controller (see file header). Deterministic: the
+/// same sequence of note_op(slow) calls always yields the same patience
+/// trajectory, which is what tests/core/adaptive_test.cpp scripts.
+class PatienceController {
+ public:
+  static constexpr unsigned kMinPatience = 1;
+  static constexpr unsigned kMaxPatience = 64;
+
+  PatienceController() { configure({}); }
+
+  /// (Re)initialize from a config. Called at handle registration so a
+  /// recycled handle starts from the queue's configured baseline rather
+  /// than wherever its previous owner's workload drove it.
+  void configure(const PatienceConfig& cfg) {
+    cfg_ = cfg;
+    if (cfg_.epoch_ops == 0) cfg_.epoch_ops = 1;
+    patience_ = clamp(cfg.initial);
+    ewma_ = 0.0;
+    ops_ = 0;
+    slow_ = 0;
+  }
+
+  /// Current patience for the next operation's fast-path loop.
+  unsigned patience() const noexcept { return patience_; }
+
+  /// Smoothed slow-path ratio (introspection/tests).
+  double ewma() const noexcept { return ewma_; }
+
+  /// Record one completed operation (slow = it left the fast path). Plain
+  /// owner-local arithmetic; returns a non-kHold decision only on the op
+  /// that closes an epoch AND moves the knob.
+  Decision note_op(bool slow) noexcept {
+    ++ops_;
+    slow_ += slow ? 1 : 0;
+    if (ops_ < cfg_.epoch_ops) return Decision::kHold;
+    const double ratio = double(slow_) / double(ops_);
+    ewma_ = (1.0 - cfg_.alpha) * ewma_ + cfg_.alpha * ratio;
+    ops_ = 0;
+    slow_ = 0;
+    if (ewma_ > cfg_.raise_above && patience_ < kMaxPatience) {
+      patience_ = clamp(patience_ * 2);
+      return Decision::kRaise;
+    }
+    if (ewma_ < cfg_.drop_below && patience_ > kMinPatience) {
+      patience_ = clamp(patience_ / 2);
+      return Decision::kDrop;
+    }
+    return Decision::kHold;
+  }
+
+ private:
+  static unsigned clamp(unsigned p) noexcept {
+    if (p < kMinPatience) return kMinPatience;
+    if (p > kMaxPatience) return kMaxPatience;
+    return p;
+  }
+
+  PatienceConfig cfg_{};
+  unsigned patience_ = 10;
+  double ewma_ = 0.0;
+  unsigned ops_ = 0;
+  unsigned slow_ = 0;
+};
+
+/// Per-handle dequeue_bulk reservation-size controller: AIMD on the
+/// short-return signal. A full batch means the queue had at least k items
+/// reachable — grow additively (amortize the shared FAA over more cells).
+/// A short return is the batch's emptiness witness — halve, so the next
+/// call risks fewer head indices on a queue that just looked empty.
+/// Owner-local, zero atomics (same contract as PatienceController).
+class BulkKController {
+ public:
+  static constexpr std::size_t kMinK = 4;
+  static constexpr std::size_t kMaxK = 256;
+  static constexpr std::size_t kGrowStep = 16;
+
+  /// Reservation cap for the next dequeue_bulk FAA.
+  std::size_t k() const noexcept { return k_; }
+
+  /// Record one reservation's outcome. `reserved` is what the FAA claimed,
+  /// `claimed` how many values came back.
+  void note_batch(std::size_t reserved, std::size_t claimed) noexcept {
+    if (claimed >= reserved) {
+      k_ = k_ + kGrowStep > kMaxK ? kMaxK : k_ + kGrowStep;
+    } else {
+      k_ = k_ / 2 < kMinK ? kMinK : k_ / 2;
+    }
+  }
+
+  void reset() noexcept { k_ = kInitialK; }
+
+ private:
+  static constexpr std::size_t kInitialK = 32;
+  std::size_t k_ = kInitialK;
+};
+
+}  // namespace wfq::adaptive

@@ -72,8 +72,13 @@ class SegmentList {
   /// the OOM "airbag" that lets in-flight operations complete (or fail
   /// cleanly) when the heap is exhausted. Construction itself may still
   /// throw bad_alloc — there is no queue to keep intact yet.
-  explicit SegmentList(std::size_t reserve_segments = 0)
-      : reserve_target_(std::min(reserve_segments, kReserveSlots)) {
+  /// `prefetch_depth` is the next-segment header lookahead of the
+  /// traversal (see find_cell/find_cell_range): 0 disables prefetching,
+  /// 1 reproduces the original single-header lookahead.
+  explicit SegmentList(std::size_t reserve_segments = 0,
+                       unsigned prefetch_depth = 1)
+      : reserve_target_(std::min(reserve_segments, kReserveSlots)),
+        prefetch_depth_(prefetch_depth) {
     Segment* s0 = new_segment(0);
     first_.store(s0, std::memory_order_relaxed);
     const std::size_t n = reserve_target_;
@@ -181,7 +186,16 @@ class SegmentList {
     walk_to(s, static_cast<int64_t>(cell_id / kSegmentSize), spare, who,
             cell_id);
     sp = s;
-    return &s->cells[cell_id & (kSegmentSize - 1)];
+    const std::size_t off = std::size_t(cell_id & (kSegmentSize - 1));
+    // Segment-boundary lookahead: an index stream landing in the last few
+    // cells is about to cross into the successor, so start pulling its
+    // header line(s) now and the next operation's walk skips a cold
+    // pointer chase. Off by default only when prefetch_depth is 0.
+    if (off + kPrefetchTail >= kSegmentSize && prefetch_depth_ != 0)
+        [[unlikely]] {
+      prefetch_ahead(s);
+    }
+    return &s->cells[off];
   }
 
   /// Batch variant of find_cell: resolve `count` consecutive cells starting
@@ -199,9 +213,7 @@ class SegmentList {
     while (done < count) {
       const uint64_t id = first_id + done;
       walk_to(s, static_cast<int64_t>(id / kSegmentSize), spare, who, id);
-      if (Segment* nx = s->next.load(std::memory_order_relaxed)) {
-        prefetch_segment(nx);
-      }
+      if (prefetch_depth_ != 0) prefetch_ahead(s);
       const std::size_t off = std::size_t(id & (kSegmentSize - 1));
       const std::size_t take = std::min(count - done, kSegmentSize - off);
       for (std::size_t j = 0; j < take; ++j) {
@@ -389,6 +401,21 @@ class SegmentList {
 #endif
   }
 
+  /// Cells from a segment's tail within which find_cell starts prefetching
+  /// the successor (one cache line of 8-byte-ish cells, roughly).
+  static constexpr std::size_t kPrefetchTail = 8;
+
+  /// Pull up to prefetch_depth_ successor headers. Depths beyond 1 chase
+  /// `next` pointers through headers that may themselves be cold — classic
+  /// software pipelining: each traversal warms the next one's chain.
+  void prefetch_ahead(const Segment* s) const {
+    const Segment* nx = s->next.load(std::memory_order_relaxed);
+    for (unsigned d = 0; nx != nullptr && d < prefetch_depth_; ++d) {
+      prefetch_segment(nx);
+      nx = nx->next.load(std::memory_order_relaxed);
+    }
+  }
+
   static constexpr std::memory_order acq() {
     return Traits::kConservativeOrdering ? std::memory_order_seq_cst
                                          : std::memory_order_acquire;
@@ -451,6 +478,7 @@ class SegmentList {
   std::atomic<uint64_t> alloc_failures_{0};
   std::atomic<uint64_t> reserve_pool_hits_{0};
   const std::size_t reserve_target_;
+  const unsigned prefetch_depth_;
   alignas(kCacheLineSize) std::array<std::atomic<Segment*>, kPoolSlots>
       pool_{};
   alignas(kCacheLineSize) std::array<std::atomic<Segment*>, kReserveSlots>

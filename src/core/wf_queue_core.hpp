@@ -41,6 +41,7 @@
 #include "common/align.hpp"
 #include "common/atomics.hpp"
 #include "common/packed_state.hpp"
+#include "core/adaptive.hpp"
 #include "core/handle_registry.hpp"
 #include "core/op_stats.hpp"
 #include "core/segment_list.hpp"
@@ -145,12 +146,21 @@ struct DefaultWfTraits {
   using Metrics = obs::NullMetrics;
 };
 
+/// How the PATIENCE knob is driven at runtime (WfConfig::patience_mode).
+enum class PatienceMode : uint8_t {
+  kFixed = 0,    ///< the paper's behavior: WfConfig::patience, forever
+  kAdaptive = 1  ///< per-handle controller moved by the observed slow-path
+                 ///< ratio (src/core/adaptive.hpp; docs/ALGORITHM.md §14)
+};
+
 /// Runtime tunables (the paper's PATIENCE and MAX_GARBAGE).
 struct WfConfig {
   /// Extra fast-path attempts before an operation switches to the slow
   /// path. PATIENCE = 10 is the paper's practical setting (WF-10);
   /// PATIENCE = 0 stresses the slow path (WF-0). An operation makes
   /// `patience + 1` fast-path attempts in total, as in Listing 3/4.
+  /// Under kAdaptive this seeds each handle's controller (clamped to
+  /// [1, 64]) instead of being read directly.
   unsigned patience = 10;
   /// Number of retired segments allowed to accumulate before a dequeuer
   /// attempts reclamation (amortizes cleanup cost, §3.6).
@@ -162,6 +172,23 @@ struct WfConfig {
   /// retries do — and keeps segment accounting identical to a queue
   /// without the OOM seam.
   std::size_t reserve_segments = 0;
+  // New knobs go below the original three — existing positional aggregate
+  // initializers (WfConfig{patience, max_garbage, reserve}) must keep
+  // meaning what they meant.
+  /// Fixed PATIENCE (the default, and the only mode the paper evaluates)
+  /// or per-handle adaptive PATIENCE. Adaptation moves only *when* the
+  /// helping slow path starts, never whether it completes, so the
+  /// wait-freedom bound is unchanged (docs/ALGORITHM.md §14).
+  PatienceMode patience_mode = PatienceMode::kFixed;
+  /// Adaptive-mode controller tuning (epoch length, EWMA weight,
+  /// hysteresis thresholds). Ignored under kFixed; `adaptive.initial` is
+  /// overridden by `patience` at construction.
+  adaptive::PatienceConfig adaptive{};
+  /// Next-segment header prefetch depth for the segment walk: how many
+  /// successor headers find_cell_range pulls ahead of the batch, and
+  /// whether single-op find_cell prefetches across an upcoming segment
+  /// boundary. 0 disables; 1 is the pre-adaptive behavior.
+  unsigned prefetch_segments = 1;
 };
 
 template <class Traits = DefaultWfTraits>
@@ -267,6 +294,13 @@ class WFQueueCore {
     OpStats stats;
     typename Metrics::PerHandle obs;  ///< latency histograms + trace ring
                                       ///< (empty struct under NullMetrics)
+
+    // Adaptive fast-path tuning (src/core/adaptive.hpp). Owner-local plain
+    // state — ZERO atomics on the operation path; read/written only by the
+    // handle's owner, reconfigured at registration. Dormant under kFixed.
+    adaptive::PatienceController patience_ctl;
+    adaptive::BulkKController bulk_ctl;
+
     Handle* next_free = nullptr;      ///< freelist link (guarded by mutex)
   };
 
@@ -295,7 +329,12 @@ class WFQueueCore {
   // above make every block a whole number of lines.)
 
   explicit WFQueueCore(WfConfig cfg = {})
-      : cfg_(cfg), segs_(cfg.reserve_segments), registry_(rcl_) {
+      : cfg_(cfg),
+        segs_(cfg.reserve_segments, cfg.prefetch_segments),
+        registry_(rcl_) {
+    // The paper's knob doubles as the adaptive controller's seed; the
+    // controller clamps it into [kMinPatience, kMaxPatience].
+    cfg_.adaptive.initial = cfg_.patience;
     tail_index_->store(0, std::memory_order_relaxed);
     head_index_->store(0, std::memory_order_relaxed);
   }
@@ -367,6 +406,11 @@ class WFQueueCore {
           h->head.store(front, std::memory_order_relaxed);
           h->enq.peer = after;
           h->deq.peer = after;
+          // Adaptive controllers restart from the queue's configured
+          // baseline: a recycled handle's new owner inherits the knobs,
+          // not the previous owner's workload history.
+          h->patience_ctl.configure(cfg_.adaptive);
+          h->bulk_ctl.reset();
         });
   }
 
@@ -463,8 +507,9 @@ class WFQueueCore {
     uint64_t cell_id = 0;
     bool done = false;
     bool ok = true;
+    const unsigned patience = effective_patience(h);
     try {
-      for (unsigned p = 0; p <= cfg_.patience && !done; ++p) {
+      for (unsigned p = 0; p <= patience && !done; ++p) {
         done = enq_fast(h, v, cell_id);
       }
     } catch (const SegmentAllocError&) {
@@ -473,9 +518,11 @@ class WFQueueCore {
       ok = false;
     }
     if (ok) {
-      if (done) {
+      // WF-10 completes >99% of operations on the fast path (Table 2);
+      // the hint keeps the straight-line path fall-through.
+      if (done) [[likely]] {
         count(h->stats.enq_fast);
-      } else {
+      } else [[unlikely]] {
         // One kEnqSlow event per enqueue that left the fast path — the
         // trace total matches the enq_slow counter exactly (re-drives
         // inside enq_slow_finish do not re-emit).
@@ -483,6 +530,7 @@ class WFQueueCore {
         ok = enq_slow(h, v, cell_id);
         count(h->stats.enq_slow);
       }
+      note_adaptive(h, /*slow=*/!done);
     }
     flush_probes(h, h->stats.enq_probes, h->stats.max_enq_probes);
     obs_lat(h, obs_t0, [](auto& o) -> auto& { return o.enq_ns; });
@@ -505,18 +553,23 @@ class WFQueueCore {
     const uint64_t obs_t0 = obs_start(h);
     uint64_t v = kTop;
     uint64_t cell_id = 0;
+    const unsigned patience = effective_patience(h);
+    bool slow = false;
     try {
-      for (unsigned p = 0; p <= cfg_.patience; ++p) {
+      for (unsigned p = 0; p <= patience; ++p) {
         v = deq_fast(h, cell_id);
         if (v != kTop) break;
       }
-      if (v == kTop) {
+      // Same Table-2 asymmetry as enqueue: the slow fork is the rare one.
+      if (v == kTop) [[unlikely]] {
+        slow = true;
         obs_trace(h, obs::TraceEvent::kDeqSlow, cell_id);
         v = deq_slow(h, cell_id);
         count(h->stats.deq_slow);
-      } else {
+      } else [[likely]] {
         count(h->stats.deq_fast);
       }
+      note_adaptive(h, slow);
     } catch (const SegmentAllocError&) {
       // deq_fast rethrows only after parking its consumed index in the
       // debt table (settle_unreachable) and deq_slow cancels its request
@@ -662,7 +715,25 @@ class WFQueueCore {
   /// If tickets were lost to competing claimers but no emptiness was
   /// observed, the shortfall is topped up with ordinary per-item dequeues
   /// (ids >= base + n), stopping at the first EMPTY.
+  ///
+  /// Under PatienceMode::kAdaptive the caller's n is additionally split
+  /// into FAA reservations capped by the handle's BulkKController, so a
+  /// near-empty queue stops burning head indices on tickets its own
+  /// emptiness witness predicts will be wasted. Each sub-reservation runs
+  /// the fixed-mode protocol unchanged, and a short sub-batch is exactly
+  /// the fixed contract's emptiness witness — the public contract ("short
+  /// count == queue was seen empty during the call") carries over
+  /// verbatim. Fixed mode takes the pre-adaptive code path, byte for byte.
   std::size_t dequeue_bulk(Handle* h, uint64_t* out, std::size_t n) {
+    if (cfg_.patience_mode == PatienceMode::kAdaptive && n > 1) {
+      return dequeue_bulk_adaptive(h, out, n);
+    }
+    return dequeue_bulk_fixed(h, out, n);
+  }
+
+  /// Fixed-reservation batched dequeue (see dequeue_bulk): one FAA claims
+  /// all n tickets up front.
+  std::size_t dequeue_bulk_fixed(Handle* h, uint64_t* out, std::size_t n) {
     if (n == 0) return 0;
     if (n == 1) {
       uint64_t v = dequeue(h);
@@ -739,6 +810,26 @@ class WFQueueCore {
       const uint64_t v = dequeue(h);
       if (v == kEmpty || v == kNoMem) break;
       out[got++] = v;
+    }
+    return got;
+  }
+
+  /// Adaptive-reservation batched dequeue (see dequeue_bulk): the AIMD
+  /// controller caps each FAA so the reservation tracks how much the queue
+  /// has actually been delivering to this handle. A full sub-batch grows
+  /// the cap, a short one (the emptiness witness) halves it and ends the
+  /// call, so per-item progress bounds are those of dequeue_bulk_fixed.
+  std::size_t dequeue_bulk_adaptive(Handle* h, uint64_t* out, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+      const std::size_t k = std::min(n - got, h->bulk_ctl.k());
+      const std::size_t r = dequeue_bulk_fixed(h, out + got, k);
+      h->bulk_ctl.note_batch(k, r);
+      got += r;
+      if (r < k) break;  // saw empty (or clean OOM): stop reserving
+    }
+    if constexpr (Traits::kCollectStats) {
+      OpStats::raise_max(h->stats.bulk_k_current, h->bulk_ctl.k());
     }
     return got;
   }
@@ -912,6 +1003,38 @@ class WFQueueCore {
       if (h->op_probes > max.load(std::memory_order_relaxed)) {
         max.store(h->op_probes, std::memory_order_relaxed);
       }
+    }
+  }
+
+  // ---- adaptive fast-path tuning (src/core/adaptive.hpp) -------------
+
+  /// PATIENCE for this operation: the fixed knob, or the handle's
+  /// controller under kAdaptive (an owner-local plain read — no atomics).
+  unsigned effective_patience(const Handle* h) const noexcept {
+    return cfg_.patience_mode == PatienceMode::kAdaptive
+               ? h->patience_ctl.patience()
+               : cfg_.patience;
+  }
+
+  /// Feed one completed operation to the handle's patience controller and
+  /// surface its (rare, epoch-boundary) decisions as stats counters and
+  /// trace events. Fixed mode pays one predictable branch; adaptive mode
+  /// adds two owner-local increments per op.
+  void note_adaptive(Handle* h, bool slow) {
+    if (cfg_.patience_mode != PatienceMode::kAdaptive) return;
+    switch (h->patience_ctl.note_op(slow)) {
+      case adaptive::Decision::kRaise:
+        count(h->stats.patience_raises);
+        obs_trace(h, obs::TraceEvent::kPatienceRaise,
+                  h->patience_ctl.patience());
+        break;
+      case adaptive::Decision::kDrop:
+        count(h->stats.patience_drops);
+        obs_trace(h, obs::TraceEvent::kPatienceDrop,
+                  h->patience_ctl.patience());
+        break;
+      case adaptive::Decision::kHold:
+        break;
     }
   }
 

@@ -29,12 +29,24 @@ struct MethodologyConfig {
   unsigned window = 5;           // paper: 5
   double cov_threshold = 0.02;   // paper: 0.02
   unsigned invocations = 3;      // paper: 10
+  /// Warm-up-until-stable: up to this many iterations run and are
+  /// DISCARDED before measurement starts, ending early at the first
+  /// `window` consecutive warm-up scores whose COV drops below
+  /// cov_threshold (the JIT-warm-up analogue of Georges et al. §; here it
+  /// absorbs cold caches, first-touch page faults and segment-pool
+  /// filling). 0 — the default, and the pre-fig2 behavior — skips the
+  /// phase entirely.
+  unsigned warmup = 0;
 
-  /// Reads WFQ_ITERATIONS / WFQ_WINDOW / WFQ_COV / WFQ_INVOCATIONS.
+  /// Reads WFQ_ITERATIONS / WFQ_WINDOW / WFQ_COV / WFQ_INVOCATIONS /
+  /// WFQ_WARMUP.
   static MethodologyConfig from_env() {
     MethodologyConfig c;
     if (const char* s = std::getenv("WFQ_ITERATIONS")) {
       c.max_iterations = unsigned(std::strtoul(s, nullptr, 10));
+    }
+    if (const char* s = std::getenv("WFQ_WARMUP")) {
+      c.warmup = unsigned(std::strtoul(s, nullptr, 10));
     }
     if (const char* s = std::getenv("WFQ_WINDOW")) {
       c.window = unsigned(std::strtoul(s, nullptr, 10));
@@ -56,6 +68,20 @@ struct MethodologyConfig {
 /// the steady-state mean of its scores (higher = better, e.g. Mops/s).
 inline double measure_invocation(const MethodologyConfig& cfg,
                                  const std::function<double()>& iteration) {
+  // Warm-up-until-stable (discarded): stop early once the trailing window
+  // of warm-up scores is already steady — further warm-up would just burn
+  // time the measured iterations below will re-prove.
+  if (cfg.warmup > 0) {
+    std::vector<double> warm;
+    warm.reserve(cfg.warmup);
+    for (unsigned i = 0; i < cfg.warmup; ++i) {
+      warm.push_back(iteration());
+      if (warm.size() >= cfg.window) {
+        std::vector<double> w(warm.end() - cfg.window, warm.end());
+        if (cov(w) < cfg.cov_threshold) break;
+      }
+    }
+  }
   std::vector<double> scores;
   scores.reserve(cfg.max_iterations);
   for (unsigned i = 0; i < cfg.max_iterations; ++i) {

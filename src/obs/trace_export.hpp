@@ -29,7 +29,8 @@ inline constexpr const char* kTraceEventNames[] = {
     "obs:enq_slow",      "obs:deq_slow",   "obs:help_given",
     "obs:help_received", "obs:cleanup",    "obs:park",
     "obs:wake",          "obs:alloc_fail", "obs:reserve_hit",
-    "obs:oom_rescue",    "obs:adopt",
+    "obs:oom_rescue",    "obs:adopt",      "obs:patience_raise",
+    "obs:patience_drop",
 };
 static_assert(sizeof(kTraceEventNames) / sizeof(kTraceEventNames[0]) ==
                   kTraceEventCount,
@@ -44,7 +45,8 @@ inline const char* trace_event_name(TraceEvent t) noexcept {
 inline constexpr const char* kTraceEventKeys[] = {
     "enq_slow",      "deq_slow",   "help_given", "help_received",
     "cleanup",       "park",       "wake",       "alloc_fail",
-    "reserve_hit",   "oom_rescue", "adopt",
+    "reserve_hit",   "oom_rescue", "adopt",      "patience_raise",
+    "patience_drop",
 };
 static_assert(sizeof(kTraceEventKeys) / sizeof(kTraceEventKeys[0]) ==
                   kTraceEventCount,

@@ -35,6 +35,8 @@ enum class TraceEvent : uint32_t {
   kReserveHit,    ///< allocation served by the OOM reserve; a = segment id
   kOomRescue,     ///< deposit retracted from a debt-parked cell; a = cell id
   kAdopt,         ///< orphaned handle adopted; a = victim obs id
+  kPatienceRaise, ///< adaptive controller doubled patience; a = new value
+  kPatienceDrop,  ///< adaptive controller halved patience; a = new value
   kCount_         ///< number of event types (not an event)
 };
 

@@ -1,0 +1,172 @@
+// Deterministic scripted tests for the adaptive fast-path controllers
+// (core/adaptive.hpp): the same note_op / note_batch sequence must always
+// yield the same knob trajectory — no threads, no timing, no randomness.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+
+namespace wfq::adaptive {
+namespace {
+
+// Drives one full epoch with `slow_count` slow ops (the rest fast) and
+// returns the decision made at the epoch boundary. All intermediate ops
+// must report kHold — decisions only happen when the epoch closes.
+Decision run_epoch(PatienceController& pc, unsigned epoch_ops,
+                   unsigned slow_count) {
+  Decision d = Decision::kHold;
+  for (unsigned i = 0; i < epoch_ops; ++i) {
+    d = pc.note_op(/*slow=*/i < slow_count);
+    if (i + 1 < epoch_ops) {
+      EXPECT_EQ(d, Decision::kHold) << "decision before epoch boundary";
+    }
+  }
+  return d;
+}
+
+TEST(PatienceController, HoldsUntilEpochBoundary) {
+  PatienceController pc;
+  PatienceConfig cfg;  // epoch_ops = 256
+  pc.configure(cfg);
+  for (unsigned i = 0; i < cfg.epoch_ops - 1; ++i) {
+    EXPECT_EQ(pc.note_op(true), Decision::kHold);
+    EXPECT_EQ(pc.patience(), cfg.initial);
+  }
+  // The 256th op closes the epoch: all-slow ratio must raise.
+  EXPECT_EQ(pc.note_op(true), Decision::kRaise);
+  EXPECT_EQ(pc.patience(), 2 * cfg.initial);
+}
+
+TEST(PatienceController, RaisesThenClampsAtMax) {
+  PatienceController pc;
+  PatienceConfig cfg;
+  cfg.initial = 10;
+  pc.configure(cfg);
+  // All-slow epochs double patience each time: 10 -> 20 -> 40 -> 64(clamp).
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, cfg.epoch_ops), Decision::kRaise);
+  EXPECT_EQ(pc.patience(), 20u);
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, cfg.epoch_ops), Decision::kRaise);
+  EXPECT_EQ(pc.patience(), 40u);
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, cfg.epoch_ops), Decision::kRaise);
+  EXPECT_EQ(pc.patience(), PatienceController::kMaxPatience);
+  // At the ceiling further pressure is a hold, not a raise.
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, cfg.epoch_ops), Decision::kHold);
+  EXPECT_EQ(pc.patience(), PatienceController::kMaxPatience);
+}
+
+TEST(PatienceController, DropsThenClampsAtMin) {
+  PatienceController pc;
+  PatienceConfig cfg;
+  cfg.initial = 10;
+  pc.configure(cfg);
+  // All-fast epochs keep the EWMA at exactly 0 < drop_below:
+  // 10 -> 5 -> 2 -> 1 (clamp), then hold at the floor.
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, 0), Decision::kDrop);
+  EXPECT_EQ(pc.patience(), 5u);
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, 0), Decision::kDrop);
+  EXPECT_EQ(pc.patience(), 2u);
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, 0), Decision::kDrop);
+  EXPECT_EQ(pc.patience(), PatienceController::kMinPatience);
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, 0), Decision::kHold);
+  EXPECT_EQ(pc.patience(), PatienceController::kMinPatience);
+}
+
+TEST(PatienceController, HysteresisBandHolds) {
+  PatienceController pc;
+  PatienceConfig cfg;
+  cfg.initial = 10;
+  cfg.epoch_ops = 100;  // 1 slow op per epoch => ratio 0.01, inside the band
+  pc.configure(cfg);
+  // EWMA converges toward 0.01 from below (0.005, 0.0075, ...): always
+  // between drop_below=0.002 and raise_above=0.02, so the knob never moves.
+  for (int e = 0; e < 8; ++e) {
+    EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, 1), Decision::kHold);
+    EXPECT_EQ(pc.patience(), cfg.initial);
+  }
+  EXPECT_GT(pc.ewma(), cfg.drop_below);
+  EXPECT_LT(pc.ewma(), cfg.raise_above);
+}
+
+TEST(PatienceController, EwmaSmoothsSingleBurst) {
+  PatienceController pc;
+  PatienceConfig cfg;
+  cfg.initial = 10;
+  pc.configure(cfg);
+  // One all-slow epoch raises (EWMA 0.5), but the memory decays: two
+  // all-fast epochs later the EWMA (0.125) is still above drop_below, so
+  // the burst's raise is not immediately undone — that's the smoothing.
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, cfg.epoch_ops), Decision::kRaise);
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, 0), Decision::kRaise);  // 0.25 > 0.02
+  EXPECT_EQ(run_epoch(pc, cfg.epoch_ops, 0), Decision::kRaise);  // 0.125
+  EXPECT_EQ(pc.patience(), PatienceController::kMaxPatience);
+}
+
+TEST(PatienceController, ConfigureResetsState) {
+  PatienceController pc;
+  PatienceConfig cfg;
+  cfg.initial = 10;
+  pc.configure(cfg);
+  run_epoch(pc, cfg.epoch_ops, cfg.epoch_ops);
+  ASSERT_NE(pc.patience(), 10u);
+  ASSERT_NE(pc.ewma(), 0.0);
+  pc.configure(cfg);  // handle recycling: back to the configured baseline
+  EXPECT_EQ(pc.patience(), 10u);
+  EXPECT_EQ(pc.ewma(), 0.0);
+}
+
+TEST(PatienceController, InitialIsClamped) {
+  PatienceController pc;
+  PatienceConfig cfg;
+  cfg.initial = 0;
+  pc.configure(cfg);
+  EXPECT_EQ(pc.patience(), PatienceController::kMinPatience);
+  cfg.initial = 1000;
+  pc.configure(cfg);
+  EXPECT_EQ(pc.patience(), PatienceController::kMaxPatience);
+}
+
+TEST(PatienceController, ZeroEpochConfigIsSafe) {
+  PatienceController pc;
+  PatienceConfig cfg;
+  cfg.epoch_ops = 0;  // degenerate config must not divide by zero
+  pc.configure(cfg);
+  EXPECT_EQ(pc.note_op(true), Decision::kRaise);  // 1-op epochs, ratio 1
+}
+
+TEST(BulkKController, GrowsAdditivelyAndCaps) {
+  BulkKController bc;
+  EXPECT_EQ(bc.k(), 32u);
+  std::size_t prev = bc.k();
+  // Full batches grow +16 per call until the 256 cap.
+  for (int i = 0; i < 20; ++i) {
+    bc.note_batch(bc.k(), bc.k());
+    EXPECT_LE(bc.k(), BulkKController::kMaxK);
+    EXPECT_GE(bc.k(), prev);
+    prev = bc.k();
+  }
+  EXPECT_EQ(bc.k(), BulkKController::kMaxK);
+}
+
+TEST(BulkKController, HalvesOnShortReturnAndClampsAtMin) {
+  BulkKController bc;
+  // 32 -> 16 -> 8 -> 4 (floor), then stays.
+  bc.note_batch(bc.k(), 0);
+  EXPECT_EQ(bc.k(), 16u);
+  bc.note_batch(bc.k(), 3);
+  EXPECT_EQ(bc.k(), 8u);
+  bc.note_batch(bc.k(), 7);
+  EXPECT_EQ(bc.k(), BulkKController::kMinK);
+  bc.note_batch(bc.k(), 0);
+  EXPECT_EQ(bc.k(), BulkKController::kMinK);
+}
+
+TEST(BulkKController, AimdRecoversAfterShortReturn) {
+  BulkKController bc;
+  bc.note_batch(bc.k(), 0);  // 32 -> 16
+  bc.note_batch(bc.k(), bc.k());
+  EXPECT_EQ(bc.k(), 32u);  // additive recovery, not multiplicative
+  bc.reset();
+  EXPECT_EQ(bc.k(), 32u);
+}
+
+}  // namespace
+}  // namespace wfq::adaptive

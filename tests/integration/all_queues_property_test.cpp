@@ -43,6 +43,17 @@ struct WfZeroPatienceFactory {
   }
 };
 
+struct WfAdaptiveFactory {
+  static constexpr const char* kName = "WF-adaptive";
+  using Queue = WFQueue<uint64_t>;
+  static std::unique_ptr<Queue> make() {
+    WfConfig cfg;
+    cfg.patience = 2;  // low start so the controller actually moves
+    cfg.patience_mode = PatienceMode::kAdaptive;
+    return std::make_unique<Queue>(cfg);
+  }
+};
+
 struct WfLlscFactory {
   static constexpr const char* kName = "WF-llsc";
   struct Traits : DefaultWfTraits {
@@ -137,11 +148,11 @@ template <class Factory>
 class AllQueues : public ::testing::Test {};
 
 using QueueFactories =
-    ::testing::Types<WfDefaultFactory, WfZeroPatienceFactory, WfLlscFactory,
-                     MsQueueFactory, LcrqFactory, CcQueueFactory,
-                     MutexQueueFactory, ObstructionFactory, KpQueueFactory,
-                     SimQueueFactory, ScqFactory, WcqFactory,
-                     WcqSlowPathFactory>;
+    ::testing::Types<WfDefaultFactory, WfZeroPatienceFactory,
+                     WfAdaptiveFactory, WfLlscFactory, MsQueueFactory,
+                     LcrqFactory, CcQueueFactory, MutexQueueFactory,
+                     ObstructionFactory, KpQueueFactory, SimQueueFactory,
+                     ScqFactory, WcqFactory, WcqSlowPathFactory>;
 TYPED_TEST_SUITE(AllQueues, QueueFactories);
 
 // Every entry in the typed list must model the formal concept the uniform
