@@ -1,0 +1,228 @@
+// Horizontal scaling of the sharded layer: enqueue-dequeue pairs on
+// ShardedQueue<WFQueue> with the lane count swept over {1,2,4,8}, against
+// the single WF-10 queue as the strict-FIFO baseline.
+//
+// The question this bench answers: how much throughput does relaxing
+// global FIFO to per-lane FIFO buy? Every lane is an independent WF-10
+// instance with its own FAA hot spots, so s lanes divide the enqueue
+// contention by ~s while the dequeue side pays one extra empty probe on
+// the home lane per steal. s=1 isolates the wrapper overhead (one extra
+// indirection and the home-lane dispatch) and should track WF-10 closely;
+// the gap between s=1 and s=4/8 is the contention relief itself.
+//
+// Workload: each thread alternates enqueue and dequeue through its own
+// handle (lane affinity = the production pattern), think time off by
+// default as in bench_bulk — the paper's 50-100 ns delay swamps the
+// per-op saving under measurement; set WFQ_NO_DELAY=0 to restore it.
+// A latency pass (p50/p99 over pooled enqueue+dequeue samples) accompanies
+// every point; `--json <file>` emits {bench, config, threads, mops,
+// p50_ns, p99_ns} records (see docs/BENCHMARKING.md, BENCH_sharded.json).
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/wf_queue.hpp"
+#include "harness/barrier.hpp"
+#include "harness/latency.hpp"
+#include "scale/sharded_queue.hpp"
+
+namespace wfq::bench {
+namespace {
+
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+
+/// One iteration of the pairs workload; returns Mops/s over both ops.
+template <class Queue>
+double run_pairs(Queue& q, unsigned threads, uint64_t pairs_per_thread,
+                 bool use_delay, uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  SpinBarrier start(threads), stop(threads);
+  std::vector<Clock::time_point> t_begin(threads), t_end(threads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)pin_to_cpu(t);
+      auto h = q.get_handle();
+      WorkDelay delay = WorkDelay::paper_default(seed * 1315423911u + t);
+      uint64_t seq = 0;
+      start.arrive_and_wait();
+      t_begin[t] = Clock::now();
+      for (uint64_t i = 0; i < pairs_per_thread; ++i) {
+        q.enqueue(h, (uint64_t(t) << 40) | ++seq);
+        if (use_delay) delay.spin();
+        (void)q.dequeue(h);
+        if (use_delay) delay.spin();
+      }
+      t_end[t] = Clock::now();
+      stop.arrive_and_wait();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  Clock::time_point first = t_begin[0], last = t_end[0];
+  for (unsigned t = 1; t < threads; ++t) {
+    if (t_begin[t] < first) first = t_begin[t];
+    if (t_end[t] > last) last = t_end[t];
+  }
+  const double secs = std::chrono::duration<double>(last - first).count();
+  const uint64_t ops = 2 * uint64_t(threads) * pairs_per_thread;
+  return secs > 0 ? double(ops) / secs / 1e6 : 0.0;
+}
+
+/// Pooled enqueue+dequeue op latency for one configuration.
+template <class Queue>
+LatencyResult pair_latency(Queue& q, unsigned threads,
+                           uint64_t pairs_per_thread) {
+  using Clock = std::chrono::steady_clock;
+  SpinBarrier start(threads);
+  std::vector<std::vector<uint64_t>> samples(threads);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)pin_to_cpu(t);
+      auto h = q.get_handle();
+      auto& mine = samples[t];
+      mine.reserve(2 * pairs_per_thread);
+      uint64_t seq = 0;
+      start.arrive_and_wait();
+      for (uint64_t i = 0; i < pairs_per_thread; ++i) {
+        auto t0 = Clock::now();
+        q.enqueue(h, (uint64_t(t) << 40) | ++seq);
+        auto t1 = Clock::now();
+        (void)q.dequeue(h);
+        auto t2 = Clock::now();
+        mine.push_back(uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        mine.push_back(uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+                .count()));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<uint64_t> all;
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  return summarize_latencies(std::move(all));
+}
+
+struct SweepPoint {
+  std::string config;
+  unsigned threads;
+  double mops;
+};
+
+/// Measure one queue family across the thread sweep, print its column into
+/// the shared table rows, record JSON, return the points.
+template <class MakeQueue>
+std::vector<SweepPoint> sweep_family(const std::string& config,
+                                     MakeQueue make_queue,
+                                     const std::vector<unsigned>& threads,
+                                     uint64_t total_pairs, bool use_delay,
+                                     const MethodologyConfig& mcfg) {
+  std::vector<SweepPoint> points;
+  for (unsigned t : threads) {
+    const uint64_t per_thread = std::max<uint64_t>(1, total_pairs / t);
+    auto ci = measure(mcfg, [&] {
+      auto q = make_queue();
+      return std::function<double()>([q, t, per_thread, use_delay] {
+        return run_pairs(*q, t, per_thread, use_delay, 0x5eed);
+      });
+    });
+    auto lq = make_queue();
+    LatencyResult lat =
+        pair_latency(*lq, t, std::max<uint64_t>(64, per_thread / 4));
+    json_sink().record("sharded_pairs", config, t, ci.mean, double(lat.p50),
+                       double(lat.p99), double(lat.p999), ci.half_width);
+    std::cerr << "  [sharded_pairs] " << config << " threads=" << t << ": "
+              << Table::fmt_ci(ci.mean, ci.half_width) << " Mops/s  p50="
+              << lat.p50 << "ns p99=" << lat.p99 << "ns\n";
+    points.push_back({config, t, ci.mean});
+  }
+  return points;
+}
+
+}  // namespace
+}  // namespace wfq::bench
+
+int main(int argc, char** argv) {
+  using namespace wfq::bench;
+  bench_main_init(argc, argv);
+  // Scaling microbenchmark: think time off unless explicitly requested
+  // (see header comment).
+  ::setenv("WFQ_NO_DELAY", "1", /*overwrite=*/0);
+
+  auto threads = thread_counts_from_env();
+  auto mcfg = MethodologyConfig::from_env();
+  const uint64_t pairs = ops_from_env();
+  const bool use_delay = delay_enabled_from_env();
+  const unsigned hw = wfq::hardware_threads();
+
+  std::cout << "== Sharded layer: lanes vs one queue, enq-deq pairs ==\n";
+  std::cout << format_platform_table(detect_platform());
+  std::cout << "pairs/iteration=" << pairs
+            << "  invocations=" << mcfg.invocations
+            << "  delay=" << (use_delay ? "50-100ns" : "off")
+            << "  (Mops/s counts both ops of a pair)\n"
+            << "(^ marks thread counts above the " << hw
+            << " hardware thread(s) of this host)\n\n";
+
+  wfq::WfConfig wf10;
+  wf10.patience = 10;
+
+  std::vector<std::vector<SweepPoint>> columns;
+  columns.push_back(sweep_family(
+      "WF-10",
+      [wf10] { return std::make_shared<wfq::WFQueue<uint64_t>>(wf10); },
+      threads, pairs, use_delay, mcfg));
+  for (std::size_t s : kShardCounts) {
+    columns.push_back(sweep_family(
+        "Sharded-WF s=" + std::to_string(s),
+        [wf10, s] {
+          return std::make_shared<wfq::ShardedQueue<wfq::WFQueue<uint64_t>>>(
+              wfq::ShardConfig{s}, wf10);
+        },
+        threads, pairs, use_delay, mcfg));
+  }
+
+  std::vector<std::string> headers{"threads"};
+  for (const auto& col : columns) {
+    headers.push_back(col.front().config + " (Mops/s)");
+  }
+  Table table(headers);
+  for (std::size_t r = 0; r < threads.size(); ++r) {
+    std::vector<std::string> row{std::to_string(threads[r]) +
+                                 (threads[r] > hw ? "^" : "")};
+    for (const auto& col : columns) row.push_back(Table::fmt(col[r].mops, 2));
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::cout << "\n";
+
+  // The headline number: 4 lanes vs the single queue at the highest
+  // measured thread count — the contention relief the subsystem exists
+  // to deliver.
+  const unsigned t_max = threads.back();
+  double single = 0, s4 = 0;
+  for (const auto& col : columns) {
+    for (const auto& p : col) {
+      if (p.threads != t_max) continue;
+      if (p.config == "WF-10") single = p.mops;
+      if (p.config == "Sharded-WF s=4") s4 = p.mops;
+    }
+  }
+  if (single > 0) {
+    std::cout << "Sharded-WF s=4 @ " << t_max << " threads: " << s4
+              << " Mops/s vs WF-10 single = " << single << " Mops/s  ("
+              << Table::fmt(s4 / single, 2) << "x)\n";
+  }
+  return 0;
+}

@@ -38,6 +38,8 @@ struct CApiRingTraits : wfq::DefaultRingTraits {
 using BQ = wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, CApiTraits>>;
 using SQ = wfq::sync::BlockingQueue<wfq::ScqQueue<uint64_t, CApiRingTraits>>;
 using WQ = wfq::sync::BlockingQueue<wfq::WcqQueue<uint64_t, CApiRingTraits>>;
+using ShQ = wfq::sync::BlockingQueue<
+    wfq::scale::ShardedQueue<wfq::WFQueue<uint64_t, CApiTraits>>>;
 using wfq::sync::PopStatus;
 using wfq::sync::PushStatus;
 
@@ -203,6 +205,8 @@ void wfq_options_init(wfq_options_t* opt) {
   opt->capacity = 1024;
   opt->patience_mode = WFQ_PATIENCE_FIXED;
   opt->prefetch_segments = 1;
+  opt->shards = 0;  // auto
+  opt->numa_mode = WFQ_NUMA_NONE;
 }
 
 wfq_queue_t* wfq_create_ex(const wfq_options_t* opt) {
@@ -232,6 +236,30 @@ wfq_queue_t* wfq_create_ex(const wfq_options_t* opt) {
       case WFQ_BACKEND_WCQ:
         return new wfq_queue(
             std::make_unique<QueueImpl<WQ>>(opt->capacity));
+      case WFQ_BACKEND_SHARDED: {
+        // Each lane is a full WF queue shaped by the WF knobs; the sharded
+        // layer adds only the lane count and the placement policy.
+        wfq::WfConfig cfg;
+        cfg.patience = opt->patience;
+        cfg.max_garbage = opt->max_garbage > 0 ? opt->max_garbage : 1;
+        cfg.reserve_segments = opt->reserve_segments;
+        if (opt->patience_mode != WFQ_PATIENCE_FIXED &&
+            opt->patience_mode != WFQ_PATIENCE_ADAPTIVE) {
+          return nullptr;
+        }
+        cfg.patience_mode = opt->patience_mode == WFQ_PATIENCE_ADAPTIVE
+                                ? wfq::PatienceMode::kAdaptive
+                                : wfq::PatienceMode::kFixed;
+        cfg.prefetch_segments = opt->prefetch_segments;
+        if (opt->numa_mode < WFQ_NUMA_NONE ||
+            opt->numa_mode > WFQ_NUMA_LOCAL) {
+          return nullptr;  // unknown mode: same contract as unknown backend
+        }
+        wfq::ShardConfig scfg;
+        scfg.shards = opt->shards;
+        scfg.numa_mode = static_cast<wfq::NumaMode>(opt->numa_mode);
+        return new wfq_queue(std::make_unique<QueueImpl<ShQ>>(scfg, cfg));
+      }
       default:
         return nullptr;
     }

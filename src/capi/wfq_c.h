@@ -53,8 +53,24 @@ typedef struct wfq_handle wfq_handle_t;
 typedef enum wfq_backend {
   WFQ_BACKEND_WF = 0,  /* unbounded wait-free queue (the paper's; default) */
   WFQ_BACKEND_SCQ = 1, /* bounded lock-free index ring (SCQ) */
-  WFQ_BACKEND_WCQ = 2  /* bounded wait-free-enqueue ring (wCQ) */
+  WFQ_BACKEND_WCQ = 2, /* bounded wait-free-enqueue ring (wCQ) */
+  WFQ_BACKEND_SHARDED = 3 /* N wait-free lanes with per-handle enqueue
+                           * affinity and stealing dequeues. RELAXED FIFO:
+                           * values pushed through ONE handle are dequeued
+                           * in order; values from different handles carry
+                           * no cross-order guarantee. Shape via
+                           * wfq_options_t.shards / numa_mode. */
 } wfq_backend_t;
+
+/* Lane placement policy of the sharded backend (wfq_options_t.numa_mode).
+ * Performance-only: every mode is correct on every machine; on a UMA host
+ * all three degrade to WFQ_NUMA_NONE. */
+typedef enum wfq_numa_mode {
+  WFQ_NUMA_NONE = 0,       /* no binding */
+  WFQ_NUMA_INTERLEAVE = 1, /* lane i's memory faulted on node i % nodes */
+  WFQ_NUMA_LOCAL = 2       /* interleaved placement; handles prefer a
+                            * NUMA-local lane as their home */
+} wfq_numa_mode_t;
 
 /* PATIENCE driving mode (wfq_options_t.patience_mode; WF backend only).
  * Adaptive mode seeds each handle's controller with `patience` (clamped to
@@ -92,11 +108,15 @@ typedef struct wfq_options {
   int patience_mode;       /* WF: wfq_patience_mode_t; fixed by default */
   unsigned prefetch_segments; /* WF: next-segment header prefetch depth of
                                * the cell traversal (0 disables; default 1) */
+  size_t shards;           /* SHARDED: lane count; 0 = auto (min(hardware
+                            * threads, 4)). Each lane is a full WF queue
+                            * built from the WF knobs above. */
+  int numa_mode;           /* SHARDED: wfq_numa_mode_t; NONE by default */
 } wfq_options_t;
 
 /* Fill `opt` with the defaults (WF backend, PATIENCE 10 fixed-mode,
  * MAX_GARBAGE 64, no reserve, prefetch depth 1, capacity 1024 for callers
- * that switch the backend). */
+ * that switch the backend, shards 0 = auto, NUMA mode NONE). */
 void wfq_options_init(wfq_options_t* opt);
 
 /* Create from an options struct. Returns NULL on allocation failure or an

@@ -69,6 +69,11 @@
   F(patience_raises)   /* adaptive PATIENCE doublings */                     \
   F(patience_drops)    /* adaptive PATIENCE halvings */                      \
   M(bulk_k_current)    /* largest adaptive bulk-k reservation used */        \
+  /* Sharded layer (PR 8, src/scale/sharded_queue.hpp). A steal attempt */  \
+  /* is one foreign-lane probe during the dequeue sweep; a steal is a */     \
+  /* probe that returned a value. Zero on every single-queue backend. */     \
+  F(steal_attempts)    /* foreign-lane dequeue probes */                     \
+  F(steals)            /* foreign-lane probes that won a value */            \
   /* Empirical wait-freedom bound (section 4): cells probed (find_cell */    \
   /* calls) per operation. Wait-freedom means max probes stays bounded */    \
   /* by a function of the thread count, never by the run length. */          \

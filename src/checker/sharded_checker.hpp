@@ -1,0 +1,129 @@
+// Correctness oracle for the sharded queue's relaxed-FIFO contract.
+//
+// ShardedQueue<Q> (src/scale/sharded_queue.hpp) promises:
+//
+//   1. conservation — no loss, no duplication: dequeued values are exactly
+//      a sub-multiset of enqueued values (equal, for a drained history);
+//   2. lane integrity — a value enqueued on lane L is dequeued from lane L
+//      (stealing moves consumers between lanes, never values);
+//   3. per-lane linearizability — the projection of the history onto each
+//      lane is a linearizable FIFO-queue history.
+//
+// Point 3 is where EMPTY needs care. ShardedQueue::dequeue returns nullopt
+// only after a FULL sweep observed every lane empty within the call's
+// interval, so a global EMPTY projects into EVERY lane's history as a
+// DequeueEmpty of that lane — and the per-lane pattern checker
+// (check_queue_history, the Henzinger-Sezgin-Vafeiadis characterization)
+// then holds each lane to it. A sharded implementation that returned
+// nullopt from a partial sweep would be caught here: the skipped lane's
+// projection would contain an EMPTY while that lane was provably
+// non-empty (bad pattern P4).
+//
+// Used by tests/scale/sharded_checker_test.cpp, the fuzz_checker's
+// --backend sharded differential episodes, and (conservation + lane
+// integrity, which need no timestamps) the soak's sharded accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "checker/history.hpp"
+#include "checker/queue_checker.hpp"
+
+namespace wfq::lin {
+
+/// One operation of a sharded history. `lane` is meaningful for kEnqueue
+/// (home lane) and kDequeue (lane the value was taken from); a
+/// kDequeueEmpty is global by contract and its lane field is ignored —
+/// the projection inserts it into every lane.
+struct LaneOp {
+  Op op;
+  std::size_t lane = 0;
+};
+
+/// Checks a complete sharded history (every operation finished, enqueued
+/// values pairwise distinct) against the three-part contract above.
+/// `shards` must be the lane count of the queue that produced the history.
+inline CheckResult check_sharded_history(const std::vector<LaneOp>& ops,
+                                         std::size_t shards) {
+  // -- 1+2: conservation and lane integrity (value-matching passes) -------
+  struct EnqInfo {
+    std::size_t lane;
+    bool seen = false;  // value already enqueued once (duplicate enqueue)
+  };
+  std::unordered_map<uint64_t, EnqInfo> enq_lane;
+  for (const LaneOp& lo : ops) {
+    if (lo.op.kind != OpKind::kEnqueue) continue;
+    if (lo.lane >= shards) {
+      return violation("enqueue of " + std::to_string(lo.op.value) +
+                       " tagged with lane " + std::to_string(lo.lane) +
+                       " >= shards " + std::to_string(shards));
+    }
+    auto [it, inserted] = enq_lane.emplace(lo.op.value, EnqInfo{lo.lane});
+    if (!inserted) {
+      return violation("value " + std::to_string(lo.op.value) +
+                       " enqueued twice (oracle requires distinct values)");
+    }
+  }
+  std::unordered_map<uint64_t, bool> dequeued;
+  for (const LaneOp& lo : ops) {
+    if (lo.op.kind != OpKind::kDequeue) continue;
+    auto it = enq_lane.find(lo.op.value);
+    if (it == enq_lane.end()) {
+      return violation("dequeue returned " + std::to_string(lo.op.value) +
+                       ", which was never enqueued");
+    }
+    if (it->second.lane != lo.lane) {
+      return violation("value " + std::to_string(lo.op.value) +
+                       " enqueued on lane " +
+                       std::to_string(it->second.lane) +
+                       " but dequeued from lane " + std::to_string(lo.lane));
+    }
+    auto [dit, inserted] = dequeued.emplace(lo.op.value, true);
+    if (!inserted) {
+      return violation("value " + std::to_string(lo.op.value) +
+                       " dequeued twice");
+    }
+  }
+
+  // -- 3: per-lane linearizability, EMPTY projected everywhere ------------
+  for (std::size_t lane = 0; lane < shards; ++lane) {
+    std::vector<Op> proj;
+    for (const LaneOp& lo : ops) {
+      if (lo.op.kind == OpKind::kDequeueEmpty || lo.lane == lane) {
+        proj.push_back(lo.op);
+      }
+    }
+    CheckResult res = check_queue_history(proj);
+    if (!res.linearizable) {
+      return violation("lane " + std::to_string(lane) +
+                       " projection not linearizable: " + res.violation);
+    }
+  }
+  return CheckResult{};
+}
+
+/// Drained-history strengthening: additionally require every enqueued
+/// value to have been dequeued (the soak's close()/drain() accounting).
+inline CheckResult check_sharded_history_drained(
+    const std::vector<LaneOp>& ops, std::size_t shards) {
+  CheckResult base = check_sharded_history(ops, shards);
+  if (!base.linearizable) return base;
+  std::unordered_map<uint64_t, int> balance;
+  for (const LaneOp& lo : ops) {
+    if (lo.op.kind == OpKind::kEnqueue) ++balance[lo.op.value];
+    if (lo.op.kind == OpKind::kDequeue) --balance[lo.op.value];
+  }
+  for (const auto& [v, n] : balance) {
+    if (n != 0) {
+      return violation("value " + std::to_string(v) +
+                       " enqueued but never dequeued in a drained history");
+    }
+  }
+  return CheckResult{};
+}
+
+}  // namespace wfq::lin

@@ -107,6 +107,12 @@ struct QueueCaps {
   bool is_bounded = false;    ///< models BoundedQueue
   bool has_bulk = false;      ///< models BulkQueue
   bool has_stats = false;     ///< exposes OpStats via stats()
+  /// Declared (kRelaxedOrder): dequeue order is only FIFO per lane/producer
+  /// class, not globally — the sharded layer's contract. Strict-FIFO
+  /// backends leave it false; drivers that assert global FIFO (the
+  /// sequential checker, fuzz differential episodes) must consult this bit
+  /// before applying a total-order oracle.
+  bool relaxed_order = false;
 };
 
 namespace detail {
@@ -114,6 +120,8 @@ template <class Q>
 concept HasStats = requires(const Q& q) { q.stats(); };
 template <class Q>
 concept DeclaresWaitFree = requires { { Q::kIsWaitFree } -> std::convertible_to<bool>; };
+template <class Q>
+concept DeclaresRelaxedOrder = requires { { Q::kRelaxedOrder } -> std::convertible_to<bool>; };
 }  // namespace detail
 
 /// Detected + declared capabilities of Q. is_wait_free comes from a
@@ -126,6 +134,9 @@ constexpr QueueCaps queue_caps() {
   c.has_bulk = BulkQueue<Q>;
   c.has_stats = detail::HasStats<Q>;
   if constexpr (detail::DeclaresWaitFree<Q>) c.is_wait_free = Q::kIsWaitFree;
+  if constexpr (detail::DeclaresRelaxedOrder<Q>) {
+    c.relaxed_order = Q::kRelaxedOrder;
+  }
   return c;
 }
 

@@ -408,11 +408,16 @@ class SegmentList {
   /// Pull up to prefetch_depth_ successor headers. Depths beyond 1 chase
   /// `next` pointers through headers that may themselves be cold — classic
   /// software pipelining: each traversal warms the next one's chain.
+  /// The `next` loads must be acquire (free on x86): a concurrent extender
+  /// publishes the freshly-constructed segment with a release CAS, and the
+  /// depth>=2 chase genuinely dereferences it — a relaxed load here raced
+  /// with the segment's construction.
   void prefetch_ahead(const Segment* s) const {
-    const Segment* nx = s->next.load(std::memory_order_relaxed);
-    for (unsigned d = 0; nx != nullptr && d < prefetch_depth_; ++d) {
+    const Segment* nx = s->next.load(std::memory_order_acquire);
+    for (unsigned d = 0; nx != nullptr; ) {
       prefetch_segment(nx);
-      nx = nx->next.load(std::memory_order_relaxed);
+      if (++d >= prefetch_depth_) break;
+      nx = nx->next.load(std::memory_order_acquire);
     }
   }
 

@@ -278,7 +278,9 @@ class WcqQueue {
     registry_.for_each([](Rec* r) { r->stats.reset(); });
   }
 
-  obs::ObsSnapshot collect_obs() const {
+  /// `include_global_ring = false` is for multi-instance aggregators (the
+  /// sharded layer), which fold the shared process-global ring in once.
+  obs::ObsSnapshot collect_obs(bool include_global_ring = true) const {
     obs::ObsSnapshot snap;
     if constexpr (Metrics::kEnabled) {
       registry_.for_each([&](const Rec* r) {
@@ -286,7 +288,7 @@ class WcqQueue {
         snap.deq_ns.merge(r->obs.deq_ns);
         snap.absorb_ring(r->obs.ring);
       });
-      snap.absorb_ring(Metrics::global_ring());
+      if (include_global_ring) snap.absorb_ring(Metrics::global_ring());
       snap.sort_events();
     }
     return snap;

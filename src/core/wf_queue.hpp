@@ -157,7 +157,11 @@ class WFQueue {
 
   /// Observability snapshot: merged latency histograms + trace records
   /// (empty under the default NullMetrics traits; see src/obs/metrics.hpp).
-  obs::ObsSnapshot collect_obs() const { return core_.collect_obs(); }
+  /// `include_global_ring = false` is for multi-instance aggregators (the
+  /// sharded layer), which fold the shared process-global ring in once.
+  obs::ObsSnapshot collect_obs(bool include_global_ring = true) const {
+    return core_.collect_obs(include_global_ring);
+  }
   void reset_obs() { core_.reset_obs(); }
 
   /// Segment-list introspection for tests and reclamation benchmarks.

@@ -864,8 +864,11 @@ class WFQueueCore {
   /// histograms, retained trace records, and exact per-type event totals
   /// (per-handle rings plus the process-global segment-layer ring). Under
   /// NullMetrics returns an empty snapshot. Same quiescence contract as
-  /// collect_stats for exact numbers.
-  obs::ObsSnapshot collect_obs() const {
+  /// collect_stats for exact numbers. `include_global_ring = false` skips
+  /// the process-global ring — for aggregators holding several queue
+  /// instances (the sharded layer), which must absorb that shared ring
+  /// exactly once across all of them.
+  obs::ObsSnapshot collect_obs(bool include_global_ring = true) const {
     obs::ObsSnapshot snap;
     if constexpr (Metrics::kEnabled) {
       registry_.for_each([&](const Handle* h) {
@@ -875,7 +878,7 @@ class WFQueueCore {
         snap.deq_bulk_ns.merge(h->obs.deq_bulk_ns);
         snap.absorb_ring(h->obs.ring);
       });
-      snap.absorb_ring(Metrics::global_ring());
+      if (include_global_ring) snap.absorb_ring(Metrics::global_ring());
     }
     return snap;
   }

@@ -367,6 +367,8 @@ inline constexpr const char* kInjectionPoints[] = {
     "wcq_enq_slow_published",  // enqueue request visible, no index claimed
     "wcq_help_install",    // helper: index claimed, entry not yet prepared
     "wcq_finalize",        // entry prepared, request not yet finalized
+    // scale/sharded_queue.hpp — cross-lane work stealing
+    "shard_steal_scan",    // dequeue sweep: about to probe a foreign lane
 };
 
 inline constexpr std::size_t kInjectionPointCount =

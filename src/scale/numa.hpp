@@ -1,0 +1,242 @@
+// NUMA topology probe and placement policy for the sharded layer.
+//
+// The sharded queue wants each lane's memory — its segments and, above all,
+// its PR-4 reserve_segments pool — faulted on the memory node of the
+// threads that will hammer it. Getting the topology is the only part that
+// is platform-specific, so it is isolated here behind one struct:
+//
+//   NumaTopology::get()   probed once per process, three sources in order:
+//     1. libnuma, iff <numa.h> is available at compile time AND
+//        numa_available() succeeds at runtime (the library is optional —
+//        this repo must build on hosts with only the runtime .so, or
+//        neither);
+//     2. the portable sysfs fallback: /sys/devices/system/node/node*/cpulist
+//        (Linux, no library needed);
+//     3. a single synthetic node covering every hardware thread, which is
+//        also the truthful answer on UMA machines and non-Linux hosts.
+//
+// Placement itself needs no libnuma either: Linux allocates pages on the
+// node of the thread that first touches them, so binding the constructing
+// thread to a node's cpuset (NumaBinder) while a lane allocates its
+// segments and pre-faults its reserve pool IS the placement policy. The
+// same trick is what interleaved lane construction uses; there is no
+// mbind() dependency anywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cpu.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+#if __has_include(<numa.h>)
+#include <numa.h>
+#define WFQ_HAVE_LIBNUMA 1
+#endif
+
+namespace wfq::scale {
+
+/// Lane-placement policy of a ShardedQueue (mirrored by the C API's
+/// wfq_options_t.numa_mode).
+enum class NumaMode : int {
+  kNone = 0,        ///< no binding: lanes allocate wherever they are built
+  kInterleave = 1,  ///< lane i is faulted on node i % nodes (spread load)
+  kLocal = 2,       ///< interleaved placement + handles prefer a same-node
+                    ///< lane as their home (producer-local traffic)
+};
+
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+namespace detail {
+
+/// Parses the kernel's cpulist format ("0-3,8,10-11") into CPU ids.
+/// Malformed input yields the CPUs parsed so far — the probe degrades, it
+/// never fails.
+inline std::vector<int> parse_cpulist(const std::string& s) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] < '0' || s[i] > '9') break;
+    int lo = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      lo = lo * 10 + (s[i++] - '0');
+    }
+    int hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      if (i >= s.size() || s[i] < '0' || s[i] > '9') break;
+      hi = 0;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+        hi = hi * 10 + (s[i++] - '0');
+      }
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (i < s.size() && s[i] == ',') ++i;
+  }
+  return cpus;
+}
+
+inline bool read_small_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "re");
+  if (!f) return false;
+  char buf[4096];
+  std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  out.assign(buf, n);
+  return true;
+}
+
+}  // namespace detail
+
+/// The machine's node -> cpus map. Probe once with get(); tests construct
+/// their own instances to exercise the synthetic paths.
+struct NumaTopology {
+  std::vector<NumaNode> nodes;
+
+  int num_nodes() const noexcept { return int(nodes.size()); }
+
+  /// Node owning `cpu`; node 0 for CPUs the probe never saw (hotplug,
+  /// truncated masks) so every caller gets a valid lane placement.
+  int node_of_cpu(int cpu) const noexcept {
+    for (const NumaNode& n : nodes) {
+      for (int c : n.cpus) {
+        if (c == cpu) return n.id;
+      }
+    }
+    return nodes.empty() ? 0 : nodes.front().id;
+  }
+
+  /// UMA fallback: one node spanning every hardware thread.
+  static NumaTopology single_node() {
+    NumaTopology t;
+    NumaNode n;
+    n.id = 0;
+    const unsigned hw = hardware_threads();
+    for (unsigned c = 0; c < hw; ++c) n.cpus.push_back(int(c));
+    t.nodes.push_back(std::move(n));
+    return t;
+  }
+
+  static NumaTopology probe() {
+#ifdef WFQ_HAVE_LIBNUMA
+    if (numa_available() != -1) {
+      NumaTopology t;
+      const int max_node = numa_max_node();
+      struct bitmask* bm = numa_allocate_cpumask();
+      for (int node = 0; node <= max_node; ++node) {
+        if (numa_node_to_cpus(node, bm) != 0) continue;
+        NumaNode n;
+        n.id = node;
+        for (unsigned c = 0; c < bm->size; ++c) {
+          if (numa_bitmask_isbitset(bm, c)) n.cpus.push_back(int(c));
+        }
+        if (!n.cpus.empty()) t.nodes.push_back(std::move(n));
+      }
+      numa_free_cpumask(bm);
+      if (!t.nodes.empty()) return t;
+    }
+#endif
+#if defined(__linux__)
+    {
+      NumaTopology t;
+      for (int node = 0; node < 1024; ++node) {
+        char path[96];
+        std::snprintf(path, sizeof(path),
+                      "/sys/devices/system/node/node%d/cpulist", node);
+        std::string cpulist;
+        if (!detail::read_small_file(path, cpulist)) {
+          // Node ids are dense on Linux; the first gap ends the scan.
+          break;
+        }
+        NumaNode n;
+        n.id = node;
+        n.cpus = detail::parse_cpulist(cpulist);
+        if (!n.cpus.empty()) t.nodes.push_back(std::move(n));
+      }
+      if (!t.nodes.empty()) return t;
+    }
+#endif
+    return single_node();
+  }
+
+  /// The process-wide topology, probed on first use.
+  static const NumaTopology& get() {
+    static const NumaTopology t = probe();
+    return t;
+  }
+};
+
+/// RAII: binds the calling thread to one node's cpuset, restoring the
+/// previous affinity mask on destruction. Used around lane construction so
+/// first-touch puts the lane's segments and reserve pool on its node.
+/// Every failure path (non-Linux, empty node, EPERM from sched_setaffinity)
+/// degrades to a no-op — placement is a performance policy, never a
+/// correctness dependency.
+class NumaBinder {
+ public:
+  NumaBinder(const NumaTopology& topo, int node) {
+#if defined(__linux__)
+    const NumaNode* target = nullptr;
+    for (const NumaNode& n : topo.nodes) {
+      if (n.id == node) target = &n;
+    }
+    if (!target || target->cpus.empty()) return;
+    if (sched_getaffinity(0, sizeof(saved_), &saved_) != 0) return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (int c : target->cpus) {
+      if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+    }
+    bound_ = sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    (void)topo;
+    (void)node;
+#endif
+  }
+
+  ~NumaBinder() {
+#if defined(__linux__)
+    if (bound_) (void)sched_setaffinity(0, sizeof(saved_), &saved_);
+#endif
+  }
+
+  NumaBinder(const NumaBinder&) = delete;
+  NumaBinder& operator=(const NumaBinder&) = delete;
+
+  bool bound() const noexcept { return bound_; }
+
+ private:
+  bool bound_ = false;
+#if defined(__linux__)
+  cpu_set_t saved_ = {};
+#endif
+};
+
+/// Node on which lane `lane` of `shards` should be placed, or -1 for "do
+/// not bind". Both interleave and local use the same round-robin placement;
+/// they differ in how handles pick their home lane, not where lanes live.
+inline int node_for_lane(const NumaTopology& topo, NumaMode mode,
+                         std::size_t lane) {
+  if (mode == NumaMode::kNone || topo.num_nodes() <= 1) return -1;
+  return topo.nodes[lane % std::size_t(topo.num_nodes())].id;
+}
+
+/// Node of the calling thread's current CPU (node 0 when the platform
+/// cannot say), for NumaMode::kLocal home-lane selection.
+inline int current_node(const NumaTopology& topo) {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu >= 0) return topo.node_of_cpu(cpu);
+#endif
+  return topo.nodes.empty() ? 0 : topo.nodes.front().id;
+}
+
+}  // namespace wfq::scale

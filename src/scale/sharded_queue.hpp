@@ -1,0 +1,455 @@
+// ShardedQueue<Q>: N independent lanes of any ConcurrentQueue backend,
+// composed into one queue that trades global FIFO for horizontal scale.
+//
+// The paper's queue funnels every operation through one FAA'd cache line;
+// Figure 2 shows that line saturating around one socket. This layer is the
+// classic answer ("No Cords Attached", PAPERS.md): run N sub-queues and
+// relax the ordering contract just enough that operations on different
+// lanes never touch the same line.
+//
+//   Enqueue   goes to the handle's *home lane* only. Homes are dealt
+//             round-robin by one FAA at get_handle() time (amortized over a
+//             handle's lifetime, not paid per op), optionally biased to
+//             NUMA-local lanes under NumaMode::kLocal. One producer ->
+//             one lane, so a producer's values stay FIFO relative to each
+//             other no matter what the other lanes do.
+//
+//   Dequeue   drains the home lane first; only when it is empty does the
+//             caller *steal*: a bounded sweep over the other lanes starting
+//             from a position dealt by a second FAA (so concurrent stealers
+//             fan out instead of convoying on lane 0). The sweep visits
+//             every foreign lane at most once — if Q's dequeue takes at
+//             most k steps, a ShardedQueue dequeue takes at most N*k plus
+//             a constant: wait-freedom is preserved, multiplied by the
+//             shard count, never lost.
+//
+//             The sweep is deliberately a FULL sweep before returning
+//             nullopt. A partial scan would be faster but would break the
+//             emptiness witness the blocking layer's close()/drain()
+//             protocol relies on: after seal, lanes only shrink, so "every
+//             lane observed empty within my dequeue's interval" is a sound
+//             linearization of EMPTY — "three lanes observed empty" is not.
+//
+// Ordering contract (precisely):
+//   * Per-lane linearizability. Each lane is its backend, verbatim; the
+//     projection of a history onto any one lane (plus every EMPTY, see
+//     below) is a linearizable queue history. The checker's sharded oracle
+//     (src/checker/sharded_checker.hpp) verifies exactly this.
+//   * Global relaxed FIFO. Values of one producer are dequeued in their
+//     enqueue order (they share a lane). Values of different producers on
+//     different lanes have NO cross-order guarantee.
+//   * EMPTY is global. dequeue() returns nullopt only after observing
+//     every lane empty within the call's interval, so a nullopt projects
+//     soundly into every lane's history.
+//   * No loss, no duplication — each lane's own guarantee, and stealing
+//     moves consumers between lanes, never values.
+//
+// The Traits seams pass through untouched: Traits_ re-exports the inner
+// backend's pack, so BlockingQueue<ShardedQueue<...>> finds the same
+// Injector/Metrics providers it would find on the bare backend, and
+// close()/drain(), fault injection and observability all come through the
+// existing machinery unmodified (BlockingShardedQueue below).
+//
+// NUMA (src/scale/numa.hpp): under kInterleave/kLocal each lane is
+// *constructed* by a thread temporarily bound to the lane's node, so
+// first-touch faults the lane's initial segments — including its PR-4
+// reserve_segments pool — on that node. The reserve pool thereby becomes
+// per-node: lane i's emergency segments are local to the consumers that
+// will drain lane i.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/align.hpp"
+#include "core/op_stats.hpp"
+#include "core/queue_concepts.hpp"
+#include "harness/fault_inject.hpp"
+#include "obs/metrics.hpp"
+#include "scale/numa.hpp"
+
+namespace wfq::scale {
+
+/// Construction-time shape of a ShardedQueue. Lives apart from the inner
+/// backend's config (WfConfig, ring capacity, ...) which is forwarded
+/// separately; new knobs go at the end (positional-initializer rule).
+struct ShardConfig {
+  std::size_t shards = 0;  ///< lane count; 0 = auto (min(hw threads, 4))
+  NumaMode numa_mode = NumaMode::kNone;
+
+  std::size_t resolved_shards() const noexcept {
+    if (shards != 0) return shards;
+    const unsigned hw = hardware_threads();
+    return hw < 4 ? std::size_t(hw ? hw : 1) : std::size_t(4);
+  }
+};
+
+namespace detail {
+template <class Q, class = void>
+struct TraitsOfImpl {
+  struct type {};
+};
+template <class Q>
+struct TraitsOfImpl<Q, std::void_t<typename Q::Traits_>> {
+  using type = typename Q::Traits_;
+};
+}  // namespace detail
+
+template <class Q>
+  requires ConcurrentQueue<Q>
+class ShardedQueue {
+ public:
+  using value_type = typename Q::value_type;
+  using InnerQueue = Q;
+  /// Re-export the inner pack so generic layers (BlockingQueue, the soak's
+  /// obs epilogue) resolve the same Injector/Metrics seams they would on Q.
+  using Traits_ = typename detail::TraitsOfImpl<Q>::type;
+
+  /// Declared capability bits (see queue_concepts.hpp). Wait-freedom is
+  /// inherited: the sweep multiplies the inner step bound by the lane
+  /// count, a constant for any one queue. Relaxed order is this layer's
+  /// defining property.
+  static constexpr bool kIsWaitFree = kQueueCaps<Q>.is_wait_free;
+  static constexpr bool kRelaxedOrder = true;
+
+ private:
+  using T = value_type;
+  using Injector = fault::InjectorOf<Traits_>;
+
+  /// Steal counters outlive the handle that earned them (the registry /
+  /// freelist pattern of BlockingQueue's BlockingRec): stats() reports
+  /// steals from threads that already exited.
+  struct alignas(kCacheLineSize) HandleRec {
+    std::atomic<uint64_t> steal_attempts{0};
+    std::atomic<uint64_t> steals{0};
+    HandleRec* next_free = nullptr;
+  };
+
+  struct alignas(kCacheLineSize) Lane {
+    std::unique_ptr<Q> q;
+  };
+
+ public:
+  class Handle {
+   public:
+    Handle(Handle&&) noexcept = default;
+    Handle& operator=(Handle&&) noexcept = default;
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    ~Handle() {
+      if (owner_) owner_->release_rec(rec_);
+    }
+
+    /// The lane this handle enqueues to (tests and the soak's imbalance
+    /// report key on it).
+    std::size_t home() const noexcept { return home_; }
+
+   private:
+    friend class ShardedQueue;
+    Handle(ShardedQueue* owner, std::size_t home, HandleRec* rec,
+           std::vector<typename Q::Handle> lanes)
+        : owner_(owner), home_(home), rec_(rec), lanes_(std::move(lanes)) {}
+
+    struct OwnerReset {
+      void operator()(ShardedQueue*) const noexcept {}
+    };
+    // unique_ptr with a no-op deleter: gives Handle move-only semantics
+    // and a self-nulling owner field without a custom move constructor.
+    std::unique_ptr<ShardedQueue, OwnerReset> owner_;
+    std::size_t home_ = 0;
+    HandleRec* rec_ = nullptr;
+    std::vector<typename Q::Handle> lanes_;  // one inner handle per lane
+  };
+
+  /// Builds `cfg.resolved_shards()` lanes, each constructed from a copy of
+  /// `args`. Under kInterleave/kLocal the constructing thread is bound to
+  /// the lane's node for the duration of that lane's construction (see the
+  /// header comment on first-touch placement).
+  template <class... Args>
+  explicit ShardedQueue(const ShardConfig& cfg, const Args&... args)
+      : cfg_(cfg), shards_(cfg.resolved_shards()), lanes_(shards_) {
+    const NumaTopology& topo = NumaTopology::get();
+    for (std::size_t i = 0; i < shards_; ++i) {
+      const int node = node_for_lane(topo, cfg_.numa_mode, i);
+      if (node >= 0) {
+        NumaBinder bind(topo, node);
+        lanes_[i].q = std::make_unique<Q>(args...);
+      } else {
+        lanes_[i].q = std::make_unique<Q>(args...);
+      }
+    }
+  }
+
+  ShardedQueue() : ShardedQueue(ShardConfig{}) {}
+  ShardedQueue(const ShardedQueue&) = delete;
+  ShardedQueue& operator=(const ShardedQueue&) = delete;
+
+  std::size_t shards() const noexcept { return shards_; }
+  NumaMode numa_mode() const noexcept { return cfg_.numa_mode; }
+
+  Handle get_handle() {
+    std::vector<typename Q::Handle> inner;
+    inner.reserve(shards_);
+    for (std::size_t i = 0; i < shards_; ++i) {
+      inner.push_back(lanes_[i].q->get_handle());
+    }
+    return Handle(this, pick_home(), acquire_rec(), std::move(inner));
+  }
+
+  /// Home-lane enqueue. Return type is the backend's own (bool on WFQueue
+  /// under the OOM protocol, void on most baselines) — the sharded layer
+  /// adds no failure modes of its own on this path.
+  decltype(auto) enqueue(Handle& h, T v) {
+    return lanes_[h.home_].q->enqueue(h.lanes_[h.home_], std::move(v));
+  }
+
+  /// Home lane first, then one full steal sweep (see header: the full
+  /// sweep is what makes nullopt a sound global EMPTY).
+  std::optional<T> dequeue(Handle& h) {
+    if (auto v = lanes_[h.home_].q->dequeue(h.lanes_[h.home_])) return v;
+    if (shards_ == 1) return std::nullopt;
+    const std::size_t start =
+        steal_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_;
+    for (std::size_t i = 0; i < shards_; ++i) {
+      std::size_t lane = start + i;
+      if (lane >= shards_) lane -= shards_;
+      if (lane == h.home_) continue;
+      WFQ_INJECT(Traits_, "shard_steal_scan");
+      h.rec_->steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      if (auto v = lanes_[lane].q->dequeue(h.lanes_[lane])) {
+        h.rec_->steals.fetch_add(1, std::memory_order_relaxed);
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// dequeue() plus the lane the value came from — the fuzz/checker entry
+  /// point (lane tags feed the per-lane linearizability oracle).
+  std::optional<std::pair<T, std::size_t>> dequeue_traced(Handle& h) {
+    if (auto v = lanes_[h.home_].q->dequeue(h.lanes_[h.home_])) {
+      return std::make_pair(std::move(*v), h.home_);
+    }
+    if (shards_ == 1) return std::nullopt;
+    const std::size_t start =
+        steal_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_;
+    for (std::size_t i = 0; i < shards_; ++i) {
+      std::size_t lane = start + i;
+      if (lane >= shards_) lane -= shards_;
+      if (lane == h.home_) continue;
+      WFQ_INJECT(Traits_, "shard_steal_scan");
+      h.rec_->steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      if (auto v = lanes_[lane].q->dequeue(h.lanes_[lane])) {
+        h.rec_->steals.fetch_add(1, std::memory_order_relaxed);
+        return std::make_pair(std::move(*v), lane);
+      }
+    }
+    return std::nullopt;
+  }
+
+  // ---- Batched span ops (present iff the backend batches) ---------------
+
+  decltype(auto) enqueue_bulk(Handle& h, const T* vals, std::size_t n)
+    requires BulkQueue<Q>
+  {
+    return lanes_[h.home_].q->enqueue_bulk(h.lanes_[h.home_], vals, n);
+  }
+
+  std::size_t dequeue_bulk(Handle& h, T* out, std::size_t n)
+    requires BulkQueue<Q>
+  {
+    std::size_t got =
+        lanes_[h.home_].q->dequeue_bulk(h.lanes_[h.home_], out, n);
+    if (got == n || shards_ == 1) return got;
+    const std::size_t start =
+        steal_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_;
+    for (std::size_t i = 0; i < shards_ && got < n; ++i) {
+      std::size_t lane = start + i;
+      if (lane >= shards_) lane -= shards_;
+      if (lane == h.home_) continue;
+      WFQ_INJECT(Traits_, "shard_steal_scan");
+      h.rec_->steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      std::size_t stolen =
+          lanes_[lane].q->dequeue_bulk(h.lanes_[lane], out + got, n - got);
+      if (stolen > 0) {
+        h.rec_->steals.fetch_add(stolen, std::memory_order_relaxed);
+        got += stolen;
+      }
+    }
+    return got;
+  }
+
+  // ---- Bounded contract (present iff the backend is bounded) ------------
+  // Backpressure is per-lane: kFull means the *home* lane is full. This is
+  // deliberate — spilling an enqueue to a sibling lane would silently break
+  // the per-producer FIFO half of the ordering contract.
+
+  EnqueueResult try_enqueue(Handle& h, T v)
+    requires BoundedQueue<Q>
+  {
+    return lanes_[h.home_].q->try_enqueue(h.lanes_[h.home_], std::move(v));
+  }
+
+  std::size_t capacity() const
+    requires BoundedQueue<Q>
+  {
+    std::size_t total = 0;
+    for (const Lane& l : lanes_) total += l.q->capacity();
+    return total;
+  }
+
+  /// Heuristic occupancy: sum of the lanes' own approximations. Monitoring
+  /// only (each lane's estimate is already non-linearizable).
+  uint64_t approx_size() const
+    requires requires(const Q& q) { q.approx_size(); }
+  {
+    uint64_t total = 0;
+    for (const Lane& l : lanes_) total += l.q->approx_size();
+    return total;
+  }
+
+  // ---- Stats / observability (present iff the backend reports) ----------
+
+  OpStats stats() const
+    requires wfq::detail::HasStats<Q>
+  {
+    OpStats s;
+    for (const Lane& l : lanes_) s.add(l.q->stats());
+    std::lock_guard<std::mutex> g(rec_mu_);
+    for (const auto& r : recs_) {
+      s.steal_attempts.fetch_add(
+          r->steal_attempts.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      s.steals.fetch_add(r->steals.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  /// Per-lane completed-operation counts (enqueues + dequeues), for the
+  /// soak's steal-starvation / imbalance report.
+  std::vector<uint64_t> lane_loads() const
+    requires wfq::detail::HasStats<Q>
+  {
+    std::vector<uint64_t> loads;
+    loads.reserve(shards_);
+    for (const Lane& l : lanes_) {
+      OpStats s = l.q->stats();
+      loads.push_back(s.enqueues() + s.dequeues());
+    }
+    return loads;
+  }
+
+  /// Per-handle state (latency histograms, per-handle trace rings) is
+  /// per-lane and merges across all lanes; the segment-layer trace ring is
+  /// PROCESS-GLOBAL (Metrics::global_ring()), so it must be absorbed from
+  /// exactly one lane — double-absorbing it would multiply those events/
+  /// totals by the lane count and fail the soak's exact trace/counter
+  /// agreement audit. Backends exposing the include_global_ring parameter
+  /// get it from lane 0 only; others (no shared ring) merge plainly.
+  obs::ObsSnapshot collect_obs() const
+    requires requires(const Q& q) { q.collect_obs(); }
+  {
+    obs::ObsSnapshot snap;
+    bool first = true;
+    for (const Lane& l : lanes_) {
+      obs::ObsSnapshot part;
+      if constexpr (requires(const Q& q) { q.collect_obs(false); }) {
+        part = l.q->collect_obs(/*include_global_ring=*/first);
+      } else {
+        part = l.q->collect_obs();
+      }
+      first = false;
+      snap.enq_ns.merge(part.enq_ns);
+      snap.deq_ns.merge(part.deq_ns);
+      snap.enq_bulk_ns.merge(part.enq_bulk_ns);
+      snap.deq_bulk_ns.merge(part.deq_bulk_ns);
+      snap.pop_wait_ns.merge(part.pop_wait_ns);
+      for (const auto& e : part.events) snap.events.push_back(e);
+      for (std::size_t i = 0; i < obs::kTraceEventCount; ++i) {
+        snap.totals[i] += part.totals[i];
+      }
+      snap.dropped += part.dropped;
+    }
+    snap.sort_events();
+    return snap;
+  }
+
+  /// Direct lane access for tests and the differential fuzzer (lane
+  /// histories are checked against the backend's own oracle).
+  Q& lane(std::size_t i) noexcept { return *lanes_[i].q; }
+  const Q& lane(std::size_t i) const noexcept { return *lanes_[i].q; }
+
+ private:
+  std::size_t pick_home() {
+    if (cfg_.numa_mode == NumaMode::kLocal) {
+      const NumaTopology& topo = NumaTopology::get();
+      if (topo.num_nodes() > 1) {
+        // Lanes are placed round-robin over nodes, so the lanes on this
+        // thread's node are {node, node + nodes, node + 2*nodes, ...}.
+        // Deal among them with a second FAA to spread same-node handles.
+        const std::size_t nodes = std::size_t(topo.num_nodes());
+        const std::size_t node =
+            std::size_t(current_node(topo)) % nodes;
+        const std::size_t local_lanes = (shards_ + nodes - 1 - node) / nodes;
+        if (local_lanes > 0) {
+          const std::size_t k =
+              local_cursor_.fetch_add(1, std::memory_order_relaxed) %
+              local_lanes;
+          return node + k * nodes;
+        }
+      }
+    }
+    return next_home_.fetch_add(1, std::memory_order_relaxed) % shards_;
+  }
+
+  HandleRec* acquire_rec() {
+    std::lock_guard<std::mutex> g(rec_mu_);
+    if (free_recs_) {
+      HandleRec* r = free_recs_;
+      free_recs_ = r->next_free;
+      r->next_free = nullptr;
+      return r;
+    }
+    recs_.push_back(std::make_unique<HandleRec>());
+    return recs_.back().get();
+  }
+
+  void release_rec(HandleRec* r) noexcept {
+    if (!r) return;
+    // Counters intentionally survive on the freelist: a reused rec keeps
+    // accumulating, and stats() reads the registry, not live handles.
+    std::lock_guard<std::mutex> g(rec_mu_);
+    r->next_free = free_recs_;
+    free_recs_ = r;
+  }
+
+  ShardConfig cfg_;
+  std::size_t shards_;
+  std::vector<Lane> lanes_;
+
+  alignas(kCacheLineSize) std::atomic<uint64_t> next_home_{0};
+  alignas(kCacheLineSize) std::atomic<uint64_t> local_cursor_{0};
+  alignas(kCacheLineSize) std::atomic<uint64_t> steal_cursor_{0};
+
+  mutable std::mutex rec_mu_;
+  std::vector<std::unique_ptr<HandleRec>> recs_;
+  HandleRec* free_recs_ = nullptr;
+};
+
+}  // namespace wfq::scale
+
+namespace wfq {
+/// Promote the main alias into wfq:: alongside the other backends.
+using scale::NumaMode;
+using scale::ShardConfig;
+using scale::ShardedQueue;
+}  // namespace wfq

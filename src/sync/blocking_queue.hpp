@@ -64,6 +64,7 @@
 #include "core/scq.hpp"
 #include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
+#include "scale/sharded_queue.hpp"
 #include "harness/fault_inject.hpp"
 #include "obs/metrics.hpp"
 #include "sync/asym_fence.hpp"
@@ -780,5 +781,15 @@ template <class T, class Traits = DefaultRingTraits>
 using BlockingScqQueue = BlockingQueue<ScqQueue<T, Traits>>;
 template <class T, class Traits = DefaultRingTraits>
 using BlockingWcqQueue = BlockingQueue<WcqQueue<T, Traits>>;
+
+/// Horizontal-scale configuration (PR 8): N wait-free lanes behind the
+/// same blocking/close/drain protocol. ShardedQueue re-exports the inner
+/// Traits_ pack, so injection and metrics resolve exactly as they do on
+/// BlockingWFQueue; close()'s emptiness witness stays sound because the
+/// sharded dequeue returns nullopt only after a full all-lanes sweep.
+/// Construct as `BlockingShardedQueue<T> q(ShardConfig{4}, WfConfig{...});`.
+template <class T, class Traits = DefaultWfTraits>
+using BlockingShardedQueue =
+    BlockingQueue<scale::ShardedQueue<WFQueue<T, Traits>>>;
 
 }  // namespace wfq::sync

@@ -481,4 +481,102 @@ TEST(CApiBackends, WfBackendReportsUnbounded) {
   wfq_destroy(q);
 }
 
+// ---- Sharded backend (PR 8) ----------------------------------------------
+
+TEST(CApiSharded, PerHandleFifoAndConservation) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.backend = WFQ_BACKEND_SHARDED;
+  opt.shards = 4;
+  wfq_queue_t* q = wfq_create_ex(&opt);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(wfq_capacity(q), 0u);  // lanes are unbounded WF queues
+
+  // One handle: the relaxed contract still promises strict FIFO (a single
+  // handle's traffic never leaves its home lane).
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  for (uint64_t i = 1; i <= 100; ++i) EXPECT_EQ(wfq_enqueue(h, i), WFQ_OK);
+  uint64_t out = 0;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    ASSERT_EQ(wfq_dequeue(h, &out), 1);
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(wfq_dequeue(h, &out), 0);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApiSharded, StealCountersSurfaceInStatsEx) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.backend = WFQ_BACKEND_SHARDED;
+  opt.shards = 4;
+  wfq_queue_t* q = wfq_create_ex(&opt);
+  ASSERT_NE(q, nullptr);
+  // Producer and consumer handles land on different lanes (round-robin),
+  // so every value below crosses lanes via the steal sweep.
+  wfq_handle_t* producer = wfq_handle_acquire(q);
+  wfq_handle_t* consumer = wfq_handle_acquire(q);
+  for (uint64_t i = 1; i <= 50; ++i) {
+    ASSERT_EQ(wfq_enqueue(producer, i), WFQ_OK);
+  }
+  uint64_t out = 0, got = 0;
+  while (wfq_dequeue(consumer, &out) == 1) ++got;
+  EXPECT_EQ(got, 50u);
+  wfq_stats_ex_t s;
+  wfq_get_stats_ex(q, &s);
+  EXPECT_EQ(s.steals, 50u);
+  EXPECT_GE(s.steal_attempts, s.steals);
+  wfq_handle_release(producer);
+  wfq_handle_release(consumer);
+  wfq_destroy(q);
+}
+
+TEST(CApiSharded, CloseDrainsAcrossLanes) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.backend = WFQ_BACKEND_SHARDED;
+  opt.shards = 4;
+  opt.numa_mode = WFQ_NUMA_INTERLEAVE;  // exercised even on a UMA host
+  wfq_queue_t* q = wfq_create_ex(&opt);
+  ASSERT_NE(q, nullptr);
+
+  constexpr unsigned kProducers = 4;
+  std::vector<std::thread> ts;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    ts.emplace_back([&, p] {
+      wfq_handle_t* h = wfq_handle_acquire(q);
+      for (uint64_t i = 1; i <= 200; ++i) {
+        EXPECT_EQ(wfq_enqueue(h, (uint64_t(p + 1) << 32) | i), WFQ_OK);
+      }
+      wfq_handle_release(h);
+    });
+  }
+  for (auto& t : ts) t.join();
+  wfq_close(q);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  EXPECT_EQ(wfq_enqueue(h, 7), WFQ_E_CLOSED);
+  std::map<uint64_t, int> seen;
+  uint64_t out = 0;
+  while (wfq_dequeue_wait(h, &out) == 1) seen[out]++;
+  EXPECT_EQ(seen.size(), std::size_t(kProducers) * 200);
+  for (auto& [v, n] : seen) EXPECT_EQ(n, 1) << v;
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CApiSharded, AutoShardsAndBadNumaModeRejected) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.backend = WFQ_BACKEND_SHARDED;  // shards = 0: auto-resolved
+  wfq_queue_t* q = wfq_create_ex(&opt);
+  ASSERT_NE(q, nullptr);
+  wfq_destroy(q);
+
+  wfq_options_init(&opt);
+  opt.backend = WFQ_BACKEND_SHARDED;
+  opt.numa_mode = 99;
+  EXPECT_EQ(wfq_create_ex(&opt), nullptr);
+}
+
 }  // namespace

@@ -21,6 +21,7 @@
 #include "core/scq.hpp"
 #include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
+#include "scale/sharded_queue.hpp"
 
 namespace wfq {
 namespace {
@@ -80,6 +81,17 @@ static_assert(!BoundedQueue<baselines::MutexQueue<uint64_t>>);
 static_assert(!BoundedQueue<baselines::KPQueue<uint64_t>>);
 static_assert(!BoundedQueue<baselines::SimQueue<uint64_t>>);
 
+// ---- ShardedQueue: the layer must model whatever its backend models -----
+
+static_assert(ConcurrentQueue<ShardedQueue<WFQueue<uint64_t>>>);
+static_assert(BulkQueue<ShardedQueue<WFQueue<uint64_t>>>);
+static_assert(!BoundedQueue<ShardedQueue<WFQueue<uint64_t>>>);
+static_assert(ConcurrentQueue<ShardedQueue<ScqQueue<uint64_t>>>);
+static_assert(BoundedQueue<ShardedQueue<ScqQueue<uint64_t>>>);
+static_assert(!BulkQueue<ShardedQueue<ScqQueue<uint64_t>>>);
+static_assert(ConcurrentQueue<ShardedQueue<WcqQueue<uint64_t>>>);
+static_assert(ConcurrentQueue<ShardedQueue<baselines::FAAQueue<uint64_t>>>);
+
 // ---- QueueCaps: detected + declared capability rows ----------------------
 
 TEST(QueueConcepts, WfQueueCaps) {
@@ -108,6 +120,38 @@ TEST(QueueConcepts, WcqCaps) {
   EXPECT_TRUE(c.is_bounded);
   EXPECT_FALSE(c.has_bulk);
   EXPECT_TRUE(c.has_stats);
+}
+
+TEST(QueueConcepts, ShardedCaps) {
+  // The defining bit: relaxed_order is declared by the sharded layer and
+  // by NOTHING else in the library (every strict-FIFO backend below).
+  constexpr QueueCaps wf = kQueueCaps<ShardedQueue<WFQueue<uint64_t>>>;
+  EXPECT_TRUE(wf.relaxed_order);
+  EXPECT_TRUE(wf.is_wait_free);  // inherited: N wait-free lanes, bounded sweep
+  EXPECT_FALSE(wf.is_bounded);
+  EXPECT_TRUE(wf.has_bulk);
+  EXPECT_TRUE(wf.has_stats);
+
+  // Over a lock-free bounded ring the layer must NOT claim wait-freedom
+  // (inheritance, not a blanket declaration), but stays relaxed-order.
+  constexpr QueueCaps scq = kQueueCaps<ShardedQueue<ScqQueue<uint64_t>>>;
+  EXPECT_TRUE(scq.relaxed_order);
+  EXPECT_FALSE(scq.is_wait_free);
+  EXPECT_TRUE(scq.is_bounded);
+}
+
+TEST(QueueConcepts, StrictFifoBackendsDoNotDeclareRelaxedOrder) {
+  EXPECT_FALSE(kQueueCaps<WFQueue<uint64_t>>.relaxed_order);
+  EXPECT_FALSE(kQueueCaps<ScqQueue<uint64_t>>.relaxed_order);
+  EXPECT_FALSE(kQueueCaps<WcqQueue<uint64_t>>.relaxed_order);
+  EXPECT_FALSE(kQueueCaps<ObstructionQueue<uint64_t>>.relaxed_order);
+  EXPECT_FALSE(kQueueCaps<baselines::FAAQueue<uint64_t>>.relaxed_order);
+  EXPECT_FALSE(kQueueCaps<baselines::MSQueue<uint64_t>>.relaxed_order);
+  EXPECT_FALSE((kQueueCaps<baselines::LCRQ<uint64_t, 64>>.relaxed_order));
+  EXPECT_FALSE(kQueueCaps<baselines::CCQueue<uint64_t>>.relaxed_order);
+  EXPECT_FALSE(kQueueCaps<baselines::MutexQueue<uint64_t>>.relaxed_order);
+  EXPECT_FALSE(kQueueCaps<baselines::KPQueue<uint64_t>>.relaxed_order);
+  EXPECT_FALSE(kQueueCaps<baselines::SimQueue<uint64_t>>.relaxed_order);
 }
 
 TEST(QueueConcepts, BaselineCaps) {

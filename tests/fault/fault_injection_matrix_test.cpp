@@ -391,10 +391,11 @@ TEST(FaultInjectionMatrix, CatalogMatchesCallSites) {
   // documents each entry) so the matrix covers it. 22 points cover the
   // WFQueue stack; PR 6 added 5 ring/wCQ points plus the producer-side
   // park (blk_push_prepark), exercised against the bounded backends in
-  // tests/fault/wcq_fault_test.cpp (the WFQueue workload here never
-  // reaches them, which the matrix tolerates for non-deterministic
-  // points).
-  EXPECT_EQ(fault::kInjectionPointCount, 28u);
+  // tests/fault/wcq_fault_test.cpp; PR 8 added the sharded layer's steal
+  // point, exercised in tests/fault/sharded_fault_test.cpp (the WFQueue
+  // workload here never reaches them, which the matrix tolerates for
+  // non-deterministic points).
+  EXPECT_EQ(fault::kInjectionPointCount, 29u);
 }
 
 }  // namespace

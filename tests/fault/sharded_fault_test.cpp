@@ -1,0 +1,232 @@
+// Fault matrix for the sharded layer: the steal sweep under scripted
+// stalls, crashes and close() races. The properties held throughout:
+//
+//   * a crash at shard_steal_scan kills the consumer BEFORE it touches the
+//     foreign lane, so accounting stays EXACT — the sweep must never hold a
+//     value at its injection point;
+//   * a crash inside a foreign lane's dequeue (deq_faa_post while stealing)
+//     may strand at most the inner queue's documented allowance, and orphan
+//     adoption — which runs per lane when the crashed handle's inner
+//     handles are released — must conserve everything else;
+//   * close() racing an in-flight steal sweep still drains every value on
+//     every lane exactly once (the full-sweep emptiness witness).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/wf_queue.hpp"
+#include "fault/fault_test_util.hpp"
+#include "scale/sharded_queue.hpp"
+#include "sync/blocking_queue.hpp"
+
+namespace wfq {
+namespace {
+
+using fault_test::Inj;
+
+struct ShardFaultTraits : fault_test::FaultTraits {
+  static constexpr std::size_t kSegmentSize = 64;
+};
+using SQ = ShardedQueue<WFQueue<uint64_t, ShardFaultTraits>>;
+using BSQ = sync::BlockingQueue<SQ>;
+
+uint64_t val(unsigned tid, uint64_t seq) {
+  return (uint64_t(tid + 1) << 40) | seq;
+}
+
+// The steal point is reachable only from a consumer whose home lane is
+// empty; this helper hands out a producer/consumer handle pair with
+// distinct homes on a 4-lane queue.
+TEST(ShardedFault, StealPointIsReachable) {
+  fault_test::ScriptReset script;
+  ASSERT_TRUE(Inj::arm("shard_steal_scan", fault::Action::kYield,
+                       /*budget=*/4, 0));
+  SQ q(ShardConfig{4}, WfConfig{});
+  auto producer = q.get_handle();
+  auto consumer = q.get_handle();
+  Inj::set_victim(true);
+  q.enqueue(producer, 1);
+  ASSERT_TRUE(q.dequeue(consumer).has_value());
+  Inj::set_victim(false);
+  EXPECT_GE(Inj::fired("shard_steal_scan"), 1u);
+}
+
+TEST(ShardedFault, CrashOfStealingThreadConservesValues) {
+  fault_test::ScriptReset script;
+  ASSERT_TRUE(Inj::arm("shard_steal_scan", fault::Action::kCrash,
+                       /*budget=*/1, 0));
+  SQ q(ShardConfig{4}, WfConfig{});
+
+  constexpr uint64_t kValues = 200;
+  {
+    auto producer = q.get_handle();
+    for (uint64_t i = 1; i <= kValues; ++i) q.enqueue(producer, i);
+  }
+
+  std::atomic<bool> crashed{false};
+  std::vector<uint64_t> popped_by_victim;
+  std::thread victim([&] {
+    Inj::set_victim(true);
+    auto h = q.get_handle();
+    try {
+      // The victim's home lane is (most likely) not the producer's; every
+      // dequeue goes through the steal sweep and the armed crash fires on
+      // the first probe. If the round-robin happened to give the victim
+      // the producer's lane, it drains it first and crashes on the sweep
+      // that follows — either way the crash point is reached.
+      for (;;) {
+        auto v = q.dequeue(h);
+        if (!v) break;
+        popped_by_victim.push_back(*v);
+      }
+    } catch (const fault::InjectedCrash& c) {
+      EXPECT_STREQ(c.point, "shard_steal_scan");
+      crashed.store(true);
+    }
+    Inj::set_victim(false);
+  });  // victim's Handle destructor runs even on the crash path: its inner
+       // lane handles are released and any claimed-but-unfinished inner op
+       // is adopted by the lane's machinery.
+  victim.join();
+  ASSERT_TRUE(crashed.load());
+  EXPECT_EQ(Inj::crashes(), 1u);
+
+  // The crash hit BEFORE any foreign-lane claim, so conservation is exact:
+  // a fresh consumer must recover every value not already popped.
+  std::set<uint64_t> seen(popped_by_victim.begin(), popped_by_victim.end());
+  ASSERT_EQ(seen.size(), popped_by_victim.size()) << "victim saw duplicates";
+  auto h = q.get_handle();
+  for (;;) {
+    auto v = q.dequeue(h);
+    if (!v) break;
+    EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
+  }
+  EXPECT_EQ(seen.size(), kValues) << "values lost across the crash";
+}
+
+TEST(ShardedFault, CrashInsideForeignLaneDequeueAdoptsOrStrandsBounded) {
+  // The harsher variant: the crash fires inside the foreign lane's own
+  // dequeue (deq_faa_post), i.e. mid-steal with a cell already claimed.
+  // The inner queue's matrix allowance applies: at most one value stranded
+  // or orphan-dropped, everything else conserved.
+  fault_test::ScriptReset script;
+  ASSERT_TRUE(
+      Inj::arm("deq_faa_post", fault::Action::kCrash, /*budget=*/1, 0));
+  SQ q(ShardConfig{2}, WfConfig{});
+  constexpr uint64_t kValues = 100;
+  {
+    auto producer = q.get_handle();
+    for (uint64_t i = 1; i <= kValues; ++i) q.enqueue(producer, i);
+  }
+  std::set<uint64_t> seen;
+  std::thread victim([&] {
+    Inj::set_victim(true);
+    auto h = q.get_handle();
+    try {
+      for (;;) {
+        auto v = q.dequeue(h);
+        if (!v) break;
+        EXPECT_TRUE(seen.insert(*v).second);
+      }
+    } catch (const fault::InjectedCrash&) {
+    }
+    Inj::set_victim(false);
+  });
+  victim.join();
+  ASSERT_EQ(Inj::crashes(), 1u);
+
+  auto h = q.get_handle();
+  for (;;) {
+    auto v = q.dequeue(h);
+    if (!v) break;
+    EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
+  }
+  OpStats s = q.stats();
+  const uint64_t drops = s.orphan_drops.load(std::memory_order_relaxed);
+  EXPECT_GE(seen.size() + drops + 1, kValues)
+      << "more than one value stranded by a single mid-claim crash";
+  EXPECT_LE(seen.size(), kValues);
+}
+
+TEST(ShardedFault, CloseWhileStealingDrainsExactly) {
+  // Consumers steal under scripted stalls at the sweep point while the
+  // main thread closes the queue: the close/drain accounting must come out
+  // exact, and no consumer may observe kClosed while any lane still holds
+  // a value (the full-sweep witness under injection pressure).
+  fault_test::ScriptReset script;
+  ASSERT_TRUE(Inj::arm("shard_steal_scan", fault::Action::kStall,
+                       /*budget=*/8, /*arg=*/50));
+
+  BSQ q(ShardConfig{4}, WfConfig{});
+  constexpr unsigned kProducers = 2;
+  constexpr unsigned kConsumers = 3;
+  constexpr uint64_t kPerProducer = 400;
+
+  std::atomic<uint64_t> produced{0};
+  std::mutex mu;
+  std::set<uint64_t> seen;
+  std::atomic<bool> go{false};
+  std::atomic<unsigned> consumers_done{0};
+
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      auto h = q.get_handle();
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t i = 1; i <= kPerProducer; ++i) {
+        if (q.push_status(h, val(p, i)) == sync::PushStatus::kOk) {
+          produced.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          break;  // closed under us: fine, only kOk pushes are owed back
+        }
+      }
+    });
+  }
+  for (unsigned c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      Inj::set_victim(c == 0);  // one consumer eats the scripted stalls
+      auto h = q.get_handle();
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::vector<uint64_t> mine;
+      for (;;) {
+        uint64_t v = 0;
+        sync::PopStatus st = q.pop_wait(h, v);
+        if (st == sync::PopStatus::kClosed) break;
+        if (st == sync::PopStatus::kOk) mine.push_back(v);
+      }
+      Inj::set_victim(false);
+      {
+        std::lock_guard<std::mutex> g(mu);
+        for (uint64_t v : mine) {
+          ASSERT_TRUE(seen.insert(v).second) << "duplicate " << v;
+        }
+      }
+      consumers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  // Let the race actually develop, then close mid-traffic.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  q.close();
+  // Keep the global step counter moving so the victim's finite stalls
+  // serve out even after every other worker has drained and exited.
+  while (consumers_done.load(std::memory_order_acquire) < kConsumers) {
+    Inj::inject("shard_pump");
+    std::this_thread::yield();
+  }
+  for (auto& t : threads) t.join();
+
+  // Exactness: every successfully pushed value was popped exactly once
+  // (kClosed is only reported after the drain protocol's full sweep).
+  EXPECT_EQ(seen.size(), produced.load());
+}
+
+}  // namespace
+}  // namespace wfq

@@ -17,6 +17,7 @@
 #include "core/scq.hpp"
 #include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
+#include "scale/sharded_queue.hpp"
 #include "support/queue_test_util.hpp"
 
 namespace wfq {
@@ -144,6 +145,29 @@ struct WcqSlowPathFactory {
   static std::unique_ptr<Queue> make() { return std::make_unique<Queue>(4096); }
 };
 
+struct ShardedWfFactory {
+  static constexpr const char* kName = "Sharded-WF x4";
+  using Queue = ShardedQueue<WFQueue<uint64_t>>;
+  // The uniform driver's properties are exactly the relaxed contract: no
+  // loss, no dup, per-producer FIFO (one producer = one home lane), and
+  // SequentialFifo holds because a single handle never leaves its lane.
+  static std::unique_ptr<Queue> make() {
+    WfConfig cfg;
+    cfg.patience = 10;
+    return std::make_unique<Queue>(ShardConfig{4}, cfg);
+  }
+};
+
+struct ShardedScqFactory {
+  static constexpr const char* kName = "Sharded-SCQ x2";
+  using Queue = ShardedQueue<ScqQueue<uint64_t>>;
+  // Per-lane capacity must clear the SequentialFifo burst (see ScqFactory's
+  // comment): 2000 values land on ONE home lane, so each lane gets 4096.
+  static std::unique_ptr<Queue> make() {
+    return std::make_unique<Queue>(ShardConfig{2}, std::size_t(4096));
+  }
+};
+
 template <class Factory>
 class AllQueues : public ::testing::Test {};
 
@@ -152,7 +176,8 @@ using QueueFactories =
                      WfAdaptiveFactory, WfLlscFactory, MsQueueFactory,
                      LcrqFactory, CcQueueFactory, MutexQueueFactory,
                      ObstructionFactory, KpQueueFactory, SimQueueFactory,
-                     ScqFactory, WcqFactory, WcqSlowPathFactory>;
+                     ScqFactory, WcqFactory, WcqSlowPathFactory,
+                     ShardedWfFactory, ShardedScqFactory>;
 TYPED_TEST_SUITE(AllQueues, QueueFactories);
 
 // Every entry in the typed list must model the formal concept the uniform

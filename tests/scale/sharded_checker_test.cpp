@@ -1,0 +1,193 @@
+// The sharded oracle (src/checker/sharded_checker.hpp): conservation, lane
+// integrity, per-lane linearizability with globally-projected EMPTYs — both
+// on hand-built histories with known verdicts and on real ShardedQueue runs
+// recorded through dequeue_traced.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "checker/history.hpp"
+#include "checker/sharded_checker.hpp"
+#include "core/wf_queue.hpp"
+#include "scale/sharded_queue.hpp"
+
+namespace wfq::lin {
+namespace {
+
+LaneOp enq(uint64_t v, std::size_t lane, uint64_t t0, uint64_t t1,
+           unsigned thread = 0) {
+  return LaneOp{Op{OpKind::kEnqueue, thread, v, t0, t1}, lane};
+}
+LaneOp deq(uint64_t v, std::size_t lane, uint64_t t0, uint64_t t1,
+           unsigned thread = 0) {
+  return LaneOp{Op{OpKind::kDequeue, thread, v, t0, t1}, lane};
+}
+LaneOp empty(uint64_t t0, uint64_t t1, unsigned thread = 0) {
+  return LaneOp{Op{OpKind::kDequeueEmpty, thread, 0, t0, t1}, 0};
+}
+
+TEST(ShardedChecker, AcceptsInterleavedLanes) {
+  // Globally out of FIFO order (2 dequeued before 1) but per-lane FIFO:
+  // exactly the relaxed contract.
+  std::vector<LaneOp> h{
+      enq(1, 0, 0, 1), enq(2, 1, 2, 3),
+      deq(2, 1, 4, 5), deq(1, 0, 6, 7),
+  };
+  EXPECT_TRUE(check_sharded_history(h, 2).linearizable);
+  EXPECT_TRUE(check_sharded_history_drained(h, 2).linearizable);
+}
+
+TEST(ShardedChecker, RejectsDuplicateDequeue) {
+  std::vector<LaneOp> h{
+      enq(1, 0, 0, 1), deq(1, 0, 2, 3), deq(1, 0, 4, 5),
+  };
+  CheckResult r = check_sharded_history(h, 1);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.violation.find("dequeued twice"), std::string::npos);
+}
+
+TEST(ShardedChecker, RejectsUnknownValue) {
+  std::vector<LaneOp> h{deq(99, 0, 0, 1)};
+  EXPECT_FALSE(check_sharded_history(h, 1).linearizable);
+}
+
+TEST(ShardedChecker, RejectsCrossLaneValue) {
+  // Enqueued on lane 0, claimed from lane 1: stealing moves consumers,
+  // never values.
+  std::vector<LaneOp> h{enq(1, 0, 0, 1), deq(1, 1, 2, 3)};
+  CheckResult r = check_sharded_history(h, 2);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.violation.find("lane"), std::string::npos);
+}
+
+TEST(ShardedChecker, RejectsPerLaneFifoViolation) {
+  // Same lane, strictly ordered enqueues, dequeued in reverse.
+  std::vector<LaneOp> h{
+      enq(1, 0, 0, 1), enq(2, 0, 2, 3),
+      deq(2, 0, 4, 5), deq(1, 0, 6, 7),
+  };
+  EXPECT_FALSE(check_sharded_history(h, 1).linearizable);
+  // The identical shape across two lanes is legal.
+  std::vector<LaneOp> ok{
+      enq(1, 0, 0, 1), enq(2, 1, 2, 3),
+      deq(2, 1, 4, 5), deq(1, 0, 6, 7),
+  };
+  EXPECT_TRUE(check_sharded_history(ok, 2).linearizable);
+}
+
+TEST(ShardedChecker, EmptyProjectsIntoEveryLane) {
+  // The EMPTY falls strictly between enq(1).respond and deq(1).invoke on
+  // lane 1: lane 1 provably held a value for the whole EMPTY interval, so
+  // a full-sweep dequeue could not have observed it empty. The projection
+  // must flag it even though lane 0's history alone is fine.
+  std::vector<LaneOp> h{
+      enq(1, 1, 0, 1), empty(2, 3), deq(1, 1, 4, 5),
+  };
+  CheckResult r = check_sharded_history(h, 2);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.violation.find("lane 1"), std::string::npos);
+  // Same ops, but the EMPTY overlaps enq(1): a linearization point before
+  // the enqueue's exists, so this is legal.
+  std::vector<LaneOp> ok{
+      enq(1, 1, 0, 3), empty(2, 4), deq(1, 1, 5, 6),
+  };
+  EXPECT_TRUE(check_sharded_history(ok, 2).linearizable);
+}
+
+TEST(ShardedChecker, RejectsLaneTagOutOfRange) {
+  std::vector<LaneOp> h{enq(1, 5, 0, 1)};
+  EXPECT_FALSE(check_sharded_history(h, 2).linearizable);
+}
+
+TEST(ShardedChecker, DrainedVariantRejectsLoss) {
+  std::vector<LaneOp> h{enq(1, 0, 0, 1), enq(2, 0, 2, 3), deq(1, 0, 4, 5)};
+  EXPECT_TRUE(check_sharded_history(h, 1).linearizable);
+  CheckResult r = check_sharded_history_drained(h, 1);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.violation.find("never dequeued"), std::string::npos);
+}
+
+// ---- Live differential: a real ShardedQueue run must pass the oracle ----
+
+TEST(ShardedChecker, LiveShardedRunPasses) {
+  constexpr std::size_t kShards = 4;
+  constexpr unsigned kThreads = 4;
+  constexpr uint64_t kOpsPerThread = 1500;
+  ShardedQueue<WFQueue<uint64_t>> q(ShardConfig{kShards}, WfConfig{});
+  HistoryRecorder rec;
+  std::vector<HistoryRecorder::ThreadLog*> logs;
+  for (unsigned t = 0; t < kThreads; ++t) logs.push_back(rec.make_log(t));
+
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, std::size_t>> lane_tags;  // value -> lane
+
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto h = q.get_handle();
+      std::vector<std::pair<uint64_t, std::size_t>> mine;
+      for (uint64_t i = 1; i <= kOpsPerThread; ++i) {
+        const uint64_t v = (uint64_t(t + 1) << 32) | i;
+        uint64_t ts = logs[t]->invoke();
+        q.enqueue(h, v);
+        logs[t]->complete(OpKind::kEnqueue, v, ts);
+        mine.emplace_back(v, h.home());
+        if (i % 2 == 0) {
+          uint64_t dts = logs[t]->invoke();
+          if (auto got = q.dequeue_traced(h)) {
+            logs[t]->complete(OpKind::kDequeue, got->first, dts);
+            mine.emplace_back(got->first | (uint64_t(1) << 63),
+                              got->second);
+          } else {
+            logs[t]->complete(OpKind::kDequeueEmpty, 0, dts);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> g(mu);
+      for (auto& p : mine) lane_tags.push_back(p);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Drain the rest single-threaded, recording lanes.
+  auto h = q.get_handle();
+  auto* dlog = rec.make_log(kThreads);
+  for (;;) {
+    uint64_t ts = dlog->invoke();
+    auto got = q.dequeue_traced(h);
+    if (!got) {
+      dlog->complete(OpKind::kDequeueEmpty, 0, ts);
+      break;
+    }
+    dlog->complete(OpKind::kDequeue, got->first, ts);
+    lane_tags.emplace_back(got->first | (uint64_t(1) << 63), got->second);
+  }
+
+  // Assemble LaneOps: lane of an enqueue/dequeue comes from the tag map.
+  std::unordered_map<uint64_t, std::size_t> enq_lane, deq_lane;
+  for (auto& [key, lane] : lane_tags) {
+    if (key >> 63) {
+      deq_lane[key & ~(uint64_t(1) << 63)] = lane;
+    } else {
+      enq_lane[key] = lane;
+    }
+  }
+  std::vector<LaneOp> history;
+  for (const Op& op : rec.collect()) {
+    LaneOp lo{op, 0};
+    if (op.kind == OpKind::kEnqueue) lo.lane = enq_lane.at(op.value);
+    if (op.kind == OpKind::kDequeue) lo.lane = deq_lane.at(op.value);
+    history.push_back(lo);
+  }
+  CheckResult r = check_sharded_history_drained(history, kShards);
+  EXPECT_TRUE(r.linearizable) << r.violation;
+}
+
+}  // namespace
+}  // namespace wfq::lin

@@ -1,0 +1,280 @@
+// ShardedQueue<Q> semantics: lane affinity, the full-sweep steal, the
+// relaxed-FIFO contract's per-producer half, composition over every backend
+// family (unbounded WF, bounded rings), stats merging, and the blocking
+// close()/drain() lifecycle through BlockingShardedQueue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
+#include "core/wf_queue.hpp"
+#include "scale/sharded_queue.hpp"
+#include "support/queue_test_util.hpp"
+#include "sync/blocking_queue.hpp"
+
+namespace wfq {
+namespace {
+
+using SQ = ShardedQueue<WFQueue<uint64_t>>;
+
+SQ make_sq(std::size_t shards) {
+  WfConfig cfg;
+  cfg.patience = 10;
+  return SQ(ShardConfig{shards}, cfg);
+}
+
+TEST(ShardedQueue, ShardCountResolution) {
+  SQ q1 = make_sq(1);
+  EXPECT_EQ(q1.shards(), 1u);
+  SQ q8 = make_sq(8);
+  EXPECT_EQ(q8.shards(), 8u);
+  // shards = 0 resolves to a nonzero auto value.
+  SQ qa = make_sq(0);
+  EXPECT_GE(qa.shards(), 1u);
+  EXPECT_LE(qa.shards(), 4u);
+}
+
+TEST(ShardedQueue, HomesAreDealtRoundRobin) {
+  SQ q = make_sq(4);
+  std::set<std::size_t> homes;
+  std::vector<SQ::Handle> hs;
+  for (int i = 0; i < 4; ++i) hs.push_back(q.get_handle());
+  for (auto& h : hs) homes.insert(h.home());
+  // Four consecutive handles on a 4-lane queue cover all four lanes.
+  EXPECT_EQ(homes.size(), 4u);
+}
+
+TEST(ShardedQueue, SingleHandleIsStrictFifo) {
+  // One handle = one home lane: even with 4 lanes the single-threaded
+  // history is strict FIFO (all traffic stays on the home lane).
+  SQ q = make_sq(4);
+  test::run_sequential_fifo(q, 2000);
+}
+
+TEST(ShardedQueue, EnqueueStaysOnHomeLane) {
+  SQ q = make_sq(4);
+  auto h = q.get_handle();
+  const std::size_t home = h.home();
+  for (uint64_t i = 1; i <= 100; ++i) q.enqueue(h, i);
+  // Only the home lane holds data; every other lane is empty.
+  for (std::size_t l = 0; l < q.shards(); ++l) {
+    auto lh = q.lane(l).get_handle();
+    auto v = q.lane(l).dequeue(lh);
+    if (l == home) {
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, 1u);
+    } else {
+      EXPECT_FALSE(v.has_value());
+    }
+  }
+}
+
+TEST(ShardedQueue, StealDrainsForeignLanes) {
+  SQ q = make_sq(4);
+  auto producer = q.get_handle();
+  auto consumer = q.get_handle();  // round-robin: a different home
+  ASSERT_NE(producer.home(), consumer.home());
+  for (uint64_t i = 1; i <= 50; ++i) q.enqueue(producer, i);
+  // The consumer's home lane is empty, so every value arrives by steal,
+  // and in FIFO order (single foreign lane).
+  for (uint64_t i = 1; i <= 50; ++i) {
+    auto v = q.dequeue(consumer);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.dequeue(consumer).has_value());
+  OpStats s = q.stats();
+  EXPECT_EQ(s.steals.load(), 50u);
+  EXPECT_GE(s.steal_attempts.load(), 50u);
+}
+
+TEST(ShardedQueue, DequeueTracedReportsLane) {
+  SQ q = make_sq(4);
+  auto producer = q.get_handle();
+  auto consumer = q.get_handle();
+  q.enqueue(producer, 7);
+  auto traced = q.dequeue_traced(consumer);
+  ASSERT_TRUE(traced.has_value());
+  EXPECT_EQ(traced->first, 7u);
+  EXPECT_EQ(traced->second, producer.home());
+  EXPECT_FALSE(q.dequeue_traced(consumer).has_value());
+}
+
+TEST(ShardedQueue, EmptyRequiresFullSweep) {
+  // After draining, nullopt must mean "every lane observed empty":
+  // plant a value on the lane farthest from the steal start and make sure
+  // dequeue still finds it (a partial sweep would miss it sometimes).
+  SQ q = make_sq(8);
+  auto consumer = q.get_handle();
+  for (int round = 0; round < 64; ++round) {
+    const std::size_t target = std::size_t(round) % q.shards();
+    auto lh = q.lane(target).get_handle();
+    q.lane(target).enqueue(lh, uint64_t(round) + 1);
+    auto v = q.dequeue(consumer);
+    ASSERT_TRUE(v.has_value()) << "missed lane " << target;
+    EXPECT_EQ(*v, uint64_t(round) + 1);
+  }
+  EXPECT_FALSE(q.dequeue(consumer).has_value());
+}
+
+TEST(ShardedQueue, MpmcConservationAndPerProducerFifo) {
+  // The uniform MPMC property driver asserts exactly the relaxed contract:
+  // no loss, no duplication, and each producer's values observed in order
+  // by every consumer (per-producer FIFO = the lane-affinity guarantee).
+  SQ q = make_sq(4);
+  test::run_mpmc_property(q, 4, 4, 2500);
+}
+
+TEST(ShardedQueue, PairsConservationUnderStealing) {
+  SQ q = make_sq(2);
+  test::run_pairs_conservation(q, 6, 2000);
+}
+
+TEST(ShardedQueue, BulkOpsSpanLanes) {
+  SQ q = make_sq(4);
+  auto producer = q.get_handle();
+  auto consumer = q.get_handle();
+  uint64_t vals[16];
+  for (uint64_t i = 0; i < 16; ++i) vals[i] = i + 1;
+  EXPECT_EQ(q.enqueue_bulk(producer, vals, 16), 16u);
+  uint64_t out[16] = {};
+  // The consumer's own lane is empty; the bulk steal sweep must fetch the
+  // full batch from the producer's lane.
+  EXPECT_EQ(q.dequeue_bulk(consumer, out, 16), 16u);
+  for (uint64_t i = 0; i < 16; ++i) EXPECT_EQ(out[i], i + 1);
+  EXPECT_EQ(q.dequeue_bulk(consumer, out, 4), 0u);
+}
+
+TEST(ShardedQueue, BoundedBackendContract) {
+  // Sharded over a bounded ring: capacity sums lanes; kFull is per-lane
+  // backpressure on the handle's home (documented: spilling would break
+  // per-producer FIFO).
+  ShardedQueue<ScqQueue<uint64_t>> q(ShardConfig{2}, std::size_t(8));
+  EXPECT_EQ(q.capacity(), 16u);
+  auto h = q.get_handle();
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(q.try_enqueue(h, i + 1), EnqueueResult::kOk);
+  }
+  EXPECT_EQ(q.try_enqueue(h, 99), EnqueueResult::kFull);
+  auto v = q.dequeue(h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1u);
+  EXPECT_EQ(q.try_enqueue(h, 100), EnqueueResult::kOk);
+}
+
+TEST(ShardedQueue, ComposesOverWcq) {
+  ShardedQueue<WcqQueue<uint64_t>> q(ShardConfig{2}, std::size_t(64));
+  test::run_mpmc_property(q, 2, 2, 500);
+}
+
+TEST(ShardedQueue, StatsMergeLanesAndSurviveHandleRelease) {
+  SQ q = make_sq(2);
+  {
+    auto producer = q.get_handle();
+    auto consumer = q.get_handle();
+    for (uint64_t i = 1; i <= 20; ++i) q.enqueue(producer, i);
+    for (uint64_t i = 1; i <= 20; ++i) {
+      ASSERT_TRUE(q.dequeue(consumer).has_value());
+    }
+  }  // both handles released: counters must persist in the registry
+  OpStats s = q.stats();
+  EXPECT_EQ(s.enqueues(), 20u);
+  // Every dequeue probed the consumer's empty home lane first (counted by
+  // the inner queue as a fast-path op returning EMPTY) and then stole.
+  EXPECT_GE(s.dequeues(), 20u);
+  EXPECT_EQ(s.steals.load(), 20u);
+}
+
+TEST(ShardedQueue, LaneLoadsReportPerLaneTraffic) {
+  SQ q = make_sq(4);
+  auto h = q.get_handle();
+  for (uint64_t i = 1; i <= 30; ++i) q.enqueue(h, i);
+  std::vector<uint64_t> loads = q.lane_loads();
+  ASSERT_EQ(loads.size(), 4u);
+  uint64_t total = 0, busiest = 0;
+  for (uint64_t l : loads) {
+    total += l;
+    if (l > busiest) busiest = l;
+  }
+  EXPECT_EQ(total, 30u);
+  EXPECT_EQ(busiest, 30u);  // single handle: all traffic on one lane
+}
+
+TEST(ShardedQueue, NumaModesConstructAndRun) {
+  // On this host the topology may be a single node; both modes must still
+  // construct, place lanes, and pass a conservation run (the policy is
+  // performance-only, never correctness).
+  for (NumaMode mode : {NumaMode::kInterleave, NumaMode::kLocal}) {
+    WfConfig cfg;
+    cfg.patience = 10;
+    SQ q(ShardConfig{4, mode}, cfg);
+    EXPECT_EQ(q.numa_mode(), mode);
+    test::run_mpmc_property(q, 2, 2, 500);
+  }
+}
+
+// ---- BlockingShardedQueue: close()/drain() over lanes --------------------
+
+TEST(BlockingSharded, CloseDrainsEveryLane) {
+  sync::BlockingShardedQueue<uint64_t> q(ShardConfig{4}, WfConfig{});
+  constexpr unsigned kProducers = 4;
+  constexpr uint64_t kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      auto h = q.get_handle();
+      for (uint64_t i = 1; i <= kPerProducer; ++i) {
+        ASSERT_EQ(q.push_status(h, (uint64_t(p + 1) << 32) | i),
+                  sync::PushStatus::kOk);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  // Push after close fails fast.
+  {
+    auto h = q.get_handle();
+    EXPECT_EQ(q.push_status(h, 42), sync::PushStatus::kClosed);
+  }
+  // Drain must surface exactly every value across all lanes, then report
+  // closed-and-empty (the full-sweep emptiness witness).
+  std::set<uint64_t> seen;
+  auto h = q.get_handle();
+  for (;;) {
+    uint64_t v = 0;
+    sync::PopStatus st = q.pop_wait(h, v);
+    if (st == sync::PopStatus::kClosed) break;
+    ASSERT_EQ(st, sync::PopStatus::kOk);
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+  }
+  EXPECT_EQ(seen.size(), std::size_t(kProducers) * kPerProducer);
+}
+
+TEST(BlockingSharded, ParkedConsumerWokenByForeignLanePush) {
+  // A consumer parks on an empty queue; a producer whose home is a
+  // DIFFERENT lane pushes one value. The blocking layer's single
+  // EventCount spans lanes, so the wake must arrive and the steal sweep
+  // must find the value.
+  sync::BlockingShardedQueue<uint64_t> q(ShardConfig{4}, WfConfig{});
+  auto consumer_handle = q.get_handle();
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    uint64_t v = 0;
+    ASSERT_EQ(q.pop_wait(consumer_handle, v), sync::PopStatus::kOk);
+    EXPECT_EQ(v, 1234u);
+    got.store(true);
+  });
+  auto producer_handle = q.get_handle();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(q.push_status(producer_handle, 1234), sync::PushStatus::kOk);
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+}  // namespace
+}  // namespace wfq

@@ -48,6 +48,15 @@
 #                     fails). Also greps that the adaptive-controller trace
 #                     strings ("obs:patience_*") stayed out of NullMetrics
 #                     bench binaries, with tools/soak as positive control.
+#   9. scale        — sharded-layer leg: the scale suites (ShardedQueue
+#                     semantics, NUMA probe/binder, sharded oracle) plus the
+#                     sharded fault matrix in the default, ASan and TSan
+#                     trees; a seeded `--backend sharded --inject` chaos
+#                     soak with the per-lane imbalance audit; the two-part
+#                     sharded checker differential (1-lane strict FIFO +
+#                     2-lane lane-tagged oracle episodes); and a schema
+#                     check of the committed BENCH_sharded.json scaling
+#                     sweep.
 #   6. obs          — observability leg: NullMetrics zero-footprint check
 #                     (no "obs:" trace-event name may survive into a bench
 #                     binary built without the metrics traits), the obs
@@ -57,14 +66,15 @@
 #                     trace JSON is schema-validated, and a parse check of
 #                     the committed BENCH_*.json latency columns.
 #
-# Usage: tools/ci.sh [default|asan|tsan|bench|faults|obs|backends|fig2]...
+# Usage: tools/ci.sh [default|asan|tsan|bench|faults|obs|backends|fig2|scale]...
 #        (no args = all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
 CONFIGS=("$@")
-[ ${#CONFIGS[@]} -eq 0 ] && CONFIGS=(default asan tsan bench faults obs backends fig2)
+[ ${#CONFIGS[@]} -eq 0 ] && \
+  CONFIGS=(default asan tsan bench faults obs backends fig2 scale)
 
 # The per-run environment the committed BENCH_fig2.json was generated
 # under (as the per-row best of FIG2_RUNS such runs — see bench_diff
@@ -311,7 +321,7 @@ run_obs() {
   if command -v python3 >/dev/null 2>&1; then
     python3 - "${scratch}/inject.json" "${scratch}/block.json" \
       BENCH_bulk.json BENCH_wakeup.json BENCH_bounded.json \
-      BENCH_fig2.json BENCH_adaptive.json <<'EOF'
+      BENCH_fig2.json BENCH_adaptive.json BENCH_sharded.json <<'EOF'
 import json, sys
 from collections import Counter
 
@@ -417,6 +427,72 @@ run_backends() {
   echo "== [backends] OK =="
 }
 
+run_scale() {
+  # Sharded-layer leg. The regex picks up the whole surface: ShardedQueue
+  # semantics + BlockingSharded lifecycle (tests/scale), the NUMA probe /
+  # binder / lane-placement unit tests, the sharded oracle (hand-built and
+  # live lane-tagged histories), the steal-path fault matrix (ShardedFault:
+  # close-while-stealing, crash of a stealing thread), and the relaxed_order
+  # capability assertions riding in the concepts suite.
+  local regex='Sharded|Numa|CpulistParser|NodeForLane|CurrentNode'
+  local dir
+
+  for dir in build-ci-default build-ci-asan build-ci-tsan; do
+    case "${dir}" in
+      *asan) echo "== [scale] configure+build (asan) =="
+             cmake -B "${dir}" -S . -DWFQ_SANITIZE=address >/dev/null ;;
+      *tsan) echo "== [scale] configure+build (tsan) =="
+             cmake -B "${dir}" -S . -DWFQ_SANITIZE=thread >/dev/null ;;
+      *) echo "== [scale] configure+build (default) =="
+         cmake -B "${dir}" -S . >/dev/null ;;
+    esac
+    cmake --build "${dir}" -j "${JOBS}" >/dev/null
+    echo "== [scale] ${dir} sharded suites =="
+    case "${dir}" in
+      *asan) (cd "${dir}" && ASAN_OPTIONS=detect_leaks=1 \
+               ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+      *tsan) (cd "${dir}" && TSAN_OPTIONS=halt_on_error=1 \
+               ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+      *) (cd "${dir}" && ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+    esac
+  done
+
+  # Chaos soak across lanes: the same seeded schedule as the wf leg, but
+  # the shard_steal_scan point is reachable and the summary must pass the
+  # per-lane imbalance audit on top of exact close()/drain() conservation.
+  echo "== [scale] soak --backend sharded --inject 7 (2 s, 4x4 threads) =="
+  build-ci-default/tools/soak --backend sharded --inject 7 2 4
+  echo "== [scale] soak --backend sharded (2 s, 4x4 threads) =="
+  build-ci-default/tools/soak --backend sharded 2 4
+
+  # Two-part checker differential: 1-lane ShardedQueue through the strict
+  # FIFO checkers, then 2-lane lane-tagged episodes through the sharded
+  # oracle (any rejection is a queue bug with a replayable seed).
+  echo "== [scale] fuzz_checker --backend sharded (4 s) =="
+  build-ci-default/tools/fuzz_checker --backend sharded 4
+
+  # The committed scaling sweep must parse and still carry the headline
+  # configs (WF-10 baseline + the s=4 lane sweep) with latency columns.
+  if command -v python3 >/dev/null 2>&1; then
+    echo "== [scale] BENCH_sharded.json schema check =="
+    python3 - BENCH_sharded.json <<'EOF'
+import json, sys
+recs = json.load(open(sys.argv[1]))
+assert recs, "BENCH_sharded.json is empty"
+configs = {r["config"] for r in recs}
+assert "WF-10" in configs, "baseline WF-10 rows missing"
+assert "Sharded-WF s=4" in configs, "Sharded-WF s=4 rows missing"
+for r in recs:
+    assert {"bench", "config", "threads", "mops"} <= r.keys()
+    assert "p50_ns" in r and "p99_ns" in r and "p999_ns" in r, \
+        "BENCH_sharded.json lost its latency columns"
+print(f"  BENCH_sharded.json: {len(recs)} records, "
+      f"{len(configs)} configs, latency columns present")
+EOF
+  fi
+  echo "== [scale] OK =="
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "${cfg}" in
     default) run_config default ;;
@@ -427,8 +503,9 @@ for cfg in "${CONFIGS[@]}"; do
     obs) run_obs ;;
     backends) run_backends ;;
     fig2) run_fig2 ;;
+    scale) run_scale ;;
     *)
-      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults|obs|backends|fig2)" >&2
+      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults|obs|backends|fig2|scale)" >&2
       exit 2
       ;;
   esac

@@ -7,7 +7,8 @@
 //
 //   $ ./fuzz_checker [seconds] [max_ops]
 //     synthetic mode (default): generated histories, valid and broken
-//   $ ./fuzz_checker --backend {wf,faa,obstruction,scq,wcq} [seconds] [max_ops]
+//   $ ./fuzz_checker --backend {wf,faa,obstruction,scq,wcq,sharded}
+//                    [seconds] [max_ops]
 //     live mode: tiny concurrent episodes (2 producers + 2 consumers,
 //     <= max_ops operations so the brute-force search stays feasible) are
 //     recorded from the chosen backend through the ConcurrentQueue concept
@@ -18,25 +19,39 @@
 //     so its histories are mostly rejected (P1/P2/P4) — live-mode faa
 //     exists to drive the checkers' rejection paths with execution-shaped
 //     timestamps, and checker agreement is the whole assertion.
+//     `sharded` is a two-part differential for the relaxed-FIFO layer:
+//     first, a 1-lane ShardedQueue<WFQueue> runs the ordinary live mode
+//     (one lane = strict FIFO, so both generic checkers must accept every
+//     episode); then 2-lane episodes are recorded with lane tags (handle
+//     homes for enqueues, dequeue_traced for dequeues) and judged by the
+//     sharded oracle — per-lane linearizable with globally-projected
+//     EMPTYs, drained-exact. Episodes whose *global* history the strict
+//     checker rejects are counted and reported: those are the live
+//     witnesses that the relaxation is real, not vacuous.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "baselines/faaq.hpp"
 #include "checker/brute_checker.hpp"
 #include "checker/history.hpp"
 #include "checker/queue_checker.hpp"
+#include "checker/sharded_checker.hpp"
 #include "common/random.hpp"
 #include "core/obstruction_queue.hpp"
 #include "core/queue_concepts.hpp"
 #include "core/scq.hpp"
 #include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
+#include "scale/sharded_queue.hpp"
 
 namespace {
 
@@ -218,6 +233,131 @@ int run_live(const char* name, bool expect_fifo, double seconds,
   return 0;
 }
 
+void dump_lanes(const std::vector<LaneOp>& h) {
+  for (const auto& lo : h) {
+    const char* k = lo.op.kind == OpKind::kEnqueue    ? "ENQ"
+                    : lo.op.kind == OpKind::kDequeue ? "DEQ"
+                                                     : "DEQ_EMPTY";
+    std::printf("  %s v=%llu lane=%zu [%llu,%llu]\n", k,
+                (unsigned long long)lo.op.value, lo.lane,
+                (unsigned long long)lo.op.invoke_ts,
+                (unsigned long long)lo.op.respond_ts);
+  }
+}
+
+/// Live sharded mode, multi-lane half: 2-lane episodes with every op lane-
+/// tagged (enqueues by the producing handle's home, dequeues by
+/// dequeue_traced), drained single-threaded at the end, and judged by the
+/// sharded oracle. Any rejection is a queue bug with a replayable seed.
+/// The strict global checker runs alongside purely as a witness counter:
+/// episodes it rejects are the executions where the relaxed contract
+/// actually diverges from single-queue FIFO.
+int run_live_sharded(double seconds, unsigned max_ops) {
+  using SQ = scale::ShardedQueue<WFQueue<uint64_t>>;
+  constexpr std::size_t kShards = 2;
+  constexpr uint64_t kDeqTag = uint64_t(1) << 63;
+  std::printf("fuzzing live ShardedQueue x%zu lane-tagged episodes for "
+              "%.1fs (<= %u ops, 2 producers + 2 consumers)...\n",
+              kShards, seconds, max_ops);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(seconds);
+  uint64_t seed = 1;
+  uint64_t episodes = 0, relaxed_witnesses = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    Xorshift128Plus rng(seed);
+    unsigned n_enq = 1 + unsigned(rng.next_below(std::max(1u, max_ops / 2)));
+    unsigned n_deq =
+        1 + unsigned(rng.next_below(std::max(1u, max_ops - n_enq)));
+    SQ q(ShardConfig{kShards}, WfConfig{});
+    HistoryRecorder rec;
+    HistoryRecorder::ThreadLog* logs[5];
+    for (unsigned t = 0; t < 5; ++t) logs[t] = rec.make_log(t);
+    const unsigned enq_share[2] = {n_enq / 2, n_enq - n_enq / 2};
+    const unsigned deq_share[2] = {n_deq / 2, n_deq - n_deq / 2};
+    std::mutex mu;
+    std::vector<std::pair<uint64_t, std::size_t>> tags;  // key -> lane
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < 2; ++p) {
+      threads.emplace_back([&, p] {
+        auto h = q.get_handle();
+        std::vector<std::pair<uint64_t, std::size_t>> mine;
+        for (unsigned i = 1; i <= enq_share[p]; ++i) {
+          const uint64_t v = (uint64_t(p + 1) << 40) | i;
+          uint64_t ts = logs[p]->invoke();
+          q.enqueue(h, v);
+          logs[p]->complete(OpKind::kEnqueue, v, ts);
+          mine.emplace_back(v, h.home());
+        }
+        std::lock_guard<std::mutex> g(mu);
+        tags.insert(tags.end(), mine.begin(), mine.end());
+      });
+    }
+    for (unsigned c = 0; c < 2; ++c) {
+      threads.emplace_back([&, c] {
+        auto h = q.get_handle();
+        std::vector<std::pair<uint64_t, std::size_t>> mine;
+        for (unsigned i = 0; i < deq_share[c]; ++i) {
+          uint64_t ts = logs[2 + c]->invoke();
+          if (auto got = q.dequeue_traced(h)) {
+            logs[2 + c]->complete(OpKind::kDequeue, got->first, ts);
+            mine.emplace_back(got->first | kDeqTag, got->second);
+          } else {
+            logs[2 + c]->complete(OpKind::kDequeueEmpty, 0, ts);
+          }
+          if (i % 2 == c) std::this_thread::yield();
+        }
+        std::lock_guard<std::mutex> g(mu);
+        tags.insert(tags.end(), mine.begin(), mine.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    // Drain the backlog so the drained-exact oracle applies.
+    auto h = q.get_handle();
+    for (;;) {
+      uint64_t ts = logs[4]->invoke();
+      auto got = q.dequeue_traced(h);
+      if (!got) {
+        logs[4]->complete(OpKind::kDequeueEmpty, 0, ts);
+        break;
+      }
+      logs[4]->complete(OpKind::kDequeue, got->first, ts);
+      tags.emplace_back(got->first | kDeqTag, got->second);
+    }
+    std::unordered_map<uint64_t, std::size_t> enq_lane, deq_lane;
+    for (auto& [key, lane] : tags) {
+      (key & kDeqTag ? deq_lane[key & ~kDeqTag] : enq_lane[key]) = lane;
+    }
+    auto plain = rec.collect();
+    std::vector<LaneOp> history;
+    history.reserve(plain.size());
+    for (const Op& op : plain) {
+      LaneOp lo{op, 0};
+      if (op.kind == OpKind::kEnqueue) lo.lane = enq_lane.at(op.value);
+      if (op.kind == OpKind::kDequeue) lo.lane = deq_lane.at(op.value);
+      history.push_back(lo);
+    }
+    CheckResult oracle = check_sharded_history_drained(history, kShards);
+    ++episodes;
+    if (!oracle.linearizable) {
+      std::printf("SHARDED ORACLE REJECTION at episode seed=%llu: %s\n",
+                  (unsigned long long)seed, oracle.violation.c_str());
+      dump_lanes(history);
+      return 1;
+    }
+    if (!wfq::lin::check_queue_history(plain).linearizable) {
+      ++relaxed_witnesses;  // legal: global FIFO is exactly what sharding
+                            // relaxes — the per-lane oracle accepted it
+    }
+    ++seed;
+  }
+  std::printf("fuzz_checker: %llu live sharded episodes — oracle accepts "
+              "all; %llu were globally non-FIFO (live relaxation "
+              "witnesses)\n",
+              (unsigned long long)episodes,
+              (unsigned long long)relaxed_witnesses);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,8 +368,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--backend") == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr,
-                     "--backend requires {wf,faa,obstruction,scq,wcq}\n");
+        std::fprintf(
+            stderr,
+            "--backend requires {wf,faa,obstruction,scq,wcq,sharded}\n");
         return 2;
       }
       backend = argv[++i];
@@ -266,8 +407,17 @@ int main(int argc, char** argv) {
       return run_live<WcqQueue<uint64_t>>("WcqQueue", true, seconds, max_ops,
                                           cap);
     }
+    if (backend == "sharded") {
+      // Half the budget on the degenerate 1-lane queue (strict FIFO, both
+      // generic checkers must accept), half on lane-tagged 2-lane episodes
+      // under the sharded oracle.
+      int rc = run_live<scale::ShardedQueue<WFQueue<uint64_t>>>(
+          "ShardedQueue x1", true, seconds / 2, max_ops, ShardConfig{1});
+      if (rc != 0) return rc;
+      return run_live_sharded(seconds / 2, max_ops);
+    }
     std::fprintf(stderr, "unknown backend '%s' (want wf, faa, obstruction, "
-                         "scq or wcq)\n",
+                         "scq, wcq or sharded)\n",
                  backend.c_str());
     return 2;
   }

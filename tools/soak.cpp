@@ -19,7 +19,7 @@
 //   $ ./soak [seconds] [threads] [queue]
 //     queue in {block, wf, wf0, msq, lcrq, ccq, mutex, kp, sim};
 //     default block
-//   $ ./soak --backend {wf,faa,obstruction,scq,wcq} [seconds] [threads]
+//   $ ./soak --backend {wf,faa,obstruction,scq,wcq,sharded} [seconds] [threads]
 //     backend-selector form (mirrors wfq_create_ex): wf is the blocking
 //     soak, obstruction is a raw-queue soak of that baseline, and
 //     scq/wcq run the blocking layer over the bounded rings — producers
@@ -27,7 +27,14 @@
 //     accounting must still balance EXACTLY (backpressure costs time,
 //     never operations). faa is the §5 FAA ticket microbenchmark, which
 //     is not a value-carrying queue, so it gets its own exact audit
-//     (ticket accounting, not checksums — see run_faa).
+//     (ticket accounting, not checksums — see run_faa). sharded runs the
+//     blocking layer over ShardedQueue<WFQueue> (min(threads,4) lanes):
+//     the relaxed-FIFO contract still satisfies every audit here, because
+//     the soak's FIFO spot check is per-producer and each producer's
+//     stream lives on one home lane. The summary additionally prints the
+//     per-lane load spread (max/min lane op counts) and fails the run if
+//     any lane saw zero traffic or the imbalance ratio explodes — the
+//     round-robin deal plus the steal sweep must keep every lane warm.
 //   $ ./soak --inject <seed> [seconds] [threads]
 //     blocking-layer soak with the fault-injection harness compiled in: a
 //     seeded schedule of yields/delays/finite stalls/allocation-failure
@@ -79,6 +86,7 @@
 #include "harness/fault_inject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
+#include "scale/sharded_queue.hpp"
 #include "sync/blocking_queue.hpp"
 
 namespace {
@@ -187,6 +195,37 @@ bool obs_epilogue(const wfq::obs::ObsSnapshot& snap, const wfq::OpStats& st) {
     }
   }
   return ok;
+}
+
+/// Sharded-backend lane audit (a no-op on single-queue backends): print the
+/// per-lane op spread and fail if any lane saw zero traffic or the max/min
+/// ratio explodes. The round-robin handle deal plus the full steal sweep
+/// guarantee every lane is touched — a cold lane means the deal or the sweep
+/// regressed, and a wildly hot one means affinity collapsed onto one lane.
+template <class BQ>
+bool lane_balance_audit(BQ& q) {
+  if constexpr (requires { q.inner().lane_loads(); }) {
+    std::vector<uint64_t> loads = q.inner().lane_loads();
+    uint64_t lo = UINT64_MAX, hi = 0;
+    std::printf("  lane loads:");
+    for (uint64_t l : loads) {
+      std::printf(" %llu", (unsigned long long)l);
+      if (l < lo) lo = l;
+      if (l > hi) hi = l;
+    }
+    // Generous ceiling: catches collapse-onto-one-lane, not honest skew
+    // (consumer-heavy lanes rack up empty probes at a different rate than
+    // producer-heavy ones, so modest imbalance is expected and fine).
+    constexpr uint64_t kMaxRatio = 1000;
+    const bool ok = lo > 0 && hi <= lo * kMaxRatio;
+    std::printf("  | imbalance max/min=%.2f %s\n",
+                lo > 0 ? double(hi) / double(lo) : 0.0,
+                ok ? "OK" : "FAILED");
+    return ok;
+  } else {
+    (void)q;
+    return true;
+  }
 }
 
 struct SoakResult {
@@ -460,13 +499,30 @@ int run_blocking_q(BQ& q, const char* name, unsigned threads,
               exact ? "EXACT" : "FAILED", leftover,
               r.checksum_in == r.checksum_out ? "OK" : "FAILED",
               r.fifo_violations == 0 ? "OK" : "FAILED");
+  bool lanes_ok = lane_balance_audit(q);
   bool obs_ok = obs_epilogue(q.collect_obs(), st);
-  return (r.ok() && exact && obs_ok) ? 0 : 1;
+  return (r.ok() && exact && lanes_ok && obs_ok) ? 0 : 1;
 }
 
 int run_blocking(unsigned threads, double seconds) {
   wfq::sync::BlockingQueue<wfq::WFQueue<uint64_t, SoakObsTraits>> q;
   return run_blocking_q(q, "BlockingWFQueue", threads, seconds);
+}
+
+/// `--backend sharded`: the blocking layer over ShardedQueue<WFQueue>.
+/// Lane count tracks the producer count (capped at 4) so the round-robin
+/// deal gives every lane real traffic and the imbalance audit has teeth.
+int run_blocking_sharded(unsigned threads, double seconds) {
+  wfq::ShardConfig scfg;
+  scfg.shards = threads < 4 ? (threads == 0 ? 1 : threads) : 4;
+  wfq::sync::BlockingQueue<
+      wfq::scale::ShardedQueue<wfq::WFQueue<uint64_t, SoakObsTraits>>>
+      q(scfg, wfq::WfConfig{});
+  std::printf("  sharded: %zu lanes, relaxed global FIFO "
+              "(per-producer order preserved by lane affinity)\n",
+              q.inner().shards());
+  return run_blocking_q(q, "BlockingShardedQueue[WF x lanes]", threads,
+                        seconds);
 }
 
 /// Bounded blocking soaks (`--backend scq|wcq`): exact conservation with
@@ -623,8 +679,9 @@ int run_inject_q(BQ& q, const char* name, unsigned threads, double seconds) {
               r.checksum_in == r.checksum_out ? "OK" : "FAILED",
               r.fifo_violations == 0 ? "OK" : "FAILED",
               no_crash ? "OK" : "FAILED");
+  bool lanes_ok = lane_balance_audit(q);
   bool obs_ok = obs_epilogue(q.collect_obs(), st);
-  return (r.ok() && exact && no_crash && obs_ok) ? 0 : 1;
+  return (r.ok() && exact && no_crash && lanes_ok && obs_ok) ? 0 : 1;
 }
 
 /// Arm the seeded schedule, then run the inject soak on the selected
@@ -671,6 +728,20 @@ int run_inject(uint64_t seed, unsigned threads, double seconds,
         ring_capacity(threads));
     return run_inject_q(q, "BlockingQueue<WcqQueue[ScriptedInjector]>",
                         threads, seconds);
+  }
+  if (backend == "sharded") {
+    // The sharded layer re-exports its inner queue's Traits, so the same
+    // schedule reaches the segment/reclamation points inside every lane
+    // plus the new shard_steal_scan point in the sweep itself.
+    wfq::ShardConfig scfg;
+    scfg.shards = threads < 4 ? (threads == 0 ? 1 : threads) : 4;
+    wfq::WfConfig cfg;
+    cfg.reserve_segments = 2;
+    wfq::sync::BlockingQueue<
+        wfq::scale::ShardedQueue<wfq::WFQueue<uint64_t, SoakFaultTraits>>>
+        q(scfg, cfg);
+    return run_inject_q(q, "BlockingShardedQueue[ScriptedInjector]", threads,
+                        seconds);
   }
   wfq::WfConfig cfg;
   cfg.reserve_segments = 2;  // the airbag the alloc-fail bursts land on
@@ -786,8 +857,9 @@ int main(int argc, char** argv) {
       g_obs.trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr,
-                     "--backend requires {wf,faa,obstruction,scq,wcq}\n");
+        std::fprintf(
+            stderr,
+            "--backend requires {wf,faa,obstruction,scq,wcq,sharded}\n");
         return 2;
       }
       backend = argv[++i];
@@ -799,9 +871,10 @@ int main(int argc, char** argv) {
   argv = args.data();
 
   if (!backend.empty() && backend != "wf" && backend != "faa" &&
-      backend != "obstruction" && backend != "scq" && backend != "wcq") {
+      backend != "obstruction" && backend != "scq" && backend != "wcq" &&
+      backend != "sharded") {
     std::fprintf(stderr, "unknown backend '%s' (want wf, faa, obstruction, "
-                         "scq or wcq)\n",
+                         "scq, wcq or sharded)\n",
                  backend.c_str());
     return 2;
   }
@@ -813,8 +886,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (backend == "faa" || backend == "obstruction") {
-      std::fprintf(stderr,
-                   "--inject needs a blocking-layer backend (wf, scq, wcq)\n");
+      std::fprintf(stderr, "--inject needs a blocking-layer backend "
+                           "(wf, scq, wcq, sharded)\n");
       return 2;
     }
     uint64_t seed = std::strtoull(argv[2], nullptr, 10);
@@ -836,6 +909,9 @@ int main(int argc, char** argv) {
   }
   if (backend == "scq" || backend == "wcq") {
     return run_blocking_ring(backend, threads, seconds);
+  }
+  if (backend == "sharded") {
+    return run_blocking_sharded(threads, seconds);
   }
   // --backend wf (or none): the default blocking soak / positional names.
   if (which == "block" || backend == "wf") {
