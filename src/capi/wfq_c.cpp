@@ -17,6 +17,7 @@
 #include "core/scq.hpp"
 #include "core/wcq.hpp"
 #include "core/wf_queue_core.hpp"
+#include "ipc/shm_queue.hpp"
 #include "obs/trace_export.hpp"
 #include "sync/blocking_queue.hpp"
 
@@ -181,6 +182,131 @@ struct QueueImpl final : QueueBase {
   wfq::obs::ObsSnapshot snapshot() const override { return q.collect_obs(); }
 };
 
+/// The shared-memory backend behind the same erased interface. Differences
+/// from the in-process backends are intentional and documented in wfq_c.h:
+/// no producer parking (the bound is the arena, which never shrinks, so
+/// wfq_enqueue_wait == wfq_enqueue), at-least-once delivery across peer
+/// crashes, and bulk operations that degrade to per-item loops (a crashed
+/// peer mid-batch must leave per-item-auditable state, not a half-batch).
+struct ShmQueueImpl final : QueueBase {
+  using Q = wfq::ipc::ShmQueue<>;
+  Q q;
+
+  struct H final : HandleBase {
+    ShmQueueImpl* owner;
+    Q::LocalHandle lh;
+    explicit H(ShmQueueImpl* o) : owner(o) {}
+    ~H() override { owner->q.release(&lh); }
+  };
+  static Q::LocalHandle& lof(HandleBase* b) { return static_cast<H*>(b)->lh; }
+
+  HandleBase* acquire() override {
+    auto h = std::make_unique<H>(this);
+    // Proc-slot table full of live peers: surface as the same failure the
+    // heap backends report when registration can't allocate.
+    if (!q.claim(&h->lh)) throw std::bad_alloc();
+    return h.release();
+  }
+
+  int enqueue(HandleBase* b, uint64_t v, bool /*wait*/) override {
+    switch (q.enqueue(lof(b), v)) {
+      case wfq::ipc::ShmPush::kOk:
+        return WFQ_OK;
+      case wfq::ipc::ShmPush::kClosed:
+        return WFQ_E_CLOSED;
+      case wfq::ipc::ShmPush::kNoMem:
+        return WFQ_E_NOMEM;
+      case wfq::ipc::ShmPush::kFull:
+        return WFQ_E_FULL;
+    }
+    return WFQ_E_NOMEM;
+  }
+
+  int dequeue(HandleBase* b, uint64_t* out) override {
+    return q.dequeue(lof(b), out) == wfq::ipc::ShmPop::kOk ? 1 : 0;
+  }
+
+  // Park in bounded slices: a peer PROCESS can close the queue or die with
+  // values to rescue, and neither event is guaranteed to reach our futex
+  // word, so an indefinite single wait could sleep through termination.
+  int dequeue_wait(HandleBase* b, uint64_t* out) override {
+    for (;;) {
+      const auto slice =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+      if (q.pop_wait_until(lof(b), out, slice, [](uint64_t) {})) return 1;
+      if (q.closed()) {
+        // Closed: one more non-blocking pass decides drained-vs-residual.
+        return q.dequeue(lof(b), out) == wfq::ipc::ShmPop::kOk ? 1 : 0;
+      }
+    }
+  }
+
+  int dequeue_timed(HandleBase* b, uint64_t* out, uint64_t ns) override {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+    for (;;) {
+      auto slice =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+      if (slice > deadline) slice = deadline;
+      if (q.pop_wait_until(lof(b), out, slice, [](uint64_t) {})) return 1;
+      if (q.closed()) {
+        return q.dequeue(lof(b), out) == wfq::ipc::ShmPop::kOk ? 1 : -1;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) return 0;
+    }
+  }
+
+  int enqueue_bulk_impl(HandleBase* b, const uint64_t* vals,
+                        size_t count) override {
+    for (size_t i = 0; i < count; ++i) {
+      int rc = enqueue(b, vals[i], /*wait=*/false);
+      if (rc != WFQ_OK) return rc;  // prefix enqueued (documented)
+    }
+    return WFQ_OK;
+  }
+
+  size_t dequeue_bulk_impl(HandleBase* b, uint64_t* out,
+                           size_t count) override {
+    size_t n = 0;
+    while (n < count && q.dequeue(lof(b), out + n) == wfq::ipc::ShmPop::kOk) {
+      ++n;
+    }
+    return n;
+  }
+
+  void close_queue() override { q.close(); }
+  bool is_closed() const override { return q.closed(); }
+  uint64_t approx() const override { return q.approx_size(); }
+  size_t cap() const override { return static_cast<size_t>(q.capacity()); }
+
+  wfq::OpStats stats() const override {
+    // The shm queue keeps its counters in the shared control block (they
+    // must survive any single process); only the cross-process pair maps
+    // onto OpStats fields, the rest read zero.
+    wfq::OpStats s;
+    s.peer_deaths.store(q.peer_deaths(), std::memory_order_relaxed);
+    s.shm_adoptions.store(q.shm_adoptions(), std::memory_order_relaxed);
+    return s;
+  }
+  wfq::obs::ObsSnapshot snapshot() const override { return {}; }
+};
+
+int arena_code(wfq::ipc::ArenaStatus st) {
+  switch (st) {
+    case wfq::ipc::ArenaStatus::kOk:
+      return WFQ_OK;
+    case wfq::ipc::ArenaStatus::kBadMagic:
+    case wfq::ipc::ArenaStatus::kVersionMismatch:
+    case wfq::ipc::ArenaStatus::kBadGeometry:
+    case wfq::ipc::ArenaStatus::kNotReady:
+      return WFQ_E_VERSION;  // "not a compatible arena", file untouched
+    case wfq::ipc::ArenaStatus::kIoError:
+    case wfq::ipc::ArenaStatus::kTooSmall:
+      return WFQ_E_NOMEM;
+  }
+  return WFQ_E_NOMEM;
+}
+
 }  // namespace
 
 // The opaque C structs wrap the erased backend.
@@ -207,6 +333,7 @@ void wfq_options_init(wfq_options_t* opt) {
   opt->prefetch_segments = 1;
   opt->shards = 0;  // auto
   opt->numa_mode = WFQ_NUMA_NONE;
+  opt->shm_max_procs = 0;  // default (16)
 }
 
 wfq_queue_t* wfq_create_ex(const wfq_options_t* opt) {
@@ -395,6 +522,53 @@ void wfq_get_stats_ex(const wfq_queue_t* q, wfq_stats_ex_t* out) {
   out->name = s.name.load(std::memory_order_relaxed);
   WFQ_STATS_FIELDS(WFQ_STATS_COPY, WFQ_STATS_COPY)
 #undef WFQ_STATS_COPY
+}
+
+int wfq_shm_create(const char* path, size_t bytes, const wfq_options_t* opt,
+                   wfq_queue_t** out) {
+  if (path == nullptr || out == nullptr) return WFQ_E_NOMEM;
+  wfq::ipc::ShmOptions sopt;
+  if (opt != nullptr) {
+    if (opt->shm_max_procs != 0) sopt.max_procs = opt->shm_max_procs;
+    if (opt->capacity != 0) {
+      // `capacity` shapes the per-segment cell count here (total capacity
+      // is fixed by `bytes`): round to a power of two in [4, 1<<20].
+      size_t c = 4;
+      while (c < opt->capacity && c < (size_t{1} << 20)) c <<= 1;
+      sopt.seg_cells = static_cast<uint32_t>(c);
+    }
+  }
+  try {
+    auto impl = std::make_unique<ShmQueueImpl>();
+    int rc = arena_code(
+        ShmQueueImpl::Q::create(path, bytes, sopt, &impl->q));
+    if (rc != WFQ_OK) return rc;
+    *out = new wfq_queue(std::move(impl));
+    return WFQ_OK;
+  } catch (...) {
+    return WFQ_E_NOMEM;
+  }
+}
+
+int wfq_shm_attach(const char* path, wfq_queue_t** out) {
+  if (path == nullptr || out == nullptr) return WFQ_E_NOMEM;
+  try {
+    auto impl = std::make_unique<ShmQueueImpl>();
+    int rc = arena_code(ShmQueueImpl::Q::attach(path, &impl->q));
+    if (rc != WFQ_OK) return rc;
+    *out = new wfq_queue(std::move(impl));
+    return WFQ_OK;
+  } catch (...) {
+    return WFQ_E_NOMEM;
+  }
+}
+
+int wfq_shm_detach(wfq_queue_t* q) {
+  // Destruction IS detachment: the impl's destructor releases this
+  // process's default slot and unmaps; the arena file (and the queue in
+  // it) persists for the remaining peers.
+  delete q;
+  return WFQ_OK;
 }
 
 int wfq_trace_dump(const wfq_queue_t* q, const char* path) {

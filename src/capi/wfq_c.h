@@ -48,18 +48,28 @@ typedef struct wfq_handle wfq_handle_t;
 #define WFQ_E_NOMEM (-3)    /* allocation failed cleanly; retryable */
 #define WFQ_E_FULL (-4)     /* bounded backend at capacity; retry, drop,
                              * or park via wfq_enqueue_wait */
+#define WFQ_E_VERSION (-5)  /* shm arena rejected: wrong magic or layout
+                             * version (wfq_shm_attach refuses BEFORE
+                             * writing a single byte to the file) */
 
 /* Queue backend selector (wfq_options_t.backend). */
 typedef enum wfq_backend {
   WFQ_BACKEND_WF = 0,  /* unbounded wait-free queue (the paper's; default) */
   WFQ_BACKEND_SCQ = 1, /* bounded lock-free index ring (SCQ) */
   WFQ_BACKEND_WCQ = 2, /* bounded wait-free-enqueue ring (wCQ) */
-  WFQ_BACKEND_SHARDED = 3 /* N wait-free lanes with per-handle enqueue
+  WFQ_BACKEND_SHARDED = 3, /* N wait-free lanes with per-handle enqueue
                            * affinity and stealing dequeues. RELAXED FIFO:
                            * values pushed through ONE handle are dequeued
                            * in order; values from different handles carry
                            * no cross-order guarantee. Shape via
                            * wfq_options_t.shards / numa_mode. */
+  WFQ_BACKEND_SHM = 4     /* cross-process shared-memory queue. NOT
+                           * selectable through wfq_create_ex: create or
+                           * join one with wfq_shm_create/wfq_shm_attach
+                           * (the queue lives in an arena file, not this
+                           * process's heap). Crash-robust and lock-free;
+                           * survives SIGKILLed peers (docs/ALGORITHM.md
+                           * section 16). */
 } wfq_backend_t;
 
 /* Lane placement policy of the sharded backend (wfq_options_t.numa_mode).
@@ -112,6 +122,10 @@ typedef struct wfq_options {
                             * threads, 4)). Each lane is a full WF queue
                             * built from the WF knobs above. */
   int numa_mode;           /* SHARDED: wfq_numa_mode_t; NONE by default */
+  unsigned shm_max_procs;  /* SHM: size of the attached-process table in the
+                            * arena (handles across all processes; each
+                            * attached process consumes one slot plus one
+                            * per acquired handle). 0 = default (16). */
 } wfq_options_t;
 
 /* Fill `opt` with the defaults (WF backend, PATIENCE 10 fixed-mode,
@@ -125,6 +139,40 @@ wfq_queue_t* wfq_create_ex(const wfq_options_t* opt);
 
 /* Destroy the queue. All handles must have been released. */
 void wfq_destroy(wfq_queue_t* q);
+
+/* ---- Cross-process shared-memory queue (WFQ_BACKEND_SHM) ----------------
+ *
+ * The queue lives in a file-backed arena that independent PROCESSES mmap;
+ * one process creates it, any number attach. All wfq_* calls above work on
+ * the returned queue (one handle per thread, in every process). Unlike the
+ * in-process backends the shm queue is crash-ROBUST rather than wait-free:
+ * a peer killed with SIGKILL mid-operation is detected by survivors (pid
+ * liveness + start-time identity) and its half-finished work is resolved —
+ * no value is ever lost, and delivery is at-least-once across crashes
+ * (docs/ALGORITHM.md section 16 has the full fault model).
+ *
+ * `bytes` fixes the arena size and therefore the queue's total capacity;
+ * enqueues past it return WFQ_E_FULL. Only the WFQ_OK path touches *out. */
+
+/* Create a fresh arena at `path` (an existing file is replaced) and attach
+ * to it. `opt` may be NULL for defaults; the SHM backend reads shm_max_procs
+ * and capacity (cells per segment, rounded to a power of two). Returns
+ * WFQ_OK, WFQ_E_NOMEM (I/O or sizing failure), or WFQ_E_VERSION. */
+int wfq_shm_create(const char* path, size_t bytes, const wfq_options_t* opt,
+                   wfq_queue_t** out);
+
+/* Attach to an arena another process created. Validates the header through
+ * a read-only descriptor first: on WFQ_E_VERSION (foreign magic or layout
+ * version) the file has not been written — or even writably mapped.
+ * Attaching also adopts any work orphaned by dead peers. Returns WFQ_OK,
+ * WFQ_E_NOMEM (I/O failure or process table full), or WFQ_E_VERSION. */
+int wfq_shm_attach(const char* path, wfq_queue_t** out);
+
+/* Detach from the arena (unmap; the file and the values in it persist for
+ * the remaining peers). All handles this process acquired must have been
+ * released. The arena file itself is removed with plain unlink/remove once
+ * every process is done with it. Returns WFQ_OK. */
+int wfq_shm_detach(wfq_queue_t* q);
 
 /* Per-thread registration. */
 wfq_handle_t* wfq_handle_acquire(wfq_queue_t* q);

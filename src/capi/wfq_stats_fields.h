@@ -74,6 +74,14 @@
   /* probe that returned a value. Zero on every single-queue backend. */     \
   F(steal_attempts)    /* foreign-lane dequeue probes */                     \
   F(steals)            /* foreign-lane probes that won a value */            \
+  /* Cross-process shm layer (PR 9, src/ipc/shm_queue.hpp). Zero on */       \
+  /* every in-process backend. peer_deaths counts dead attached */           \
+  /* processes detected and reclaimed by recover(); shm_adoptions the */     \
+  /* half-finished operations of dead peers a survivor drove to a */         \
+  /* resolved state (poisoned an undeposited cell, rescued a stranded */     \
+  /* value into the redelivery ring). */                                     \
+  F(peer_deaths)       /* dead attached processes reclaimed */               \
+  F(shm_adoptions)     /* dead peers' in-flight ops resolved */              \
   /* Empirical wait-freedom bound (section 4): cells probed (find_cell */    \
   /* calls) per operation. Wait-freedom means max probes stays bounded */    \
   /* by a function of the thread count, never by the run length. */          \

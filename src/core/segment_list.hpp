@@ -33,6 +33,7 @@
 #include <cstdio>
 #include <new>
 #include <thread>
+#include <type_traits>
 
 #include "common/align.hpp"
 #include "harness/fault_inject.hpp"
@@ -51,10 +52,48 @@ struct SegmentAllocError : std::bad_alloc {
   }
 };
 
+/// Default segment storage: cache-aligned heap memory. This is the
+/// allocation/addressing seam of the segment layer — a Traits type may
+/// override it with `using SegmentAlloc = ...;` to place segments somewhere
+/// other than the process heap (the cross-process arena in src/ipc/ uses
+/// the same allocate/deallocate shape over a shared-memory bump allocator,
+/// where "addresses" are arena offsets rather than pointers). allocate()
+/// must either return constructed storage for a T or throw bad_alloc; the
+/// retry/reserve/kNoMem ladder in allocate_fresh sits above this seam and
+/// applies to any implementation of it.
+struct HeapSegmentAlloc {
+  template <class T>
+  static T* allocate() {
+    return aligned_new<T>();
+  }
+  template <class T>
+  static void deallocate(T* p) noexcept {
+    aligned_delete(p);
+  }
+};
+
+namespace detail {
+template <class T, class = void>
+struct SegmentAllocOfImpl {
+  using type = HeapSegmentAlloc;
+};
+template <class T>
+struct SegmentAllocOfImpl<T, std::void_t<typename T::SegmentAlloc>> {
+  using type = typename T::SegmentAlloc;
+};
+}  // namespace detail
+
+/// Traits::SegmentAlloc if present, HeapSegmentAlloc otherwise — the same
+/// detection idiom as fault::InjectorOf, so every existing Traits type
+/// keeps compiling (and allocating) exactly as before.
+template <class Traits>
+using SegmentAllocOf = typename detail::SegmentAllocOfImpl<Traits>::type;
+
 template <class Cell, class Traits>
 class SegmentList {
  public:
   using Traits_ = Traits;
+  using Alloc = SegmentAllocOf<Traits>;
   static constexpr std::size_t kSegmentSize = Traits::kSegmentSize;
   static_assert(kSegmentSize >= 2 && (kSegmentSize & (kSegmentSize - 1)) == 0,
                 "segment size must be a power of two");
@@ -83,7 +122,7 @@ class SegmentList {
     first_.store(s0, std::memory_order_relaxed);
     const std::size_t n = reserve_target_;
     for (std::size_t i = 0; i < n; ++i) {
-      auto* s = aligned_new<Segment>();
+      auto* s = Alloc::template allocate<Segment>();
       allocated_.fetch_add(1, std::memory_order_relaxed);
       reserve_[i].store(s, std::memory_order_relaxed);
     }
@@ -160,7 +199,7 @@ class SegmentList {
   void free_raw(Segment* s) {
     if (s == nullptr) return;
     freed_.fetch_add(1, std::memory_order_relaxed);
-    aligned_delete(s);
+    Alloc::deallocate(s);
   }
 
   /// Accounting hook for deferred-reclamation policies (HP/epoch domains)
@@ -293,7 +332,7 @@ class SegmentList {
     for (int attempt = 0; attempt < kAllocRetries; ++attempt) {
       try {
         WFQ_INJECT(Traits, "seg_alloc_try");
-        auto* s = aligned_new<Segment>();
+        auto* s = Alloc::template allocate<Segment>();
         s->id = id;
         allocated_.fetch_add(1, std::memory_order_relaxed);
         return s;

@@ -369,6 +369,19 @@ inline constexpr const char* kInjectionPoints[] = {
     "wcq_finalize",        // entry prepared, request not yet finalized
     // scale/sharded_queue.hpp — cross-lane work stealing
     "shard_steal_scan",    // dequeue sweep: about to probe a foreign lane
+    // ipc/shm_queue.hpp — cross-process kill-9 windows. Each marks one
+    // state the crash-recovery scan must be able to resolve when the
+    // process dies exactly there (tools/soak --shm --kill9 SIGKILLs at
+    // these points; docs/TESTING.md has the window-by-window argument).
+    "shm_enq_pending",     // intent published, tail not yet FAA'd
+    "shm_enq_ticketed",    // ticket recorded, cell not yet deposited
+    "shm_enq_deposited",   // cell deposited, op record not yet cleared
+    "shm_deq_pending",     // intent published, head not yet FAA'd
+    "shm_deq_ticketed",    // ticket recorded, cell not yet taken
+    "shm_deq_taken",       // value logged+taken, op record not yet cleared
+    "shm_park",            // empty observed, about to futex-park
+    "shm_extend",          // about to publish a fresh arena segment
+    "shm_recover_scan",    // recovery: per-slot resolution iteration
 };
 
 inline constexpr std::size_t kInjectionPointCount =

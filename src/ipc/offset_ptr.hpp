@@ -1,0 +1,62 @@
+// Offset-based addressing for the shared-memory arena.
+//
+// Every process that attaches an arena maps it at a different virtual
+// address, so a raw pointer stored INSIDE the arena is meaningless to every
+// process except the one that wrote it. All intra-arena links are therefore
+// byte offsets from the arena base — `ShmOffset` (0 = null, the header
+// occupies offset 0 so no real object ever lives there) — and resolving one
+// requires the local mapping base. tools/ci.sh's ipc leg greps these
+// headers to enforce that no `std::atomic<T*>`-style raw link ever creeps
+// back in.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace wfq::ipc {
+
+/// Byte offset from the arena base. 0 means null.
+using ShmOffset = std::uint64_t;
+
+/// An atomic intra-arena link. Cross-process safe on every platform this
+/// repo targets (lock-free 64-bit atomics; asserted at arena creation).
+using AtomicShmOffset = std::atomic<ShmOffset>;
+
+inline constexpr ShmOffset kNullOffset = 0;
+
+/// Resolve an offset against this process's mapping base.
+template <class T>
+inline T* resolve(void* base, ShmOffset off) noexcept {
+  if (off == kNullOffset) return nullptr;
+  return reinterpret_cast<T*>(static_cast<char*>(base) + off);
+}
+
+template <class T>
+inline const T* resolve(const void* base, ShmOffset off) noexcept {
+  if (off == kNullOffset) return nullptr;
+  return reinterpret_cast<const T*>(static_cast<const char*>(base) + off);
+}
+
+/// Inverse of resolve(): the offset of `p` within the mapping at `base`.
+inline ShmOffset offset_of(const void* base, const void* p) noexcept {
+  if (p == nullptr) return kNullOffset;
+  return static_cast<ShmOffset>(static_cast<const char*>(p) -
+                                static_cast<const char*>(base));
+}
+
+/// A typed offset — same representation as ShmOffset, but the pointee type
+/// travels with it so call sites read like pointer code. Non-atomic;
+/// fields that are written concurrently use AtomicShmOffset and resolve<T>.
+template <class T>
+struct OffsetPtr {
+  ShmOffset off = kNullOffset;
+
+  T* get(void* base) const noexcept { return resolve<T>(base, off); }
+  const T* get(const void* base) const noexcept {
+    return resolve<T>(base, off);
+  }
+  explicit operator bool() const noexcept { return off != kNullOffset; }
+};
+
+}  // namespace wfq::ipc

@@ -1,0 +1,231 @@
+// File-backed shared-memory arena: the single mmap every process in an IPC
+// deployment attaches. Layout:
+//
+//   offset 0                 ArenaHeader (magic, layout version, geometry,
+//                            bump cursor, root offset — see below)
+//   header .. total_size     bump-allocated region; the queue carves its
+//                            control block, proc table, rescue ring,
+//                            segment directory and segments out of it
+//
+// Creation writes the header LAST-field-first: `ready` flips to 1 only
+// after everything else (including the queue's root structures) is in
+// place, so a concurrent attacher can never observe a half-built arena.
+//
+// Attach validates the header through a READ-ONLY file descriptor before
+// the writable mapping is ever created: a mismatched magic or layout
+// version is rejected without writing — or even mapping writably — a
+// single byte of the foreign file (the C API surfaces this as
+// WFQ_E_VERSION). The layout version comes from wfq_version.hpp and must
+// be bumped whenever any on-arena structure changes shape.
+//
+// Intra-arena addressing is offsets only (offset_ptr.hpp); the arena hands
+// out ShmOffset from its bump allocator and never stores a pointer inside
+// the mapping.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "ipc/offset_ptr.hpp"
+#include "wfq_version.hpp"
+
+namespace wfq::ipc {
+
+/// Why an open/attach failed. The C API folds kBadMagic/kVersionMismatch/
+/// kBadGeometry into WFQ_E_VERSION ("not a compatible arena") and the rest
+/// into WFQ_E_NOMEM.
+enum class ArenaStatus : int {
+  kOk = 0,
+  kIoError,           // open/ftruncate/mmap/read failed (see errno)
+  kTooSmall,          // requested or on-disk size below the minimum
+  kBadMagic,          // not a wfq arena at all
+  kVersionMismatch,   // wfq arena, incompatible WFQ_SHM_LAYOUT_VERSION
+  kBadGeometry,       // header sizes disagree with the file
+  kNotReady,          // creator died before publishing `ready`
+};
+
+struct ArenaHeader {
+  std::uint64_t magic;            // WFQ_SHM_MAGIC
+  std::uint32_t layout_version;   // WFQ_SHM_LAYOUT_VERSION
+  std::uint32_t lib_major;        // informational (error messages)
+  std::uint32_t lib_minor;
+  std::uint32_t header_bytes;     // sizeof(ArenaHeader) at creation time
+  std::uint64_t total_bytes;      // mapping length
+  std::uint64_t root;             // ShmOffset of the owner's root object
+  std::atomic<std::uint64_t> bump;   // next free byte (monotone)
+  std::atomic<std::uint32_t> ready;  // 1 once creation fully finished
+  std::uint32_t pad_;
+};
+static_assert(sizeof(ArenaHeader) == 56, "bump an arena layout version");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "cross-process atomics require lock-free 64-bit atomics");
+
+/// RAII view of one process's mapping of an arena file. Move-only; the
+/// destructor unmaps but never unlinks (the file IS the queue — peers may
+/// still be attached). `destroy()` unlinks explicitly.
+class ShmArena {
+ public:
+  ShmArena() = default;
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+  ShmArena(ShmArena&& o) noexcept { swap(o); }
+  ShmArena& operator=(ShmArena&& o) noexcept {
+    if (this != &o) {
+      close();
+      swap(o);
+    }
+    return *this;
+  }
+  ~ShmArena() { close(); }
+
+  /// Create a fresh arena file of `total_bytes` at `path` (replacing any
+  /// existing file: a dead deployment's stale arena must not block a new
+  /// one). On success the header is initialized but `ready` is still 0 —
+  /// the owner bump-allocates its structures, sets root(), then publishes
+  /// with publish_ready().
+  static ArenaStatus create(const char* path, std::size_t total_bytes,
+                            ShmArena* out) {
+    if (total_bytes < kMinBytes) return ArenaStatus::kTooSmall;
+    int fd = ::open(path, O_RDWR | O_CREAT | O_TRUNC, 0600);
+    if (fd < 0) return ArenaStatus::kIoError;
+    if (::ftruncate(fd, static_cast<off_t>(total_bytes)) != 0) {
+      ::close(fd);
+      return ArenaStatus::kIoError;
+    }
+    void* base = ::mmap(nullptr, total_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      return ArenaStatus::kIoError;
+    }
+    auto* h = new (base) ArenaHeader{};
+    h->magic = WFQ_SHM_MAGIC;
+    h->layout_version = WFQ_SHM_LAYOUT_VERSION;
+    h->lib_major = WFQ_VERSION_MAJOR;
+    h->lib_minor = WFQ_VERSION_MINOR;
+    h->header_bytes = sizeof(ArenaHeader);
+    h->total_bytes = total_bytes;
+    h->root = kNullOffset;
+    h->bump.store(align_up(sizeof(ArenaHeader)), std::memory_order_relaxed);
+    h->ready.store(0, std::memory_order_relaxed);
+    out->fd_ = fd;
+    out->base_ = base;
+    out->bytes_ = total_bytes;
+    return ArenaStatus::kOk;
+  }
+
+  /// Attach an existing arena. The header is validated via pread on a
+  /// read-only descriptor FIRST; only a fully valid arena is ever mapped
+  /// writably. A rejected attach leaves the file byte-for-byte untouched.
+  static ArenaStatus attach(const char* path, ShmArena* out) {
+    int rfd = ::open(path, O_RDONLY);
+    if (rfd < 0) return ArenaStatus::kIoError;
+    ArenaHeader h;
+    ssize_t n = ::pread(rfd, &h, sizeof(h), 0);
+    struct stat st;
+    int strc = ::fstat(rfd, &st);
+    ::close(rfd);
+    if (n != static_cast<ssize_t>(sizeof(h)) || strc != 0) {
+      return ArenaStatus::kBadMagic;  // too short to be an arena
+    }
+    if (h.magic != WFQ_SHM_MAGIC) return ArenaStatus::kBadMagic;
+    if (h.layout_version != WFQ_SHM_LAYOUT_VERSION) {
+      return ArenaStatus::kVersionMismatch;
+    }
+    if (h.header_bytes != sizeof(ArenaHeader) ||
+        h.total_bytes < kMinBytes ||
+        st.st_size < static_cast<off_t>(h.total_bytes)) {
+      return ArenaStatus::kBadGeometry;
+    }
+    if (h.ready.load(std::memory_order_relaxed) == 0) {
+      return ArenaStatus::kNotReady;
+    }
+    int fd = ::open(path, O_RDWR);
+    if (fd < 0) return ArenaStatus::kIoError;
+    void* base = ::mmap(nullptr, h.total_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      return ArenaStatus::kIoError;
+    }
+    out->fd_ = fd;
+    out->base_ = base;
+    out->bytes_ = h.total_bytes;
+    return ArenaStatus::kOk;
+  }
+
+  /// Remove the arena file. Attached mappings stay valid until unmapped.
+  static void destroy(const char* path) { ::unlink(path); }
+
+  bool valid() const noexcept { return base_ != nullptr; }
+  void* base() const noexcept { return base_; }
+  std::size_t bytes() const noexcept { return bytes_; }
+  ArenaHeader* header() const noexcept {
+    return static_cast<ArenaHeader*>(base_);
+  }
+
+  /// Bump-allocate `bytes` (cache-line aligned) out of the arena. Returns
+  /// kNullOffset when the arena is exhausted — the queue surfaces that as
+  /// kNoMem, exactly like a heap segment-allocation failure. The cursor is
+  /// monotone (a failed allocation may strand its tail bytes; exhaustion
+  /// is terminal for the arena, so that waste is irrelevant).
+  ShmOffset alloc(std::size_t bytes) noexcept {
+    const std::uint64_t need = align_up(bytes);
+    ArenaHeader* h = header();
+    std::uint64_t off = h->bump.fetch_add(need, std::memory_order_relaxed);
+    if (off + need > bytes_) return kNullOffset;
+    return off;
+  }
+
+  template <class T>
+  T* at(ShmOffset off) const noexcept {
+    return resolve<T>(base_, off);
+  }
+
+  void set_root(ShmOffset off) noexcept { header()->root = off; }
+  ShmOffset root() const noexcept { return header()->root; }
+
+  /// Publish a fully-constructed arena to attachers. msync first so a
+  /// crash shortly after creation can't surface a ready header over
+  /// unwritten structures on a real filesystem.
+  void publish_ready() noexcept {
+    ::msync(base_, bytes_, MS_ASYNC);
+    header()->ready.store(1, std::memory_order_release);
+  }
+
+  void close() noexcept {
+    if (base_ != nullptr) ::munmap(base_, bytes_);
+    if (fd_ >= 0) ::close(fd_);
+    base_ = nullptr;
+    bytes_ = 0;
+    fd_ = -1;
+  }
+
+  static constexpr std::size_t kMinBytes = 4096;
+
+ private:
+  static constexpr std::uint64_t align_up(std::uint64_t n) noexcept {
+    return (n + 63) & ~std::uint64_t{63};
+  }
+
+  void swap(ShmArena& o) noexcept {
+    std::swap(fd_, o.fd_);
+    std::swap(base_, o.base_);
+    std::swap(bytes_, o.bytes_);
+  }
+
+  int fd_ = -1;
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace wfq::ipc

@@ -1,0 +1,941 @@
+// Crash-robust cross-process FAA queue over a shared-memory arena.
+//
+// Independent processes attach the same arena file (shm_arena.hpp) and run
+// producers/consumers against one queue whose every byte of state — head/
+// tail, cells, per-process operation records, rescue ring, parking words —
+// lives inside the mapping. All links are ShmOffsets (offset_ptr.hpp);
+// parking uses SharedFutex (futex without the PRIVATE flag) so a wake in
+// one process releases a waiter in another.
+//
+// ## Protocol
+//
+// The queue is the paper's FAA skeleton with CAS-guarded cell rendezvous
+// (the CRQ/SCQ-style bounded deployment): enqueue FAAs `tail` for a ticket,
+// deposits into cell[ticket] with CAS EMPTY->VALUE; dequeue FAAs `head`,
+// takes with CAS VALUE->CONSUMED, or poisons a slow producer's cell
+// (EMPTY->POISONED, producer retries a fresh ticket). Cells are 16 bytes,
+// never recycled (the arena is sized for a bounded ticket capacity), and
+// every transition is a CAS between explicit states — which is exactly what
+// makes kill-9 recoverable: a surviving process can always read the arena
+// and know which half-finished step a dead peer was in.
+//
+// Crash robustness rests on three mechanisms:
+//
+//  1. **Two-phase intent publication.** Before FAAing, a process publishes
+//     Pending in its proc slot; immediately after the FAA it records the
+//     ticket and flips to Ticketed. A peer that dies Ticketed names its
+//     cell exactly; one that dies Pending leaves at most one unattributed
+//     ticket, resolved by the floor scan (below).
+//  2. **Pid liveness + generation counters.** A slot is dead when
+//     kill(pid,0) says ESRCH or /proc/<pid>/stat's starttime no longer
+//     matches the recorded one (pid reuse). Generations make slot reuse
+//     safe for observers holding a stale claim.
+//  3. **Idempotent recovery under a stealable lock.** Any process may run
+//     recover(): resolve each dead slot's in-flight op (poison an
+//     undeposited enqueue cell; move a stranded VALUE into the rescue
+//     ring), then advance a floor scan over consumed-ticket space that
+//     rescues values whose consumer died before even recording its ticket.
+//     Every step is a CAS or an idempotent ring append keyed by source
+//     ticket, so a recoverer that is itself SIGKILLed mid-scan leaves a
+//     state the next recoverer finishes.
+//
+// Rescued values are redelivered through the ring: dequeue claims ring
+// entries before taking cells. Delivery to a process that died before
+// using the value is redelivered (at-least-once across crashes); within
+// live processes delivery is exactly-once — tools/soak --shm --kill9
+// asserts the precise conservation statement after every chaos run.
+//
+// The shm deployment is crash-robust and lock-free, not wait-free: the
+// paper's helping protocol assumes helpers can dereference each other's
+// handles, which offsets make possible but slow-path enqueue helping does
+// not survive a helper's death mid-help without the full wCQ treatment
+// (see PAPERS.md). ALGORITHM.md §16 spells out the liveness argument.
+#pragma once
+
+#include <signal.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "harness/fault_inject.hpp"
+#include "ipc/offset_ptr.hpp"
+#include "ipc/shm_arena.hpp"
+#include "sync/futex.hpp"
+
+namespace wfq::ipc {
+
+/// Operation results, mirroring the in-process queue's status contract.
+enum class ShmPush : int { kOk = 0, kClosed, kNoMem, kFull };
+enum class ShmPop : int { kOk = 0, kEmpty };
+
+/// Geometry knobs for create(). Everything else is derived from the arena
+/// size: the segment directory is sized to consume the whole remainder.
+struct ShmOptions {
+  std::uint32_t max_procs = 16;     // attached processes (proc slots)
+  std::uint32_t seg_cells = 1024;   // cells per segment (power of two)
+  std::uint32_t rescue_slots = 256; // crash-rescue ring capacity
+};
+
+struct DefaultShmTraits {};
+
+/// /proc/<pid>/stat field 22 (starttime, clock ticks since boot): the
+/// canonical pid-reuse discriminator. 0 on any failure.
+inline std::uint64_t proc_start_time(pid_t pid) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/%d/stat", (int)pid);
+  std::FILE* f = std::fopen(path, "re");
+  if (f == nullptr) return 0;
+  char buf[1024];
+  std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  // comm (field 2) may contain spaces and parens: parse from the LAST ')'.
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return 0;
+  ++p;
+  // After ')' the state is token 1; starttime is token 20.
+  unsigned field = 0;
+  while (*p != '\0') {
+    while (*p == ' ') ++p;
+    if (*p == '\0') break;
+    if (++field == 20) return std::strtoull(p, nullptr, 10);
+    while (*p != '\0' && *p != ' ') ++p;
+  }
+  return 0;
+}
+
+/// Is (pid, recorded starttime) still the same live process?
+inline bool process_alive(pid_t pid, std::uint64_t recorded_start) {
+  if (pid <= 0) return false;
+  if (::kill(pid, 0) != 0 && errno == ESRCH) return false;
+  if (recorded_start == 0) return true;  // claim in progress: assume alive
+  std::uint64_t now = proc_start_time(pid);
+  if (now == 0) return false;  // /proc entry gone between kill() and read
+  return now == recorded_start;
+}
+
+template <class Traits = DefaultShmTraits>
+class ShmQueue {
+ public:
+  // Cell lifecycle. Terminal states keep their value field readable
+  // forever — the post-chaos audit uses the cells as ground truth.
+  static constexpr std::uint64_t kCellEmpty = 0;
+  static constexpr std::uint64_t kCellValue = 1;
+  static constexpr std::uint64_t kCellConsumed = 2;
+  static constexpr std::uint64_t kCellPoisoned = 3;
+
+  // Per-process operation record states (two-phase intent publication).
+  static constexpr std::uint32_t kOpIdle = 0;
+  static constexpr std::uint32_t kOpEnqPending = 1;
+  static constexpr std::uint32_t kOpEnqTicketed = 2;
+  static constexpr std::uint32_t kOpDeqPending = 3;
+  static constexpr std::uint32_t kOpDeqTicketed = 4;
+
+  // Rescue-ring entry states. Entries are append-only (never reused): the
+  // `ticket` field is the idempotency key that lets a killed recoverer's
+  // successor tell "already rescued" from "not yet rescued".
+  static constexpr std::uint64_t kRsUnused = 0;
+  static constexpr std::uint64_t kRsFull = 1;
+  static constexpr std::uint64_t kRsDone = 2;
+  static constexpr std::uint64_t kRsClaimTag = 3;  // (pid << 8) | tag
+
+  struct Cell {
+    std::atomic<std::uint64_t> state;
+    std::atomic<std::uint64_t> value;
+  };
+  static_assert(sizeof(Cell) == 16);
+
+  struct ProcSlot {
+    alignas(64) std::atomic<std::uint32_t> pid;
+    std::atomic<std::uint32_t> generation;
+    std::atomic<std::uint64_t> start_time;
+    std::atomic<std::uint32_t> op_state;
+    std::atomic<std::uint64_t> op_ticket;
+    std::atomic<std::uint64_t> op_value;
+  };
+
+  struct RescueSlot {
+    alignas(64) std::atomic<std::uint64_t> state;
+    std::atomic<std::uint64_t> ticket;
+    std::atomic<std::uint64_t> value;
+  };
+
+  struct Geometry {
+    std::uint32_t max_procs;
+    std::uint32_t seg_cells;
+    std::uint32_t seg_shift;
+    std::uint32_t rescue_slots;
+    std::uint64_t max_segments;
+    std::uint64_t capacity;  // max ticket value = max_segments * seg_cells
+  };
+
+  struct Control {
+    Geometry geo;
+    ShmOffset slots_off;
+    ShmOffset ring_off;
+    ShmOffset dir_off;
+    alignas(64) std::atomic<std::uint64_t> head;
+    alignas(64) std::atomic<std::uint64_t> tail;
+    alignas(64) std::atomic<std::uint64_t> recovery_lock;
+    std::atomic<std::uint64_t> recovery_floor;
+    std::atomic<std::uint64_t> peer_deaths;
+    std::atomic<std::uint64_t> shm_adoptions;
+    std::atomic<std::uint64_t> rescued_pending;  // ring entries Full (hint)
+    std::atomic<std::uint32_t> closed;
+    alignas(64) std::atomic<std::uint32_t> enq_events;  // futex word
+    std::atomic<std::uint32_t> waiters;
+  };
+
+  /// One attached actor: a claimed proc slot plus the process-local spare
+  /// segment offset (an extension allocation that lost its append race and
+  /// is recycled on the next extension). Every concurrently-operating
+  /// thread needs its own LocalHandle — the slot's op record is the
+  /// two-phase intent publication and cannot be shared. A process may hold
+  /// several (each consumes one of geometry().max_procs slots; all of them
+  /// are reclaimed together if the process dies).
+  struct LocalHandle {
+    ProcSlot* slot = nullptr;
+    ShmOffset spare = kNullOffset;
+  };
+
+  ShmQueue() = default;
+  ShmQueue(const ShmQueue&) = delete;
+  ShmQueue& operator=(const ShmQueue&) = delete;
+  ShmQueue(ShmQueue&& o) noexcept { swap(o); }
+  ShmQueue& operator=(ShmQueue&& o) noexcept {
+    if (this != &o) {
+      detach();
+      swap(o);
+    }
+    return *this;
+  }
+  ~ShmQueue() { detach(); }
+
+  /// Create a fresh arena at `path` of `bytes` total and become its first
+  /// attached process. The segment directory is sized to consume the whole
+  /// remainder of the arena, so extension for any ticket < capacity() can
+  /// never run out of arena bytes.
+  static ArenaStatus create(const char* path, std::size_t bytes,
+                            const ShmOptions& opt, ShmQueue* out) {
+    if (opt.max_procs == 0 || opt.seg_cells < 4 ||
+        (opt.seg_cells & (opt.seg_cells - 1)) != 0 || opt.rescue_slots == 0) {
+      return ArenaStatus::kBadGeometry;
+    }
+    ShmArena arena;
+    ArenaStatus st = ShmArena::create(path, bytes, &arena);
+    if (st != ArenaStatus::kOk) return st;
+
+    ShmOffset ctrl_off = arena.alloc(sizeof(Control));
+    ShmOffset slots_off = arena.alloc(opt.max_procs * sizeof(ProcSlot));
+    ShmOffset ring_off = arena.alloc(opt.rescue_slots * sizeof(RescueSlot));
+    if (ctrl_off == kNullOffset || slots_off == kNullOffset ||
+        ring_off == kNullOffset) {
+      arena.close();
+      ShmArena::destroy(path);
+      return ArenaStatus::kTooSmall;
+    }
+    // Size the directory so every directory entry's segment is backed by
+    // arena bytes: remaining / (segment bytes + directory entry), with a
+    // page of slack for per-allocation alignment padding.
+    const std::uint64_t seg_bytes = std::uint64_t(opt.seg_cells) * sizeof(Cell);
+    const std::uint64_t used = arena.header()->bump.load();
+    const std::uint64_t remaining =
+        bytes > used + 4096 ? bytes - used - 4096 : 0;
+    const std::uint64_t max_segments = remaining / (seg_bytes + 64 + 8);
+    if (max_segments == 0) {
+      arena.close();
+      ShmArena::destroy(path);
+      return ArenaStatus::kTooSmall;
+    }
+    ShmOffset dir_off = arena.alloc(max_segments * sizeof(AtomicShmOffset));
+    if (dir_off == kNullOffset) {
+      arena.close();
+      ShmArena::destroy(path);
+      return ArenaStatus::kTooSmall;
+    }
+
+    // The file is freshly truncated, so every allocated structure is
+    // zero-initialized already (EMPTY cells, Unused ring entries, free
+    // slots, dir full of null offsets); only the geometry needs writing.
+    auto* ctrl = arena.at<Control>(ctrl_off);
+    ctrl->geo.max_procs = opt.max_procs;
+    ctrl->geo.seg_cells = opt.seg_cells;
+    ctrl->geo.seg_shift = shift_of(opt.seg_cells);
+    ctrl->geo.rescue_slots = opt.rescue_slots;
+    ctrl->geo.max_segments = max_segments;
+    ctrl->geo.capacity = max_segments * opt.seg_cells;
+    ctrl->slots_off = slots_off;
+    ctrl->ring_off = ring_off;
+    ctrl->dir_off = dir_off;
+    arena.set_root(ctrl_off);
+    arena.publish_ready();
+
+    out->adopt(std::move(arena), ctrl_off);
+    return out->claim(&out->self_) ? ArenaStatus::kOk
+                                   : ArenaStatus::kBadGeometry;
+  }
+
+  /// Attach an existing arena (validated read-only first — see
+  /// ShmArena::attach) and claim a proc slot. Runs recover() before
+  /// claiming so a slot orphaned by a dead peer is reusable.
+  static ArenaStatus attach(const char* path, ShmQueue* out) {
+    ShmArena arena;
+    ArenaStatus st = ShmArena::attach(path, &arena);
+    if (st != ArenaStatus::kOk) return st;
+    ShmOffset root = arena.root();
+    if (root == kNullOffset ||
+        root + sizeof(Control) > arena.bytes()) {
+      return ArenaStatus::kBadGeometry;
+    }
+    auto* ctrl = arena.at<Control>(root);
+    const Geometry& g = ctrl->geo;
+    if (g.max_procs == 0 || g.seg_cells < 4 ||
+        (g.seg_cells & (g.seg_cells - 1)) != 0 ||
+        g.capacity != g.max_segments * g.seg_cells ||
+        ctrl->dir_off + g.max_segments * sizeof(AtomicShmOffset) >
+            arena.bytes()) {
+      return ArenaStatus::kBadGeometry;
+    }
+    out->adopt(std::move(arena), root);
+    out->recover();
+    return out->claim(&out->self_) ? ArenaStatus::kOk : ArenaStatus::kTooSmall;
+  }
+
+  /// Claim an additional actor slot (e.g. one per thread). Returns false
+  /// when every slot is held by a live process.
+  bool claim(LocalHandle* lh) {
+    Control* c = ctrl_;
+    ProcSlot* slots = arena_.template at<ProcSlot>(c->slots_off);
+    const std::uint32_t me = (std::uint32_t)::getpid();
+    const std::uint64_t my_start = proc_start_time(::getpid());
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      for (std::uint32_t i = 0; i < c->geo.max_procs; ++i) {
+        std::uint32_t expect = 0;
+        if (slots[i].pid.load(std::memory_order_acquire) == 0 &&
+            slots[i].pid.compare_exchange_strong(expect, me,
+                                                 std::memory_order_seq_cst)) {
+          slots[i].start_time.store(my_start, std::memory_order_release);
+          slots[i].op_state.store(kOpIdle, std::memory_order_release);
+          lh->slot = &slots[i];
+          lh->spare = kNullOffset;
+          return true;
+        }
+      }
+      // Full table: dead peers may be squatting — recover and retry once.
+      if (attempt == 0) recover();
+    }
+    return false;
+  }
+
+  /// Return a claimed slot to the free pool (its op must be quiescent).
+  void release(LocalHandle* lh) {
+    if (lh->slot == nullptr) return;
+    lh->slot->op_state.store(kOpIdle, std::memory_order_relaxed);
+    lh->slot->generation.fetch_add(1, std::memory_order_relaxed);
+    lh->slot->start_time.store(0, std::memory_order_relaxed);
+    lh->slot->pid.store(0, std::memory_order_release);
+    lh->slot = nullptr;
+  }
+
+  /// Release this process's default slot (op must be quiescent) and unmap.
+  void detach() {
+    if (!arena_.valid()) return;
+    release(&self_);
+    arena_.close();
+    ctrl_ = nullptr;
+  }
+
+  bool attached() const noexcept { return ctrl_ != nullptr; }
+
+  // ---- operations -----------------------------------------------------
+
+  ShmPush enqueue(LocalHandle& lh, std::uint64_t v) {
+    Control* c = ctrl_;
+    ProcSlot* slot = lh.slot;
+    slot->op_value.store(v, std::memory_order_relaxed);
+    for (;;) {
+      if (c->closed.load(std::memory_order_acquire) != 0) {
+        finish_op(lh);
+        return ShmPush::kClosed;
+      }
+      slot->op_state.store(kOpEnqPending, std::memory_order_release);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      WFQ_INJECT(Traits, "shm_enq_pending");
+      if (c->tail.load(std::memory_order_relaxed) >= c->geo.capacity) {
+        finish_op(lh);
+        return ShmPush::kFull;
+      }
+      const std::uint64_t t = c->tail.fetch_add(1, std::memory_order_seq_cst);
+      slot->op_ticket.store(t, std::memory_order_relaxed);
+      slot->op_state.store(kOpEnqTicketed, std::memory_order_release);
+      WFQ_INJECT(Traits, "shm_enq_ticketed");
+      if (t >= c->geo.capacity) {
+        finish_op(lh);
+        return ShmPush::kFull;
+      }
+      Cell* cell = cell_for(t, lh);
+      if (cell == nullptr) {
+        finish_op(lh);
+        return ShmPush::kNoMem;
+      }
+      cell->value.store(v, std::memory_order_relaxed);
+      std::uint64_t expect = kCellEmpty;
+      if (cell->state.compare_exchange_strong(expect, kCellValue,
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_acquire)) {
+        WFQ_INJECT(Traits, "shm_enq_deposited");
+        wake_consumers();
+        finish_op(lh);
+        return ShmPush::kOk;
+      }
+      // Cell poisoned by an impatient/recovering consumer: fresh ticket.
+    }
+  }
+
+  ShmPush enqueue(std::uint64_t v) { return enqueue(self_, v); }
+
+  /// `pre(value)` runs while the value is still exclusively ours but
+  /// BEFORE the commit CAS — the crash-conservation hook: a caller that
+  /// journals the value in `pre` can never lose it to a kill between
+  /// commit and journal (dying before the CAS means the value is rescued
+  /// and redelivered instead). Default is a no-op.
+  template <class Pre>
+  ShmPop dequeue(LocalHandle& lh, std::uint64_t* out, Pre&& pre) {
+    Control* c = ctrl_;
+    ProcSlot* slot = lh.slot;
+    slot->op_state.store(kOpDeqPending, std::memory_order_release);
+    for (;;) {
+      WFQ_INJECT(Traits, "shm_deq_pending");
+      if (claim_rescued(out, pre)) {
+        finish_op(lh);
+        return ShmPop::kOk;
+      }
+      const std::uint64_t h = c->head.load(std::memory_order_seq_cst);
+      const std::uint64_t t = c->tail.load(std::memory_order_seq_cst);
+      if (h >= t || h >= c->geo.capacity) {
+        finish_op(lh);
+        return ShmPop::kEmpty;
+      }
+      const std::uint64_t tk = c->head.fetch_add(1, std::memory_order_seq_cst);
+      slot->op_ticket.store(tk, std::memory_order_relaxed);
+      slot->op_state.store(kOpDeqTicketed, std::memory_order_release);
+      WFQ_INJECT(Traits, "shm_deq_ticketed");
+      if (tk >= c->geo.capacity) continue;  // racing FAAs overshot capacity
+      Cell* cell = cell_for(tk, lh);
+      if (cell == nullptr) continue;  // arena exhausted: no deposit possible
+      // Wait briefly for a slow producer, then poison the cell so it
+      // retries a fresh ticket (bounded: this is the lock-free, not
+      // wait-free, corner of the shm deployment).
+      std::uint64_t st = cell->state.load(std::memory_order_acquire);
+      for (unsigned spin = 0; st == kCellEmpty && spin < kDepositPatience;
+           ++spin) {
+        cpu_relax();
+        st = cell->state.load(std::memory_order_acquire);
+      }
+      if (st == kCellEmpty) {
+        std::uint64_t expect = kCellEmpty;
+        if (cell->state.compare_exchange_strong(expect, kCellPoisoned,
+                                                std::memory_order_seq_cst,
+                                                std::memory_order_acquire)) {
+          continue;  // miss; producer (if any) will retry elsewhere
+        }
+        st = expect;
+      }
+      if (st == kCellValue) {
+        const std::uint64_t v = cell->value.load(std::memory_order_relaxed);
+        pre(v);
+        std::uint64_t expect = kCellValue;
+        if (cell->state.compare_exchange_strong(expect, kCellConsumed,
+                                                std::memory_order_seq_cst,
+                                                std::memory_order_acquire)) {
+          WFQ_INJECT(Traits, "shm_deq_taken");
+          *out = v;
+          finish_op(lh);
+          return ShmPop::kOk;
+        }
+        // A recoverer presumed us dead (pid-reuse false positive) and
+        // rescued the cell: the value is in the ring, not ours to return.
+      }
+      // CONSUMED/POISONED: resolved under us; take another ticket.
+    }
+  }
+
+  ShmPop dequeue(LocalHandle& lh, std::uint64_t* out) {
+    return dequeue(lh, out, [](std::uint64_t) {});
+  }
+  template <class Pre>
+  ShmPop dequeue(std::uint64_t* out, Pre&& pre) {
+    return dequeue(self_, out, std::forward<Pre>(pre));
+  }
+  ShmPop dequeue(std::uint64_t* out) {
+    return dequeue(self_, out, [](std::uint64_t) {});
+  }
+
+  /// Blocking pop: parks on the cross-process futex word until a deposit,
+  /// a rescue, or the deadline. Spurious wakes re-loop.
+  template <class Pre>
+  bool pop_wait_until(LocalHandle& lh, std::uint64_t* out,
+                      std::chrono::steady_clock::time_point deadline,
+                      Pre&& pre) {
+    Control* c = ctrl_;
+    for (;;) {
+      if (dequeue(lh, out, pre) == ShmPop::kOk) return true;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      c->waiters.fetch_add(1, std::memory_order_seq_cst);
+      const std::uint32_t ev = c->enq_events.load(std::memory_order_seq_cst);
+      // Recheck after registering: a deposit between our empty dequeue and
+      // the waiter increment must not be missed.
+      if (c->head.load(std::memory_order_seq_cst) <
+              c->tail.load(std::memory_order_seq_cst) ||
+          c->rescued_pending.load(std::memory_order_seq_cst) != 0) {
+        c->waiters.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      WFQ_INJECT(Traits, "shm_park");
+      parker::wait_until(c->enq_events, ev, deadline);
+      c->waiters.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool pop_wait_until(std::uint64_t* out,
+                      std::chrono::steady_clock::time_point deadline) {
+    return pop_wait_until(self_, out, deadline, [](std::uint64_t) {});
+  }
+
+  void close() {
+    ctrl_->closed.store(1, std::memory_order_release);
+    wake_consumers();
+  }
+  bool closed() const {
+    return ctrl_->closed.load(std::memory_order_acquire) != 0;
+  }
+
+  // ---- crash recovery -------------------------------------------------
+
+  /// Detect dead peers and drive their half-finished operations to a
+  /// resolved state. Safe to call from any attached process at any time;
+  /// a single recoverer runs at once (stealable lock), every step is
+  /// idempotent, and a recoverer killed mid-flight leaves a state its
+  /// successor completes. Returns the number of dead slots reclaimed.
+  std::size_t recover() {
+    Control* c = ctrl_;
+    if (!acquire_recovery_lock()) return 0;
+    std::size_t reclaimed = 0;
+    ProcSlot* slots = arena_.template at<ProcSlot>(c->slots_off);
+    for (std::uint32_t i = 0; i < c->geo.max_procs; ++i) {
+      WFQ_INJECT(Traits, "shm_recover_scan");
+      ProcSlot& s = slots[i];
+      const std::uint32_t pid = s.pid.load(std::memory_order_acquire);
+      if (pid == 0) continue;
+      if (process_alive((pid_t)pid,
+                        s.start_time.load(std::memory_order_relaxed))) {
+        continue;
+      }
+      resolve_dead_slot(s);
+      c->peer_deaths.fetch_add(1, std::memory_order_relaxed);
+      // Free the slot last: once pid drops to 0 a new process may claim
+      // it, so the op record must already be quiescent.
+      s.op_state.store(kOpIdle, std::memory_order_relaxed);
+      s.generation.fetch_add(1, std::memory_order_relaxed);
+      s.start_time.store(0, std::memory_order_relaxed);
+      s.pid.store(0, std::memory_order_release);
+      ++reclaimed;
+    }
+    // Ring entries stuck in Claiming by a dead claimer go back to Full.
+    RescueSlot* ring = arena_.template at<RescueSlot>(c->ring_off);
+    for (std::uint32_t i = 0; i < c->geo.rescue_slots; ++i) {
+      std::uint64_t st = ring[i].state.load(std::memory_order_acquire);
+      if ((st & 0xff) != kRsClaimTag) continue;
+      const pid_t claimer = (pid_t)(st >> 8);
+      if (process_alive(claimer, 0)) continue;
+      if (ring[i].state.compare_exchange_strong(st, kRsFull,
+                                                std::memory_order_seq_cst)) {
+        c->rescued_pending.fetch_add(1, std::memory_order_relaxed);
+        wake_consumers();
+      }
+    }
+    floor_scan();
+    release_recovery_lock();
+    if (reclaimed != 0) wake_consumers();
+    return reclaimed;
+  }
+
+  // ---- introspection / audit ------------------------------------------
+
+  std::uint64_t capacity() const { return ctrl_->geo.capacity; }
+  std::uint64_t head() const {
+    return ctrl_->head.load(std::memory_order_acquire);
+  }
+  std::uint64_t tail() const {
+    return ctrl_->tail.load(std::memory_order_acquire);
+  }
+  std::uint64_t approx_size() const {
+    std::uint64_t h = head(), t = tail();
+    return t > h ? t - h : 0;
+  }
+  std::uint64_t peer_deaths() const {
+    return ctrl_->peer_deaths.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shm_adoptions() const {
+    return ctrl_->shm_adoptions.load(std::memory_order_relaxed);
+  }
+  const Geometry& geometry() const { return ctrl_->geo; }
+
+  /// Ground-truth audit walk: invoke fn(ticket, state, value) for every
+  /// cell of every materialized segment. Single-threaded use (post-chaos
+  /// parent) — concurrent ops make the walk a snapshot, not an inventory.
+  template <class Fn>
+  void scan_cells(Fn&& fn) const {
+    const Geometry& g = ctrl_->geo;
+    AtomicShmOffset* dir = arena_.template at<AtomicShmOffset>(ctrl_->dir_off);
+    for (std::uint64_t seg = 0; seg < g.max_segments; ++seg) {
+      ShmOffset off = dir[seg].load(std::memory_order_acquire);
+      if (off == kNullOffset) continue;
+      Cell* cells = arena_.template at<Cell>(off);
+      for (std::uint32_t i = 0; i < g.seg_cells; ++i) {
+        fn(seg * g.seg_cells + i,
+           cells[i].state.load(std::memory_order_acquire),
+           cells[i].value.load(std::memory_order_relaxed));
+      }
+    }
+  }
+
+  /// fn(state, ticket, value) for every used rescue-ring entry.
+  template <class Fn>
+  void scan_rescue_ring(Fn&& fn) const {
+    RescueSlot* ring = arena_.template at<RescueSlot>(ctrl_->ring_off);
+    for (std::uint32_t i = 0; i < ctrl_->geo.rescue_slots; ++i) {
+      std::uint64_t st = ring[i].state.load(std::memory_order_acquire);
+      if (st == kRsUnused) continue;
+      fn(st, ring[i].ticket.load(std::memory_order_relaxed),
+         ring[i].value.load(std::memory_order_relaxed));
+    }
+  }
+
+  /// Number of live (attached) peer slots, this process included.
+  std::uint32_t attached_procs() const {
+    Control* c = ctrl_;
+    ProcSlot* slots = arena_.template at<ProcSlot>(c->slots_off);
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < c->geo.max_procs; ++i) {
+      if (slots[i].pid.load(std::memory_order_acquire) != 0) ++n;
+    }
+    return n;
+  }
+
+ private:
+#if defined(__linux__)
+  using parker = sync::SharedFutex;
+#else
+  using parker = sync::PortableFutex;  // same-process fallback only
+#endif
+
+  static constexpr unsigned kDepositPatience = 2048;
+
+  static std::uint32_t shift_of(std::uint32_t pow2) {
+    std::uint32_t s = 0;
+    while ((1u << s) < pow2) ++s;
+    return s;
+  }
+
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  void adopt(ShmArena&& arena, ShmOffset ctrl_off) {
+    arena_ = std::move(arena);
+    ctrl_ = arena_.template at<Control>(ctrl_off);
+  }
+
+  void swap(ShmQueue& o) noexcept {
+    std::swap(arena_, o.arena_);
+    std::swap(ctrl_, o.ctrl_);
+    std::swap(self_, o.self_);
+  }
+
+  void finish_op(LocalHandle& lh) {
+    lh.slot->op_state.store(kOpIdle, std::memory_order_release);
+  }
+
+  Cell* cell_for(std::uint64_t ticket, LocalHandle& lh) {
+    const Geometry& g = ctrl_->geo;
+    const std::uint64_t seg = ticket >> g.seg_shift;
+    AtomicShmOffset* dir = arena_.template at<AtomicShmOffset>(ctrl_->dir_off);
+    ShmOffset off = dir[seg].load(std::memory_order_acquire);
+    if (off == kNullOffset) {
+      off = extend(dir, seg, lh);
+      if (off == kNullOffset) return nullptr;
+    }
+    return arena_.template at<Cell>(off) +
+           (ticket & (std::uint64_t(g.seg_cells) - 1));
+  }
+
+  /// Materialize segment `seg`: bump-allocate (fresh arena bytes are
+  /// zero => all cells EMPTY) and CAS it into the directory. The loser of
+  /// an append race stashes its allocation as the handle's spare for the
+  /// next extension — bump memory cannot be returned.
+  ShmOffset extend(AtomicShmOffset* dir, std::uint64_t seg, LocalHandle& lh) {
+    WFQ_INJECT(Traits, "shm_extend");
+    const std::uint64_t seg_bytes =
+        std::uint64_t(ctrl_->geo.seg_cells) * sizeof(Cell);
+    ShmOffset fresh = lh.spare;
+    lh.spare = kNullOffset;
+    if (fresh == kNullOffset) fresh = arena_.alloc(seg_bytes);
+    if (fresh == kNullOffset) return kNullOffset;
+    ShmOffset expect = kNullOffset;
+    if (dir[seg].compare_exchange_strong(expect, fresh,
+                                         std::memory_order_seq_cst)) {
+      return fresh;
+    }
+    lh.spare = fresh;
+    return expect;
+  }
+
+  void wake_consumers() {
+    Control* c = ctrl_;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (c->waiters.load(std::memory_order_seq_cst) != 0) {
+      c->enq_events.fetch_add(1, std::memory_order_seq_cst);
+      parker::wake_all(c->enq_events);
+    }
+  }
+
+  // ---- rescue ring ----------------------------------------------------
+
+  template <class Pre>
+  bool claim_rescued(std::uint64_t* out, Pre&& pre) {
+    Control* c = ctrl_;
+    if (c->rescued_pending.load(std::memory_order_seq_cst) == 0) return false;
+    RescueSlot* ring = arena_.template at<RescueSlot>(c->ring_off);
+    const std::uint64_t claiming =
+        (std::uint64_t((std::uint32_t)::getpid()) << 8) | kRsClaimTag;
+    for (std::uint32_t i = 0; i < c->geo.rescue_slots; ++i) {
+      std::uint64_t st = ring[i].state.load(std::memory_order_acquire);
+      if (st != kRsFull) continue;
+      if (!ring[i].state.compare_exchange_strong(st, claiming,
+                                                 std::memory_order_seq_cst)) {
+        continue;
+      }
+      c->rescued_pending.fetch_sub(1, std::memory_order_relaxed);
+      const std::uint64_t v = ring[i].value.load(std::memory_order_relaxed);
+      pre(v);
+      ring[i].state.store(kRsDone, std::memory_order_release);
+      *out = v;
+      return true;
+    }
+    return false;
+  }
+
+  /// Idempotent rescue of a stranded VALUE cell, keyed by ticket: commit
+  /// point is the entry's Unused->Full store; the cell's VALUE->CONSUMED
+  /// CAS afterwards is cleanup a successor recoverer re-runs harmlessly.
+  /// Returns false when the ring is out of entries — the value simply
+  /// stays in its cell (visible to the audit, never lost) and the floor
+  /// stops advancing past it.
+  bool rescue(Cell* cell, std::uint64_t ticket) {
+    Control* c = ctrl_;
+    RescueSlot* ring = arena_.template at<RescueSlot>(c->ring_off);
+    std::int64_t free_idx = -1;
+    for (std::uint32_t i = 0; i < c->geo.rescue_slots; ++i) {
+      const std::uint64_t st = ring[i].state.load(std::memory_order_acquire);
+      if (st == kRsUnused) {
+        if (free_idx < 0) free_idx = i;
+        continue;
+      }
+      if (ring[i].ticket.load(std::memory_order_relaxed) == ticket) {
+        // Already committed by a recoverer that died before the cleanup
+        // CAS (or by an earlier pass): just finish the cleanup.
+        mark_rescued(cell);
+        return true;
+      }
+    }
+    if (free_idx < 0) return false;
+    RescueSlot& e = ring[free_idx];
+    e.ticket.store(ticket, std::memory_order_relaxed);
+    e.value.store(cell->value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    e.state.store(kRsFull, std::memory_order_release);  // commit
+    c->rescued_pending.fetch_add(1, std::memory_order_relaxed);
+    c->shm_adoptions.fetch_add(1, std::memory_order_relaxed);
+    mark_rescued(cell);
+    wake_consumers();
+    return true;
+  }
+
+  static void mark_rescued(Cell* cell) {
+    std::uint64_t expect = kCellValue;
+    cell->state.compare_exchange_strong(expect, kCellConsumed,
+                                        std::memory_order_seq_cst);
+  }
+
+  // ---- dead-peer resolution -------------------------------------------
+
+  void resolve_dead_slot(ProcSlot& s) {
+    Control* c = ctrl_;
+    const std::uint32_t op = s.op_state.load(std::memory_order_acquire);
+    const std::uint64_t tk = s.op_ticket.load(std::memory_order_relaxed);
+    if (op == kOpIdle || tk >= c->geo.capacity) return;
+    if (op == kOpEnqTicketed) {
+      Cell* cell = cell_for(tk, self_);
+      if (cell == nullptr) return;
+      std::uint64_t expect = kCellEmpty;
+      // Deposit never landed: poison so the ticket is accounted terminal.
+      // (If it DID land — state VALUE — the enqueue semantically completed
+      // and the value flows through normal consumption.)
+      if (cell->state.compare_exchange_strong(expect, kCellPoisoned,
+                                              std::memory_order_seq_cst)) {
+        c->shm_adoptions.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (op == kOpDeqTicketed) {
+      Cell* cell = cell_for(tk, self_);
+      if (cell == nullptr) return;
+      std::uint64_t st = cell->state.load(std::memory_order_acquire);
+      if (st == kCellEmpty) {
+        std::uint64_t expect = kCellEmpty;
+        if (cell->state.compare_exchange_strong(expect, kCellPoisoned,
+                                                std::memory_order_seq_cst)) {
+          c->shm_adoptions.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        st = expect;
+      }
+      if (st == kCellValue) {
+        // Consumer died holding the only ticket that will ever visit this
+        // cell: move the value to the rescue ring for redelivery.
+        rescue(cell, tk);
+      }
+      return;
+    }
+    // Pending states carry no ticket; the floor scan resolves whatever
+    // their (possibly executed) FAA left behind.
+  }
+
+  /// Advance recovery_floor over consumed-ticket space [floor, head),
+  /// rescuing VALUE cells whose ticket no live process claims — the
+  /// residue of peers killed between their FAA and their ticket record.
+  /// Conservative: stops at any cell that could still be a LIVE process's
+  /// in-flight operation.
+  void floor_scan() {
+    Control* c = ctrl_;
+    ProcSlot* slots = arena_.template at<ProcSlot>(c->slots_off);
+    const std::uint64_t h = c->head.load(std::memory_order_seq_cst);
+    const std::uint64_t limit = h < c->geo.capacity ? h : c->geo.capacity;
+    std::uint64_t f = c->recovery_floor.load(std::memory_order_relaxed);
+    bool any_pending = false;
+    for (std::uint32_t i = 0; i < c->geo.max_procs; ++i) {
+      if (slots[i].pid.load(std::memory_order_acquire) == 0) continue;
+      const std::uint32_t op = slots[i].op_state.load(std::memory_order_acquire);
+      if (op == kOpEnqPending || op == kOpDeqPending) any_pending = true;
+    }
+    while (f < limit) {
+      Cell* cell = cell_for(f, self_);
+      if (cell == nullptr) break;
+      std::uint64_t st = cell->state.load(std::memory_order_acquire);
+      if (st == kCellConsumed || st == kCellPoisoned) {
+        ++f;
+        continue;
+      }
+      // EMPTY or VALUE below head: claimed by a live Ticketed op?
+      bool live_claim = false;
+      for (std::uint32_t i = 0; i < c->geo.max_procs; ++i) {
+        if (slots[i].pid.load(std::memory_order_acquire) == 0) continue;
+        const std::uint32_t op =
+            slots[i].op_state.load(std::memory_order_acquire);
+        if ((op == kOpEnqTicketed || op == kOpDeqTicketed) &&
+            slots[i].op_ticket.load(std::memory_order_relaxed) == f) {
+          live_claim = true;
+          break;
+        }
+      }
+      // A live Pending op might own this very ticket without having
+      // recorded it yet — resolving would race a living process. Stop;
+      // the next recover() call re-scans once they've progressed.
+      if (live_claim || any_pending) break;
+      if (st == kCellValue) {
+        if (!rescue(cell, f)) break;  // ring exhausted: value stays put
+        ++f;
+        continue;
+      }
+      // EMPTY, unclaimed, below head: both parties are gone. Poison so a
+      // late producer (should this ticket's FAA still be in flight
+      // somewhere) retries instead of depositing into a black hole.
+      std::uint64_t expect = kCellEmpty;
+      if (cell->state.compare_exchange_strong(expect, kCellPoisoned,
+                                              std::memory_order_seq_cst)) {
+        ++f;
+        continue;
+      }
+      // State moved under us: re-examine the same index.
+    }
+    // Monotone publish (another recoverer may already be further along).
+    std::uint64_t cur = c->recovery_floor.load(std::memory_order_relaxed);
+    while (f > cur && !c->recovery_floor.compare_exchange_weak(
+                          cur, f, std::memory_order_relaxed)) {
+    }
+  }
+
+  // ---- recovery lock --------------------------------------------------
+  //
+  // One u64: 0 = free, else (pid << 32) | (holder starttime & 0xffffffff).
+  // Stealable: a holder whose pid is dead (or whose starttime low bits no
+  // longer match — pid reuse) lost the lock to whoever CASes it over.
+
+  std::uint64_t lock_word_self() const {
+    const std::uint32_t pid = (std::uint32_t)::getpid();
+    const std::uint64_t st = proc_start_time(::getpid());
+    return (std::uint64_t(pid) << 32) | (st & 0xffffffffu);
+  }
+
+  bool acquire_recovery_lock() {
+    Control* c = ctrl_;
+    const std::uint64_t mine = lock_word_self();
+    std::uint64_t cur = c->recovery_lock.load(std::memory_order_acquire);
+    for (;;) {
+      if (cur == 0) {
+        if (c->recovery_lock.compare_exchange_weak(cur, mine,
+                                                   std::memory_order_seq_cst)) {
+          return true;
+        }
+        continue;
+      }
+      if (cur == mine) return true;  // re-entrant after a partial run
+      const pid_t holder = (pid_t)(cur >> 32);
+      const std::uint64_t holder_st_low = cur & 0xffffffffu;
+      bool holder_alive = process_alive(holder, 0) &&
+                          (proc_start_time(holder) & 0xffffffffu) ==
+                              holder_st_low;
+      if (holder_alive) return false;  // someone live is recovering
+      if (c->recovery_lock.compare_exchange_weak(cur, mine,
+                                                 std::memory_order_seq_cst)) {
+        return true;  // stole a dead recoverer's lock
+      }
+    }
+  }
+
+  void release_recovery_lock() {
+    Control* c = ctrl_;
+    std::uint64_t mine = lock_word_self();
+    c->recovery_lock.compare_exchange_strong(mine, 0,
+                                             std::memory_order_seq_cst);
+  }
+
+  ShmArena arena_;
+  Control* ctrl_ = nullptr;
+  LocalHandle self_;
+};
+
+}  // namespace wfq::ipc

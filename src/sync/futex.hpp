@@ -7,6 +7,14 @@
 //    FUTEX_WAKE_PRIVATE). Zero userspace state; the kernel re-checks the
 //    word under its own lock, so the classic "value changed between my
 //    check and my sleep" race cannot lose a wakeup.
+//  * `SharedFutex` — the same syscall WITHOUT the PRIVATE flag, so the
+//    kernel keys the wait queue by the *physical page* instead of the
+//    (mm, address) pair. That is what lets independent processes park on
+//    and wake through a word living in a shared-memory arena (src/ipc/).
+//    PRIVATE is purely a fast-path hint; both variants are correct within
+//    one process, and a PRIVATE wait can never be woken by a shared wake
+//    (or vice versa) — they hash into different kernel buckets, which the
+//    futex unit test asserts.
 //  * `PortableFutex` — a bucketed parking lot (hashed mutex + condvar
 //    pairs). The waiter re-checks the word *under the bucket mutex* and a
 //    waker locks the bucket before notifying, which closes the same race
@@ -42,13 +50,27 @@ using WaitClock = std::chrono::steady_clock;
 /// futex(2)-backed implementation. `word` must be a naturally aligned
 /// lock-free 32-bit atomic (guaranteed for std::atomic<uint32_t> on every
 /// platform this repo targets; asserted below).
-struct LinuxFutex {
-  static constexpr const char* kName = "linux-futex";
+///
+/// `Private` selects the FUTEX_PRIVATE_FLAG: true keys the kernel wait
+/// queue by (mm, virtual address) — the fast path for a single process —
+/// while false keys it by physical page, which is what cross-process
+/// parking on a shared-memory word requires. The flag must match between
+/// waiter and waker: a PRIVATE wait and a shared wake land in different
+/// kernel buckets and never see each other.
+template <bool Private>
+struct LinuxFutexImpl {
+  static constexpr const char* kName =
+      Private ? "linux-futex" : "linux-futex-shared";
+  static constexpr bool kPrivate = Private;
+  static constexpr int kWaitOp =
+      Private ? FUTEX_WAIT_PRIVATE : FUTEX_WAIT;
+  static constexpr int kWakeOp =
+      Private ? FUTEX_WAKE_PRIVATE : FUTEX_WAKE;
 
   /// Sleep while `*word == expected`. Returns on wake, on value mismatch,
   /// or spuriously (EINTR); never consumes a wake it did not receive.
   static void wait(const std::atomic<uint32_t>& word, uint32_t expected) {
-    (void)syscall(SYS_futex, address_of(word), FUTEX_WAIT_PRIVATE, expected,
+    (void)syscall(SYS_futex, address_of(word), kWaitOp, expected,
                   nullptr, nullptr, 0);
   }
 
@@ -66,7 +88,7 @@ struct LinuxFutex {
     ts.tv_nsec = static_cast<long>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(rel - secs)
             .count());
-    long rc = syscall(SYS_futex, address_of(word), FUTEX_WAIT_PRIVATE,
+    long rc = syscall(SYS_futex, address_of(word), kWaitOp,
                       expected, &ts, nullptr, 0);
     if (rc == -1 && errno == ETIMEDOUT) return false;
     return true;  // woken, value mismatch (EAGAIN), or EINTR: all "re-check"
@@ -74,7 +96,7 @@ struct LinuxFutex {
 
   /// Wake up to `n` waiters blocked on `word`.
   static void wake(const std::atomic<uint32_t>& word, uint32_t n) {
-    (void)syscall(SYS_futex, address_of(word), FUTEX_WAKE_PRIVATE, n, nullptr,
+    (void)syscall(SYS_futex, address_of(word), kWakeOp, n, nullptr,
                   nullptr, 0);
   }
 
@@ -92,6 +114,15 @@ struct LinuxFutex {
         const_cast<std::atomic<uint32_t>*>(&word));
   }
 };
+
+/// Process-private futex: the historical name, and the default everywhere
+/// a queue parks its own threads.
+using LinuxFutex = LinuxFutexImpl<true>;
+
+/// Process-shared futex for words living in a shared-memory mapping
+/// (src/ipc/ arenas). Waiters in one process are woken by wakes issued in
+/// another, provided both map the same physical page.
+using SharedFutex = LinuxFutexImpl<false>;
 
 #endif  // __linux__
 

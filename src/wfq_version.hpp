@@ -6,6 +6,14 @@
 #define WFQ_VERSION_PATCH 0
 #define WFQ_VERSION_STRING "1.0.0"
 
+// Shared-memory arena identification (src/ipc/). The magic marks a file as
+// a wfq arena at all ("WFQSHM" + 2 format bytes); the layout version is
+// bumped on ANY change to the arena's on-disk structures (header fields,
+// proc-slot layout, cell format, segment geometry encoding). Attach
+// refuses a mismatched arena before writing a single byte to it.
+#define WFQ_SHM_MAGIC 0x30304D485351'4657ULL  // "WFQSHM00", little-endian
+#define WFQ_SHM_LAYOUT_VERSION 1u
+
 namespace wfq {
 
 struct Version {

@@ -1,0 +1,222 @@
+// Table-driven contract test for every wfq_c.h error code: the numeric
+// value of each code is frozen ABI (wfq.h consumers compile against the
+// literals), and each code must be producible through a real call path —
+// including WFQ_E_VERSION from a version-mismatched shm attach, which must
+// reject without writing a byte to the foreign file.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "capi/wfq_c.h"
+
+namespace {
+
+// ---- the frozen numeric table ---------------------------------------------
+
+struct CodeRow {
+  const char* name;
+  int code;
+  int expected;
+};
+
+constexpr CodeRow kCodeTable[] = {
+    {"WFQ_OK", WFQ_OK, 0},
+    {"WFQ_E_RESERVED", WFQ_E_RESERVED, -1},
+    {"WFQ_E_CLOSED", WFQ_E_CLOSED, -2},
+    {"WFQ_E_NOMEM", WFQ_E_NOMEM, -3},
+    {"WFQ_E_FULL", WFQ_E_FULL, -4},
+    {"WFQ_E_VERSION", WFQ_E_VERSION, -5},
+};
+
+TEST(CapiErrorTable, NumericValuesAreFrozen) {
+  for (const CodeRow& row : kCodeTable) {
+    EXPECT_EQ(row.code, row.expected) << row.name << " drifted";
+  }
+  // All distinct (a new code reusing a value would corrupt callers'
+  // switch statements silently).
+  for (const CodeRow& a : kCodeTable) {
+    for (const CodeRow& b : kCodeTable) {
+      if (&a != &b) EXPECT_NE(a.code, b.code) << a.name << " vs " << b.name;
+    }
+  }
+}
+
+// ---- each code through a real call path -----------------------------------
+
+std::string temp_path(const char* tag) {
+  return "/tmp/wfq_capi_err_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+TEST(CapiErrorPaths, OkFromPlainEnqueue) {
+  wfq_queue_t* q = wfq_create_default();
+  ASSERT_NE(q, nullptr);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(wfq_enqueue(h, 7), WFQ_OK);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CapiErrorPaths, ReservedFromReservedPayloads) {
+  wfq_queue_t* q = wfq_create_default();
+  ASSERT_NE(q, nullptr);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  ASSERT_NE(h, nullptr);
+  const uint64_t reserved[] = {0, UINT64_MAX, UINT64_MAX - 1, UINT64_MAX - 2};
+  for (uint64_t v : reserved) {
+    EXPECT_EQ(wfq_enqueue(h, v), WFQ_E_RESERVED) << v;
+  }
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CapiErrorPaths, ClosedFromEnqueueAfterClose) {
+  wfq_queue_t* q = wfq_create_default();
+  ASSERT_NE(q, nullptr);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  ASSERT_NE(h, nullptr);
+  wfq_close(q);
+  ASSERT_EQ(wfq_is_closed(q), 1);
+  EXPECT_EQ(wfq_enqueue(h, 7), WFQ_E_CLOSED);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CapiErrorPaths, NomemFromImpossibleShmCreate) {
+  // An arena too small to hold even the control structures is the C API's
+  // allocation-failure path for the shm backend.
+  std::string path = temp_path("nomem");
+  wfq_queue_t* q = nullptr;
+  EXPECT_EQ(wfq_shm_create(path.c_str(), 4096, nullptr, &q), WFQ_E_NOMEM);
+  EXPECT_EQ(q, nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(CapiErrorPaths, FullFromBoundedRingAtCapacity) {
+  wfq_options_t opt;
+  wfq_options_init(&opt);
+  opt.backend = WFQ_BACKEND_SCQ;
+  opt.capacity = 4;
+  wfq_queue_t* q = wfq_create_ex(&opt);
+  ASSERT_NE(q, nullptr);
+  wfq_handle_t* h = wfq_handle_acquire(q);
+  ASSERT_NE(h, nullptr);
+  int rc = WFQ_OK;
+  size_t pushed = 0;
+  while ((rc = wfq_enqueue(h, pushed + 1)) == WFQ_OK) {
+    ASSERT_LE(++pushed, wfq_capacity(q));
+  }
+  EXPECT_EQ(rc, WFQ_E_FULL);
+  wfq_handle_release(h);
+  wfq_destroy(q);
+}
+
+TEST(CapiErrorPaths, VersionFromMismatchedArenaWithoutTouchingIt) {
+  std::string path = temp_path("version");
+  // Build a valid arena, then stamp a future layout version into it.
+  {
+    wfq_queue_t* q = nullptr;
+    ASSERT_EQ(wfq_shm_create(path.c_str(), 1 << 20, nullptr, &q), WFQ_OK);
+    wfq_shm_detach(q);
+  }
+  {
+    int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    uint32_t future = 0;
+    // layout_version sits right after the 8-byte magic (shm_arena.hpp).
+    ASSERT_EQ(::pread(fd, &future, sizeof(future), 8),
+              static_cast<ssize_t>(sizeof(future)));
+    future += 1;
+    ASSERT_EQ(::pwrite(fd, &future, sizeof(future), 8),
+              static_cast<ssize_t>(sizeof(future)));
+    ::close(fd);
+  }
+  std::vector<char> before;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      before.insert(before.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+
+  wfq_queue_t* q = nullptr;
+  EXPECT_EQ(wfq_shm_attach(path.c_str(), &q), WFQ_E_VERSION);
+  EXPECT_EQ(q, nullptr);
+
+  std::vector<char> after;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      after.insert(after.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+  EXPECT_EQ(before, after)
+      << "WFQ_E_VERSION attach modified the incompatible arena";
+  std::remove(path.c_str());
+}
+
+TEST(CapiErrorPaths, VersionFromGarbageFile) {
+  std::string path = temp_path("garbage");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  for (int i = 0; i < 4096; ++i) std::fputc(0x5a, f);
+  std::fclose(f);
+  wfq_queue_t* q = nullptr;
+  EXPECT_EQ(wfq_shm_attach(path.c_str(), &q), WFQ_E_VERSION);
+  std::remove(path.c_str());
+}
+
+// ---- shm backend end-to-end through the C surface --------------------------
+
+TEST(CapiShm, CreateAttachRoundTrip) {
+  std::string path = temp_path("roundtrip");
+  wfq_queue_t* owner = nullptr;
+  ASSERT_EQ(wfq_shm_create(path.c_str(), 1 << 20, nullptr, &owner), WFQ_OK);
+  ASSERT_GT(wfq_capacity(owner), 0u);
+  wfq_handle_t* oh = wfq_handle_acquire(owner);
+  ASSERT_NE(oh, nullptr);
+  ASSERT_EQ(wfq_enqueue(oh, 101), WFQ_OK);
+
+  wfq_queue_t* peer = nullptr;
+  ASSERT_EQ(wfq_shm_attach(path.c_str(), &peer), WFQ_OK);
+  wfq_handle_t* ph = wfq_handle_acquire(peer);
+  ASSERT_NE(ph, nullptr);
+  uint64_t out = 0;
+  ASSERT_EQ(wfq_dequeue(ph, &out), 1);
+  EXPECT_EQ(out, 101u);
+  EXPECT_EQ(wfq_dequeue(ph, &out), 0);
+
+  ASSERT_EQ(wfq_enqueue(ph, 202), WFQ_OK);
+  ASSERT_EQ(wfq_dequeue_timed(oh, &out, 1000ull * 1000 * 1000), 1);
+  EXPECT_EQ(out, 202u);
+
+  wfq_stats_ex_t st;
+  wfq_get_stats_ex(owner, &st);
+  EXPECT_EQ(st.peer_deaths, 0u);
+  EXPECT_EQ(st.shm_adoptions, 0u);
+
+  wfq_handle_release(ph);
+  wfq_shm_detach(peer);
+  wfq_handle_release(oh);
+  wfq_close(owner);
+  EXPECT_EQ(wfq_is_closed(owner), 1);
+  wfq_shm_detach(owner);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -394,8 +394,10 @@ TEST(FaultInjectionMatrix, CatalogMatchesCallSites) {
   // tests/fault/wcq_fault_test.cpp; PR 8 added the sharded layer's steal
   // point, exercised in tests/fault/sharded_fault_test.cpp (the WFQueue
   // workload here never reaches them, which the matrix tolerates for
-  // non-deterministic points).
-  EXPECT_EQ(fault::kInjectionPointCount, 29u);
+  // non-deterministic points); PR 9 added 9 shm_* points in the
+  // cross-process queue, exercised in-process by tests/ipc/ and as real
+  // SIGKILLs by tools/soak --shm --kill9.
+  EXPECT_EQ(fault::kInjectionPointCount, 38u);
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// Arena create/attach contract: header validation through a read-only
+// descriptor, the -5-without-touching guarantee (a rejected attach leaves
+// the file byte-for-byte identical), and bump-allocator exhaustion.
+#include "ipc/shm_arena.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using wfq::ipc::ArenaHeader;
+using wfq::ipc::ArenaStatus;
+using wfq::ipc::kNullOffset;
+using wfq::ipc::ShmArena;
+using wfq::ipc::ShmOffset;
+
+std::string temp_path(const char* tag) {
+  return "/tmp/wfq_arena_test_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::vector<char> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return bytes;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void patch_file(const std::string& path, off_t off, const void* data,
+                std::size_t len) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::pwrite(fd, data, len, off), static_cast<ssize_t>(len));
+  ::close(fd);
+}
+
+struct ArenaFile {
+  std::string path;
+  explicit ArenaFile(const char* tag) : path(temp_path(tag)) {}
+  ~ArenaFile() { ShmArena::destroy(path.c_str()); }
+};
+
+TEST(ShmArena, CreateAttachRoundTrip) {
+  ArenaFile f("roundtrip");
+  ShmArena owner;
+  ASSERT_EQ(ShmArena::create(f.path.c_str(), 1 << 16, &owner),
+            ArenaStatus::kOk);
+  ShmOffset obj = owner.alloc(128);
+  ASSERT_NE(obj, kNullOffset);
+  *owner.at<std::uint64_t>(obj) = 0xfeedfacecafebeefULL;
+  owner.set_root(obj);
+  owner.publish_ready();
+
+  ShmArena peer;
+  ASSERT_EQ(ShmArena::attach(f.path.c_str(), &peer), ArenaStatus::kOk);
+  EXPECT_EQ(peer.bytes(), owner.bytes());
+  EXPECT_EQ(peer.root(), obj);
+  EXPECT_EQ(*peer.at<std::uint64_t>(peer.root()), 0xfeedfacecafebeefULL);
+  // Distinct mappings of the same physical pages: a write through one view
+  // is visible through the other.
+  *owner.at<std::uint64_t>(obj) = 42;
+  EXPECT_EQ(*peer.at<std::uint64_t>(peer.root()), 42u);
+}
+
+TEST(ShmArena, CreateRejectsTooSmall) {
+  ArenaFile f("toosmall");
+  ShmArena a;
+  EXPECT_EQ(ShmArena::create(f.path.c_str(), ShmArena::kMinBytes - 1, &a),
+            ArenaStatus::kTooSmall);
+}
+
+TEST(ShmArena, AttachRejectsMissingFile) {
+  ShmArena a;
+  EXPECT_EQ(ShmArena::attach("/tmp/wfq_arena_test_definitely_absent", &a),
+            ArenaStatus::kIoError);
+}
+
+TEST(ShmArena, AttachRejectsShortFile) {
+  ArenaFile f("short");
+  std::FILE* out = std::fopen(f.path.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  std::fputs("tiny", out);
+  std::fclose(out);
+  ShmArena a;
+  EXPECT_EQ(ShmArena::attach(f.path.c_str(), &a), ArenaStatus::kBadMagic);
+}
+
+TEST(ShmArena, AttachRejectsForeignMagicWithoutTouchingFile) {
+  ArenaFile f("magic");
+  {
+    ShmArena owner;
+    ASSERT_EQ(ShmArena::create(f.path.c_str(), 1 << 14, &owner),
+              ArenaStatus::kOk);
+    owner.publish_ready();
+  }
+  const std::uint64_t junk = 0x4141414141414141ULL;
+  patch_file(f.path, offsetof(ArenaHeader, magic), &junk, sizeof(junk));
+
+  std::vector<char> before = slurp(f.path);
+  ShmArena a;
+  EXPECT_EQ(ShmArena::attach(f.path.c_str(), &a), ArenaStatus::kBadMagic);
+  EXPECT_EQ(slurp(f.path), before) << "rejected attach modified the file";
+}
+
+TEST(ShmArena, AttachRejectsVersionMismatchWithoutTouchingFile) {
+  ArenaFile f("version");
+  {
+    ShmArena owner;
+    ASSERT_EQ(ShmArena::create(f.path.c_str(), 1 << 14, &owner),
+              ArenaStatus::kOk);
+    owner.publish_ready();
+  }
+  const std::uint32_t future = WFQ_SHM_LAYOUT_VERSION + 1;
+  patch_file(f.path, offsetof(ArenaHeader, layout_version), &future,
+             sizeof(future));
+
+  std::vector<char> before = slurp(f.path);
+  ShmArena a;
+  EXPECT_EQ(ShmArena::attach(f.path.c_str(), &a),
+            ArenaStatus::kVersionMismatch);
+  EXPECT_EQ(slurp(f.path), before) << "rejected attach modified the file";
+}
+
+TEST(ShmArena, AttachRejectsTruncatedArena) {
+  ArenaFile f("truncated");
+  {
+    ShmArena owner;
+    ASSERT_EQ(ShmArena::create(f.path.c_str(), 1 << 14, &owner),
+              ArenaStatus::kOk);
+    owner.publish_ready();
+  }
+  ASSERT_EQ(::truncate(f.path.c_str(), (1 << 14) - 512), 0);
+  ShmArena a;
+  EXPECT_EQ(ShmArena::attach(f.path.c_str(), &a), ArenaStatus::kBadGeometry);
+}
+
+TEST(ShmArena, AttachRejectsUnpublishedArena) {
+  ArenaFile f("notready");
+  ShmArena owner;
+  ASSERT_EQ(ShmArena::create(f.path.c_str(), 1 << 14, &owner),
+            ArenaStatus::kOk);
+  // Creator "died" before publish_ready(): attachers must refuse rather
+  // than adopt half-built structures.
+  ShmArena a;
+  EXPECT_EQ(ShmArena::attach(f.path.c_str(), &a), ArenaStatus::kNotReady);
+  owner.publish_ready();
+  EXPECT_EQ(ShmArena::attach(f.path.c_str(), &a), ArenaStatus::kOk);
+}
+
+TEST(ShmArena, AllocExhaustsToNullOffset) {
+  ArenaFile f("exhaust");
+  ShmArena a;
+  ASSERT_EQ(ShmArena::create(f.path.c_str(), ShmArena::kMinBytes, &a),
+            ArenaStatus::kOk);
+  // 4096 total minus the header: a handful of 1KiB blocks, then kNullOffset
+  // forever (exhaustion is terminal, mirroring the queue's kNoMem seam).
+  int got = 0;
+  while (a.alloc(1024) != kNullOffset) {
+    ++got;
+    ASSERT_LT(got, 8);
+  }
+  EXPECT_GT(got, 0);
+  EXPECT_EQ(a.alloc(1024), kNullOffset);
+  EXPECT_EQ(a.alloc(1), kNullOffset) << "exhaustion must be terminal";
+}
+
+TEST(ShmArena, AllocationsAreCacheLineAligned) {
+  ArenaFile f("align");
+  ShmArena a;
+  ASSERT_EQ(ShmArena::create(f.path.c_str(), 1 << 14, &a), ArenaStatus::kOk);
+  for (int i = 0; i < 8; ++i) {
+    ShmOffset off = a.alloc(24 + i);
+    ASSERT_NE(off, kNullOffset);
+    EXPECT_EQ(off % 64, 0u);
+  }
+}
+
+}  // namespace

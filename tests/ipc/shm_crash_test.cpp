@@ -1,0 +1,309 @@
+// Real kill-9 coverage: children are fork()ed, attach the arena, and
+// raise(SIGKILL) at a named injection point via a Traits injector — the
+// same seam tools/soak --shm --kill9 drives at scale. Each test pins one
+// crash window to its documented recovery outcome:
+//
+//   shm_enq_ticketed   ticket taken, no deposit  -> cell poisoned, value
+//                                                   never appears (enqueue
+//                                                   never returned = never
+//                                                   promised)
+//   shm_enq_deposited  deposit landed            -> value delivered once
+//   shm_deq_ticketed   ticket taken, not taken   -> value rescued into the
+//                                                   ring and redelivered
+//   shm_deq_taken      committed after pre()     -> journal has it; NOT
+//                                                   redelivered (consumed)
+//
+// gtest runs each TEST in its own ctest process (gtest_discover_tests), so
+// the fork/waitpid choreography never collides across tests.
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ipc/shm_queue.hpp"
+
+namespace {
+
+using wfq::ipc::ArenaStatus;
+using wfq::ipc::ShmOptions;
+using wfq::ipc::ShmPop;
+using wfq::ipc::ShmPush;
+
+/// Injector whose only action is the real thing: SIGKILL the calling
+/// process at an armed point. Armed state is process-local (plain statics),
+/// so the parent arms nothing and the child arms after fork.
+struct Kill9Injector {
+  static constexpr bool kEnabled = true;
+  static inline const char* arm_point = nullptr;
+  static inline unsigned countdown = 0;  // fire on the Nth visit (1-based)
+  struct SuppressScope {
+    SuppressScope() noexcept {}
+  };
+  static void arm(const char* point, unsigned nth = 1) {
+    arm_point = point;
+    countdown = nth;
+  }
+  static void inject(const char* point) {
+    if (arm_point == nullptr || std::strcmp(point, arm_point) != 0) return;
+    if (--countdown == 0) ::raise(SIGKILL);
+  }
+};
+
+struct Kill9Traits {
+  using Injector = Kill9Injector;
+};
+
+using ShmQ = wfq::ipc::ShmQueue<>;           // parent: no injection
+using KillQ = wfq::ipc::ShmQueue<Kill9Traits>;  // child: SIGKILL seam
+
+std::string temp_path(const char* tag) {
+  return "/tmp/wfq_crash_test_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+struct QueueFile {
+  std::string path;
+  explicit QueueFile(const char* tag) : path(temp_path(tag)) {}
+  ~QueueFile() { wfq::ipc::ShmArena::destroy(path.c_str()); }
+};
+
+ShmOptions opts() {
+  ShmOptions o;
+  o.max_procs = 8;
+  o.seg_cells = 64;
+  o.rescue_slots = 32;
+  return o;
+}
+
+/// Fork a child that attaches the arena and runs `body(queue)`; assert it
+/// died by SIGKILL (the injector fired). The child never returns from body
+/// on the armed path; reaching the end is reported as a normal exit, which
+/// the parent treats as "injection point unreached" and fails on.
+template <class Body>
+void run_killed_child(const std::string& path, Body&& body) {
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    KillQ q;
+    if (KillQ::attach(path.c_str(), &q) != ArenaStatus::kOk) _exit(3);
+    body(q);
+    _exit(0);  // injector never fired
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited " << WEXITSTATUS(status)
+                                   << " instead of dying at the armed point";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+TEST(ShmCrash, EnqueueKilledBeforeDepositIsPoisonedNotDelivered) {
+  QueueFile f("enq_ticketed");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, opts(), &q),
+            ArenaStatus::kOk);
+  ASSERT_EQ(q.enqueue(1), ShmPush::kOk);
+  run_killed_child(f.path, [](KillQ& cq) {
+    Kill9Injector::arm("shm_enq_ticketed");
+    cq.enqueue(666);  // dies with the ticket taken, cell still EMPTY
+  });
+
+  EXPECT_GE(q.recover(), 1u);
+  EXPECT_GE(q.peer_deaths(), 1u);
+  EXPECT_GE(q.shm_adoptions(), 1u);  // the orphan cell was poisoned
+
+  // Drain everything: 666 must NOT appear (its enqueue never returned),
+  // and the pre-crash value must.
+  std::uint64_t out = 0;
+  ASSERT_EQ(q.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(out, 1u);
+  EXPECT_EQ(q.dequeue(&out), ShmPop::kEmpty);
+
+  // The dead peer's ticket is terminal (poisoned): new traffic flows.
+  ASSERT_EQ(q.enqueue(2), ShmPush::kOk);
+  ASSERT_EQ(q.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(out, 2u);
+}
+
+TEST(ShmCrash, EnqueueKilledAfterDepositIsDeliveredExactlyOnce) {
+  QueueFile f("enq_deposited");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, opts(), &q),
+            ArenaStatus::kOk);
+  run_killed_child(f.path, [](KillQ& cq) {
+    Kill9Injector::arm("shm_enq_deposited");
+    cq.enqueue(42);  // dies with the deposit committed
+  });
+
+  q.recover();
+  EXPECT_GE(q.peer_deaths(), 1u);
+  std::uint64_t out = 0;
+  ASSERT_EQ(q.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(out, 42u);
+  EXPECT_EQ(q.dequeue(&out), ShmPop::kEmpty) << "deposit delivered twice";
+}
+
+TEST(ShmCrash, DequeueKilledAfterTicketGetsValueRescued) {
+  QueueFile f("deq_ticketed");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, opts(), &q),
+            ArenaStatus::kOk);
+  ASSERT_EQ(q.enqueue(1234), ShmPush::kOk);
+  run_killed_child(f.path, [](KillQ& cq) {
+    Kill9Injector::arm("shm_deq_ticketed");
+    std::uint64_t v = 0;
+    cq.dequeue(&v);  // dies holding the only ticket that visits the cell
+  });
+
+  q.recover();
+  EXPECT_GE(q.peer_deaths(), 1u);
+  EXPECT_GE(q.shm_adoptions(), 1u);  // rescued into the ring
+
+  // Without recovery this value would be stranded forever (its ticket is
+  // consumed); the rescue ring redelivers it.
+  std::uint64_t out = 0;
+  ASSERT_EQ(q.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(out, 1234u);
+  EXPECT_EQ(q.dequeue(&out), ShmPop::kEmpty);
+}
+
+TEST(ShmCrash, DequeueKilledAfterCommitIsJournaledNotRedelivered) {
+  QueueFile f("deq_taken");
+  ShmQ q;
+  ShmOptions o = opts();
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, o, &q), ArenaStatus::kOk);
+  ASSERT_EQ(q.enqueue(555), ShmPush::kOk);
+
+  // The child journals into the arena itself (a spare allocation) via the
+  // pre() hook — the pattern a crash-safe consumer uses: journal BEFORE the
+  // commit CAS, so kill-after-commit can never lose the value.
+  wfq::ipc::ShmOffset journal_off = 0;
+  {
+    // Reattach a raw arena view to carve the journal word out of the same
+    // file (offsets are process-independent by construction).
+    wfq::ipc::ShmArena av;
+    ASSERT_EQ(wfq::ipc::ShmArena::attach(f.path.c_str(), &av),
+              ArenaStatus::kOk);
+    journal_off = av.alloc(sizeof(std::uint64_t));
+    ASSERT_NE(journal_off, wfq::ipc::kNullOffset);
+    *av.at<std::uint64_t>(journal_off) = 0;
+  }
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    KillQ cq;
+    if (KillQ::attach(f.path.c_str(), &cq) != ArenaStatus::kOk) _exit(3);
+    wfq::ipc::ShmArena av;
+    if (wfq::ipc::ShmArena::attach(f.path.c_str(), &av) != ArenaStatus::kOk) {
+      _exit(4);
+    }
+    auto* journal = av.at<std::uint64_t>(journal_off);
+    Kill9Injector::arm("shm_deq_taken");
+    std::uint64_t v = 0;
+    cq.dequeue(&v, [&](std::uint64_t seen) {
+      *journal = seen;  // runs before the commit CAS; flushed by MAP_SHARED
+    });
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  q.recover();
+  // The value was consumed (commit CAS won) and journaled (pre ran first):
+  // nothing to redeliver, nothing lost.
+  {
+    wfq::ipc::ShmArena av;
+    ASSERT_EQ(wfq::ipc::ShmArena::attach(f.path.c_str(), &av),
+              ArenaStatus::kOk);
+    EXPECT_EQ(*av.at<std::uint64_t>(journal_off), 555u);
+  }
+  std::uint64_t out = 0;
+  EXPECT_EQ(q.dequeue(&out), ShmPop::kEmpty)
+      << "committed dequeue redelivered: duplicate without a lost journal";
+}
+
+TEST(ShmCrash, DeadPeerSlotIsReclaimedForNewAttachers) {
+  QueueFile f("slot_reclaim");
+  ShmQ q;
+  ShmOptions o = opts();
+  o.max_procs = 2;  // creator + exactly one peer
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, o, &q), ArenaStatus::kOk);
+
+  run_killed_child(f.path, [](KillQ& cq) {
+    Kill9Injector::arm("shm_enq_pending");
+    cq.enqueue(9);  // dies holding the only free slot
+  });
+  // attach() runs recover() itself: the dead peer's slot must be reusable
+  // without the parent lifting a finger.
+  ShmQ peer;
+  ASSERT_EQ(ShmQ::attach(f.path.c_str(), &peer), ArenaStatus::kOk);
+  EXPECT_GE(q.peer_deaths(), 1u);
+  peer.detach();
+}
+
+TEST(ShmCrash, RecoverySurvivesRecovererDeath) {
+  QueueFile f("recover_killed");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, opts(), &q),
+            ArenaStatus::kOk);
+  ASSERT_EQ(q.enqueue(31), ShmPush::kOk);
+
+  // First child dies mid-dequeue (value stranded) ...
+  run_killed_child(f.path, [](KillQ& cq) {
+    Kill9Injector::arm("shm_deq_ticketed");
+    std::uint64_t v = 0;
+    cq.dequeue(&v);
+  });
+  // ... second child dies INSIDE recover(), holding the recovery lock,
+  // partway through the slot scan.
+  run_killed_child(f.path, [](KillQ& cq) {
+    Kill9Injector::arm("shm_recover_scan", 2);
+    cq.recover();
+  });
+
+  // A surviving process steals the dead recoverer's lock and finishes the
+  // job; the stranded value is still redelivered exactly once.
+  q.recover();
+  std::uint64_t out = 0;
+  ASSERT_EQ(q.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(out, 31u);
+  EXPECT_EQ(q.dequeue(&out), ShmPop::kEmpty);
+}
+
+TEST(ShmCrash, ParkedConsumerIsWokenByPeerProcessEnqueue) {
+  QueueFile f("xproc_wake");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, opts(), &q),
+            ArenaStatus::kOk);
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: plain peer (no injection), enqueues after a delay long enough
+    // for the parent to be futex-parked, then exits cleanly.
+    ShmQ cq;
+    if (ShmQ::attach(f.path.c_str(), &cq) != ArenaStatus::kOk) _exit(3);
+    ::usleep(100 * 1000);
+    if (cq.enqueue(4242) != ShmPush::kOk) _exit(5);
+    cq.detach();
+    _exit(0);
+  }
+  std::uint64_t out = 0;
+  // SharedFutex (no PRIVATE flag): the child's wake crosses the process
+  // boundary and releases this parked wait.
+  EXPECT_TRUE(q.pop_wait_until(
+      &out, std::chrono::steady_clock::now() + std::chrono::seconds(10)));
+  EXPECT_EQ(out, 4242u);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace

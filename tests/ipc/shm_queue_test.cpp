@@ -1,0 +1,274 @@
+// In-process functional coverage of the shared-memory queue: FIFO, the
+// bounded-capacity and closed contracts, multi-handle MPMC conservation,
+// blocking pops across attachments, and the geometry checks of attach().
+// Cross-process crash behavior lives in shm_crash_test.cpp.
+#include "ipc/shm_queue.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using wfq::ipc::ArenaStatus;
+using wfq::ipc::ShmOptions;
+using wfq::ipc::ShmPop;
+using wfq::ipc::ShmPush;
+using ShmQ = wfq::ipc::ShmQueue<>;
+
+std::string temp_path(const char* tag) {
+  return "/tmp/wfq_shmq_test_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+struct QueueFile {
+  std::string path;
+  explicit QueueFile(const char* tag) : path(temp_path(tag)) {}
+  ~QueueFile() { wfq::ipc::ShmArena::destroy(path.c_str()); }
+};
+
+ShmOptions small_opts() {
+  ShmOptions o;
+  o.max_procs = 8;
+  o.seg_cells = 64;
+  o.rescue_slots = 32;
+  return o;
+}
+
+TEST(ShmQueue, FifoRoundTrip) {
+  QueueFile f("fifo");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, small_opts(), &q),
+            ArenaStatus::kOk);
+  ASSERT_GT(q.capacity(), 1000u);
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    ASSERT_EQ(q.enqueue(v), ShmPush::kOk);
+  }
+  EXPECT_EQ(q.approx_size(), 1000u);
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    std::uint64_t out = 0;
+    ASSERT_EQ(q.dequeue(&out), ShmPop::kOk);
+    EXPECT_EQ(out, v);  // single-threaded: strict FIFO
+  }
+  std::uint64_t out = 0;
+  EXPECT_EQ(q.dequeue(&out), ShmPop::kEmpty);
+}
+
+TEST(ShmQueue, CreateRejectsBadGeometry) {
+  QueueFile f("badgeo");
+  ShmQ q;
+  ShmOptions o = small_opts();
+  o.seg_cells = 48;  // not a power of two
+  EXPECT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, o, &q),
+            ArenaStatus::kBadGeometry);
+  o = small_opts();
+  o.max_procs = 0;
+  EXPECT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, o, &q),
+            ArenaStatus::kBadGeometry);
+}
+
+TEST(ShmQueue, FullAtCapacity) {
+  QueueFile f("full");
+  ShmQ q;
+  ShmOptions o = small_opts();
+  o.seg_cells = 16;
+  // Small arena => small capacity; every ticket below it must be backed.
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 16 * 1024, o, &q), ArenaStatus::kOk);
+  const std::uint64_t cap = q.capacity();
+  ASSERT_GT(cap, 0u);
+  ASSERT_LT(cap, 4096u);
+  for (std::uint64_t v = 1; v <= cap; ++v) {
+    ASSERT_EQ(q.enqueue(v), ShmPush::kOk) << "ticket " << v - 1 << " of "
+                                          << cap;
+  }
+  EXPECT_EQ(q.enqueue(999), ShmPush::kFull);
+  // Tickets are not recycled (crash auditability): the queue stays full
+  // even after draining. That is the documented bounded-lifetime contract.
+  std::uint64_t out = 0;
+  EXPECT_EQ(q.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(q.enqueue(999), ShmPush::kFull);
+}
+
+TEST(ShmQueue, ClosedRejectsEnqueue) {
+  QueueFile f("closed");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, small_opts(), &q),
+            ArenaStatus::kOk);
+  ASSERT_EQ(q.enqueue(7), ShmPush::kOk);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.enqueue(8), ShmPush::kClosed);
+  // Residual values drain after close.
+  std::uint64_t out = 0;
+  EXPECT_EQ(q.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(ShmQueue, SecondAttachmentSeesValues) {
+  QueueFile f("attach");
+  ShmQ owner;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, small_opts(), &owner),
+            ArenaStatus::kOk);
+  ASSERT_EQ(owner.enqueue(11), ShmPush::kOk);
+
+  ShmQ peer;
+  ASSERT_EQ(ShmQ::attach(f.path.c_str(), &peer), ArenaStatus::kOk);
+  EXPECT_EQ(peer.capacity(), owner.capacity());
+  EXPECT_EQ(peer.attached_procs(), 2u);
+  std::uint64_t out = 0;
+  ASSERT_EQ(peer.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(out, 11u);
+  ASSERT_EQ(peer.enqueue(12), ShmPush::kOk);
+  ASSERT_EQ(owner.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(out, 12u);
+}
+
+TEST(ShmQueue, AttachRejectsVersionedButCorruptGeometry) {
+  QueueFile f("corruptgeo");
+  {
+    ShmQ owner;
+    ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 18, small_opts(), &owner),
+              ArenaStatus::kOk);
+    // Corrupt the geometry in place: capacity no longer matches
+    // max_segments * seg_cells.
+    const_cast<ShmQ::Geometry&>(owner.geometry()).capacity += 1;
+  }
+  ShmQ peer;
+  EXPECT_EQ(ShmQ::attach(f.path.c_str(), &peer), ArenaStatus::kBadGeometry);
+}
+
+TEST(ShmQueue, ClaimExhaustsProcSlots) {
+  QueueFile f("slots");
+  ShmQ q;
+  ShmOptions o = small_opts();
+  o.max_procs = 3;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, o, &q), ArenaStatus::kOk);
+  // create() claimed one; two more fit, the fourth must fail.
+  ShmQ::LocalHandle a, b, c;
+  EXPECT_TRUE(q.claim(&a));
+  EXPECT_TRUE(q.claim(&b));
+  EXPECT_FALSE(q.claim(&c));
+  q.release(&a);
+  EXPECT_TRUE(q.claim(&c));
+  q.release(&b);
+  q.release(&c);
+}
+
+TEST(ShmQueue, MpmcConservationAcrossHandles) {
+  QueueFile f("mpmc");
+  ShmQ q;
+  ShmOptions o;
+  o.max_procs = 16;
+  o.seg_cells = 256;
+  o.rescue_slots = 32;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 4 << 20, o, &q), ArenaStatus::kOk);
+
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr std::uint64_t kPerProducer = 5000;
+  ASSERT_GE(q.capacity(), kProducers * kPerProducer);
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<std::uint64_t>> got(kConsumers);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      ShmQ::LocalHandle lh;
+      ASSERT_TRUE(q.claim(&lh));
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        // Value encodes (producer, seq) for the per-producer FIFO check.
+        ASSERT_EQ(q.enqueue(lh, (std::uint64_t(p) << 32) | (i + 1)),
+                  ShmPush::kOk);
+      }
+      q.release(&lh);
+    });
+  }
+  for (int cix = 0; cix < kConsumers; ++cix) {
+    threads.emplace_back([&, cix] {
+      ShmQ::LocalHandle lh;
+      ASSERT_TRUE(q.claim(&lh));
+      std::uint64_t v = 0;
+      for (;;) {
+        if (q.dequeue(lh, &v) == ShmPop::kOk) {
+          got[cix].push_back(v);
+        } else if (done.load(std::memory_order_acquire)) {
+          if (q.dequeue(lh, &v) == ShmPop::kOk) {
+            got[cix].push_back(v);
+            continue;
+          }
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      q.release(&lh);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  done.store(true, std::memory_order_release);
+  for (int cix = 0; cix < kConsumers; ++cix) threads[kProducers + cix].join();
+
+  // Exact conservation + per-producer FIFO within each consumer.
+  std::vector<std::uint64_t> all;
+  for (auto& g : got) {
+    std::uint64_t last_seq[kProducers] = {};
+    for (std::uint64_t v : g) {
+      const int p = int(v >> 32);
+      const std::uint64_t seq = v & 0xffffffffu;
+      EXPECT_GT(seq, last_seq[p]) << "per-producer order violated";
+      last_seq[p] = seq;
+    }
+    all.insert(all.end(), g.begin(), g.end());
+  }
+  ASSERT_EQ(all.size(), std::size_t(kProducers) * kPerProducer);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate delivery without any crash";
+}
+
+TEST(ShmQueue, PopWaitUnblocksOnEnqueue) {
+  QueueFile f("popwait");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, small_opts(), &q),
+            ArenaStatus::kOk);
+  std::uint64_t out = 0;
+  // Timeout path first.
+  EXPECT_FALSE(q.pop_wait_until(
+      &out, std::chrono::steady_clock::now() + std::chrono::milliseconds(30)));
+
+  std::thread waiter([&] {
+    ShmQ::LocalHandle lh;
+    ASSERT_TRUE(q.claim(&lh));
+    std::uint64_t v = 0;
+    EXPECT_TRUE(q.pop_wait_until(
+        lh, &v, std::chrono::steady_clock::now() + std::chrono::seconds(10),
+        [](std::uint64_t) {}));
+    EXPECT_EQ(v, 77u);
+    q.release(&lh);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(q.enqueue(77), ShmPush::kOk);
+  waiter.join();
+}
+
+TEST(ShmQueue, PreHookRunsBeforeDelivery) {
+  QueueFile f("prehook");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, small_opts(), &q),
+            ArenaStatus::kOk);
+  ASSERT_EQ(q.enqueue(123), ShmPush::kOk);
+  std::uint64_t journaled = 0;
+  std::uint64_t out = 0;
+  ASSERT_EQ(q.dequeue(&out, [&](std::uint64_t v) { journaled = v; }),
+            ShmPop::kOk);
+  EXPECT_EQ(out, 123u);
+  EXPECT_EQ(journaled, 123u);
+}
+
+}  // namespace

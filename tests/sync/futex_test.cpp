@@ -20,7 +20,8 @@ class FutexTest : public ::testing::Test {};
 
 #if defined(__linux__)
 using FutexImpls =
-    ::testing::Types<wfq::sync::LinuxFutex, wfq::sync::PortableFutex>;
+    ::testing::Types<wfq::sync::LinuxFutex, wfq::sync::SharedFutex,
+                     wfq::sync::PortableFutex>;
 #else
 using FutexImpls = ::testing::Types<wfq::sync::PortableFutex>;
 #endif
@@ -99,6 +100,68 @@ TYPED_TEST(FutexTest, TimedWaitWokenBeforeDeadline) {
   waiter.join();
   EXPECT_TRUE(got_wake.load());  // long deadline: must exit via the wake
 }
+
+#if defined(__linux__)
+// The PRIVATE flag is not just a hint: private and shared waiters on the
+// SAME word live in different kernel wait queues. A shared-flag wake must
+// not release a PRIVATE waiter (and vice versa) — the cross-process layer
+// (src/ipc/) depends on matching the flag on both sides, so pin the
+// independence down.
+TEST(FutexFlagIndependence, SharedWakeDoesNotReachPrivateWaiter) {
+  using Private = wfq::sync::LinuxFutex;
+  using Shared = wfq::sync::SharedFutex;
+  static_assert(Private::kPrivate && !Shared::kPrivate);
+
+  std::atomic<uint32_t> word{0};
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    auto deadline = WaitClock::now() + std::chrono::seconds(10);
+    while (word.load(std::memory_order_acquire) == 0) {
+      if (!Private::wait_until(word, 0, deadline)) return;  // gave up
+    }
+    released.store(true, std::memory_order_release);
+  });
+
+  // Let the waiter park, THEN change the word: a parked futex waiter is not
+  // released by a value change alone, only by a wake — so if the wrong-flag
+  // wake below reached it, it would re-check the word, see 1, and release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  word.store(1, std::memory_order_release);
+  Shared::wake_all(word);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(released.load(std::memory_order_acquire));
+
+  // Matching-flag wake: releases promptly.
+  Private::wake_all(word);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(FutexFlagIndependence, PrivateWakeDoesNotReachSharedWaiter) {
+  using Private = wfq::sync::LinuxFutex;
+  using Shared = wfq::sync::SharedFutex;
+
+  std::atomic<uint32_t> word{0};
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    auto deadline = WaitClock::now() + std::chrono::seconds(10);
+    while (word.load(std::memory_order_acquire) == 0) {
+      if (!Shared::wait_until(word, 0, deadline)) return;
+    }
+    released.store(true, std::memory_order_release);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  word.store(1, std::memory_order_release);
+  Private::wake_all(word);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(released.load(std::memory_order_acquire));
+
+  Shared::wake_all(word);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+#endif  // __linux__
 
 // Hammer wait/wake from both sides; the invariant is simply that every
 // round terminates (no lost wakeup hangs — the test would time out).

@@ -57,6 +57,17 @@
 #                     2-lane lane-tagged oracle episodes); and a schema
 #                     check of the committed BENCH_sharded.json scaling
 #                     sweep.
+#  10. ipc          — cross-process shared-memory leg: the ipc suites
+#                     (arena header validation incl. the byte-identical
+#                     version-mismatch reject, shm queue semantics, the
+#                     fork+SIGKILL crash matrix) in the default and ASan
+#                     trees (no TSan — fork-then-die choreography and TSan
+#                     do not mix); three seeded `soak --shm --kill9` chaos
+#                     runs with real worker processes and the exact
+#                     conservation audit; and a grep guard that src/ipc/
+#                     headers never link arena structures with raw
+#                     pointers — only ShmOffset survives an mmap at a
+#                     different base address.
 #   6. obs          — observability leg: NullMetrics zero-footprint check
 #                     (no "obs:" trace-event name may survive into a bench
 #                     binary built without the metrics traits), the obs
@@ -66,7 +77,7 @@
 #                     trace JSON is schema-validated, and a parse check of
 #                     the committed BENCH_*.json latency columns.
 #
-# Usage: tools/ci.sh [default|asan|tsan|bench|faults|obs|backends|fig2|scale]...
+# Usage: tools/ci.sh [default|asan|tsan|bench|faults|obs|backends|fig2|scale|ipc]...
 #        (no args = all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -74,7 +85,7 @@ cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 CONFIGS=("$@")
 [ ${#CONFIGS[@]} -eq 0 ] && \
-  CONFIGS=(default asan tsan bench faults obs backends fig2 scale)
+  CONFIGS=(default asan tsan bench faults obs backends fig2 scale ipc)
 
 # The per-run environment the committed BENCH_fig2.json was generated
 # under (as the per-row best of FIG2_RUNS such runs — see bench_diff
@@ -493,6 +504,61 @@ EOF
   echo "== [scale] OK =="
 }
 
+run_ipc() {
+  # Cross-process shared-memory leg. The crash matrix forks children that
+  # die by real SIGKILL at armed injection points, so it runs in the
+  # default and ASan trees only — under TSan a SIGKILLed child's runtime
+  # state is meaningless and the tool deadlocks in the forked child.
+  local regex='ShmArena|ShmQueue|ShmCrash|CapiError|CapiShm'
+  local dir
+
+  for dir in build-ci-default build-ci-asan; do
+    case "${dir}" in
+      *asan) echo "== [ipc] configure+build (asan) =="
+             cmake -B "${dir}" -S . -DWFQ_SANITIZE=address >/dev/null ;;
+      *) echo "== [ipc] configure+build (default) =="
+         cmake -B "${dir}" -S . >/dev/null ;;
+    esac
+    cmake --build "${dir}" -j "${JOBS}" >/dev/null
+    echo "== [ipc] ${dir} shm suites =="
+    case "${dir}" in
+      *asan) (cd "${dir}" && ASAN_OPTIONS=detect_leaks=1 \
+               ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+      *) (cd "${dir}" && ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+    esac
+  done
+
+  # Kill-9 chaos soaks: real processes, real SIGKILL at seeded shm_*
+  # points, respawn, survivor-side recovery, exact conservation audit
+  # (acked values delivered, nothing fabricated, dups bounded by kills,
+  # every child exits clean or by the scheduled SIGKILL).
+  local s
+  for s in 1 7 1234; do
+    echo "== [ipc] soak --shm --kill9 ${s} (3 s, 4 procs) =="
+    build-ci-default/tools/soak --shm --kill9 "${s}" 3 4
+  done
+
+  # The whole crash-robustness story rests on one invariant: nothing inside
+  # the arena is a raw pointer, because every process maps the file at a
+  # different base address. Atomic pointer fields are how that invariant
+  # would regress (a std::atomic<T*> link silently works single-process).
+  # offset_ptr.hpp is exempt: it implements the offset<->pointer boundary.
+  echo "== [ipc] raw-pointer-in-arena grep guard =="
+  if grep -nE 'std::atomic<[A-Za-z_][A-Za-z0-9_: ]*\*[ ]*>' \
+       src/ipc/shm_queue.hpp src/ipc/shm_arena.hpp; then
+    echo "FAIL: raw pointer atomic found in an shm arena structure —" \
+         "intra-arena links must be ShmOffset (see offset_ptr.hpp)" >&2
+    exit 1
+  fi
+  if ! grep -q 'AtomicShmOffset' src/ipc/shm_queue.hpp; then
+    echo "FAIL: positive control broken — shm_queue.hpp should link its" \
+         "segment directory with AtomicShmOffset fields" >&2
+    exit 1
+  fi
+  echo "  src/ipc arena structures are offset-only (positive control intact)"
+  echo "== [ipc] OK =="
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "${cfg}" in
     default) run_config default ;;
@@ -504,8 +570,9 @@ for cfg in "${CONFIGS[@]}"; do
     backends) run_backends ;;
     fig2) run_fig2 ;;
     scale) run_scale ;;
+    ipc) run_ipc ;;
     *)
-      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults|obs|backends|fig2|scale)" >&2
+      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults|obs|backends|fig2|scale|ipc)" >&2
       exit 2
       ;;
   esac

@@ -47,6 +47,23 @@
 //     same schedule against a bounded ring (the wcq_* and ring_* points
 //     become reachable; the segment/reclamation points stay inert).
 //
+//   $ ./soak --shm --kill9 <seed> [seconds] [procs]
+//     cross-process chaos mode (src/ipc/): forks `procs` worker PROCESSES
+//     against one shared-memory arena and SIGKILLs them mid-protocol at
+//     seeded injection points (the shm_* catalog entries) — real kill -9,
+//     not a simulated crash. Killed workers are respawned with fresh
+//     producer incarnations; survivors run recover() to adopt the orphaned
+//     work. After the deadline the parent recovers, drains, and audits the
+//     EXACT conservation statement of docs/ALGORITHM.md section 16:
+//       - every acked enqueue is delivered (journal or residual cell);
+//       - nothing is fabricated (every delivery maps to a real attempt);
+//       - duplicates are bounded by the kill count (at-least-once across
+//         crashes: a dup requires a consumer killed between its journal
+//         write and its commit CAS).
+//     The per-child summary reports every worker's exit disposition; any
+//     child that exits non-zero or dies to a signal other than the
+//     scheduled SIGKILL fails the run.
+//
 // Observability flags (block and --inject modes, which compile the queue
 // with ObsMetrics at the production sampling rate; the raw baseline modes
 // ignore them):
@@ -62,11 +79,19 @@
 //
 // Exit status 0 only if every audit passed. Not part of ctest (runtime is
 // caller-chosen); CI runs it via the `soak` convenience target.
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -84,6 +109,7 @@
 #include "core/wcq.hpp"
 #include "core/wf_queue.hpp"
 #include "harness/fault_inject.hpp"
+#include "ipc/shm_queue.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
 #include "scale/sharded_queue.hpp"
@@ -825,6 +851,374 @@ int run_faa(unsigned threads, double seconds) {
   return counters_ok && bounds_ok ? 0 : 1;
 }
 
+// ---- cross-process kill-9 chaos soak (--shm --kill9) -------------------
+//
+// Real processes, real SIGKILL. The parent owns the queue arena plus a
+// second "chaos log" arena holding the audit state every process appends
+// to through crash-safe protocols:
+//
+//   IncRec (one per producer incarnation)
+//     attempt is stored BEFORE each enqueue call, acked AFTER kOk returns,
+//     so at any kill instant attempt - acked <= 1 and the audit knows the
+//     at-most-one value whose fate is legitimately ambiguous.
+//   journal (single shared append array)
+//     consumers reserve a slot with fetch_add, then write the value — all
+//     inside the dequeue pre() hook, i.e. BEFORE the commit CAS. A kill
+//     between reserve and write leaves a zero slot (ignored); a kill
+//     between write and commit leaves a journaled-but-unconsumed value
+//     that recovery redelivers — the one legal source of duplicates.
+namespace shm_chaos {
+
+using wfq::ipc::ArenaStatus;
+using wfq::ipc::ShmPop;
+using wfq::ipc::ShmPush;
+
+/// The only injector action that matters here: the real thing.
+struct Kill9Injector {
+  static constexpr bool kEnabled = true;
+  static inline const char* arm_point = nullptr;
+  static inline unsigned countdown = 0;
+  struct SuppressScope {
+    SuppressScope() noexcept {}
+  };
+  static void inject(const char* point) {
+    if (arm_point == nullptr || std::strcmp(point, arm_point) != 0) return;
+    if (--countdown == 0) ::raise(SIGKILL);
+  }
+};
+struct Kill9Traits {
+  using Injector = Kill9Injector;
+};
+
+using ParentQ = wfq::ipc::ShmQueue<>;           // parent: never killed
+using WorkerQ = wfq::ipc::ShmQueue<Kill9Traits>;  // children: SIGKILL seam
+
+constexpr std::uint64_t kMaxIncs = 512;        // respawn ceiling
+constexpr std::uint64_t kJournalCap = 1 << 21;  // consumed-value journal
+constexpr std::uint64_t kEnqPerInc = 2000;     // enqueue budget/incarnation
+constexpr std::uint64_t kOpsPerInc = 20000;    // total op budget/incarnation
+
+struct IncRec {
+  std::atomic<std::uint64_t> attempt;  // seq stored before the enqueue call
+  std::atomic<std::uint64_t> acked;    // seq stored after kOk returned
+};
+
+struct ChaosLog {
+  std::atomic<std::uint64_t> stop;
+  std::atomic<std::uint64_t> next_inc;
+  std::atomic<std::uint64_t> journal_count;
+  IncRec incs[kMaxIncs];
+  std::uint64_t journal[kJournalCap];  // slots reserved via journal_count
+};
+
+/// The subset of the injection-point catalog a worker process actually
+/// passes (everything under ipc/shm_queue.hpp except the parked wait,
+/// which a busy chaos worker rarely reaches).
+constexpr const char* kKillPoints[] = {
+    "shm_enq_pending",  "shm_enq_ticketed", "shm_enq_deposited",
+    "shm_deq_pending",  "shm_deq_ticketed", "shm_deq_taken",
+    "shm_extend",       "shm_recover_scan",
+};
+
+std::uint64_t value_of(std::uint64_t inc, std::uint64_t seq) {
+  return (inc << 32) | seq;
+}
+
+/// Child body: runs one incarnation of a worker against the shared queue,
+/// with a seeded SIGKILL armed (or not) somewhere in its op stream. Never
+/// returns to the caller's stack frames with destructors — exits via
+/// _exit (or the armed SIGKILL).
+[[noreturn]] void worker_main(const char* qpath, const char* lpath,
+                              std::uint64_t seed, std::uint64_t spawn_no) {
+  WorkerQ q;
+  if (WorkerQ::attach(qpath, &q) != ArenaStatus::kOk) _exit(3);
+  wfq::ipc::ShmArena larena;
+  if (wfq::ipc::ShmArena::attach(lpath, &larena) != ArenaStatus::kOk) {
+    _exit(4);
+  }
+  auto* log = larena.at<ChaosLog>(larena.root());
+
+  const std::uint64_t inc =
+      log->next_inc.fetch_add(1, std::memory_order_seq_cst);
+  if (inc >= kMaxIncs) _exit(0);  // respawn ceiling: nothing left to do
+  IncRec& rec = log->incs[inc];
+
+  wfq::Xorshift128Plus rng(seed * 0x9e3779b97f4a7c15ULL + spawn_no * 977 +
+                           inc + 1);
+  // Three of four incarnations get a scheduled kill; the rest run clean so
+  // live-process traffic keeps interleaving with the chaos.
+  if (rng.next_below(4) != 0) {
+    Kill9Injector::arm_point =
+        kKillPoints[rng.next_below(sizeof(kKillPoints) /
+                                   sizeof(kKillPoints[0]))];
+    Kill9Injector::countdown = 1 + unsigned(rng.next_below(64));
+  }
+
+  std::uint64_t seq = 0;
+  bool full = false;
+  for (std::uint64_t op = 0; op < kOpsPerInc; ++op) {
+    if (log->stop.load(std::memory_order_relaxed) != 0) break;
+    if (!full && seq < kEnqPerInc && rng.next_below(2) == 0) {
+      rec.attempt.store(seq + 1, std::memory_order_seq_cst);
+      switch (q.enqueue(value_of(inc, seq + 1))) {
+        case ShmPush::kOk:
+          ++seq;
+          rec.acked.store(seq, std::memory_order_seq_cst);
+          break;
+        case ShmPush::kFull:
+        case ShmPush::kNoMem:
+          full = true;  // capacity is terminal: switch to pure draining
+          rec.attempt.store(seq, std::memory_order_seq_cst);
+          break;
+        case ShmPush::kClosed:
+          _exit(0);
+      }
+    } else {
+      std::uint64_t v = 0;
+      ShmPop r = q.dequeue(&v, [&](std::uint64_t seen) {
+        const std::uint64_t idx =
+            log->journal_count.fetch_add(1, std::memory_order_seq_cst);
+        if (idx < kJournalCap) {
+          log->journal[idx] = seen;  // write AFTER the reservation: a kill
+                                     // here leaves an ignorable zero slot
+        }
+      });
+      if (r == ShmPop::kEmpty && full) break;  // drained a full queue: done
+    }
+    // Occasionally play recoverer, so survivor-side adoption runs
+    // concurrently with live traffic (and the recoverer itself can be
+    // killed mid-scan — shm_recover_scan is in the kill table).
+    if (rng.next_below(512) == 0) q.recover();
+  }
+  _exit(0);
+}
+
+struct ChildSummary {
+  unsigned spawns = 0;
+  unsigned sigkills = 0;
+  unsigned clean = 0;
+  unsigned bad = 0;  // non-zero exit or unexpected signal
+};
+
+int run_kill9(std::uint64_t seed, double seconds, unsigned procs) {
+  char qpath[128], lpath[128];
+  std::snprintf(qpath, sizeof(qpath), "/tmp/wfq_soak_shm_%d.arena",
+                int(::getpid()));
+  std::snprintf(lpath, sizeof(lpath), "/tmp/wfq_soak_shm_%d.log",
+                int(::getpid()));
+
+  ParentQ q;
+  wfq::ipc::ShmOptions opt;
+  opt.max_procs = 2 * procs + 8;  // respawn overlap + the parent
+  opt.seg_cells = 4096;
+  opt.rescue_slots = 2048;
+  if (ParentQ::create(qpath, std::size_t{64} << 20, opt, &q) !=
+      ArenaStatus::kOk) {
+    std::fprintf(stderr, "shm soak: arena create failed\n");
+    return 2;
+  }
+  wfq::ipc::ShmArena larena;
+  if (wfq::ipc::ShmArena::create(lpath, sizeof(ChaosLog) + (1 << 16),
+                                 &larena) != ArenaStatus::kOk) {
+    std::fprintf(stderr, "shm soak: log arena create failed\n");
+    return 2;
+  }
+  wfq::ipc::ShmOffset log_off = larena.alloc(sizeof(ChaosLog));
+  if (log_off == wfq::ipc::kNullOffset) {
+    std::fprintf(stderr, "shm soak: log alloc failed\n");
+    return 2;
+  }
+  larena.set_root(log_off);
+  larena.publish_ready();
+  auto* log = larena.at<ChaosLog>(log_off);
+
+  std::printf("shm kill-9 chaos soak: seed=%llu %.1fs %u worker processes, "
+              "queue capacity=%llu\n",
+              (unsigned long long)seed, seconds, procs,
+              (unsigned long long)q.capacity());
+
+  std::vector<ChildSummary> summary(procs);
+  std::map<pid_t, unsigned> slot_of;  // live pid -> worker slot
+  std::uint64_t spawn_no = 0;
+
+  auto spawn = [&](unsigned slot) {
+    pid_t pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) worker_main(qpath, lpath, seed, ++spawn_no);
+    slot_of[pid] = slot;
+    ++summary[slot].spawns;
+    ++spawn_no;
+    return true;
+  };
+  // Reap one child, classify its exit, and return its worker slot.
+  auto reap = [&](pid_t pid, int status) {
+    unsigned slot = slot_of[pid];
+    slot_of.erase(pid);
+    if (WIFSIGNALED(status)) {
+      if (WTERMSIG(status) == SIGKILL) {
+        ++summary[slot].sigkills;
+      } else {
+        ++summary[slot].bad;
+        std::printf("  worker %u (pid %d) died to UNEXPECTED signal %d\n",
+                    slot, int(pid), WTERMSIG(status));
+      }
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      ++summary[slot].clean;
+    } else {
+      ++summary[slot].bad;
+      std::printf("  worker %u (pid %d) exited with status %d\n", slot,
+                  int(pid), WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    }
+    return slot;
+  };
+
+  for (unsigned w = 0; w < procs; ++w) {
+    if (!spawn(w)) {
+      std::fprintf(stderr, "shm soak: fork failed\n");
+      return 2;
+    }
+  }
+  const auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < deadline) {
+    int status = 0;
+    pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid > 0) {
+      unsigned slot = reap(pid, status);
+      if (log->next_inc.load(std::memory_order_relaxed) < kMaxIncs) {
+        spawn(slot);  // respawn as a fresh incarnation
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  log->stop.store(1, std::memory_order_seq_cst);
+  while (!slot_of.empty()) {
+    int status = 0;
+    pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid <= 0) break;
+    reap(pid, status);
+  }
+
+  // ---- survivor recovery + final drain --------------------------------
+  // Iterate to a fixed point: a drain can poison cells that recovery then
+  // resolves, and recovery can revert a killed claimer's ring entry to
+  // Full, which only a further drain consumes.
+  const auto journal_pre = [&](std::uint64_t seen) {
+    const std::uint64_t idx =
+        log->journal_count.fetch_add(1, std::memory_order_seq_cst);
+    if (idx < kJournalCap) log->journal[idx] = seen;
+  };
+  q.recover();
+  for (;;) {
+    bool drained_any = false;
+    std::uint64_t v = 0;
+    while (q.dequeue(&v, journal_pre) == ShmPop::kOk) drained_any = true;
+    if (q.recover() == 0 && !drained_any) break;
+  }
+
+  // ---- audit ----------------------------------------------------------
+  const std::uint64_t incs =
+      std::min(log->next_inc.load(std::memory_order_seq_cst), kMaxIncs);
+  const std::uint64_t jn =
+      std::min(log->journal_count.load(std::memory_order_seq_cst),
+               kJournalCap);
+  std::map<std::uint64_t, std::uint64_t> delivered;  // value -> count
+  for (std::uint64_t i = 0; i < jn; ++i) {
+    if (log->journal[i] != 0) ++delivered[log->journal[i]];
+  }
+  // Residual VALUE cells (rescue-ring exhaustion leaves values parked in
+  // their cells, visible and unconsumed — accounted, never lost).
+  std::uint64_t stranded = 0;
+  q.scan_cells([&](std::uint64_t, std::uint64_t state, std::uint64_t val) {
+    if (state == ParentQ::kCellValue) {
+      ++delivered[val];
+      ++stranded;
+    }
+  });
+  // Ring entries still Full after the fixed-point drain are likewise
+  // visible-and-accounted (can only happen if the pending hint drifted).
+  q.scan_rescue_ring([&](std::uint64_t state, std::uint64_t,
+                         std::uint64_t val) {
+    if (state == ParentQ::kRsFull) {
+      ++delivered[val];
+      ++stranded;
+    }
+  });
+
+  std::uint64_t acked_total = 0, lost = 0, fabricated = 0, dups = 0;
+  for (std::uint64_t inc = 0; inc < incs; ++inc) {
+    const std::uint64_t acked =
+        log->incs[inc].acked.load(std::memory_order_seq_cst);
+    acked_total += acked;
+    for (std::uint64_t s = 1; s <= acked; ++s) {
+      auto it = delivered.find(value_of(inc, s));
+      if (it == delivered.end()) {
+        if (lost < 8) {
+          std::printf("  LOST: inc=%llu seq=%llu (acked=%llu)\n",
+                      (unsigned long long)inc, (unsigned long long)s,
+                      (unsigned long long)acked);
+        }
+        ++lost;
+      }
+    }
+  }
+  for (const auto& [val, count] : delivered) {
+    const std::uint64_t inc = val >> 32;
+    const std::uint64_t s = val & 0xffffffffu;
+    const std::uint64_t attempt =
+        inc < incs ? log->incs[inc].attempt.load(std::memory_order_seq_cst)
+                   : 0;
+    if (inc >= incs || s == 0 || s > attempt) {
+      ++fabricated;
+      if (fabricated <= 8) {
+        std::printf("  FABRICATED: value %#llx (inc=%llu seq=%llu "
+                    "attempt=%llu)\n",
+                    (unsigned long long)val, (unsigned long long)inc,
+                    (unsigned long long)s, (unsigned long long)attempt);
+      }
+    }
+    if (count > 1) dups += count - 1;
+  }
+
+  unsigned spawns = 0, kills = 0, clean = 0, bad = 0;
+  std::printf("  per-worker exits (spawns/sigkills/clean/bad):\n");
+  for (unsigned w = 0; w < procs; ++w) {
+    std::printf("    worker %-2u  %3u / %3u / %3u / %3u\n", w,
+                summary[w].spawns, summary[w].sigkills, summary[w].clean,
+                summary[w].bad);
+    spawns += summary[w].spawns;
+    kills += summary[w].sigkills;
+    clean += summary[w].clean;
+    bad += summary[w].bad;
+  }
+  std::printf("  incarnations=%llu acked=%llu delivered=%zu stranded=%llu "
+              "dups=%llu kills=%u peer_deaths=%llu adoptions=%llu\n",
+              (unsigned long long)incs, (unsigned long long)acked_total,
+              delivered.size(), (unsigned long long)stranded,
+              (unsigned long long)dups, kills,
+              (unsigned long long)q.peer_deaths(),
+              (unsigned long long)q.shm_adoptions());
+
+  const bool conserve_ok = lost == 0 && fabricated == 0;
+  const bool dup_ok = dups <= kills;  // each dup needs a killed consumer
+  const bool exits_ok = bad == 0;
+  const bool chaos_ok = kills > 0 || seconds < 1.0;  // the soak must soak
+  std::printf("  conservation %s (lost=%llu fabricated=%llu), dup bound %s "
+              "(%llu <= %u), child exits %s, chaos %s\n",
+              conserve_ok ? "EXACT" : "FAILED", (unsigned long long)lost,
+              (unsigned long long)fabricated, dup_ok ? "OK" : "FAILED",
+              (unsigned long long)dups, kills, exits_ok ? "OK" : "FAILED",
+              chaos_ok ? "OK" : "FAILED (no kill ever fired)");
+
+  q.detach();
+  larena.close();
+  wfq::ipc::ShmArena::destroy(qpath);
+  wfq::ipc::ShmArena::destroy(lpath);
+  return (conserve_ok && dup_ok && exits_ok && chaos_ok) ? 0 : 1;
+}
+
+}  // namespace shm_chaos
+
 template <class Queue, class... Args>
 int run(const char* name, unsigned threads, double seconds, Args&&... args) {
   Queue q(std::forward<Args>(args)...);
@@ -845,10 +1239,13 @@ int main(int argc, char** argv) {
   // positional meaning (so `soak --inject 7 --trace t.json 5 8` works).
   std::vector<char*> args;
   std::string backend;
+  bool shm = false;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       g_obs.metrics = true;
+    } else if (std::strcmp(argv[i], "--shm") == 0) {
+      shm = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--trace requires a file argument\n");
@@ -877,6 +1274,23 @@ int main(int argc, char** argv) {
                          "scq, wcq or sharded)\n",
                  backend.c_str());
     return 2;
+  }
+
+  if (shm) {
+    if (argc < 2 || std::strcmp(argv[1], "--kill9") != 0 || argc < 3) {
+      std::fprintf(stderr,
+                   "usage: soak --shm --kill9 <seed> [seconds] [procs]\n");
+      return 2;
+    }
+    uint64_t seed = std::strtoull(argv[2], nullptr, 10);
+    double secs = argc > 3 ? std::strtod(argv[3], nullptr) : 10.0;
+    unsigned procs =
+        argc > 4 ? unsigned(std::strtoul(argv[4], nullptr, 10)) : 4;
+    if (procs == 0 || procs > 64) {
+      std::fprintf(stderr, "--shm --kill9 wants 1..64 worker processes\n");
+      return 2;
+    }
+    return shm_chaos::run_kill9(seed, secs, procs);
   }
 
   if (argc > 1 && std::strcmp(argv[1], "--inject") == 0) {
