@@ -229,6 +229,11 @@ struct ShmQueueImpl final : QueueBase {
   // Park in bounded slices: a peer PROCESS can close the queue or die with
   // values to rescue, and neither event is guaranteed to reach our futex
   // word, so an indefinite single wait could sleep through termination.
+  // Each expired slice runs recover() — it is what actually moves a
+  // SIGKILLed consumer's stranded value into the rescue ring; without it a
+  // fixed set of attached processes would re-dequeue forever and never
+  // detect the death. recover() self-serializes on the stealable recovery
+  // lock and is a cheap liveness sweep when every peer is alive.
   int dequeue_wait(HandleBase* b, uint64_t* out) override {
     for (;;) {
       const auto slice =
@@ -238,6 +243,7 @@ struct ShmQueueImpl final : QueueBase {
         // Closed: one more non-blocking pass decides drained-vs-residual.
         return q.dequeue(lof(b), out) == wfq::ipc::ShmPop::kOk ? 1 : 0;
       }
+      q.recover();
     }
   }
 
@@ -253,6 +259,7 @@ struct ShmQueueImpl final : QueueBase {
         return q.dequeue(lof(b), out) == wfq::ipc::ShmPop::kOk ? 1 : -1;
       }
       if (std::chrono::steady_clock::now() >= deadline) return 0;
+      q.recover();
     }
   }
 

@@ -160,6 +160,11 @@ class ShmQueue {
     std::atomic<std::uint32_t> op_state;
     std::atomic<std::uint64_t> op_ticket;
     std::atomic<std::uint64_t> op_value;
+    // A segment allocation that lost an extend() append race, parked for
+    // the slot's next extension. Lives in the ARENA (not the handle) so a
+    // holder's death never leaks it: release() leaves it in place and the
+    // slot's next claimant inherits it.
+    AtomicShmOffset spare;
   };
 
   struct RescueSlot {
@@ -194,16 +199,13 @@ class ShmQueue {
     std::atomic<std::uint32_t> waiters;
   };
 
-  /// One attached actor: a claimed proc slot plus the process-local spare
-  /// segment offset (an extension allocation that lost its append race and
-  /// is recycled on the next extension). Every concurrently-operating
+  /// One attached actor: a claimed proc slot. Every concurrently-operating
   /// thread needs its own LocalHandle — the slot's op record is the
   /// two-phase intent publication and cannot be shared. A process may hold
   /// several (each consumes one of geometry().max_procs slots; all of them
   /// are reclaimed together if the process dies).
   struct LocalHandle {
     ProcSlot* slot = nullptr;
-    ShmOffset spare = kNullOffset;
   };
 
   ShmQueue() = default;
@@ -221,8 +223,10 @@ class ShmQueue {
 
   /// Create a fresh arena at `path` of `bytes` total and become its first
   /// attached process. The segment directory is sized to consume the whole
-  /// remainder of the arena, so extension for any ticket < capacity() can
-  /// never run out of arena bytes.
+  /// remainder of the arena — with one spare-segment allocation per proc
+  /// slot budgeted on top — so extension for any ticket < capacity() does
+  /// not run out of arena bytes unless more than max_procs peers die
+  /// inside the narrow alloc-to-park window of extend().
   static ArenaStatus create(const char* path, std::size_t bytes,
                             const ShmOptions& opt, ShmQueue* out) {
     if (opt.max_procs == 0 || opt.seg_cells < 4 ||
@@ -244,12 +248,19 @@ class ShmQueue {
     }
     // Size the directory so every directory entry's segment is backed by
     // arena bytes: remaining / (segment bytes + directory entry), with a
-    // page of slack for per-allocation alignment padding.
+    // page of slack for per-allocation alignment padding. Additionally
+    // budget one segment per proc slot: an extend() race loser's
+    // allocation is parked in its slot's `spare` (inherited across
+    // deaths), but a kill between alloc() and the park leaks the bytes —
+    // bounded in practice by one in-flight extension per slot, paid for
+    // up front so capacity() stays reachable.
     const std::uint64_t seg_bytes = std::uint64_t(opt.seg_cells) * sizeof(Cell);
+    const std::uint64_t seg_cost = seg_bytes + 64;  // worst-case align pad
+    const std::uint64_t spare_budget = std::uint64_t(opt.max_procs) * seg_cost;
     const std::uint64_t used = arena.header()->bump.load();
-    const std::uint64_t remaining =
-        bytes > used + 4096 ? bytes - used - 4096 : 0;
-    const std::uint64_t max_segments = remaining / (seg_bytes + 64 + 8);
+    const std::uint64_t reserved = used + spare_budget + 4096;
+    const std::uint64_t remaining = bytes > reserved ? bytes - reserved : 0;
+    const std::uint64_t max_segments = remaining / (seg_cost + 8);
     if (max_segments == 0) {
       arena.close();
       ShmArena::destroy(path);
@@ -290,19 +301,44 @@ class ShmQueue {
     ShmArena arena;
     ArenaStatus st = ShmArena::attach(path, &arena);
     if (st != ArenaStatus::kOk) return st;
+    const std::uint64_t bytes = arena.bytes();
+    // Every bounds check below is phrased subtraction-first so a crafted
+    // header (offsets or counts near UINT64_MAX) cannot wrap an unsigned
+    // sum back into range and drive out-of-bounds accesses.
+    auto extent_ok = [bytes](ShmOffset off, std::uint64_t count,
+                             std::uint64_t elem) {
+      return off != kNullOffset && off < bytes &&
+             count <= (bytes - off) / elem;
+    };
     ShmOffset root = arena.root();
-    if (root == kNullOffset ||
-        root + sizeof(Control) > arena.bytes()) {
+    if (root == kNullOffset || root >= bytes ||
+        bytes - root < sizeof(Control)) {
       return ArenaStatus::kBadGeometry;
     }
     auto* ctrl = arena.at<Control>(root);
     const Geometry& g = ctrl->geo;
     if (g.max_procs == 0 || g.seg_cells < 4 ||
         (g.seg_cells & (g.seg_cells - 1)) != 0 ||
+        g.seg_shift >= 32 || (std::uint32_t{1} << g.seg_shift) != g.seg_cells ||
+        g.rescue_slots == 0 || g.max_segments == 0 ||
+        g.max_segments > ~std::uint64_t{0} / g.seg_cells ||
         g.capacity != g.max_segments * g.seg_cells ||
-        ctrl->dir_off + g.max_segments * sizeof(AtomicShmOffset) >
-            arena.bytes()) {
+        !extent_ok(ctrl->slots_off, g.max_procs, sizeof(ProcSlot)) ||
+        !extent_ok(ctrl->ring_off, g.rescue_slots, sizeof(RescueSlot)) ||
+        !extent_ok(ctrl->dir_off, g.max_segments, sizeof(AtomicShmOffset))) {
       return ArenaStatus::kBadGeometry;
+    }
+    // The directory's populated entries are arena offsets written by live
+    // peers; a corrupted file with valid magic could point them anywhere.
+    // Reject any materialized segment that is not fully inside the arena
+    // (concurrent peers only ever append alloc()-vetted offsets, so a
+    // falsely-clean race read is impossible).
+    auto* dir = arena.template at<AtomicShmOffset>(ctrl->dir_off);
+    for (std::uint64_t seg = 0; seg < g.max_segments; ++seg) {
+      ShmOffset off = dir[seg].load(std::memory_order_acquire);
+      if (off != kNullOffset && !extent_ok(off, g.seg_cells, sizeof(Cell))) {
+        return ArenaStatus::kBadGeometry;
+      }
     }
     out->adopt(std::move(arena), root);
     out->recover();
@@ -324,8 +360,9 @@ class ShmQueue {
                                                  std::memory_order_seq_cst)) {
           slots[i].start_time.store(my_start, std::memory_order_release);
           slots[i].op_state.store(kOpIdle, std::memory_order_release);
+          // Deliberately leave slots[i].spare alone: a previous holder's
+          // parked segment (dead or detached) is inherited, not leaked.
           lh->slot = &slots[i];
-          lh->spare = kNullOffset;
           return true;
         }
       }
@@ -336,6 +373,7 @@ class ShmQueue {
   }
 
   /// Return a claimed slot to the free pool (its op must be quiescent).
+  /// The slot's spare segment, if any, stays parked for the next claimant.
   void release(LocalHandle* lh) {
     if (lh->slot == nullptr) return;
     lh->slot->op_state.store(kOpIdle, std::memory_order_relaxed);
@@ -411,8 +449,15 @@ class ShmQueue {
   ShmPop dequeue(LocalHandle& lh, std::uint64_t* out, Pre&& pre) {
     Control* c = ctrl_;
     ProcSlot* slot = lh.slot;
-    slot->op_state.store(kOpDeqPending, std::memory_order_release);
     for (;;) {
+      // Re-publish Pending on EVERY iteration (mirroring enqueue): a retry
+      // otherwise leaves the slot Ticketed with the previous ticket during
+      // the window between the head FAA below and the op_ticket store, so
+      // floor_scan would see neither a pending op nor a live claim on the
+      // new ticket and could rescue the very cell this live consumer is
+      // about to take — duplicate delivery with no kill.
+      slot->op_state.store(kOpDeqPending, std::memory_order_release);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
       WFQ_INJECT(Traits, "shm_deq_pending");
       if (claim_rescued(out, pre)) {
         finish_op(lh);
@@ -563,6 +608,21 @@ class ShmQueue {
       }
     }
     floor_scan();
+    // rescued_pending is derivable state: the exact count of Full ring
+    // entries. Claimers killed between their Full->Claiming CAS and the
+    // matching fetch_sub (plus the Claiming->Full restore above) would
+    // otherwise drift it permanently upward, and a permanent overcount
+    // pins pop_wait_until's park recheck awake — a 100% CPU spin on an
+    // empty queue. Under the recovery lock this scan is the only rescuer,
+    // so recount and store the truth; a live claimer racing the recount
+    // can skew it by a transient unit that the next recover() corrects.
+    std::uint64_t full_entries = 0;
+    for (std::uint32_t i = 0; i < c->geo.rescue_slots; ++i) {
+      if (ring[i].state.load(std::memory_order_acquire) == kRsFull) {
+        ++full_entries;
+      }
+    }
+    c->rescued_pending.store(full_entries, std::memory_order_seq_cst);
     release_recovery_lock();
     if (reclaimed != 0) wake_consumers();
     return reclaimed;
@@ -684,14 +744,18 @@ class ShmQueue {
 
   /// Materialize segment `seg`: bump-allocate (fresh arena bytes are
   /// zero => all cells EMPTY) and CAS it into the directory. The loser of
-  /// an append race stashes its allocation as the handle's spare for the
-  /// next extension — bump memory cannot be returned.
+  /// an append race parks its allocation in the proc slot's `spare` for
+  /// the next extension — bump memory cannot be returned, but a parked
+  /// spare survives its owner's death (the slot's next claimant inherits
+  /// it). Only a kill inside this function, between alloc() and the CAS
+  /// or park below, can still leak a segment; create() budgets arena
+  /// slack for max_procs such leaks.
   ShmOffset extend(AtomicShmOffset* dir, std::uint64_t seg, LocalHandle& lh) {
     WFQ_INJECT(Traits, "shm_extend");
     const std::uint64_t seg_bytes =
         std::uint64_t(ctrl_->geo.seg_cells) * sizeof(Cell);
-    ShmOffset fresh = lh.spare;
-    lh.spare = kNullOffset;
+    ShmOffset fresh =
+        lh.slot->spare.exchange(kNullOffset, std::memory_order_relaxed);
     if (fresh == kNullOffset) fresh = arena_.alloc(seg_bytes);
     if (fresh == kNullOffset) return kNullOffset;
     ShmOffset expect = kNullOffset;
@@ -699,7 +763,7 @@ class ShmQueue {
                                          std::memory_order_seq_cst)) {
       return fresh;
     }
-    lh.spare = fresh;
+    lh.slot->spare.store(fresh, std::memory_order_relaxed);
     return expect;
   }
 
@@ -728,6 +792,9 @@ class ShmQueue {
                                                  std::memory_order_seq_cst)) {
         continue;
       }
+      // A kill here leaves the entry Claiming and the hint undecremented;
+      // recover() reverts the entry to Full and recounts the hint exactly.
+      WFQ_INJECT(Traits, "shm_rescue_claiming");
       c->rescued_pending.fetch_sub(1, std::memory_order_relaxed);
       const std::uint64_t v = ring[i].value.load(std::memory_order_relaxed);
       pre(v);
@@ -833,6 +900,11 @@ class ShmQueue {
     Control* c = ctrl_;
     ProcSlot* slots = arena_.template at<ProcSlot>(c->slots_off);
     const std::uint64_t h = c->head.load(std::memory_order_seq_cst);
+    // Pairs with the Pending-publication fences in enqueue/dequeue: any op
+    // whose FAA is visible in `h` published Pending (and fenced) before
+    // that FAA, so after this fence the op_state loads below must observe
+    // at least Pending for every ticket the scan range covers.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::uint64_t limit = h < c->geo.capacity ? h : c->geo.capacity;
     std::uint64_t f = c->recovery_floor.load(std::memory_order_relaxed);
     bool any_pending = false;

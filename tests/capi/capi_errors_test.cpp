@@ -4,6 +4,8 @@
 // including WFQ_E_VERSION from a version-mismatched shm attach, which must
 // reject without writing a byte to the foreign file.
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -15,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "capi/wfq_c.h"
+#include "ipc/shm_queue.hpp"
 
 namespace {
 
@@ -215,6 +218,72 @@ TEST(CapiShm, CreateAttachRoundTrip) {
   wfq_handle_release(oh);
   wfq_close(owner);
   EXPECT_EQ(wfq_is_closed(owner), 1);
+  wfq_shm_detach(owner);
+  std::remove(path.c_str());
+}
+
+// SIGKILL-at-injection-point traits, mirroring tests/ipc/shm_crash_test
+// (layout-identical to the C API's ShmQueue<> — traits only add hooks).
+struct Kill9Injector {
+  static constexpr bool kEnabled = true;
+  static inline const char* arm_point = nullptr;
+  struct SuppressScope {
+    SuppressScope() noexcept {}
+  };
+  static void inject(const char* point) {
+    if (arm_point != nullptr && std::strcmp(point, arm_point) == 0) {
+      ::raise(SIGKILL);
+    }
+  }
+};
+struct Kill9Traits {
+  using Injector = Kill9Injector;
+};
+
+// The C API's blocking dequeues must DRIVE recovery, not merely poll: a
+// peer process SIGKILLed holding a dequeue ticket strands its value until
+// some survivor runs recover(), and a C-API consumer parked in
+// wfq_dequeue_timed/wfq_dequeue_wait is exactly that survivor. Without the
+// recover() call in the slice loop this test never gets the value back.
+TEST(CapiShm, BlockedDequeueRescuesValueStrandedByKilledPeer) {
+  std::string path = temp_path("deadpeer");
+  wfq_queue_t* owner = nullptr;
+  ASSERT_EQ(wfq_shm_create(path.c_str(), 1 << 20, nullptr, &owner), WFQ_OK);
+  wfq_handle_t* oh = wfq_handle_acquire(owner);
+  ASSERT_NE(oh, nullptr);
+  ASSERT_EQ(wfq_enqueue(oh, 99), WFQ_OK);
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    wfq::ipc::ShmQueue<Kill9Traits> cq;
+    if (wfq::ipc::ShmQueue<Kill9Traits>::attach(path.c_str(), &cq) !=
+        wfq::ipc::ArenaStatus::kOk) {
+      _exit(3);
+    }
+    Kill9Injector::arm_point = "shm_deq_ticketed";
+    std::uint64_t v = 0;
+    cq.dequeue(&v);  // dies holding the only ticket that visits the cell
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // No explicit recover() anywhere on the parent side: the blocking
+  // dequeue's slice loop must detect the death and rescue the value.
+  uint64_t out = 0;
+  ASSERT_EQ(wfq_dequeue_timed(oh, &out, 10ull * 1000 * 1000 * 1000), 1)
+      << "stranded value never rescued: runtime path does not run recover()";
+  EXPECT_EQ(out, 99u);
+
+  wfq_stats_ex_t st;
+  wfq_get_stats_ex(owner, &st);
+  EXPECT_GE(st.peer_deaths, 1u);
+  EXPECT_GE(st.shm_adoptions, 1u);
+
+  wfq_handle_release(oh);
   wfq_shm_detach(owner);
   std::remove(path.c_str());
 }

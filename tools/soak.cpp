@@ -915,9 +915,9 @@ struct ChaosLog {
 /// passes (everything under ipc/shm_queue.hpp except the parked wait,
 /// which a busy chaos worker rarely reaches).
 constexpr const char* kKillPoints[] = {
-    "shm_enq_pending",  "shm_enq_ticketed", "shm_enq_deposited",
-    "shm_deq_pending",  "shm_deq_ticketed", "shm_deq_taken",
-    "shm_extend",       "shm_recover_scan",
+    "shm_enq_pending",  "shm_enq_ticketed",    "shm_enq_deposited",
+    "shm_deq_pending",  "shm_deq_ticketed",    "shm_deq_taken",
+    "shm_extend",       "shm_recover_scan",    "shm_rescue_claiming",
 };
 
 std::uint64_t value_of(std::uint64_t inc, std::uint64_t seq) {
