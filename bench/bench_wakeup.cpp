@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "async/async_queue.hpp"
 #include "bench_common.hpp"
 #include "harness/barrier.hpp"
 #include "harness/latency.hpp"
@@ -79,6 +80,56 @@ wfq::bench::LatencyResult measure_wakeup_latency(uint64_t rounds) {
               (unsigned long long)st.deq_parks.load(),
               (unsigned long long)st.notify_calls.load(),
               (unsigned long long)st.deq_spurious_wakeups.load(),
+              (unsigned long long)rounds);
+  return wfq::bench::summarize_latencies(std::move(samples));
+}
+
+// ---- 1b. coroutine resume handoff latency ------------------------------
+//
+// The async analog of the parked handoff: the consumer is a coroutine
+// suspended in pop_async, so the producer's notify claims the waiter slot
+// and resumes the frame inline instead of issuing a futex wake. Each
+// sample prices claim + handle-resume + delivery against the row above —
+// the async layer's pitch is that this path dodges the scheduler entirely.
+wfq::async::Task<void> drain_timed(
+    wfq::async::AsyncWFQueue<uint64_t>& q,
+    wfq::async::AsyncWFQueue<uint64_t>::Handle& h,
+    std::atomic<Clock::time_point>& push_time,
+    std::vector<uint64_t>& samples) {
+  for (;;) {
+    auto r = co_await q.pop_async(h);
+    if (!r) co_return;
+    samples.push_back(ns_since(push_time.load(std::memory_order_acquire)));
+  }
+}
+
+wfq::bench::LatencyResult measure_coro_resume_latency(uint64_t rounds) {
+  wfq::async::AsyncWFQueue<uint64_t> q;
+  std::vector<uint64_t> samples;
+  samples.reserve(rounds);
+  std::atomic<Clock::time_point> push_time{Clock::time_point{}};
+
+  // The thread exists to host the first park; after that every resume
+  // (and every sample) runs inline on the producer side, which is exactly
+  // the deployment shape an executor-less embedding gets.
+  std::thread consumer([&] {
+    auto h = q.get_handle();
+    wfq::async::sync_wait(drain_timed(q, h, push_time, samples));
+  });
+
+  auto h = q.get_handle();
+  for (uint64_t r = 0; r < rounds; ++r) {
+    while (q.waiters() == 0) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+    push_time.store(Clock::now(), std::memory_order_release);
+    q.push(h, r + 1);
+  }
+  q.close();
+  consumer.join();
+  auto as = q.async_stats();
+  std::printf("  suspends=%llu wakes=%llu (of %llu handoffs)\n",
+              (unsigned long long)as.pop_suspends,
+              (unsigned long long)as.pop_wakes,
               (unsigned long long)rounds);
   return wfq::bench::summarize_latencies(std::move(samples));
 }
@@ -164,6 +215,19 @@ int main(int argc, char** argv) {
   json_sink().record("wakeup", "parked_handoff", 2,
                      double(lat.count) / 1e6,  // informational
                      double(lat.p50), double(lat.p99), double(lat.p999));
+
+  // 1b. The same handoff through a coroutine resume instead of a futex
+  // wake (src/async/): deposit -> claim -> inline h.resume() -> delivery.
+  std::printf("\n-- coroutine resume handoff latency (%llu rounds) --\n",
+              (unsigned long long)handoffs);
+  auto clat = measure_coro_resume_latency(handoffs);
+  std::printf("  deposit->delivery: p50=%lluns p90=%lluns p99=%lluns "
+              "max=%lluns\n",
+              (unsigned long long)clat.p50, (unsigned long long)clat.p90,
+              (unsigned long long)clat.p99, (unsigned long long)clat.max);
+  json_sink().record("wakeup", "coro_resume_handoff", 2,
+                     double(clat.count) / 1e6,  // informational
+                     double(clat.p50), double(clat.p99), double(clat.p999));
 
   // 2. No-waiter throughput: wrapper vs raw, per thread count.
   //

@@ -1,0 +1,445 @@
+// AsyncQueue<Q>: `co_await q.pop_async(h)` over any inner queue the
+// blocking layer accepts — the coroutine face of BlockingQueue.
+//
+// The whole layer rides the EventCount's generalized waiter slot
+// (sync/event_count.hpp, AsyncWaiter): registering a coroutine counts into
+// the SAME waiters_ word a parked thread does, so the producer-side Dekker
+// — and with it the paper's zero-cost fast path — is untouched. An enqueue
+// with no registered awaiters executes no atomic RMW beyond the unwrapped
+// enqueue's own; the async test suite asserts this via epoch_snapshot(),
+// waiters(), and notify_calls.
+//
+// ## Round protocol (why registration and suspension are split)
+//
+// Each park attempt is one `Round` object in the coroutine frame:
+//
+//   {
+//     Round round(ec, exec);            // 1. register (waiters_ FAA)
+//     sealed = q.sealed();              // 2. Dekker re-check, exactly the
+//     if (v = q.try_pop(h)) co_return;  //    sealed-before-attempt order
+//     if (sealed) co_return kClosed;    //    pop_impl_body uses
+//     co_await round.park();            // 3. suspend — unless already woken
+//   }                                   // 4. dtor resolves the slot
+//
+// The re-check runs in plain coroutine-body code, NOT inside
+// await_suspend: the inner dequeue can throw (allocation failure, injected
+// crash), and an exception escaping await_suspend while a concurrent claim
+// holds the resume right would be an unfixable double-resume. Here it
+// unwinds through the coroutine normally and the Round destructor cancels
+// the registration (the async layer's WaitGuard duty).
+//
+// The cost of the split is a window between registration and suspension
+// where a notify can claim a coroutine that has no handle published yet.
+// The `phase_` word closes it:
+//
+//   parker:  publish handle; CAS kNoHandle -> kHasHandle; suspended if won
+//   claimer: CAS kNoHandle -> kWoken: won a round that never parked — do
+//            not resume; pass the wake on (ec.notify(1)) in case it was
+//            owed to a different waiter (over-notify is a spurious wake,
+//            a consumed notify would be a lost one).
+//            else CAS kHasHandle -> kWoken: the coroutine is suspended (or
+//            inside park()'s tail, which touches no frame memory after its
+//            CAS — the standard's concurrent-resume blessing); we own the
+//            resumption.
+//
+// Claim callbacks follow the AsyncWaiter contract to the letter: read
+// everything out of the frame, store kAwDone, and only then resume/post —
+// after kAwDone the frame may be gone.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <coroutine>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "async/executor.hpp"
+#include "async/task.hpp"
+#include "async/timer.hpp"
+#include "sync/blocking_queue.hpp"
+
+namespace wfq::async {
+
+/// Result of a pop_async round-trip. `value` is engaged iff status == kOk.
+template <class T>
+struct PopResult {
+  sync::PopStatus status;
+  std::optional<T> value;
+
+  explicit operator bool() const noexcept {
+    return status == sync::PopStatus::kOk;
+  }
+};
+
+namespace detail {
+
+/// The handle-publication half of the round protocol, shared by the
+/// single-queue rounds here and select_any's N-queue round.
+struct RoundCore {
+  static constexpr uint32_t kNoHandle = 0;   ///< registered, not suspended
+  static constexpr uint32_t kHasHandle = 1;  ///< suspended, resumable
+  static constexpr uint32_t kWoken = 2;      ///< a notify owns this round
+  static constexpr uint32_t kWokenTimer = 3; ///< the deadline owns it
+
+  std::coroutine_handle<> h;
+  Executor* exec = nullptr;
+  std::atomic<uint32_t> phase{kNoHandle};
+
+  /// Claimer side: returns true iff the caller now owns resuming `h`.
+  bool claim(uint32_t to) noexcept {
+    uint32_t expected = kNoHandle;
+    if (phase.compare_exchange_strong(expected, to,
+                                      std::memory_order_acq_rel)) {
+      return false;  // round never parked (or not yet): nothing to resume
+    }
+    if (expected == kHasHandle &&
+        phase.compare_exchange_strong(expected, to,
+                                      std::memory_order_acq_rel)) {
+      return true;
+    }
+    return false;  // some other claimant (other queue / timer) beat us
+  }
+
+  /// Parker side: publish the handle, then try to commit the suspension.
+  /// False means a wake (or the deadline) already landed — do not suspend.
+  bool park_suspend(std::coroutine_handle<> hh) noexcept {
+    h = hh;  // release-published by the CAS below
+    uint32_t expected = kNoHandle;
+    return phase.compare_exchange_strong(expected, kHasHandle,
+                                         std::memory_order_acq_rel);
+  }
+};
+
+/// One register/re-check/park round against a single EventCount.
+class EcRound {
+ public:
+  EcRound(sync::EventCount& ec, Executor* exec) : ec_(ec) {
+    core_.exec = exec;
+    node_.ctx = this;
+    node_.on_notify = &on_claim;
+    ec_.register_async(&node_);
+  }
+
+  EcRound(const EcRound&) = delete;
+  EcRound& operator=(const EcRound&) = delete;
+
+  ~EcRound() { resolve_node(ec_, node_); }
+
+  /// Awaitable that commits the park. Must be the last use of the round
+  /// before its scope closes.
+  auto park() noexcept {
+    struct Awaiter {
+      RoundCore* core;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) noexcept {
+        return core->park_suspend(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{&core_};
+  }
+
+  /// Shared teardown: a registration must end as exactly one of
+  /// kAwCancelled (we deregistered) or kAwDone (a claim ran to
+  /// completion); anything in between gets the rendezvous spin.
+  static void resolve_node(sync::EventCount& ec,
+                           sync::EventCount::AsyncWaiter& node) noexcept {
+    uint32_t s = node.state.load(std::memory_order_acquire);
+    if (s == sync::EventCount::kAwCancelled ||
+        s == sync::EventCount::kAwDone) {
+      return;
+    }
+    if (!ec.cancel_async(&node)) {
+      sync::EventCount::await_async_done(&node);
+    }
+  }
+
+ private:
+  static void on_claim(sync::EventCount::AsyncWaiter* w) {
+    auto* self = static_cast<EcRound*>(w->ctx);
+    sync::EventCount* ec = &self->ec_;
+    Executor* exec = self->core_.exec;
+    const bool owns_resume = self->core_.claim(RoundCore::kWoken);
+    std::coroutine_handle<> h = self->core_.h;
+    w->state.store(sync::EventCount::kAwDone, std::memory_order_release);
+    // -- node and frame may be freed from here on; locals only --
+    if (owns_resume) {
+      resume_on(exec, h);
+    } else {
+      // Claimed a round that never parked: the wake may have been owed to
+      // a waiter behind us in the list — pass it on rather than eat it.
+      ec->notify(1);
+    }
+  }
+
+  sync::EventCount& ec_;
+  RoundCore core_;
+  sync::EventCount::AsyncWaiter node_;
+};
+
+/// EcRound plus a deadline: whichever of {notify, timer} claims the core
+/// first owns the resumption; the loser passes its stimulus on (a losing
+/// notify re-notifies; a losing timer entry simply evaporates).
+class EcTimedRound {
+ public:
+  EcTimedRound(sync::EventCount& ec, Executor* exec,
+               sync::WaitClock::time_point deadline)
+      : ec_(ec) {
+    core_.exec = exec;
+    node_.ctx = this;
+    node_.on_notify = &on_claim;
+    ec_.register_async(&node_);
+    timer_id_ = TimerService::instance().arm(deadline, &on_timer, this);
+  }
+
+  EcTimedRound(const EcTimedRound&) = delete;
+  EcTimedRound& operator=(const EcTimedRound&) = delete;
+
+  ~EcTimedRound() {
+    EcRound::resolve_node(ec_, node_);
+    // Skip the cancel when the timer won: its entry was consumed before
+    // firing, and with an inline executor this destructor RUNS ON the
+    // timer thread — cancel() would rendezvous against ourselves.
+    if (core_.phase.load(std::memory_order_acquire) !=
+        RoundCore::kWokenTimer) {
+      TimerService::instance().cancel(timer_id_);
+    }
+  }
+
+  auto park() noexcept {
+    struct Awaiter {
+      RoundCore* core;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) noexcept {
+        return core->park_suspend(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{&core_};
+  }
+
+  /// Valid after park() returned (or declined): did the deadline end the
+  /// round?
+  bool timed_out() const noexcept {
+    return core_.phase.load(std::memory_order_acquire) ==
+           RoundCore::kWokenTimer;
+  }
+
+ private:
+  static void on_claim(sync::EventCount::AsyncWaiter* w) {
+    auto* self = static_cast<EcTimedRound*>(w->ctx);
+    sync::EventCount* ec = &self->ec_;
+    Executor* exec = self->core_.exec;
+    const bool owns_resume = self->core_.claim(RoundCore::kWoken);
+    // Pass-on rule: we consumed a notify; unless we are the one resuming
+    // the coroutine with it, hand it to the next waiter. (kNoHandle rounds
+    // AND timer-beaten rounds both re-notify.)
+    const bool pass_on = !owns_resume;
+    std::coroutine_handle<> h = self->core_.h;
+    w->state.store(sync::EventCount::kAwDone, std::memory_order_release);
+    if (owns_resume) resume_on(exec, h);
+    if (pass_on) ec->notify(1);
+  }
+
+  static void on_timer(void* ctx) {
+    auto* self = static_cast<EcTimedRound*>(ctx);
+    // TimerService::cancel() blocks while this callback runs, so `self`
+    // cannot be freed under us even when we lose every race below.
+    if (self->core_.claim(RoundCore::kWokenTimer)) {
+      resume_on(self->core_.exec, self->core_.h);
+    }
+  }
+
+  sync::EventCount& ec_;
+  RoundCore core_;
+  sync::EventCount::AsyncWaiter node_;
+  std::uint64_t timer_id_ = 0;
+};
+
+}  // namespace detail
+
+/// Coroutine-native wrapper. Owns a BlockingQueue<Q> and adds the awaiting
+/// verbs; every synchronous verb (push, try_pop, close, drain, stats, the
+/// wait-based pops) remains available through blocking() — the two faces
+/// share one queue, one close protocol, and one stats block, so sync
+/// threads and coroutines can consume the same queue side by side.
+template <class Q>
+class AsyncQueue {
+ public:
+  using Blocking = sync::BlockingQueue<Q>;
+  using Handle = typename Blocking::Handle;
+  using value_type = typename Q::value_type;
+  using T = value_type;
+
+  /// Per-queue async counters (relaxed; test/monitoring aid).
+  struct AsyncStats {
+    std::uint64_t pop_suspends;    ///< pop rounds that committed a park
+    std::uint64_t pop_wakes;       ///< pop rounds resumed by a claim
+    std::uint64_t push_suspends;   ///< push rounds that committed a park
+    std::uint64_t select_rounds;   ///< select_any registrations (per queue)
+  };
+
+  template <class... Args>
+  explicit AsyncQueue(Args&&... args) : bq_(std::forward<Args>(args)...) {}
+
+  Handle get_handle() { return bq_.get_handle(); }
+
+  /// The full synchronous surface (and the seam select_any builds on).
+  Blocking& blocking() noexcept { return bq_; }
+  const Blocking& blocking() const noexcept { return bq_; }
+
+  /// Where claimed coroutines resume; null = inline on the notifier's
+  /// thread. Set before the first co_await and leave it alone — the
+  /// executor is sampled per round.
+  void set_executor(Executor* e) noexcept { exec_ = e; }
+  Executor* executor() const noexcept { return exec_; }
+
+  // Synchronous conveniences forwarded verbatim.
+  bool push(Handle& h, T v) { return bq_.push(h, std::move(v)); }
+  sync::PushStatus push_status(Handle& h, T v) {
+    return bq_.push_status(h, std::move(v));
+  }
+  std::optional<T> try_pop(Handle& h) { return bq_.try_pop(h); }
+  void close() { bq_.close(); }
+  bool closed() const noexcept { return bq_.closed(); }
+  bool sealed() const noexcept { return bq_.sealed(); }
+  uint32_t waiters() const noexcept { return bq_.waiters(); }
+
+  AsyncStats async_stats() const noexcept {
+    return AsyncStats{pop_suspends_.load(std::memory_order_relaxed),
+                      pop_wakes_.load(std::memory_order_relaxed),
+                      push_suspends_.load(std::memory_order_relaxed),
+                      select_rounds_.load(std::memory_order_relaxed)};
+  }
+
+  /// Awaitable pop: suspends while the queue is open and empty; resumes on
+  /// a producer's notify (or inline if a value/close is already there).
+  /// Returns kOk with a value, or kClosed once the queue is sealed AND
+  /// drained — the same linearizable close protocol as pop_wait, because
+  /// every attempt uses the identical sealed-before-attempt order.
+  Task<PopResult<T>> pop_async(Handle& h) {
+    for (;;) {
+      bool was_sealed = bq_.sealed();
+      if (std::optional<T> v = bq_.try_pop(h)) {
+        co_return PopResult<T>{sync::PopStatus::kOk, std::move(v)};
+      }
+      if (was_sealed) {
+        co_return PopResult<T>{sync::PopStatus::kClosed, std::nullopt};
+      }
+      {
+        detail::EcRound round(bq_.pop_event(), exec_);
+        // Dekker re-check after registration: a producer that deposited
+        // before our waiters_ increment was visible cannot have seen
+        // has_waiters(), so this attempt is guaranteed to find its item
+        // (EventCount header / ALGORITHM.md §17).
+        bool sealed_now = bq_.sealed();
+        if (std::optional<T> v = bq_.try_pop(h)) {
+          co_return PopResult<T>{sync::PopStatus::kOk, std::move(v)};
+        }
+        if (sealed_now) {
+          co_return PopResult<T>{sync::PopStatus::kClosed, std::nullopt};
+        }
+        pop_suspends_.fetch_add(1, std::memory_order_relaxed);
+        co_await round.park();
+        pop_wakes_.fetch_add(1, std::memory_order_relaxed);
+      }  // round destructor resolves the registration on every path
+    }
+  }
+
+  /// Timed awaitable pop; kTimeout after `timeout` with the queue open
+  /// and empty. A delivery racing the deadline wins (one final attempt
+  /// after expiry, the pop_wait_for rule).
+  Task<PopResult<T>> pop_async_for(Handle& h, std::chrono::nanoseconds timeout) {
+    const auto deadline = sync::WaitClock::now() + timeout;
+    for (;;) {
+      bool was_sealed = bq_.sealed();
+      if (std::optional<T> v = bq_.try_pop(h)) {
+        co_return PopResult<T>{sync::PopStatus::kOk, std::move(v)};
+      }
+      if (was_sealed) {
+        co_return PopResult<T>{sync::PopStatus::kClosed, std::nullopt};
+      }
+      if (sync::WaitClock::now() >= deadline) {
+        co_return final_timed_attempt(h);
+      }
+      bool timed_out;
+      {
+        detail::EcTimedRound round(bq_.pop_event(), exec_, deadline);
+        bool sealed_now = bq_.sealed();
+        if (std::optional<T> v = bq_.try_pop(h)) {
+          co_return PopResult<T>{sync::PopStatus::kOk, std::move(v)};
+        }
+        if (sealed_now) {
+          co_return PopResult<T>{sync::PopStatus::kClosed, std::nullopt};
+        }
+        pop_suspends_.fetch_add(1, std::memory_order_relaxed);
+        co_await round.park();
+        pop_wakes_.fetch_add(1, std::memory_order_relaxed);
+        timed_out = round.timed_out();
+      }
+      if (timed_out) co_return final_timed_attempt(h);
+    }
+  }
+
+  /// Awaitable push for bounded inner queues: suspends on kFull, resumed
+  /// by consumers freeing space (the space-EventCount Dekker). Returns
+  /// kOk, kClosed, or kNoMem — never kFull. The retry loop goes through
+  /// try_push, whose kFull hands `v` back untouched.
+  Task<sync::PushStatus> push_async(Handle& h, T v)
+    requires BoundedQueue<Q>
+  {
+    for (;;) {
+      sync::PushStatus st = bq_.try_push(h, v);
+      if (st != sync::PushStatus::kFull) co_return st;
+      {
+        detail::EcRound round(bq_.space_event(), exec_);
+        st = bq_.try_push(h, v);  // Dekker re-check against freed space
+        if (st != sync::PushStatus::kFull) co_return st;
+        push_suspends_.fetch_add(1, std::memory_order_relaxed);
+        co_await round.park();
+      }
+    }
+  }
+
+  /// select_any bookkeeping hook (select.hpp).
+  void count_select_round() noexcept {
+    select_rounds_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  PopResult<T> final_timed_attempt(Handle& h) {
+    // Sealed-before-attempt, one last time: a seal landing after a failed
+    // attempt must not masquerade as "drained".
+    bool final_sealed = bq_.sealed();
+    if (std::optional<T> v = bq_.try_pop(h)) {
+      return PopResult<T>{sync::PopStatus::kOk, std::move(v)};
+    }
+    return PopResult<T>{
+        final_sealed ? sync::PopStatus::kClosed : sync::PopStatus::kTimeout,
+        std::nullopt};
+  }
+
+  Blocking bq_;
+  Executor* exec_ = nullptr;
+  std::atomic<std::uint64_t> pop_suspends_{0};
+  std::atomic<std::uint64_t> pop_wakes_{0};
+  std::atomic<std::uint64_t> push_suspends_{0};
+  std::atomic<std::uint64_t> select_rounds_{0};
+};
+
+/// Unbounded default: the paper's queue under the awaiter surface.
+template <class T, class Traits = DefaultWfTraits>
+using AsyncWFQueue = AsyncQueue<WFQueue<T, Traits>>;
+
+/// Bounded rings: pop_async AND push_async both available.
+template <class T, class Traits = DefaultRingTraits>
+using AsyncScqQueue = AsyncQueue<ScqQueue<T, Traits>>;
+template <class T, class Traits = DefaultRingTraits>
+using AsyncWcqQueue = AsyncQueue<WcqQueue<T, Traits>>;
+
+/// Horizontal-scale configuration (PR 8 lanes under coroutines).
+template <class T, class Traits = DefaultWfTraits>
+using AsyncShardedQueue = AsyncQueue<scale::ShardedQueue<WFQueue<T, Traits>>>;
+
+}  // namespace wfq::async

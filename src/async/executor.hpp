@@ -1,0 +1,84 @@
+// Executor: WHERE a claimed coroutine resumes.
+//
+// The EventCount claim callback (event_count.hpp, AsyncWaiter contract)
+// runs on the *notifier's* thread — usually a producer inside push(). An
+// inline resume there is the lowest-latency option and is perfectly safe
+// for compute-style consumers, but it makes the producer run consumer code
+// (boson's embedding, and any event-loop server, wants consumer coroutines
+// pinned to the loop thread instead). The seam is one virtual call on the
+// wake path only — the no-waiter producer fast path never reaches it.
+//
+// Implementations in-tree:
+//  * inline resume (exec == nullptr everywhere): h.resume() on the spot.
+//  * ManualExecutor (below): enqueue handles, drain on demand — tests and
+//    single-threaded drivers.
+//  * EpollLoop (examples/coro_server.cpp): post() via eventfd into an
+//    epoll loop; the canonical server shape.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace wfq::async {
+
+/// Abstract resumption target. post() must be callable from any thread and
+/// must eventually resume `h` exactly once. It is invoked after the
+/// claim callback has fully detached from the waiter node (kAwDone), so an
+/// implementation may run `h` immediately, on another thread, or batch it.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void post(std::coroutine_handle<> h) = 0;
+};
+
+/// Resume `h` on `exec`, or inline when exec is null — the single helper
+/// every claim callback funnels through.
+inline void resume_on(Executor* exec, std::coroutine_handle<> h) {
+  if (exec != nullptr) {
+    exec->post(h);
+  } else {
+    h.resume();
+  }
+}
+
+/// Mutex-guarded handle queue for tests and manual drivers: post() from
+/// any thread, drain() from the owning thread.
+class ManualExecutor final : public Executor {
+ public:
+  void post(std::coroutine_handle<> h) override {
+    std::lock_guard<std::mutex> g(mu_);
+    ready_.push_back(h);
+  }
+
+  /// Resume everything queued so far (including work queued by the
+  /// resumed coroutines themselves); returns the number resumed.
+  std::size_t drain() {
+    std::size_t n = 0;
+    for (;;) {
+      std::vector<std::coroutine_handle<>> batch;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        batch.swap(ready_);
+      }
+      if (batch.empty()) return n;
+      for (auto h : batch) {
+        h.resume();
+        ++n;
+      }
+    }
+  }
+
+  std::size_t pending() {
+    std::lock_guard<std::mutex> g(mu_);
+    return ready_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::coroutine_handle<>> ready_;
+};
+
+}  // namespace wfq::async

@@ -1,0 +1,229 @@
+// select_any(q1, q2, ...): suspend until ANY of N async queues can deliver
+// — the boson-style multi-queue wait.
+//
+// One coroutine registers one AsyncWaiter on EVERY queue's EventCount,
+// sweeps them once (the per-queue Dekker re-check), and parks if the sweep
+// found nothing. The N claim callbacks and the parker all race through the
+// shared RoundCore phase word (async_queue.hpp): exactly one claimant wins
+// the resumption, and every losing claim passes the notify it consumed
+// back to its own queue (ec.notify(1)) so a genuine waiter behind the
+// select cannot be starved by a wake the select didn't use. After the
+// resume, the coroutine deregisters every remaining armed node — cancels
+// that fail the armed-state race rendezvous on kAwDone before the frame
+// can be reused — so no waiter counts leak on any path.
+//
+// Close semantics compose per-queue: a queue is "done" for the select only
+// when sealed AND observed empty with the sealed-before-attempt order (the
+// same emptiness witness pop_wait uses). select returns kClosed only when
+// every queue is done; a single closed queue just drops out of the race.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <coroutine>
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "async/async_queue.hpp"
+
+namespace wfq::async {
+
+/// Outcome of select_any. kOk: `value` came from queue `index` (the
+/// argument position). kClosed: every queue is sealed and drained;
+/// index == the queue count.
+template <class T>
+struct SelectResult {
+  std::size_t index;
+  sync::PopStatus status;
+  std::optional<T> value;
+
+  explicit operator bool() const noexcept {
+    return status == sync::PopStatus::kOk;
+  }
+};
+
+/// One (queue, handle) pair entered into a select. Built by on(): the
+/// handle stays caller-owned because handles are thread-affine and the
+/// select must use the caller's.
+template <class Q>
+struct Selectable {
+  AsyncQueue<Q>* q;
+  typename AsyncQueue<Q>::Handle* h;
+};
+
+/// Binder: `select_any(on(q1, h1), on(q2, h2))`.
+template <class Q>
+Selectable<Q> on(AsyncQueue<Q>& q, typename AsyncQueue<Q>::Handle& h) {
+  return Selectable<Q>{&q, &h};
+}
+
+namespace detail {
+
+/// Type-erased view of one selectable: the sweep and the registration
+/// don't care about the inner queue type, only about T.
+template <class T>
+struct SelectPort {
+  void* q;
+  void* h;
+  sync::EventCount* ec;
+  bool (*sealed)(void*);
+  bool (*pop)(void*, void*, std::optional<T>&);
+
+  template <class Q>
+  static SelectPort make(const Selectable<Q>& s) {
+    static_assert(
+        std::is_same_v<typename AsyncQueue<Q>::value_type, T>,
+        "select_any requires every queue to carry the same value type");
+    s.q->count_select_round();
+    return SelectPort{
+        s.q, s.h, &s.q->blocking().pop_event(),
+        [](void* q) {
+          return static_cast<AsyncQueue<Q>*>(q)->blocking().sealed();
+        },
+        [](void* q, void* h, std::optional<T>& out) {
+          out = static_cast<AsyncQueue<Q>*>(q)->try_pop(
+              *static_cast<typename AsyncQueue<Q>::Handle*>(h));
+          return out.has_value();
+        }};
+  }
+};
+
+/// The N-queue round: N AsyncWaiter nodes sharing one RoundCore.
+template <class T, std::size_t N>
+class SelectRound {
+ public:
+  SelectRound(const std::array<SelectPort<T>, N>& ports, Executor* exec)
+      : ports_(&ports) {
+    core_.exec = exec;
+    for (std::size_t i = 0; i < N; ++i) {
+      slots_[i].self = this;
+      slots_[i].idx = i;
+      slots_[i].node.ctx = &slots_[i];
+      slots_[i].node.on_notify = &on_claim;
+      (*ports_)[i].ec->register_async(&slots_[i].node);
+    }
+  }
+
+  SelectRound(const SelectRound&) = delete;
+  SelectRound& operator=(const SelectRound&) = delete;
+
+  /// Every node must be resolved before the frame containing this round
+  /// can be reused — the same rendezvous duty as EcRound, times N.
+  ~SelectRound() {
+    for (std::size_t i = 0; i < N; ++i) {
+      EcRound::resolve_node(*(*ports_)[i].ec, slots_[i].node);
+    }
+  }
+
+  /// The post-registration sweep (per-queue Dekker re-check, in the
+  /// sealed-before-attempt order). Engaged result: a value and its queue
+  /// index. all_done out-param: every queue sealed AND observed empty.
+  std::optional<std::pair<std::size_t, T>> sweep(bool& all_done) {
+    all_done = true;
+    for (std::size_t i = 0; i < N; ++i) {
+      const SelectPort<T>& p = (*ports_)[i];
+      bool was_sealed = p.sealed(p.q);
+      std::optional<T> v;
+      if (p.pop(p.q, p.h, v)) {
+        return std::make_pair(i, std::move(*v));
+      }
+      if (!was_sealed) all_done = false;
+    }
+    return std::nullopt;
+  }
+
+  auto park() noexcept {
+    struct Awaiter {
+      RoundCore* core;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) noexcept {
+        return core->park_suspend(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{&core_};
+  }
+
+ private:
+  struct Slot {
+    sync::EventCount::AsyncWaiter node;
+    SelectRound* self;
+    std::size_t idx;
+  };
+
+  static void on_claim(sync::EventCount::AsyncWaiter* w) {
+    // The node's ctx points at its Slot; everything we need must be read
+    // out before the kAwDone store (AsyncWaiter contract).
+    auto* slot = static_cast<Slot*>(w->ctx);
+    SelectRound* self = slot->self;
+    sync::EventCount* ec = (*self->ports_)[slot->idx].ec;
+    Executor* exec = self->core_.exec;
+    const bool owns_resume = self->core_.claim(RoundCore::kWoken);
+    std::coroutine_handle<> h = self->core_.h;
+    w->state.store(sync::EventCount::kAwDone, std::memory_order_release);
+    // -- frame may be freed from here; locals only --
+    if (owns_resume) {
+      resume_on(exec, h);
+    } else {
+      // A losing registration: some other queue (or nobody — the round
+      // never parked) won this select. The notify we consumed may have
+      // been owed to a real waiter on OUR queue: pass it on.
+      ec->notify(1);
+    }
+  }
+
+  const std::array<SelectPort<T>, N>* ports_;
+  RoundCore core_;
+  std::array<Slot, N> slots_;
+};
+
+}  // namespace detail
+
+/// Await the first available value across the given queues; see
+/// SelectResult for the outcome encoding. The executor (where the winning
+/// resume runs) is taken from the FIRST queue — register all queues of a
+/// select with the same executor, which every sane event-loop embedding
+/// does anyway.
+template <class First, class... Rest>
+Task<SelectResult<typename AsyncQueue<First>::value_type>> select_any(
+    Selectable<First> first, Selectable<Rest>... rest) {
+  using T = typename AsyncQueue<First>::value_type;
+  constexpr std::size_t N = 1 + sizeof...(Rest);
+  Executor* exec = first.q->executor();
+  std::array<detail::SelectPort<T>, N> ports{
+      detail::SelectPort<T>::make(first), detail::SelectPort<T>::make(rest)...};
+  for (;;) {
+    // Pre-registration sweep: the cheap path when something is already
+    // there (mirrors the loop-top try_pop of pop_async).
+    {
+      bool all_done = true;
+      for (std::size_t i = 0; i < N; ++i) {
+        bool was_sealed = ports[i].sealed(ports[i].q);
+        std::optional<T> v;
+        if (ports[i].pop(ports[i].q, ports[i].h, v)) {
+          co_return SelectResult<T>{i, sync::PopStatus::kOk, std::move(v)};
+        }
+        if (!was_sealed) all_done = false;
+      }
+      if (all_done) {
+        co_return SelectResult<T>{N, sync::PopStatus::kClosed, std::nullopt};
+      }
+    }
+    {
+      detail::SelectRound<T, N> round(ports, exec);
+      bool all_done = false;
+      if (auto hit = round.sweep(all_done)) {
+        co_return SelectResult<T>{hit->first, sync::PopStatus::kOk,
+                                  std::move(hit->second)};
+      }
+      if (all_done) {
+        co_return SelectResult<T>{N, sync::PopStatus::kClosed, std::nullopt};
+      }
+      co_await round.park();
+    }  // round destructor cancels every losing registration
+  }
+}
+
+}  // namespace wfq::async

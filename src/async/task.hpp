@@ -1,0 +1,239 @@
+// Task<T>: the minimal lazy coroutine type the async queue surface returns.
+//
+// Design constraints, in order:
+//  * Lazy start (initial_suspend = always): a Task is inert until awaited
+//    or explicitly started, so `auto t = q.pop_async(h)` never registers a
+//    waiter the caller did not ask for yet.
+//  * Symmetric transfer at final_suspend: completing a task resumes its
+//    continuation by returning the handle from await_suspend, not by a
+//    nested resume() call — no stack growth through chains of co_await.
+//  * No allocation beyond the coroutine frame itself, no type erasure, no
+//    scheduler baked in. WHERE a resumption runs is the Executor's concern
+//    (executor.hpp); the Task just transfers control.
+//
+// sync_wait(task) is the bridge for non-coroutine callers (tests, main()):
+// it drives the task on the current thread and parks on a futex word until
+// the task completes — the same Futex the queues park on, so the async
+// suite exercises no third blocking primitive.
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sync/futex.hpp"
+
+namespace wfq::async {
+
+template <class T>
+class Task;
+
+namespace detail {
+
+/// Final awaiter: hand control straight to whoever co_awaited us (or back
+/// to the resumer when the task was started detached from any awaiter).
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <class Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <class T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;  ///< resumed at final_suspend
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+template <class T>
+struct TaskPromise : TaskPromiseBase<T> {
+  std::optional<T> value;
+
+  Task<T> get_return_object() noexcept;
+  template <class U>
+  void return_value(U&& v) {
+    value.emplace(std::forward<U>(v));
+  }
+  T take() {
+    if (this->error) std::rethrow_exception(this->error);
+    return std::move(*value);
+  }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase<void> {
+  Task<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+  void take() {
+    if (this->error) std::rethrow_exception(this->error);
+  }
+};
+
+}  // namespace detail
+
+/// A lazily-started, move-only coroutine returning T. Await it exactly
+/// once. Destroying a Task destroys its frame; destroying one that is
+/// suspended *inside an awaiter registered with a queue* is safe — the
+/// awaiter's destructor deregisters (see async_queue.hpp) — but destroying
+/// one whose resumption is already posted to an executor is the caller's
+/// race to avoid, exactly as with any callback system.
+template <class T>
+class Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool valid() const noexcept { return h_ != nullptr; }
+  bool done() const noexcept { return h_ && h_.done(); }
+
+  /// Awaiting a Task starts it and suspends the awaiting coroutine until
+  /// it completes (symmetric transfer both ways).
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // start the task now
+      }
+      T await_resume() { return h.promise().take(); }
+    };
+    return Awaiter{h_};
+  }
+
+  /// Start the task with no continuation (fire it from non-coroutine
+  /// code); completion parks at final_suspend until destroyed. Used by
+  /// sync_wait and by tests that drive resumption manually.
+  void start() {
+    if (h_) h_.resume();
+  }
+
+  std::coroutine_handle<promise_type> handle() const noexcept { return h_; }
+
+ private:
+  std::coroutine_handle<promise_type> h_;
+};
+
+namespace detail {
+
+template <class T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+/// Eager helper coroutine behind sync_wait: runs the wrapped task, then
+/// flips the futex word the waiting thread is parked on. suspend_never at
+/// final_suspend means the frame frees itself; everything it touches at
+/// the end (`st`) lives on the sync_wait caller's stack, which provably
+/// outlives the store+wake because the caller does not return before
+/// observing done != 0.
+struct SyncDriver {
+  struct SyncState {
+    std::atomic<uint32_t> done{0};
+  };
+  struct promise_type {
+    SyncDriver get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+template <class T>
+SyncDriver sync_drive(Task<T>& t, SyncDriver::SyncState& st,
+                      std::optional<T>& out, std::exception_ptr& err) {
+  try {
+    out.emplace(co_await std::move(t));
+  } catch (...) {
+    err = std::current_exception();
+  }
+  st.done.store(1, std::memory_order_release);
+  sync::Futex::wake_all(st.done);
+}
+
+inline SyncDriver sync_drive(Task<void>& t, SyncDriver::SyncState& st,
+                             std::exception_ptr& err) {
+  try {
+    co_await std::move(t);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  st.done.store(1, std::memory_order_release);
+  sync::Futex::wake_all(st.done);
+}
+
+}  // namespace detail
+
+/// Run a task to completion from non-coroutine code, parking the calling
+/// thread while the task is suspended elsewhere (e.g. registered as an
+/// async queue waiter that another thread's push will resume).
+template <class T>
+T sync_wait(Task<T> t) {
+  detail::SyncDriver::SyncState st;
+  std::optional<T> out;
+  std::exception_ptr err;
+  detail::sync_drive(t, st, out, err);
+  while (st.done.load(std::memory_order_acquire) == 0) {
+    sync::Futex::wait(st.done, 0);
+  }
+  if (err) std::rethrow_exception(err);
+  return std::move(*out);
+}
+
+inline void sync_wait(Task<void> t) {
+  detail::SyncDriver::SyncState st;
+  std::exception_ptr err;
+  detail::sync_drive(t, st, err);
+  while (st.done.load(std::memory_order_acquire) == 0) {
+    sync::Futex::wait(st.done, 0);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+/// Fire-and-forget coroutine type for event-loop servers (examples/): the
+/// body starts eagerly, owns its own frame, and frees it on completion.
+/// Exceptions escaping a detached coroutine terminate — there is no one
+/// left to rethrow to.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+}  // namespace wfq::async

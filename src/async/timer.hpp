@@ -1,0 +1,115 @@
+// TimerService: deadline callbacks for pop_async_for.
+//
+// A coroutine cannot park a thread on a futex with a timeout — there is no
+// thread to park. Timed awaiters instead arm an entry here; one lazily
+// started service thread fires callbacks at their deadlines. The service
+// is deliberately tiny (mutex + condvar + ordered multimap): a timed async
+// pop is already on the slow path (it parked), so heap-allocating one map
+// node per armed round is noise next to the futex syscall it replaces.
+//
+// The safety-critical part is cancel(): an awaiter about to release its
+// frame must know its callback is not concurrently executing against that
+// frame. cancel() therefore blocks while the entry it names is mid-fire
+// (same rendezvous role await_async_done plays for EventCount claims).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "sync/futex.hpp"  // WaitClock
+
+namespace wfq::async {
+
+class TimerService {
+ public:
+  using Callback = void (*)(void*);
+
+  /// Process-wide instance. Leaked on purpose: the service thread must
+  /// outlive every static-destruction-order race, the standard dodge for
+  /// background singletons.
+  static TimerService& instance() {
+    static TimerService* svc = new TimerService();
+    return *svc;
+  }
+
+  /// Schedule `fire(ctx)` at `when` (service thread). Returns a token for
+  /// cancel(). Never fires before `when`; may fire arbitrarily late under
+  /// scheduling pressure (deadline semantics, like futex timeouts).
+  std::uint64_t arm(sync::WaitClock::time_point when, Callback fire,
+                    void* ctx) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!started_) {
+      std::thread(&TimerService::run, this).detach();
+      started_ = true;
+    }
+    const std::uint64_t id = next_id_++;
+    entries_.emplace(when, Entry{id, fire, ctx});
+    // Only a new front entry moves the wakeup earlier; waking on every arm
+    // keeps the logic obvious and the cost is one condvar signal per timed
+    // park.
+    cv_.notify_one();
+    return id;
+  }
+
+  /// Defuse a scheduled entry. True: the callback will never run. False:
+  /// it already ran or is running — and in the latter case cancel() has
+  /// BLOCKED until it finished, so on return the callback is never again
+  /// touching the caller's memory either way.
+  bool cancel(std::uint64_t id) {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.id == id) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    while (firing_id_ == id) fired_cv_.wait(lk);
+    return false;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    Callback fire;
+    void* ctx;
+  };
+
+  TimerService() = default;
+
+  void run() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (entries_.empty()) {
+        cv_.wait(lk);
+        continue;
+      }
+      auto front = entries_.begin();
+      const auto when = front->first;
+      if (sync::WaitClock::now() < when) {
+        cv_.wait_until(lk, when);
+        continue;  // re-evaluate: an earlier entry may have been armed
+      }
+      Entry e = front->second;
+      entries_.erase(front);
+      firing_id_ = e.id;
+      lk.unlock();  // never run user callbacks under the service lock
+      e.fire(e.ctx);
+      lk.lock();
+      firing_id_ = 0;
+      fired_cv_.notify_all();  // release any cancel() rendezvous
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;        ///< service thread sleep/wake
+  std::condition_variable fired_cv_;  ///< cancel-vs-fire rendezvous
+  std::multimap<sync::WaitClock::time_point, Entry> entries_;
+  std::uint64_t next_id_ = 1;  ///< 0 is "not firing"
+  std::uint64_t firing_id_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace wfq::async

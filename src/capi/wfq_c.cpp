@@ -243,7 +243,10 @@ struct ShmQueueImpl final : QueueBase {
         // Closed: one more non-blocking pass decides drained-vs-residual.
         return q.dequeue(lof(b), out) == wfq::ipc::ShmPop::kOk ? 1 : 0;
       }
-      q.recover();
+      // Peer-death probe, not a full recover: an idle park must do O(1)
+      // work per slice, and escalate only when a cached peer stops
+      // answering (shm_queue.hpp, maybe_recover).
+      q.maybe_recover();
     }
   }
 
@@ -259,7 +262,7 @@ struct ShmQueueImpl final : QueueBase {
         return q.dequeue(lof(b), out) == wfq::ipc::ShmPop::kOk ? 1 : -1;
       }
       if (std::chrono::steady_clock::now() >= deadline) return 0;
-      q.recover();
+      q.maybe_recover();  // same O(1)-per-slice probe as dequeue_wait
     }
   }
 

@@ -43,8 +43,13 @@
   /* counts futex wakes actually issued by producers -- the zero-fence */    \
   /* claim of ALGORITHM.md section 10 is testable as "no-waiter workloads */ \
   /* report notify_calls == 0". */                                           \
+  /* A spurious wakeup is a park that ended with neither a notify nor a */   \
+  /* timeout (EINTR on the futex backends) -- classified from the wake */    \
+  /* syscall's own result since PR 10, so the counter agrees exactly */      \
+  /* with the trace ring's park/wake events (tools/soak.cpp audits it). */   \
   F(deq_parks)             /* consumer futex sleeps */                       \
-  F(deq_spurious_wakeups)  /* woke to a still-empty open queue */            \
+  F(deq_spurious_wakeups)  /* consumer parks ended by neither notify */      \
+                           /* nor timeout */                                 \
   F(notify_calls)          /* producer-side futex wakes issued */            \
   /* Robustness layer (PR 4: fault injection, orphan adoption, OOM seam). */ \
   /* The injected_* pair is nonzero only under a ScriptedInjector. */        \
@@ -62,6 +67,8 @@
   /* push_wait, the producer-side mirror of deq_parks). */                   \
   F(enq_full)          /* try_enqueue returned kFull */                      \
   F(push_full_parks)   /* producer futex sleeps on a full queue */           \
+  F(push_spurious_wakeups) /* producer parks ended by neither notify */      \
+                           /* nor timeout (mirror of the deq counter) */     \
   /* Adaptive fast-path tuning (PR 7, src/core/adaptive.hpp). Nonzero */     \
   /* only with WfConfig::patience_mode == kAdaptive: the per-handle */       \
   /* PATIENCE controller's epoch-boundary decisions, and the high-water */   \

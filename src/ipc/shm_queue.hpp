@@ -63,7 +63,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "harness/fault_inject.hpp"
 #include "ipc/offset_ptr.hpp"
@@ -193,6 +196,13 @@ class ShmQueue {
     std::atomic<std::uint64_t> recovery_floor;
     std::atomic<std::uint64_t> peer_deaths;
     std::atomic<std::uint64_t> shm_adoptions;
+    // Slot-membership generation: bumped by every graceful claim/release
+    // and by each recover() pass that reclaimed dead slots. maybe_recover()
+    // uses it to keep a local peer snapshot fresh without walking the slot
+    // table every park slice. Graceless deaths deliberately do NOT bump it
+    // — the cached (pid, start_time) pair stays in every prober's snapshot
+    // until a liveness poll catches the death.
+    std::atomic<std::uint64_t> peer_gen;
     std::atomic<std::uint64_t> rescued_pending;  // ring entries Full (hint)
     std::atomic<std::uint32_t> closed;
     alignas(64) std::atomic<std::uint32_t> enq_events;  // futex word
@@ -363,6 +373,7 @@ class ShmQueue {
           // Deliberately leave slots[i].spare alone: a previous holder's
           // parked segment (dead or detached) is inherited, not leaked.
           lh->slot = &slots[i];
+          c->peer_gen.fetch_add(1, std::memory_order_release);
           return true;
         }
       }
@@ -381,6 +392,7 @@ class ShmQueue {
     lh->slot->start_time.store(0, std::memory_order_relaxed);
     lh->slot->pid.store(0, std::memory_order_release);
     lh->slot = nullptr;
+    ctrl_->peer_gen.fetch_add(1, std::memory_order_release);
   }
 
   /// Release this process's default slot (op must be quiescent) and unmap.
@@ -623,9 +635,55 @@ class ShmQueue {
       }
     }
     c->rescued_pending.store(full_entries, std::memory_order_seq_cst);
+    // Membership changed: every attachment's maybe_recover() snapshot is
+    // now stale — bump before dropping the lock so a prober serialized
+    // behind us resnapshots instead of re-detecting the same corpses.
+    if (reclaimed != 0) c->peer_gen.fetch_add(1, std::memory_order_release);
     release_recovery_lock();
     if (reclaimed != 0) wake_consumers();
     return reclaimed;
+  }
+
+  /// The idle-park probe: decide whether a full recover() is warranted
+  /// without paying for one. Parked dequeuers call this once per wait
+  /// slice; on a quiet queue with stable membership the cost is one atomic
+  /// load (peer_gen) plus one liveness poll per cached LIVE peer — and
+  /// with no peers at all, O(1). recover() by contrast walks every proc
+  /// slot AND the whole rescue ring AND recounts rescued_pending under the
+  /// shared recovery lock, which is exactly the per-slice work an idle
+  /// consumer used to burn.
+  ///
+  /// Detection stays prompt: a graceless death never bumps peer_gen, so
+  /// the victim's cached (pid, start_time) pair remains in the snapshot
+  /// until the liveness poll catches it — at most one slice later than
+  /// calling recover() unconditionally, which polls the same /proc state.
+  std::size_t maybe_recover() {
+    ProbeState& ps = *probe_;
+    std::unique_lock<std::mutex> lk(ps.mu, std::try_to_lock);
+    if (!lk.owns_lock()) return 0;  // a sibling thread is already probing
+    const std::uint64_t gen = ctrl_->peer_gen.load(std::memory_order_acquire);
+    if (gen != ps.snapshot_gen) {
+      snapshot_peers(ps);
+      ps.snapshot_gen = gen;
+    }
+    for (const auto& peer : ps.peers) {
+      if (process_alive((pid_t)peer.first, peer.second)) continue;
+      ps.full_runs.fetch_add(1, std::memory_order_relaxed);
+      // Invalidate locally before escalating: recover() bumps peer_gen
+      // only when it wins the lock AND reclaims, so a lost race must not
+      // pin the corpse in our cache (it would escalate every slice).
+      ps.snapshot_gen = ~std::uint64_t{0};
+      lk.unlock();
+      return recover();
+    }
+    return 0;
+  }
+
+  /// How many maybe_recover() probes escalated to a full recover() on this
+  /// attachment. A consumer parked on a quiet queue with stable peers must
+  /// leave this at zero no matter how many slices elapse.
+  std::uint64_t recover_full_runs() const noexcept {
+    return probe_->full_runs.load(std::memory_order_relaxed);
   }
 
   // ---- introspection / audit ------------------------------------------
@@ -723,6 +781,35 @@ class ShmQueue {
     std::swap(arena_, o.arena_);
     std::swap(ctrl_, o.ctrl_);
     std::swap(self_, o.self_);
+    std::swap(probe_, o.probe_);
+  }
+
+  /// Local (per-attachment) cache behind maybe_recover(): the peer
+  /// membership snapshot and the peer_gen it was taken at. Heap-held via
+  /// unique_ptr because ShmQueue is movable and mutex/atomic are not.
+  struct ProbeState {
+    std::mutex mu;  ///< one prober per attachment at a time
+    std::uint64_t snapshot_gen = ~std::uint64_t{0};  ///< force first snapshot
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> peers;
+    std::atomic<std::uint64_t> full_runs{0};
+  };
+
+  /// Rebuild the (pid, start_time) peer list from the slot table. Own-pid
+  /// slots are excluded: this process is alive by definition, and a
+  /// multi-handle process would otherwise poll itself every slice.
+  void snapshot_peers(ProbeState& ps) {
+    ps.peers.clear();
+    Control* c = ctrl_;
+    ProcSlot* slots = arena_.template at<ProcSlot>(c->slots_off);
+    const std::uint32_t me = (std::uint32_t)::getpid();
+    for (std::uint32_t i = 0; i < c->geo.max_procs; ++i) {
+      const std::uint32_t pid = slots[i].pid.load(std::memory_order_acquire);
+      if (pid == 0 || pid == me) continue;
+      // start_time 0 means the claim is mid-flight; process_alive treats
+      // that as alive, so a half-published peer can't trigger a recover.
+      ps.peers.emplace_back(
+          pid, slots[i].start_time.load(std::memory_order_acquire));
+    }
   }
 
   void finish_op(LocalHandle& lh) {
@@ -1008,6 +1095,7 @@ class ShmQueue {
   ShmArena arena_;
   Control* ctrl_ = nullptr;
   LocalHandle self_;
+  std::unique_ptr<ProbeState> probe_ = std::make_unique<ProbeState>();
 };
 
 }  // namespace wfq::ipc

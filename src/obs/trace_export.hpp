@@ -30,7 +30,7 @@ inline constexpr const char* kTraceEventNames[] = {
     "obs:help_received", "obs:cleanup",    "obs:park",
     "obs:wake",          "obs:alloc_fail", "obs:reserve_hit",
     "obs:oom_rescue",    "obs:adopt",      "obs:patience_raise",
-    "obs:patience_drop",
+    "obs:patience_drop", "obs:wake_spurious",
 };
 static_assert(sizeof(kTraceEventNames) / sizeof(kTraceEventNames[0]) ==
                   kTraceEventCount,
@@ -46,7 +46,7 @@ inline constexpr const char* kTraceEventKeys[] = {
     "enq_slow",      "deq_slow",   "help_given", "help_received",
     "cleanup",       "park",       "wake",       "alloc_fail",
     "reserve_hit",   "oom_rescue", "adopt",      "patience_raise",
-    "patience_drop",
+    "patience_drop", "wake_spurious",
 };
 static_assert(sizeof(kTraceEventKeys) / sizeof(kTraceEventKeys[0]) ==
                   kTraceEventCount,

@@ -37,6 +37,7 @@ enum class TraceEvent : uint32_t {
   kAdopt,         ///< orphaned handle adopted; a = victim obs id
   kPatienceRaise, ///< adaptive controller doubled patience; a = new value
   kPatienceDrop,  ///< adaptive controller halved patience; a = new value
+  kWakeSpurious,  ///< park ended with no notify and no timeout; a = 1/2 side
   kCount_         ///< number of event types (not an event)
 };
 

@@ -197,6 +197,14 @@ class BlockingQueue {
   /// (backpressure: retry, drop, or use push_wait to park for space).
   PushStatus push_status(Handle& h, T v) { return push_once(h, v); }
 
+  /// Reference form of push_status for retry loops: `v` is consumed ONLY
+  /// on kOk — kFull / kClosed / kNoMem hand it back untouched (the
+  /// bounded inner queue reserves its free index before encoding). The
+  /// async layer's push_async retries through this so a parked-and-woken
+  /// producer never re-submits a moved-from value; push_status keeps the
+  /// simpler by-value surface for one-shot callers.
+  PushStatus try_push(Handle& h, T& v) { return push_once(h, v); }
+
   /// Blocking push for a bounded inner queue: parks via a producer-side
   /// EventCount while the queue is full, woken by consumers freeing space
   /// (the mirror image of pop_wait). Returns kOk or kClosed — never kFull.
@@ -403,6 +411,20 @@ class BlockingQueue {
   /// Producers currently registered against the space EventCount (tests).
   uint32_t space_waiters() const noexcept { return space_ec_.waiters(); }
 
+  /// Async-layer seam (src/async/): the consumer-side EventCount. An
+  /// AsyncWaiter registered here participates in the exact same Dekker as
+  /// a pop_wait thread — it counts into the waiters_ word the producer's
+  /// MOV-load checks — so coroutine waiters add nothing to the no-waiter
+  /// enqueue fast path. Anyone registering must follow the awaiter
+  /// protocol: register, re-check (sealed-snapshot-then-try_pop, same
+  /// order as pop_impl_body), cancel on predicate-true.
+  EventCount& pop_event() noexcept { return ec_; }
+
+  /// Producer-side (space) EventCount for bounded backends; the seam
+  /// push_async parks through. Meaningless (never notified) when the
+  /// inner queue is unbounded.
+  EventCount& space_event() noexcept { return space_ec_; }
+
   /// Hard bound of the inner queue (bounded inner queues only).
   std::size_t capacity() const
     requires BoundedQueue<Q>
@@ -461,7 +483,6 @@ class BlockingQueue {
                           WaitClock::time_point deadline) {
     BlockingRec* rec = h.rec_;
     WaitStrategy strategy(policy);
-    bool just_woke = false;
     // Read sealed_ BEFORE attempting the dequeue: if the dequeue then
     // returns EMPTY, emptiness was observed at a point where the push set
     // was already frozen, so EMPTY is final — kClosed is linearizable.
@@ -472,14 +493,6 @@ class BlockingQueue {
       bool was_sealed = sealed_.load(std::memory_order_acquire);
       if (attempt(h, single, bulk)) return PopStatus::kOk;
       if (was_sealed) return PopStatus::kClosed;
-      if (just_woke) {
-        // Parked, woken, and the re-check still found an open empty queue:
-        // that wake delivered nothing — spurious by definition. Only the
-        // failed re-check can make this call, so it is made here.
-        rec->stats.deq_spurious_wakeups.fetch_add(1,
-                                                  std::memory_order_relaxed);
-        just_woke = false;
-      }
 
       // Deadline check runs on EVERY iteration, not only when the strategy
       // escalates to a park: a spin-heavy policy (e.g. spin_only()) never
@@ -504,52 +517,47 @@ class BlockingQueue {
           break;
       }
 
-      EventCount::Key key = ec_.prepare_wait();
+      // WaitGuard owns the registration: any exit between here and the
+      // wait — the predicate firing, kClosed, or the inner dequeue
+      // throwing (allocation failure, injected crash) — cancels it on
+      // unwind, so waiters_ can never leak and pin producers onto the
+      // notify slow path.
+      EventCount::WaitGuard guard(ec_);
       // Registered as a waiter — now re-run the full predicate. A producer
       // that deposited before our registration was visible cannot have
       // seen has_waiters(); the seq_cst Dekker (EventCount header)
       // guarantees this re-check finds its item.
       bool sealed_now = sealed_.load(std::memory_order_acquire);
-      bool got;
-      try {
-        got = attempt(h, single, bulk);
-      } catch (...) {
-        // The inner dequeue can throw (allocation failure, injected
-        // crash); never leave the waiter registration behind.
-        ec_.cancel_wait();
-        throw;
-      }
-      if (got) {
-        ec_.cancel_wait();
-        return PopStatus::kOk;
-      }
-      if (sealed_now) {
-        ec_.cancel_wait();
-        return PopStatus::kClosed;
-      }
+      if (attempt(h, single, bulk)) return PopStatus::kOk;
+      if (sealed_now) return PopStatus::kClosed;
       rec->stats.deq_parks.fetch_add(1, std::memory_order_relaxed);
       obs_trace(rec, obs::TraceEvent::kPark);
       WFQ_INJECT(QTraits, "blk_pop_prepark");
-      if (has_deadline) {
-        const bool signaled = ec_.wait_until(key, deadline);
-        // a = 1 when a notify ended the park, 0 when the deadline did.
-        obs_trace(rec, obs::TraceEvent::kWake, signaled ? 1 : 0);
-        if (!signaled) {
-          // Same sealed-before-attempt order as above: a seal landing
-          // after a failed attempt must not masquerade as "drained".
-          bool final_sealed = sealed_.load(std::memory_order_acquire);
-          if (attempt(h, single, bulk)) return PopStatus::kOk;
-          return final_sealed ? PopStatus::kClosed : PopStatus::kTimeout;
-        }
+      EventCount::WaitResult wr = has_deadline ? guard.wait_until(deadline)
+                                               : guard.wait();
+      if (wr == EventCount::WaitResult::kSpurious) {
+        // The futex returned with no wake and no timeout (EINTR): the
+        // park delivered nothing by the kernel's own account. Counted
+        // here, at the park itself, so the stat matches the trace ring
+        // exactly (tools/soak.cpp audits the pair).
+        rec->stats.deq_spurious_wakeups.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        obs_trace(rec, obs::TraceEvent::kWakeSpurious, 1);
       } else {
-        ec_.wait(key);
-        obs_trace(rec, obs::TraceEvent::kWake, 1);
+        // a = 1 when a notify ended the park, 0 when the deadline did.
+        obs_trace(rec, obs::TraceEvent::kWake,
+                  wr == EventCount::WaitResult::kNotified ? 1 : 0);
       }
-      // Woken (or the epoch moved under us). The loop re-runs the full
-      // predicate; `just_woke` lets the re-check classify the wake.
-      // `strategy` stays escalated on purpose: after one park, re-park
-      // without repeating the whole spin ladder.
-      just_woke = true;
+      if (wr == EventCount::WaitResult::kTimeout) {
+        // Same sealed-before-attempt order as above: a seal landing
+        // after a failed attempt must not masquerade as "drained".
+        bool final_sealed = sealed_.load(std::memory_order_acquire);
+        if (attempt(h, single, bulk)) return PopStatus::kOk;
+        return final_sealed ? PopStatus::kClosed : PopStatus::kTimeout;
+      }
+      // Woken (or the epoch moved under us); the loop re-runs the full
+      // predicate. `strategy` stays escalated on purpose: after one park,
+      // re-park without repeating the whole spin ladder.
     }
   }
 
@@ -654,30 +662,32 @@ class BlockingQueue {
           break;
       }
 
-      EventCount::Key key = space_ec_.prepare_wait();
+      // WaitGuard for the same exception/early-return safety as the pop
+      // side (the inner enqueue can throw through push_once).
+      EventCount::WaitGuard guard(space_ec_);
       // Registered as a space waiter — re-run the attempt. A consumer that
       // freed a slot before our registration was visible cannot have seen
       // has_waiters(); the seq_cst Dekker guarantees this re-check finds
       // the space (or the close).
       st = push_once(h, v);
-      if (st != PushStatus::kFull) {
-        space_ec_.cancel_wait();
-        return st;
-      }
+      if (st != PushStatus::kFull) return st;
       rec->stats.push_full_parks.fetch_add(1, std::memory_order_relaxed);
       // a = 2 marks a producer-side (space) park in the shared trace ring.
       obs_trace(rec, obs::TraceEvent::kPark, 2);
       WFQ_INJECT(QTraits, "blk_push_prepark");
-      if (has_deadline) {
-        const bool signaled = space_ec_.wait_until(key, deadline);
-        obs_trace(rec, obs::TraceEvent::kWake, signaled ? 3 : 2);
-        if (!signaled) {
-          st = push_once(h, v);
-          return st == PushStatus::kFull ? PushStatus::kTimeout : st;
-        }
+      EventCount::WaitResult wr = has_deadline ? guard.wait_until(deadline)
+                                               : guard.wait();
+      if (wr == EventCount::WaitResult::kSpurious) {
+        rec->stats.push_spurious_wakeups.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        obs_trace(rec, obs::TraceEvent::kWakeSpurious, 2);
       } else {
-        space_ec_.wait(key);
-        obs_trace(rec, obs::TraceEvent::kWake, 3);
+        obs_trace(rec, obs::TraceEvent::kWake,
+                  wr == EventCount::WaitResult::kNotified ? 3 : 2);
+      }
+      if (wr == EventCount::WaitResult::kTimeout) {
+        st = push_once(h, v);
+        return st == PushStatus::kFull ? PushStatus::kTimeout : st;
       }
       // Re-loop with the strategy kept escalated, like the pop side.
     }

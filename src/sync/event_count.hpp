@@ -39,12 +39,21 @@
 // enqueue's trailing RMW to be a *fence*, which seq_cst RMWs are not
 // obliged to be portably; BlockingQueue inserts one explicit
 // thread_fence(seq_cst) before the check on those targets (never on x86).
+//
+// PR 10 generalized the waiter side: besides a thread parked on the epoch
+// futex, a waiter can now be an *async slot* (AsyncWaiter) carrying a
+// resume callback — src/async/ registers coroutine handles through it.
+// notify() claims registered slots and invokes their callbacks after
+// bumping the epoch, so a single notify serves both kinds. Crucially the
+// producer side is untouched: async registration feeds the same waiters_
+// word the Dekker already reads, so the no-waiter fast path stays a MOV.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "common/atomics.hpp"
 #include "sync/futex.hpp"
 
 namespace wfq::sync {
@@ -57,6 +66,12 @@ class BasicEventCount {
   /// Epoch snapshot handed from prepare_wait() to wait().
   using Key = uint32_t;
 
+  /// Why wait()/wait_until() returned (re-exported futex tri-state; see
+  /// futex.hpp). kNotified also covers "epoch moved before we slept".
+  using WaitResult = WakeCause;
+
+  // -------------------------------------------------------------- threads
+
   /// The producer-side check. Seq_cst load = plain MOV on x86 (see file
   /// header for why that suffices); call it after the publishing operation
   /// (the enqueue), never before.
@@ -66,7 +81,8 @@ class BasicEventCount {
 
   /// Registers the caller as a waiter and snapshots the epoch. After this
   /// the caller MUST re-check its predicate and then call exactly one of
-  /// cancel_wait() / wait() / wait_until().
+  /// cancel_wait() / wait() / wait_until() — or hold the registration in a
+  /// WaitGuard, which makes that pairing exception-safe.
   Key prepare_wait() noexcept {
     waiters_.fetch_add(1, std::memory_order_seq_cst);  // full fence on x86
     return epoch_.load(std::memory_order_seq_cst);
@@ -79,45 +95,263 @@ class BasicEventCount {
 
   /// Sleeps until an epoch bump (or spuriously); deregisters on return.
   /// The caller re-checks its predicate in a loop.
-  void wait(Key key) noexcept {
-    FutexT::wait(epoch_, key);
+  WaitResult wait(Key key) noexcept {
+    WaitResult r = FutexT::wait(epoch_, key);
     waiters_.fetch_sub(1, std::memory_order_release);
+    return r;
   }
 
-  /// Timed wait; returns false iff the deadline passed without a wake.
+  /// Timed wait; kTimeout iff the deadline passed without a wake.
   /// Deregisters on return either way.
-  bool wait_until(Key key, WaitClock::time_point deadline) noexcept {
-    bool woken = FutexT::wait_until(epoch_, key, deadline);
+  WaitResult wait_until(Key key, WaitClock::time_point deadline) noexcept {
+    WaitResult r = FutexT::wait_until(epoch_, key, deadline);
     waiters_.fetch_sub(1, std::memory_order_release);
-    return woken;
+    return r;
   }
 
-  /// Wakes up to `n` registered waiters. Callers normally guard with
+  /// RAII wrapper for the prepare/re-check/wait-or-cancel protocol. The
+  /// manual pairing leaked waiters_ permanently if anything between
+  /// prepare_wait() and wait() threw or returned early (pinning every
+  /// future enqueue onto the notify slow path); the guard's destructor
+  /// cancels any registration that was never consumed by a wait. All
+  /// blocking_queue.hpp park sites and every src/async/ path use it.
+  class WaitGuard {
+   public:
+    explicit WaitGuard(BasicEventCount& ec) noexcept
+        : ec_(ec), key_(ec.prepare_wait()), armed_(true) {}
+
+    WaitGuard(const WaitGuard&) = delete;
+    WaitGuard& operator=(const WaitGuard&) = delete;
+
+    ~WaitGuard() {
+      if (armed_) ec_.cancel_wait();
+    }
+
+    /// Consumes the registration by sleeping on it. Call at most once.
+    WaitResult wait() noexcept {
+      armed_ = false;
+      return ec_.wait(key_);
+    }
+
+    /// Timed variant; also consumes the registration.
+    WaitResult wait_until(WaitClock::time_point deadline) noexcept {
+      armed_ = false;
+      return ec_.wait_until(key_, deadline);
+    }
+
+    /// The epoch snapshot taken at registration (tests).
+    Key key() const noexcept { return key_; }
+
+   private:
+    BasicEventCount& ec_;
+    Key key_;
+    bool armed_;
+  };
+
+  // ---------------------------------------------------- async waiter slots
+
+  /// Lifecycle of an AsyncWaiter slot. Registration arms it; exactly one
+  /// of a notify (kClaimed -> kDone) or a cancel (kCancelled) resolves it.
+  enum : uint32_t {
+    kAwIdle = 0,       ///< never registered (or reset for reuse)
+    kAwArmed = 1,      ///< on the list, eligible to be claimed by notify()
+    kAwClaimed = 2,    ///< unlinked by notify(); callback is in flight
+    kAwDone = 3,       ///< callback finished touching the node
+    kAwCancelled = 4,  ///< deregistered by cancel_async() before any claim
+  };
+
+  /// One registered asynchronous waiter: instead of parking a thread on
+  /// the epoch futex, notify() invokes `on_notify` (which typically
+  /// resumes a coroutine handle — see src/async/async_queue.hpp).
+  ///
+  /// Callback contract (the whole memory-safety story lives here):
+  ///  * notify() unlinks the node, stores kAwClaimed, releases the
+  ///    registration lock, and only then invokes the callback — callbacks
+  ///    never run under the lock, so a callback may re-enter notify().
+  ///  * The callback must read everything it needs OUT of the node/frame,
+  ///    then store kAwDone (release) as its LAST access to the node, and
+  ///    only after that resume/post the handle. Once kAwDone is visible
+  ///    the node's owner may free the memory (await_async_done() is the
+  ///    rendezvous for an owner whose cancel lost the race to a claim).
+  ///  * The EventCount itself never touches the node again after the
+  ///    callback is invoked.
+  struct AsyncWaiter {
+    void (*on_notify)(AsyncWaiter*) = nullptr;
+    void* ctx = nullptr;  ///< callback payload (the awaiter object)
+    AsyncWaiter* prev = nullptr;
+    AsyncWaiter* next = nullptr;
+    std::atomic<uint32_t> state{kAwIdle};
+  };
+
+  /// Registers an async slot. Counts into the same waiters_ word the
+  /// producer's Dekker load reads — that is the whole trick: the producer
+  /// cannot tell a coroutine from a parked thread, so its fast path is
+  /// byte-identical. The caller must re-check its predicate AFTER this
+  /// returns (the awaiter protocol's post-registration poll), mirroring
+  /// prepare_wait(); on predicate-true it calls cancel_async().
+  void register_async(AsyncWaiter* w) noexcept {
+    w->state.store(kAwArmed, std::memory_order_relaxed);
+    waiters_.fetch_add(1, std::memory_order_seq_cst);  // the Dekker publish
+    lock_.lock();
+    w->prev = tail_;
+    w->next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next = w;
+    } else {
+      head_ = w;
+    }
+    tail_ = w;
+    lock_.unlock();
+  }
+
+  /// Deregisters an armed slot. Returns true if the slot was still armed
+  /// (it is now kAwCancelled and fully owned by the caller again); false
+  /// if a notify already claimed it — the claim's callback is in flight
+  /// or finished, and an owner about to release the node's memory must
+  /// rendezvous via await_async_done() first.
+  bool cancel_async(AsyncWaiter* w) noexcept {
+    lock_.lock();
+    if (w->state.load(std::memory_order_relaxed) != kAwArmed) {
+      lock_.unlock();
+      return false;
+    }
+    unlink(w);
+    w->state.store(kAwCancelled, std::memory_order_relaxed);
+    lock_.unlock();
+    waiters_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+
+  /// Spin until a claimed slot's callback has finished touching the node
+  /// (kAwDone). Only needed when cancel_async() returned false and the
+  /// node's storage is about to be reused or freed.
+  static void await_async_done(AsyncWaiter* w) noexcept {
+    while (w->state.load(std::memory_order_acquire) != kAwDone) cpu_pause();
+  }
+
+  // ------------------------------------------------------------- notify
+
+  /// Wakes up to `n` registered waiters — parked threads via the epoch
+  /// futex, async slots via their callbacks. Callers normally guard with
   /// has_waiters(); notify itself is unconditional (close() wants that).
+  ///
+  /// notify always serializes through the registration lock — there is
+  /// deliberately NO "async list empty" fast skip. A separate emptiness
+  /// hint would reintroduce the lost-wakeup window the Dekker closes: a
+  /// waiter that has done its waiters_ increment but not yet linked its
+  /// node could be missed by the hint and never resumed. With the lock,
+  /// either the notifier claims the node (it was linked first), or the
+  /// waiter's post-registration re-check runs after the notifier's
+  /// unlock and is therefore ordered after the deposit (lock release /
+  /// acquire), so it finds the value and cancels. The lock only ever
+  /// contends with registration traffic — i.e. only when waiters exist,
+  /// which is already the slow path.
   void notify(uint32_t n) noexcept {
     epoch_.fetch_add(1, std::memory_order_seq_cst);
+    AsyncWaiter* claimed = claim_async(n);
     FutexT::wake(epoch_, n);
+    run_claimed(claimed);
   }
 
   void notify_all() noexcept {
     epoch_.fetch_add(1, std::memory_order_seq_cst);
+    AsyncWaiter* claimed = claim_async(~uint32_t{0});
     FutexT::wake_all(epoch_);
+    run_claimed(claimed);
   }
 
-  /// Approximate registered-waiter count (tests/monitoring).
+  // ------------------------------------------------------------ inspection
+
+  /// Approximate registered-waiter count (tests/monitoring); includes
+  /// async slots.
   uint32_t waiters() const noexcept {
     return waiters_.load(std::memory_order_relaxed);
   }
 
+  /// Epoch snapshot (tests): notify() is the only epoch writer, so an
+  /// unchanged epoch across a window proves no notify ran in it.
+  Key epoch_snapshot() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
  private:
-  // One line for both words: only parking/waking traffic touches them, and
-  // a producer's read of waiters_ would drag epoch_'s line along anyway.
-  // The alignas keeps unrelated neighbours (e.g. the queue's indices) off.
+  /// Unlink up to n armed slots; returns them chained via `next` (they are
+  /// off the list, so the field is dead until the callback runs). Marks
+  /// each kAwClaimed under the lock so a racing cancel_async() sees it.
+  AsyncWaiter* claim_async(uint32_t n) noexcept {
+    AsyncWaiter* claimed = nullptr;
+    AsyncWaiter* claimed_tail = nullptr;
+    uint32_t taken = 0;
+    lock_.lock();
+    while (head_ != nullptr && taken < n) {
+      AsyncWaiter* w = head_;
+      unlink(w);
+      w->state.store(kAwClaimed, std::memory_order_relaxed);
+      w->next = nullptr;
+      if (claimed_tail != nullptr) {
+        claimed_tail->next = w;
+      } else {
+        claimed = w;
+      }
+      claimed_tail = w;
+      ++taken;
+    }
+    lock_.unlock();
+    if (taken != 0) {
+      // Async slots deregister at claim time (a thread deregisters when
+      // its futex wait returns); one batched sub keeps the accounting
+      // exact so waiters() never over-reports resumed coroutines.
+      waiters_.fetch_sub(taken, std::memory_order_release);
+    }
+    return claimed;
+  }
+
+  /// Invoke claimed callbacks outside the lock. `w->next` must be read
+  /// before the callback: the callback's kAwDone store hands the node
+  /// back to its owner, who may free it immediately.
+  static void run_claimed(AsyncWaiter* w) noexcept {
+    while (w != nullptr) {
+      AsyncWaiter* next = w->next;
+      w->on_notify(w);
+      w = next;
+    }
+  }
+
+  void unlink(AsyncWaiter* w) noexcept {
+    if (w->prev != nullptr) {
+      w->prev->next = w->next;
+    } else {
+      head_ = w->next;
+    }
+    if (w->next != nullptr) {
+      w->next->prev = w->prev;
+    } else {
+      tail_ = w->prev;
+    }
+    w->prev = nullptr;
+  }
+
+  struct ListLock {
+    void lock() noexcept {
+      while (v.exchange(1, std::memory_order_acquire) != 0) cpu_pause();
+    }
+    void unlock() noexcept { v.store(0, std::memory_order_release); }
+    std::atomic<uint32_t> v{0};
+  };
+
+  // One line for both hot words: only parking/waking traffic touches them,
+  // and a producer's read of waiters_ would drag epoch_'s line along
+  // anyway. The alignas keeps unrelated neighbours (e.g. the queue's
+  // indices) off. The async-list fields live on the next line: they are
+  // only touched by registration and notify, never by the producer check.
   alignas(kCacheLineSize) std::atomic<uint32_t> epoch_{0};  ///< futex word
   std::atomic<uint32_t> waiters_{0};
   // Epoch wrap (2^32 notifies between a snapshot and its wait) is ignored,
   // as in every futex-based event count: the window is a handful of
   // instructions and a wrap merely costs one spurious sleep-and-recheck.
+  alignas(kCacheLineSize) ListLock lock_;
+  AsyncWaiter* head_ = nullptr;  ///< guarded by lock_
+  AsyncWaiter* tail_ = nullptr;  ///< guarded by lock_
 };
 
 using EventCount = BasicEventCount<>;

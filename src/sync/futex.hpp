@@ -45,6 +45,17 @@ namespace wfq::sync {
 
 using WaitClock = std::chrono::steady_clock;
 
+/// Why a futex wait returned. The distinction matters for the blocking
+/// layer's `*_spurious_wakeups` stats (docs/OBSERVABILITY.md): a value
+/// mismatch (EAGAIN) means the word already moved — i.e. a notify really
+/// happened — so lumping it with EINTR as "woken" (the pre-tri-state
+/// behaviour) made the spurious counter lie in both directions.
+enum class WakeCause : std::uint8_t {
+  kNotified,  ///< woken by a wake, or the word had already changed (EAGAIN)
+  kTimeout,   ///< the deadline expired (timed waits only)
+  kSpurious,  ///< returned with no wake and no timeout (EINTR, cv spurious)
+};
+
 #if defined(__linux__)
 
 /// futex(2)-backed implementation. `word` must be a naturally aligned
@@ -67,20 +78,26 @@ struct LinuxFutexImpl {
   static constexpr int kWakeOp =
       Private ? FUTEX_WAKE_PRIVATE : FUTEX_WAKE;
 
-  /// Sleep while `*word == expected`. Returns on wake, on value mismatch,
-  /// or spuriously (EINTR); never consumes a wake it did not receive.
-  static void wait(const std::atomic<uint32_t>& word, uint32_t expected) {
-    (void)syscall(SYS_futex, address_of(word), kWaitOp, expected,
-                  nullptr, nullptr, 0);
+  /// Sleep while `*word == expected`. Never consumes a wake it did not
+  /// receive. kNotified covers both a delivered wake and a value mismatch
+  /// (EAGAIN: the word moved before we slept, i.e. a notify already
+  /// happened); kSpurious is EINTR — the caller woke for no queue-related
+  /// reason. Callers re-check their predicate either way.
+  static WakeCause wait(const std::atomic<uint32_t>& word, uint32_t expected) {
+    long rc = syscall(SYS_futex, address_of(word), kWaitOp, expected,
+                      nullptr, nullptr, 0);
+    if (rc == 0) return WakeCause::kNotified;
+    return errno == EAGAIN ? WakeCause::kNotified : WakeCause::kSpurious;
   }
 
-  /// Timed variant. Returns false iff the deadline passed without a wake
-  /// (the caller still re-checks its predicate: a wake and a timeout can
-  /// race, and the kernel reports whichever it committed first).
-  static bool wait_until(const std::atomic<uint32_t>& word, uint32_t expected,
-                         WaitClock::time_point deadline) {
+  /// Timed variant. kTimeout iff the deadline passed without a wake (the
+  /// caller still re-checks its predicate: a wake and a timeout can race,
+  /// and the kernel reports whichever it committed first).
+  static WakeCause wait_until(const std::atomic<uint32_t>& word,
+                              uint32_t expected,
+                              WaitClock::time_point deadline) {
     auto now = WaitClock::now();
-    if (now >= deadline) return false;
+    if (now >= deadline) return WakeCause::kTimeout;
     auto rel = deadline - now;
     struct timespec ts;
     auto secs = std::chrono::duration_cast<std::chrono::seconds>(rel);
@@ -90,8 +107,9 @@ struct LinuxFutexImpl {
             .count());
     long rc = syscall(SYS_futex, address_of(word), kWaitOp,
                       expected, &ts, nullptr, 0);
-    if (rc == -1 && errno == ETIMEDOUT) return false;
-    return true;  // woken, value mismatch (EAGAIN), or EINTR: all "re-check"
+    if (rc == 0) return WakeCause::kNotified;
+    if (errno == ETIMEDOUT) return WakeCause::kTimeout;
+    return errno == EAGAIN ? WakeCause::kNotified : WakeCause::kSpurious;
   }
 
   /// Wake up to `n` waiters blocked on `word`.
@@ -132,22 +150,32 @@ using SharedFutex = LinuxFutexImpl<false>;
 struct PortableFutex {
   static constexpr const char* kName = "portable-parking-lot";
 
-  static void wait(const std::atomic<uint32_t>& word, uint32_t expected) {
+  // A condvar cannot tell a real notify from a spurious return or a
+  // bucket-collision over-wake, so this backend never reports kSpurious:
+  // everything but a timeout is kNotified. The spurious-wake stats are
+  // exact only on the futex backends (documented in OBSERVABILITY.md).
+  static WakeCause wait(const std::atomic<uint32_t>& word, uint32_t expected) {
     Bucket& b = bucket(&word);
     std::unique_lock<std::mutex> lk(b.m);
     // Re-check under the bucket lock: a waker that changed the word must
     // take this lock before notifying, so either we see the new value here
     // or its notify happens after we are inside cv.wait.
-    if (word.load(std::memory_order_seq_cst) != expected) return;
+    if (word.load(std::memory_order_seq_cst) != expected)
+      return WakeCause::kNotified;
     b.cv.wait(lk);
+    return WakeCause::kNotified;
   }
 
-  static bool wait_until(const std::atomic<uint32_t>& word, uint32_t expected,
-                         WaitClock::time_point deadline) {
+  static WakeCause wait_until(const std::atomic<uint32_t>& word,
+                              uint32_t expected,
+                              WaitClock::time_point deadline) {
     Bucket& b = bucket(&word);
     std::unique_lock<std::mutex> lk(b.m);
-    if (word.load(std::memory_order_seq_cst) != expected) return true;
-    return b.cv.wait_until(lk, deadline) == std::cv_status::no_timeout;
+    if (word.load(std::memory_order_seq_cst) != expected)
+      return WakeCause::kNotified;
+    return b.cv.wait_until(lk, deadline) == std::cv_status::no_timeout
+               ? WakeCause::kNotified
+               : WakeCause::kTimeout;
   }
 
   static void wake(const std::atomic<uint32_t>& word, uint32_t /*n*/) {

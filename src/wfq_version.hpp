@@ -12,7 +12,7 @@
 // proc-slot layout, cell format, segment geometry encoding). Attach
 // refuses a mismatched arena before writing a single byte to it.
 #define WFQ_SHM_MAGIC 0x30304D485351'4657ULL  // "WFQSHM00", little-endian
-#define WFQ_SHM_LAYOUT_VERSION 2u  // v2: ProcSlot grew the `spare` field
+#define WFQ_SHM_LAYOUT_VERSION 3u  // v3: Control grew the `peer_gen` word
 
 namespace wfq {
 

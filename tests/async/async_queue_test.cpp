@@ -1,0 +1,411 @@
+// Tests for the coroutine face (src/async/): pop_async / pop_async_for /
+// push_async over the generalized EventCount waiter slot.
+//
+// The suite runs under TSan in CI (tests/CMakeLists.txt LABEL tsan): the
+// round protocol's interesting properties are all concurrency properties —
+// claim-vs-cancel on the waiter node, resume-vs-frame-destruction at round
+// scope exit, and the pass-on rule that keeps mixed thread/coroutine
+// waiter populations starvation-free.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "async/async_queue.hpp"
+#include "checker/history.hpp"
+#include "checker/queue_checker.hpp"
+
+namespace {
+
+using wfq::async::AsyncScqQueue;
+using wfq::async::AsyncShardedQueue;
+using wfq::async::AsyncWFQueue;
+using wfq::async::ManualExecutor;
+using wfq::async::PopResult;
+using wfq::async::sync_wait;
+using wfq::async::Task;
+using wfq::sync::PopStatus;
+using wfq::sync::PushStatus;
+
+// ---------------------------------------------------------------------------
+// Driver coroutines. Free functions taking references: a capturing lambda
+// coroutine would dangle once the lambda temporary dies, so the test suite
+// never uses one.
+// ---------------------------------------------------------------------------
+
+template <class QA>
+Task<void> pop_one_into(QA& q, typename QA::Handle& h,
+                        std::atomic<int>& out) {
+  auto r = co_await q.pop_async(h);
+  out.store(r ? *r.value : -2, std::memory_order_release);
+}
+
+template <class QA>
+Task<void> drain_all(QA& q, typename QA::Handle& h, std::vector<int>& out) {
+  for (;;) {
+    auto r = co_await q.pop_async(h);
+    if (!r) co_return;  // kClosed: sealed AND drained
+    out.push_back(*r.value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast path and plumbing
+// ---------------------------------------------------------------------------
+
+TEST(AsyncQueue, PopAsyncDeliversAnAlreadyPresentValueWithoutSuspending) {
+  AsyncWFQueue<int> q;
+  auto h = q.get_handle();
+  ASSERT_TRUE(q.push(h, 41));
+
+  auto r = sync_wait(q.pop_async(h));
+  ASSERT_EQ(r.status, PopStatus::kOk);
+  EXPECT_EQ(*r.value, 41);
+  EXPECT_TRUE(static_cast<bool>(r));
+
+  auto as = q.async_stats();
+  EXPECT_EQ(as.pop_suspends, 0u);
+  EXPECT_EQ(as.pop_wakes, 0u);
+}
+
+// The acceptance-criterion assertion: an enqueue with no registered
+// awaiters executes no atomic RMW beyond the unwrapped enqueue's own. The
+// EventCount epoch word and the waiters word are the ONLY RMW targets the
+// blocking/async layer adds, and notify_calls counts every entry into the
+// notify slow path — so "all three unchanged across 1000 pushes" pins the
+// producer fast path to a single seq_cst load (ALGORITHM.md §10/§17).
+TEST(AsyncQueue, EnqueueWithNoRegisteredAwaitersExecutesNoExtraRmw) {
+  AsyncWFQueue<int> q;
+  auto h = q.get_handle();
+
+  auto& ec = q.blocking().pop_event();
+  const std::uint64_t epoch_before = ec.epoch_snapshot();
+  ASSERT_EQ(q.waiters(), 0u);
+
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(q.push(h, i));
+
+  EXPECT_EQ(q.blocking().stats().notify_calls.load(), 0u);
+  EXPECT_EQ(ec.epoch_snapshot(), epoch_before);
+  EXPECT_EQ(q.waiters(), 0u);
+}
+
+TEST(AsyncQueue, PopAsyncSuspendsUntilAProducerPushes) {
+  AsyncWFQueue<int> q;
+  auto hc = q.get_handle();
+
+  std::thread consumer([&] {
+    auto r = sync_wait(q.pop_async(hc));
+    ASSERT_EQ(r.status, PopStatus::kOk);
+    EXPECT_EQ(*r.value, 77);
+  });
+
+  while (q.waiters() == 0) std::this_thread::yield();
+  auto hp = q.get_handle();
+  ASSERT_TRUE(q.push(hp, 77));
+  consumer.join();
+
+  EXPECT_EQ(q.waiters(), 0u);
+  auto as = q.async_stats();
+  EXPECT_EQ(as.pop_suspends, as.pop_wakes);
+  EXPECT_LE(as.pop_suspends, 1u);
+}
+
+TEST(AsyncQueue, CoAwaitAcrossCloseSeesClosedNotHang) {
+  AsyncWFQueue<int> q;
+  auto hc = q.get_handle();
+
+  std::thread consumer([&] {
+    auto r = sync_wait(q.pop_async(hc));
+    EXPECT_EQ(r.status, PopStatus::kClosed);
+    EXPECT_FALSE(r.value.has_value());
+  });
+
+  while (q.waiters() == 0) std::this_thread::yield();
+  q.close();
+  consumer.join();
+  EXPECT_EQ(q.waiters(), 0u);
+}
+
+TEST(AsyncQueue, CloseDeliversRemainingValuesBeforeClosed) {
+  AsyncWFQueue<int> q;
+  auto h = q.get_handle();
+  ASSERT_TRUE(q.push(h, 1));
+  ASSERT_TRUE(q.push(h, 2));
+  q.close();
+
+  EXPECT_EQ(*sync_wait(q.pop_async(h)).value, 1);
+  EXPECT_EQ(*sync_wait(q.pop_async(h)).value, 2);
+  EXPECT_EQ(sync_wait(q.pop_async(h)).status, PopStatus::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Executor seam
+// ---------------------------------------------------------------------------
+
+TEST(AsyncQueue, ManualExecutorDefersResumeToDrain) {
+  AsyncWFQueue<int> q;
+  ManualExecutor ex;
+  q.set_executor(&ex);
+  auto hc = q.get_handle();
+  std::atomic<int> out{-1};
+
+  auto driver = pop_one_into(q, hc, out);
+  driver.start();  // runs to the park; registration is synchronous
+  ASSERT_EQ(q.waiters(), 1u);
+
+  auto hp = q.get_handle();
+  ASSERT_TRUE(q.push(hp, 9));
+  // The claim ran on this thread (inline notify) but only POSTED the
+  // handle; nothing resumes until the executor drains.
+  EXPECT_EQ(out.load(std::memory_order_acquire), -1);
+  EXPECT_EQ(ex.pending(), 1u);
+
+  EXPECT_EQ(ex.drain(), 1u);
+  EXPECT_EQ(out.load(std::memory_order_acquire), 9);
+  EXPECT_TRUE(driver.done());
+}
+
+// ---------------------------------------------------------------------------
+// Destruction safety
+// ---------------------------------------------------------------------------
+
+// Destroying a Task suspended inside a registered round must deregister the
+// waiter (the async layer's WaitGuard duty) — and must leave the producer
+// fast path cold: the next push sees waiters()==0 and never calls notify.
+TEST(AsyncQueue, DestroyingSuspendedPopTaskDeregistersItsWaiter) {
+  AsyncWFQueue<int> q;
+  auto h = q.get_handle();
+  {
+    auto t = q.pop_async(h);
+    t.start();  // parks: queue is empty and open
+    EXPECT_EQ(q.waiters(), 1u);
+  }  // Task dtor destroys the frame; the round dtor cancels the slot
+  EXPECT_EQ(q.waiters(), 0u);
+
+  const std::uint64_t notifies = q.blocking().stats().notify_calls.load();
+  ASSERT_TRUE(q.push(h, 5));
+  EXPECT_EQ(q.blocking().stats().notify_calls.load(), notifies);
+  EXPECT_EQ(q.try_pop(h).value_or(-1), 5);
+}
+
+// The resume-vs-destruction race, in its supported form: every co_await
+// q.pop_async(h) materializes an inner Task that is destroyed at the end of
+// the full-expression — microseconds after a claim on another thread
+// resumed it, and possibly WHILE that claim (or a passed-on one) is still
+// between its phase CAS and its kAwDone store. Four producers and four
+// coroutine consumers looping for thousands of values hammer exactly that
+// window; TSan turns any misordered frame access into a failure.
+TEST(AsyncQueue, ResumeVsCoAwaitDestructionRaceUnderMpmcLoad) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 3000;
+
+  AsyncWFQueue<int> q;
+  std::vector<std::vector<int>> got(kConsumers);
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&q, &got, c] {
+      auto h = q.get_handle();
+      sync_wait(drain_all(q, h, got[c]));
+    });
+  }
+  std::atomic<int> live_producers{kProducers};
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, &live_producers, p] {
+      auto h = q.get_handle();
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(h, p * kPerProducer + i));
+      }
+      if (live_producers.fetch_sub(1) == 1) q.close();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  std::size_t total = 0;
+  for (const auto& v : got) {
+    for (int x : v) {
+      ASSERT_GE(x, 0);
+      ASSERT_LT(x, kProducers * kPerProducer);
+      ASSERT_FALSE(seen[static_cast<std::size_t>(x)])
+          << "value " << x << " delivered twice";
+      seen[static_cast<std::size_t>(x)] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(q.waiters(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Timed pops
+// ---------------------------------------------------------------------------
+
+TEST(AsyncQueue, PopAsyncForTimesOutOnAQuietQueue) {
+  AsyncWFQueue<int> q;
+  auto h = q.get_handle();
+  const auto timeout = std::chrono::milliseconds(30);
+  const auto t0 = wfq::sync::WaitClock::now();
+
+  auto r = sync_wait(q.pop_async_for(h, timeout));
+  EXPECT_EQ(r.status, PopStatus::kTimeout);
+  EXPECT_GE(wfq::sync::WaitClock::now() - t0, timeout);
+  EXPECT_EQ(q.waiters(), 0u);
+}
+
+TEST(AsyncQueue, PopAsyncForDeliversAValueArrivingBeforeTheDeadline) {
+  AsyncWFQueue<int> q;
+  auto hc = q.get_handle();
+
+  std::thread consumer([&] {
+    auto r = sync_wait(q.pop_async_for(hc, std::chrono::seconds(10)));
+    ASSERT_EQ(r.status, PopStatus::kOk);
+    EXPECT_EQ(*r.value, 13);
+  });
+  while (q.waiters() == 0) std::this_thread::yield();
+  auto hp = q.get_handle();
+  ASSERT_TRUE(q.push(hp, 13));
+  consumer.join();
+  EXPECT_EQ(q.waiters(), 0u);
+}
+
+TEST(AsyncQueue, PopAsyncForSeesCloseBeforeTheDeadline) {
+  AsyncWFQueue<int> q;
+  auto hc = q.get_handle();
+
+  std::thread consumer([&] {
+    auto r = sync_wait(q.pop_async_for(hc, std::chrono::seconds(10)));
+    EXPECT_EQ(r.status, PopStatus::kClosed);
+  });
+  while (q.waiters() == 0) std::this_thread::yield();
+  q.close();
+  consumer.join();
+}
+
+// ---------------------------------------------------------------------------
+// push_async (bounded backends only)
+// ---------------------------------------------------------------------------
+
+TEST(AsyncQueue, PushAsyncParksOnAFullRingAndResumesWhenSpaceFrees) {
+  AsyncScqQueue<int> q(8);
+  auto hp = q.get_handle();
+
+  int filled = 0;
+  while (q.push_status(hp, filled) == PushStatus::kOk) ++filled;
+  ASSERT_GT(filled, 0);
+
+  std::thread pusher([&] {
+    auto h = q.get_handle();
+    EXPECT_EQ(sync_wait(q.push_async(h, 1000)), PushStatus::kOk);
+  });
+
+  while (q.blocking().space_waiters() == 0) std::this_thread::yield();
+  auto hc = q.get_handle();
+  ASSERT_TRUE(q.try_pop(hc).has_value());
+  pusher.join();
+
+  // Everything that went in comes out exactly once (the parked value too).
+  std::vector<int> out;
+  while (auto v = q.try_pop(hc)) out.push_back(*v);
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(filled));
+  EXPECT_EQ(out.back(), 1000);
+  EXPECT_GE(q.async_stats().push_suspends, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded backend under coroutines
+// ---------------------------------------------------------------------------
+
+TEST(AsyncQueue, ShardedBackendDeliversUnderAsyncConsumers) {
+  constexpr int kValues = 2000;
+  AsyncShardedQueue<int> q;
+  std::vector<int> got;
+
+  std::thread consumer([&] {
+    auto h = q.get_handle();
+    sync_wait(drain_all(q, h, got));
+  });
+  auto hp = q.get_handle();
+  for (int i = 0; i < kValues; ++i) ASSERT_TRUE(q.push(hp, i));
+  q.close();
+  consumer.join();
+
+  std::vector<bool> seen(kValues, false);
+  for (int x : got) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(x)]);
+    seen[static_cast<std::size_t>(x)] = true;
+  }
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kValues));
+}
+
+// ---------------------------------------------------------------------------
+// History-checker enrollment: the async-wrapped queue is subject to the
+// same linearizability differential as the blocking surface. Coroutine
+// consumers record their dequeues through the same HistoryRecorder the
+// thread-based suites use; check_queue_history verifies FIFO + real-time
+// order over the merged history.
+// ---------------------------------------------------------------------------
+
+Task<void> recorded_drain(AsyncWFQueue<std::uint64_t>& q,
+                          AsyncWFQueue<std::uint64_t>::Handle& h,
+                          wfq::lin::HistoryRecorder::ThreadLog* log) {
+  for (;;) {
+    const std::uint64_t ts = log->invoke();
+    auto r = co_await q.pop_async(h);
+    if (!r) {
+      // kClosed: the queue was observably empty (sealed AND drained) at
+      // some point inside the call — record it as an EMPTY observation.
+      log->complete(wfq::lin::OpKind::kDequeueEmpty, 0, ts);
+      co_return;
+    }
+    log->complete(wfq::lin::OpKind::kDequeue, *r.value, ts);
+  }
+}
+
+TEST(AsyncQueue, HistoryCheckerAcceptsAsyncConsumedHistories) {
+  constexpr unsigned kProducers = 3;
+  constexpr unsigned kConsumers = 3;
+  constexpr std::uint64_t kPerProducer = 2000;
+
+  AsyncWFQueue<std::uint64_t> q;
+  wfq::lin::HistoryRecorder rec;
+  std::vector<wfq::lin::HistoryRecorder::ThreadLog*> plogs, clogs;
+  for (unsigned i = 0; i < kProducers; ++i) plogs.push_back(rec.make_log(i));
+  for (unsigned i = 0; i < kConsumers; ++i) {
+    clogs.push_back(rec.make_log(kProducers + i));
+  }
+
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&q, log = clogs[c]] {
+      auto h = q.get_handle();
+      sync_wait(recorded_drain(q, h, log));
+    });
+  }
+  std::atomic<unsigned> live{kProducers};
+  for (unsigned p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, &live, log = plogs[p], p] {
+      auto h = q.get_handle();
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t v = p * kPerProducer + i + 1;  // distinct, nonzero
+        const std::uint64_t ts = log->invoke();
+        ASSERT_TRUE(q.push(h, v));
+        log->complete(wfq::lin::OpKind::kEnqueue, v, ts);
+      }
+      if (live.fetch_sub(1) == 1) q.close();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto result = wfq::lin::check_queue_history(rec.collect());
+  EXPECT_TRUE(result) << result.violation;
+}
+
+}  // namespace

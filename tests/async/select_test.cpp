@@ -1,0 +1,208 @@
+// Tests for select_any (src/async/select.hpp): one coroutine awaiting N
+// queues through N AsyncWaiter nodes that share a single RoundCore.
+//
+// The property under test everywhere: exactly one claimant wins, losing
+// registrations are cancelled without leaking waiter counts (every test
+// ends by asserting waiters()==0 on every queue), and a notify consumed by
+// a losing registration is passed back to its queue instead of vanishing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "async/async_queue.hpp"
+#include "async/select.hpp"
+
+namespace {
+
+using wfq::async::AsyncScqQueue;
+using wfq::async::AsyncWFQueue;
+using wfq::async::on;
+using wfq::async::select_any;
+using wfq::async::SelectResult;
+using wfq::async::sync_wait;
+using wfq::async::Task;
+using wfq::sync::PopStatus;
+
+TEST(SelectAny, TakesAnAlreadyReadyQueueWithoutParking) {
+  AsyncWFQueue<int> q1, q2;
+  auto h1 = q1.get_handle();
+  auto h2 = q2.get_handle();
+  ASSERT_TRUE(q2.push(h2, 55));
+
+  auto r = sync_wait(select_any(on(q1, h1), on(q2, h2)));
+  ASSERT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.index, 1u);
+  EXPECT_EQ(*r.value, 55);
+  EXPECT_EQ(q1.waiters(), 0u);
+  EXPECT_EQ(q2.waiters(), 0u);
+}
+
+TEST(SelectAny, ParksOnBothQueuesAndTheLoserRegistrationIsCancelled) {
+  AsyncWFQueue<int> q1, q2;
+  auto h1 = q1.get_handle();
+  auto h2 = q2.get_handle();
+
+  std::thread consumer([&] {
+    auto r = sync_wait(select_any(on(q1, h1), on(q2, h2)));
+    ASSERT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.index, 0u);
+    EXPECT_EQ(*r.value, 7);
+  });
+
+  // Both registrations count into their queues' waiter words — the select
+  // IS a waiter on every queue it watches.
+  while (q1.waiters() == 0 || q2.waiters() == 0) std::this_thread::yield();
+  auto hp = q1.get_handle();
+  ASSERT_TRUE(q1.push(hp, 7));
+  consumer.join();
+
+  // The q2 registration lost and was cancelled: no leaked count.
+  EXPECT_EQ(q1.waiters(), 0u);
+  EXPECT_EQ(q2.waiters(), 0u);
+}
+
+TEST(SelectAny, ReportsClosedOnlyWhenEveryQueueIsSealedAndDrained) {
+  AsyncWFQueue<int> q1, q2;
+  auto h1 = q1.get_handle();
+  auto h2 = q2.get_handle();
+
+  q1.close();  // one closed queue just drops out of the race
+  ASSERT_TRUE(q2.push(h2, 3));
+  auto r = sync_wait(select_any(on(q1, h1), on(q2, h2)));
+  ASSERT_EQ(r.status, PopStatus::kOk);
+  EXPECT_EQ(r.index, 1u);
+  EXPECT_EQ(*r.value, 3);
+
+  q2.close();
+  r = sync_wait(select_any(on(q1, h1), on(q2, h2)));
+  EXPECT_EQ(r.status, PopStatus::kClosed);
+  EXPECT_EQ(r.index, 2u);  // index == queue count encodes "none"
+  EXPECT_FALSE(r.value.has_value());
+}
+
+TEST(SelectAny, ComposesAcrossDifferentInnerQueueTypes) {
+  AsyncWFQueue<int> unbounded;
+  AsyncScqQueue<int> ring(8);
+  auto h1 = unbounded.get_handle();
+  auto h2 = ring.get_handle();
+  ASSERT_TRUE(ring.push(h2, 21));
+
+  auto r = sync_wait(select_any(on(unbounded, h1), on(ring, h2)));
+  ASSERT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.index, 1u);
+  EXPECT_EQ(*r.value, 21);
+}
+
+// Collector coroutine: keep selecting until every queue reports done.
+Task<void> collect_all(AsyncWFQueue<int>& q1,
+                       AsyncWFQueue<int>::Handle& h1, AsyncWFQueue<int>& q2,
+                       AsyncWFQueue<int>::Handle& h2,
+                       std::vector<int>& from1, std::vector<int>& from2) {
+  for (;;) {
+    auto r = co_await select_any(on(q1, h1), on(q2, h2));
+    if (!r) co_return;  // kClosed: both sealed and drained
+    (r.index == 0 ? from1 : from2).push_back(*r.value);
+  }
+}
+
+// The race the ISSUE names: both queues racing to deliver while one select
+// coroutine arbitrates. Two producers push disjoint value ranges into
+// their own queues as fast as they can; the collector must see every value
+// exactly once and attribute each to the right queue, and the losing
+// registration of every round must unwind without leaking a waiter count.
+// TSan-labeled: the N claim callbacks race through one RoundCore here.
+TEST(SelectAny, BothQueuesRacingToDeliverLoseNothingAndLeakNothing) {
+  constexpr int kPerQueue = 4000;
+  AsyncWFQueue<int> q1, q2;
+  auto h1c = q1.get_handle();
+  auto h2c = q2.get_handle();
+  std::vector<int> from1, from2;
+
+  std::thread collector([&] {
+    sync_wait(collect_all(q1, h1c, q2, h2c, from1, from2));
+  });
+  std::thread p1([&] {
+    auto h = q1.get_handle();
+    for (int i = 0; i < kPerQueue; ++i) ASSERT_TRUE(q1.push(h, i));
+    q1.close();
+  });
+  std::thread p2([&] {
+    auto h = q2.get_handle();
+    for (int i = 0; i < kPerQueue; ++i) {
+      ASSERT_TRUE(q2.push(h, kPerQueue + i));
+    }
+    q2.close();
+  });
+  p1.join();
+  p2.join();
+  collector.join();
+
+  ASSERT_EQ(from1.size(), static_cast<std::size_t>(kPerQueue));
+  ASSERT_EQ(from2.size(), static_cast<std::size_t>(kPerQueue));
+  std::vector<bool> seen(2 * kPerQueue, false);
+  for (int x : from1) {
+    ASSERT_GE(x, 0);
+    ASSERT_LT(x, kPerQueue);  // attribution: queue 1's range only
+    ASSERT_FALSE(seen[static_cast<std::size_t>(x)]);
+    seen[static_cast<std::size_t>(x)] = true;
+  }
+  for (int x : from2) {
+    ASSERT_GE(x, kPerQueue);
+    ASSERT_LT(x, 2 * kPerQueue);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(x)]);
+    seen[static_cast<std::size_t>(x)] = true;
+  }
+  EXPECT_EQ(q1.waiters(), 0u);
+  EXPECT_EQ(q2.waiters(), 0u);
+}
+
+// A select must not STARVE a plain blocking consumer on the same queue:
+// the pass-on rule (a losing claim re-notifies its queue) is what keeps a
+// mixed population live. One select and one pop_wait thread share q1;
+// values pushed to q1 must reach one of them, never evaporate.
+TEST(SelectAny, MixedSelectAndBlockingConsumersStayLive) {
+  constexpr int kValues = 2000;
+  AsyncWFQueue<int> q1, q2;
+  auto h1s = q1.get_handle();
+  auto h2s = q2.get_handle();
+  std::vector<int> via_select1, via_select2;
+  std::vector<int> via_blocking;
+
+  std::thread selecting([&] {
+    sync_wait(collect_all(q1, h1s, q2, h2s, via_select1, via_select2));
+  });
+  std::thread blocking([&] {
+    auto h = q1.get_handle();
+    int v = 0;
+    while (q1.blocking().pop_wait(h, v) == PopStatus::kOk) {
+      via_blocking.push_back(v);
+    }
+  });
+
+  auto hp = q1.get_handle();
+  for (int i = 0; i < kValues; ++i) ASSERT_TRUE(q1.push(hp, i));
+  q1.close();
+  q2.close();
+  selecting.join();
+  blocking.join();
+
+  std::vector<bool> seen(kValues, false);
+  std::size_t total = 0;
+  for (const auto* v : {&via_select1, &via_blocking}) {
+    for (int x : *v) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(x)]);
+      seen[static_cast<std::size_t>(x)] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kValues));
+  EXPECT_TRUE(via_select2.empty());
+  EXPECT_EQ(q1.waiters(), 0u);
+  EXPECT_EQ(q2.waiters(), 0u);
+}
+
+}  // namespace

@@ -349,4 +349,37 @@ TEST(ShmCrash, ParkedConsumerIsWokenByPeerProcessEnqueue) {
   EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
+// The gated recovery path must keep the same rescue promptness as calling
+// recover() unconditionally: a peer killed mid-dequeue leaves its (pid,
+// start_time) pair in every prober's snapshot (graceless deaths never
+// bump peer_gen), so the very next maybe_recover() escalates, reclaims
+// the slot, and redelivers the stranded value through the rescue ring.
+TEST(ShmCrash, MaybeRecoverEscalatesOnKilledPeerAndRescues) {
+  QueueFile f("probe_detect");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, opts(), &q),
+            ArenaStatus::kOk);
+  ASSERT_EQ(q.enqueue(31), ShmPush::kOk);
+
+  run_killed_child(f.path, [](KillQ& cq) {
+    Kill9Injector::arm("shm_deq_ticketed");
+    std::uint64_t v = 0;
+    cq.dequeue(&v);  // dies holding the ticket for value 31
+  });
+
+  EXPECT_EQ(q.recover_full_runs(), 0u);
+  EXPECT_GE(q.maybe_recover(), 1u);  // escalated AND reclaimed the slot
+  EXPECT_EQ(q.recover_full_runs(), 1u);
+  EXPECT_GE(q.peer_deaths(), 1u);
+
+  std::uint64_t out = 0;
+  ASSERT_EQ(q.dequeue(&out), ShmPop::kOk);
+  EXPECT_EQ(out, 31u);
+
+  // Quiet again: the post-recover snapshot is corpse-free, so subsequent
+  // probes go back to doing O(1) work.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(q.maybe_recover(), 0u);
+  EXPECT_EQ(q.recover_full_runs(), 1u);
+}
+
 }  // namespace

@@ -271,4 +271,32 @@ TEST(ShmQueue, PreHookRunsBeforeDelivery) {
   EXPECT_EQ(journaled, 123u);
 }
 
+// The idle-park probe: a consumer parked on a quiet queue calls
+// maybe_recover() once per wait slice, and with stable (or same-process)
+// membership that must NEVER escalate to a full recover() — escalations
+// are what used to make an idle shm consumer burn CPU walking the slot
+// table and rescue ring every 100ms.
+TEST(ShmQueue, IdleMaybeRecoverNeverEscalatesWithStablePeers) {
+  QueueFile f("idle_probe");
+  ShmQ q;
+  ASSERT_EQ(ShmQ::create(f.path.c_str(), 1 << 20, small_opts(), &q),
+            ArenaStatus::kOk);
+
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(q.maybe_recover(), 0u);
+  EXPECT_EQ(q.recover_full_runs(), 0u);
+
+  // Membership churn from a live attachment bumps peer_gen — the probe
+  // resnapshots but still finds nothing dead (own-pid slots are excluded,
+  // so a multi-handle process never polls itself either).
+  ShmQ peer;
+  ASSERT_EQ(ShmQ::attach(f.path.c_str(), &peer), ArenaStatus::kOk);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(q.maybe_recover(), 0u);
+  EXPECT_EQ(q.recover_full_runs(), 0u);
+  EXPECT_EQ(peer.recover_full_runs(), 0u);
+
+  peer.detach();  // graceful release: another bump, still nobody dead
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(q.maybe_recover(), 0u);
+  EXPECT_EQ(q.recover_full_runs(), 0u);
+}
+
 }  // namespace

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -28,6 +30,14 @@ using FutexImpls =
 using FutexImpls = ::testing::Types<wfq::sync::PortableFutex>;
 #endif
 TYPED_TEST_SUITE(EventCountTest, FutexImpls);
+
+template <class F>
+class EventCountWaitGuard : public ::testing::Test {};
+TYPED_TEST_SUITE(EventCountWaitGuard, FutexImpls);
+
+template <class F>
+class EventCountAsync : public ::testing::Test {};
+TYPED_TEST_SUITE(EventCountAsync, FutexImpls);
 
 TYPED_TEST(EventCountTest, NoWaitersInitially) {
   EXPECT_FALSE(this->ec.has_waiters());
@@ -50,9 +60,21 @@ TYPED_TEST(EventCountTest, StaleKeyDoesNotSleep) {
 }
 
 TYPED_TEST(EventCountTest, TimedWaitTimesOutAndDeregisters) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
   auto key = this->ec.prepare_wait();
-  EXPECT_FALSE(this->ec.wait_until(
-      key, WaitClock::now() + std::chrono::milliseconds(10)));
+  EXPECT_EQ(this->ec.wait_until(
+                key, WaitClock::now() + std::chrono::milliseconds(10)),
+            EC::WaitResult::kTimeout);
+  EXPECT_FALSE(this->ec.has_waiters());
+}
+
+TYPED_TEST(EventCountTest, StaleKeyTimedWaitReportsNotified) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
+  auto key = this->ec.prepare_wait();
+  this->ec.notify_all();  // epoch moved: the wait must not report kTimeout
+  EXPECT_EQ(this->ec.wait_until(
+                key, WaitClock::now() + std::chrono::seconds(10)),
+            EC::WaitResult::kNotified);
   EXPECT_FALSE(this->ec.has_waiters());
 }
 
@@ -140,6 +162,173 @@ TYPED_TEST(EventCountTest, DekkerNeverLosesAWakeup) {
   // where try_pop provably never registers).
   this->RecordProperty("skipped_notifies",
                        std::to_string(skipped_notifies.load()));
+}
+
+// ---- WaitGuard (PR 10 satellite): exception-safe registration ------------
+
+// The regression the guard exists for: anything throwing between
+// prepare_wait() and wait() used to leak waiters_ permanently, pinning
+// every future enqueue onto the notify slow path.
+TYPED_TEST(EventCountWaitGuard, ThrowBetweenPrepareAndWaitLeaksNothing) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
+  EC ec;
+  try {
+    typename EC::WaitGuard guard(ec);
+    EXPECT_EQ(ec.waiters(), 1u);  // registered
+    throw std::runtime_error("predicate re-check threw");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(ec.waiters(), 0u) << "guard must cancel on unwind";
+  EXPECT_FALSE(ec.has_waiters());
+}
+
+TYPED_TEST(EventCountWaitGuard, EarlyReturnCancelsRegistration) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
+  EC ec;
+  [&]() {
+    typename EC::WaitGuard guard(ec);
+    return;  // predicate fired: leave without waiting
+  }();
+  EXPECT_EQ(ec.waiters(), 0u);
+}
+
+TYPED_TEST(EventCountWaitGuard, WaitConsumesTheRegistrationExactlyOnce) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
+  EC ec;
+  {
+    typename EC::WaitGuard guard(ec);
+    ec.notify_all();  // make the key stale so wait() returns immediately
+    (void)guard.wait();
+    EXPECT_EQ(ec.waiters(), 0u);  // wait() deregistered...
+  }
+  EXPECT_EQ(ec.waiters(), 0u);  // ...and the destructor must not double-sub
+}
+
+// ---- AsyncWaiter slots (PR 10 tentpole seam) -----------------------------
+
+TYPED_TEST(EventCountAsync, RegisteredSlotCountsAsWaiterAndCancelsClean) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
+  EC ec;
+  typename EC::AsyncWaiter w;
+  w.on_notify = [](typename EC::AsyncWaiter* n) {
+    n->state.store(EC::kAwDone, std::memory_order_release);
+  };
+  ec.register_async(&w);
+  EXPECT_TRUE(ec.has_waiters()) << "async slots must feed the Dekker word";
+  EXPECT_EQ(ec.waiters(), 1u);
+  EXPECT_TRUE(ec.cancel_async(&w));
+  EXPECT_EQ(ec.waiters(), 0u);
+  EXPECT_EQ(w.state.load(), EC::kAwCancelled);
+}
+
+TYPED_TEST(EventCountAsync, NotifyClaimsSlotAndRunsCallback) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
+  EC ec;
+  static std::atomic<int> fired;
+  fired.store(0);
+  typename EC::AsyncWaiter w;
+  w.on_notify = [](typename EC::AsyncWaiter* n) {
+    fired.fetch_add(1, std::memory_order_relaxed);
+    n->state.store(EC::kAwDone, std::memory_order_release);
+  };
+  ec.register_async(&w);
+  ec.notify(1);
+  EC::await_async_done(&w);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(ec.waiters(), 0u) << "claim must deregister the slot";
+  EXPECT_FALSE(ec.cancel_async(&w)) << "already claimed";
+}
+
+TYPED_TEST(EventCountAsync, NotifyOneClaimsInFifoOrderAndLeavesTheRest) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
+  EC ec;
+  static std::atomic<int> order;
+  order.store(0);
+  struct Slot : EC::AsyncWaiter {
+    int seq = -1;
+  };
+  Slot a, b, c;
+  auto cb = [](typename EC::AsyncWaiter* n) {
+    static_cast<Slot*>(n)->seq = order.fetch_add(1, std::memory_order_relaxed);
+    n->state.store(EC::kAwDone, std::memory_order_release);
+  };
+  a.on_notify = b.on_notify = c.on_notify = cb;
+  ec.register_async(&a);
+  ec.register_async(&b);
+  ec.register_async(&c);
+  EXPECT_EQ(ec.waiters(), 3u);
+  ec.notify(1);
+  EC::await_async_done(&a);
+  EXPECT_EQ(a.seq, 0) << "oldest registration is claimed first";
+  EXPECT_EQ(ec.waiters(), 2u);
+  ec.notify_all();
+  EC::await_async_done(&b);
+  EC::await_async_done(&c);
+  EXPECT_EQ(b.seq, 1);
+  EXPECT_EQ(c.seq, 2);
+  EXPECT_EQ(ec.waiters(), 0u);
+}
+
+// Mixed population: a parked thread and an async slot, one notify_all —
+// both kinds must be released by the single epoch bump + claim sweep.
+TYPED_TEST(EventCountAsync, NotifyAllReleasesThreadsAndSlotsTogether) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
+  EC ec;
+  static std::atomic<int> slot_fired;
+  slot_fired.store(0);
+  std::atomic<bool> flag{false};
+  std::thread waiter([&] {
+    for (;;) {
+      auto key = ec.prepare_wait();
+      if (flag.load(std::memory_order_seq_cst)) {
+        ec.cancel_wait();
+        return;
+      }
+      ec.wait(key);
+    }
+  });
+  typename EC::AsyncWaiter w;
+  w.on_notify = [](typename EC::AsyncWaiter* n) {
+    slot_fired.fetch_add(1, std::memory_order_relaxed);
+    n->state.store(EC::kAwDone, std::memory_order_release);
+  };
+  ec.register_async(&w);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  flag.store(true, std::memory_order_seq_cst);
+  ec.notify_all();
+  waiter.join();
+  EC::await_async_done(&w);
+  EXPECT_EQ(slot_fired.load(), 1);
+  EXPECT_EQ(ec.waiters(), 0u);
+}
+
+// cancel vs notify race: for every round exactly one side must win — the
+// cancel (slot ends kAwCancelled, callback never runs) or the claim (slot
+// ends kAwDone, callback ran once) — and waiters_ must return to zero.
+TYPED_TEST(EventCountAsync, CancelVsNotifyRaceNeverLeaksWaiterCounts) {
+  using EC = wfq::sync::BasicEventCount<TypeParam>;
+  EC ec;
+  constexpr int kRounds = 5000;
+  static std::atomic<uint64_t> fired;
+  fired.store(0);
+  uint64_t cancelled = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    typename EC::AsyncWaiter w;
+    w.on_notify = [](typename EC::AsyncWaiter* n) {
+      fired.fetch_add(1, std::memory_order_relaxed);
+      n->state.store(EC::kAwDone, std::memory_order_release);
+    };
+    ec.register_async(&w);
+    std::thread notifier([&] { ec.notify(1); });
+    if (ec.cancel_async(&w)) {
+      ++cancelled;
+    } else {
+      EC::await_async_done(&w);  // claimed: wait out the callback
+    }
+    notifier.join();
+    ASSERT_EQ(ec.waiters(), 0u) << "round " << r;
+  }
+  EXPECT_EQ(cancelled + fired.load(), uint64_t(kRounds));
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 namespace {
 
 using wfq::sync::WaitClock;
+using wfq::sync::WakeCause;
 
 template <class F>
 class FutexTest : public ::testing::Test {};
@@ -29,23 +30,34 @@ TYPED_TEST_SUITE(FutexTest, FutexImpls);
 
 TYPED_TEST(FutexTest, WaitReturnsImmediatelyOnValueMismatch) {
   std::atomic<uint32_t> word{1};
-  // expected != current: must not sleep (would hang the test if it did).
-  TypeParam::wait(word, 0);
+  // expected != current: must not sleep (would hang the test if it did),
+  // and a mismatch means the word already moved — a notify happened — so
+  // the tri-state result must be kNotified, not kSpurious (satellite fix:
+  // the old bool return let EINTR and EAGAIN masquerade as each other).
+  EXPECT_EQ(TypeParam::wait(word, 0), WakeCause::kNotified);
 }
 
 TYPED_TEST(FutexTest, TimedWaitTimesOut) {
   std::atomic<uint32_t> word{0};
   auto t0 = WaitClock::now();
-  bool woken = TypeParam::wait_until(
+  WakeCause c = TypeParam::wait_until(
       word, 0, t0 + std::chrono::milliseconds(20));
-  EXPECT_FALSE(woken);
+  EXPECT_EQ(c, WakeCause::kTimeout);
   EXPECT_GE(WaitClock::now() - t0, std::chrono::milliseconds(15));
 }
 
-TYPED_TEST(FutexTest, TimedWaitWithPastDeadlineReturnsFalse) {
+TYPED_TEST(FutexTest, TimedWaitWithPastDeadlineTimesOut) {
   std::atomic<uint32_t> word{0};
-  EXPECT_FALSE(TypeParam::wait_until(
-      word, 0, WaitClock::now() - std::chrono::milliseconds(1)));
+  EXPECT_EQ(TypeParam::wait_until(
+                word, 0, WaitClock::now() - std::chrono::milliseconds(1)),
+            WakeCause::kTimeout);
+}
+
+TYPED_TEST(FutexTest, TimedWaitValueMismatchIsNotifiedNotTimeout) {
+  std::atomic<uint32_t> word{7};
+  EXPECT_EQ(TypeParam::wait_until(
+                word, 0, WaitClock::now() + std::chrono::seconds(10)),
+            WakeCause::kNotified);
 }
 
 TYPED_TEST(FutexTest, WakeDeliversToSleepingWaiter) {
@@ -90,7 +102,8 @@ TYPED_TEST(FutexTest, TimedWaitWokenBeforeDeadline) {
   std::thread waiter([&] {
     auto deadline = WaitClock::now() + std::chrono::seconds(10);
     while (word.load(std::memory_order_acquire) == 0) {
-      if (!TypeParam::wait_until(word, 0, deadline)) return;  // timeout
+      if (TypeParam::wait_until(word, 0, deadline) == WakeCause::kTimeout)
+        return;
     }
     got_wake.store(true);
   });
@@ -117,7 +130,9 @@ TEST(FutexFlagIndependence, SharedWakeDoesNotReachPrivateWaiter) {
   std::thread waiter([&] {
     auto deadline = WaitClock::now() + std::chrono::seconds(10);
     while (word.load(std::memory_order_acquire) == 0) {
-      if (!Private::wait_until(word, 0, deadline)) return;  // gave up
+      if (Private::wait_until(word, 0, deadline) ==
+          wfq::sync::WakeCause::kTimeout)
+        return;  // gave up
     }
     released.store(true, std::memory_order_release);
   });
@@ -146,7 +161,9 @@ TEST(FutexFlagIndependence, PrivateWakeDoesNotReachSharedWaiter) {
   std::thread waiter([&] {
     auto deadline = WaitClock::now() + std::chrono::seconds(10);
     while (word.load(std::memory_order_acquire) == 0) {
-      if (!Shared::wait_until(word, 0, deadline)) return;
+      if (Shared::wait_until(word, 0, deadline) ==
+          wfq::sync::WakeCause::kTimeout)
+        return;
     }
     released.store(true, std::memory_order_release);
   });

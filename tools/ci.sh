@@ -68,6 +68,18 @@
 #                     headers never link arena structures with raw
 #                     pointers — only ShmOffset survives an mmap at a
 #                     different base address.
+#  11. async        — coroutine-layer leg: the tests/async/ suites
+#                     (pop_async/push_async rounds, executor seam,
+#                     select_any arbitration, resume-vs-destruction races,
+#                     async history-checker enrollment) in the default,
+#                     ASan and TSan trees — the round protocol is pure
+#                     claim/cancel/resume racing, exactly TSan's beat; a
+#                     coro_server smoke run (epoll loop, three coroutine
+#                     stages, select_any collector, exact conservation);
+#                     and a parse check that the committed BENCH_wakeup.json
+#                     and a fresh --json run both carry the coroutine-
+#                     resume handoff percentiles (p50/p99/p999) beside the
+#                     futex parked-handoff row.
 #   6. obs          — observability leg: NullMetrics zero-footprint check
 #                     (no "obs:" trace-event name may survive into a bench
 #                     binary built without the metrics traits), the obs
@@ -77,7 +89,7 @@
 #                     trace JSON is schema-validated, and a parse check of
 #                     the committed BENCH_*.json latency columns.
 #
-# Usage: tools/ci.sh [default|asan|tsan|bench|faults|obs|backends|fig2|scale|ipc]...
+# Usage: tools/ci.sh [default|asan|tsan|bench|faults|obs|backends|fig2|scale|ipc|async]...
 #        (no args = all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -85,7 +97,7 @@ cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 CONFIGS=("$@")
 [ ${#CONFIGS[@]} -eq 0 ] && \
-  CONFIGS=(default asan tsan bench faults obs backends fig2 scale ipc)
+  CONFIGS=(default asan tsan bench faults obs backends fig2 scale ipc async)
 
 # The per-run environment the committed BENCH_fig2.json was generated
 # under (as the per-row best of FIG2_RUNS such runs — see bench_diff
@@ -559,6 +571,66 @@ run_ipc() {
   echo "== [ipc] OK =="
 }
 
+run_async() {
+  # Coroutine layer (src/async/). The suites carry the layer's hostile
+  # races — resume-vs-destruction, co_await across close(), select_any
+  # winner claims — so they run under all three trees: default for
+  # semantics, ASan for frame lifetime (a resume on a destroyed frame is
+  # a heap-use-after-free), TSan for the claim/park phase protocol.
+  local regex='AsyncQueue|SelectAny'
+  local dir
+
+  for dir in build-ci-default build-ci-asan build-ci-tsan; do
+    case "${dir}" in
+      *asan) echo "== [async] configure+build (asan) =="
+             cmake -B "${dir}" -S . -DWFQ_SANITIZE=address >/dev/null ;;
+      *tsan) echo "== [async] configure+build (tsan) =="
+             cmake -B "${dir}" -S . -DWFQ_SANITIZE=thread >/dev/null ;;
+      *) echo "== [async] configure+build (default) =="
+         cmake -B "${dir}" -S . >/dev/null ;;
+    esac
+    cmake --build "${dir}" -j "${JOBS}" >/dev/null
+    echo "== [async] ${dir} async suites =="
+    case "${dir}" in
+      *asan) (cd "${dir}" && ASAN_OPTIONS=detect_leaks=1 \
+               ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+      *tsan) (cd "${dir}" && TSAN_OPTIONS=halt_on_error=1 \
+               ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+      *) (cd "${dir}" && ctest -R "${regex}" --output-on-failure -j "${JOBS}") ;;
+    esac
+  done
+
+  # coro_server smoke: the epoll event-loop pipeline end to end (three
+  # coroutine stages, select_any fan-in, close() cascade) with its exact
+  # conservation audit as the pass/fail signal.
+  echo "== [async] coro_server smoke (50k requests) =="
+  WFQ_OPS=50000 build-ci-default/examples/coro_server
+
+  # BENCH_wakeup.json must carry the coroutine-resume handoff percentiles
+  # beside the futex parked-handoff row — in the committed file AND in a
+  # fresh --json run (so the row can't silently rot out of the binary).
+  echo "== [async] BENCH_wakeup.json coro-resume row check =="
+  WFQ_THREADS=1 WFQ_OPS=20000 \
+    build-ci-default/bench/bench_wakeup --smoke --json /tmp/wakeup-async.json \
+    >/dev/null
+  python3 - BENCH_wakeup.json /tmp/wakeup-async.json <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    recs = json.load(open(path))
+    rows = [r for r in recs if r["config"] == "coro_resume_handoff"]
+    assert rows, f"{path}: no coro_resume_handoff row"
+    for r in rows:
+        for k in ("p50_ns", "p99_ns", "p999_ns"):
+            assert isinstance(r.get(k), (int, float)), \
+                f"{path}: coro_resume_handoff missing numeric {k}"
+    parked = [r for r in recs if r["config"] == "parked_handoff"]
+    assert parked, f"{path}: parked_handoff baseline row missing"
+    print(f"  {path}: coro_resume_handoff p50={rows[0]['p50_ns']:.0f}ns "
+          f"(futex parked p50={parked[0]['p50_ns']:.0f}ns)")
+EOF
+  echo "== [async] OK =="
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "${cfg}" in
     default) run_config default ;;
@@ -571,8 +643,9 @@ for cfg in "${CONFIGS[@]}"; do
     fig2) run_fig2 ;;
     scale) run_scale ;;
     ipc) run_ipc ;;
+    async) run_async ;;
     *)
-      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults|obs|backends|fig2|scale|ipc)" >&2
+      echo "unknown config '${cfg}' (want default|asan|tsan|bench|faults|obs|backends|fig2|scale|ipc|async)" >&2
       exit 2
       ;;
   esac

@@ -192,6 +192,15 @@ bool obs_epilogue(const wfq::obs::ObsSnapshot& snap, const wfq::OpStats& st) {
       // a full bounded ring (a=2).
       {TraceEvent::kPark, "deq_parks+push_full_parks",
        st.deq_parks.load() + st.push_full_parks.load()},
+      // Every park emits exactly one of kWake / kWakeSpurious, and the
+      // spurious branch is the one that bumps the *_spurious_wakeups
+      // counters — so both identities must hold to the event.
+      {TraceEvent::kWakeSpurious, "deq_spurious+push_spurious",
+       st.deq_spurious_wakeups.load() + st.push_spurious_wakeups.load()},
+      {TraceEvent::kWake,
+       "parks-spurious (kPark==kWake+kWakeSpurious)",
+       st.deq_parks.load() + st.push_full_parks.load() -
+           st.deq_spurious_wakeups.load() - st.push_spurious_wakeups.load()},
       {TraceEvent::kAllocFail, "alloc_failures", st.alloc_failures.load()},
       {TraceEvent::kReserveHit, "reserve_pool_hits",
        st.reserve_pool_hits.load()},
